@@ -1,0 +1,59 @@
+"""Shared configuration and helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  Each
+writes its rendered rows/series to ``results/<experiment>.txt`` (so the
+artifacts survive pytest's output capture) *and* prints them, so running
+with ``pytest benchmarks/ --benchmark-only -s`` shows them live.
+
+Scale and precision knobs are environment-tunable:
+
+* ``REPRO_BENCH_SCALE`` — multiplier on stand-in sizes (default 0.3; the
+  default keeps the full harness within minutes on a laptop).
+* ``REPRO_BENCH_EPSILON`` — approximation parameter (default 0.2; the
+  paper uses 0.1, which roughly 4x-es sample counts).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+BENCH_EPSILON = float(os.environ.get("REPRO_BENCH_EPSILON", "0.2"))
+
+# The paper's figure datasets (Figs. 2-7) and table datasets (Table 3).
+FIGURE_DATASETS = ("nethept", "netphy", "dblp", "twitter")
+TABLE3_DATASETS = ("enron", "epinions", "orkut", "friendster")
+
+# k sweep: the paper sweeps 1..20000 on million-node graphs; stand-ins
+# are ~1000x smaller, so the proportional sweep is 1..~50.
+FIGURE_K_VALUES = (1, 10, 40)
+TABLE3_K_VALUES = (1, 10, 20)
+
+# Safety net so a mis-tuned baseline cannot stall the whole harness.
+SAMPLE_BUDGET = 400_000
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def write_report(experiment: str, text: str) -> Path:
+    """Persist a rendered table/series under results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+def records_by(records, **filters):
+    """Filter RunRecords by attribute equality (tiny query helper)."""
+    out = records
+    for attr, value in filters.items():
+        out = [r for r in out if getattr(r, attr) == value]
+    return out
+
+
+def mean_over(records, attr):
+    """Mean of a RunRecord attribute over a list."""
+    values = [getattr(r, attr) for r in records]
+    return sum(values) / len(values) if values else float("nan")

@@ -1,0 +1,92 @@
+"""Ablation A: SSA's sensitivity to the (ε₁, ε₂, ε₃) split (Section 4.2).
+
+The paper motivates D-SSA by observing that SSA's fixed split can fall
+outside the effective range for a given network and k.  We sweep several
+valid splits at the same overall ε and record the sample count each one
+needs — the spread across splits is the inefficiency D-SSA's dynamic
+parameters remove.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dssa import dssa
+from repro.core.ssa import ssa
+from repro.core.thresholds import EpsilonSplit, default_epsilon_split
+from repro.datasets.synthetic import load_dataset
+from repro.utils.tables import format_table
+
+from benchmarks._common import BENCH_SCALE, write_report
+
+_EPSILON = 0.2
+_K = 10
+
+
+def _named_splits() -> dict[str, EpsilonSplit]:
+    """Several splits satisfying Eq. 18 for the same overall ε.
+
+    The constraint (1-1/e)(ε₁+ε₂+ε₁ε₂+ε₃)/((1+ε₁)(1+ε₂)) ≤ ε leaves a
+    2-degree-of-freedom family; these probe its corners, mirroring the
+    paper's "ε₁ > ε vs ε₁ ≪ ε₂" guidance for small vs large networks.
+    """
+    import math
+
+    c = 1.0 - 1.0 / math.e
+
+    def split_for(e23: float) -> EpsilonSplit:
+        """Solve Eq. 18 with equality for ε₁ given ε₂ = ε₃ = e23."""
+        e1 = (_EPSILON * (1 + e23) - c * 2 * e23) / ((1 + e23) * (c - _EPSILON))
+        return EpsilonSplit(e1, e23, e23)
+
+    recommended = default_epsilon_split(_EPSILON)
+    splits = {
+        "recommended": recommended,
+        "tiny-eps1": EpsilonSplit(0.005, recommended.epsilon_2, recommended.epsilon_3),
+        "large-eps1": split_for(0.06),   # small eps2/eps3 -> eps1 ~ 0.30
+        "balanced": split_for(0.10),     # eps1 ~ eps2 ~ eps3 ~ 0.1-0.2
+    }
+    for split in splits.values():
+        split.validate(_EPSILON)
+    return splits
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("netphy", scale=BENCH_SCALE)
+
+
+def test_ablation_epsilon_split(graph, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    sample_counts = {}
+    for name, split in _named_splits().items():
+        result = ssa(graph, _K, epsilon=_EPSILON, model="LT", seed=3, split=split)
+        sample_counts[name] = result.samples
+        rows.append(
+            [
+                name,
+                round(split.epsilon_1, 4),
+                round(split.epsilon_2, 4),
+                round(split.epsilon_3, 4),
+                result.samples,
+                result.iterations,
+                round(result.elapsed_seconds, 3),
+            ]
+        )
+    d = dssa(graph, _K, epsilon=_EPSILON, model="LT", seed=3)
+    rows.append(["D-SSA (dynamic)", "-", "-", "-", d.samples, d.iterations, round(d.elapsed_seconds, 3)])
+
+    write_report(
+        "ablation_epsilon_split",
+        format_table(
+            ["split", "eps1", "eps2", "eps3", "#RR sets", "iterations", "time (s)"],
+            rows,
+            title=f"Ablation A: SSA epsilon-split sensitivity (netphy, k={_K}, eps={_EPSILON})",
+        ),
+    )
+
+    # The split choice must actually matter (else the ablation is vacuous)...
+    assert max(sample_counts.values()) > 1.2 * min(sample_counts.values())
+    # ...and D-SSA must land within the ballpark of the best fixed split.
+    assert d.samples <= 2.0 * min(sample_counts.values())

@@ -1,0 +1,76 @@
+"""Figure 2: expected influence under the LT model.
+
+Paper shape: all guaranteed algorithms (D-SSA, SSA, IMM, TIM+) return
+statistically indistinguishable seed quality across the whole k sweep,
+and influence gains saturate as k grows.  CELF++ appears only on the
+smallest network (it cannot scale further), matching the paper's Fig. 2a.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.celf import celf
+from repro.datasets.synthetic import load_dataset
+from repro.diffusion.spread import estimate_spread
+from repro.experiments.report import render_series
+
+from benchmarks._common import (
+    BENCH_SCALE,
+    FIGURE_DATASETS,
+    FIGURE_K_VALUES,
+    records_by,
+    write_report,
+)
+
+
+def test_fig2_report(lt_figure_records, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    blocks = []
+    for name in FIGURE_DATASETS:
+        block = render_series(
+            records_by(lt_figure_records, dataset=name),
+            "quality",
+            title=f"Fig 2 ({name}): expected influence vs k, LT",
+        )
+        blocks.append(block)
+    write_report("fig2_influence_lt", "\n\n".join(blocks))
+
+    # Shape check: per (dataset, k) all guaranteed methods return similar
+    # quality.  k=1 cells get extra slack — a single seed's Monte Carlo
+    # evaluation is the noisiest point of the sweep.
+    for name in FIGURE_DATASETS:
+        for k in FIGURE_K_VALUES:
+            tolerance = 0.6 if k == 1 else 0.85
+            cell = records_by(lt_figure_records, dataset=name, k=k)
+            best = max(r.quality for r in cell)
+            for r in cell:
+                assert r.quality >= tolerance * best, (name, k, r.algorithm)
+
+    # Shape check: influence saturates — the marginal gain per seed from
+    # k=10 to k=40 is below the average gain from k=1 to k=10.
+    for name in FIGURE_DATASETS:
+        dssa_runs = {r.k: r.quality for r in records_by(lt_figure_records, dataset=name, algorithm="D-SSA")}
+        early_rate = (dssa_runs[10] - dssa_runs[1]) / 9
+        late_rate = (dssa_runs[40] - dssa_runs[10]) / 30
+        assert late_rate < early_rate, name
+
+
+def test_fig2_celf_on_smallest(benchmark):
+    """CELF++ on NetHEPT only (paper: CELF++ is time-limited elsewhere)."""
+    graph = load_dataset("nethept", scale=BENCH_SCALE)
+    result = benchmark.pedantic(
+        celf,
+        args=(graph, 5),
+        kwargs=dict(model="LT", simulations=30, seed=1, plus_plus=True),
+        rounds=1,
+        iterations=1,
+    )
+    quality = estimate_spread(graph, result.seeds, "LT", simulations=120, seed=2).mean
+    write_report(
+        "fig2_celf_nethept",
+        f"CELF++ on nethept k=5 (LT): influence {quality:.1f}, "
+        f"{result.extras['spread_evaluations']} spread evaluations, "
+        f"{result.elapsed_seconds:.2f}s",
+    )
+    assert quality > 0

@@ -1,0 +1,45 @@
+"""Figure 3: expected influence under the IC model.
+
+Same quality-parity and saturation shape as Fig. 2, under IC.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_series
+
+from benchmarks._common import (
+    FIGURE_DATASETS,
+    FIGURE_K_VALUES,
+    records_by,
+    write_report,
+)
+
+
+def test_fig3_report(ic_figure_records, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    blocks = []
+    for name in FIGURE_DATASETS:
+        blocks.append(
+            render_series(
+                records_by(ic_figure_records, dataset=name),
+                "quality",
+                title=f"Fig 3 ({name}): expected influence vs k, IC",
+            )
+        )
+    write_report("fig3_influence_ic", "\n\n".join(blocks))
+
+    for name in FIGURE_DATASETS:
+        for k in FIGURE_K_VALUES:
+            tolerance = 0.6 if k == 1 else 0.85
+            cell = records_by(ic_figure_records, dataset=name, k=k)
+            best = max(r.quality for r in cell)
+            for r in cell:
+                assert r.quality >= tolerance * best, (name, k, r.algorithm)
+
+    # Monotonicity in k for every algorithm (quality never drops much).
+    for name in FIGURE_DATASETS:
+        for algo in ("D-SSA", "SSA", "IMM", "TIM+"):
+            runs = {r.k: r.quality for r in records_by(ic_figure_records, dataset=name, algorithm=algo)}
+            ks = sorted(runs)
+            for a, b in zip(ks, ks[1:]):
+                assert runs[b] >= 0.95 * runs[a], (name, algo)

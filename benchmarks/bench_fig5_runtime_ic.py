@@ -1,0 +1,59 @@
+"""Figure 5: running time under the IC model (same shape as Fig. 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import load_dataset
+from repro.experiments.report import render_series, speedup_summary
+from repro.experiments.runner import run_algorithm
+
+from benchmarks._common import (
+    BENCH_EPSILON,
+    BENCH_SCALE,
+    FIGURE_DATASETS,
+    SAMPLE_BUDGET,
+    mean_over,
+    records_by,
+    write_report,
+)
+
+
+def test_fig5_report(ic_figure_records, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    blocks = []
+    for name in FIGURE_DATASETS:
+        blocks.append(
+            render_series(
+                records_by(ic_figure_records, dataset=name),
+                "seconds",
+                title=f"Fig 5 ({name}): running time vs k, IC",
+            )
+        )
+    blocks.append(speedup_summary(ic_figure_records, baseline="IMM"))
+    write_report("fig5_runtime_ic", "\n\n".join(blocks))
+
+    dssa_time = mean_over(records_by(ic_figure_records, algorithm="D-SSA"), "seconds")
+    ssa_time = mean_over(records_by(ic_figure_records, algorithm="SSA"), "seconds")
+    imm_time = mean_over(records_by(ic_figure_records, algorithm="IMM"), "seconds")
+    assert dssa_time < imm_time
+    assert ssa_time < imm_time
+
+
+@pytest.mark.parametrize("algo", ["D-SSA", "SSA", "IMM", "TIM+"])
+def test_bench_algorithm_ic(benchmark, algo):
+    """pytest-benchmark timing of each algorithm at k=10 on NetHEPT/IC."""
+    graph = load_dataset("nethept", scale=BENCH_SCALE)
+    benchmark.pedantic(
+        run_algorithm,
+        args=(algo, graph, 10),
+        kwargs=dict(
+            model="IC",
+            epsilon=BENCH_EPSILON,
+            seed=7,
+            dataset="nethept",
+            max_samples=SAMPLE_BUDGET,
+        ),
+        rounds=2,
+        iterations=1,
+    )

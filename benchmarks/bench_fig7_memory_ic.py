@@ -1,0 +1,30 @@
+"""Figure 7: memory usage under the IC model (same shape as Fig. 6)."""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_series
+
+from benchmarks._common import (
+    FIGURE_DATASETS,
+    mean_over,
+    records_by,
+    write_report,
+)
+
+
+def test_fig7_report(ic_figure_records, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    blocks = []
+    for name in FIGURE_DATASETS:
+        blocks.append(
+            render_series(
+                records_by(ic_figure_records, dataset=name),
+                "memory_bytes",
+                title=f"Fig 7 ({name}): memory usage vs k, IC",
+            )
+        )
+    write_report("fig7_memory_ic", "\n\n".join(blocks))
+
+    dssa_mem = mean_over(records_by(ic_figure_records, algorithm="D-SSA"), "memory_bytes")
+    imm_mem = mean_over(records_by(ic_figure_records, algorithm="IMM"), "memory_bytes")
+    assert dssa_mem < imm_mem

@@ -1,0 +1,73 @@
+"""Figure 8: TVM running time on Twitter (topics 1 and 2).
+
+Paper shape: TVM-adapted SSA/D-SSA beat KB-TIM by orders of magnitude
+(up to 500x) consistently across k, with D-SSA ≲ SSA.  We regenerate the
+two per-topic series and assert the ordering plus the sample-count gap
+that drives it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import load_dataset
+from repro.experiments.figures import tvm_runtime_vs_k
+from repro.experiments.report import render_series
+
+from benchmarks._common import (
+    BENCH_EPSILON,
+    BENCH_SCALE,
+    SAMPLE_BUDGET,
+    mean_over,
+    records_by,
+    write_report,
+)
+
+_K_VALUES = (2, 8, 20)
+
+
+@pytest.fixture(scope="module")
+def twitter_graph():
+    return load_dataset("twitter", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="module", params=[1, 2], ids=["topic1", "topic2"])
+def topic_records(request, twitter_graph):
+    return request.param, tvm_runtime_vs_k(
+        twitter_graph,
+        request.param,
+        _K_VALUES,
+        model="LT",
+        epsilon=BENCH_EPSILON,
+        seed=2016,
+        max_samples=SAMPLE_BUDGET,
+    )
+
+
+def test_fig8_report(topic_records, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    topic, records = topic_records
+    write_report(
+        f"fig8_tvm_topic{topic}",
+        render_series(
+            records,
+            "seconds",
+            title=f"Fig 8 (topic {topic}): TVM running time vs k, LT",
+        ),
+    )
+
+    # Shape 1: both Stop-and-Stare variants beat KB-TIM at every k.
+    for k in _K_VALUES:
+        cell = {r.algorithm: r for r in records_by(records, k=k)}
+        assert cell["TVM-D-SSA"].seconds < cell["KB-TIM"].seconds, k
+        assert cell["TVM-SSA"].seconds < cell["KB-TIM"].seconds, k
+
+    # Shape 2: the speedup is sample-driven.
+    dssa_rr = mean_over(records_by(records, algorithm="TVM-D-SSA"), "rr_sets")
+    kbtim_rr = mean_over(records_by(records, algorithm="KB-TIM"), "rr_sets")
+    assert dssa_rr * 2 < kbtim_rr
+
+    # Shape 3: D-SSA <= SSA on average (consistent with Fig. 8's curves).
+    dssa_t = mean_over(records_by(records, algorithm="TVM-D-SSA"), "seconds")
+    ssa_t = mean_over(records_by(records, algorithm="TVM-SSA"), "seconds")
+    assert dssa_t <= ssa_t * 1.5

@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the RIS substrate.
+
+RR-set generation dominates every algorithm's runtime, so its throughput
+(sets/second) and the mean RR-set size per (dataset, model) are the
+numbers that explain the macro benchmarks.  Mean RR-set size also
+determines the per-sample memory in the Figs. 6-7 model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import load_dataset
+from repro.sampling.base import make_sampler
+from repro.utils.tables import format_table
+
+from benchmarks._common import BENCH_SCALE, write_report
+
+_BATCH = 2000
+
+
+@pytest.mark.parametrize("model", ["LT", "IC"])
+@pytest.mark.parametrize("dataset", ["nethept", "twitter"])
+def test_bench_rr_generation(benchmark, dataset, model):
+    graph = load_dataset(dataset, scale=BENCH_SCALE)
+    sampler = make_sampler(graph, model, seed=1)
+    benchmark.pedantic(sampler.sample_batch, args=(_BATCH,), rounds=2, iterations=1)
+
+
+def test_rr_size_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for dataset in ("nethept", "netphy", "dblp", "twitter"):
+        graph = load_dataset(dataset, scale=BENCH_SCALE)
+        for model in ("LT", "IC"):
+            sampler = make_sampler(graph, model, seed=2)
+            sampler.sample_batch(_BATCH)
+            mean_size = sampler.entries_generated / sampler.sets_generated
+            rows.append([dataset, model, graph.n, graph.m, round(mean_size, 2)])
+    write_report(
+        "sampler_rr_sizes",
+        format_table(
+            ["dataset", "model", "n", "m", "mean RR-set size"],
+            rows,
+            title=f"Mean RR-set sizes ({_BATCH} sets per cell)",
+        ),
+    )
+    assert all(row[4] >= 1.0 for row in rows)
+
+
+def test_bench_max_coverage(benchmark):
+    """Greedy max-coverage cost on a realistic pool (k=50, 20k RR sets)."""
+    from repro.core.max_coverage import max_coverage
+    from repro.sampling.rr_collection import RRCollection
+
+    graph = load_dataset("twitter", scale=BENCH_SCALE)
+    sampler = make_sampler(graph, "LT", seed=3)
+    pool = RRCollection(graph.n)
+    pool.extend(sampler.sample_batch(20_000))
+    benchmark.pedantic(max_coverage, args=(pool, 50), rounds=2, iterations=1)

@@ -1,0 +1,76 @@
+"""Ablation C: sharded sampling (the paper's distributed future work).
+
+Section 1: the algorithms "are amenable to a distributed implementation".
+We validate the premise quantitatively: a W-worker sharded stream must
+produce (a) the same seed quality, (b) the same sample counts up to
+noise, and (c) perfectly balanced per-worker load — i.e. distribution
+would cut wall-clock by ~W without changing the statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.max_coverage import max_coverage
+from repro.datasets.synthetic import load_dataset
+from repro.diffusion.spread import estimate_spread
+from repro.sampling.base import make_sampler
+from repro.sampling.rr_collection import RRCollection
+from repro.sampling.sharded import ShardedSampler
+from repro.utils.tables import format_table
+
+from benchmarks._common import BENCH_SCALE, write_report
+
+_POOL = 8000
+_K = 10
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("dblp", scale=BENCH_SCALE)
+
+
+def _seeds_from(sampler, graph):
+    pool = RRCollection(graph.n)
+    pool.extend(sampler.sample_batch(_POOL))
+    return max_coverage(pool, _K).seeds
+
+
+def test_sharded_equivalence_report(graph, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    qualities = {}
+    for workers in (1, 2, 4, 8):
+        if workers == 1:
+            sampler = make_sampler(graph, "LT", seed=77)
+        else:
+            sampler = ShardedSampler(graph, "LT", workers, seed=77)
+        seeds = _seeds_from(sampler, graph)
+        quality = estimate_spread(graph, seeds, "LT", simulations=200, seed=5).mean
+        qualities[workers] = quality
+        load = (
+            sampler.per_worker_load() if isinstance(sampler, ShardedSampler) else [_POOL]
+        )
+        rows.append([workers, round(quality, 1), max(load) - min(load)])
+    write_report(
+        "ablation_sharded",
+        format_table(
+            ["workers", "seed quality (MC)", "load imbalance (sets)"],
+            rows,
+            title=f"Ablation C: sharded sampling equivalence (dblp, k={_K}, {_POOL} RR sets)",
+        ),
+    )
+    base = qualities[1]
+    for workers, quality in qualities.items():
+        assert quality == pytest.approx(base, rel=0.1), workers
+    assert all(row[2] <= 1 for row in rows)
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_bench_sharded_generation(benchmark, graph, workers):
+    """Throughput with/without sharding (in-process: overhead only)."""
+    if workers == 1:
+        sampler = make_sampler(graph, "LT", seed=9)
+    else:
+        sampler = ShardedSampler(graph, "LT", workers, seed=9)
+    benchmark.pedantic(sampler.sample_batch, args=(4000,), rounds=2, iterations=1)

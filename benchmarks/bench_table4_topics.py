@@ -1,0 +1,55 @@
+"""Table 4: TVM topics, keywords, and targeted-user counts.
+
+Regenerates the topic-group table on the Twitter stand-in and checks the
+group-size proportions match the paper's published counts (997,034 and
+507,465 users out of 41.7M).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import load_dataset
+from repro.datasets.twitter_topics import TOPICS, build_topic_group
+from repro.utils.tables import format_table
+
+from benchmarks._common import BENCH_SCALE, write_report
+
+
+@pytest.fixture(scope="module")
+def twitter_graph():
+    return load_dataset("twitter", scale=BENCH_SCALE)
+
+
+def test_table4_report(twitter_graph, benchmark):
+    groups = benchmark.pedantic(
+        lambda: {t: build_topic_group(twitter_graph, t, seed=t) for t in TOPICS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for topic_id, spec in TOPICS.items():
+        group = groups[topic_id]
+        rows.append(
+            [
+                topic_id,
+                ", ".join(spec.keywords),
+                f"{spec.paper_users:,}",
+                group.size,
+                round(group.total_benefit, 1),
+            ]
+        )
+    write_report(
+        "table4_topics",
+        format_table(
+            ["topic", "keywords", "paper #users", "standin #users", "total benefit"],
+            rows,
+            title="Table 4: TVM topic groups",
+        ),
+    )
+
+    # Shape: group sizes preserve the paper's fractions of the user base.
+    g1, g2 = groups[1], groups[2]
+    assert g1.size / twitter_graph.n == pytest.approx(TOPICS[1].user_fraction, rel=0.2)
+    assert g2.size / twitter_graph.n == pytest.approx(TOPICS[2].user_fraction, rel=0.2)
+    assert g1.size > 1.5 * g2.size  # topic 1 is ~2x topic 2 in the paper

@@ -1,0 +1,56 @@
+"""Session-scoped sweeps shared by the figure benchmarks.
+
+Figures 2/4/6 (LT) and 3/5/7 (IC) all plot the *same* runs on different
+axes (influence, time, memory), so the sweep executes once per model and
+its records are shared across the three figure files — exactly how the
+paper's experiments were run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import load_dataset
+from repro.experiments.figures import influence_vs_k
+
+from benchmarks._common import (
+    BENCH_EPSILON,
+    BENCH_SCALE,
+    FIGURE_DATASETS,
+    FIGURE_K_VALUES,
+    SAMPLE_BUDGET,
+)
+
+_FIGURE_ALGORITHMS = ("D-SSA", "SSA", "IMM", "TIM+")
+
+
+def _run_sweep(model: str):
+    records = []
+    for name in FIGURE_DATASETS:
+        graph = load_dataset(name, scale=BENCH_SCALE)
+        records.extend(
+            influence_vs_k(
+                graph,
+                FIGURE_K_VALUES,
+                model=model,
+                algorithms=_FIGURE_ALGORITHMS,
+                epsilon=BENCH_EPSILON,
+                dataset=name,
+                seed=2016,
+                quality_simulations=120,
+                max_samples=SAMPLE_BUDGET,
+            )
+        )
+    return records
+
+
+@pytest.fixture(scope="session")
+def lt_figure_records():
+    """All (dataset, k, algorithm) runs under LT — Figs. 2, 4, 6."""
+    return _run_sweep("LT")
+
+
+@pytest.fixture(scope="session")
+def ic_figure_records():
+    """All (dataset, k, algorithm) runs under IC — Figs. 3, 5, 7."""
+    return _run_sweep("IC")

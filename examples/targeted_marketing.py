@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Scenario: topic-targeted viral marketing (TVM, Section 7.3).
+
+A political-news outlet only cares about reaching users who engage with
+politics; a celebrity-gossip outlet only about entertainment fans.  The
+TVM objective weights every activation by the user's relevance, and the
+only change to the machinery is WRIS: RR-set roots drawn proportionally
+to relevance.
+
+Part 1 mirrors the paper's Fig. 8 experiment: the two Table 4 topic
+groups on the Twitter stand-in, TVM-D-SSA / TVM-SSA vs KB-TIM — same
+answer, orders of magnitude apart in cost.
+
+Part 2 shows *why* targeting matters for the marketer: on a sparser
+citation network with a community-concentrated audience, topic-aware
+seeding picks different influencers than topic-blind seeding and wins
+significantly more on-topic reach.
+
+Run:  python examples/targeted_marketing.py
+"""
+
+import numpy as np
+
+from repro import (
+    TargetedGroup,
+    build_topic_group,
+    dssa,
+    kb_tim,
+    load_dataset,
+    tvm_dssa,
+    tvm_ssa,
+    weighted_spread,
+)
+from repro.datasets.twitter_topics import TOPICS
+from repro.utils.tables import format_table
+
+
+def part1_fig8_speed() -> None:
+    """Fig. 8: same guarantee as KB-TIM at a fraction of the cost."""
+    graph = load_dataset("twitter", scale=0.5)
+    print(f"Twitter stand-in: {graph.n} nodes, {graph.m} edges\n")
+    print("Part 1 — Fig. 8: TVM cost comparison on the Table 4 topics")
+
+    k = 10
+    for topic_id, spec in TOPICS.items():
+        group = build_topic_group(graph, topic_id, seed=topic_id)
+        rows = []
+        for label, algo in (
+            ("TVM-D-SSA", tvm_dssa),
+            ("TVM-SSA", tvm_ssa),
+            ("KB-TIM", kb_tim),
+        ):
+            result = algo(graph, k, group, epsilon=0.15, model="LT", seed=42)
+            reach = weighted_spread(
+                graph, result.seeds, group, "LT", simulations=200, seed=1
+            )
+            rows.append([label, round(reach, 1), result.samples,
+                         round(result.elapsed_seconds, 3)])
+        keywords = ", ".join(spec.keywords[:3]) + ", ..."
+        print(format_table(
+            ["algorithm", "targeted reach", "#RR sets", "time (s)"],
+            rows,
+            title=f"\ntopic {topic_id} [{keywords}] — {group.size} targeted users, k={k}",
+        ))
+
+
+def community_network(blocks: int = 4, block_size: int = 250, *, seed: int = 3):
+    """A stochastic-block-model social network: dense communities, sparse
+    bridges — the structure real interest groups live in (and the one
+    configuration models lack)."""
+    from repro.graph.generators import stochastic_block_model
+    from repro.graph.weights import assign_weighted_cascade
+
+    sbm = stochastic_block_model(blocks, block_size, seed=seed)
+    return assign_weighted_cascade(sbm)
+
+
+def part2_targeting_lift() -> None:
+    """Why target: community audiences reward topic-aware seeding."""
+    graph = community_network()
+    print(f"\n\nPart 2 — targeting lift on a community-structured network "
+          f"({graph.n} nodes, {graph.m} edges, 4 communities)")
+
+    k = 5
+    # The audience is community #3 (nodes 750..999), with Zipf relevance.
+    rng = np.random.default_rng(5)
+    members = np.arange(750, 1000)
+    weights = rng.zipf(2.0, size=members.size).clip(max=50).astype(float)
+    audience = TargetedGroup.from_members("community-3", graph.n, members, weights=weights)
+    print(f"Audience: {audience.size} users, all inside one community\n")
+
+    targeted = tvm_dssa(graph, k, audience, epsilon=0.15, model="LT", seed=11)
+    blind = dssa(graph, k, epsilon=0.15, model="LT", seed=11)
+
+    targeted_reach = weighted_spread(
+        graph, targeted.seeds, audience, "LT", simulations=400, seed=2
+    )
+    blind_reach = weighted_spread(
+        graph, blind.seeds, audience, "LT", simulations=400, seed=2
+    )
+
+    rows = [
+        ["TVM-D-SSA (topic-aware)", round(targeted_reach, 1),
+         sorted(targeted.seeds)[:5]],
+        ["D-SSA (topic-blind)", round(blind_reach, 1), sorted(blind.seeds)[:5]],
+    ]
+    print(format_table(["strategy", "on-topic reach", "seeds"], rows))
+    if blind_reach > 0:
+        lift = 100.0 * (targeted_reach - blind_reach) / blind_reach
+        print(f"\nTopic-aware seeding lifts on-topic reach by {lift:+.0f}% — "
+              "it seeds *inside* the audience's community instead of at "
+              "global hubs the audience never hears from.")
+
+
+def main() -> None:
+    part1_fig8_speed()
+    part2_targeting_lift()
+
+
+if __name__ == "__main__":
+    main()

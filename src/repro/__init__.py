@@ -1,0 +1,88 @@
+"""repro — Stop-and-Stare (SSA / D-SSA) influence maximization.
+
+A from-scratch reproduction of *Stop-and-Stare: Optimal Sampling
+Algorithms for Viral Marketing in Billion-scale Networks* (Nguyen, Thai,
+Dinh — SIGMOD 2016), including the RIS sampling substrate, the SSA and
+D-SSA algorithms, the IMM/TIM+/CELF baselines they are evaluated against,
+and the Targeted Viral Marketing (TVM) extension.
+
+Quickstart
+----------
+>>> from repro import load_dataset, dssa
+>>> graph = load_dataset("nethept")
+>>> result = dssa(graph, k=10, epsilon=0.2, model="LT", seed=42)
+>>> len(result.seeds)
+10
+"""
+
+from repro.core.dssa import dssa
+from repro.core.ssa import ssa
+from repro.core.result import IMResult
+from repro.core.framework import static_ris
+from repro.baselines.imm import imm
+from repro.baselines.tim import tim, tim_plus
+from repro.baselines.celf import celf
+from repro.baselines.degree import degree_discount, degree_heuristic
+from repro.baselines.irie import irie
+from repro.extensions.budgeted import budgeted_dssa
+from repro.extensions.sweep import influence_sweep
+from repro.datasets.synthetic import load_dataset
+from repro.datasets.twitter_topics import build_topic_group
+from repro.diffusion.models import DiffusionModel
+from repro.diffusion.spread import estimate_spread, simulate_cascade
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.graph.digraph import CSRGraph
+from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graph.weights import (
+    assign_constant_weights,
+    assign_trivalency_weights,
+    assign_weighted_cascade,
+)
+from repro.tvm.algorithms import kb_tim, tvm_dssa, tvm_ssa, weighted_spread
+from repro.tvm.targets import TargetedGroup
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core algorithms
+    "ssa",
+    "dssa",
+    "static_ris",
+    "IMResult",
+    # baselines
+    "imm",
+    "tim",
+    "tim_plus",
+    "celf",
+    "degree_heuristic",
+    "degree_discount",
+    "irie",
+    # extensions
+    "budgeted_dssa",
+    "influence_sweep",
+    # graph substrate
+    "CSRGraph",
+    "GraphBuilder",
+    "from_edges",
+    "assign_weighted_cascade",
+    "assign_constant_weights",
+    "assign_trivalency_weights",
+    "load_edge_list",
+    "save_edge_list",
+    "load_npz",
+    "save_npz",
+    # diffusion
+    "DiffusionModel",
+    "estimate_spread",
+    "simulate_cascade",
+    # datasets
+    "load_dataset",
+    "build_topic_group",
+    # TVM
+    "TargetedGroup",
+    "tvm_ssa",
+    "tvm_dssa",
+    "kb_tim",
+    "weighted_spread",
+]

@@ -1,0 +1,16 @@
+"""Post-hoc analysis of seed sets and cascades."""
+
+from repro.analysis.seeds import (
+    jaccard_similarity,
+    rank_agreement,
+    seed_overlap_matrix,
+)
+from repro.analysis.cascades import CascadeStats, cascade_statistics
+
+__all__ = [
+    "jaccard_similarity",
+    "seed_overlap_matrix",
+    "rank_agreement",
+    "CascadeStats",
+    "cascade_statistics",
+]

@@ -1,0 +1,84 @@
+"""Cascade-level statistics from forward simulation traces.
+
+Campaign planners care about more than expected reach: how many rounds a
+cascade takes (time-to-peak), how concentrated adoption is in the first
+wave, and how variable outcomes are across runs.  These statistics are
+computed from repeated :func:`simulate_ic_trace` / :func:`simulate_lt_trace`
+runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.diffusion.independent_cascade import simulate_ic_trace
+from repro.diffusion.linear_threshold import simulate_lt_trace
+from repro.diffusion.models import DiffusionModel
+from repro.exceptions import ParameterError
+from repro.graph.digraph import CSRGraph
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class CascadeStats:
+    """Aggregates over repeated cascades from a fixed seed set.
+
+    ``mean_size``/``std_size`` — final cascade sizes;
+    ``mean_rounds`` — rounds until the cascade dies out;
+    ``mean_peak_round`` — round with the most new activations;
+    ``first_wave_share`` — fraction of eventual adopters activated in
+    round 1 (seeds are round 0);
+    ``size_quantiles`` — (10%, 50%, 90%) of final size.
+    """
+
+    simulations: int
+    mean_size: float
+    std_size: float
+    mean_rounds: float
+    mean_peak_round: float
+    first_wave_share: float
+    size_quantiles: tuple[float, float, float]
+
+
+def cascade_statistics(
+    graph: CSRGraph,
+    seeds: Sequence[int],
+    model: "str | DiffusionModel",
+    *,
+    simulations: int = 200,
+    seed: "int | np.random.Generator | None" = None,
+) -> CascadeStats:
+    """Run ``simulations`` cascades and aggregate their shapes."""
+    if simulations <= 0:
+        raise ParameterError(f"simulations must be positive, got {simulations}")
+    parsed = DiffusionModel.parse(model)
+    rng = ensure_rng(seed)
+    tracer = simulate_ic_trace if parsed is DiffusionModel.IC else simulate_lt_trace
+
+    sizes = np.empty(simulations)
+    rounds = np.empty(simulations)
+    peaks = np.empty(simulations)
+    first_wave = np.empty(simulations)
+    for i in range(simulations):
+        trace = tracer(graph, seeds, rng)
+        per_round = np.array([len(r) for r in trace], dtype=np.float64)
+        total = per_round.sum()
+        sizes[i] = total
+        rounds[i] = len(trace) - 1
+        peaks[i] = int(np.argmax(per_round))
+        non_seed = total - per_round[0]
+        first_wave[i] = (per_round[1] / non_seed) if len(trace) > 1 and non_seed > 0 else 0.0
+
+    q10, q50, q90 = np.quantile(sizes, [0.1, 0.5, 0.9])
+    return CascadeStats(
+        simulations=simulations,
+        mean_size=float(sizes.mean()),
+        std_size=float(sizes.std(ddof=1)) if simulations > 1 else 0.0,
+        mean_rounds=float(rounds.mean()),
+        mean_peak_round=float(peaks.mean()),
+        first_wave_share=float(first_wave.mean()),
+        size_quantiles=(float(q10), float(q50), float(q90)),
+    )

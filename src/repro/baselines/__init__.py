@@ -1,0 +1,19 @@
+"""Comparison algorithms from prior work, implemented from their papers.
+
+* :func:`repro.baselines.imm.imm` — IMM (Tang, Shi, Xiao — SIGMOD 2015),
+  the paper's main comparator.
+* :func:`repro.baselines.tim.tim_plus` / :func:`repro.baselines.tim.tim`
+  — TIM/TIM+ (Tang, Xiao, Shi — SIGMOD 2014).
+* :func:`repro.baselines.celf.celf` — CELF / CELF++ lazy greedy on Monte
+  Carlo spread (Leskovec 2007 / Goyal 2011).
+* :mod:`repro.baselines.degree` — degree and degree-discount heuristics
+  (no guarantee; sanity baselines).
+"""
+
+from repro.baselines.imm import imm
+from repro.baselines.tim import tim, tim_plus
+from repro.baselines.celf import celf
+from repro.baselines.degree import degree_heuristic, degree_discount
+from repro.baselines.irie import irie
+
+__all__ = ["imm", "tim", "tim_plus", "celf", "degree_heuristic", "degree_discount", "irie"]

@@ -1,0 +1,106 @@
+"""IRIE — Influence Ranking + Influence Estimation (Jung, Heo, Chen 2012).
+
+A scalable heuristic the paper's related-work section cites among the
+methods that are "often faster in practice [but] fail to retain the
+(1-1/e-ε) guarantee".  IRIE ranks nodes by a damped linear system
+
+    r(u) = 1 + α · Σ_v w(u, v) · (1 - ap(v)) · r(v)
+
+where ``r`` is each node's estimated marginal influence and ``ap(v)`` is
+the probability v is already activated by the current seed set
+(approximated here, as in the original, by one-hop activation from the
+chosen seeds).  After each seed selection the ranks are recomputed with
+the updated ``ap`` — that coupling is what lets IRIE avoid picking
+redundant adjacent hubs, unlike plain degree.
+
+IRIE carries no approximation guarantee; it exists in the library as the
+quality foil for the guaranteed methods in the figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import IMResult
+from repro.exceptions import ParameterError
+from repro.graph.digraph import CSRGraph
+from repro.utils.timer import Timer
+from repro.utils.validation import check_k
+
+
+def _influence_rank(
+    graph: CSRGraph,
+    already_active: np.ndarray,
+    alpha: float,
+    iterations: int,
+) -> np.ndarray:
+    """Solve the damped rank iteration given activation probabilities."""
+    rank = np.ones(graph.n, dtype=np.float64)
+    sources = np.repeat(
+        np.arange(graph.n, dtype=np.int64), np.diff(graph.out_indptr)
+    )
+    targets = graph.out_indices.astype(np.int64)
+    weights = graph.out_weights
+    for _ in range(iterations):
+        contribution = weights * (1.0 - already_active[targets]) * rank[targets]
+        new_rank = np.ones(graph.n, dtype=np.float64)
+        np.add.at(new_rank, sources, alpha * contribution)
+        if np.allclose(new_rank, rank, rtol=1e-6, atol=1e-9):
+            rank = new_rank
+            break
+        rank = new_rank
+    return rank
+
+
+def irie(
+    graph: CSRGraph,
+    k: int,
+    *,
+    alpha: float = 0.7,
+    iterations: int = 20,
+) -> IMResult:
+    """IRIE heuristic seed selection (no approximation guarantee).
+
+    ``alpha`` is the damping factor (the original paper recommends 0.7);
+    ``iterations`` caps the rank iteration, which usually converges much
+    earlier on WC-weighted graphs.
+    """
+    check_k(k, graph.n)
+    if not 0.0 < alpha < 1.0:
+        raise ParameterError(f"alpha must be in (0, 1), got {alpha}")
+    if iterations < 1:
+        raise ParameterError(f"iterations must be at least 1, got {iterations}")
+
+    with Timer() as timer:
+        already_active = np.zeros(graph.n, dtype=np.float64)
+        selected = np.zeros(graph.n, dtype=bool)
+        seeds: list[int] = []
+        total_rank = 0.0
+        for _ in range(k):
+            rank = _influence_rank(graph, already_active, alpha, iterations)
+            rank[selected] = -np.inf
+            v = int(np.argmax(rank))
+            seeds.append(v)
+            selected[v] = True
+            total_rank += float(rank[v])
+            # One-hop activation-probability update (IRIE's IE step):
+            # v is now certainly active; its out-neighbours are activated
+            # with at least the edge probability.
+            already_active[v] = 1.0
+            lo, hi = graph.out_indptr[v], graph.out_indptr[v + 1]
+            neighbors = graph.out_indices[lo:hi]
+            edge_p = graph.out_weights[lo:hi]
+            already_active[neighbors] = 1.0 - (1.0 - already_active[neighbors]) * (
+                1.0 - edge_p
+            )
+
+    return IMResult(
+        algorithm="IRIE",
+        seeds=seeds,
+        influence=total_rank,  # rank units, not calibrated influence
+        samples=0,
+        stopped_by="heuristic",
+        elapsed_seconds=timer.elapsed,
+        memory_bytes=graph.memory_bytes(),
+        extras={"alpha": alpha, "iterations": iterations},
+    )

@@ -1,0 +1,169 @@
+"""TIM and TIM+ (Tang, Xiao, Shi — SIGMOD 2014).
+
+TIM is the two-step RIS skeleton with an explicit sample threshold
+``θ = λ / KPT``, where λ carries the ``ln C(n,k)`` union bound (Eq. 12 of
+the Stop-and-Stare paper) and KPT is a lower bound on OPT_k obtained by
+the KPT-estimation procedure (Alg. 2 of the TIM paper): RR sets are
+generated in doubling batches, and each set R contributes
+``κ(R) = 1 - (1 - width(R)/m)^k`` — the probability a random size-k seed
+set covers R — until the running mean clears the current scale's bar.
+
+Because ``KPT ≤ OPT_k`` with no matching upper bound, θ overshoots by the
+unbounded ratio ``OPT_k / KPT`` — precisely shortcoming (1) the
+Stop-and-Stare paper lists for prior art.
+
+TIM+ adds an intermediate refinement: greedy on a small pool proposes a
+seed set whose influence is estimated on fresh samples, and
+``KPT+ = max(KPT, Î/(1+ε'))`` tightens θ before the main run.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.max_coverage import max_coverage
+from repro.core.result import IMResult
+from repro.diffusion.models import DiffusionModel
+from repro.graph.digraph import CSRGraph
+from repro.sampling.base import RRSampler, make_sampler
+from repro.sampling.rr_collection import RRCollection
+from repro.utils.mathstats import binomial_coefficient_ln
+from repro.utils.timer import Timer
+from repro.utils.validation import check_delta, check_epsilon, check_k
+
+
+def _rr_width(graph: CSRGraph, rr_set: np.ndarray) -> int:
+    """width(R): number of edges of G entering nodes of R."""
+    return int(np.diff(graph.in_indptr)[rr_set].sum())
+
+
+def _kpt_estimation(
+    graph: CSRGraph,
+    sampler: RRSampler,
+    k: int,
+    delta: float,
+    pool: RRCollection,
+    *,
+    max_samples: int | None,
+) -> float:
+    """KPT lower-bound estimation (TIM paper, Algorithm 2).
+
+    Generated RR sets are appended to ``pool`` so later phases reuse them.
+    Returns KPT ≥ 1 (the trivial lower bound when estimation falls through).
+    """
+    n, m = graph.n, graph.m
+    if m == 0:
+        return 1.0
+    log_n = max(math.log2(n), 2.0)
+    base_count = 6.0 * math.log(1.0 / delta) + 6.0 * math.log(log_n)
+    for i in range(1, int(log_n)):
+        c_i = int(math.ceil(base_count * (2.0**i)))
+        if max_samples is not None:
+            c_i = min(c_i, max_samples)
+        batch = sampler.sample_batch(c_i)
+        pool.extend(batch)
+        kappa_sum = 0.0
+        for rr in batch:
+            width_fraction = _rr_width(graph, rr) / m
+            kappa_sum += 1.0 - (1.0 - width_fraction) ** k
+        if kappa_sum / c_i > 1.0 / (2.0**i):
+            return max(1.0, n * kappa_sum / (2.0 * c_i))
+        if max_samples is not None and len(pool) >= max_samples:
+            break
+    return 1.0
+
+
+def _run_tim(
+    graph: CSRGraph,
+    k: int,
+    epsilon: float,
+    delta: float,
+    model: "str | DiffusionModel",
+    seed,
+    *,
+    refine: bool,
+    max_samples: int | None,
+    roots=None,
+) -> IMResult:
+    n = graph.n
+    check_k(k, n)
+    check_epsilon(epsilon)
+    delta = check_delta(delta)
+
+    sampler = make_sampler(graph, model, seed, roots=roots)
+    scale = sampler.scale
+    ln_binom = binomial_coefficient_ln(n, k)
+    ln_inv_delta = math.log(1.0 / delta)
+
+    with Timer() as timer:
+        pool = RRCollection(n)
+        kpt = _kpt_estimation(graph, sampler, k, delta, pool, max_samples=max_samples)
+        kpt_refined = kpt
+
+        if refine and len(pool) > 0:
+            # TIM+ intermediate step: propose seeds from the existing pool,
+            # then bound their influence from a fresh batch of the same size.
+            eps_prime = min(0.9, math.sqrt(2.0) * epsilon)
+            proposal = max_coverage(pool, k)
+            fresh_count = min(len(pool), max_samples or len(pool))
+            fresh_start = len(pool)
+            pool.extend(sampler.sample_batch(fresh_count))
+            fresh_cov = pool.coverage(proposal.seeds, start=fresh_start)
+            estimate = scale * fresh_cov / fresh_count
+            kpt_refined = max(kpt, estimate / (1.0 + eps_prime))
+
+        lam = (8.0 + 2.0 * epsilon) * n * (ln_inv_delta + ln_binom + math.log(2.0)) / (
+            epsilon * epsilon
+        )
+        theta = int(math.ceil(lam / kpt_refined))
+        if max_samples is not None:
+            theta = min(theta, max_samples)
+        theta = max(theta, 1)
+        if theta > len(pool):
+            pool.extend(sampler.sample_batch(theta - len(pool)))
+        cover = max_coverage(pool, k, start=0, end=theta)
+
+    return IMResult(
+        algorithm="TIM+" if refine else "TIM",
+        seeds=cover.seeds,
+        influence=cover.influence_estimate(scale),
+        samples=sampler.sets_generated,
+        optimization_samples=sampler.sets_generated,
+        iterations=1,
+        stopped_by="theta",
+        elapsed_seconds=timer.elapsed,
+        memory_bytes=pool.memory_bytes() + graph.memory_bytes(),
+        extras={"kpt": kpt, "kpt_refined": kpt_refined, "theta": theta},
+    )
+
+
+def tim(
+    graph: CSRGraph,
+    k: int,
+    *,
+    epsilon: float = 0.1,
+    delta: float | None = None,
+    model: "str | DiffusionModel" = "IC",
+    seed: int | np.random.Generator | None = None,
+    max_samples: int | None = None,
+) -> IMResult:
+    """TIM: KPT estimation, then one-shot RIS at ``θ = λ/KPT``."""
+    delta = delta if delta is not None else 1.0 / max(graph.n, 2)
+    return _run_tim(graph, k, epsilon, delta, model, seed, refine=False, max_samples=max_samples)
+
+
+def tim_plus(
+    graph: CSRGraph,
+    k: int,
+    *,
+    epsilon: float = 0.1,
+    delta: float | None = None,
+    model: "str | DiffusionModel" = "IC",
+    seed: int | np.random.Generator | None = None,
+    max_samples: int | None = None,
+) -> IMResult:
+    """TIM+: TIM with the intermediate KPT refinement step."""
+    delta = delta if delta is not None else 1.0 / max(graph.n, 2)
+    return _run_tim(graph, k, epsilon, delta, model, seed, refine=True, max_samples=max_samples)

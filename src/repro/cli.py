@@ -1,0 +1,190 @@
+"""Command-line interface: ``repro-im`` / ``python -m repro``.
+
+Subcommands
+-----------
+``datasets``
+    List catalogued datasets with paper and stand-in statistics.
+``run``
+    Run one algorithm on one dataset and print the result summary.
+``compare``
+    Run several algorithms at one k and print the comparison table.
+``tvm``
+    Run the TVM experiment (Fig. 8 style) on a topic group.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets.catalog import DATASETS
+from repro.datasets.synthetic import load_dataset
+from repro.experiments.figures import tvm_runtime_vs_k
+from repro.experiments.report import render_comparison
+from repro.experiments.runner import ALGORITHMS, evaluate_quality, run_algorithm
+from repro.graph.statistics import compute_stats
+from repro.utils.tables import format_table
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    headers = ["name", "paper nodes", "paper edges", "avg deg", "stand-in nodes", "scale"]
+    rows = []
+    for spec in DATASETS.values():
+        rows.append(
+            [
+                spec.name,
+                spec.paper_nodes,
+                spec.paper_edges,
+                spec.paper_avg_degree,
+                spec.standin_nodes,
+                round(spec.scale_factor, 1),
+            ]
+        )
+    print(format_table(headers, rows, title="Datasets (Table 2 + stand-ins)"))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    stats = compute_stats(graph)
+    print(f"{args.dataset}: n={stats.nodes} m={stats.edges} avg_deg={stats.avg_degree:.2f}")
+    print(f"  max in-degree={stats.max_in_degree} max out-degree={stats.max_out_degree}")
+    print(f"  weights in [{stats.weight_min:.4f}, {stats.weight_max:.4f}], LT admissible={stats.lt_admissible}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    record = run_algorithm(
+        args.algorithm,
+        graph,
+        args.k,
+        model=args.model,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        dataset=args.dataset,
+    )
+    if args.quality:
+        evaluate_quality(record, graph, simulations=args.quality_sims, seed=args.seed)
+    print(render_comparison([record], title=f"{args.algorithm} on {args.dataset}"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    records = []
+    for algo in args.algorithms:
+        record = run_algorithm(
+            algo,
+            graph,
+            args.k,
+            model=args.model,
+            epsilon=args.epsilon,
+            seed=args.seed,
+            dataset=args.dataset,
+        )
+        if args.quality:
+            evaluate_quality(record, graph, simulations=args.quality_sims, seed=args.seed)
+        records.append(record)
+    print(render_comparison(records, title=f"Comparison on {args.dataset} (k={args.k}, {args.model})"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.extensions.sweep import influence_sweep
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    sweep = influence_sweep(
+        graph,
+        args.k_values,
+        epsilon=args.epsilon,
+        model=args.model,
+        seed=args.seed,
+    )
+    rows = [[k, round(sweep.influence_at[k], 1)] for k in sorted(sweep.influence_at)]
+    print(
+        format_table(
+            ["k", "estimated influence"],
+            rows,
+            title=(
+                f"Influence sweep on {args.dataset} ({args.model}), one D-SSA run "
+                f"at k={sweep.k_max}, {sweep.samples} RR sets total"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_tvm(args: argparse.Namespace) -> int:
+    graph = load_dataset("twitter", scale=args.scale)
+    records = tvm_runtime_vs_k(
+        graph, args.topic, args.k_values, model=args.model, epsilon=args.epsilon
+    )
+    print(render_comparison(records, title=f"TVM topic {args.topic}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-im",
+        description="Stop-and-Stare influence maximization (SIGMOD 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list catalogued datasets").set_defaults(fn=_cmd_datasets)
+
+    p_stats = sub.add_parser("stats", help="show a dataset stand-in's statistics")
+    p_stats.add_argument("dataset", choices=list(DATASETS))
+    p_stats.add_argument("--scale", type=float, default=1.0)
+    p_stats.set_defaults(fn=_cmd_stats)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", default="nethept", choices=list(DATASETS))
+        p.add_argument("--scale", type=float, default=1.0)
+        p.add_argument("-k", type=int, default=10)
+        p.add_argument("--model", default="LT", choices=["LT", "IC"])
+        p.add_argument("--epsilon", type=float, default=0.2)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--quality", action="store_true", help="Monte Carlo-evaluate the seeds")
+        p.add_argument("--quality-sims", type=int, default=200)
+
+    p_run = sub.add_parser("run", help="run one algorithm")
+    p_run.add_argument("algorithm", choices=list(ALGORITHMS))
+    add_common(p_run)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="run several algorithms")
+    p_cmp.add_argument("--algorithms", nargs="+", default=["D-SSA", "SSA", "IMM"], choices=list(ALGORITHMS))
+    add_common(p_cmp)
+    p_cmp.set_defaults(fn=_cmd_compare)
+
+    p_sweep = sub.add_parser("sweep", help="influence-vs-k curve from one amortized run")
+    p_sweep.add_argument("--dataset", default="nethept", choices=list(DATASETS))
+    p_sweep.add_argument("--scale", type=float, default=1.0)
+    p_sweep.add_argument("--model", default="LT", choices=["LT", "IC"])
+    p_sweep.add_argument("--epsilon", type=float, default=0.2)
+    p_sweep.add_argument("--seed", type=int, default=7)
+    p_sweep.add_argument("--k-values", type=int, nargs="+", default=[1, 5, 10, 20, 50])
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_tvm = sub.add_parser("tvm", help="targeted viral marketing experiment")
+    p_tvm.add_argument("--topic", type=int, default=1, choices=[1, 2])
+    p_tvm.add_argument("--scale", type=float, default=1.0)
+    p_tvm.add_argument("--model", default="LT", choices=["LT", "IC"])
+    p_tvm.add_argument("--epsilon", type=float, default=0.2)
+    p_tvm.add_argument("--k-values", type=int, nargs="+", default=[5, 10, 20])
+    p_tvm.set_defaults(fn=_cmd_tvm)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

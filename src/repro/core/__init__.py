@@ -1,0 +1,45 @@
+"""The paper's primary contribution: Stop-and-Stare sampling algorithms.
+
+Public entry points:
+
+* :func:`repro.core.ssa.ssa` — Algorithm 1 (fixed ε-split, type-1 optimal)
+* :func:`repro.core.dssa.dssa` — Algorithm 4 (dynamic ε, type-2 optimal)
+* :func:`repro.core.max_coverage.max_coverage` — Algorithm 2
+* :func:`repro.core.estimate_inf.estimate_influence` — Algorithm 3
+* :mod:`repro.core.thresholds` — Υ, N_max, ε-splits, and the published
+  RIS thresholds (TIM / IMM) used for comparison.
+"""
+
+from repro.core.result import IMResult
+from repro.core.thresholds import (
+    EpsilonSplit,
+    default_epsilon_split,
+    imm_threshold,
+    max_iterations,
+    sample_cap,
+    tim_threshold,
+    upsilon_ln,
+)
+from repro.core.max_coverage import MaxCoverageResult, max_coverage
+from repro.core.estimate_inf import InfluenceEstimate, estimate_influence
+from repro.core.ssa import ssa
+from repro.core.dssa import dssa
+from repro.core.framework import ris_two_step
+
+__all__ = [
+    "IMResult",
+    "EpsilonSplit",
+    "default_epsilon_split",
+    "upsilon_ln",
+    "sample_cap",
+    "max_iterations",
+    "tim_threshold",
+    "imm_threshold",
+    "max_coverage",
+    "MaxCoverageResult",
+    "estimate_influence",
+    "InfluenceEstimate",
+    "ssa",
+    "dssa",
+    "ris_two_step",
+]

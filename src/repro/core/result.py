@@ -1,0 +1,64 @@
+"""Result records returned by every IM algorithm in the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IMResult:
+    """Outcome of an influence-maximization run.
+
+    Attributes
+    ----------
+    seeds:
+        The selected size-k seed set, in selection order.
+    influence:
+        The algorithm's own estimate of I(seeds) (RIS coverage estimate for
+        sampling algorithms, Monte Carlo mean for greedy baselines).
+    samples:
+        Total RR sets generated, including verification samples — the
+        paper's "number of RR sets" columns (Table 3).
+    optimization_samples / verification_samples:
+        Breakdown of ``samples`` into the max-coverage pool R and the
+        Estimate-Inf pool R' (SSA) or verify half (D-SSA).
+    iterations:
+        Stop-and-Stare iterations (doublings) performed; 1 for one-shot
+        algorithms.
+    stopped_by:
+        Which rule ended the run: ``"conditions"`` (C1+C2 / D1+D2),
+        ``"cap"`` (N_max reached), or ``"theta"`` (fixed-threshold
+        algorithms).
+    elapsed_seconds:
+        Wall-clock runtime measured by the algorithm itself.
+    memory_bytes:
+        Analytic memory model: retained RR-set bytes + graph bytes.
+    extras:
+        Algorithm-specific diagnostics (epsilon trajectories, KPT
+        estimates, ...).
+    """
+
+    algorithm: str
+    seeds: list[int]
+    influence: float
+    samples: int
+    optimization_samples: int = 0
+    verification_samples: int = 0
+    iterations: int = 1
+    stopped_by: str = "conditions"
+    elapsed_seconds: float = 0.0
+    memory_bytes: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def k(self) -> int:
+        """Seed budget actually returned."""
+        return len(self.seeds)
+
+    def summary(self) -> str:
+        """One-line human-readable summary for logs and examples."""
+        return (
+            f"{self.algorithm}: k={self.k} influence≈{self.influence:.1f} "
+            f"samples={self.samples} iterations={self.iterations} "
+            f"time={self.elapsed_seconds:.3f}s stop={self.stopped_by}"
+        )

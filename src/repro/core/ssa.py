@@ -1,0 +1,170 @@
+"""SSA — the Stop-and-Stare Algorithm (Algorithm 1).
+
+SSA interleaves two sample pools:
+
+* ``R`` — the optimization pool, doubled every iteration, fed to greedy
+  max-coverage to get a candidate seed set ``Ŝ_k``;
+* an **independent** verification stream consumed by Estimate-Inf
+  (Algorithm 3) whenever the candidate passes the coverage precondition.
+
+Stopping requires both conditions of Section 4.1:
+
+* **C1** ``Cov_R(Ŝ_k) ≥ Λ₁ = (1+ε₁)(1+ε₂)·Υ(ε₃, δ/3i_max)`` — enough
+  coverage that the optimum's influence is estimated within ε₃;
+* **C2** ``Î(Ŝ_k) ≤ (1+ε₁)·Ic(Ŝ_k)`` — the optimization-pool estimate
+  agrees with the independent error-bounded estimate.
+
+If neither fires before the pool reaches ``N_max``, the cap itself
+guarantees the approximation (Lemma 4).  Theorem 2: the returned set is a
+``(1-1/e-ε)``-approximation with probability ≥ 1-δ; Theorem 3: the sample
+count is within a constant factor of a type-1 minimum threshold.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.estimate_inf import estimate_influence
+from repro.core.max_coverage import max_coverage
+from repro.core.result import IMResult
+from repro.core.thresholds import (
+    EpsilonSplit,
+    default_epsilon_split,
+    max_iterations,
+    sample_cap,
+)
+from repro.diffusion.models import DiffusionModel
+from repro.graph.digraph import CSRGraph
+from repro.sampling.base import make_sampler
+from repro.sampling.roots import UniformRoots, WeightedRoots
+from repro.sampling.rr_collection import RRCollection
+from repro.utils.mathstats import upsilon
+from repro.utils.rng import spawn_rngs
+from repro.utils.timer import Timer
+from repro.utils.validation import check_delta, check_epsilon, check_k
+
+
+def ssa(
+    graph: CSRGraph,
+    k: int,
+    *,
+    epsilon: float = 0.1,
+    delta: float | None = None,
+    model: "str | DiffusionModel" = "IC",
+    seed: int | np.random.Generator | None = None,
+    split: EpsilonSplit | None = None,
+    roots: "UniformRoots | WeightedRoots | None" = None,
+    max_samples: int | None = None,
+    horizon: int | None = None,
+) -> IMResult:
+    """Run SSA and return a ``(1-1/e-ε)``-approximate seed set w.h.p.
+
+    Parameters
+    ----------
+    graph:
+        Weighted influence graph.
+    k:
+        Seed budget.
+    epsilon, delta:
+        Approximation and failure parameters; ``delta`` defaults to the
+        paper's ``1/n``.
+    model:
+        ``"IC"`` or ``"LT"``.
+    seed:
+        RNG seed; two independent child streams are spawned for the
+        optimization and verification pools.
+    split:
+        Optional explicit (ε₁, ε₂, ε₃); defaults to Section 4.2's
+        recommendation.  Must satisfy Eq. 18.
+    roots:
+        Optional root distribution — pass a
+        :class:`~repro.sampling.roots.WeightedRoots` to solve the TVM
+        objective instead of plain IM.
+    max_samples:
+        Optional hard override of the ``N_max`` cap (testing/budgeting).
+    horizon:
+        Optional time-critical cap T: the objective becomes the expected
+        number of activations within T rounds (RR sets are truncated to
+        T reverse hops, the exact dual of T-round cascades).
+    """
+    n = graph.n
+    check_k(k, n)
+    check_epsilon(epsilon)
+    delta = check_delta(delta if delta is not None else 1.0 / max(n, 2))
+    split = split if split is not None else default_epsilon_split(epsilon)
+    split.validate(epsilon, tolerance=1e-6)
+    e1, e2, e3 = split.epsilon_1, split.epsilon_2, split.epsilon_3
+
+    n_max = sample_cap(n, k, epsilon, delta)
+    if max_samples is not None:
+        n_max = min(n_max, float(max_samples))
+    i_max = max_iterations(n, k, epsilon, delta)
+    per_iter_delta = delta / (3.0 * i_max)
+    lambda_base = upsilon(epsilon, per_iter_delta)
+    lambda_1 = (1.0 + e1) * (1.0 + e2) * upsilon(e3, per_iter_delta)
+
+    rng_main, rng_verify = spawn_rngs(seed, 2)
+    sampler = make_sampler(graph, model, rng_main, roots=roots, max_hops=horizon)
+    verifier = make_sampler(graph, model, rng_verify, roots=roots, max_hops=horizon)
+    scale = sampler.scale
+
+    with Timer() as timer:
+        pool = RRCollection(n)
+        pool.extend(sampler.sample_batch(int(math.ceil(lambda_base))))
+
+        cover = None
+        iterations = 0
+        stopped_by = "cap"
+        epsilon_trace: list[dict] = []
+
+        while True:
+            iterations += 1
+            pool.extend(sampler.sample_batch(len(pool)))  # double R
+            cover = max_coverage(pool, k)
+            influence_hat = cover.influence_estimate(scale)
+
+            record = {
+                "iteration": iterations,
+                "pool": len(pool),
+                "coverage": cover.coverage,
+                "influence_hat": influence_hat,
+            }
+
+            if cover.coverage >= lambda_1:  # condition C1
+                t_max = int(
+                    math.ceil(2.0 * len(pool) * (1.0 + e2) / (1.0 - e2) * (e3 * e3) / (e2 * e2))
+                )
+                check = estimate_influence(verifier, cover.seeds, e2, per_iter_delta, t_max)
+                record["verify_samples"] = check.samples_used
+                record["influence_check"] = check.influence
+                if check.influence is not None and influence_hat <= (1.0 + e1) * check.influence:
+                    stopped_by = "conditions"  # C2 met
+                    epsilon_trace.append(record)
+                    break
+            epsilon_trace.append(record)
+
+            if len(pool) >= n_max:
+                stopped_by = "cap"
+                break
+
+    return IMResult(
+        algorithm="SSA",
+        seeds=cover.seeds,
+        influence=cover.influence_estimate(scale),
+        samples=sampler.sets_generated + verifier.sets_generated,
+        optimization_samples=sampler.sets_generated,
+        verification_samples=verifier.sets_generated,
+        iterations=iterations,
+        stopped_by=stopped_by,
+        elapsed_seconds=timer.elapsed,
+        memory_bytes=pool.memory_bytes() + graph.memory_bytes(),
+        extras={
+            "epsilon_split": (e1, e2, e3),
+            "lambda_1": lambda_1,
+            "n_max": n_max,
+            "i_max": i_max,
+            "trace": epsilon_trace,
+        },
+    )

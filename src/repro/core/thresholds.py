@@ -1,0 +1,170 @@
+"""RIS thresholds, sample caps, and ε-parameter splits.
+
+This module is the quantitative backbone of Sections 3–6:
+
+* :func:`upsilon_ln` — Υ with the log term supplied directly, so huge
+  union bounds like ``ln C(n, k)`` never materialize ``1/δ`` as a float.
+* :func:`sample_cap` — the nominal cap
+  ``N_max = 8 (1-1/e)/(2+2ε/3) · Υ(ε, δ/6/C(n,k)) · n/k`` used by both
+  SSA (Alg. 1 line 2) and D-SSA (Alg. 4 line 1).
+* :func:`max_iterations` — ``i_max = ceil(log2(2 N_max / Υ(ε, δ/3)))``.
+* :func:`default_epsilon_split` — the recommended (ε₁, ε₂, ε₃) of
+  Section 4.2, solving constraint Eq. 18 with equality.
+* :func:`tim_threshold` / :func:`imm_threshold` — the *published* RIS
+  thresholds of Eqs. 12 and 14, kept for analytical comparison (they need
+  OPT_k, which is exactly the intractable quantity SSA avoids).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+from repro.utils.mathstats import binomial_coefficient_ln, upsilon
+from repro.utils.validation import check_delta, check_epsilon, check_k
+
+_E_FACTOR = 1.0 - 1.0 / math.e  # (1 - 1/e), the submodularity constant
+
+
+def upsilon_ln(epsilon: float, ln_inverse_delta: float) -> float:
+    """Υ(ε, δ) with ``ln(1/δ)`` supplied directly.
+
+    ``Υ = (2 + 2ε/3) · ln(1/δ) / ε²``; supplying the log term keeps union
+    bounds like ``δ / (6 C(n,k))`` exact for billion-node inputs where
+    ``C(n, k)`` overflows floats.
+    """
+    if epsilon <= 0:
+        raise ParameterError(f"epsilon must be positive, got {epsilon}")
+    if ln_inverse_delta <= 0:
+        raise ParameterError(f"ln(1/delta) must be positive, got {ln_inverse_delta}")
+    return (2.0 + 2.0 * epsilon / 3.0) * ln_inverse_delta / (epsilon * epsilon)
+
+
+def sample_cap(n: int, k: int, epsilon: float, delta: float) -> float:
+    """``N_max`` of Alg. 1 line 2 / Alg. 4 line 1.
+
+    ``N_max = 8 · (1-1/e)/(2+2ε/3) · Υ(ε, δ/6/C(n,k)) · n/k``.
+
+    This cap guarantees the approximation even if the stopping conditions
+    never fire (Lemmas 4 and 9); it is hit only in pathological runs.
+    """
+    check_epsilon(epsilon)
+    check_delta(delta)
+    check_k(k, n)
+    ln_term = math.log(6.0 / delta) + binomial_coefficient_ln(n, k)
+    ups = upsilon_ln(epsilon, ln_term)
+    return 8.0 * _E_FACTOR / (2.0 + 2.0 * epsilon / 3.0) * ups * n / k
+
+
+def max_iterations(n: int, k: int, epsilon: float, delta: float) -> int:
+    """``i_max = ceil(log2(2 N_max / Υ(ε, δ/3)))`` (Alg. 1 line 2).
+
+    Also ``t_max`` for D-SSA (Alg. 4 line 2); Lemma 10 shows it is
+    O(log n).
+    """
+    n_max = sample_cap(n, k, epsilon, delta)
+    base = upsilon(epsilon, delta / 3.0)
+    return max(1, math.ceil(math.log2(2.0 * n_max / base)))
+
+
+@dataclass(frozen=True)
+class EpsilonSplit:
+    """The (ε₁, ε₂, ε₃) precision split used by SSA.
+
+    ε₁ bounds the gap between the coverage estimate and the verification
+    estimate (condition C2), ε₂ the verification estimator's error
+    (Alg. 3), and ε₃ the error on the optimum's estimate through R
+    (condition C1).  Validity (Eq. 18):
+    ``(1-1/e) (ε₁+ε₂+ε₁ε₂+ε₃) / ((1+ε₁)(1+ε₂)) ≤ ε``.
+    """
+
+    epsilon_1: float
+    epsilon_2: float
+    epsilon_3: float
+
+    def combined(self) -> float:
+        """The effective ε implied by this split (LHS of Eq. 18)."""
+        e1, e2, e3 = self.epsilon_1, self.epsilon_2, self.epsilon_3
+        return _E_FACTOR * (e1 + e2 + e1 * e2 + e3) / ((1.0 + e1) * (1.0 + e2))
+
+    def validate(self, epsilon: float, *, tolerance: float = 1e-9) -> None:
+        """Raise unless the split satisfies Eq. 18 for the target ε."""
+        for name, value in (
+            ("epsilon_1", self.epsilon_1),
+            ("epsilon_2", self.epsilon_2),
+            ("epsilon_3", self.epsilon_3),
+        ):
+            if value <= 0:
+                raise ParameterError(f"{name} must be positive, got {value}")
+        if self.epsilon_2 >= 1.0 or self.epsilon_3 >= 1.0:
+            raise ParameterError("epsilon_2 and epsilon_3 must be below 1")
+        if self.combined() > epsilon + tolerance:
+            raise ParameterError(
+                f"epsilon split {self} violates Eq. 18: combined "
+                f"{self.combined():.6f} > epsilon {epsilon}"
+            )
+
+
+def default_epsilon_split(epsilon: float) -> EpsilonSplit:
+    """The recommended split of Section 4.2 (Eqs. 19–20).
+
+    ``ε₂ = ε₃ = ε / (2 (1-1/e))`` and ε₁ chosen so Eq. 18 holds with
+    equality: ``ε₁ = ε·ε₂ / ((1+ε₂)(1-1/e-ε))``.  For ε = 0.1 this gives
+    ε₂ = ε₃ ≈ 2/25 and ε₁ ≈ 1/73, matching the paper's quoted example
+    (1/78, 2/25) up to its rounding.
+    """
+    check_epsilon(epsilon)
+    if epsilon >= _E_FACTOR:
+        raise ParameterError(
+            f"epsilon must be below 1 - 1/e ≈ {_E_FACTOR:.4f} for a valid split, got {epsilon}"
+        )
+    e2 = epsilon / (2.0 * _E_FACTOR)
+    e3 = e2
+    e1 = epsilon * e2 / ((1.0 + e2) * (_E_FACTOR - epsilon))
+    split = EpsilonSplit(e1, e2, e3)
+    split.validate(epsilon, tolerance=1e-9)
+    return split
+
+
+def tim_threshold(n: int, k: int, epsilon: float, delta: float, opt_k: float) -> float:
+    """The TIM/TIM+ RIS threshold of Eq. 12.
+
+    ``N = (8 + 2ε) n (ln(2/δ) + ln C(n,k)) / (ε² OPT_k)``.  Requires the
+    (intractable) optimum — TIM replaces it with the KPT estimate in
+    practice, which is why its sample count overshoots.
+    """
+    check_epsilon(epsilon)
+    check_delta(delta)
+    check_k(k, n)
+    if opt_k <= 0:
+        raise ParameterError(f"opt_k must be positive, got {opt_k}")
+    log_term = math.log(2.0 / delta) + binomial_coefficient_ln(n, k)
+    return (8.0 + 2.0 * epsilon) * n * log_term / (epsilon * epsilon * opt_k)
+
+
+def imm_threshold(n: int, k: int, epsilon: float, delta: float, opt_k: float) -> float:
+    """The IMM RIS threshold, simplified form of Eq. 14.
+
+    ``N = 4 (1-1/e) n (2 ln(2/δ) + ln C(n,k)) / (ε² OPT_k)`` — about half
+    of TIM's but still carrying the ``ln C(n,k)`` union-bound term.
+    """
+    check_epsilon(epsilon)
+    check_delta(delta)
+    check_k(k, n)
+    if opt_k <= 0:
+        raise ParameterError(f"opt_k must be positive, got {opt_k}")
+    log_term = 2.0 * math.log(2.0 / delta) + binomial_coefficient_ln(n, k)
+    return 4.0 * _E_FACTOR * n * log_term / (epsilon * epsilon * opt_k)
+
+
+def imm_theta_exact(n: int, k: int, epsilon: float, delta: float, opt_k: float) -> float:
+    """IMM's un-simplified θ (Eq. 13): ``2n((1-1/e)α + β)² / (ε² OPT_k)``."""
+    check_epsilon(epsilon)
+    check_delta(delta)
+    check_k(k, n)
+    if opt_k <= 0:
+        raise ParameterError(f"opt_k must be positive, got {opt_k}")
+    alpha = math.sqrt(math.log(2.0 / delta))
+    beta = math.sqrt(_E_FACTOR * (math.log(2.0 / delta) + binomial_coefficient_ln(n, k)))
+    return 2.0 * n * (_E_FACTOR * alpha + beta) ** 2 / (epsilon * epsilon * opt_k)

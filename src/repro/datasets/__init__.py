@@ -1,0 +1,16 @@
+"""Dataset stand-ins for the paper's eight networks and the TVM topics."""
+
+from repro.datasets.catalog import DATASETS, DatasetSpec, get_spec, list_datasets
+from repro.datasets.synthetic import load_dataset
+from repro.datasets.twitter_topics import TOPICS, TopicSpec, build_topic_group
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "get_spec",
+    "list_datasets",
+    "load_dataset",
+    "TopicSpec",
+    "TOPICS",
+    "build_topic_group",
+]

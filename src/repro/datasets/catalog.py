@@ -1,0 +1,80 @@
+"""Catalog of the paper's datasets (Table 2) and our stand-in parameters.
+
+The paper evaluates on eight real networks up to Friendster (65.6M nodes,
+3.6G directed edges after bidirecting).  Pure Python cannot hold
+billion-edge graphs, so each dataset maps to a deterministic synthetic
+stand-in that preserves the *shape* that drives the algorithms' relative
+behaviour: node/edge ratio (average degree), heavy-tailed degree
+distribution, and directed-vs-bidirected treatment.  The scale-down
+factor per dataset is recorded here so EXPERIMENTS.md can report it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table 2 plus stand-in generation parameters.
+
+    ``paper_nodes``/``paper_edges``/``paper_avg_degree`` are the published
+    statistics; ``standin_nodes`` is our default synthetic size (the edge
+    count follows from the preserved average degree).  ``undirected`` marks
+    networks the paper bidirected (Orkut, Friendster — Section 7.1 Remark).
+    """
+
+    name: str
+    category: str
+    paper_nodes: int
+    paper_edges: int
+    paper_avg_degree: float
+    undirected: bool
+    standin_nodes: int
+    powerlaw_exponent: float = 2.3
+
+    @property
+    def scale_factor(self) -> float:
+        """How many times smaller the stand-in is than the real network."""
+        return self.paper_nodes / self.standin_nodes
+
+    @property
+    def standin_avg_degree(self) -> float:
+        """Average out-degree the stand-in generator targets.
+
+        For bidirected networks the paper's average degree counts each
+        undirected tie once; after bidirecting, every node's directed
+        out-degree equals that number, so the target transfers directly.
+        """
+        return self.paper_avg_degree
+
+
+# Published statistics from Table 2 (NetHELP in the paper is NetHEPT).
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec("nethept", "citation", 15_233, 59_000, 4.1, False, 1_500),
+        DatasetSpec("netphy", "citation", 37_000, 181_000, 13.4, False, 1_800),
+        DatasetSpec("enron", "communication", 37_000, 184_000, 5.0, False, 1_800),
+        DatasetSpec("epinions", "social", 132_000, 841_000, 13.4, False, 2_200),
+        DatasetSpec("dblp", "citation", 655_000, 2_000_000, 6.1, False, 2_600),
+        DatasetSpec("orkut", "social", 3_000_000, 234_000_000, 78.0, True, 1_200),
+        DatasetSpec("twitter", "social", 41_700_000, 1_500_000_000, 70.5, False, 2_000),
+        DatasetSpec("friendster", "social", 65_600_000, 3_600_000_000, 54.8, True, 2_400),
+    )
+}
+
+
+def list_datasets() -> list[str]:
+    """Names of all catalogued datasets, in Table 2 order."""
+    return list(DATASETS)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by (case-insensitive) name."""
+    key = name.lower().strip()
+    if key not in DATASETS:
+        raise DatasetError(f"unknown dataset {name!r}; known: {', '.join(DATASETS)}")
+    return DATASETS[key]

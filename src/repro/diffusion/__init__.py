@@ -1,0 +1,17 @@
+"""Forward diffusion substrate: IC and LT cascade simulation."""
+
+from repro.diffusion.models import DiffusionModel
+from repro.diffusion.independent_cascade import simulate_ic, simulate_ic_trace
+from repro.diffusion.linear_threshold import simulate_lt, simulate_lt_trace
+from repro.diffusion.spread import SpreadEstimate, estimate_spread, simulate_cascade
+
+__all__ = [
+    "DiffusionModel",
+    "simulate_ic",
+    "simulate_ic_trace",
+    "simulate_lt",
+    "simulate_lt_trace",
+    "simulate_cascade",
+    "estimate_spread",
+    "SpreadEstimate",
+]

@@ -1,0 +1,34 @@
+"""Diffusion model identifiers shared across the library."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.exceptions import ParameterError
+
+
+class DiffusionModel(str, Enum):
+    """The two propagation models of Section 2.1.
+
+    ``IC`` — Independent Cascade: each newly active node gets one chance to
+    activate each inactive out-neighbour ``v`` with probability ``w(u, v)``.
+
+    ``LT`` — Linear Threshold: each node draws a uniform threshold λ_v and
+    activates once the weight of its active in-neighbours reaches λ_v;
+    requires Σ_u w(u, v) ≤ 1.
+    """
+
+    IC = "IC"
+    LT = "LT"
+
+    @classmethod
+    def parse(cls, value: "str | DiffusionModel") -> "DiffusionModel":
+        """Coerce user input (case-insensitive string) into a model."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).upper())
+        except ValueError as exc:
+            raise ParameterError(
+                f"unknown diffusion model {value!r}; expected 'IC' or 'LT'"
+            ) from exc

@@ -1,0 +1,85 @@
+"""Monte Carlo influence-spread estimation.
+
+``I(S)`` — the expected cascade size from seed set S — is #P-hard to
+compute exactly, so everything in the IM literature estimates it.  This
+module provides the *forward* Monte Carlo estimator: average cascade size
+over many independent simulations.  It is the ground truth for test
+assertions, the quality metric in the figures (Figs. 2–3), and the inner
+oracle of the CELF/CELF++ baselines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import math
+
+import numpy as np
+
+from repro.diffusion.independent_cascade import simulate_ic
+from repro.diffusion.linear_threshold import simulate_lt
+from repro.diffusion.models import DiffusionModel
+from repro.exceptions import ParameterError
+from repro.graph.digraph import CSRGraph
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class SpreadEstimate:
+    """Monte Carlo spread estimate with a normal-approximation CI."""
+
+    mean: float
+    std_error: float
+    simulations: int
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval (default 95%)."""
+        half = z * self.std_error
+        return (self.mean - half, self.mean + half)
+
+
+def simulate_cascade(
+    graph: CSRGraph,
+    seeds: Sequence[int],
+    model: "str | DiffusionModel",
+    seed: int | np.random.Generator | None = None,
+    *,
+    max_rounds: int | None = None,
+) -> int:
+    """Run a single cascade under the chosen model, returning its size."""
+    parsed = DiffusionModel.parse(model)
+    if parsed is DiffusionModel.IC:
+        return simulate_ic(graph, seeds, seed, max_rounds=max_rounds)
+    return simulate_lt(graph, seeds, seed, max_rounds=max_rounds)
+
+
+def estimate_spread(
+    graph: CSRGraph,
+    seeds: Sequence[int],
+    model: "str | DiffusionModel",
+    *,
+    simulations: int = 1000,
+    seed: int | np.random.Generator | None = None,
+    max_rounds: int | None = None,
+) -> SpreadEstimate:
+    """Estimate ``I(S)`` by averaging ``simulations`` independent cascades.
+
+    The standard error shrinks as ``σ/√simulations``; with cascade sizes in
+    ``[|S|, n]`` this converges quickly on the scales used in tests.
+    ``max_rounds`` estimates the horizon-limited objective instead.
+    """
+    if simulations <= 0:
+        raise ParameterError(f"simulations must be positive, got {simulations}")
+    parsed = DiffusionModel.parse(model)
+    rng = ensure_rng(seed)
+    sizes = np.empty(simulations, dtype=np.float64)
+    if parsed is DiffusionModel.IC:
+        for i in range(simulations):
+            sizes[i] = simulate_ic(graph, seeds, rng, max_rounds=max_rounds)
+    else:
+        for i in range(simulations):
+            sizes[i] = simulate_lt(graph, seeds, rng, max_rounds=max_rounds)
+    mean = float(sizes.mean())
+    std_err = float(sizes.std(ddof=1) / math.sqrt(simulations)) if simulations > 1 else 0.0
+    return SpreadEstimate(mean=mean, std_error=std_err, simulations=simulations)

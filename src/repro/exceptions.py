@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch one type to handle all library
+failures while letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graphs or graph operations."""
+
+
+class WeightError(GraphError):
+    """Raised when edge weights violate a model's constraints.
+
+    For example the Linear Threshold model requires the incoming weights of
+    every node to sum to at most 1.
+    """
+
+
+class GraphIOError(ReproError):
+    """Raised when a graph cannot be parsed from or serialized to disk."""
+
+
+class ParameterError(ReproError):
+    """Raised for invalid algorithm parameters (epsilon, delta, k, ...)."""
+
+
+class SamplingError(ReproError):
+    """Raised when RR-set sampling is asked to do something impossible."""
+
+
+class BudgetExceededError(ReproError):
+    """Raised when an algorithm exceeds a caller-imposed resource budget."""
+
+    def __init__(self, message: str, *, samples_used: int | None = None) -> None:
+        super().__init__(message)
+        self.samples_used = samples_used
+
+
+class DatasetError(ReproError):
+    """Raised when a named dataset stand-in cannot be materialized."""
+
+
+class RangeConditionWarning(UserWarning):
+    """Emitted when parameters leave the paper's range conditions.
+
+    The approximation guarantee still holds; only the sample-*optimality*
+    proofs (Theorems 3, 4, 6) assume ε ≤ 1/4, OPT_k ≤ n/2 and 1/δ = Ω(n).
+    """

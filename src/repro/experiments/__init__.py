@@ -1,0 +1,24 @@
+"""Experiment harness: runners, figure/table series, report rendering."""
+
+from repro.experiments.runner import RunRecord, evaluate_quality, run_algorithm
+from repro.experiments.figures import (
+    influence_vs_k,
+    memory_vs_k,
+    runtime_vs_k,
+    table3_rows,
+    tvm_runtime_vs_k,
+)
+from repro.experiments.report import render_series, render_table3
+
+__all__ = [
+    "RunRecord",
+    "run_algorithm",
+    "evaluate_quality",
+    "influence_vs_k",
+    "runtime_vs_k",
+    "memory_vs_k",
+    "table3_rows",
+    "tvm_runtime_vs_k",
+    "render_series",
+    "render_table3",
+]

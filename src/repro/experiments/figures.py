@@ -1,0 +1,205 @@
+"""Series builders: one function per figure/table of the evaluation section.
+
+Each builder runs the relevant algorithms over the relevant sweep and
+returns plain data structures (lists of :class:`RunRecord`) that the
+benchmarks print via :mod:`repro.experiments.report`.  Keeping them here —
+rather than inside the benchmark files — makes every experiment scriptable
+from the public API and from the CLI.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.datasets.synthetic import load_dataset
+from repro.datasets.twitter_topics import build_topic_group
+from repro.experiments.runner import RunRecord, evaluate_quality, run_algorithm
+from repro.graph.digraph import CSRGraph
+from repro.tvm.algorithms import kb_tim, tvm_dssa, tvm_ssa
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+DEFAULT_ALGORITHMS = ("D-SSA", "SSA", "IMM", "TIM+")
+
+
+def influence_vs_k(
+    graph: CSRGraph,
+    k_values: Sequence[int],
+    *,
+    model: str = "LT",
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    epsilon: float = 0.1,
+    dataset: str = "?",
+    seed: int | None = 7,
+    quality_simulations: int = 200,
+    max_samples: int | None = None,
+) -> list[RunRecord]:
+    """Figs. 2 (LT) and 3 (IC): expected influence of each method vs k."""
+    records = []
+    rng = ensure_rng(seed)
+    for k in k_values:
+        for algo in algorithms:
+            record = run_algorithm(
+                algo,
+                graph,
+                k,
+                model=model,
+                epsilon=epsilon,
+                seed=rng.spawn(1)[0],
+                dataset=dataset,
+                max_samples=max_samples,
+            )
+            evaluate_quality(
+                record, graph, simulations=quality_simulations, seed=rng.spawn(1)[0]
+            )
+            records.append(record)
+    return records
+
+
+def runtime_vs_k(
+    graph: CSRGraph,
+    k_values: Sequence[int],
+    *,
+    model: str = "LT",
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    epsilon: float = 0.1,
+    dataset: str = "?",
+    seed: int | None = 7,
+    max_samples: int | None = None,
+) -> list[RunRecord]:
+    """Figs. 4 (LT) and 5 (IC): wall-clock running time vs k."""
+    records = []
+    rng = ensure_rng(seed)
+    for k in k_values:
+        for algo in algorithms:
+            records.append(
+                run_algorithm(
+                    algo,
+                    graph,
+                    k,
+                    model=model,
+                    epsilon=epsilon,
+                    seed=rng.spawn(1)[0],
+                    dataset=dataset,
+                    max_samples=max_samples,
+                )
+            )
+    return records
+
+
+def memory_vs_k(
+    graph: CSRGraph,
+    k_values: Sequence[int],
+    *,
+    model: str = "LT",
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    epsilon: float = 0.1,
+    dataset: str = "?",
+    seed: int | None = 7,
+    max_samples: int | None = None,
+) -> list[RunRecord]:
+    """Figs. 6 (LT) and 7 (IC): memory usage vs k.
+
+    Memory follows the analytic model of DESIGN.md §3: retained RR-set
+    bytes plus graph bytes — the quantity that dominated the paper's
+    measurements (e.g. IMM 172 GB vs D-SSA 69 GB on Friendster).
+    """
+    return runtime_vs_k(
+        graph,
+        k_values,
+        model=model,
+        algorithms=algorithms,
+        epsilon=epsilon,
+        dataset=dataset,
+        seed=seed,
+        max_samples=max_samples,
+    )
+
+
+def table3_rows(
+    dataset_names: Sequence[str],
+    k_values: Sequence[int] = (1, 500, 1000),
+    *,
+    algorithms: Sequence[str] = ("D-SSA", "SSA", "IMM"),
+    model: str = "LT",
+    epsilon: float = 0.1,
+    scale: float = 1.0,
+    seed: int | None = 11,
+    max_samples: int | None = None,
+) -> list[RunRecord]:
+    """Table 3: running time and #RR sets on Enron/Epinions/Orkut/Friendster.
+
+    ``k_values`` above the stand-in's node count are clamped (the paper's
+    k=500/1000 presume million-node graphs).
+    """
+    records = []
+    rng = ensure_rng(seed)
+    for name in dataset_names:
+        graph = load_dataset(name, scale=scale)
+        for k in k_values:
+            effective_k = min(k, max(1, graph.n // 4))
+            for algo in algorithms:
+                record = run_algorithm(
+                    algo,
+                    graph,
+                    effective_k,
+                    model=model,
+                    epsilon=epsilon,
+                    seed=rng.spawn(1)[0],
+                    dataset=name,
+                    max_samples=max_samples,
+                )
+                record.k = k  # report under the paper's nominal k
+                records.append(record)
+    return records
+
+
+def tvm_runtime_vs_k(
+    graph: CSRGraph,
+    topic: int,
+    k_values: Sequence[int],
+    *,
+    model: str = "LT",
+    epsilon: float = 0.1,
+    seed: int | None = 13,
+    max_samples: int | None = None,
+) -> list[RunRecord]:
+    """Fig. 8: TVM running time of SSA/D-SSA vs KB-TIM on a topic group."""
+    group = build_topic_group(graph, topic, seed=seed)
+    rng = ensure_rng(seed)
+    records = []
+    runners = {
+        "TVM-D-SSA": tvm_dssa,
+        "TVM-SSA": tvm_ssa,
+        "KB-TIM": kb_tim,
+    }
+    for k in k_values:
+        for label, fn in runners.items():
+            child = rng.spawn(1)[0]
+            result = fn(
+                graph,
+                k,
+                group,
+                epsilon=epsilon,
+                model=model,
+                seed=child,
+                max_samples=max_samples,
+            )
+            records.append(
+                RunRecord(
+                    algorithm=label,
+                    dataset=f"twitter/{group.name}",
+                    model=model,
+                    k=k,
+                    epsilon=epsilon,
+                    seconds=result.elapsed_seconds,
+                    rr_sets=result.samples,
+                    memory_bytes=result.memory_bytes,
+                    influence_estimate=result.influence,
+                    seeds=list(result.seeds),
+                    iterations=result.iterations,
+                    stopped_by=result.stopped_by,
+                )
+            )
+    return records

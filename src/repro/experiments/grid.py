@@ -1,0 +1,126 @@
+"""Declarative experiment grids.
+
+The figure benchmarks hand-roll their sweeps; downstream users replaying
+the paper on their own graphs want one object that says *what* to run and
+a function that runs it, resumably.  ``ExperimentGrid`` is the cartesian
+product of datasets × algorithms × k × model, and ``run_grid`` executes
+it with deterministic per-cell seeds, optionally skipping cells already
+present in a persisted record file (crash-resumable sweeps).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.synthetic import load_dataset
+from repro.exceptions import ParameterError
+from repro.experiments.persistence import load_records, save_records
+from repro.experiments.runner import ALGORITHMS, RunRecord, evaluate_quality, run_algorithm
+
+
+@dataclass(frozen=True)
+class ExperimentGrid:
+    """A fully specified sweep: every combination is one run.
+
+    ``seed`` anchors determinism: cell (dataset, algorithm, k, model)
+    always gets the same derived RNG regardless of execution order, so
+    partial re-runs produce identical records.
+    """
+
+    datasets: Sequence[str]
+    algorithms: Sequence[str]
+    k_values: Sequence[int]
+    models: Sequence[str] = ("LT",)
+    epsilon: float = 0.2
+    scale: float = 1.0
+    seed: int = 2016
+    quality_simulations: int = 0  # 0 = skip Monte Carlo evaluation
+    max_samples: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.datasets or not self.algorithms or not self.k_values:
+            raise ParameterError("grid axes must be non-empty")
+        unknown = [a for a in self.algorithms if a not in ALGORITHMS]
+        if unknown:
+            raise ParameterError(f"unknown algorithms in grid: {unknown}")
+        if any(m not in ("LT", "IC") for m in self.models):
+            raise ParameterError(f"models must be LT/IC, got {self.models}")
+
+    def cells(self) -> "list[tuple[str, str, int, str]]":
+        """All (dataset, algorithm, k, model) combinations, row-major."""
+        return [
+            (d, a, k, m)
+            for d in self.datasets
+            for m in self.models
+            for k in self.k_values
+            for a in self.algorithms
+        ]
+
+    def cell_seed(self, dataset: str, algorithm: str, k: int, model: str) -> int:
+        """Deterministic per-cell seed, independent of execution order."""
+        mix = hash((self.seed, dataset, algorithm, k, model))
+        return abs(mix) % (2**31)
+
+    def size(self) -> int:
+        """Number of runs the grid describes."""
+        return len(self.cells())
+
+
+def run_grid(
+    grid: ExperimentGrid,
+    *,
+    resume_path: "str | None" = None,
+    progress: "callable | None" = None,
+) -> "list[RunRecord]":
+    """Execute every cell of ``grid`` and return the records.
+
+    With ``resume_path``, records are loaded from / checkpointed to that
+    JSON file after every cell, and cells already present (matched on
+    dataset/algorithm/k/model) are skipped — interrupting and re-invoking
+    continues where the sweep stopped.
+    """
+    done: list[RunRecord] = []
+    have: set[tuple[str, str, int, str]] = set()
+    if resume_path is not None:
+        try:
+            done = load_records(resume_path)
+            have = {(r.dataset, r.algorithm, r.k, r.model) for r in done}
+        except Exception:
+            done, have = [], set()
+
+    graphs: dict[str, object] = {}
+    for dataset, algorithm, k, model in grid.cells():
+        if (dataset, algorithm, k, model) in have:
+            continue
+        if dataset not in graphs:
+            graphs[dataset] = load_dataset(dataset, scale=grid.scale)
+        graph = graphs[dataset]
+        cell_seed = grid.cell_seed(dataset, algorithm, k, model)
+        record = run_algorithm(
+            algorithm,
+            graph,
+            min(k, graph.n),
+            model=model,
+            epsilon=grid.epsilon,
+            seed=cell_seed,
+            dataset=dataset,
+            max_samples=grid.max_samples,
+        )
+        record.k = k
+        if grid.quality_simulations > 0:
+            evaluate_quality(
+                record,
+                graph,
+                simulations=grid.quality_simulations,
+                seed=np.random.default_rng(cell_seed ^ 0xA5A5),
+            )
+        done.append(record)
+        have.add((dataset, algorithm, k, model))
+        if resume_path is not None:
+            save_records(done, resume_path)
+        if progress is not None:
+            progress(record)
+    return done

@@ -1,0 +1,76 @@
+"""Persist experiment records to disk (JSON) and reload them.
+
+Long sweeps are expensive; the harness writes every run's
+:class:`~repro.experiments.runner.RunRecord` so reports can be
+regenerated, diffed across library versions, and aggregated across
+machines without re-running algorithms.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import fields
+from pathlib import Path
+
+from repro.exceptions import ReproError
+from repro.experiments.runner import RunRecord
+
+_FORMAT_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """Raised when an experiment record file cannot be read or written."""
+
+
+def save_records(records: "list[RunRecord]", path: str | os.PathLike) -> Path:
+    """Write records as a versioned JSON document."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "records": [record.as_dict() for record in records],
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    return path
+
+
+def load_records(path: str | os.PathLike) -> "list[RunRecord]":
+    """Reload records written by :func:`save_records`.
+
+    Unknown keys are ignored (forward compatibility); missing required
+    keys raise :class:`PersistenceError`.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PersistenceError(f"cannot read records from {path}: {exc}") from exc
+
+    if not isinstance(payload, dict) or "records" not in payload:
+        raise PersistenceError(f"{path} is not a repro experiment record file")
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise PersistenceError(
+            f"{path} has format_version {version!r}; this library reads {_FORMAT_VERSION}"
+        )
+
+    known = {f.name for f in fields(RunRecord)}
+    required = known - {"quality", "seeds", "iterations", "stopped_by"}
+    records = []
+    for i, raw in enumerate(payload["records"]):
+        missing = required - set(raw)
+        if missing:
+            raise PersistenceError(f"{path}: record {i} missing fields {sorted(missing)}")
+        filtered = {k: v for k, v in raw.items() if k in known}
+        records.append(RunRecord(**filtered))
+    return records
+
+
+def merge_record_files(paths: "list[str | os.PathLike]") -> "list[RunRecord]":
+    """Concatenate records from several files (multi-machine sweeps)."""
+    merged: list[RunRecord] = []
+    for path in paths:
+        merged.extend(load_records(path))
+    return merged

@@ -1,0 +1,102 @@
+"""Render experiment records as the paper's tables and series."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+from repro.experiments.runner import RunRecord
+from repro.utils.tables import format_series_chart, format_table
+
+
+def render_series(
+    records: Sequence[RunRecord],
+    value: str = "seconds",
+    *,
+    title: str = "",
+    log_y: bool = True,
+) -> str:
+    """Render records as per-algorithm (k, value) series (figure style).
+
+    ``value`` picks the y-axis: ``"seconds"`` (Figs. 4-5), ``"quality"``
+    (Figs. 2-3), ``"memory_bytes"`` (Figs. 6-7), or ``"rr_sets"``.
+    """
+    series: dict[str, list[tuple[float, float]]] = defaultdict(list)
+    for record in records:
+        y = getattr(record, value)
+        if y is None:
+            continue
+        series[record.algorithm].append((float(record.k), float(y)))
+    for points in series.values():
+        points.sort()
+    return format_series_chart(dict(series), title=title)
+
+
+def render_table3(records: Sequence[RunRecord]) -> str:
+    """Render Table 3: per dataset × k, each algorithm's time and #RR sets."""
+    keyed: dict[tuple[str, int], dict[str, RunRecord]] = defaultdict(dict)
+    algorithms: list[str] = []
+    for record in records:
+        keyed[(record.dataset, record.k)][record.algorithm] = record
+        if record.algorithm not in algorithms:
+            algorithms.append(record.algorithm)
+
+    headers = ["dataset", "k"]
+    for algo in algorithms:
+        headers += [f"{algo} time(s)", f"{algo} #RR"]
+    rows = []
+    for (dataset, k), by_algo in sorted(keyed.items()):
+        row: list[object] = [dataset, k]
+        for algo in algorithms:
+            record = by_algo.get(algo)
+            if record is None:
+                row += ["n/a", "n/a"]
+            else:
+                row += [round(record.seconds, 3), record.rr_sets]
+        rows.append(row)
+    return format_table(headers, rows, title="Table 3: running time and number of RR sets")
+
+
+def render_comparison(records: Sequence[RunRecord], *, title: str = "") -> str:
+    """Generic record dump: one row per run with the headline metrics."""
+    headers = ["algorithm", "dataset", "model", "k", "time(s)", "#RR sets", "mem(MB)", "influence", "quality"]
+    rows = []
+    for r in records:
+        rows.append(
+            [
+                r.algorithm,
+                r.dataset,
+                r.model,
+                r.k,
+                round(r.seconds, 4),
+                r.rr_sets,
+                round(r.memory_bytes / 1e6, 2),
+                round(r.influence_estimate, 1),
+                "n/a" if r.quality is None else round(r.quality, 1),
+            ]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def speedup_summary(records: Sequence[RunRecord], *, baseline: str = "IMM") -> str:
+    """Per (dataset, k) speedup of every algorithm over ``baseline``.
+
+    This is the "up to 1200x faster than IMM" headline number.
+    """
+    keyed: dict[tuple[str, int], dict[str, RunRecord]] = defaultdict(dict)
+    for record in records:
+        keyed[(record.dataset, record.k)][record.algorithm] = record
+    headers = ["dataset", "k", "algorithm", "speedup vs " + baseline]
+    rows = []
+    for (dataset, k), by_algo in sorted(keyed.items()):
+        base = by_algo.get(baseline)
+        if base is None or base.seconds <= 0:
+            continue
+        for algo, record in by_algo.items():
+            if algo == baseline or record.seconds <= 0:
+                continue
+            rows.append([dataset, k, algo, round(base.seconds / record.seconds, 2)])
+    return format_table(headers, rows, title=f"Speedup over {baseline}")
+
+
+__all__ = ["render_series", "render_table3", "render_comparison", "speedup_summary", "format_series_chart", "format_table"]

@@ -1,0 +1,146 @@
+"""Uniform algorithm runner used by every figure/table benchmark.
+
+``run_algorithm`` dispatches on the algorithm name the paper uses in its
+legends ("D-SSA", "SSA", "IMM", "TIM+", "TIM", "CELF++", "degree") and
+returns a flat :class:`RunRecord` holding exactly the quantities the
+paper reports: wall time, RR-set count, memory, and the seed set whose
+quality the influence figures evaluate by Monte Carlo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.baselines.celf import celf
+from repro.baselines.degree import degree_discount, degree_heuristic
+from repro.baselines.imm import imm
+from repro.baselines.irie import irie
+from repro.baselines.tim import tim, tim_plus
+from repro.core.dssa import dssa
+from repro.core.ssa import ssa
+from repro.core.result import IMResult
+from repro.diffusion.spread import estimate_spread
+from repro.exceptions import ParameterError
+from repro.graph.digraph import CSRGraph
+
+ALGORITHMS = (
+    "D-SSA",
+    "SSA",
+    "IMM",
+    "TIM+",
+    "TIM",
+    "CELF++",
+    "CELF",
+    "IRIE",
+    "degree",
+    "degree-discount",
+)
+
+
+@dataclass
+class RunRecord:
+    """One algorithm run's metrics, flattened for table rendering."""
+
+    algorithm: str
+    dataset: str
+    model: str
+    k: int
+    epsilon: float
+    seconds: float
+    rr_sets: int
+    memory_bytes: int
+    influence_estimate: float
+    seeds: list[int] = field(default_factory=list)
+    iterations: int = 1
+    stopped_by: str = ""
+    quality: float | None = None  # filled by evaluate_quality
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def run_algorithm(
+    name: str,
+    graph: CSRGraph,
+    k: int,
+    *,
+    model: str = "LT",
+    epsilon: float = 0.1,
+    delta: float | None = None,
+    seed: int | np.random.Generator | None = None,
+    dataset: str = "?",
+    max_samples: int | None = None,
+    celf_simulations: int = 100,
+) -> RunRecord:
+    """Run one named algorithm and collect its metrics."""
+    key = name.strip()
+    if key not in ALGORITHMS:
+        raise ParameterError(f"unknown algorithm {name!r}; known: {ALGORITHMS}")
+
+    common = dict(epsilon=epsilon, delta=delta, model=model, seed=seed, max_samples=max_samples)
+    if key == "D-SSA":
+        result = dssa(graph, k, **common)
+    elif key == "SSA":
+        result = ssa(graph, k, **common)
+    elif key == "IMM":
+        result = imm(graph, k, **common)
+    elif key == "TIM+":
+        result = tim_plus(graph, k, **common)
+    elif key == "TIM":
+        result = tim(graph, k, **common)
+    elif key in ("CELF++", "CELF"):
+        result = celf(
+            graph,
+            k,
+            model=model,
+            simulations=celf_simulations,
+            seed=seed,
+            plus_plus=(key == "CELF++"),
+        )
+    elif key == "IRIE":
+        result = irie(graph, k)
+    elif key == "degree":
+        result = degree_heuristic(graph, k)
+    else:  # degree-discount
+        result = degree_discount(graph, k)
+
+    return _to_record(result, dataset=dataset, model=model, k=k, epsilon=epsilon)
+
+
+def _to_record(result: IMResult, *, dataset: str, model: str, k: int, epsilon: float) -> RunRecord:
+    return RunRecord(
+        algorithm=result.algorithm,
+        dataset=dataset,
+        model=model,
+        k=k,
+        epsilon=epsilon,
+        seconds=result.elapsed_seconds,
+        rr_sets=result.samples,
+        memory_bytes=result.memory_bytes,
+        influence_estimate=result.influence,
+        seeds=list(result.seeds),
+        iterations=result.iterations,
+        stopped_by=result.stopped_by,
+    )
+
+
+def evaluate_quality(
+    record: RunRecord,
+    graph: CSRGraph,
+    *,
+    simulations: int = 300,
+    seed: int | np.random.Generator | None = None,
+) -> RunRecord:
+    """Fill ``record.quality`` with a Monte Carlo spread of its seed set.
+
+    This is the y-axis of Figs. 2–3: the *actual* expected influence of
+    the returned seeds, measured by forward simulation, independent of
+    each algorithm's internal estimate.
+    """
+    estimate = estimate_spread(
+        graph, record.seeds, record.model, simulations=simulations, seed=seed
+    )
+    record.quality = estimate.mean
+    return record

@@ -1,0 +1,18 @@
+"""Extensions beyond the paper's core scope.
+
+* :mod:`repro.extensions.budgeted` — cost-aware seed selection (the
+  direction of the authors' companion work, "Cost-aware Targeted Viral
+  Marketing", reference [12] of the paper).
+* :mod:`repro.extensions.sweep` — amortized multi-k sweeps exploiting the
+  nested structure of greedy seed sets.
+"""
+
+from repro.extensions.budgeted import budgeted_dssa, budgeted_max_coverage
+from repro.extensions.sweep import SweepResult, influence_sweep
+
+__all__ = [
+    "budgeted_max_coverage",
+    "budgeted_dssa",
+    "influence_sweep",
+    "SweepResult",
+]

@@ -1,0 +1,68 @@
+"""Directed weighted graph substrate (CSR storage, builders, generators, IO)."""
+
+from repro.graph.digraph import CSRGraph
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.graph.weights import (
+    assign_constant_weights,
+    assign_random_weights,
+    assign_trivalency_weights,
+    assign_weighted_cascade,
+)
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+    powerlaw_configuration,
+    preferential_attachment,
+    star_graph,
+    stochastic_block_model,
+)
+from repro.graph.components import (
+    component_sizes,
+    forward_closure_size,
+    largest_scc,
+    strongly_connected_components,
+)
+from repro.graph.io import load_edge_list, save_edge_list, load_npz, save_npz
+from repro.graph.statistics import GraphStats, compute_stats
+from repro.graph.transform import (
+    induced_subgraph,
+    largest_out_component_seeded,
+    relabel_nodes,
+    reverse_graph,
+    undirected_to_bidirected,
+)
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "from_edges",
+    "assign_weighted_cascade",
+    "assign_constant_weights",
+    "assign_trivalency_weights",
+    "assign_random_weights",
+    "erdos_renyi",
+    "powerlaw_configuration",
+    "preferential_attachment",
+    "complete_graph",
+    "star_graph",
+    "cycle_graph",
+    "grid_2d",
+    "stochastic_block_model",
+    "load_edge_list",
+    "save_edge_list",
+    "load_npz",
+    "save_npz",
+    "GraphStats",
+    "compute_stats",
+    "reverse_graph",
+    "undirected_to_bidirected",
+    "induced_subgraph",
+    "relabel_nodes",
+    "largest_out_component_seeded",
+    "strongly_connected_components",
+    "component_sizes",
+    "largest_scc",
+    "forward_closure_size",
+]

@@ -1,0 +1,148 @@
+"""Mutable edge accumulator that compiles into an immutable :class:`CSRGraph`.
+
+The builder is the single place where edges are normalized: duplicates are
+combined (keeping the max weight by default, matching the common convention
+for influence graphs where parallel observations reinforce each other),
+self-loops are dropped (they never affect influence spread), and node count
+is inferred or fixed by the caller.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import GraphError, WeightError
+from repro.graph.digraph import CSRGraph
+
+
+class GraphBuilder:
+    """Accumulate directed weighted edges, then :meth:`build` a CSR graph.
+
+    >>> b = GraphBuilder()
+    >>> b.add_edge(0, 1, 0.5)
+    >>> b.add_edge(1, 2, 0.25)
+    >>> g = b.build()
+    >>> (g.n, g.m)
+    (3, 2)
+    """
+
+    def __init__(self, n: int | None = None, *, combine: str = "max") -> None:
+        if combine not in ("max", "sum", "last"):
+            raise GraphError(f"combine must be 'max', 'sum' or 'last', got {combine!r}")
+        self._n = n
+        self._combine = combine
+        self._sources: list[int] = []
+        self._targets: list[int] = []
+        self._weights: list[float] = []
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Record edge (u, v) with the given influence probability."""
+        if u < 0 or v < 0:
+            raise GraphError(f"node ids must be non-negative, got ({u}, {v})")
+        if not 0.0 <= weight <= 1.0:
+            raise WeightError(f"edge weight must be in [0, 1], got {weight} on ({u}, {v})")
+        if u == v:
+            return  # self-influence never changes a cascade
+        self._sources.append(int(u))
+        self._targets.append(int(v))
+        self._weights.append(float(weight))
+
+    def add_edges(self, edges: Iterable[tuple[int, int] | tuple[int, int, float]]) -> None:
+        """Record many edges; 2-tuples default to weight 1.0."""
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge
+                self.add_edge(u, v)
+            else:
+                u, v, w = edge
+                self.add_edge(u, v, w)
+
+    @property
+    def pending_edges(self) -> int:
+        """Number of edges recorded so far (before dedup)."""
+        return len(self._sources)
+
+    def build(self) -> CSRGraph:
+        """Compile accumulated edges into an immutable :class:`CSRGraph`."""
+        if not self._sources:
+            n = self._n or 0
+            empty_ptr = np.zeros(n + 1, dtype=np.int64)
+            empty_idx = np.zeros(0, dtype=np.int32)
+            empty_w = np.zeros(0, dtype=np.float64)
+            return CSRGraph(n, empty_ptr, empty_idx, empty_w, empty_ptr.copy(), empty_idx.copy(), empty_w.copy())
+
+        src = np.asarray(self._sources, dtype=np.int64)
+        dst = np.asarray(self._targets, dtype=np.int64)
+        wgt = np.asarray(self._weights, dtype=np.float64)
+
+        inferred_n = int(max(src.max(), dst.max())) + 1
+        n = self._n if self._n is not None else inferred_n
+        if n < inferred_n:
+            raise GraphError(f"explicit n={n} is smaller than the largest node id {inferred_n - 1}")
+
+        src, dst, wgt = _deduplicate(src, dst, wgt, n, self._combine)
+        if wgt.size and wgt.max() > 1.0:
+            # 'sum' combining can push weights past 1; clamp to the model's domain.
+            wgt = np.minimum(wgt, 1.0)
+        return _compile_csr(n, src, dst, wgt)
+
+
+def from_edges(
+    edges: Iterable[tuple[int, int] | tuple[int, int, float]],
+    *,
+    n: int | None = None,
+    combine: str = "max",
+) -> CSRGraph:
+    """One-shot convenience: build a graph directly from an edge iterable."""
+    builder = GraphBuilder(n, combine=combine)
+    builder.add_edges(edges)
+    return builder.build()
+
+
+def _deduplicate(
+    src: np.ndarray, dst: np.ndarray, wgt: np.ndarray, n: int, combine: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Combine duplicate (u, v) pairs using the builder's combine policy."""
+    keys = src * n + dst
+    order = np.argsort(keys, kind="stable")
+    keys, src, dst, wgt = keys[order], src[order], dst[order], wgt[order]
+    unique_keys, first_pos = np.unique(keys, return_index=True)
+    if len(unique_keys) == len(keys):
+        return src, dst, wgt
+    if combine == "sum":
+        combined = np.add.reduceat(wgt, first_pos)
+    elif combine == "max":
+        combined = np.maximum.reduceat(wgt, first_pos)
+    else:  # 'last' — stable sort keeps insertion order within a key group
+        group_ends = np.append(first_pos[1:], len(keys)) - 1
+        combined = wgt[group_ends]
+    return src[first_pos], dst[first_pos], combined
+
+
+def _compile_csr(
+    n: int, src: np.ndarray, dst: np.ndarray, wgt: np.ndarray
+) -> CSRGraph:
+    """Sort edges into the out view and the in view, then assemble."""
+    out_order = np.lexsort((dst, src))
+    out_src, out_dst, out_w = src[out_order], dst[out_order], wgt[out_order]
+    out_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(out_indptr, out_src + 1, 1)
+    np.cumsum(out_indptr, out=out_indptr)
+
+    in_order = np.lexsort((src, dst))
+    in_src, in_dst, in_w = src[in_order], dst[in_order], wgt[in_order]
+    in_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(in_indptr, in_dst + 1, 1)
+    np.cumsum(in_indptr, out=in_indptr)
+
+    return CSRGraph(
+        n,
+        out_indptr,
+        out_dst.astype(np.int32),
+        out_w,
+        in_indptr,
+        in_src.astype(np.int32),
+        in_w,
+    )

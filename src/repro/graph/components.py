@@ -1,0 +1,111 @@
+"""Strongly connected components and reachability structure.
+
+Influence flows along directed paths, so a graph's SCC structure bounds
+what any seed set can achieve: a seed influences (at most) the forward
+closure of its component in the condensation DAG.  These utilities give
+analysts the structural view behind the sampling numbers and give tests
+a cheap upper-bound oracle for influence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import CSRGraph
+
+
+def strongly_connected_components(graph: CSRGraph) -> np.ndarray:
+    """Component id per node (Tarjan's algorithm, iterative).
+
+    Ids are assigned in reverse topological order of the condensation
+    (a component's id is larger than those of components it can reach —
+    the usual Tarjan numbering).
+    """
+    n = graph.n
+    index = np.full(n, -1, dtype=np.int64)
+    lowlink = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    component = np.full(n, -1, dtype=np.int64)
+    stack: list[int] = []
+    next_index = 0
+    next_component = 0
+
+    indptr, indices = graph.out_indptr, graph.out_indices
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        # Each work item: (node, next out-edge offset to try).
+        work: list[list[int]] = [[root, int(indptr[root])]]
+        while work:
+            v, edge_pos = work[-1]
+            if index[v] == -1:
+                index[v] = lowlink[v] = next_index
+                next_index += 1
+                stack.append(v)
+                on_stack[v] = True
+            advanced = False
+            while edge_pos < indptr[v + 1]:
+                w = int(indices[edge_pos])
+                edge_pos += 1
+                if index[w] == -1:
+                    work[-1][1] = edge_pos
+                    work.append([w, int(indptr[w])])
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    lowlink[v] = min(lowlink[v], index[w])
+            if advanced:
+                continue
+            work[-1][1] = edge_pos
+            if lowlink[v] == index[v]:
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component[w] = next_component
+                    if w == v:
+                        break
+                next_component += 1
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+    return component
+
+
+def component_sizes(graph: CSRGraph) -> np.ndarray:
+    """Sizes of all SCCs, descending."""
+    labels = strongly_connected_components(graph)
+    if labels.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    sizes = np.bincount(labels)
+    return np.sort(sizes)[::-1]
+
+
+def largest_scc(graph: CSRGraph) -> np.ndarray:
+    """Node ids of the largest strongly connected component."""
+    labels = strongly_connected_components(graph)
+    if labels.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    biggest = np.argmax(np.bincount(labels))
+    return np.nonzero(labels == biggest)[0]
+
+
+def forward_closure_size(graph: CSRGraph, node: int) -> int:
+    """Number of nodes reachable from ``node`` — a hard cap on I({node}).
+
+    Even with all edge probabilities 1, a cascade from ``node`` cannot
+    leave its forward closure; tests use this as an influence ceiling.
+    """
+    seen = np.zeros(graph.n, dtype=bool)
+    seen[node] = True
+    frontier = [int(node)]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in graph.out_neighbors(u).tolist():
+                if not seen[v]:
+                    seen[v] = True
+                    nxt.append(v)
+        frontier = nxt
+    return int(seen.sum())

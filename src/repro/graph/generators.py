@@ -1,0 +1,228 @@
+"""Random and deterministic graph generators.
+
+The dataset stand-ins (``repro.datasets``) are built from
+:func:`powerlaw_configuration` (heavy-tailed degree, the shape of real
+social networks) and :func:`preferential_attachment`.  The deterministic
+small graphs at the bottom give tests structures whose influence spread is
+analytically known.
+
+All generators return unweighted graphs (weight 1.0 per edge); compose with
+:mod:`repro.graph.weights` to pick an influence model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.graph.digraph import CSRGraph
+from repro.utils.rng import ensure_rng
+
+
+def erdos_renyi(
+    n: int,
+    p: float | None = None,
+    *,
+    m: int | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> CSRGraph:
+    """Directed G(n, p) or G(n, m) random graph.
+
+    Exactly one of ``p`` (edge probability) or ``m`` (edge count) must be
+    given.  The G(n, m) form samples edges without replacement, so the
+    result has exactly ``m`` distinct directed edges.
+    """
+    if n <= 0:
+        raise ParameterError(f"n must be positive, got {n}")
+    if (p is None) == (m is None):
+        raise ParameterError("provide exactly one of p or m")
+    rng = ensure_rng(seed)
+    max_edges = n * (n - 1)
+    if p is not None:
+        if not 0.0 <= p <= 1.0:
+            raise ParameterError(f"p must be in [0, 1], got {p}")
+        m = int(rng.binomial(max_edges, p))
+    if m > max_edges:
+        raise ParameterError(f"m={m} exceeds the {max_edges} possible directed edges")
+    # Sample edge codes in [0, n(n-1)) without replacement; decode skipping
+    # the diagonal so self-loops are impossible by construction.
+    codes = rng.choice(max_edges, size=m, replace=False)
+    src = codes // (n - 1)
+    rem = codes % (n - 1)
+    dst = np.where(rem >= src, rem + 1, rem)
+    return from_edges(zip(src.tolist(), dst.tolist()), n=n)
+
+
+def powerlaw_configuration(
+    n: int,
+    avg_degree: float,
+    *,
+    exponent: float = 2.3,
+    seed: int | np.random.Generator | None = None,
+) -> CSRGraph:
+    """Chung–Lu style directed graph with power-law in/out degrees.
+
+    Each node gets expected in- and out-weights drawn from a Pareto-like
+    distribution with the given ``exponent`` (typical social networks:
+    2 < γ < 3), independently permuted so in- and out-degree are only
+    weakly correlated (as in citation/follower graphs).  Edges are then
+    sampled with probability proportional to ``w_out(u) · w_in(v)``.
+
+    This is the workhorse behind the billion-edge dataset stand-ins: it
+    reproduces heavy-tailed degree shape at any scale in O(m) time.
+    """
+    if n <= 1:
+        raise ParameterError(f"n must be at least 2, got {n}")
+    if avg_degree <= 0:
+        raise ParameterError(f"avg_degree must be positive, got {avg_degree}")
+    if exponent <= 1.0:
+        raise ParameterError(f"exponent must exceed 1, got {exponent}")
+    rng = ensure_rng(seed)
+
+    # Pareto weights with finite mean; cap at n^(1/(exponent-1)) — the
+    # natural cutoff that keeps expected max degree below n.
+    shape = exponent - 1.0
+    raw = (1.0 + rng.pareto(shape, size=n))
+    cap = n ** (1.0 / shape)
+    out_w = np.minimum(raw, cap)
+    in_w = np.minimum(1.0 + rng.pareto(shape, size=n), cap)
+    rng.shuffle(in_w)
+
+    target_m = int(round(n * avg_degree))
+    # Sample endpoints independently proportional to weights; duplicates
+    # and self-loops are dropped by the builder, so oversample slightly.
+    oversample = int(target_m * 1.15) + 16
+    p_out = out_w / out_w.sum()
+    p_in = in_w / in_w.sum()
+    src = rng.choice(n, size=oversample, p=p_out)
+    dst = rng.choice(n, size=oversample, p=p_in)
+    keep = src != dst
+    src, dst = src[keep][:target_m], dst[keep][:target_m]
+
+    builder = GraphBuilder(n)
+    builder.add_edges(zip(src.tolist(), dst.tolist()))
+    return builder.build()
+
+
+def preferential_attachment(
+    n: int,
+    edges_per_node: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> CSRGraph:
+    """Barabási–Albert style growth: each new node links to ``edges_per_node``
+    existing nodes chosen proportional to current degree.
+
+    Returns a *directed* graph with edges pointing from the new node to its
+    chosen targets (citation-network orientation), so older nodes accrue
+    high in-degree — the hubs that influence maximization discovers.
+    """
+    if n <= edges_per_node:
+        raise ParameterError(f"need n > edges_per_node, got n={n}, m0={edges_per_node}")
+    if edges_per_node < 1:
+        raise ParameterError(f"edges_per_node must be >= 1, got {edges_per_node}")
+    rng = ensure_rng(seed)
+
+    # Repeated-nodes list trick: choosing uniformly from the multiset of
+    # edge endpoints is choosing proportional to degree.
+    targets_pool: list[int] = list(range(edges_per_node))
+    builder = GraphBuilder(n)
+    for new_node in range(edges_per_node, n):
+        chosen: set[int] = set()
+        while len(chosen) < edges_per_node:
+            pick = int(targets_pool[rng.integers(len(targets_pool))]) if targets_pool else int(rng.integers(new_node))
+            chosen.add(pick)
+        for t in chosen:
+            builder.add_edge(new_node, t)
+            targets_pool.append(t)
+        targets_pool.extend([new_node] * edges_per_node)
+    return builder.build()
+
+
+def stochastic_block_model(
+    blocks: int,
+    block_size: int,
+    *,
+    intra_degree: float = 8.0,
+    inter_degree: float = 0.6,
+    seed: int | np.random.Generator | None = None,
+) -> CSRGraph:
+    """Directed stochastic block model: dense communities, sparse bridges.
+
+    Each of the ``blocks`` communities of ``block_size`` nodes receives
+    ``block_size * intra_degree`` internal directed edges (uniform
+    endpoints within the block) and the whole graph receives
+    ``n * inter_degree`` bridge edges (uniform endpoints anywhere).
+    Interest groups in real networks live inside communities —
+    configuration models cannot express that, and targeted-marketing
+    experiments need it (see ``examples/targeted_marketing.py``).
+    """
+    if blocks < 1 or block_size < 2:
+        raise ParameterError(
+            f"need blocks >= 1 and block_size >= 2, got {blocks}, {block_size}"
+        )
+    if intra_degree < 0 or inter_degree < 0:
+        raise ParameterError("degrees must be non-negative")
+    rng = ensure_rng(seed)
+    n = blocks * block_size
+    builder = GraphBuilder(n)
+    for b in range(blocks):
+        base = b * block_size
+        intra_count = int(block_size * intra_degree)
+        sources = base + rng.integers(block_size, size=intra_count)
+        targets = base + rng.integers(block_size, size=intra_count)
+        builder.add_edges(zip(sources.tolist(), targets.tolist()))
+    inter_count = int(n * inter_degree)
+    sources = rng.integers(n, size=inter_count)
+    targets = rng.integers(n, size=inter_count)
+    builder.add_edges(zip(sources.tolist(), targets.tolist()))
+    return builder.build()
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """Complete directed graph K_n (every ordered pair, no self-loops)."""
+    if n <= 0:
+        raise ParameterError(f"n must be positive, got {n}")
+    src, dst = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    mask = src != dst
+    return from_edges(zip(src[mask].tolist(), dst[mask].tolist()), n=n)
+
+
+def star_graph(n: int, *, inward: bool = False) -> CSRGraph:
+    """Star on ``n`` nodes: hub 0 points at all leaves (or all leaves at 0).
+
+    Influence under IC with weight p from the hub is analytically
+    ``1 + (n-1)p``, which anchors several unit tests.
+    """
+    if n < 2:
+        raise ParameterError(f"star needs at least 2 nodes, got {n}")
+    if inward:
+        edges = [(leaf, 0) for leaf in range(1, n)]
+    else:
+        edges = [(0, leaf) for leaf in range(1, n)]
+    return from_edges(edges, n=n)
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """Directed cycle 0 → 1 → ... → n-1 → 0."""
+    if n < 2:
+        raise ParameterError(f"cycle needs at least 2 nodes, got {n}")
+    return from_edges([(i, (i + 1) % n) for i in range(n)], n=n)
+
+
+def grid_2d(rows: int, cols: int) -> CSRGraph:
+    """2D grid with bidirected nearest-neighbour edges (epidemic testbed)."""
+    if rows < 1 or cols < 1:
+        raise ParameterError(f"grid needs positive dimensions, got {rows}x{cols}")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                right = node + 1
+                edges += [(node, right), (right, node)]
+            if r + 1 < rows:
+                down = node + cols
+                edges += [(node, down), (down, node)]
+    return from_edges(edges, n=rows * cols)

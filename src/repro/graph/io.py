@@ -1,0 +1,107 @@
+"""Graph serialization: text edge lists and compressed numpy snapshots.
+
+The text format is the SNAP-style whitespace edge list used by the paper's
+datasets: one ``u v [w]`` triple per line, ``#`` comments allowed.  The
+binary format stores the CSR arrays directly in an ``.npz`` so a dataset
+stand-in can be materialized once and reloaded instantly by benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.exceptions import GraphIOError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import CSRGraph
+
+_NPZ_KEYS = (
+    "n",
+    "out_indptr",
+    "out_indices",
+    "out_weights",
+    "in_indptr",
+    "in_indices",
+    "in_weights",
+)
+
+
+def load_edge_list(
+    path: str | os.PathLike,
+    *,
+    default_weight: float = 1.0,
+    combine: str = "max",
+) -> CSRGraph:
+    """Parse a whitespace edge-list file into a graph.
+
+    Lines are ``u v`` or ``u v w``; blank lines and ``#`` comments are
+    skipped.  Node ids must be non-negative integers.
+    """
+    builder = GraphBuilder(combine=combine)
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) not in (2, 3):
+                raise GraphIOError(f"{path}:{lineno}: expected 'u v [w]', got {stripped!r}")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+                w = float(parts[2]) if len(parts) == 3 else default_weight
+            except ValueError as exc:
+                raise GraphIOError(f"{path}:{lineno}: unparseable edge {stripped!r}") from exc
+            try:
+                builder.add_edge(u, v, w)
+            except Exception as exc:
+                raise GraphIOError(f"{path}:{lineno}: invalid edge {stripped!r}: {exc}") from exc
+    return builder.build()
+
+
+def save_edge_list(graph: CSRGraph, path: str | os.PathLike, *, weights: bool = True) -> None:
+    """Write the graph as a text edge list (out-edge order)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# nodes {graph.n} edges {graph.m}\n")
+        for u in range(graph.n):
+            targets = graph.out_neighbors(u)
+            wgts = graph.out_edge_weights(u)
+            for v, w in zip(targets.tolist(), wgts.tolist()):
+                if weights:
+                    handle.write(f"{u} {v} {w:.10g}\n")
+                else:
+                    handle.write(f"{u} {v}\n")
+
+
+def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Persist the CSR arrays as a compressed ``.npz`` snapshot."""
+    np.savez_compressed(
+        path,
+        n=np.int64(graph.n),
+        out_indptr=graph.out_indptr,
+        out_indices=graph.out_indices,
+        out_weights=graph.out_weights,
+        in_indptr=graph.in_indptr,
+        in_indices=graph.in_indices,
+        in_weights=graph.in_weights,
+    )
+
+
+def load_npz(path: str | os.PathLike) -> CSRGraph:
+    """Reload a graph saved by :func:`save_npz`."""
+    try:
+        with np.load(path) as data:
+            missing = [k for k in _NPZ_KEYS if k not in data]
+            if missing:
+                raise GraphIOError(f"{path}: not a repro graph snapshot (missing {missing})")
+            return CSRGraph(
+                int(data["n"]),
+                data["out_indptr"],
+                data["out_indices"],
+                data["out_weights"],
+                data["in_indptr"],
+                data["in_indices"],
+                data["in_weights"],
+            )
+    except (OSError, ValueError) as exc:
+        raise GraphIOError(f"cannot load graph from {path}: {exc}") from exc

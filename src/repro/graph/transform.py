@@ -1,0 +1,101 @@
+"""Structural graph transformations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import CSRGraph
+
+
+def reverse_graph(graph: CSRGraph) -> CSRGraph:
+    """Graph with every edge direction flipped (weights preserved).
+
+    Reversal swaps the in and out CSR views, so this is O(1) array reuse.
+    """
+    return CSRGraph(
+        graph.n,
+        graph.in_indptr.copy(),
+        graph.in_indices.copy(),
+        graph.in_weights.copy(),
+        graph.out_indptr.copy(),
+        graph.out_indices.copy(),
+        graph.out_weights.copy(),
+    )
+
+
+def undirected_to_bidirected(edges: "list[tuple[int, int]]", *, n: int | None = None) -> CSRGraph:
+    """Replace each undirected edge {u, v} by arcs (u, v) and (v, u).
+
+    This is the paper's treatment of Orkut and Friendster (Section 7.1
+    Remark): undirected social ties become two opposite influence arcs.
+    """
+    builder = GraphBuilder(n)
+    for u, v in edges:
+        builder.add_edge(u, v)
+        builder.add_edge(v, u)
+    return builder.build()
+
+
+def induced_subgraph(graph: CSRGraph, nodes: "list[int] | np.ndarray") -> CSRGraph:
+    """Subgraph induced by ``nodes``, relabeled to 0..len(nodes)-1.
+
+    Node order in ``nodes`` defines the new labels.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.size != np.unique(nodes).size:
+        raise GraphError("induced_subgraph received duplicate node ids")
+    if nodes.size and (nodes.min() < 0 or nodes.max() >= graph.n):
+        raise GraphError("induced_subgraph received out-of-range node ids")
+    new_id = -np.ones(graph.n, dtype=np.int64)
+    new_id[nodes] = np.arange(nodes.size)
+
+    builder = GraphBuilder(int(nodes.size))
+    for old_u in nodes.tolist():
+        u = int(new_id[old_u])
+        targets = graph.out_neighbors(old_u)
+        weights = graph.out_edge_weights(old_u)
+        for old_v, w in zip(targets.tolist(), weights.tolist()):
+            v = new_id[old_v]
+            if v >= 0:
+                builder.add_edge(u, int(v), w)
+    return builder.build()
+
+
+def relabel_nodes(graph: CSRGraph, permutation: "list[int] | np.ndarray") -> CSRGraph:
+    """Apply a node permutation: new id of node i is ``permutation[i]``.
+
+    Used by tests to assert that algorithms are label-invariant.
+    """
+    perm = np.asarray(permutation, dtype=np.int64)
+    if perm.size != graph.n or np.unique(perm).size != graph.n:
+        raise GraphError("permutation must be a bijection over all nodes")
+    builder = GraphBuilder(graph.n)
+    for u in range(graph.n):
+        targets = graph.out_neighbors(u)
+        weights = graph.out_edge_weights(u)
+        for v, w in zip(targets.tolist(), weights.tolist()):
+            builder.add_edge(int(perm[u]), int(perm[v]), w)
+    return builder.build()
+
+
+def largest_out_component_seeded(graph: CSRGraph, source: int) -> np.ndarray:
+    """Nodes forward-reachable from ``source`` (BFS over out edges).
+
+    A cheap reachability helper used by dataset sanity checks.
+    """
+    if not 0 <= source < graph.n:
+        raise GraphError(f"source {source} out of range for n={graph.n}")
+    seen = np.zeros(graph.n, dtype=bool)
+    seen[source] = True
+    frontier = [source]
+    while frontier:
+        next_frontier = []
+        for u in frontier:
+            for v in graph.out_neighbors(u).tolist():
+                if not seen[v]:
+                    seen[v] = True
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return np.nonzero(seen)[0]

@@ -1,0 +1,112 @@
+"""Edge-weight assignment schemes for influence graphs.
+
+The paper's experiments (Section 7.1) use the **weighted cascade** (WC)
+convention ``w(u, v) = 1 / d_in(v)``, which automatically satisfies the LT
+admissibility constraint Σ_u w(u, v) ≤ 1.  The other schemes here are the
+standard alternatives from the IM literature (constant / trivalency /
+random) used by our ablation benchmarks and tests.
+
+All functions return a *new* :class:`CSRGraph` — graphs are immutable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graph.digraph import CSRGraph
+from repro.utils.rng import ensure_rng
+
+
+def _rebuild_with_weights(graph: CSRGraph, in_view_weights: np.ndarray) -> CSRGraph:
+    """Construct a new graph with weights given in in-view edge order."""
+    # Translate in-view edge order to out-view edge order by matching the
+    # lexicographic edge key (source, target).
+    n = graph.n
+    in_targets = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.in_indptr))
+    in_sources = graph.in_indices.astype(np.int64)
+    out_sources = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.out_indptr))
+    out_targets = graph.out_indices.astype(np.int64)
+
+    in_keys = in_sources * n + in_targets
+    out_keys = out_sources * n + out_targets
+    in_order = np.argsort(in_keys)
+    out_order = np.argsort(out_keys)
+    out_weights = np.empty_like(in_view_weights)
+    out_weights[out_order] = in_view_weights[in_order]
+
+    return CSRGraph(
+        n,
+        graph.out_indptr.copy(),
+        graph.out_indices.copy(),
+        out_weights,
+        graph.in_indptr.copy(),
+        graph.in_indices.copy(),
+        in_view_weights,
+    )
+
+
+def assign_weighted_cascade(graph: CSRGraph) -> CSRGraph:
+    """WC model: every edge into ``v`` gets weight ``1 / d_in(v)``.
+
+    This is the paper's experimental setting (Section 7.1) and makes the
+    incoming weights of every node sum to exactly 1, so the result is valid
+    under both IC and LT.
+    """
+    in_degrees = np.diff(graph.in_indptr)
+    per_edge = np.repeat(
+        np.where(in_degrees > 0, 1.0 / np.maximum(in_degrees, 1), 0.0), in_degrees
+    )
+    return _rebuild_with_weights(graph, per_edge.astype(np.float64))
+
+
+def assign_constant_weights(graph: CSRGraph, probability: float) -> CSRGraph:
+    """Uniform IC probability on every edge (classic p = 0.01 / 0.1 settings).
+
+    Note constant weights generally violate the LT constraint on high
+    in-degree nodes; :meth:`CSRGraph.validate_lt_weights` will flag that.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ParameterError(f"probability must be in [0, 1], got {probability}")
+    weights = np.full(graph.m, float(probability))
+    return _rebuild_with_weights(graph, weights)
+
+
+def assign_trivalency_weights(
+    graph: CSRGraph,
+    seed: int | np.random.Generator | None = None,
+    choices: tuple[float, ...] = (0.1, 0.01, 0.001),
+) -> CSRGraph:
+    """TRIVALENCY model: each edge draws uniformly from ``choices``."""
+    if any(not 0.0 <= c <= 1.0 for c in choices):
+        raise ParameterError(f"choices must lie in [0, 1], got {choices}")
+    rng = ensure_rng(seed)
+    weights = rng.choice(np.asarray(choices, dtype=np.float64), size=graph.m)
+    return _rebuild_with_weights(graph, weights)
+
+
+def assign_random_weights(
+    graph: CSRGraph,
+    seed: int | np.random.Generator | None = None,
+    *,
+    low: float = 0.0,
+    high: float = 1.0,
+    lt_normalize: bool = False,
+) -> CSRGraph:
+    """Uniform random weights in ``[low, high]``.
+
+    With ``lt_normalize=True`` each node's incoming weights are rescaled to
+    sum to at most 1, producing an LT-admissible graph with heterogeneous
+    weights (useful for property tests).
+    """
+    if not 0.0 <= low <= high <= 1.0:
+        raise ParameterError(f"need 0 <= low <= high <= 1, got [{low}, {high}]")
+    rng = ensure_rng(seed)
+    weights = rng.uniform(low, high, size=graph.m)
+    if lt_normalize and graph.m:
+        in_degrees = np.diff(graph.in_indptr)
+        sums = np.add.reduceat(np.append(weights, 0.0), graph.in_indptr[:-1])
+        sums = np.where(in_degrees > 0, sums, 1.0)
+        scale = np.repeat(np.where(sums > 1.0, 1.0 / sums, 1.0), in_degrees)
+        weights = weights * scale
+    return _rebuild_with_weights(graph, weights.astype(np.float64))

@@ -1,0 +1,19 @@
+"""Reverse Influence Sampling (RIS): RR-set generators and collections."""
+
+from repro.sampling.roots import UniformRoots, WeightedRoots
+from repro.sampling.ic_sampler import ICSampler
+from repro.sampling.lt_sampler import LTSampler
+from repro.sampling.base import RRSampler, make_sampler
+from repro.sampling.rr_collection import RRCollection
+from repro.sampling.sharded import ShardedSampler
+
+__all__ = [
+    "RRSampler",
+    "make_sampler",
+    "ICSampler",
+    "LTSampler",
+    "ShardedSampler",
+    "RRCollection",
+    "UniformRoots",
+    "WeightedRoots",
+]

@@ -1,0 +1,54 @@
+"""RR-set generation under the Independent Cascade model.
+
+An IC RR set anchored at root v is the set of nodes with a *live* reverse
+path to v, where each edge (u, w) is live independently with probability
+w(u, w).  Equivalently: run a reverse BFS from v, flipping one coin per
+incoming edge the first time its target is expanded (deferred-decision
+principle — coins for edges never reached need not be flipped).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.diffusion.models import DiffusionModel
+from repro.sampling.base import RRSampler
+
+
+class ICSampler(RRSampler):
+    """Reverse-BFS sampler producing IC RR sets."""
+
+    model = DiffusionModel.IC
+
+    def _reverse_sample(self, root: int) -> np.ndarray:
+        graph = self.graph
+        stamp = self._visited_stamp
+        gen = self._next_generation()
+        rng = self.rng
+
+        stamp[root] = gen
+        result = [root]
+        frontier = [root]
+        indptr = graph.in_indptr
+        indices = graph.in_indices
+        weights = graph.in_weights
+        hops_left = self.max_hops if self.max_hops is not None else -1
+
+        while frontier:
+            if hops_left == 0:
+                break
+            hops_left -= 1
+            next_frontier: list[int] = []
+            for v in frontier:
+                lo, hi = indptr[v], indptr[v + 1]
+                if lo == hi:
+                    continue
+                coins = rng.random(hi - lo)
+                live = indices[lo:hi][coins < weights[lo:hi]]
+                for u in live.tolist():
+                    if stamp[u] != gen:
+                        stamp[u] = gen
+                        result.append(u)
+                        next_frontier.append(u)
+            frontier = next_frontier
+        return np.asarray(result, dtype=np.int32)

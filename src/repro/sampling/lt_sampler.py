@@ -1,0 +1,71 @@
+"""RR-set generation under the Linear Threshold model.
+
+Under LT, the random sample graph keeps *at most one* incoming edge per
+node: edge (u, v) is kept with probability w(u, v), and no edge with
+probability 1 - Σ_u w(u, v).  The reverse reachable set from root v is
+therefore a random walk: from the current node, either stop (with the
+residual probability) or hop to one in-neighbour drawn proportionally to
+edge weight; the walk also stops when it would revisit a node (the kept
+subgraph is a function, so the walk enters a cycle and nothing new can be
+reached).
+
+With weighted-cascade weights (Σ = 1) the walk always hops until a revisit
+— matching Fig. 1's example construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.diffusion.models import DiffusionModel
+from repro.sampling.base import RRSampler
+from repro.graph.digraph import CSRGraph
+
+
+class LTSampler(RRSampler):
+    """Reverse random-walk sampler producing LT RR sets."""
+
+    model = DiffusionModel.LT
+
+    def __init__(self, graph: CSRGraph, seed=None, *, roots=None, max_hops=None) -> None:
+        super().__init__(graph, seed, roots=roots, max_hops=max_hops)
+        # Global prefix-sum of in-edge weights: a single binary search per
+        # hop finds the chosen in-neighbour (in-edges of v occupy the
+        # contiguous range [in_indptr[v], in_indptr[v+1])).
+        self._weight_prefix = np.concatenate(
+            ([0.0], np.cumsum(graph.in_weights))
+        )
+
+    def _reverse_sample(self, root: int) -> np.ndarray:
+        graph = self.graph
+        stamp = self._visited_stamp
+        gen = self._next_generation()
+        rng = self.rng
+        indptr = graph.in_indptr
+        indices = graph.in_indices
+        prefix = self._weight_prefix
+
+        current = root
+        stamp[root] = gen
+        result = [root]
+        hops_left = self.max_hops if self.max_hops is not None else -1
+        while True:
+            if hops_left == 0:
+                break
+            hops_left -= 1
+            lo, hi = indptr[current], indptr[current + 1]
+            if lo == hi:
+                break
+            draw = rng.random()
+            if draw >= graph.in_weight_totals[current]:
+                break  # the kept subgraph has no incoming edge here
+            # Invert the CDF of this node's in-edge weights.
+            pos = int(np.searchsorted(prefix, prefix[lo] + draw, side="right")) - 1
+            pos = min(max(pos, lo), hi - 1)
+            nxt = int(indices[pos])
+            if stamp[nxt] == gen:
+                break  # walk closed a cycle; nothing new reachable
+            stamp[nxt] = gen
+            result.append(nxt)
+            current = nxt
+        return np.asarray(result, dtype=np.int32)

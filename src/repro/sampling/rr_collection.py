@@ -1,0 +1,150 @@
+"""A growable collection of RR sets with vectorized coverage queries.
+
+``RRCollection`` is the ``R`` of the paper: SSA doubles it each iteration,
+D-SSA slices it into a find half and a verify half.  Internally it keeps a
+list of int32 arrays plus a lazily compiled flat CSR view (all entries
+concatenated + offsets), so coverage counting and greedy max-coverage are
+numpy-vectorized rather than per-set Python loops.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+
+
+class RRCollection:
+    """Ordered collection of RR sets over nodes ``0..n-1``."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise SamplingError(f"RRCollection needs a positive node count, got {n}")
+        self.n = int(n)
+        self._sets: list[np.ndarray] = []
+        self._total_entries = 0
+        # Compiled flat view (rebuilt lazily after growth).
+        self._flat: np.ndarray | None = None
+        self._offsets: np.ndarray | None = None
+        self._compiled_upto = 0
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+    def append(self, rr_set: np.ndarray) -> None:
+        """Add one RR set (int array of node ids)."""
+        arr = np.asarray(rr_set, dtype=np.int32)
+        self._sets.append(arr)
+        self._total_entries += int(arr.size)
+
+    def extend(self, rr_sets: Iterable[np.ndarray]) -> None:
+        """Add many RR sets in order."""
+        for rr in rr_sets:
+            self.append(rr)
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self._sets[index]
+
+    @property
+    def total_entries(self) -> int:
+        """Total node occurrences across all stored sets."""
+        return self._total_entries
+
+    def memory_bytes(self) -> int:
+        """Retained bytes of RR-set storage (the paper's memory driver)."""
+        return int(sum(arr.nbytes for arr in self._sets))
+
+    # ------------------------------------------------------------------
+    # Flat compiled view
+    # ------------------------------------------------------------------
+    def _compile(self) -> tuple[np.ndarray, np.ndarray]:
+        """(flat entries, set offsets) covering all current sets."""
+        if self._flat is None or self._compiled_upto != len(self._sets):
+            if self._sets:
+                self._flat = np.concatenate(self._sets)
+                sizes = np.fromiter(
+                    (arr.size for arr in self._sets), dtype=np.int64, count=len(self._sets)
+                )
+                self._offsets = np.concatenate(([0], np.cumsum(sizes)))
+            else:
+                self._flat = np.zeros(0, dtype=np.int32)
+                self._offsets = np.zeros(1, dtype=np.int64)
+            self._compiled_upto = len(self._sets)
+        return self._flat, self._offsets
+
+    def flat_view(
+        self, start: int = 0, end: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flat entries and *local* offsets for the set range [start, end).
+
+        Offsets are rebased so ``flat[offsets[i]:offsets[i+1]]`` is the
+        i-th set of the range.
+        """
+        end = len(self._sets) if end is None else end
+        if not 0 <= start <= end <= len(self._sets):
+            raise SamplingError(f"invalid set range [{start}, {end}) of {len(self._sets)}")
+        flat, offsets = self._compile()
+        lo, hi = offsets[start], offsets[end]
+        return flat[lo:hi], offsets[start : end + 1] - lo
+
+    # ------------------------------------------------------------------
+    # Coverage queries
+    # ------------------------------------------------------------------
+    def coverage(
+        self, seeds: Sequence[int], *, start: int = 0, end: int | None = None
+    ) -> int:
+        """``Cov_R(S)``: number of sets in [start, end) intersecting S (Eq. 1)."""
+        mask = self.coverage_mask(seeds, start=start, end=end)
+        return int(mask.sum())
+
+    def coverage_mask(
+        self, seeds: Sequence[int], *, start: int = 0, end: int | None = None
+    ) -> np.ndarray:
+        """Boolean vector: does each set in the range intersect S?"""
+        flat, offsets = self.flat_view(start, end)
+        count = len(offsets) - 1
+        if count == 0:
+            return np.zeros(0, dtype=bool)
+        seed_mask = np.zeros(self.n, dtype=bool)
+        seed_arr = np.asarray(list(seeds), dtype=np.int64)
+        if seed_arr.size and (seed_arr.min() < 0 or seed_arr.max() >= self.n):
+            raise SamplingError("seed id out of range in coverage query")
+        seed_mask[seed_arr] = True
+        if flat.size == 0:
+            return np.zeros(count, dtype=bool)
+        hits = seed_mask[flat]
+        # Per-set any(): reduceat over the offsets; empty sets (offset[i] ==
+        # offset[i+1]) would misbehave with reduceat, so handle via maximum
+        # over a padded cumulative-sum trick.
+        cum = np.concatenate(([0], np.cumsum(hits)))
+        per_set = cum[offsets[1:]] - cum[offsets[:-1]]
+        return per_set > 0
+
+    def node_frequencies(self, *, start: int = 0, end: int | None = None) -> np.ndarray:
+        """How many sets of the range contain each node.
+
+        RR sets store distinct nodes, so this equals the per-node coverage
+        count used to seed greedy max-coverage.
+        """
+        flat, _ = self.flat_view(start, end)
+        return np.bincount(flat, minlength=self.n).astype(np.int64)
+
+    def estimate_influence(
+        self,
+        seeds: Sequence[int],
+        scale: float,
+        *,
+        start: int = 0,
+        end: int | None = None,
+    ) -> float:
+        """``Î(S) = Γ · Cov(S)/|R|`` over the given range (Lemma 1)."""
+        end = len(self._sets) if end is None else end
+        count = end - start
+        if count <= 0:
+            raise SamplingError("cannot estimate influence from an empty range")
+        return scale * self.coverage(seeds, start=start, end=end) / count

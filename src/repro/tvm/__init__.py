@@ -1,0 +1,6 @@
+"""Targeted Viral Marketing (Section 7.3): weighted-influence maximization."""
+
+from repro.tvm.targets import TargetedGroup
+from repro.tvm.algorithms import kb_tim, tvm_dssa, tvm_ssa, weighted_spread
+
+__all__ = ["TargetedGroup", "tvm_ssa", "tvm_dssa", "kb_tim", "weighted_spread"]

@@ -1,0 +1,27 @@
+"""Library logging configuration.
+
+The library logs through the standard :mod:`logging` package under the
+``"repro"`` namespace and never configures the root logger, per library
+best practice.  :func:`enable_verbose` is a convenience for scripts.
+"""
+
+from __future__ import annotations
+
+import logging
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child of the ``repro`` logger for module ``name``."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def enable_verbose(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the library logger (idempotent)."""
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+        logger.addHandler(handler)

@@ -1,0 +1,112 @@
+"""Concentration-bound arithmetic shared by every sampling algorithm.
+
+The paper (and its predecessors TIM/TIM+/IMM) is built on three numbers:
+
+* ``upsilon(eps, delta)`` — the Υ function of Table 1,
+  ``Υ(ε, δ) = (2 + 2ε/3) · ln(1/δ) / ε²``.  ``T ≥ Υ(ε, δ) / µ`` i.i.d.
+  Bernoulli(µ) samples suffice for an upper-tail (ε, δ)-approximation
+  (Corollary 1, Eq. 7).
+* the lower-tail requirement ``(2 / ε²) · ln(1/δ) / µ`` (Eq. 8), and
+* ``ln C(n, k)`` — the union-bound term over all size-k seed sets that
+  inflates IMM/TIM thresholds (Eqs. 12–15).
+
+All of them live here so that SSA, D-SSA, IMM, TIM, and the test-suite's
+oracle computations agree on a single implementation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ParameterError
+
+
+def upsilon(epsilon: float, delta: float) -> float:
+    """The Υ(ε, δ) sample-count kernel from Table 1 of the paper.
+
+    ``Υ(ε, δ) = (2 + 2ε/3) · ln(1/δ) · (1/ε²)``.
+
+    ``T ≥ Υ(ε, δ)/µ`` samples make ``Pr[µ̂ > (1+ε)µ] ≤ δ`` (Eq. 7).
+
+    >>> round(upsilon(0.1, 0.01), 1)
+    951.7
+    """
+    if epsilon <= 0:
+        raise ParameterError(f"epsilon must be positive, got {epsilon}")
+    if not 0 < delta < 1:
+        raise ParameterError(f"delta must be in (0, 1), got {delta}")
+    return (2.0 + 2.0 * epsilon / 3.0) * math.log(1.0 / delta) / (epsilon * epsilon)
+
+
+def chernoff_upper_tail_samples(epsilon: float, delta: float, mu: float) -> float:
+    """Samples sufficient for ``Pr[µ̂ > (1+ε)µ] ≤ δ`` (Corollary 1, Eq. 7)."""
+    if not 0 < mu <= 1:
+        raise ParameterError(f"mu must be in (0, 1], got {mu}")
+    return upsilon(epsilon, delta) / mu
+
+
+def chernoff_lower_tail_samples(epsilon: float, delta: float, mu: float) -> float:
+    """Samples sufficient for ``Pr[µ̂ < (1-ε)µ] ≤ δ`` (Corollary 1, Eq. 8)."""
+    if epsilon <= 0:
+        raise ParameterError(f"epsilon must be positive, got {epsilon}")
+    if not 0 < delta < 1:
+        raise ParameterError(f"delta must be in (0, 1), got {delta}")
+    if not 0 < mu <= 1:
+        raise ParameterError(f"mu must be in (0, 1], got {mu}")
+    return 2.0 * math.log(1.0 / delta) / (epsilon * epsilon * mu)
+
+
+def hoeffding_samples(epsilon: float, delta: float) -> float:
+    """Two-sided additive-error Hoeffding sample count.
+
+    ``T ≥ ln(2/δ)/(2ε²)`` gives ``Pr[|µ̂ - µ| > ε] ≤ δ`` for variables in
+    [0, 1].  Used by the Monte Carlo spread estimator's accuracy knob.
+    """
+    if epsilon <= 0:
+        raise ParameterError(f"epsilon must be positive, got {epsilon}")
+    if not 0 < delta < 1:
+        raise ParameterError(f"delta must be in (0, 1), got {delta}")
+    return math.log(2.0 / delta) / (2.0 * epsilon * epsilon)
+
+
+def binomial_coefficient_ln(n: int, k: int) -> float:
+    """Natural log of the binomial coefficient C(n, k).
+
+    Exact via ``lgamma``; this is the ``ln C(n,k)`` union-bound term in the
+    IMM/TIM thresholds (Eqs. 12–15).  Returns ``-inf`` for impossible
+    combinations so callers can treat them as probability-zero events.
+
+    >>> round(binomial_coefficient_ln(10, 3), 6) == round(math.log(120), 6)
+    True
+    """
+    if n < 0 or k < 0:
+        raise ParameterError(f"n and k must be non-negative, got n={n} k={k}")
+    if k > n:
+        return float("-inf")
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def log2_ceil(x: float) -> int:
+    """``ceil(log2(x))`` for positive x, exact for powers of two.
+
+    Used for the iteration caps ``i_max``/``t_max`` in SSA and D-SSA.
+    """
+    if x <= 0:
+        raise ParameterError(f"x must be positive, got {x}")
+    return max(0, math.ceil(math.log2(x)))
+
+
+def harmonic_mean(values: list[float]) -> float:
+    """Harmonic mean, used in report aggregation of speedup ratios."""
+    if not values:
+        raise ParameterError("harmonic_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ParameterError("harmonic_mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / truth`` with a guard for zero truth."""
+    if truth == 0:
+        return float("inf") if estimate != 0 else 0.0
+    return abs(estimate - truth) / abs(truth)

@@ -1,0 +1,87 @@
+"""Plain-text table and chart rendering for experiment reports.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers render them as aligned monospace tables and log-scale ASCII series
+so results are readable straight from ``pytest`` output.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    >>> out = format_table(["a", "b"], [[1, 22], [333, 4]])
+    >>> out.splitlines()[0].rstrip()
+    'a   | b'
+    >>> out.splitlines()[2].rstrip()
+    '1   | 22'
+    """
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    """Compact cell formatting: 4 significant digits for floats."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_series_chart(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 60,
+    log_y: bool = True,
+) -> str:
+    """Render named (x, y) series as horizontal ASCII bars per x value.
+
+    This mimics the paper's log-scale line plots well enough to eyeball
+    orderings and crossovers in terminal output.
+    """
+    lines = [title] if title else []
+    all_y = [y for pts in series.values() for _, y in pts if y > 0]
+    if not all_y:
+        return "\n".join(lines + ["(no data)"])
+    lo, hi = min(all_y), max(all_y)
+
+    def scale(y: float) -> int:
+        if y <= 0:
+            return 0
+        if log_y:
+            if hi == lo:
+                return width
+            return int(round(width * (math.log10(y) - math.log10(lo)) / max(1e-12, math.log10(hi) - math.log10(lo))))
+        return int(round(width * (y - lo) / max(1e-12, hi - lo)))
+
+    name_w = max(len(n) for n in series)
+    for name, pts in series.items():
+        lines.append(f"{name}:")
+        for x, y in pts:
+            bar = "#" * max(1, scale(y))
+            lines.append(f"  {name.ljust(name_w)} x={_fmt(x):>8} |{bar} {_fmt(y)}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Argument validation helpers with library-specific error messages."""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.exceptions import ParameterError, RangeConditionWarning
+
+
+def check_epsilon(epsilon: float, *, name: str = "epsilon") -> float:
+    """Validate an approximation parameter ε ∈ (0, 1).
+
+    The paper's range conditions additionally assume ε ≤ 1/4 for the sample
+    *optimality* proofs (not for correctness); we warn rather than fail
+    above that, matching the paper's remark that the constant is flexible.
+    """
+    if not isinstance(epsilon, (int, float)):
+        raise ParameterError(f"{name} must be a number, got {type(epsilon).__name__}")
+    if not 0 < epsilon < 1:
+        raise ParameterError(f"{name} must be in (0, 1), got {epsilon}")
+    if epsilon > 0.25:
+        warnings.warn(
+            f"{name}={epsilon} exceeds the paper's range condition (epsilon <= 1/4); "
+            "the approximation guarantee still holds but sample-optimality proofs do not",
+            RangeConditionWarning,
+            stacklevel=3,
+        )
+    return float(epsilon)
+
+
+def check_delta(delta: float, *, name: str = "delta") -> float:
+    """Validate a failure probability δ ∈ (0, 1)."""
+    if not isinstance(delta, (int, float)):
+        raise ParameterError(f"{name} must be a number, got {type(delta).__name__}")
+    if not 0 < delta < 1:
+        raise ParameterError(f"{name} must be in (0, 1), got {delta}")
+    return float(delta)
+
+
+def check_k(k: int, n: int) -> int:
+    """Validate a seed budget ``1 <= k <= n``."""
+    if not isinstance(k, int) or isinstance(k, bool):
+        raise ParameterError(f"k must be an int, got {type(k).__name__}")
+    if not 1 <= k <= n:
+        raise ParameterError(f"k must satisfy 1 <= k <= n={n}, got {k}")
+    return k
+
+
+def check_probability(p: float, *, name: str = "p") -> float:
+    """Validate a probability in [0, 1]."""
+    if not isinstance(p, (int, float)):
+        raise ParameterError(f"{name} must be a number, got {type(p).__name__}")
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"{name} must be in [0, 1], got {p}")
+    return float(p)
+
+
+def check_positive_int(value: int, *, name: str) -> int:
+    """Validate a strictly positive integer."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ParameterError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ParameterError(f"{name} must be positive, got {value}")
+    return value

@@ -1,0 +1,60 @@
+"""Tests for CELF / CELF++ lazy greedy."""
+
+import pytest
+
+from repro.baselines.celf import celf
+from repro.exceptions import ParameterError
+
+from tests.oracles import brute_force_opt
+
+
+class TestCelf:
+    def test_finds_hub_on_star(self, star_half):
+        result = celf(star_half, 1, model="IC", simulations=300, seed=1)
+        assert result.seeds == [0]
+        assert result.algorithm == "CELF"
+
+    def test_returns_k_distinct(self, grid_graph):
+        result = celf(grid_graph, 3, model="IC", simulations=60, seed=2)
+        assert len(result.seeds) == 3
+        assert len(set(result.seeds)) == 3
+
+    def test_matches_brute_force_tiny(self, tiny_graph):
+        opt_seeds, _ = brute_force_opt(tiny_graph, 1, "IC")
+        result = celf(tiny_graph, 1, model="IC", simulations=800, seed=3)
+        assert result.seeds == opt_seeds
+
+    def test_lazy_fewer_evaluations_than_naive(self, grid_graph):
+        result = celf(grid_graph, 4, model="IC", simulations=50, seed=4)
+        naive = grid_graph.n * 4  # evaluations naive greedy would need
+        assert result.extras["spread_evaluations"] < naive
+
+    def test_influence_positive_and_monotone_in_k(self, grid_graph):
+        small = celf(grid_graph, 1, model="IC", simulations=80, seed=5)
+        large = celf(grid_graph, 3, model="IC", simulations=80, seed=5)
+        assert 0 < small.influence <= large.influence * 1.05
+
+    def test_works_under_lt(self, star_wc):
+        result = celf(star_wc, 1, model="LT", simulations=100, seed=6)
+        assert result.seeds == [0]
+
+
+class TestCelfPlusPlus:
+    def test_label(self, star_half):
+        result = celf(star_half, 1, model="IC", simulations=100, seed=7, plus_plus=True)
+        assert result.algorithm == "CELF++"
+
+    def test_same_first_seed_as_celf(self, grid_graph):
+        plain = celf(grid_graph, 2, model="IC", simulations=120, seed=8)
+        plus = celf(grid_graph, 2, model="IC", simulations=120, seed=8, plus_plus=True)
+        assert plain.seeds[0] == plus.seeds[0]
+
+
+class TestValidation:
+    def test_bad_simulations(self, tiny_graph):
+        with pytest.raises(ParameterError):
+            celf(tiny_graph, 1, simulations=0)
+
+    def test_bad_k(self, tiny_graph):
+        with pytest.raises(ParameterError):
+            celf(tiny_graph, 0)

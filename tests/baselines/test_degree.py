@@ -1,0 +1,57 @@
+"""Tests for degree heuristics."""
+
+import pytest
+
+from repro.baselines.degree import degree_discount, degree_heuristic
+from repro.exceptions import ParameterError
+from repro.graph.builder import from_edges
+from repro.graph.generators import star_graph
+from repro.graph.weights import assign_constant_weights
+
+
+class TestDegreeHeuristic:
+    def test_picks_highest_out_degree(self):
+        g = from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (4, 0)], n=5)
+        result = degree_heuristic(g, 2)
+        assert result.seeds[0] == 0  # out-degree 3
+        assert result.seeds[1] == 1  # out-degree 1 (ties broken by index)
+
+    def test_k_seeds(self, medium_wc_graph):
+        result = degree_heuristic(medium_wc_graph, 10)
+        assert len(result.seeds) == 10
+        assert len(set(result.seeds)) == 10
+
+    def test_validation(self, tiny_graph):
+        with pytest.raises(ParameterError):
+            degree_heuristic(tiny_graph, 0)
+
+
+class TestDegreeDiscount:
+    def test_first_pick_is_max_degree(self):
+        g = assign_constant_weights(star_graph(8), 0.1)
+        result = degree_discount(g, 1)
+        assert result.seeds == [0]
+
+    def test_discount_spreads_selection(self):
+        # Two hubs sharing neighbours: after picking hub A, its neighbours
+        # get discounted, so hub B (disjoint audience) wins next.
+        edges = []
+        for leaf in range(2, 8):
+            edges.append((0, leaf))  # hub 0 -> leaves 2..7
+        for leaf in range(8, 13):
+            edges.append((1, leaf))  # hub 1 -> leaves 8..12
+        edges.append((0, 1))
+        g = assign_constant_weights(from_edges(edges, n=13), 0.2)
+        result = degree_discount(g, 2)
+        assert set(result.seeds) == {0, 1}
+
+    def test_probability_default_is_mean_weight(self, medium_wc_graph):
+        result = degree_discount(medium_wc_graph, 3)
+        assert result.extras["probability"] == pytest.approx(
+            float(medium_wc_graph.out_weights.mean())
+        )
+
+    def test_explicit_probability(self, grid_graph):
+        result = degree_discount(grid_graph, 3, probability=0.05)
+        assert result.extras["probability"] == 0.05
+        assert len(result.seeds) == 3

@@ -1,0 +1,81 @@
+"""Tests for the IMM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.imm import imm, imm_sample_requirement
+from repro.core.dssa import dssa
+from repro.diffusion.spread import estimate_spread
+from repro.exceptions import ParameterError
+
+from tests.oracles import brute_force_opt
+
+
+class TestBasicBehaviour:
+    def test_returns_k_seeds(self, medium_wc_graph):
+        result = imm(medium_wc_graph, 6, epsilon=0.2, model="LT", seed=1)
+        assert len(result.seeds) == 6
+        assert len(set(result.seeds)) == 6
+        assert result.algorithm == "IMM"
+
+    def test_theta_recorded(self, medium_wc_graph):
+        result = imm(medium_wc_graph, 5, epsilon=0.2, model="LT", seed=2)
+        assert result.extras["theta"] >= 1
+        assert result.extras["lower_bound"] >= 1.0
+        assert result.samples >= result.extras["theta"]
+
+    def test_deterministic(self, medium_wc_graph):
+        a = imm(medium_wc_graph, 4, epsilon=0.2, model="LT", seed=3)
+        b = imm(medium_wc_graph, 4, epsilon=0.2, model="LT", seed=3)
+        assert a.seeds == b.seeds
+        assert a.samples == b.samples
+
+    def test_works_under_ic(self, medium_wc_graph):
+        result = imm(medium_wc_graph, 4, epsilon=0.2, model="IC", seed=4)
+        assert result.influence > 0
+
+
+class TestQuality:
+    def test_finds_hub_on_star(self, star_half):
+        result = imm(star_half, 1, epsilon=0.2, model="IC", seed=5)
+        assert result.seeds == [0]
+
+    def test_approximation_tiny(self, tiny_graph):
+        _, opt_value = brute_force_opt(tiny_graph, 1, "LT")
+        result = imm(tiny_graph, 1, epsilon=0.2, delta=0.05, model="LT", seed=6)
+        achieved = estimate_spread(
+            tiny_graph, result.seeds, "LT", simulations=4000, seed=7
+        ).mean
+        assert achieved >= (1 - 1 / np.e - 0.2) * opt_value * 0.95
+
+    def test_quality_matches_dssa(self, medium_wc_graph):
+        a = imm(medium_wc_graph, 8, epsilon=0.2, model="LT", seed=8)
+        b = dssa(medium_wc_graph, 8, epsilon=0.2, model="LT", seed=8)
+        qa = estimate_spread(medium_wc_graph, a.seeds, "LT", simulations=400, seed=9).mean
+        qb = estimate_spread(medium_wc_graph, b.seeds, "LT", simulations=400, seed=9).mean
+        assert qa == pytest.approx(qb, rel=0.15)
+
+
+class TestSampleComplexityStory:
+    def test_uses_more_samples_than_dssa(self, medium_wc_graph):
+        """The paper's headline: D-SSA needs several-fold fewer RR sets."""
+        i = imm(medium_wc_graph, 8, epsilon=0.15, model="LT", seed=10)
+        d = dssa(medium_wc_graph, 8, epsilon=0.15, model="LT", seed=10)
+        assert i.samples > d.samples
+
+    def test_max_samples_respected(self, medium_wc_graph):
+        result = imm(
+            medium_wc_graph, 4, epsilon=0.2, model="LT", seed=11, max_samples=100
+        )
+        assert result.samples <= 100
+
+
+class TestAnalyticRequirement:
+    def test_scales_with_parameters(self):
+        base = imm_sample_requirement(10_000, 10, 0.1, 0.001, 500.0)
+        assert imm_sample_requirement(10_000, 10, 0.05, 0.001, 500.0) > base
+        assert imm_sample_requirement(10_000, 10, 0.1, 0.001, 1000.0) < base
+
+    def test_rejects_bad_opt(self):
+        with pytest.raises(ParameterError):
+            imm_sample_requirement(100, 5, 0.1, 0.01, 0.0)

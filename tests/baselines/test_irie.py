@@ -1,0 +1,57 @@
+"""Tests for the IRIE heuristic baseline."""
+
+import pytest
+
+from repro.baselines.irie import irie
+from repro.exceptions import ParameterError
+from repro.graph.builder import from_edges
+from repro.graph.generators import star_graph
+from repro.graph.weights import assign_constant_weights
+
+
+class TestIrie:
+    def test_finds_hub_on_star(self):
+        g = assign_constant_weights(star_graph(10), 0.3)
+        result = irie(g, 1)
+        assert result.seeds == [0]
+        assert result.algorithm == "IRIE"
+
+    def test_returns_k_distinct(self, medium_wc_graph):
+        result = irie(medium_wc_graph, 8)
+        assert len(result.seeds) == 8
+        assert len(set(result.seeds)) == 8
+
+    def test_avoids_redundant_adjacent_hub(self):
+        # Hub A -> {1..5}, hub B -> {1..5} (same audience), hub C -> {6..9}
+        # (fresh audience).  After A, IRIE's activation-probability update
+        # must devalue B and prefer C even though B's raw rank is higher.
+        edges = [(10, leaf, 0.5) for leaf in range(1, 6)]
+        edges += [(11, leaf, 0.5) for leaf in range(1, 6)]
+        edges += [(12, leaf, 0.5) for leaf in range(6, 10)]
+        g = from_edges(edges, n=13)
+        result = irie(g, 2)
+        assert result.seeds[0] in (10, 11)
+        assert result.seeds[1] == 12
+
+    def test_deterministic(self, medium_wc_graph):
+        assert irie(medium_wc_graph, 4).seeds == irie(medium_wc_graph, 4).seeds
+
+    def test_quality_reasonable_vs_dssa(self, medium_wc_graph):
+        """Heuristic foil: close to, but not assuredly matching, D-SSA."""
+        from repro.core.dssa import dssa
+        from repro.diffusion.spread import estimate_spread
+
+        h = irie(medium_wc_graph, 8)
+        d = dssa(medium_wc_graph, 8, epsilon=0.2, model="IC", seed=1)
+        q_h = estimate_spread(medium_wc_graph, h.seeds, "IC", simulations=300, seed=2).mean
+        q_d = estimate_spread(medium_wc_graph, d.seeds, "IC", simulations=300, seed=2).mean
+        assert q_h >= 0.6 * q_d  # in the ballpark
+        assert q_h <= 1.2 * q_d  # but not magically better
+
+    def test_validation(self, tiny_graph):
+        with pytest.raises(ParameterError):
+            irie(tiny_graph, 1, alpha=1.5)
+        with pytest.raises(ParameterError):
+            irie(tiny_graph, 1, iterations=0)
+        with pytest.raises(ParameterError):
+            irie(tiny_graph, 0)

@@ -1,0 +1,73 @@
+"""Shared fixtures: small graphs with known structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import from_edges
+from repro.graph.generators import (
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+    powerlaw_configuration,
+    star_graph,
+)
+from repro.graph.weights import (
+    assign_constant_weights,
+    assign_weighted_cascade,
+)
+
+
+@pytest.fixture
+def tiny_graph():
+    """The 4-node example of Fig. 1: a -> b, a -> c, c -> d plus d -> c.
+
+    Node ids: a=0, b=1, c=2, d=3.  Node a reaches everything, so it is the
+    most influential node — tests assert samplers and algorithms agree.
+    """
+    return from_edges(
+        [(0, 1, 1.0), (0, 2, 0.5), (2, 3, 0.5), (3, 2, 0.3)],
+        n=4,
+    )
+
+
+@pytest.fixture
+def star_wc():
+    """10-node star, hub -> leaves, WC weights (each leaf in-degree 1 => w=1)."""
+    return assign_weighted_cascade(star_graph(10))
+
+
+@pytest.fixture
+def star_half():
+    """10-node star, hub -> leaves with probability 0.5 each."""
+    return assign_constant_weights(star_graph(10), 0.5)
+
+
+@pytest.fixture
+def cycle_wc():
+    """8-node directed cycle with WC weights (all weights 1)."""
+    return assign_weighted_cascade(cycle_graph(8))
+
+
+@pytest.fixture
+def grid_graph():
+    """4x4 grid with p=0.3 IC weights."""
+    return assign_constant_weights(grid_2d(4, 4), 0.3)
+
+
+@pytest.fixture
+def small_wc_graph():
+    """~120-node power-law graph with WC weights (both models valid)."""
+    return assign_weighted_cascade(powerlaw_configuration(120, 4.0, seed=42))
+
+
+@pytest.fixture
+def medium_wc_graph():
+    """~400-node power-law graph with WC weights for algorithm tests."""
+    return assign_weighted_cascade(powerlaw_configuration(400, 5.0, seed=43))
+
+
+@pytest.fixture
+def er_graph():
+    """Erdős–Rényi G(60, m=240) with constant weights 0.1."""
+    return assign_constant_weights(erdos_renyi(60, m=240, seed=44), 0.1)

@@ -1,0 +1,115 @@
+"""Tests for D-SSA (Algorithm 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dssa import dssa
+from repro.core.ssa import ssa
+from repro.diffusion.spread import estimate_spread
+from repro.exceptions import ParameterError
+
+from tests.oracles import brute_force_opt
+
+
+class TestBasicBehaviour:
+    def test_returns_k_distinct_seeds(self, medium_wc_graph):
+        result = dssa(medium_wc_graph, 7, epsilon=0.2, model="LT", seed=1)
+        assert len(result.seeds) == 7
+        assert len(set(result.seeds)) == 7
+
+    def test_single_stream_no_extra_verification(self, medium_wc_graph):
+        result = dssa(medium_wc_graph, 5, epsilon=0.2, model="LT", seed=2)
+        assert result.verification_samples == 0
+        assert result.samples == result.optimization_samples
+
+    def test_stream_is_power_of_two_times_lambda(self, medium_wc_graph):
+        result = dssa(medium_wc_graph, 5, epsilon=0.2, model="LT", seed=3)
+        trace = result.extras["trace"]
+        halves = [entry["find_half"] for entry in trace]
+        assert all(b == 2 * a for a, b in zip(halves, halves[1:]))
+
+    def test_works_under_ic(self, medium_wc_graph):
+        result = dssa(medium_wc_graph, 5, epsilon=0.2, model="IC", seed=4)
+        assert result.influence > 0
+
+    def test_deterministic(self, medium_wc_graph):
+        a = dssa(medium_wc_graph, 4, epsilon=0.2, model="LT", seed=5)
+        b = dssa(medium_wc_graph, 4, epsilon=0.2, model="LT", seed=5)
+        assert a.seeds == b.seeds
+        assert a.samples == b.samples
+
+
+class TestDynamicEpsilons:
+    def test_final_epsilon_t_below_target(self, medium_wc_graph):
+        result = dssa(medium_wc_graph, 5, epsilon=0.2, model="LT", seed=6)
+        assert result.stopped_by == "conditions"
+        final = result.extras["trace"][-1]
+        assert final["epsilon_t"] <= 0.2
+        assert final["epsilon_2"] > 0
+        assert final["epsilon_3"] > 0
+
+    def test_epsilons_shrink_across_iterations(self, medium_wc_graph):
+        result = dssa(medium_wc_graph, 5, epsilon=0.1, model="LT", seed=7)
+        eps2_values = [
+            e["epsilon_2"] for e in result.extras["trace"] if "epsilon_2" in e
+        ]
+        if len(eps2_values) >= 2:
+            assert eps2_values[-1] < eps2_values[0]
+
+
+class TestApproximationQuality:
+    def test_finds_hub_on_star(self, star_half):
+        result = dssa(star_half, 1, epsilon=0.2, model="IC", seed=8)
+        assert result.seeds == [0]
+
+    def test_vs_brute_force_tiny(self, tiny_graph):
+        _, opt_value = brute_force_opt(tiny_graph, 1, "LT")
+        result = dssa(tiny_graph, 1, epsilon=0.2, delta=0.05, model="LT", seed=9)
+        achieved = estimate_spread(
+            tiny_graph, result.seeds, "LT", simulations=4000, seed=10
+        ).mean
+        assert achieved >= (1 - 1 / np.e - 0.2) * opt_value * 0.95
+
+    def test_matches_ssa_quality(self, medium_wc_graph):
+        d = dssa(medium_wc_graph, 8, epsilon=0.2, model="LT", seed=11)
+        s = ssa(medium_wc_graph, 8, epsilon=0.2, model="LT", seed=11)
+        quality_d = estimate_spread(
+            medium_wc_graph, d.seeds, "LT", simulations=400, seed=12
+        ).mean
+        quality_s = estimate_spread(
+            medium_wc_graph, s.seeds, "LT", simulations=400, seed=12
+        ).mean
+        assert quality_d == pytest.approx(quality_s, rel=0.15)
+
+
+class TestSampleEfficiency:
+    def test_fewer_samples_than_ssa_total(self, medium_wc_graph):
+        # Type-2 vs type-1 optimality: D-SSA should generally use no more
+        # samples than SSA at the same precision (paper Section 7.2.2).
+        d = dssa(medium_wc_graph, 8, epsilon=0.15, model="LT", seed=13)
+        s = ssa(medium_wc_graph, 8, epsilon=0.15, model="LT", seed=13)
+        assert d.samples <= s.samples * 1.2
+
+    def test_tighter_epsilon_needs_more(self, medium_wc_graph):
+        loose = dssa(medium_wc_graph, 5, epsilon=0.24, model="LT", seed=14)
+        tight = dssa(medium_wc_graph, 5, epsilon=0.08, model="LT", seed=14)
+        assert tight.samples > loose.samples
+
+
+class TestStoppingBehaviour:
+    def test_cap_respected(self, medium_wc_graph):
+        result = dssa(
+            medium_wc_graph, 5, epsilon=0.2, model="LT", seed=15, max_samples=20
+        )
+        assert result.stopped_by == "cap"
+        assert len(result.seeds) == 5
+
+
+class TestValidation:
+    def test_bad_k(self, tiny_graph):
+        with pytest.raises(ParameterError):
+            dssa(tiny_graph, 0, epsilon=0.2)
+
+    def test_epsilon_above_limit_rejected(self, tiny_graph):
+        with pytest.raises((ParameterError, ValueError)):
+            dssa(tiny_graph, 1, epsilon=0.99)

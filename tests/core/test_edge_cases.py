@@ -1,0 +1,111 @@
+"""Edge-case and failure-injection tests for the core algorithms.
+
+These cover the degenerate inputs a downstream user will eventually feed
+the library: edgeless graphs, disconnected graphs, k = n, zero-weight
+edges, isolated nodes, and pathological sample budgets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dssa import dssa
+from repro.core.ssa import ssa
+from repro.baselines.imm import imm
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.graph.generators import cycle_graph, stochastic_block_model
+from repro.graph.weights import assign_constant_weights, assign_weighted_cascade
+
+
+@pytest.fixture
+def edgeless_graph():
+    return GraphBuilder(n=30).build()
+
+
+@pytest.fixture
+def disconnected_graph():
+    """Two 4-cycles with no edges between them, weight 1."""
+    edges = [(i, (i + 1) % 4, 1.0) for i in range(4)]
+    edges += [(4 + i, 4 + (i + 1) % 4, 1.0) for i in range(4)]
+    return from_edges(edges, n=8)
+
+
+class TestEdgelessGraph:
+    @pytest.mark.parametrize("algo", [ssa, dssa, imm])
+    def test_returns_k_seeds_with_influence_k(self, edgeless_graph, algo):
+        # With no edges, I(S) = |S| and every node is equivalent.
+        result = algo(edgeless_graph, 3, epsilon=0.2, model="IC", seed=1, max_samples=50_000)
+        assert len(result.seeds) == 3
+        assert result.influence == pytest.approx(3.0, rel=0.3)
+
+
+class TestZeroWeightEdges:
+    @pytest.mark.parametrize("model", ["IC", "LT"])
+    def test_zero_weights_behave_like_no_edges(self, model):
+        g = assign_constant_weights(cycle_graph(20), 0.0)
+        result = dssa(g, 2, epsilon=0.2, model=model, seed=2, max_samples=50_000)
+        assert result.influence == pytest.approx(2.0, rel=0.3)
+
+
+class TestDisconnectedGraph:
+    @pytest.mark.parametrize("algo", [ssa, dssa])
+    def test_k2_picks_one_seed_per_component(self, disconnected_graph, algo):
+        # One seed activates its whole 4-cycle; the optimal pair covers
+        # both components for influence 8.
+        result = algo(disconnected_graph, 2, epsilon=0.2, delta=0.05, model="IC", seed=3)
+        components = {s // 4 for s in result.seeds}
+        assert components == {0, 1}
+        assert result.influence == pytest.approx(8.0, rel=0.15)
+
+
+class TestKEqualsN:
+    def test_all_nodes_selected(self, tiny_graph):
+        result = dssa(tiny_graph, tiny_graph.n, epsilon=0.2, model="IC", seed=4)
+        assert sorted(result.seeds) == list(range(tiny_graph.n))
+        assert result.influence == pytest.approx(tiny_graph.n, rel=0.1)
+
+
+class TestIsolatedNodes:
+    def test_isolated_nodes_dont_break_sampling(self):
+        # Half the nodes are isolated; algorithms must still run and the
+        # influential cycle must be found first.
+        g = from_edges([(i, (i + 1) % 5, 1.0) for i in range(5)], n=10)
+        result = dssa(g, 1, epsilon=0.2, delta=0.05, model="IC", seed=5)
+        assert result.seeds[0] < 5  # a cycle node, not an isolated one
+
+
+class TestExtremeBudgets:
+    def test_max_samples_one(self, medium_wc_graph):
+        result = dssa(medium_wc_graph, 2, epsilon=0.2, model="LT", seed=6, max_samples=1)
+        assert result.stopped_by == "cap"
+        assert len(result.seeds) == 2
+
+    def test_huge_epsilon_with_valid_split_still_works(self, medium_wc_graph):
+        result = dssa(medium_wc_graph, 2, epsilon=0.6, model="LT", seed=7)
+        assert len(result.seeds) == 2
+
+
+class TestCommunityGraphs:
+    def test_seeds_spread_across_blocks(self):
+        # On an SBM with weak bridges, greedy IM should not pile all
+        # seeds into one community.
+        g = assign_weighted_cascade(
+            stochastic_block_model(4, 60, intra_degree=6.0, inter_degree=0.2, seed=8)
+        )
+        result = dssa(g, 4, epsilon=0.2, model="LT", seed=9)
+        blocks = {s // 60 for s in result.seeds}
+        assert len(blocks) >= 3
+
+
+class TestDeltaExtremes:
+    def test_tiny_delta_more_samples(self, medium_wc_graph):
+        loose = dssa(medium_wc_graph, 3, epsilon=0.2, delta=0.2, model="LT", seed=10)
+        tight = dssa(medium_wc_graph, 3, epsilon=0.2, delta=1e-9, model="LT", seed=10)
+        assert tight.samples > loose.samples
+
+    def test_invalid_delta_rejected(self, medium_wc_graph):
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError):
+            dssa(medium_wc_graph, 3, epsilon=0.2, delta=0.0)
+        with pytest.raises(ParameterError):
+            ssa(medium_wc_graph, 3, epsilon=0.2, delta=1.0)

@@ -1,0 +1,135 @@
+"""Tests for greedy max-coverage (Algorithm 2)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.max_coverage import MaxCoverageResult, max_coverage
+from repro.exceptions import ParameterError
+from repro.sampling.rr_collection import RRCollection
+
+
+def make_collection(n: int, sets: list[list[int]]) -> RRCollection:
+    coll = RRCollection(n)
+    coll.extend(np.asarray(s, dtype=np.int32) for s in sets)
+    return coll
+
+
+def brute_force_best_coverage(n: int, sets: list[list[int]], k: int) -> int:
+    best = 0
+    for combo in itertools.combinations(range(n), k):
+        cov = sum(1 for s in sets if set(s) & set(combo))
+        best = max(best, cov)
+    return best
+
+
+class TestGreedyChoices:
+    def test_picks_dominating_node(self):
+        sets = [[0, 1], [0, 2], [0, 3], [4]]
+        result = max_coverage(make_collection(5, sets), 1)
+        assert result.seeds == [0]
+        assert result.coverage == 3
+
+    def test_second_pick_is_marginal_best(self):
+        sets = [[0], [0], [1, 2], [2], [2]]
+        result = max_coverage(make_collection(3, sets), 2)
+        assert result.seeds == [2, 0]
+        assert result.coverage == 5
+
+    def test_k_equals_n(self):
+        sets = [[0], [1], [2]]
+        result = max_coverage(make_collection(3, sets), 3)
+        assert sorted(result.seeds) == [0, 1, 2]
+        assert result.coverage == 3
+
+    def test_exhausted_coverage_fills_with_unchosen(self):
+        sets = [[0]]
+        result = max_coverage(make_collection(4, sets), 3)
+        assert len(result.seeds) == 3
+        assert result.seeds[0] == 0
+        assert len(set(result.seeds)) == 3
+
+    def test_empty_collection_returns_k_nodes(self):
+        result = max_coverage(make_collection(5, []), 2)
+        assert len(result.seeds) == 2
+        assert result.coverage == 0
+
+
+class TestApproximationGuarantee:
+    def test_at_least_1_minus_1e_of_optimum(self):
+        # Nemhauser-Wolsey: greedy coverage >= (1 - 1/e) * optimum.
+        rng = np.random.default_rng(3)
+        for trial in range(10):
+            n = 12
+            sets = [
+                rng.choice(n, size=rng.integers(1, 5), replace=False).tolist()
+                for _ in range(25)
+            ]
+            k = 3
+            greedy = max_coverage(make_collection(n, sets), k).coverage
+            optimum = brute_force_best_coverage(n, sets, k)
+            assert greedy >= (1 - 1 / np.e) * optimum - 1e-9, f"trial {trial}"
+
+
+class TestMarginals:
+    def test_marginals_non_increasing(self):
+        rng = np.random.default_rng(4)
+        sets = [
+            rng.choice(30, size=rng.integers(1, 8), replace=False).tolist()
+            for _ in range(80)
+        ]
+        result = max_coverage(make_collection(30, sets), 10)
+        picked = result.marginal_coverage
+        assert all(a >= b for a, b in zip(picked, picked[1:]))
+
+    def test_marginals_sum_to_coverage(self):
+        rng = np.random.default_rng(5)
+        sets = [
+            rng.choice(15, size=rng.integers(1, 4), replace=False).tolist()
+            for _ in range(40)
+        ]
+        result = max_coverage(make_collection(15, sets), 5)
+        assert sum(result.marginal_coverage) == result.coverage
+
+    def test_coverage_matches_collection_query(self):
+        rng = np.random.default_rng(6)
+        sets = [
+            rng.choice(15, size=rng.integers(1, 4), replace=False).tolist()
+            for _ in range(40)
+        ]
+        coll = make_collection(15, sets)
+        result = max_coverage(coll, 4)
+        assert result.coverage == coll.coverage(result.seeds)
+
+
+class TestRangeSupport:
+    def test_restricts_to_range(self):
+        sets = [[0], [0], [1], [1], [1]]
+        coll = make_collection(2, sets)
+        first = max_coverage(coll, 1, start=0, end=2)
+        assert first.seeds == [0]
+        second = max_coverage(coll, 1, start=2, end=5)
+        assert second.seeds == [1]
+        assert second.num_sets == 3
+
+
+class TestInfluenceEstimate:
+    def test_scaling(self):
+        sets = [[0], [0], [1], [2]]
+        result = max_coverage(make_collection(3, sets), 1)
+        assert result.influence_estimate(scale=30.0) == pytest.approx(30.0 * 2 / 4)
+
+    def test_zero_sets_rejected(self):
+        result = MaxCoverageResult(seeds=[0], coverage=0, num_sets=0)
+        with pytest.raises(ParameterError):
+            result.influence_estimate(10.0)
+
+
+class TestValidation:
+    def test_k_out_of_range(self):
+        coll = make_collection(3, [[0]])
+        with pytest.raises(ParameterError):
+            max_coverage(coll, 0)
+        with pytest.raises(ParameterError):
+            max_coverage(coll, 4)

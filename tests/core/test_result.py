@@ -1,0 +1,41 @@
+"""Tests for the IMResult record."""
+
+from repro.core.result import IMResult
+
+
+def make_result(**overrides):
+    params = dict(
+        algorithm="D-SSA",
+        seeds=[3, 1, 4],
+        influence=123.4,
+        samples=1000,
+        optimization_samples=800,
+        verification_samples=200,
+        iterations=3,
+        stopped_by="conditions",
+        elapsed_seconds=0.25,
+        memory_bytes=4096,
+    )
+    params.update(overrides)
+    return IMResult(**params)
+
+
+class TestIMResult:
+    def test_k_property(self):
+        assert make_result().k == 3
+
+    def test_summary_contains_headline_metrics(self):
+        summary = make_result().summary()
+        assert "D-SSA" in summary
+        assert "k=3" in summary
+        assert "samples=1000" in summary
+        assert "conditions" in summary
+
+    def test_extras_default_independent(self):
+        a, b = make_result(), make_result()
+        a.extras["x"] = 1
+        assert "x" not in b.extras
+
+    def test_sample_breakdown_consistent(self):
+        result = make_result()
+        assert result.samples == result.optimization_samples + result.verification_samples

@@ -1,0 +1,117 @@
+"""Tests for SSA (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ssa import ssa
+from repro.core.thresholds import EpsilonSplit
+from repro.diffusion.spread import estimate_spread
+from repro.exceptions import ParameterError
+
+from tests.oracles import brute_force_opt
+
+
+class TestBasicBehaviour:
+    def test_returns_k_distinct_seeds(self, medium_wc_graph):
+        result = ssa(medium_wc_graph, 7, epsilon=0.2, model="LT", seed=1)
+        assert len(result.seeds) == 7
+        assert len(set(result.seeds)) == 7
+
+    def test_result_metadata(self, medium_wc_graph):
+        result = ssa(medium_wc_graph, 5, epsilon=0.2, model="LT", seed=2)
+        assert result.algorithm == "SSA"
+        assert result.samples == result.optimization_samples + result.verification_samples
+        assert result.iterations >= 1
+        assert result.stopped_by in ("conditions", "cap")
+        assert result.elapsed_seconds > 0
+        assert result.memory_bytes > 0
+
+    def test_works_under_ic(self, medium_wc_graph):
+        result = ssa(medium_wc_graph, 5, epsilon=0.2, model="IC", seed=3)
+        assert len(result.seeds) == 5
+        assert result.influence > 0
+
+    def test_deterministic_given_seed(self, medium_wc_graph):
+        a = ssa(medium_wc_graph, 4, epsilon=0.2, model="LT", seed=11)
+        b = ssa(medium_wc_graph, 4, epsilon=0.2, model="LT", seed=11)
+        assert a.seeds == b.seeds
+        assert a.samples == b.samples
+
+    def test_trace_records_iterations(self, medium_wc_graph):
+        result = ssa(medium_wc_graph, 4, epsilon=0.2, model="LT", seed=4)
+        trace = result.extras["trace"]
+        assert len(trace) == result.iterations
+        pools = [entry["pool"] for entry in trace]
+        assert all(b == 2 * a for a, b in zip(pools, pools[1:]))  # doubling
+
+
+class TestApproximationQuality:
+    def test_near_optimal_on_star(self, star_half):
+        # OPT_1 is the hub; SSA must find it.
+        result = ssa(star_half, 1, epsilon=0.2, model="IC", seed=5)
+        assert result.seeds == [0]
+
+    def test_vs_brute_force_tiny(self, tiny_graph):
+        opt_seeds, opt_value = brute_force_opt(tiny_graph, 1, "IC")
+        result = ssa(tiny_graph, 1, epsilon=0.2, delta=0.05, model="IC", seed=6)
+        achieved = estimate_spread(
+            tiny_graph, result.seeds, "IC", simulations=4000, seed=7
+        ).mean
+        # (1 - 1/e - eps) guarantee with MC slack.
+        assert achieved >= (1 - 1 / np.e - 0.2) * opt_value * 0.95
+
+    def test_quality_close_to_exhaustive_k2(self, tiny_graph):
+        _, opt_value = brute_force_opt(tiny_graph, 2, "LT")
+        result = ssa(tiny_graph, 2, epsilon=0.2, delta=0.05, model="LT", seed=8)
+        achieved = estimate_spread(
+            tiny_graph, result.seeds, "LT", simulations=4000, seed=9
+        ).mean
+        assert achieved >= (1 - 1 / np.e - 0.2) * opt_value * 0.95
+
+
+class TestStoppingBehaviour:
+    def test_stops_by_conditions_normally(self, medium_wc_graph):
+        result = ssa(medium_wc_graph, 5, epsilon=0.2, model="LT", seed=10)
+        assert result.stopped_by == "conditions"
+
+    def test_max_samples_forces_cap(self, medium_wc_graph):
+        result = ssa(
+            medium_wc_graph, 5, epsilon=0.2, model="LT", seed=10, max_samples=10
+        )
+        assert result.stopped_by == "cap"
+        assert len(result.seeds) == 5  # still returns a usable answer
+
+    def test_smaller_epsilon_needs_more_samples(self, medium_wc_graph):
+        loose = ssa(medium_wc_graph, 5, epsilon=0.24, model="LT", seed=12)
+        tight = ssa(medium_wc_graph, 5, epsilon=0.08, model="LT", seed=12)
+        assert tight.samples > loose.samples
+
+
+class TestCustomSplit:
+    def test_custom_split_accepted(self, medium_wc_graph):
+        split = EpsilonSplit(0.02, 0.1, 0.1)
+        result = ssa(
+            medium_wc_graph, 4, epsilon=0.25, model="LT", seed=13, split=split
+        )
+        assert result.extras["epsilon_split"] == (0.02, 0.1, 0.1)
+
+    def test_invalid_split_rejected(self, medium_wc_graph):
+        bad = EpsilonSplit(2.0, 0.9, 0.9)
+        with pytest.raises(ParameterError):
+            ssa(medium_wc_graph, 4, epsilon=0.1, model="LT", seed=13, split=bad)
+
+
+class TestValidation:
+    def test_bad_k(self, tiny_graph):
+        with pytest.raises(ParameterError):
+            ssa(tiny_graph, 0, epsilon=0.2)
+        with pytest.raises(ParameterError):
+            ssa(tiny_graph, 5, epsilon=0.2)
+
+    def test_bad_epsilon(self, tiny_graph):
+        with pytest.raises(ParameterError):
+            ssa(tiny_graph, 1, epsilon=1.5)
+
+    def test_default_delta_is_one_over_n(self, medium_wc_graph):
+        result = ssa(medium_wc_graph, 3, epsilon=0.2, model="LT", seed=14)
+        assert result.extras["n_max"] > 0

@@ -1,0 +1,122 @@
+"""Tests for RIS thresholds and epsilon splits."""
+
+import math
+
+import pytest
+
+from repro.core.thresholds import (
+    EpsilonSplit,
+    default_epsilon_split,
+    imm_theta_exact,
+    imm_threshold,
+    max_iterations,
+    sample_cap,
+    tim_threshold,
+    upsilon_ln,
+)
+from repro.exceptions import ParameterError
+from repro.utils.mathstats import binomial_coefficient_ln, upsilon
+
+_E = 1 - 1 / math.e
+
+
+class TestUpsilonLn:
+    def test_agrees_with_upsilon(self):
+        assert upsilon_ln(0.1, math.log(1 / 0.01)) == pytest.approx(upsilon(0.1, 0.01))
+
+    def test_handles_huge_log_terms(self):
+        # ln C(1e9, 1000) style terms must not overflow.
+        big = binomial_coefficient_ln(10**9, 1000)
+        assert math.isfinite(upsilon_ln(0.1, big + 10))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            upsilon_ln(0, 5.0)
+        with pytest.raises(ParameterError):
+            upsilon_ln(0.1, -1.0)
+
+
+class TestSampleCap:
+    def test_formula(self):
+        n, k, eps, delta = 1000, 10, 0.1, 0.001
+        ln_term = math.log(6 / delta) + binomial_coefficient_ln(n, k)
+        expected = 8 * _E / (2 + 2 * eps / 3) * upsilon_ln(eps, ln_term) * n / k
+        assert sample_cap(n, k, eps, delta) == pytest.approx(expected)
+
+    def test_decreases_with_k(self):
+        assert sample_cap(1000, 50, 0.1, 0.001) < sample_cap(1000, 5, 0.1, 0.001)
+
+    def test_grows_with_n(self):
+        assert sample_cap(10_000, 10, 0.1, 0.001) > sample_cap(1000, 10, 0.1, 0.001)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ParameterError):
+            sample_cap(10, 11, 0.1, 0.01)
+
+
+class TestMaxIterations:
+    def test_logarithmic_in_n(self):
+        # Lemma 10: t_max = O(log n) — concretely below 2 log2 n + 2.
+        for n in (100, 10_000, 1_000_000):
+            i_max = max_iterations(n, 10, 0.1, 1.0 / n)
+            assert i_max <= 2 * math.log2(n) + 16
+
+    def test_at_least_one(self):
+        assert max_iterations(50, 1, 0.2, 0.02) >= 1
+
+
+class TestDefaultEpsilonSplit:
+    def test_satisfies_eq18_with_equality(self):
+        for eps in (0.05, 0.1, 0.2):
+            split = default_epsilon_split(eps)
+            assert split.combined() == pytest.approx(eps, rel=1e-9)
+
+    def test_paper_example_epsilon_01(self):
+        # Paper quotes eps1 ~ 1/78, eps2 = eps3 ~ 2/25 for eps = 0.1.
+        split = default_epsilon_split(0.1)
+        assert split.epsilon_2 == pytest.approx(2 / 25, rel=0.02)
+        assert split.epsilon_3 == split.epsilon_2
+        assert split.epsilon_1 == pytest.approx(1 / 78, rel=0.15)
+
+    def test_rejects_epsilon_above_1_minus_1_over_e(self):
+        with pytest.raises(ParameterError):
+            default_epsilon_split(0.7)
+
+    def test_validate_rejects_violating_split(self):
+        bad = EpsilonSplit(1.0, 0.5, 0.5)
+        with pytest.raises(ParameterError):
+            bad.validate(0.1)
+
+    def test_validate_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            EpsilonSplit(0.0, 0.1, 0.1).validate(0.3)
+
+    def test_validate_accepts_custom_valid_split(self):
+        EpsilonSplit(0.01, 0.05, 0.05).validate(0.1)
+
+
+class TestPublishedThresholds:
+    def test_imm_below_tim(self):
+        # Eq. 14 vs Eq. 12: IMM's threshold is roughly half of TIM's.
+        n, k, eps, delta, opt = 10_000, 50, 0.1, 1e-4, 500.0
+        assert imm_threshold(n, k, eps, delta, opt) < tim_threshold(n, k, eps, delta, opt)
+
+    def test_thresholds_scale_inverse_opt(self):
+        base = imm_threshold(1000, 10, 0.1, 0.001, 100.0)
+        assert imm_threshold(1000, 10, 0.1, 0.001, 200.0) == pytest.approx(base / 2)
+
+    def test_exact_theta_close_to_simplified(self):
+        n, k, eps, delta, opt = 10_000, 50, 0.1, 1e-4, 500.0
+        exact = imm_theta_exact(n, k, eps, delta, opt)
+        simplified = imm_threshold(n, k, eps, delta, opt)
+        # Simplification inflates by at most 2x (the (a+b)^2 <= 2(a^2+b^2) step).
+        assert exact <= simplified * 1.01
+        assert simplified <= 2.05 * exact
+
+    def test_opt_validation(self):
+        with pytest.raises(ParameterError):
+            tim_threshold(100, 5, 0.1, 0.01, 0.0)
+        with pytest.raises(ParameterError):
+            imm_threshold(100, 5, 0.1, 0.01, -3.0)
+        with pytest.raises(ParameterError):
+            imm_theta_exact(100, 5, 0.1, 0.01, 0.0)

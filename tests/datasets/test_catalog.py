@@ -1,0 +1,49 @@
+"""Tests for the dataset catalog (Table 2 bookkeeping)."""
+
+import pytest
+
+from repro.datasets.catalog import DATASETS, get_spec, list_datasets
+from repro.exceptions import DatasetError
+
+
+class TestCatalogContents:
+    def test_all_eight_datasets_present(self):
+        assert list_datasets() == [
+            "nethept",
+            "netphy",
+            "enron",
+            "epinions",
+            "dblp",
+            "orkut",
+            "twitter",
+            "friendster",
+        ]
+
+    def test_paper_statistics_recorded(self):
+        spec = get_spec("friendster")
+        assert spec.paper_nodes == 65_600_000
+        assert spec.paper_edges == 3_600_000_000
+        assert spec.paper_avg_degree == 54.8
+
+    def test_undirected_flags(self):
+        assert get_spec("orkut").undirected
+        assert get_spec("friendster").undirected
+        assert not get_spec("twitter").undirected
+
+    def test_scale_factors_substantial(self):
+        # Stand-ins must be drastically smaller than billion-edge originals.
+        assert get_spec("twitter").scale_factor > 1000
+        assert get_spec("nethept").scale_factor > 5
+
+    def test_case_insensitive_lookup(self):
+        assert get_spec("NetHEPT").name == "nethept"
+        assert get_spec(" Enron ").name == "enron"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(DatasetError):
+            get_spec("facebook")
+
+    def test_specs_frozen(self):
+        spec = get_spec("dblp")
+        with pytest.raises(AttributeError):
+            spec.paper_nodes = 1

@@ -1,0 +1,86 @@
+"""Tests for synthetic dataset stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.catalog import get_spec
+from repro.datasets.synthetic import load_dataset
+from repro.exceptions import DatasetError
+from repro.graph.statistics import compute_stats, powerlaw_tail_ratio
+
+
+class TestMaterialization:
+    def test_default_size_matches_spec(self):
+        g = load_dataset("nethept")
+        assert g.n == get_spec("nethept").standin_nodes
+
+    def test_scale_parameter(self):
+        g = load_dataset("nethept", scale=0.5)
+        assert g.n == get_spec("nethept").standin_nodes // 2
+
+    def test_deterministic(self):
+        a = load_dataset("enron", scale=0.3)
+        b = load_dataset("enron", scale=0.3)
+        assert a == b
+
+    def test_datasets_distinct(self):
+        a = load_dataset("enron", scale=0.3)
+        b = load_dataset("netphy", scale=0.3)
+        assert a != b
+
+    def test_seed_override_changes_instance(self):
+        a = load_dataset("enron", scale=0.3)
+        b = load_dataset("enron", scale=0.3, seed=999)
+        assert a != b
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("enron", scale=0.0)
+
+
+class TestShapePreservation:
+    @pytest.mark.parametrize("name", ["nethept", "epinions", "dblp"])
+    def test_average_degree_close_to_paper(self, name):
+        g = load_dataset(name, scale=0.5)
+        spec = get_spec(name)
+        avg = g.m / g.n
+        assert avg == pytest.approx(spec.paper_avg_degree, rel=0.35)
+
+    def test_heavy_tail(self):
+        g = load_dataset("twitter", scale=0.5)
+        assert powerlaw_tail_ratio(g) > 0.05
+
+    def test_undirected_standins_symmetric(self):
+        g = load_dataset("orkut", scale=0.5)
+        # Every edge must exist in both directions (Section 7.1 Remark).
+        for u, v in g.edges().tolist()[:500]:
+            assert g.has_edge(v, u)
+
+    def test_reciprocity_separates_directed_from_bidirected(self):
+        from repro.graph.metrics import reciprocity
+
+        assert reciprocity(load_dataset("friendster", scale=0.3)) == 1.0
+        assert reciprocity(load_dataset("twitter", scale=0.3)) < 0.5
+
+
+class TestWeightSchemes:
+    def test_wc_default(self):
+        g = load_dataset("nethept", scale=0.3)
+        stats = compute_stats(g)
+        assert stats.lt_admissible
+
+    def test_constant(self):
+        g = load_dataset("nethept", scale=0.3, weights="const:0.05")
+        assert np.allclose(g.out_weights, 0.05)
+
+    def test_trivalency(self):
+        g = load_dataset("nethept", scale=0.3, weights="trivalency")
+        assert set(np.round(np.unique(g.out_weights), 6)) <= {0.1, 0.01, 0.001}
+
+    def test_bad_scheme(self):
+        with pytest.raises(DatasetError):
+            load_dataset("nethept", weights="quadvalency")
+
+    def test_bad_constant(self):
+        with pytest.raises(DatasetError):
+            load_dataset("nethept", weights="const:abc")

@@ -1,0 +1,69 @@
+"""Tests for the synthetic tweet-topic groups (Table 4 stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import load_dataset
+from repro.datasets.twitter_topics import TOPICS, build_topic_group
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def twitter_graph():
+    return load_dataset("twitter", scale=0.5)
+
+
+class TestTopicSpecs:
+    def test_paper_user_counts(self):
+        assert TOPICS[1].paper_users == 997_034
+        assert TOPICS[2].paper_users == 507_465
+
+    def test_keywords_match_table4(self):
+        assert "obama" in TOPICS[1].keywords
+        assert "oprah" in TOPICS[2].keywords
+        assert len(TOPICS[1].keywords) == 5
+        assert len(TOPICS[2].keywords) == 5
+
+    def test_fractions(self):
+        assert TOPICS[1].user_fraction == pytest.approx(997_034 / 41_700_000)
+
+
+class TestGroupConstruction:
+    def test_group_size_scales_with_fraction(self, twitter_graph):
+        g1 = build_topic_group(twitter_graph, 1, seed=1)
+        g2 = build_topic_group(twitter_graph, 2, seed=1)
+        expected_1 = TOPICS[1].user_fraction * twitter_graph.n
+        assert g1.size == pytest.approx(expected_1, abs=2)
+        # Topic 1 has ~2x the users of topic 2, mirroring Table 4.
+        assert g1.size > g2.size
+
+    def test_weights_heavy_tailed(self, twitter_graph):
+        group = build_topic_group(twitter_graph, 1, seed=2)
+        weights = group.benefits[group.benefits > 0]
+        assert weights.min() >= 1.0
+        assert weights.max() > weights.min()  # Zipf gives spread
+
+    def test_deterministic_default_seed(self, twitter_graph):
+        a = build_topic_group(twitter_graph, 1)
+        b = build_topic_group(twitter_graph, 1)
+        assert np.array_equal(a.benefits, b.benefits)
+
+    def test_keywords_attached(self, twitter_graph):
+        group = build_topic_group(twitter_graph, 2, seed=3)
+        assert group.keywords == TOPICS[2].keywords
+
+    def test_unknown_topic(self, twitter_graph):
+        with pytest.raises(DatasetError):
+            build_topic_group(twitter_graph, 99)
+
+    def test_bad_activity_bias(self, twitter_graph):
+        with pytest.raises(DatasetError):
+            build_topic_group(twitter_graph, 1, activity_bias=1.5)
+
+    def test_activity_bias_prefers_active_users(self, twitter_graph):
+        degrees = np.diff(twitter_graph.out_indptr)
+        biased = build_topic_group(twitter_graph, 1, seed=4, activity_bias=1.0)
+        uniform = build_topic_group(twitter_graph, 1, seed=4, activity_bias=0.0)
+        mean_deg_biased = degrees[biased.members()].mean()
+        mean_deg_uniform = degrees[uniform.members()].mean()
+        assert mean_deg_biased > mean_deg_uniform

@@ -1,0 +1,94 @@
+"""Tests for forward IC simulation."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.independent_cascade import simulate_ic, simulate_ic_trace
+from repro.exceptions import ParameterError
+from repro.graph.builder import from_edges
+from repro.graph.generators import cycle_graph, star_graph
+from repro.graph.weights import assign_constant_weights
+
+from tests.oracles import exact_ic_spread
+
+
+class TestDeterministicCascades:
+    def test_weight_one_star_activates_all(self):
+        g = assign_constant_weights(star_graph(8), 1.0)
+        assert simulate_ic(g, [0], seed=0) == 8
+
+    def test_weight_zero_star_activates_only_seed(self):
+        g = assign_constant_weights(star_graph(8), 0.0)
+        assert simulate_ic(g, [0], seed=0) == 1
+
+    def test_leaf_seed_cannot_spread(self):
+        g = assign_constant_weights(star_graph(8), 1.0)
+        assert simulate_ic(g, [3], seed=0) == 1
+
+    def test_cycle_weight_one(self):
+        g = assign_constant_weights(cycle_graph(6), 1.0)
+        assert simulate_ic(g, [2], seed=0) == 6
+
+    def test_all_seeds(self):
+        g = assign_constant_weights(star_graph(5), 0.0)
+        assert simulate_ic(g, [0, 1, 2, 3, 4], seed=0) == 5
+
+    def test_duplicate_seeds_counted_once(self):
+        g = assign_constant_weights(star_graph(5), 0.0)
+        assert simulate_ic(g, [0, 0, 0], seed=0) == 1
+
+
+class TestStatisticalAgreement:
+    def test_star_mean_matches_closed_form(self):
+        # I({hub}) = 1 + (n-1)p exactly for a star.
+        n, p = 12, 0.35
+        g = assign_constant_weights(star_graph(n), p)
+        rng = np.random.default_rng(5)
+        sims = 4000
+        mean = np.mean([simulate_ic(g, [0], rng) for _ in range(sims)])
+        assert mean == pytest.approx(1 + (n - 1) * p, rel=0.05)
+
+    def test_tiny_graph_matches_exact_oracle(self, tiny_graph):
+        exact = exact_ic_spread(tiny_graph, [0])
+        rng = np.random.default_rng(6)
+        mean = np.mean([simulate_ic(tiny_graph, [0], rng) for _ in range(4000)])
+        assert mean == pytest.approx(exact, rel=0.05)
+
+
+class TestTrace:
+    def test_round_zero_is_seeds(self, tiny_graph):
+        trace = simulate_ic_trace(tiny_graph, [0, 3], seed=1)
+        assert trace[0] == [0, 3]
+
+    def test_rounds_disjoint(self, grid_graph):
+        trace = simulate_ic_trace(grid_graph, [0], seed=2)
+        seen: set[int] = set()
+        for round_nodes in trace:
+            assert not (seen & set(round_nodes))
+            seen |= set(round_nodes)
+
+    def test_trace_total_matches_size(self, grid_graph):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            trace = simulate_ic_trace(grid_graph, [5], rng)
+            total = sum(len(r) for r in trace)
+            assert total >= 1
+
+    def test_star_weight_one_two_rounds(self):
+        g = assign_constant_weights(star_graph(5), 1.0)
+        trace = simulate_ic_trace(g, [0], seed=0)
+        assert len(trace) == 2
+        assert trace[1] == [1, 2, 3, 4]
+
+
+class TestValidation:
+    def test_bad_seed_rejected(self, tiny_graph):
+        with pytest.raises(ParameterError):
+            simulate_ic(tiny_graph, [10], seed=0)
+        with pytest.raises(ParameterError):
+            simulate_ic(tiny_graph, [-1], seed=0)
+
+    def test_reproducible_with_seed(self, grid_graph):
+        a = [simulate_ic(grid_graph, [0], seed=42) for _ in range(5)]
+        b = [simulate_ic(grid_graph, [0], seed=42) for _ in range(5)]
+        assert a == b

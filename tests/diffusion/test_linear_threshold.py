@@ -1,0 +1,84 @@
+"""Tests for forward LT simulation."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.linear_threshold import simulate_lt, simulate_lt_trace
+from repro.exceptions import ParameterError, WeightError
+from repro.graph.builder import from_edges
+from repro.graph.generators import cycle_graph, star_graph
+from repro.graph.weights import assign_weighted_cascade
+
+from tests.oracles import exact_lt_spread
+
+
+class TestDeterministicCascades:
+    def test_cycle_wc_fully_activates(self, cycle_wc):
+        # Each node's single in-edge has weight 1: threshold always met.
+        assert simulate_lt(cycle_wc, [0], seed=0) == 8
+
+    def test_star_wc_hub_activates_all(self, star_wc):
+        # Leaves have in-degree 1 => weight 1 from hub.
+        assert simulate_lt(star_wc, [0], seed=0) == 10
+
+    def test_leaf_seed_stays_alone(self, star_wc):
+        assert simulate_lt(star_wc, [4], seed=0) == 1
+
+    def test_zero_weight_blocks(self):
+        g = from_edges([(0, 1, 0.0)], n=2)
+        assert simulate_lt(g, [0], seed=0) == 1
+
+
+class TestStatisticalAgreement:
+    def test_tiny_graph_matches_exact_oracle(self, tiny_graph):
+        exact = exact_lt_spread(tiny_graph, [0])
+        rng = np.random.default_rng(7)
+        mean = np.mean([simulate_lt(tiny_graph, [0], rng) for _ in range(4000)])
+        assert mean == pytest.approx(exact, rel=0.05)
+
+    def test_two_in_edges_probability(self):
+        # v has in-edges from 0 (w=0.4) and 1 (w=0.3).  Seeding {0}:
+        # P[activate] = P[lambda <= 0.4] = 0.4, so I = 1.4.
+        g = from_edges([(0, 2, 0.4), (1, 2, 0.3)], n=3)
+        rng = np.random.default_rng(8)
+        mean = np.mean([simulate_lt(g, [0], rng) for _ in range(6000)])
+        assert mean == pytest.approx(1.4, rel=0.05)
+
+    def test_joint_seeding_sums_weights(self):
+        # Seeding {0, 1}: P[activate v] = 0.7, I = 2.7.
+        g = from_edges([(0, 2, 0.4), (1, 2, 0.3)], n=3)
+        rng = np.random.default_rng(9)
+        mean = np.mean([simulate_lt(g, [0, 1], rng) for _ in range(6000)])
+        assert mean == pytest.approx(2.7, rel=0.05)
+
+
+class TestTrace:
+    def test_round_zero(self, star_wc):
+        trace = simulate_lt_trace(star_wc, [0], seed=1)
+        assert trace[0] == [0]
+        assert sorted(trace[1]) == list(range(1, 10))
+
+    def test_rounds_disjoint(self, small_wc_graph):
+        trace = simulate_lt_trace(small_wc_graph, [0, 1], seed=2)
+        seen: set[int] = set()
+        for round_nodes in trace:
+            assert not (seen & set(round_nodes))
+            seen |= set(round_nodes)
+
+
+class TestValidation:
+    def test_validate_flag_checks_weights(self):
+        g = from_edges([(0, 2, 0.9), (1, 2, 0.9)], n=3)
+        with pytest.raises(WeightError):
+            simulate_lt(g, [0], seed=0, validate=True)
+        # Without the flag the simulation proceeds (caller's risk).
+        assert simulate_lt(g, [0], seed=0) >= 1
+
+    def test_bad_seed_rejected(self, star_wc):
+        with pytest.raises(ParameterError):
+            simulate_lt(star_wc, [99], seed=0)
+
+    def test_reproducible(self, small_wc_graph):
+        a = [simulate_lt(small_wc_graph, [3], seed=11) for _ in range(5)]
+        b = [simulate_lt(small_wc_graph, [3], seed=11) for _ in range(5)]
+        assert a == b

@@ -1,0 +1,26 @@
+"""Tests for diffusion model parsing."""
+
+import pytest
+
+from repro.diffusion.models import DiffusionModel
+from repro.exceptions import ParameterError
+
+
+def test_parse_strings():
+    assert DiffusionModel.parse("ic") is DiffusionModel.IC
+    assert DiffusionModel.parse("LT") is DiffusionModel.LT
+    assert DiffusionModel.parse("Lt") is DiffusionModel.LT
+
+
+def test_parse_passthrough():
+    assert DiffusionModel.parse(DiffusionModel.IC) is DiffusionModel.IC
+
+
+def test_parse_unknown():
+    with pytest.raises(ParameterError):
+        DiffusionModel.parse("SIR")
+
+
+def test_is_str_enum():
+    assert DiffusionModel.IC.value == "IC"
+    assert str(DiffusionModel.LT.value) == "LT"

@@ -1,0 +1,61 @@
+"""Tests for Monte Carlo spread estimation."""
+
+import pytest
+
+from repro.diffusion.spread import SpreadEstimate, estimate_spread, simulate_cascade
+from repro.exceptions import ParameterError
+
+from tests.oracles import exact_ic_spread, exact_lt_spread
+
+
+class TestSimulateCascade:
+    def test_dispatch_ic(self, star_half):
+        size = simulate_cascade(star_half, [0], "IC", seed=1)
+        assert 1 <= size <= star_half.n
+
+    def test_dispatch_lt(self, star_wc):
+        assert simulate_cascade(star_wc, [0], "LT", seed=1) == 10
+
+    def test_unknown_model(self, star_wc):
+        with pytest.raises(ParameterError):
+            simulate_cascade(star_wc, [0], "XYZ", seed=1)
+
+
+class TestEstimateSpread:
+    def test_matches_exact_ic(self, tiny_graph):
+        estimate = estimate_spread(tiny_graph, [0], "IC", simulations=4000, seed=2)
+        assert estimate.mean == pytest.approx(exact_ic_spread(tiny_graph, [0]), rel=0.05)
+
+    def test_matches_exact_lt(self, tiny_graph):
+        estimate = estimate_spread(tiny_graph, [0], "LT", simulations=4000, seed=3)
+        assert estimate.mean == pytest.approx(exact_lt_spread(tiny_graph, [0]), rel=0.05)
+
+    def test_confidence_interval_contains_truth(self, tiny_graph):
+        truth = exact_ic_spread(tiny_graph, [0])
+        estimate = estimate_spread(tiny_graph, [0], "IC", simulations=3000, seed=4)
+        lo, hi = estimate.confidence_interval(z=3.0)
+        assert lo <= truth <= hi
+
+    def test_std_error_shrinks_with_simulations(self, grid_graph):
+        small = estimate_spread(grid_graph, [0], "IC", simulations=100, seed=5)
+        large = estimate_spread(grid_graph, [0], "IC", simulations=1600, seed=5)
+        assert large.std_error < small.std_error
+
+    def test_monotone_in_seeds(self, tiny_graph):
+        # Exact spreads are monotone; MC estimates with enough sims follow.
+        single = estimate_spread(tiny_graph, [0], "IC", simulations=3000, seed=6)
+        double = estimate_spread(tiny_graph, [0, 3], "IC", simulations=3000, seed=6)
+        assert double.mean >= single.mean
+
+    def test_rejects_zero_simulations(self, tiny_graph):
+        with pytest.raises(ParameterError):
+            estimate_spread(tiny_graph, [0], "IC", simulations=0)
+
+    def test_single_simulation_zero_stderr(self, tiny_graph):
+        estimate = estimate_spread(tiny_graph, [0], "IC", simulations=1, seed=7)
+        assert estimate.std_error == 0.0
+
+    def test_dataclass_fields(self, tiny_graph):
+        estimate = estimate_spread(tiny_graph, [0], "LT", simulations=10, seed=8)
+        assert isinstance(estimate, SpreadEstimate)
+        assert estimate.simulations == 10

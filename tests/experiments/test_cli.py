@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "D-SSA"])
+        args_dict = vars(args)
+        assert args_dict["algorithm"] == "D-SSA"
+        assert args_dict["dataset"] == "nethept"
+        assert args_dict["model"] == "LT"
+
+    def test_compare_algorithms_list(self):
+        args = build_parser().parse_args(
+            ["compare", "--algorithms", "D-SSA", "IMM", "-k", "3"]
+        )
+        assert args.algorithms == ["D-SSA", "IMM"]
+        assert args.k == 3
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "SimPath"])
+
+    def test_tvm_topic_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tvm", "--topic", "3"])
+
+
+class TestExecution:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "friendster" in out
+        assert "65600000" in out
+
+    def test_stats_command(self, capsys):
+        assert main(["stats", "nethept", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "nethept" in out
+        assert "LT admissible=True" in out
+
+    def test_run_command(self, capsys):
+        code = main(
+            ["run", "D-SSA", "--dataset", "nethept", "--scale", "0.1",
+             "-k", "2", "--epsilon", "0.25", "--model", "LT"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "D-SSA" in out
+
+    def test_sweep_command(self, capsys):
+        code = main(
+            ["sweep", "--dataset", "nethept", "--scale", "0.1",
+             "--k-values", "1", "3", "--epsilon", "0.25"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Influence sweep" in out
+        assert "estimated influence" in out
+
+    def test_compare_command_with_quality(self, capsys):
+        code = main(
+            ["compare", "--algorithms", "D-SSA", "degree",
+             "--dataset", "nethept", "--scale", "0.1", "-k", "2",
+             "--epsilon", "0.25", "--quality", "--quality-sims", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degree" in out

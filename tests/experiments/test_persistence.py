@@ -1,0 +1,97 @@
+"""Tests for experiment record persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments.persistence import (
+    PersistenceError,
+    load_records,
+    merge_record_files,
+    save_records,
+)
+from repro.experiments.runner import RunRecord
+
+
+def record(algo="D-SSA", k=5, quality=None):
+    return RunRecord(
+        algorithm=algo,
+        dataset="enron",
+        model="LT",
+        k=k,
+        epsilon=0.1,
+        seconds=0.5,
+        rr_sets=1234,
+        memory_bytes=5678,
+        influence_estimate=42.5,
+        seeds=[1, 2, 3],
+        iterations=2,
+        stopped_by="conditions",
+        quality=quality,
+    )
+
+
+class TestRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        originals = [record("D-SSA"), record("IMM", k=10, quality=41.0)]
+        path = save_records(originals, tmp_path / "runs.json")
+        loaded = load_records(path)
+        assert len(loaded) == 2
+        assert loaded[0].as_dict() == originals[0].as_dict()
+        assert loaded[1].quality == 41.0
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_records([record()], tmp_path / "deep" / "dir" / "runs.json")
+        assert path.exists()
+
+    def test_empty_list(self, tmp_path):
+        path = save_records([], tmp_path / "empty.json")
+        assert load_records(path) == []
+
+    def test_unknown_keys_ignored(self, tmp_path):
+        path = save_records([record()], tmp_path / "runs.json")
+        payload = json.loads(path.read_text())
+        payload["records"][0]["future_field"] = "whatever"
+        path.write_text(json.dumps(payload))
+        loaded = load_records(path)
+        assert loaded[0].algorithm == "D-SSA"
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_records(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(PersistenceError):
+            load_records(path)
+
+    def test_wrong_shape(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('["just", "a", "list"]')
+        with pytest.raises(PersistenceError):
+            load_records(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "records": []}))
+        with pytest.raises(PersistenceError):
+            load_records(path)
+
+    def test_missing_required_field(self, tmp_path):
+        path = save_records([record()], tmp_path / "runs.json")
+        payload = json.loads(path.read_text())
+        del payload["records"][0]["rr_sets"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PersistenceError, match="rr_sets"):
+            load_records(path)
+
+
+class TestMerge:
+    def test_merges_in_order(self, tmp_path):
+        a = save_records([record("D-SSA")], tmp_path / "a.json")
+        b = save_records([record("IMM"), record("SSA")], tmp_path / "b.json")
+        merged = merge_record_files([a, b])
+        assert [r.algorithm for r in merged] == ["D-SSA", "IMM", "SSA"]

@@ -1,0 +1,77 @@
+"""Tests for report rendering."""
+
+from repro.experiments.report import (
+    render_comparison,
+    render_series,
+    render_table3,
+    speedup_summary,
+)
+from repro.experiments.runner import RunRecord
+
+
+def record(algo="D-SSA", dataset="enron", k=5, seconds=1.0, rr=1000, quality=None):
+    return RunRecord(
+        algorithm=algo,
+        dataset=dataset,
+        model="LT",
+        k=k,
+        epsilon=0.1,
+        seconds=seconds,
+        rr_sets=rr,
+        memory_bytes=10_000,
+        influence_estimate=42.0,
+        seeds=[1, 2],
+        quality=quality,
+    )
+
+
+class TestRenderSeries:
+    def test_groups_by_algorithm(self):
+        records = [record(k=1, seconds=0.1), record(k=2, seconds=0.2), record("IMM", k=1, seconds=1.0)]
+        out = render_series(records, "seconds", title="Fig 4")
+        assert "Fig 4" in out
+        assert "D-SSA" in out and "IMM" in out
+
+    def test_skips_none_quality(self):
+        out = render_series([record(quality=None)], "quality")
+        assert "(no data)" in out
+
+    def test_quality_axis(self):
+        out = render_series([record(quality=12.5)], "quality")
+        assert "12.5" in out
+
+
+class TestRenderTable3:
+    def test_has_time_and_rr_columns(self):
+        records = [
+            record("D-SSA", seconds=0.5, rr=100),
+            record("IMM", seconds=5.0, rr=2000),
+        ]
+        out = render_table3(records)
+        assert "D-SSA time(s)" in out
+        assert "IMM #RR" in out
+        assert "2000" in out
+
+    def test_missing_combination_na(self):
+        records = [record("D-SSA", k=1), record("IMM", k=2)]
+        out = render_table3(records)
+        assert "n/a" in out
+
+
+class TestRenderComparison:
+    def test_columns(self):
+        out = render_comparison([record(quality=40.0)], title="cmp")
+        assert "cmp" in out
+        assert "influence" in out
+        assert "40" in out
+
+
+class TestSpeedupSummary:
+    def test_computes_ratio(self):
+        records = [record("IMM", seconds=10.0), record("D-SSA", seconds=0.1)]
+        out = speedup_summary(records, baseline="IMM")
+        assert "100" in out  # 10 / 0.1
+
+    def test_missing_baseline_skipped(self):
+        out = speedup_summary([record("D-SSA")], baseline="IMM")
+        assert "D-SSA" not in out.splitlines()[-1] or "speedup" in out

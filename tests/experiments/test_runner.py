@@ -1,0 +1,64 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.runner import ALGORITHMS, evaluate_quality, run_algorithm
+
+
+class TestRunAlgorithm:
+    @pytest.mark.parametrize("algo", ["D-SSA", "SSA", "IMM", "degree", "degree-discount"])
+    def test_each_algorithm_runs(self, medium_wc_graph, algo):
+        record = run_algorithm(
+            algo, medium_wc_graph, 3, model="LT", epsilon=0.2, seed=1, dataset="test"
+        )
+        assert record.dataset == "test"
+        assert record.k == 3
+        assert len(record.seeds) == 3
+        assert record.seconds >= 0
+
+    def test_tim_with_budget(self, medium_wc_graph):
+        record = run_algorithm(
+            "TIM+", medium_wc_graph, 3, model="LT", epsilon=0.25, seed=2,
+            max_samples=30_000,
+        )
+        assert record.rr_sets <= 30_000 + 10_000  # KPT phase may add a little
+
+    def test_celf_uses_simulation_knob(self, grid_graph):
+        record = run_algorithm(
+            "CELF", grid_graph, 2, model="IC", seed=3, celf_simulations=20
+        )
+        assert record.algorithm == "CELF"
+        assert record.rr_sets == 0
+
+    def test_unknown_algorithm(self, medium_wc_graph):
+        with pytest.raises(ParameterError):
+            run_algorithm("SimPath", medium_wc_graph, 3)
+
+    def test_algorithm_registry_complete(self):
+        assert "D-SSA" in ALGORITHMS
+        assert "CELF++" in ALGORITHMS
+
+
+class TestEvaluateQuality:
+    def test_fills_quality(self, medium_wc_graph):
+        record = run_algorithm(
+            "D-SSA", medium_wc_graph, 5, model="LT", epsilon=0.2, seed=4
+        )
+        assert record.quality is None
+        evaluate_quality(record, medium_wc_graph, simulations=100, seed=5)
+        assert record.quality is not None
+        assert record.quality >= 5  # at least the seeds themselves
+
+    def test_quality_close_to_algorithm_estimate(self, medium_wc_graph):
+        record = run_algorithm(
+            "D-SSA", medium_wc_graph, 5, model="LT", epsilon=0.2, seed=6
+        )
+        evaluate_quality(record, medium_wc_graph, simulations=400, seed=7)
+        assert record.quality == pytest.approx(record.influence_estimate, rel=0.25)
+
+    def test_as_dict_roundtrip(self, medium_wc_graph):
+        record = run_algorithm("degree", medium_wc_graph, 2, dataset="x")
+        d = record.as_dict()
+        assert d["algorithm"] == "degree"
+        assert d["dataset"] == "x"

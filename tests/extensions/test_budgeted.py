@@ -1,0 +1,107 @@
+"""Tests for budgeted (cost-aware) influence maximization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.extensions.budgeted import budgeted_dssa, budgeted_max_coverage
+from repro.sampling.rr_collection import RRCollection
+
+
+def make_collection(n, sets):
+    coll = RRCollection(n)
+    coll.extend(np.asarray(s, dtype=np.int32) for s in sets)
+    return coll
+
+
+class TestBudgetedMaxCoverage:
+    def test_respects_budget(self):
+        coll = make_collection(4, [[0], [1], [2], [3], [0, 1]])
+        costs = np.array([1.0, 1.0, 1.0, 1.0])
+        result = budgeted_max_coverage(coll, costs, 2.0)
+        assert sum(costs[result.seeds]) <= 2.0
+        assert len(result.seeds) <= 2
+
+    def test_ratio_greedy_prefers_cheap_coverage(self):
+        # Node 0 covers 3 sets at cost 3 (ratio 1); node 1 covers 2 sets
+        # at cost 1 (ratio 2).  With budget 1 only node 1 is affordable.
+        coll = make_collection(3, [[0], [0], [0], [1], [1]])
+        costs = np.array([3.0, 1.0, 1.0])
+        result = budgeted_max_coverage(coll, costs, 1.0)
+        assert result.seeds == [1]
+
+    def test_single_node_fallback(self):
+        # Ratio greedy would buy two cheap nodes covering 1 set each and
+        # exhaust the budget; the single expensive node covers 5 sets.
+        sets = [[0]] * 5 + [[1]] + [[2]]
+        coll = make_collection(3, sets)
+        costs = np.array([2.0, 1.0, 1.0])
+        result = budgeted_max_coverage(coll, costs, 2.0)
+        assert result.seeds == [0]
+        assert result.coverage == 5
+
+    def test_khuller_guarantee_on_random_instances(self):
+        import itertools
+
+        rng = np.random.default_rng(1)
+        for _ in range(8):
+            n = 8
+            sets = [
+                rng.choice(n, size=rng.integers(1, 4), replace=False).tolist()
+                for _ in range(20)
+            ]
+            coll = make_collection(n, sets)
+            costs = rng.uniform(0.5, 2.0, size=n)
+            budget = 3.0
+            got = budgeted_max_coverage(coll, costs, budget).coverage
+            # Brute-force optimum over all feasible subsets.
+            best = 0
+            for r in range(1, n + 1):
+                for combo in itertools.combinations(range(n), r):
+                    if costs[list(combo)].sum() <= budget:
+                        cov = sum(1 for s in sets if set(s) & set(combo))
+                        best = max(best, cov)
+            assert got >= (1 - 1 / np.sqrt(np.e)) * best - 1e-9
+
+    def test_validation(self):
+        coll = make_collection(3, [[0]])
+        with pytest.raises(ParameterError):
+            budgeted_max_coverage(coll, np.array([1.0, 1.0]), 1.0)
+        with pytest.raises(ParameterError):
+            budgeted_max_coverage(coll, np.array([1.0, 0.0, 1.0]), 1.0)
+        with pytest.raises(ParameterError):
+            budgeted_max_coverage(coll, np.ones(3), 0.0)
+
+
+class TestBudgetedDssa:
+    def test_budget_respected(self, medium_wc_graph):
+        rng = np.random.default_rng(2)
+        costs = rng.uniform(1.0, 3.0, size=medium_wc_graph.n)
+        result = budgeted_dssa(
+            medium_wc_graph, costs, 10.0, epsilon=0.2, model="LT", seed=3
+        )
+        assert result.extras["spent"] <= 10.0 + 1e-9
+        assert result.algorithm == "budgeted-D-SSA"
+        assert result.influence > 0
+
+    def test_larger_budget_no_worse(self, medium_wc_graph):
+        costs = np.ones(medium_wc_graph.n)
+        small = budgeted_dssa(medium_wc_graph, costs, 2.0, epsilon=0.2, model="LT", seed=4)
+        large = budgeted_dssa(medium_wc_graph, costs, 10.0, epsilon=0.2, model="LT", seed=4)
+        assert large.influence >= small.influence * 0.9
+
+    def test_unit_costs_match_cardinality_dssa_quality(self, medium_wc_graph):
+        from repro.core.dssa import dssa
+        from repro.diffusion.spread import estimate_spread
+
+        costs = np.ones(medium_wc_graph.n)
+        b = budgeted_dssa(medium_wc_graph, costs, 5.0, epsilon=0.2, model="LT", seed=5)
+        d = dssa(medium_wc_graph, 5, epsilon=0.2, model="LT", seed=5)
+        qb = estimate_spread(medium_wc_graph, b.seeds, "LT", simulations=300, seed=6).mean
+        qd = estimate_spread(medium_wc_graph, d.seeds, "LT", simulations=300, seed=6).mean
+        assert qb >= 0.8 * qd
+
+    def test_unaffordable_budget_rejected(self, medium_wc_graph):
+        costs = np.full(medium_wc_graph.n, 5.0)
+        with pytest.raises(ParameterError):
+            budgeted_dssa(medium_wc_graph, costs, 1.0, epsilon=0.2, seed=7)

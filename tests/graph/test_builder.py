@@ -1,0 +1,104 @@
+"""Tests for the graph builder."""
+
+import pytest
+
+from repro.exceptions import GraphError, WeightError
+from repro.graph.builder import GraphBuilder, from_edges
+
+
+class TestBasicBuilding:
+    def test_simple(self):
+        g = from_edges([(0, 1, 0.5), (1, 2, 0.2)])
+        assert g.n == 3
+        assert g.m == 2
+
+    def test_explicit_n_pads_isolated_nodes(self):
+        g = from_edges([(0, 1)], n=10)
+        assert g.n == 10
+        assert g.out_degree(9) == 0
+
+    def test_explicit_n_too_small(self):
+        with pytest.raises(GraphError):
+            from_edges([(0, 5)], n=3)
+
+    def test_empty_builder(self):
+        g = GraphBuilder(n=4).build()
+        assert g.n == 4
+        assert g.m == 0
+
+    def test_empty_no_n(self):
+        g = GraphBuilder().build()
+        assert g.n == 0
+        assert g.m == 0
+
+    def test_two_tuples_default_weight(self):
+        g = from_edges([(0, 1)])
+        assert g.edge_weight(0, 1) == 1.0
+
+    def test_pending_edges_counter(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1, 0.1)
+        b.add_edge(1, 2, 0.1)
+        assert b.pending_edges == 2
+
+
+class TestSelfLoopsAndValidation:
+    def test_self_loops_dropped(self):
+        g = from_edges([(0, 0, 0.5), (0, 1, 0.5)])
+        assert g.m == 1
+        assert not g.has_edge(0, 0)
+
+    def test_negative_node_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError):
+            b.add_edge(-1, 2)
+
+    def test_weight_out_of_range_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(WeightError):
+            b.add_edge(0, 1, 1.5)
+        with pytest.raises(WeightError):
+            b.add_edge(0, 1, -0.1)
+
+    def test_bad_combine_policy(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(combine="median")
+
+
+class TestDuplicateCombining:
+    def test_max_default(self):
+        g = from_edges([(0, 1, 0.2), (0, 1, 0.7), (0, 1, 0.5)])
+        assert g.m == 1
+        assert g.edge_weight(0, 1) == pytest.approx(0.7)
+
+    def test_sum(self):
+        g = from_edges([(0, 1, 0.2), (0, 1, 0.3)], combine="sum")
+        assert g.edge_weight(0, 1) == pytest.approx(0.5)
+
+    def test_sum_clamped_at_one(self):
+        g = from_edges([(0, 1, 0.8), (0, 1, 0.8)], combine="sum")
+        assert g.edge_weight(0, 1) == pytest.approx(1.0)
+
+    def test_last(self):
+        g = from_edges([(0, 1, 0.2), (0, 1, 0.9), (0, 1, 0.4)], combine="last")
+        assert g.edge_weight(0, 1) == pytest.approx(0.4)
+
+    def test_distinct_edges_untouched(self):
+        g = from_edges([(0, 1, 0.2), (1, 0, 0.3)])
+        assert g.m == 2
+        assert g.edge_weight(0, 1) == pytest.approx(0.2)
+        assert g.edge_weight(1, 0) == pytest.approx(0.3)
+
+
+class TestLargeBuild:
+    def test_many_edges(self):
+        edges = [(i, (i + 1) % 500, 0.5) for i in range(500)]
+        edges += [(i, (i + 7) % 500, 0.25) for i in range(500)]
+        g = from_edges(edges)
+        assert g.n == 500
+        assert g.m == 1000
+        assert g.out_degree().sum() == 1000
+
+    def test_out_neighbors_sorted(self):
+        g = from_edges([(0, 5), (0, 2), (0, 9), (0, 1)])
+        assert g.out_neighbors(0).tolist() == sorted(g.out_neighbors(0).tolist())

@@ -1,0 +1,83 @@
+"""Tests for SCC and reachability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.graph.components import (
+    component_sizes,
+    forward_closure_size,
+    largest_scc,
+    strongly_connected_components,
+)
+from repro.graph.generators import cycle_graph, erdos_renyi, star_graph
+
+
+class TestSccBasics:
+    def test_cycle_is_one_component(self):
+        labels = strongly_connected_components(cycle_graph(6))
+        assert len(set(labels.tolist())) == 1
+
+    def test_star_all_singletons(self):
+        labels = strongly_connected_components(star_graph(5))
+        assert len(set(labels.tolist())) == 5
+
+    def test_two_cycles_with_bridge(self):
+        # Cycle A (0-2), cycle B (3-5), bridge 2 -> 3: two SCCs.
+        edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]
+        labels = strongly_connected_components(from_edges(edges, n=6))
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_reverse_topological_numbering(self):
+        # Tarjan numbers sink components first: with bridge A -> B, the
+        # B component closes first and gets the smaller id.
+        edges = [(0, 1), (1, 0), (2, 3), (3, 2), (0, 2)]
+        labels = strongly_connected_components(from_edges(edges, n=4))
+        assert labels[2] < labels[0]
+
+    def test_empty_graph(self):
+        labels = strongly_connected_components(GraphBuilder(n=4).build())
+        assert len(set(labels.tolist())) == 4
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = erdos_renyi(60, m=200, seed=7)
+        ours = strongly_connected_components(g)
+        nx_graph = nx.DiGraph(g.edges().tolist())
+        nx_graph.add_nodes_from(range(g.n))
+        expected = list(nx.strongly_connected_components(nx_graph))
+        # Same partition: same number of components and same groupings.
+        ours_partition = {}
+        for node, label in enumerate(ours.tolist()):
+            ours_partition.setdefault(label, set()).add(node)
+        assert set(map(frozenset, ours_partition.values())) == set(
+            map(frozenset, expected)
+        )
+
+
+class TestDerivedQueries:
+    def test_component_sizes_sorted(self):
+        edges = [(0, 1), (1, 0), (2, 3), (3, 4), (4, 2), (5, 5)]
+        sizes = component_sizes(from_edges(edges, n=6))
+        assert sizes.tolist() == [3, 2, 1]
+
+    def test_largest_scc(self):
+        edges = [(0, 1), (1, 0), (2, 3), (3, 4), (4, 2)]
+        assert largest_scc(from_edges(edges, n=5)).tolist() == [2, 3, 4]
+
+    def test_forward_closure_cycle(self):
+        assert forward_closure_size(cycle_graph(9), 4) == 9
+
+    def test_forward_closure_star_leaf(self):
+        assert forward_closure_size(star_graph(6), 2) == 1
+        assert forward_closure_size(star_graph(6), 0) == 6
+
+    def test_closure_caps_influence(self, tiny_graph):
+        from repro.diffusion.spread import estimate_spread
+
+        for v in range(tiny_graph.n):
+            cap = forward_closure_size(tiny_graph, v)
+            spread = estimate_spread(tiny_graph, [v], "IC", simulations=300, seed=v).mean
+            assert spread <= cap + 1e-9

@@ -1,0 +1,160 @@
+"""Tests for the CSR digraph core."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, WeightError
+from repro.graph.builder import from_edges
+from repro.graph.digraph import CSRGraph
+
+
+class TestBasicStructure:
+    def test_counts(self, tiny_graph):
+        assert tiny_graph.n == 4
+        assert tiny_graph.m == 4
+
+    def test_out_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.out_neighbors(0).tolist()) == [1, 2]
+        assert tiny_graph.out_neighbors(1).tolist() == []
+
+    def test_in_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.in_neighbors(2).tolist()) == [0, 3]
+        assert tiny_graph.in_neighbors(0).tolist() == []
+
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.out_degree(0) == 2
+        assert tiny_graph.in_degree(2) == 2
+        assert tiny_graph.out_degree(None if False else None) is not None
+
+    def test_degree_arrays_sum_to_m(self, tiny_graph):
+        assert tiny_graph.out_degree().sum() == tiny_graph.m
+        assert tiny_graph.in_degree().sum() == tiny_graph.m
+
+    def test_repr(self, tiny_graph):
+        assert "CSRGraph" in repr(tiny_graph)
+
+
+class TestEdgeQueries:
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 1)
+        assert tiny_graph.has_edge(3, 2)
+        assert not tiny_graph.has_edge(1, 0)
+        assert not tiny_graph.has_edge(0, 3)
+
+    def test_edge_weight(self, tiny_graph):
+        assert tiny_graph.edge_weight(0, 1) == pytest.approx(1.0)
+        assert tiny_graph.edge_weight(2, 3) == pytest.approx(0.5)
+        assert tiny_graph.edge_weight(1, 0) == 0.0  # paper's convention
+
+    def test_edges_array(self, tiny_graph):
+        pairs = {tuple(e) for e in tiny_graph.edges().tolist()}
+        assert pairs == {(0, 1), (0, 2), (2, 3), (3, 2)}
+
+    def test_in_out_views_consistent(self, tiny_graph):
+        # Every out-edge must appear exactly once in the in view with the
+        # same weight.
+        out_edges = {
+            (u, int(v)): w
+            for u in range(tiny_graph.n)
+            for v, w in zip(
+                tiny_graph.out_neighbors(u).tolist(),
+                tiny_graph.out_edge_weights(u).tolist(),
+            )
+        }
+        in_edges = {
+            (int(u), v): w
+            for v in range(tiny_graph.n)
+            for u, w in zip(
+                tiny_graph.in_neighbors(v).tolist(),
+                tiny_graph.in_edge_weights(v).tolist(),
+            )
+        }
+        assert out_edges == in_edges
+
+
+class TestImmutability:
+    def test_arrays_read_only(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.out_indices[0] = 3
+        with pytest.raises(ValueError):
+            tiny_graph.in_weights[0] = 0.9
+
+
+class TestInWeightTotals:
+    def test_totals(self, tiny_graph):
+        assert tiny_graph.in_weight_totals[1] == pytest.approx(1.0)
+        assert tiny_graph.in_weight_totals[2] == pytest.approx(0.8)  # 0.5 + 0.3
+        assert tiny_graph.in_weight_totals[0] == pytest.approx(0.0)
+
+    def test_lt_validation_passes(self, tiny_graph):
+        tiny_graph.validate_lt_weights()
+
+    def test_lt_validation_fails_on_oversum(self):
+        g = from_edges([(0, 2, 0.8), (1, 2, 0.8)], n=3)
+        with pytest.raises(WeightError):
+            g.validate_lt_weights()
+
+
+class TestValidation:
+    def test_rejects_bad_indptr_length(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                2,
+                np.array([0, 1]),  # should be length 3
+                np.array([1], dtype=np.int32),
+                np.array([0.5]),
+                np.array([0, 0, 1]),
+                np.array([0], dtype=np.int32),
+                np.array([0.5]),
+            )
+
+    def test_rejects_out_of_range_node(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                2,
+                np.array([0, 1, 1]),
+                np.array([5], dtype=np.int32),
+                np.array([0.5]),
+                np.array([0, 0, 1]),
+                np.array([0], dtype=np.int32),
+                np.array([0.5]),
+            )
+
+    def test_rejects_weight_above_one(self):
+        with pytest.raises(WeightError):
+            CSRGraph(
+                2,
+                np.array([0, 1, 1]),
+                np.array([1], dtype=np.int32),
+                np.array([1.5]),
+                np.array([0, 0, 1]),
+                np.array([0], dtype=np.int32),
+                np.array([1.5]),
+            )
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                -1,
+                np.array([0]),
+                np.array([], dtype=np.int32),
+                np.array([]),
+                np.array([0]),
+                np.array([], dtype=np.int32),
+                np.array([]),
+            )
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = from_edges([(0, 1, 0.5), (1, 2, 0.25)], n=3)
+        b = from_edges([(1, 2, 0.25), (0, 1, 0.5)], n=3)
+        assert a == b
+
+    def test_unequal_weights(self):
+        a = from_edges([(0, 1, 0.5)], n=2)
+        b = from_edges([(0, 1, 0.6)], n=2)
+        assert a != b
+
+    def test_memory_bytes_positive(self, tiny_graph):
+        assert tiny_graph.memory_bytes() > 0

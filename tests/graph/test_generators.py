@@ -1,0 +1,134 @@
+"""Tests for graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+    powerlaw_configuration,
+    preferential_attachment,
+    star_graph,
+)
+from repro.graph.statistics import powerlaw_tail_ratio
+
+
+class TestErdosRenyi:
+    def test_gnm_exact_edge_count(self):
+        g = erdos_renyi(50, m=300, seed=1)
+        assert g.n == 50
+        assert g.m == 300
+
+    def test_gnp_edge_count_near_expectation(self):
+        g = erdos_renyi(100, p=0.05, seed=2)
+        expected = 100 * 99 * 0.05
+        assert 0.6 * expected < g.m < 1.4 * expected
+
+    def test_no_self_loops(self):
+        g = erdos_renyi(30, m=200, seed=3)
+        for u, v in g.edges().tolist():
+            assert u != v
+
+    def test_deterministic(self):
+        a = erdos_renyi(40, m=100, seed=9)
+        b = erdos_renyi(40, m=100, seed=9)
+        assert a == b
+
+    def test_requires_exactly_one_of_p_m(self):
+        with pytest.raises(ParameterError):
+            erdos_renyi(10)
+        with pytest.raises(ParameterError):
+            erdos_renyi(10, p=0.1, m=5)
+
+    def test_m_too_large(self):
+        with pytest.raises(ParameterError):
+            erdos_renyi(3, m=100)
+
+
+class TestPowerlawConfiguration:
+    def test_size_and_density(self):
+        g = powerlaw_configuration(500, 6.0, seed=4)
+        assert g.n == 500
+        avg = g.m / g.n
+        assert 4.0 < avg < 7.0  # dedup loses a few edges
+
+    def test_heavy_tail(self):
+        plaw = powerlaw_configuration(1000, 5.0, seed=5)
+        er = erdos_renyi(1000, m=plaw.m, seed=5)
+        # Top 1% of power-law nodes own far more edges than in ER.
+        assert powerlaw_tail_ratio(plaw) > 1.5 * powerlaw_tail_ratio(er)
+
+    def test_deterministic(self):
+        a = powerlaw_configuration(200, 4.0, seed=6)
+        b = powerlaw_configuration(200, 4.0, seed=6)
+        assert a == b
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            powerlaw_configuration(1, 3.0)
+        with pytest.raises(ParameterError):
+            powerlaw_configuration(10, -1.0)
+        with pytest.raises(ParameterError):
+            powerlaw_configuration(10, 3.0, exponent=0.5)
+
+
+class TestPreferentialAttachment:
+    def test_size(self):
+        g = preferential_attachment(100, 3, seed=7)
+        assert g.n == 100
+        # Each of the n - m0 added nodes contributes m0 edges.
+        assert g.m == (100 - 3) * 3
+
+    def test_old_nodes_accumulate_in_degree(self):
+        g = preferential_attachment(300, 2, seed=8)
+        early = np.diff(g.in_indptr)[:10].mean()
+        late = np.diff(g.in_indptr)[-10:].mean()
+        assert early > late
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            preferential_attachment(3, 5)
+        with pytest.raises(ParameterError):
+            preferential_attachment(10, 0)
+
+
+class TestDeterministicShapes:
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.m == 30
+        assert all(g.out_degree(u) == 5 for u in range(6))
+
+    def test_star_outward(self):
+        g = star_graph(7)
+        assert g.out_degree(0) == 6
+        assert all(g.out_degree(leaf) == 0 for leaf in range(1, 7))
+
+    def test_star_inward(self):
+        g = star_graph(7, inward=True)
+        assert g.in_degree(0) == 6
+        assert g.out_degree(0) == 0
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.m == 5
+        assert g.has_edge(4, 0)
+        assert all(g.out_degree(u) == 1 for u in range(5))
+
+    def test_grid(self):
+        g = grid_2d(3, 4)
+        assert g.n == 12
+        # Interior edges are bidirected: count = 2 * (#horizontal + #vertical)
+        assert g.m == 2 * (3 * 3 + 2 * 4)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            complete_graph(0)
+        with pytest.raises(ParameterError):
+            star_graph(1)
+        with pytest.raises(ParameterError):
+            cycle_graph(1)
+        with pytest.raises(ParameterError):
+            grid_2d(0, 3)

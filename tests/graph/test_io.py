@@ -1,0 +1,90 @@
+"""Tests for graph serialization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphIOError
+from repro.graph.builder import from_edges
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graph.weights import assign_weighted_cascade
+
+
+@pytest.fixture
+def sample_graph():
+    return assign_weighted_cascade(erdos_renyi(30, m=120, seed=12))
+
+
+class TestEdgeListRoundtrip:
+    def test_with_weights(self, sample_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(sample_graph, path)
+        loaded = load_edge_list(path)
+        assert loaded == sample_graph
+
+    def test_without_weights(self, sample_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(sample_graph, path, weights=False)
+        loaded = load_edge_list(path)
+        assert loaded.m == sample_graph.m
+        assert np.allclose(loaded.out_weights, 1.0)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1 0.5\n# mid comment\n1 2 0.25\n")
+        g = load_edge_list(path)
+        assert g.m == 2
+        assert g.edge_weight(1, 2) == pytest.approx(0.25)
+
+    def test_default_weight(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = load_edge_list(path, default_weight=0.3)
+        assert g.edge_weight(0, 1) == pytest.approx(0.3)
+
+
+class TestEdgeListErrors:
+    def test_wrong_column_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphIOError):
+            load_edge_list(path)
+
+    def test_unparseable(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphIOError):
+            load_edge_list(path)
+
+    def test_invalid_weight_reported_with_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 0.5\n1 2 7.0\n")
+        with pytest.raises(GraphIOError, match="bad.txt:2"):
+            load_edge_list(path)
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip(self, sample_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(sample_graph, path)
+        loaded = load_npz(path)
+        assert loaded == sample_graph
+        assert np.allclose(loaded.in_weights, sample_graph.in_weights)
+
+    def test_missing_keys_detected(self, tmp_path):
+        path = tmp_path / "not_graph.npz"
+        np.savez(path, x=np.arange(3))
+        with pytest.raises(GraphIOError):
+            load_npz(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphIOError):
+            load_npz(tmp_path / "absent.npz")
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        from repro.graph.builder import GraphBuilder
+
+        empty = GraphBuilder(n=3).build()
+        path = tmp_path / "empty.npz"
+        save_npz(empty, path)
+        assert load_npz(path).n == 3

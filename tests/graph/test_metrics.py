@@ -1,0 +1,69 @@
+"""Tests for structural graph metrics."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.graph.generators import complete_graph, cycle_graph, star_graph
+from repro.graph.metrics import degree_assortativity, local_clustering, reciprocity
+from repro.graph.transform import undirected_to_bidirected
+
+
+class TestReciprocity:
+    def test_bidirected_is_one(self):
+        g = undirected_to_bidirected([(0, 1), (1, 2), (2, 0)], n=3)
+        assert reciprocity(g) == 1.0
+
+    def test_cycle_is_zero(self):
+        assert reciprocity(cycle_graph(5)) == 0.0
+
+    def test_half_mutual(self):
+        g = from_edges([(0, 1), (1, 0), (1, 2), (2, 3)], n=4)
+        assert reciprocity(g) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert reciprocity(GraphBuilder(n=3).build()) == 0.0
+
+
+class TestAssortativity:
+    def test_star_negative(self):
+        # Hub (high out-degree) points only at leaves (in-degree 1, out 0):
+        # no variance on either axis per edge -> undefined -> 0.0; use a
+        # two-star instead where variance exists.
+        edges = [(0, i) for i in range(1, 6)] + [(6, 0)]
+        g = from_edges(edges, n=7)
+        assert degree_assortativity(g) <= 0.0
+
+    def test_uniform_graph_zero(self):
+        assert degree_assortativity(cycle_graph(6)) == 0.0
+
+    def test_tiny_edge_count(self):
+        assert degree_assortativity(from_edges([(0, 1)], n=2)) == 0.0
+
+    def test_bounded(self, small_wc_graph):
+        value = degree_assortativity(small_wc_graph)
+        assert -1.0 <= value <= 1.0
+
+
+class TestClustering:
+    def test_complete_graph_is_one(self):
+        assert local_clustering(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_star_is_zero(self):
+        assert local_clustering(star_graph(6)) == 0.0
+
+    def test_triangle(self):
+        g = from_edges([(0, 1), (0, 2), (1, 2), (2, 1)], n=3)
+        # Node 0: neighbours {1, 2}; ordered pairs with edges: (1,2),(2,1).
+        assert local_clustering(g) == pytest.approx((2 / 2) / 3)
+
+    def test_sampled_estimate_close(self, small_wc_graph):
+        exact = local_clustering(small_wc_graph)
+        sampled = local_clustering(small_wc_graph, sample_nodes=80, seed=1)
+        assert sampled == pytest.approx(exact, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            local_clustering(GraphBuilder(n=0).build())
+        with pytest.raises(GraphError):
+            local_clustering(cycle_graph(3), sample_nodes=0)

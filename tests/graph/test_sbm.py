@@ -1,0 +1,52 @@
+"""Tests for the stochastic block model generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph.generators import stochastic_block_model
+
+
+class TestStructure:
+    def test_size(self):
+        g = stochastic_block_model(3, 50, seed=1)
+        assert g.n == 150
+
+    def test_intra_block_dominates(self):
+        g = stochastic_block_model(4, 100, intra_degree=6.0, inter_degree=0.3, seed=2)
+        intra = inter = 0
+        for u, v in g.edges().tolist():
+            if u // 100 == v // 100:
+                intra += 1
+            else:
+                inter += 1
+        assert intra > 5 * inter
+
+    def test_no_bridges_when_inter_zero(self):
+        g = stochastic_block_model(3, 40, inter_degree=0.0, seed=3)
+        for u, v in g.edges().tolist():
+            assert u // 40 == v // 40
+
+    def test_deterministic(self):
+        a = stochastic_block_model(2, 30, seed=4)
+        b = stochastic_block_model(2, 30, seed=4)
+        assert a == b
+
+    def test_single_block_is_er_like(self):
+        g = stochastic_block_model(1, 80, intra_degree=5.0, inter_degree=0.0, seed=5)
+        assert g.n == 80
+        assert g.m > 0
+
+
+class TestValidation:
+    def test_bad_shape(self):
+        with pytest.raises(ParameterError):
+            stochastic_block_model(0, 10)
+        with pytest.raises(ParameterError):
+            stochastic_block_model(2, 1)
+
+    def test_negative_degrees(self):
+        with pytest.raises(ParameterError):
+            stochastic_block_model(2, 10, intra_degree=-1.0)
+        with pytest.raises(ParameterError):
+            stochastic_block_model(2, 10, inter_degree=-0.5)

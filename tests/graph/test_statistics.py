@@ -1,0 +1,85 @@
+"""Tests for graph statistics (Table 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import erdos_renyi, star_graph
+from repro.graph.statistics import (
+    compute_stats,
+    degree_histogram,
+    powerlaw_tail_ratio,
+)
+from repro.graph.weights import assign_weighted_cascade
+
+
+class TestComputeStats:
+    def test_basic_counts(self, tiny_graph):
+        stats = compute_stats(tiny_graph)
+        assert stats.nodes == 4
+        assert stats.edges == 4
+        assert stats.avg_degree == pytest.approx(1.0)
+
+    def test_degree_extremes(self):
+        g = star_graph(11)
+        stats = compute_stats(g)
+        assert stats.max_out_degree == 10
+        assert stats.max_in_degree == 1
+
+    def test_weight_summary(self, tiny_graph):
+        stats = compute_stats(tiny_graph)
+        assert stats.weight_min == pytest.approx(0.3)
+        assert stats.weight_max == pytest.approx(1.0)
+
+    def test_lt_admissibility_flag(self, tiny_graph):
+        assert compute_stats(tiny_graph).lt_admissible
+        from repro.graph.builder import from_edges
+
+        bad = from_edges([(0, 2, 0.9), (1, 2, 0.9)], n=3)
+        assert not compute_stats(bad).lt_admissible
+
+    def test_empty_graph(self):
+        stats = compute_stats(GraphBuilder(n=3).build())
+        assert stats.edges == 0
+        assert stats.avg_degree == 0.0
+
+    def test_row_shape(self, tiny_graph):
+        row = compute_stats(tiny_graph).row()
+        assert row == [4, 4, 1.0]
+
+
+class TestDegreeHistogram:
+    def test_star_in_histogram(self):
+        g = star_graph(6)
+        hist = degree_histogram(g, direction="in")
+        assert hist[0] == 1  # the hub has in-degree 0
+        assert hist[1] == 5
+
+    def test_star_out_histogram(self):
+        g = star_graph(6)
+        hist = degree_histogram(g, direction="out")
+        assert hist[5] == 1
+        assert hist[0] == 5
+
+    def test_sums_to_n(self):
+        g = erdos_renyi(40, m=120, seed=2)
+        assert degree_histogram(g).sum() == g.n
+
+    def test_bad_direction(self, tiny_graph):
+        with pytest.raises(ValueError):
+            degree_histogram(tiny_graph, direction="sideways")
+
+
+class TestTailRatio:
+    def test_bounded(self):
+        g = erdos_renyi(200, m=1000, seed=3)
+        ratio = powerlaw_tail_ratio(g)
+        assert 0.0 < ratio <= 1.0
+
+    def test_star_concentrates(self):
+        g = star_graph(200, inward=True)
+        # the single hub (top 1% = 2 nodes) absorbs every edge
+        assert powerlaw_tail_ratio(g, direction="in") == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert powerlaw_tail_ratio(GraphBuilder(n=5).build()) == 0.0

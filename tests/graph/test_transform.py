@@ -1,0 +1,100 @@
+"""Tests for structural graph transformations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import from_edges
+from repro.graph.generators import cycle_graph, erdos_renyi
+from repro.graph.transform import (
+    induced_subgraph,
+    largest_out_component_seeded,
+    relabel_nodes,
+    reverse_graph,
+    undirected_to_bidirected,
+)
+
+
+class TestReverse:
+    def test_edges_flipped(self, tiny_graph):
+        rev = reverse_graph(tiny_graph)
+        assert rev.has_edge(1, 0)
+        assert not rev.has_edge(0, 1)
+        assert rev.edge_weight(1, 0) == pytest.approx(1.0)
+
+    def test_double_reverse_identity(self, tiny_graph):
+        assert reverse_graph(reverse_graph(tiny_graph)) == tiny_graph
+
+    def test_degree_swap(self):
+        g = erdos_renyi(30, m=100, seed=1)
+        rev = reverse_graph(g)
+        assert np.array_equal(g.out_degree(), rev.in_degree())
+        assert np.array_equal(g.in_degree(), rev.out_degree())
+
+
+class TestBidirect:
+    def test_each_tie_becomes_two_arcs(self):
+        g = undirected_to_bidirected([(0, 1), (1, 2)], n=3)
+        assert g.m == 4
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+
+    def test_duplicate_ties_merge(self):
+        g = undirected_to_bidirected([(0, 1), (1, 0)], n=2)
+        assert g.m == 2
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges(self, tiny_graph):
+        sub = induced_subgraph(tiny_graph, [0, 2, 3])
+        # relabel: 0->0, 2->1, 3->2; edges kept: (0,2),(2,3),(3,2)
+        assert sub.n == 3
+        assert sub.m == 3
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(1, 2)
+        assert sub.has_edge(2, 1)
+
+    def test_drops_external_edges(self, tiny_graph):
+        sub = induced_subgraph(tiny_graph, [0, 1])
+        assert sub.m == 1  # only (0, 1) survives
+
+    def test_duplicate_nodes_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            induced_subgraph(tiny_graph, [0, 0])
+
+    def test_out_of_range_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            induced_subgraph(tiny_graph, [0, 99])
+
+
+class TestRelabel:
+    def test_structure_preserved(self, tiny_graph):
+        perm = [3, 2, 1, 0]
+        g = relabel_nodes(tiny_graph, perm)
+        assert g.has_edge(3, 2)  # old (0, 1)
+        assert g.edge_weight(0, 1) == pytest.approx(0.3)  # old (3, 2)
+
+    def test_identity(self, tiny_graph):
+        assert relabel_nodes(tiny_graph, [0, 1, 2, 3]) == tiny_graph
+
+    def test_non_bijection_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            relabel_nodes(tiny_graph, [0, 0, 1, 2])
+        with pytest.raises(GraphError):
+            relabel_nodes(tiny_graph, [0, 1])
+
+
+class TestReachability:
+    def test_cycle_fully_reachable(self):
+        g = cycle_graph(6)
+        assert len(largest_out_component_seeded(g, 0)) == 6
+
+    def test_tiny_graph_from_a(self, tiny_graph):
+        assert largest_out_component_seeded(tiny_graph, 0).tolist() == [0, 1, 2, 3]
+
+    def test_tiny_graph_from_leaf(self, tiny_graph):
+        assert largest_out_component_seeded(tiny_graph, 1).tolist() == [1]
+
+    def test_out_of_range(self, tiny_graph):
+        with pytest.raises(GraphError):
+            largest_out_component_seeded(tiny_graph, 10)

@@ -1,0 +1,109 @@
+"""Tests for edge-weight assignment schemes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph.builder import from_edges
+from repro.graph.generators import erdos_renyi, star_graph
+from repro.graph.weights import (
+    assign_constant_weights,
+    assign_random_weights,
+    assign_trivalency_weights,
+    assign_weighted_cascade,
+)
+
+
+@pytest.fixture
+def base_graph():
+    return erdos_renyi(40, m=160, seed=5)
+
+
+class TestWeightedCascade:
+    def test_in_weights_are_inverse_degree(self, base_graph):
+        g = assign_weighted_cascade(base_graph)
+        for v in range(g.n):
+            din = g.in_degree(v)
+            if din:
+                assert np.allclose(g.in_edge_weights(v), 1.0 / din)
+
+    def test_in_sums_equal_one(self, base_graph):
+        g = assign_weighted_cascade(base_graph)
+        in_deg = np.diff(g.in_indptr)
+        sums = g.in_weight_totals
+        assert np.allclose(sums[in_deg > 0], 1.0)
+        assert np.allclose(sums[in_deg == 0], 0.0)
+
+    def test_lt_admissible(self, base_graph):
+        assign_weighted_cascade(base_graph).validate_lt_weights()
+
+    def test_out_view_matches_in_view(self, base_graph):
+        g = assign_weighted_cascade(base_graph)
+        for u in range(g.n):
+            for v, w in zip(
+                g.out_neighbors(u).tolist(), g.out_edge_weights(u).tolist()
+            ):
+                assert w == pytest.approx(1.0 / g.in_degree(int(v)))
+
+    def test_structure_preserved(self, base_graph):
+        g = assign_weighted_cascade(base_graph)
+        assert g.n == base_graph.n
+        assert g.m == base_graph.m
+        assert np.array_equal(g.out_indices, base_graph.out_indices)
+
+
+class TestConstantWeights:
+    def test_all_equal(self, base_graph):
+        g = assign_constant_weights(base_graph, 0.07)
+        assert np.allclose(g.out_weights, 0.07)
+        assert np.allclose(g.in_weights, 0.07)
+
+    def test_rejects_invalid(self, base_graph):
+        with pytest.raises(ParameterError):
+            assign_constant_weights(base_graph, 1.5)
+
+    def test_star_known_weights(self):
+        g = assign_constant_weights(star_graph(5), 0.5)
+        assert g.edge_weight(0, 3) == pytest.approx(0.5)
+
+
+class TestTrivalency:
+    def test_values_from_choices(self, base_graph):
+        g = assign_trivalency_weights(base_graph, seed=3)
+        assert set(np.round(np.unique(g.out_weights), 6)) <= {0.1, 0.01, 0.001}
+
+    def test_deterministic_by_seed(self, base_graph):
+        a = assign_trivalency_weights(base_graph, seed=3)
+        b = assign_trivalency_weights(base_graph, seed=3)
+        assert np.allclose(a.out_weights, b.out_weights)
+
+    def test_custom_choices_validated(self, base_graph):
+        with pytest.raises(ParameterError):
+            assign_trivalency_weights(base_graph, seed=1, choices=(0.1, 2.0))
+
+
+class TestRandomWeights:
+    def test_range_respected(self, base_graph):
+        g = assign_random_weights(base_graph, seed=1, low=0.2, high=0.4)
+        assert g.out_weights.min() >= 0.2
+        assert g.out_weights.max() <= 0.4
+
+    def test_lt_normalize(self, base_graph):
+        g = assign_random_weights(base_graph, seed=1, lt_normalize=True)
+        g.validate_lt_weights()
+
+    def test_invalid_range(self, base_graph):
+        with pytest.raises(ParameterError):
+            assign_random_weights(base_graph, low=0.5, high=0.2)
+
+
+class TestEmptyGraph:
+    def test_weight_assignment_on_edgeless(self):
+        g = from_edges([], n=5) if False else None
+        # builder with no edges
+        from repro.graph.builder import GraphBuilder
+
+        empty = GraphBuilder(n=5).build()
+        wc = assign_weighted_cascade(empty)
+        assert wc.m == 0
+        assert wc.n == 5

@@ -1,0 +1,112 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the realistic user journeys: load a dataset stand-in, run
+several algorithms, verify they agree on quality while differing on cost
+in the direction the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    build_topic_group,
+    dssa,
+    estimate_spread,
+    imm,
+    kb_tim,
+    load_dataset,
+    ssa,
+    tim_plus,
+    tvm_dssa,
+    weighted_spread,
+)
+from repro.baselines.degree import degree_heuristic
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("nethept", scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def results(graph):
+    return {
+        "D-SSA": dssa(graph, 10, epsilon=0.2, model="LT", seed=1),
+        "SSA": ssa(graph, 10, epsilon=0.2, model="LT", seed=2),
+        "IMM": imm(graph, 10, epsilon=0.2, model="LT", seed=3),
+        "TIM+": tim_plus(graph, 10, epsilon=0.2, model="LT", seed=4, max_samples=300_000),
+    }
+
+
+class TestQualityParity:
+    def test_all_guaranteed_methods_comparable(self, graph, results):
+        """Figs. 2-3: all (1-1/e-eps) methods return similar spread."""
+        qualities = {
+            name: estimate_spread(graph, r.seeds, "LT", simulations=300, seed=9).mean
+            for name, r in results.items()
+        }
+        best = max(qualities.values())
+        for name, q in qualities.items():
+            assert q >= 0.85 * best, f"{name} fell behind: {qualities}"
+
+    def test_guaranteed_methods_beat_or_match_degree(self, graph, results):
+        deg = degree_heuristic(graph, 10)
+        deg_quality = estimate_spread(graph, deg.seeds, "LT", simulations=300, seed=10).mean
+        dssa_quality = estimate_spread(
+            graph, results["D-SSA"].seeds, "LT", simulations=300, seed=10
+        ).mean
+        assert dssa_quality >= 0.95 * deg_quality
+
+
+class TestCostOrdering:
+    def test_sample_count_ordering(self, results):
+        """Table 3 shape: D-SSA <= SSA < IMM (within slack), all << TIM+."""
+        assert results["D-SSA"].samples <= results["SSA"].samples * 1.3
+        assert results["SSA"].samples < results["IMM"].samples * 1.2
+        assert results["D-SSA"].samples < results["TIM+"].samples
+
+    def test_memory_ordering_follows_samples(self, results):
+        assert results["D-SSA"].memory_bytes <= results["TIM+"].memory_bytes
+
+
+class TestIcPath:
+    def test_ic_end_to_end(self, graph):
+        result = dssa(graph, 5, epsilon=0.2, model="IC", seed=5)
+        quality = estimate_spread(graph, result.seeds, "IC", simulations=300, seed=6).mean
+        assert quality == pytest.approx(result.influence, rel=0.3)
+
+
+class TestTvmEndToEnd:
+    def test_tvm_pipeline(self):
+        graph = load_dataset("twitter", scale=0.12)
+        group = build_topic_group(graph, 1, seed=7)
+        d = tvm_dssa(graph, 5, group, epsilon=0.2, model="LT", seed=8)
+        kt = kb_tim(graph, 5, group, epsilon=0.2, model="LT", seed=8, max_samples=400_000)
+        # Quality parity on the weighted objective...
+        q_d = weighted_spread(graph, d.seeds, group, "LT", simulations=200, seed=9)
+        q_k = weighted_spread(graph, kt.seeds, group, "LT", simulations=200, seed=9)
+        assert q_d >= 0.8 * q_k
+        # ...at a fraction of the samples (Fig. 8 shape).
+        assert d.samples < kt.samples
+
+
+class TestSerializationRoundtrip:
+    def test_save_run_reload(self, graph, tmp_path):
+        from repro import load_npz, save_npz
+
+        path = tmp_path / "snapshot.npz"
+        save_npz(graph, path)
+        reloaded = load_npz(path)
+        a = dssa(graph, 3, epsilon=0.25, model="LT", seed=11)
+        b = dssa(reloaded, 3, epsilon=0.25, model="LT", seed=11)
+        assert a.seeds == b.seeds
+
+
+class TestReproducibilityMatrix:
+    @pytest.mark.parametrize("model", ["IC", "LT"])
+    @pytest.mark.parametrize("algo", [dssa, ssa, imm])
+    def test_bitwise_reproducible(self, graph, model, algo):
+        a = algo(graph, 4, epsilon=0.25, model=model, seed=99)
+        b = algo(graph, 4, epsilon=0.25, model=model, seed=99)
+        assert a.seeds == b.seeds
+        assert a.samples == b.samples

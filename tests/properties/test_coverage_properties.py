@@ -1,0 +1,98 @@
+"""Property-based tests for coverage machinery and max-coverage greedy."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.max_coverage import max_coverage
+from repro.sampling.rr_collection import RRCollection
+
+
+@st.composite
+def rr_instances(draw, max_nodes=15, max_sets=40):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    num_sets = draw(st.integers(min_value=0, max_value=max_sets))
+    sets = []
+    for _ in range(num_sets):
+        size = draw(st.integers(min_value=1, max_value=min(6, n)))
+        members = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        sets.append(members)
+    return n, sets
+
+
+def build(n, sets):
+    coll = RRCollection(n)
+    coll.extend(np.asarray(s, dtype=np.int32) for s in sets)
+    return coll
+
+
+@given(rr_instances(), st.data())
+@settings(max_examples=80, deadline=None)
+def test_coverage_matches_brute_force(instance, data):
+    n, sets = instance
+    coll = build(n, sets)
+    seeds = data.draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=4, unique=True)
+    )
+    brute = sum(1 for s in sets if set(s) & set(seeds))
+    assert coll.coverage(seeds) == brute
+
+
+@given(rr_instances(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_coverage_monotone_in_seeds(instance, data):
+    n, sets = instance
+    coll = build(n, sets)
+    small = data.draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=3, unique=True)
+    )
+    extra = data.draw(st.integers(min_value=0, max_value=n - 1))
+    large = list(dict.fromkeys(small + [extra]))
+    assert coll.coverage(large) >= coll.coverage(small)
+
+
+@given(rr_instances(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_greedy_marginals_non_increasing(instance, k):
+    n, sets = instance
+    k = min(k, n)
+    result = max_coverage(build(n, sets), k)
+    marginals = result.marginal_coverage
+    assert all(a >= b for a, b in zip(marginals, marginals[1:]))
+    assert sum(marginals) == result.coverage
+
+
+@given(rr_instances(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_greedy_returns_k_distinct_seeds(instance, k):
+    n, sets = instance
+    k = min(k, n)
+    result = max_coverage(build(n, sets), k)
+    assert len(result.seeds) == k
+    assert len(set(result.seeds)) == k
+    assert all(0 <= s < n for s in result.seeds)
+
+
+@given(rr_instances(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_greedy_coverage_equals_collection_query(instance, k):
+    n, sets = instance
+    k = min(k, n)
+    coll = build(n, sets)
+    result = max_coverage(coll, k)
+    assert result.coverage == coll.coverage(result.seeds)
+
+
+@given(rr_instances())
+@settings(max_examples=40, deadline=None)
+def test_node_frequencies_sum_to_entries(instance):
+    n, sets = instance
+    coll = build(n, sets)
+    assert int(coll.node_frequencies().sum()) == coll.total_entries

@@ -1,0 +1,93 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import from_edges
+from repro.graph.transform import relabel_nodes, reverse_graph
+from repro.graph.weights import assign_weighted_cascade
+
+
+@st.composite
+def edge_lists(draw, max_nodes=20, max_edges=60):
+    """Random weighted edge lists (self-loops included: builder drops them)."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    count = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        w = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+        edges.append((u, v, w))
+    return n, edges
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_csr_views_agree(params):
+    """The out view and in view must describe the same edge multiset."""
+    n, edges = params
+    g = from_edges(edges, n=n)
+    out_set = {
+        (u, int(v), round(w, 9))
+        for u in range(g.n)
+        for v, w in zip(g.out_neighbors(u).tolist(), g.out_edge_weights(u).tolist())
+    }
+    in_set = {
+        (int(u), v, round(w, 9))
+        for v in range(g.n)
+        for u, w in zip(g.in_neighbors(v).tolist(), g.in_edge_weights(v).tolist())
+    }
+    assert out_set == in_set
+    assert len(out_set) == g.m
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_degree_sums_equal_edge_count(params):
+    n, edges = params
+    g = from_edges(edges, n=n)
+    assert int(g.out_degree().sum()) == g.m
+    assert int(g.in_degree().sum()) == g.m
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_no_self_loops_survive(params):
+    n, edges = params
+    g = from_edges(edges, n=n)
+    for u, v in g.edges().tolist():
+        assert u != v
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_reverse_is_involution(params):
+    n, edges = params
+    g = from_edges(edges, n=n)
+    assert reverse_graph(reverse_graph(g)) == g
+
+
+@given(edge_lists(), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_relabel_preserves_degree_multiset(params, rnd):
+    n, edges = params
+    g = from_edges(edges, n=n)
+    perm = list(range(g.n))
+    rnd.shuffle(perm)
+    h = relabel_nodes(g, perm)
+    assert sorted(g.out_degree().tolist()) == sorted(h.out_degree().tolist())
+    assert sorted(g.in_degree().tolist()) == sorted(h.in_degree().tolist())
+    assert g.m == h.m
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_weighted_cascade_always_lt_admissible(params):
+    n, edges = params
+    g = assign_weighted_cascade(from_edges(edges, n=n))
+    g.validate_lt_weights()
+    in_deg = np.diff(g.in_indptr)
+    sums = g.in_weight_totals
+    assert np.allclose(sums[in_deg > 0], 1.0)

@@ -1,0 +1,73 @@
+"""Property-based tests for RR samplers and diffusion simulators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion.spread import simulate_cascade
+from repro.graph.builder import from_edges
+from repro.graph.weights import assign_random_weights
+from repro.sampling.base import make_sampler
+
+
+@st.composite
+def weighted_graphs(draw, max_nodes=12, max_edges=36):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    count = draw(st.integers(min_value=1, max_value=max_edges))
+    edges = set()
+    for _ in range(count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.add((u, v))
+    base = from_edges([(u, v, 0.5) for u, v in edges] or [(0, 1, 0.5)], n=n)
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return assign_random_weights(base, seed=seed, lt_normalize=True)
+
+
+@given(weighted_graphs(), st.sampled_from(["IC", "LT"]), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=60, deadline=None)
+def test_rr_sets_well_formed(graph, model, seed):
+    sampler = make_sampler(graph, model, seed)
+    for rr in sampler.sample_batch(20):
+        nodes = rr.tolist()
+        assert len(nodes) >= 1
+        assert len(set(nodes)) == len(nodes)
+        assert all(0 <= v < graph.n for v in nodes)
+
+
+@given(weighted_graphs(), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_rr_membership_implies_reverse_path(graph, seed):
+    """Every non-root member of an RR set must reach the root in G."""
+    sampler = make_sampler(graph, "IC", seed)
+    # Precompute reverse reachability by BFS over *all* edges (superset of
+    # any sampled subgraph's reachability).
+    for rr in sampler.sample_batch(10):
+        root = int(rr[0])
+        reachable = {root}
+        frontier = [root]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for u in graph.in_neighbors(v).tolist():
+                    if u not in reachable:
+                        reachable.add(u)
+                        nxt.append(u)
+            frontier = nxt
+        assert set(rr.tolist()) <= reachable
+
+
+@given(weighted_graphs(), st.sampled_from(["IC", "LT"]), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=60, deadline=None)
+def test_cascade_size_bounds(graph, model, seed):
+    size = simulate_cascade(graph, [0], model, seed=seed)
+    assert 1 <= size <= graph.n
+
+
+@given(weighted_graphs(), st.sampled_from(["IC", "LT"]), st.integers(min_value=0, max_value=500))
+@settings(max_examples=40, deadline=None)
+def test_cascade_contains_seeds(graph, model, seed):
+    seeds = [0, graph.n - 1]
+    size = simulate_cascade(graph, seeds, model, seed=seed)
+    assert size >= len(set(seeds))

@@ -1,0 +1,79 @@
+"""Tests for IC RR-set generation."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edges
+from repro.graph.generators import cycle_graph, star_graph
+from repro.graph.weights import assign_constant_weights
+from repro.sampling.ic_sampler import ICSampler
+
+
+class TestStructure:
+    def test_root_always_included(self, small_wc_graph):
+        sampler = ICSampler(small_wc_graph, seed=1)
+        for _ in range(50):
+            root = int(np.random.default_rng(0).integers(small_wc_graph.n))
+            rr = sampler.sample(root=root)
+            assert root in rr.tolist()
+            assert rr[0] == root
+
+    def test_nodes_distinct(self, small_wc_graph):
+        sampler = ICSampler(small_wc_graph, seed=2)
+        for _ in range(100):
+            rr = sampler.sample()
+            assert len(np.unique(rr)) == len(rr)
+
+    def test_counters(self, small_wc_graph):
+        sampler = ICSampler(small_wc_graph, seed=3)
+        batch = sampler.sample_batch(20)
+        assert sampler.sets_generated == 20
+        assert sampler.entries_generated == sum(len(rr) for rr in batch)
+
+    def test_weight_one_cycle_full_reachability(self):
+        g = assign_constant_weights(cycle_graph(7), 1.0)
+        sampler = ICSampler(g, seed=4)
+        rr = sampler.sample(root=0)
+        assert sorted(rr.tolist()) == list(range(7))
+
+    def test_weight_zero_rr_is_singleton(self):
+        g = assign_constant_weights(cycle_graph(7), 0.0)
+        sampler = ICSampler(g, seed=5)
+        for root in range(7):
+            assert sampler.sample(root=root).tolist() == [root]
+
+
+class TestDistribution:
+    def test_star_leaf_includes_hub_with_prob_p(self):
+        # RR set of a leaf is {leaf} w.p. 1-p, {leaf, hub} w.p. p.
+        p = 0.3
+        g = assign_constant_weights(star_graph(6), p)
+        sampler = ICSampler(g, seed=6)
+        hits = sum(
+            1 for _ in range(5000) if len(sampler.sample(root=3)) == 2
+        )
+        assert hits / 5000 == pytest.approx(p, abs=0.03)
+
+    def test_reverse_reachability_only(self):
+        # Edge 0 -> 1 with w=1: RR(0) must NOT contain 1; RR(1) must contain 0.
+        g = from_edges([(0, 1, 1.0)], n=2)
+        sampler = ICSampler(g, seed=7)
+        assert sampler.sample(root=0).tolist() == [0]
+        assert sorted(sampler.sample(root=1).tolist()) == [0, 1]
+
+    def test_deterministic_with_seed(self, small_wc_graph):
+        a = ICSampler(small_wc_graph, seed=8).sample_batch(30)
+        b = ICSampler(small_wc_graph, seed=8).sample_batch(30)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_roots_uniform_by_default(self, small_wc_graph):
+        sampler = ICSampler(small_wc_graph, seed=9)
+        roots = [int(rr[0]) for rr in sampler.sample_batch(4000)]
+        counts = np.bincount(roots, minlength=small_wc_graph.n)
+        assert counts.max() < 5 * counts.mean()
+
+
+class TestScale:
+    def test_uniform_scale_is_n(self, small_wc_graph):
+        assert ICSampler(small_wc_graph, seed=1).scale == small_wc_graph.n

@@ -1,0 +1,108 @@
+"""Tests for the RR-set collection and its coverage queries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.sampling.rr_collection import RRCollection
+
+
+def make_collection(n: int, sets: list[list[int]]) -> RRCollection:
+    coll = RRCollection(n)
+    coll.extend(np.asarray(s, dtype=np.int32) for s in sets)
+    return coll
+
+
+class TestGrowth:
+    def test_len_and_entries(self):
+        coll = make_collection(5, [[0, 1], [2], [3, 4, 0]])
+        assert len(coll) == 3
+        assert coll.total_entries == 6
+
+    def test_getitem(self):
+        coll = make_collection(5, [[0, 1], [2]])
+        assert coll[1].tolist() == [2]
+
+    def test_memory_bytes(self):
+        coll = make_collection(5, [[0, 1, 2]])
+        assert coll.memory_bytes() == 3 * 4  # int32 entries
+
+    def test_invalid_n(self):
+        with pytest.raises(SamplingError):
+            RRCollection(0)
+
+
+class TestCoverage:
+    def test_basic(self):
+        coll = make_collection(6, [[0, 1], [2, 3], [4], [0, 4]])
+        assert coll.coverage([0]) == 2
+        assert coll.coverage([4]) == 2
+        assert coll.coverage([0, 2]) == 3
+        assert coll.coverage([5]) == 0
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        sets = [rng.choice(20, size=rng.integers(1, 6), replace=False).tolist() for _ in range(60)]
+        coll = make_collection(20, sets)
+        seeds = [1, 7, 13]
+        brute = sum(1 for s in sets if set(s) & set(seeds))
+        assert coll.coverage(seeds) == brute
+
+    def test_range_restriction(self):
+        coll = make_collection(4, [[0], [1], [0], [2]])
+        assert coll.coverage([0], start=0, end=2) == 1
+        assert coll.coverage([0], start=2, end=4) == 1
+        assert coll.coverage([0], start=1, end=2) == 0
+
+    def test_coverage_mask(self):
+        coll = make_collection(4, [[0], [1], [0, 1]])
+        mask = coll.coverage_mask([0])
+        assert mask.tolist() == [True, False, True]
+
+    def test_empty_range(self):
+        coll = make_collection(4, [[0]])
+        assert coll.coverage_mask([0], start=1, end=1).tolist() == []
+
+    def test_out_of_range_seed_rejected(self):
+        coll = make_collection(4, [[0]])
+        with pytest.raises(SamplingError):
+            coll.coverage([9])
+
+    def test_bad_range_rejected(self):
+        coll = make_collection(4, [[0]])
+        with pytest.raises(SamplingError):
+            coll.flat_view(2, 1)
+        with pytest.raises(SamplingError):
+            coll.flat_view(0, 5)
+
+
+class TestNodeFrequencies:
+    def test_counts(self):
+        coll = make_collection(5, [[0, 1], [1, 2], [1]])
+        freq = coll.node_frequencies()
+        assert freq.tolist() == [1, 3, 1, 0, 0]
+
+    def test_range(self):
+        coll = make_collection(3, [[0], [1], [0]])
+        assert coll.node_frequencies(start=1, end=3).tolist() == [1, 1, 0]
+
+
+class TestInfluenceEstimate:
+    def test_formula(self):
+        coll = make_collection(10, [[0], [0], [1], [2]])
+        # Cov({0}) = 2 of 4 sets; scale 10 => 10 * 2/4 = 5.
+        assert coll.estimate_influence([0], 10.0) == pytest.approx(5.0)
+
+    def test_empty_range_rejected(self):
+        coll = make_collection(10, [[0]])
+        with pytest.raises(SamplingError):
+            coll.estimate_influence([0], 10.0, start=1, end=1)
+
+
+class TestGrowthAfterCompile:
+    def test_recompiles_after_append(self):
+        coll = make_collection(4, [[0]])
+        assert coll.coverage([0]) == 1
+        coll.append(np.asarray([0, 1], dtype=np.int32))
+        assert coll.coverage([0]) == 2  # flat view must refresh
+        assert coll.coverage([1]) == 1

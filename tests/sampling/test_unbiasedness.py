@@ -1,0 +1,133 @@
+"""Statistical tests of Lemma 1: I(S) = n · Pr[S covers a random RR set].
+
+These are the load-bearing correctness tests for the whole RIS substrate:
+if RR-set sampling is biased, every algorithm built on it silently returns
+wrong influence estimates.  We compare RIS estimates against the *exact*
+live-edge oracles on tiny graphs, for both models, for single nodes and
+sets, and for the weighted (WRIS) generalization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edges
+from repro.sampling.base import make_sampler
+from repro.sampling.roots import WeightedRoots
+from repro.sampling.rr_collection import RRCollection
+
+from tests.oracles import exact_ic_spread, exact_lt_spread
+
+
+def ris_estimate(graph, model, seeds, *, count=20_000, rng_seed=0, roots=None):
+    sampler = make_sampler(graph, model, rng_seed, roots=roots)
+    coll = RRCollection(graph.n)
+    coll.extend(sampler.sample_batch(count))
+    return coll.estimate_influence(seeds, sampler.scale)
+
+
+@pytest.fixture
+def mixed_graph():
+    """5 nodes, 7 edges, heterogeneous weights, LT-admissible."""
+    return from_edges(
+        [
+            (0, 1, 0.6),
+            (0, 2, 0.4),
+            (1, 2, 0.3),
+            (2, 3, 0.8),
+            (3, 4, 0.5),
+            (4, 0, 0.2),
+            (1, 4, 0.3),
+        ],
+        n=5,
+    )
+
+
+class TestICUnbiasedness:
+    def test_single_nodes(self, mixed_graph):
+        for v in range(mixed_graph.n):
+            exact = exact_ic_spread(mixed_graph, [v])
+            estimate = ris_estimate(mixed_graph, "IC", [v], rng_seed=v)
+            assert estimate == pytest.approx(exact, rel=0.06), f"node {v}"
+
+    def test_seed_set(self, mixed_graph):
+        exact = exact_ic_spread(mixed_graph, [0, 3])
+        estimate = ris_estimate(mixed_graph, "IC", [0, 3], rng_seed=10)
+        assert estimate == pytest.approx(exact, rel=0.05)
+
+    def test_tiny_graph(self, tiny_graph):
+        exact = exact_ic_spread(tiny_graph, [0])
+        estimate = ris_estimate(tiny_graph, "IC", [0], rng_seed=11)
+        assert estimate == pytest.approx(exact, rel=0.05)
+
+
+class TestLTUnbiasedness:
+    def test_single_nodes(self, mixed_graph):
+        for v in range(mixed_graph.n):
+            exact = exact_lt_spread(mixed_graph, [v])
+            estimate = ris_estimate(mixed_graph, "LT", [v], rng_seed=20 + v)
+            assert estimate == pytest.approx(exact, rel=0.06), f"node {v}"
+
+    def test_seed_set(self, mixed_graph):
+        exact = exact_lt_spread(mixed_graph, [1, 3])
+        estimate = ris_estimate(mixed_graph, "LT", [1, 3], rng_seed=30)
+        assert estimate == pytest.approx(exact, rel=0.05)
+
+    def test_tiny_graph(self, tiny_graph):
+        exact = exact_lt_spread(tiny_graph, [0])
+        estimate = ris_estimate(tiny_graph, "LT", [0], rng_seed=31)
+        assert estimate == pytest.approx(exact, rel=0.05)
+
+
+class TestWRISUnbiasedness:
+    def test_weighted_objective(self, mixed_graph):
+        """WRIS estimate must match the benefit-weighted exact spread.
+
+        Weighted influence of S = Σ_v b(v)·Pr[v activated].  Per-node
+        activation probabilities come from inclusion-exclusion on the
+        exact oracle: Pr[v active from S] is computable by comparing
+        spreads of indicator benefits — here we instead compute it
+        directly with a benefit vector concentrated on one node at a time.
+        """
+        benefits = np.array([0.0, 2.0, 0.0, 1.0, 3.0])
+        roots = WeightedRoots(benefits)
+        seeds = [0]
+
+        # Exact weighted spread: for each node v with b(v) > 0, activation
+        # probability equals the exact spread computed on a graph where we
+        # measure only v — i.e. Pr[v active] = E[1_v active].  We get it
+        # from the IC live-edge oracle by counting v's membership:
+        # Pr[v] = exact spread restricted to indicator — recompute via
+        # direct enumeration through the unweighted oracle trick:
+        # I_b(S) = Σ_v b(v) Pr[v] where Pr[v] is obtained by differencing
+        # oracle results on graphs... simplest: enumerate worlds here.
+        from tests.oracles import _reachable  # reuse world enumeration
+
+        edges = [(int(u), int(v)) for u, v in mixed_graph.edges().tolist()]
+        weights = [mixed_graph.edge_weight(u, v) for u, v in edges]
+        m = len(edges)
+        exact_weighted = 0.0
+        for mask in range(1 << m):
+            prob = 1.0
+            adjacency: dict[int, list[int]] = {}
+            for i, ((u, v), w) in enumerate(zip(edges, weights)):
+                if mask >> i & 1:
+                    prob *= w
+                    adjacency.setdefault(u, []).append(v)
+                else:
+                    prob *= 1.0 - w
+            if prob == 0.0:
+                continue
+            active = set(seeds)
+            stack = list(seeds)
+            while stack:
+                u = stack.pop()
+                for v2 in adjacency.get(u, ()):
+                    if v2 not in active:
+                        active.add(v2)
+                        stack.append(v2)
+            exact_weighted += prob * sum(benefits[list(active)])
+
+        estimate = ris_estimate(
+            mixed_graph, "IC", seeds, count=30_000, rng_seed=40, roots=roots
+        )
+        assert estimate == pytest.approx(exact_weighted, rel=0.07)

@@ -1,0 +1,95 @@
+"""Tests for seed-set and cascade analysis utilities."""
+
+import pytest
+
+from repro.analysis.cascades import cascade_statistics
+from repro.analysis.seeds import (
+    jaccard_similarity,
+    rank_agreement,
+    seed_overlap_matrix,
+)
+from repro.exceptions import ParameterError
+
+
+class TestJaccard:
+    def test_basic(self):
+        assert jaccard_similarity([1, 2, 3], [2, 3, 4]) == pytest.approx(0.5)
+
+    def test_identical(self):
+        assert jaccard_similarity([1, 2], [2, 1]) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity([1], [2]) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard_similarity([], []) == 1.0
+
+    def test_duplicates_collapse(self):
+        assert jaccard_similarity([1, 1, 2], [1, 2, 2]) == 1.0
+
+
+class TestOverlapMatrix:
+    def test_pairs_once_sorted(self):
+        matrix = seed_overlap_matrix({"b": [1, 2], "a": [1, 2], "c": [9]})
+        assert set(matrix) == {("a", "b"), ("a", "c"), ("b", "c")}
+        assert matrix[("a", "b")] == 1.0
+        assert matrix[("a", "c")] == 0.0
+
+    def test_empty_input(self):
+        assert seed_overlap_matrix({}) == {}
+
+
+class TestRankAgreement:
+    def test_identical_orderings(self):
+        assert rank_agreement([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_same_set_different_order_below_one(self):
+        value = rank_agreement([1, 2, 3], [3, 2, 1])
+        assert 0.0 < value < 1.0
+
+    def test_prefix_weighting(self):
+        # Disagreement only at the tail scores higher than at the head.
+        tail_diff = rank_agreement([1, 2, 3, 4], [1, 2, 3, 9])
+        head_diff = rank_agreement([1, 2, 3, 4], [9, 2, 3, 4])
+        assert tail_diff > head_diff
+
+    def test_top_parameter(self):
+        assert rank_agreement([1, 2, 9], [1, 2, 8], top=2) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            rank_agreement([1], [1], top=0)
+        with pytest.raises(ParameterError):
+            rank_agreement([1], [1, 2], top=2)
+
+
+class TestCascadeStats:
+    def test_deterministic_star(self, star_wc):
+        stats = cascade_statistics(star_wc, [0], "LT", simulations=20, seed=1)
+        assert stats.mean_size == 10.0
+        assert stats.std_size == 0.0
+        assert stats.mean_rounds == 1.0
+        assert stats.first_wave_share == 1.0
+        assert stats.size_quantiles == (10.0, 10.0, 10.0)
+
+    def test_leaf_seed_no_spread(self, star_wc):
+        stats = cascade_statistics(star_wc, [3], "LT", simulations=10, seed=2)
+        assert stats.mean_size == 1.0
+        assert stats.mean_rounds == 0.0
+        assert stats.first_wave_share == 0.0
+
+    def test_ic_statistics_consistent_with_spread(self, grid_graph):
+        from repro.diffusion.spread import estimate_spread
+
+        stats = cascade_statistics(grid_graph, [5], "IC", simulations=600, seed=3)
+        reference = estimate_spread(grid_graph, [5], "IC", simulations=600, seed=4)
+        assert stats.mean_size == pytest.approx(reference.mean, rel=0.15)
+
+    def test_quantiles_ordered(self, small_wc_graph):
+        stats = cascade_statistics(small_wc_graph, [0, 1], "IC", simulations=100, seed=5)
+        q10, q50, q90 = stats.size_quantiles
+        assert q10 <= q50 <= q90
+
+    def test_validation(self, star_wc):
+        with pytest.raises(ParameterError):
+            cascade_statistics(star_wc, [0], "LT", simulations=0)

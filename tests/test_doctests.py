@@ -1,0 +1,39 @@
+"""Execute the doctest examples embedded in public docstrings.
+
+Keeps the documentation honest: if a docstring example drifts from the
+implementation, this module fails.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.thresholds
+import repro.analysis.seeds
+import repro.graph.builder
+import repro.sampling.base
+import repro.utils.mathstats
+import repro.utils.rng
+import repro.utils.tables
+
+_MODULES = [
+    repro.utils.mathstats,
+    repro.utils.rng,
+    repro.utils.tables,
+    repro.graph.builder,
+    repro.sampling.base,
+    repro.core.thresholds,
+    repro.analysis.seeds,
+]
+
+
+@pytest.mark.parametrize("module", _MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+
+
+def test_doctests_exist_somewhere():
+    """Guard against silently losing all doctest coverage."""
+    total = sum(doctest.testmod(m, verbose=False).attempted for m in _MODULES)
+    assert total >= 5

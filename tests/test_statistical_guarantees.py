@@ -1,0 +1,106 @@
+"""Empirical checks of the paper's probabilistic guarantees.
+
+The headline theorems promise ``Pr[I(Ŝ_k) >= (1-1/e-ε)·OPT_k] >= 1-δ``
+(Theorems 2, 5).  On tiny graphs we know OPT_k exactly (live-edge
+enumeration), so we can run each algorithm many times with independent
+seeds and count actual failures.  With δ = 0.1 and 30 trials, observing
+more than a handful of failures would falsify the implementation with
+high confidence; observing none is the expected outcome (the bounds are
+conservative).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dssa import dssa
+from repro.core.ssa import ssa
+from repro.baselines.imm import imm
+from repro.graph.builder import from_edges
+
+from tests.oracles import brute_force_opt, exact_ic_spread, exact_lt_spread
+
+_TRIALS = 30
+_EPSILON = 0.2
+_DELTA = 0.1
+
+
+@pytest.fixture(scope="module")
+def guarantee_graph():
+    """7 nodes, 10 edges, heterogeneous weights — rich enough that the
+    optimum is not trivially found, small enough for exact oracles."""
+    return from_edges(
+        [
+            (0, 1, 0.7),
+            (0, 2, 0.4),
+            (1, 3, 0.5),
+            (2, 3, 0.3),
+            (3, 4, 0.6),
+            (4, 5, 0.4),
+            (5, 6, 0.5),
+            (6, 0, 0.2),
+            (1, 5, 0.3),
+            (2, 6, 0.4),
+        ],
+        n=7,
+    )
+
+
+def _failure_rate(algo, graph, k, model, oracle) -> float:
+    _, opt = brute_force_opt(graph, k, model)
+    bar = (1 - 1 / np.e - _EPSILON) * opt
+    failures = 0
+    for trial in range(_TRIALS):
+        result = algo(
+            graph, k, epsilon=_EPSILON, delta=_DELTA, model=model, seed=1000 + trial
+        )
+        achieved = oracle(graph, result.seeds)
+        if achieved < bar - 1e-9:
+            failures += 1
+    return failures / _TRIALS
+
+
+class TestApproximationGuarantees:
+    def test_dssa_ic(self, guarantee_graph):
+        rate = _failure_rate(dssa, guarantee_graph, 2, "IC", exact_ic_spread)
+        assert rate <= 3 * _DELTA
+
+    def test_dssa_lt(self, guarantee_graph):
+        rate = _failure_rate(dssa, guarantee_graph, 2, "LT", exact_lt_spread)
+        assert rate <= 3 * _DELTA
+
+    def test_ssa_ic(self, guarantee_graph):
+        rate = _failure_rate(ssa, guarantee_graph, 2, "IC", exact_ic_spread)
+        assert rate <= 3 * _DELTA
+
+    def test_imm_ic(self, guarantee_graph):
+        rate = _failure_rate(imm, guarantee_graph, 2, "IC", exact_ic_spread)
+        assert rate <= 3 * _DELTA
+
+
+class TestEstimatorCalibration:
+    def test_dssa_influence_estimate_concentrated(self, guarantee_graph):
+        """The returned Î(Ŝ_k) must concentrate around the true I(Ŝ_k):
+        mean relative error across trials well under ε."""
+        errors = []
+        for trial in range(_TRIALS):
+            result = dssa(
+                guarantee_graph, 2, epsilon=_EPSILON, delta=_DELTA, model="IC",
+                seed=2000 + trial,
+            )
+            truth = exact_ic_spread(guarantee_graph, result.seeds)
+            errors.append(abs(result.influence - truth) / truth)
+        assert float(np.mean(errors)) < _EPSILON
+
+    def test_seed_sets_stable_across_seeds(self, guarantee_graph):
+        """Independent runs should mostly agree on the (near-)optimal set."""
+        from collections import Counter
+
+        picks = Counter()
+        for trial in range(_TRIALS):
+            result = dssa(
+                guarantee_graph, 1, epsilon=_EPSILON, delta=_DELTA, model="LT",
+                seed=3000 + trial,
+            )
+            picks[result.seeds[0]] += 1
+        most_common_share = picks.most_common(1)[0][1] / _TRIALS
+        assert most_common_share >= 0.5

@@ -1,0 +1,111 @@
+"""Tests for the time-critical (bounded-horizon) extension.
+
+The horizon-T objective counts activations within T rounds; its RIS dual
+truncates RR sets at T reverse hops.  These tests pin the duality: the
+horizon-limited RIS estimate must match horizon-limited forward Monte
+Carlo, and horizon=∞ must reproduce the unbounded behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dssa import dssa
+from repro.core.ssa import ssa
+from repro.diffusion.independent_cascade import simulate_ic, simulate_ic_trace
+from repro.diffusion.linear_threshold import simulate_lt
+from repro.diffusion.spread import estimate_spread
+from repro.graph.builder import from_edges
+from repro.graph.generators import cycle_graph, star_graph
+from repro.graph.weights import assign_constant_weights, assign_weighted_cascade
+from repro.sampling.base import make_sampler
+from repro.sampling.rr_collection import RRCollection
+
+
+@pytest.fixture
+def path_graph():
+    """Directed path 0 -> 1 -> 2 -> 3 -> 4 with weight 1."""
+    return from_edges([(i, i + 1, 1.0) for i in range(4)], n=5)
+
+
+class TestForwardHorizon:
+    def test_path_truncation_exact(self, path_graph):
+        # From node 0 with weight-1 edges: T rounds reach T+1 nodes.
+        for horizon in range(5):
+            assert simulate_ic(path_graph, [0], seed=1, max_rounds=horizon) == horizon + 1
+
+    def test_horizon_zero_is_seed_count(self, path_graph):
+        assert simulate_ic(path_graph, [0, 2], seed=2, max_rounds=0) == 2
+        assert simulate_lt(path_graph, [0], seed=3, max_rounds=0) == 1
+
+    def test_horizon_none_unbounded(self, path_graph):
+        assert simulate_ic(path_graph, [0], seed=4) == 5
+
+    def test_trace_respects_horizon(self, path_graph):
+        trace = simulate_ic_trace(path_graph, [0], seed=5, max_rounds=2)
+        assert len(trace) <= 3  # seeds + at most 2 rounds
+
+    def test_lt_horizon_on_cycle(self, cycle_wc):
+        # Weight-1 cycle: T rounds activate T+1 nodes (capped at n).
+        assert simulate_lt(cycle_wc, [0], seed=6, max_rounds=3) == 4
+
+    def test_estimate_spread_horizon(self, path_graph):
+        estimate = estimate_spread(
+            path_graph, [0], "IC", simulations=50, seed=7, max_rounds=2
+        )
+        assert estimate.mean == pytest.approx(3.0)
+
+
+class TestSamplerHorizon:
+    def test_rr_sets_bounded_by_hops(self, path_graph):
+        sampler = make_sampler(path_graph, "IC", seed=8, max_hops=2)
+        rr = sampler.sample(root=4)
+        assert sorted(rr.tolist()) == [2, 3, 4]
+
+    def test_lt_walk_bounded(self, cycle_wc):
+        sampler = make_sampler(cycle_wc, "LT", seed=9, max_hops=3)
+        rr = sampler.sample(root=0)
+        assert len(rr) == 4
+
+    def test_zero_hops_singleton(self, cycle_wc):
+        sampler = make_sampler(cycle_wc, "IC", seed=10, max_hops=0)
+        for root in range(4):
+            assert sampler.sample(root=root).tolist() == [root]
+
+    def test_negative_hops_rejected(self, cycle_wc):
+        with pytest.raises(ValueError):
+            make_sampler(cycle_wc, "IC", seed=11, max_hops=-1)
+
+    def test_duality_ris_vs_forward(self, grid_graph):
+        """Horizon-T RIS estimate == horizon-T forward MC (Lemma 1 dual)."""
+        horizon = 2
+        seeds = [0, 5]
+        sampler = make_sampler(grid_graph, "IC", seed=12, max_hops=horizon)
+        coll = RRCollection(grid_graph.n)
+        coll.extend(sampler.sample_batch(30_000))
+        ris = coll.estimate_influence(seeds, sampler.scale)
+        forward = estimate_spread(
+            grid_graph, seeds, "IC", simulations=6000, seed=13, max_rounds=horizon
+        ).mean
+        assert ris == pytest.approx(forward, rel=0.05)
+
+
+class TestAlgorithmsWithHorizon:
+    def test_dssa_horizon_changes_objective(self):
+        # Star + long tail: unbounded IM prefers the chain head; with
+        # horizon 1 the star hub wins (chain only pays off over rounds).
+        edges = [(0, leaf, 1.0) for leaf in range(1, 6)]  # hub 0, 5 leaves
+        chain = [(6 + i, 7 + i, 1.0) for i in range(7)]  # chain 6..13
+        g = from_edges(edges + chain, n=14)
+        unbounded = dssa(g, 1, epsilon=0.2, delta=0.05, model="IC", seed=14)
+        bounded = dssa(g, 1, epsilon=0.2, delta=0.05, model="IC", seed=14, horizon=1)
+        assert unbounded.seeds == [6]  # chain head reaches 8 nodes
+        assert bounded.seeds == [0]  # hub reaches 6 nodes in one round
+
+    def test_ssa_horizon_supported(self, medium_wc_graph):
+        result = ssa(medium_wc_graph, 3, epsilon=0.2, model="LT", seed=15, horizon=2)
+        assert len(result.seeds) == 3
+
+    def test_horizon_influence_no_larger(self, medium_wc_graph):
+        bounded = dssa(medium_wc_graph, 3, epsilon=0.2, model="LT", seed=16, horizon=1)
+        unbounded = dssa(medium_wc_graph, 3, epsilon=0.2, model="LT", seed=16)
+        assert bounded.influence <= unbounded.influence * 1.1

@@ -1,0 +1,101 @@
+"""Tests for TVM algorithms (weighted SSA/D-SSA/KB-TIM)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import star_graph
+from repro.graph.weights import assign_constant_weights
+from repro.tvm.algorithms import kb_tim, tvm_dssa, tvm_ssa, weighted_spread
+from repro.tvm.targets import TargetedGroup
+
+
+@pytest.fixture
+def two_hub_graph():
+    """Hub 0 influences nodes 2..6; hub 1 influences nodes 7..11.
+
+    With a group targeting only 7..11, TVM must pick hub 1 even though the
+    hubs are symmetric for plain IM.
+    """
+    from repro.graph.builder import from_edges
+
+    edges = [(0, leaf, 0.9) for leaf in range(2, 7)]
+    edges += [(1, leaf, 0.9) for leaf in range(7, 12)]
+    return from_edges(edges, n=12)
+
+
+@pytest.fixture
+def target_right(two_hub_graph):
+    return TargetedGroup.from_members("right", 12, list(range(7, 12)))
+
+
+class TestTargetSteering:
+    def test_dssa_picks_targeted_hub(self, two_hub_graph, target_right):
+        result = tvm_dssa(two_hub_graph, 1, target_right, epsilon=0.2, model="IC", seed=1)
+        assert result.seeds == [1]
+        assert result.algorithm == "TVM-D-SSA"
+
+    def test_ssa_picks_targeted_hub(self, two_hub_graph, target_right):
+        result = tvm_ssa(two_hub_graph, 1, target_right, epsilon=0.2, model="IC", seed=2)
+        assert result.seeds == [1]
+
+    def test_kb_tim_picks_targeted_hub(self, two_hub_graph, target_right):
+        result = kb_tim(
+            two_hub_graph, 1, target_right, epsilon=0.25, model="IC", seed=3, max_samples=50_000
+        )
+        assert result.seeds == [1]
+        assert result.algorithm == "KB-TIM"
+
+    def test_group_name_recorded(self, two_hub_graph, target_right):
+        result = tvm_dssa(two_hub_graph, 1, target_right, epsilon=0.2, model="IC", seed=4)
+        assert result.extras["group"] == "right"
+
+
+class TestWeightedInfluenceEstimates:
+    def test_influence_bounded_by_total_benefit(self, two_hub_graph, target_right):
+        result = tvm_dssa(two_hub_graph, 2, target_right, epsilon=0.2, model="IC", seed=5)
+        assert 0 < result.influence <= target_right.total_benefit + 1e-9
+
+    def test_estimate_close_to_forward_simulation(self, two_hub_graph, target_right):
+        result = tvm_dssa(two_hub_graph, 1, target_right, epsilon=0.2, model="IC", seed=6)
+        simulated = weighted_spread(
+            two_hub_graph, result.seeds, target_right, "IC", simulations=3000, seed=7
+        )
+        assert result.influence == pytest.approx(simulated, rel=0.25)
+
+
+class TestWeightedSpread:
+    def test_seed_inside_group_counts_itself(self, two_hub_graph, target_right):
+        value = weighted_spread(
+            two_hub_graph, [8], target_right, "IC", simulations=50, seed=8
+        )
+        assert value == pytest.approx(1.0)  # leaf 8 has no out-edges
+
+    def test_seed_outside_group_no_reach(self, two_hub_graph, target_right):
+        value = weighted_spread(
+            two_hub_graph, [0], target_right, "IC", simulations=200, seed=9
+        )
+        assert value == 0.0  # hub 0 reaches only untargeted leaves
+
+    def test_hub_reaches_expected_benefit(self, two_hub_graph, target_right):
+        # Hub 1 activates each of the 5 targeted leaves w.p. 0.9.
+        value = weighted_spread(
+            two_hub_graph, [1], target_right, "IC", simulations=4000, seed=10
+        )
+        assert value == pytest.approx(4.5, rel=0.07)
+
+    def test_lt_model_supported(self, star_wc):
+        group = TargetedGroup.from_members("leaves", 10, list(range(1, 10)))
+        value = weighted_spread(star_wc, [0], group, "LT", simulations=50, seed=11)
+        assert value == pytest.approx(9.0)
+
+
+class TestEfficiencyStory:
+    def test_stop_and_stare_beats_kb_tim_on_samples(self, medium_wc_graph):
+        rng = np.random.default_rng(12)
+        members = rng.choice(medium_wc_graph.n, size=40, replace=False)
+        group = TargetedGroup.from_members("grp", medium_wc_graph.n, members)
+        d = tvm_dssa(medium_wc_graph, 5, group, epsilon=0.2, model="LT", seed=13)
+        kt = kb_tim(
+            medium_wc_graph, 5, group, epsilon=0.2, model="LT", seed=13, max_samples=500_000
+        )
+        assert d.samples < kt.samples

@@ -1,0 +1,25 @@
+"""Tests for library logging configuration."""
+
+import logging
+
+from repro.utils.logging import enable_verbose, get_logger
+
+
+def test_get_logger_namespaced():
+    assert get_logger("sampling").name == "repro.sampling"
+    assert get_logger("repro.core").name == "repro.core"
+
+
+def test_enable_verbose_idempotent():
+    enable_verbose()
+    before = len(logging.getLogger("repro").handlers)
+    enable_verbose()
+    assert len(logging.getLogger("repro").handlers) == before
+
+
+def test_root_logger_untouched():
+    enable_verbose()
+    # Library must not attach handlers to the root logger.
+    assert not any(
+        getattr(h, "_repro", False) for h in logging.getLogger().handlers
+    )

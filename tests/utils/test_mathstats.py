@@ -1,0 +1,129 @@
+"""Tests for concentration-bound arithmetic."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.utils.mathstats import (
+    binomial_coefficient_ln,
+    chernoff_lower_tail_samples,
+    chernoff_upper_tail_samples,
+    harmonic_mean,
+    hoeffding_samples,
+    log2_ceil,
+    relative_error,
+    upsilon,
+)
+
+
+class TestUpsilon:
+    def test_matches_formula(self):
+        eps, delta = 0.1, 0.01
+        expected = (2 + 2 * eps / 3) * math.log(1 / delta) / eps**2
+        assert upsilon(eps, delta) == pytest.approx(expected)
+
+    def test_decreases_with_epsilon(self):
+        assert upsilon(0.2, 0.1) < upsilon(0.1, 0.1)
+
+    def test_increases_as_delta_shrinks(self):
+        assert upsilon(0.1, 0.001) > upsilon(0.1, 0.01)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ParameterError):
+            upsilon(0.0, 0.1)
+        with pytest.raises(ParameterError):
+            upsilon(-1.0, 0.1)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ParameterError):
+            upsilon(0.1, 0.0)
+        with pytest.raises(ParameterError):
+            upsilon(0.1, 1.0)
+
+
+class TestChernoffSamples:
+    def test_upper_tail_is_upsilon_over_mu(self):
+        assert chernoff_upper_tail_samples(0.1, 0.01, 0.5) == pytest.approx(
+            upsilon(0.1, 0.01) / 0.5
+        )
+
+    def test_lower_tail_formula(self):
+        eps, delta, mu = 0.2, 0.05, 0.25
+        expected = 2 * math.log(1 / delta) / (eps**2 * mu)
+        assert chernoff_lower_tail_samples(eps, delta, mu) == pytest.approx(expected)
+
+    def test_lower_tail_below_upper_tail(self):
+        # The lower tail needs slightly fewer samples (2 vs 2 + 2eps/3).
+        assert chernoff_lower_tail_samples(0.1, 0.01, 0.3) < chernoff_upper_tail_samples(
+            0.1, 0.01, 0.3
+        )
+
+    def test_rejects_mu_out_of_range(self):
+        with pytest.raises(ParameterError):
+            chernoff_upper_tail_samples(0.1, 0.01, 0.0)
+        with pytest.raises(ParameterError):
+            chernoff_lower_tail_samples(0.1, 0.01, 1.5)
+
+
+class TestHoeffding:
+    def test_formula(self):
+        eps, delta = 0.05, 0.1
+        assert hoeffding_samples(eps, delta) == pytest.approx(
+            math.log(2 / delta) / (2 * eps**2)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            hoeffding_samples(0, 0.1)
+
+
+class TestBinomialCoefficientLn:
+    def test_small_exact_values(self):
+        assert binomial_coefficient_ln(10, 3) == pytest.approx(math.log(120))
+        assert binomial_coefficient_ln(5, 0) == pytest.approx(0.0)
+        assert binomial_coefficient_ln(5, 5) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        assert binomial_coefficient_ln(30, 7) == pytest.approx(
+            binomial_coefficient_ln(30, 23)
+        )
+
+    def test_k_greater_than_n_is_neg_inf(self):
+        assert binomial_coefficient_ln(3, 5) == float("-inf")
+
+    def test_billion_scale_no_overflow(self):
+        # C(65.6M, 1000) overflows any float; the log form must not.
+        value = binomial_coefficient_ln(65_600_000, 1000)
+        assert 0 < value < 1e9
+        assert math.isfinite(value)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            binomial_coefficient_ln(-1, 0)
+
+
+class TestSmallHelpers:
+    def test_log2_ceil_powers_of_two(self):
+        assert log2_ceil(8) == 3
+        assert log2_ceil(9) == 4
+        assert log2_ceil(1) == 0
+
+    def test_log2_ceil_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            log2_ceil(0)
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_mean([2.0, 6.0]) == pytest.approx(3.0)
+
+    def test_harmonic_mean_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ParameterError):
+            harmonic_mean([])
+        with pytest.raises(ParameterError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")

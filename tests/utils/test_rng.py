@@ -1,0 +1,45 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_same_seed_same_stream(self):
+        a = ensure_rng(7).integers(0, 1_000_000, size=10)
+        b = ensure_rng(7).integers(0, 1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_fresh_generator(self):
+        a, b = ensure_rng(None), ensure_rng(None)
+        assert a is not b
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(3, 5)
+        assert len(children) == 5
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(3, 2)
+        draws_a = a.integers(0, 1_000_000, size=20)
+        draws_b = b.integers(0, 1_000_000, size=20)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_deterministic_from_seed(self):
+        first = [g.integers(0, 1_000_000) for g in spawn_rngs(9, 3)]
+        second = [g.integers(0, 1_000_000) for g in spawn_rngs(9, 3)]
+        assert first == second
+
+    def test_zero_children(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)

@@ -1,0 +1,55 @@
+"""Tests for text table / chart rendering."""
+
+from repro.utils.tables import _fmt, format_series_chart, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "b"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "|" in lines[0]
+        # All rows have equal width.
+        assert len({len(line) for line in lines}) <= 2  # header sep may differ
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        out = format_table(["only"], [])
+        assert "only" in out
+
+
+class TestCellFormatting:
+    def test_float_precision(self):
+        assert _fmt(3.14159) == "3.142"
+
+    def test_large_floats_scientific(self):
+        assert "e" in _fmt(1.23e7)
+
+    def test_nan(self):
+        assert _fmt(float("nan")) == "n/a"
+
+    def test_zero(self):
+        assert _fmt(0.0) == "0"
+
+    def test_ints_untouched(self):
+        assert _fmt(123456) == "123456"
+
+
+class TestSeriesChart:
+    def test_contains_all_series(self):
+        chart = format_series_chart(
+            {"A": [(1, 10.0), (2, 100.0)], "B": [(1, 5.0)]}, title="demo"
+        )
+        assert "demo" in chart
+        assert "A" in chart and "B" in chart
+
+    def test_log_scaling_orders_bars(self):
+        chart = format_series_chart({"s": [(1, 1.0), (2, 1000.0)]})
+        lines = [line for line in chart.splitlines() if "|" in line]
+        assert lines[0].count("#") < lines[1].count("#")
+
+    def test_empty_series(self):
+        assert "(no data)" in format_series_chart({"empty": []})

@@ -1,0 +1,88 @@
+"""Tests for argument validation helpers."""
+
+import warnings
+
+import pytest
+
+from repro.exceptions import ParameterError, RangeConditionWarning
+from repro.utils.validation import (
+    check_delta,
+    check_epsilon,
+    check_k,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckEpsilon:
+    def test_accepts_valid(self):
+        assert check_epsilon(0.1) == 0.1
+
+    def test_rejects_out_of_range(self):
+        for bad in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(ParameterError):
+                check_epsilon(bad)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ParameterError):
+            check_epsilon("0.1")
+
+    def test_warns_beyond_range_condition(self):
+        with pytest.warns(RangeConditionWarning):
+            check_epsilon(0.3)
+
+    def test_no_warning_within_range(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            check_epsilon(0.2)
+
+
+class TestCheckDelta:
+    def test_accepts_valid(self):
+        assert check_delta(0.05) == 0.05
+
+    def test_rejects_bounds(self):
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(ParameterError):
+                check_delta(bad)
+
+
+class TestCheckK:
+    def test_accepts_range(self):
+        assert check_k(1, 10) == 1
+        assert check_k(10, 10) == 10
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ParameterError):
+            check_k(0, 10)
+        with pytest.raises(ParameterError):
+            check_k(11, 10)
+
+    def test_rejects_bool_and_float(self):
+        with pytest.raises(ParameterError):
+            check_k(True, 10)
+        with pytest.raises(ParameterError):
+            check_k(2.0, 10)
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ParameterError):
+            check_probability(1.1)
+        with pytest.raises(ParameterError):
+            check_probability(-0.1)
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(3, name="x") == 3
+
+    def test_rejects_zero_and_bool(self):
+        with pytest.raises(ParameterError):
+            check_positive_int(0, name="x")
+        with pytest.raises(ParameterError):
+            check_positive_int(True, name="x")
