@@ -33,6 +33,8 @@ from repro.diffusion.spread import estimate_spread, simulate_cascade
 from repro.graph.builder import GraphBuilder, from_edges
 from repro.graph.digraph import CSRGraph
 from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graph.shm import attach_csr_graph, share_csr_graph
+from repro.sampling.sharded import ShardedSampler, make_parallel_sampler
 from repro.graph.weights import (
     assign_constant_weights,
     assign_trivalency_weights,
@@ -72,6 +74,11 @@ __all__ = [
     "save_edge_list",
     "load_npz",
     "save_npz",
+    "share_csr_graph",
+    "attach_csr_graph",
+    # parallel sampling
+    "ShardedSampler",
+    "make_parallel_sampler",
     # diffusion
     "DiffusionModel",
     "estimate_spread",

@@ -33,9 +33,10 @@ from repro.core.thresholds import _E_FACTOR  # shared (1 - 1/e) constant
 from repro.diffusion.models import DiffusionModel
 from repro.exceptions import ParameterError
 from repro.graph.digraph import CSRGraph
-from repro.sampling.base import make_sampler
+from repro.sampling.backends import ExecutionBackend
 from repro.sampling.roots import UniformRoots, WeightedRoots
 from repro.sampling.rr_collection import RRCollection
+from repro.sampling.sharded import make_parallel_sampler
 from repro.utils.mathstats import binomial_coefficient_ln
 from repro.utils.timer import Timer
 from repro.utils.validation import check_delta, check_epsilon, check_k
@@ -51,14 +52,20 @@ def imm(
     seed: int | np.random.Generator | None = None,
     roots: "UniformRoots | WeightedRoots | None" = None,
     max_samples: int | None = None,
+    backend: "str | ExecutionBackend | None" = None,
+    workers: int | None = None,
 ) -> IMResult:
-    """Run IMM and return a ``(1-1/e-ε)``-approximate seed set w.h.p."""
+    """Run IMM and return a ``(1-1/e-ε)``-approximate seed set w.h.p.
+
+    ``backend``/``workers`` parallelize RR-set generation (IMM batch
+    samples in both phases, so it shards the same way SSA does).
+    """
     n = graph.n
     check_k(k, n)
     check_epsilon(epsilon)
     delta = check_delta(delta if delta is not None else 1.0 / max(n, 2))
 
-    sampler = make_sampler(graph, model, seed, roots=roots)
+    sampler = make_parallel_sampler(graph, model, seed, roots=roots, backend=backend, workers=workers)
     scale = sampler.scale
     ln_binom = binomial_coefficient_ln(n, k)
     ln_inv_delta = math.log(1.0 / delta)
@@ -77,33 +84,36 @@ def imm(
     beta = math.sqrt(_E_FACTOR * (ln_binom + math.log(2.0 / delta)))
     lambda_star = 2.0 * n * (_E_FACTOR * alpha + beta) ** 2 / (epsilon * epsilon)
 
-    with Timer() as timer:
-        pool = RRCollection(n)
-        lower_bound = 1.0
-        iterations = 0
-        for i in range(1, rounds + 1):
-            iterations += 1
-            x = n / (2.0**i)
-            theta_i = int(math.ceil(lambda_prime / x))
-            if max_samples is not None:
-                theta_i = min(theta_i, max_samples)
-            if theta_i > len(pool):
-                pool.extend(sampler.sample_batch(theta_i - len(pool)))
-            cover = max_coverage(pool, k)
-            estimate = cover.influence_estimate(scale)
-            if estimate >= (1.0 + eps_prime) * x:
-                lower_bound = estimate / (1.0 + eps_prime)
-                break
-            if max_samples is not None and len(pool) >= max_samples:
-                lower_bound = max(estimate / (1.0 + eps_prime), 1.0)
-                break
+    try:
+        with Timer() as timer:
+            pool = RRCollection(n)
+            lower_bound = 1.0
+            iterations = 0
+            for i in range(1, rounds + 1):
+                iterations += 1
+                x = n / (2.0**i)
+                theta_i = int(math.ceil(lambda_prime / x))
+                if max_samples is not None:
+                    theta_i = min(theta_i, max_samples)
+                if theta_i > len(pool):
+                    pool.extend(sampler.sample_batch(theta_i - len(pool)))
+                cover = max_coverage(pool, k)
+                estimate = cover.influence_estimate(scale)
+                if estimate >= (1.0 + eps_prime) * x:
+                    lower_bound = estimate / (1.0 + eps_prime)
+                    break
+                if max_samples is not None and len(pool) >= max_samples:
+                    lower_bound = max(estimate / (1.0 + eps_prime), 1.0)
+                    break
 
-        theta = int(math.ceil(lambda_star / lower_bound))
-        if max_samples is not None:
-            theta = min(theta, max_samples)
-        if theta > len(pool):
-            pool.extend(sampler.sample_batch(theta - len(pool)))
-        cover = max_coverage(pool, k, start=0, end=theta)
+            theta = int(math.ceil(lambda_star / lower_bound))
+            if max_samples is not None:
+                theta = min(theta, max_samples)
+            if theta > len(pool):
+                pool.extend(sampler.sample_batch(theta - len(pool)))
+            cover = max_coverage(pool, k, start=0, end=theta)
+    finally:
+        sampler.close()
 
     return IMResult(
         algorithm="IMM",

@@ -27,8 +27,10 @@ from repro.core.max_coverage import max_coverage
 from repro.core.result import IMResult
 from repro.diffusion.models import DiffusionModel
 from repro.graph.digraph import CSRGraph
-from repro.sampling.base import RRSampler, make_sampler
+from repro.sampling.backends import ExecutionBackend
+from repro.sampling.base import RRSampler
 from repro.sampling.rr_collection import RRCollection
+from repro.sampling.sharded import make_parallel_sampler
 from repro.utils.mathstats import binomial_coefficient_ln
 from repro.utils.timer import Timer
 from repro.utils.validation import check_delta, check_epsilon, check_k
@@ -86,44 +88,49 @@ def _run_tim(
     refine: bool,
     max_samples: int | None,
     roots=None,
+    backend: "str | ExecutionBackend | None" = None,
+    workers: int | None = None,
 ) -> IMResult:
     n = graph.n
     check_k(k, n)
     check_epsilon(epsilon)
     delta = check_delta(delta)
 
-    sampler = make_sampler(graph, model, seed, roots=roots)
+    sampler = make_parallel_sampler(graph, model, seed, roots=roots, backend=backend, workers=workers)
     scale = sampler.scale
     ln_binom = binomial_coefficient_ln(n, k)
     ln_inv_delta = math.log(1.0 / delta)
 
-    with Timer() as timer:
-        pool = RRCollection(n)
-        kpt = _kpt_estimation(graph, sampler, k, delta, pool, max_samples=max_samples)
-        kpt_refined = kpt
+    try:
+        with Timer() as timer:
+            pool = RRCollection(n)
+            kpt = _kpt_estimation(graph, sampler, k, delta, pool, max_samples=max_samples)
+            kpt_refined = kpt
 
-        if refine and len(pool) > 0:
-            # TIM+ intermediate step: propose seeds from the existing pool,
-            # then bound their influence from a fresh batch of the same size.
-            eps_prime = min(0.9, math.sqrt(2.0) * epsilon)
-            proposal = max_coverage(pool, k)
-            fresh_count = min(len(pool), max_samples or len(pool))
-            fresh_start = len(pool)
-            pool.extend(sampler.sample_batch(fresh_count))
-            fresh_cov = pool.coverage(proposal.seeds, start=fresh_start)
-            estimate = scale * fresh_cov / fresh_count
-            kpt_refined = max(kpt, estimate / (1.0 + eps_prime))
+            if refine and len(pool) > 0:
+                # TIM+ intermediate step: propose seeds from the existing pool,
+                # then bound their influence from a fresh batch of the same size.
+                eps_prime = min(0.9, math.sqrt(2.0) * epsilon)
+                proposal = max_coverage(pool, k)
+                fresh_count = min(len(pool), max_samples or len(pool))
+                fresh_start = len(pool)
+                pool.extend(sampler.sample_batch(fresh_count))
+                fresh_cov = pool.coverage(proposal.seeds, start=fresh_start)
+                estimate = scale * fresh_cov / fresh_count
+                kpt_refined = max(kpt, estimate / (1.0 + eps_prime))
 
-        lam = (8.0 + 2.0 * epsilon) * n * (ln_inv_delta + ln_binom + math.log(2.0)) / (
-            epsilon * epsilon
-        )
-        theta = int(math.ceil(lam / kpt_refined))
-        if max_samples is not None:
-            theta = min(theta, max_samples)
-        theta = max(theta, 1)
-        if theta > len(pool):
-            pool.extend(sampler.sample_batch(theta - len(pool)))
-        cover = max_coverage(pool, k, start=0, end=theta)
+            lam = (8.0 + 2.0 * epsilon) * n * (ln_inv_delta + ln_binom + math.log(2.0)) / (
+                epsilon * epsilon
+            )
+            theta = int(math.ceil(lam / kpt_refined))
+            if max_samples is not None:
+                theta = min(theta, max_samples)
+            theta = max(theta, 1)
+            if theta > len(pool):
+                pool.extend(sampler.sample_batch(theta - len(pool)))
+            cover = max_coverage(pool, k, start=0, end=theta)
+    finally:
+        sampler.close()
 
     return IMResult(
         algorithm="TIM+" if refine else "TIM",
@@ -148,10 +155,15 @@ def tim(
     model: "str | DiffusionModel" = "IC",
     seed: int | np.random.Generator | None = None,
     max_samples: int | None = None,
+    backend: "str | ExecutionBackend | None" = None,
+    workers: int | None = None,
 ) -> IMResult:
     """TIM: KPT estimation, then one-shot RIS at ``θ = λ/KPT``."""
     delta = delta if delta is not None else 1.0 / max(graph.n, 2)
-    return _run_tim(graph, k, epsilon, delta, model, seed, refine=False, max_samples=max_samples)
+    return _run_tim(
+        graph, k, epsilon, delta, model, seed,
+        refine=False, max_samples=max_samples, backend=backend, workers=workers,
+    )
 
 
 def tim_plus(
@@ -163,7 +175,12 @@ def tim_plus(
     model: "str | DiffusionModel" = "IC",
     seed: int | np.random.Generator | None = None,
     max_samples: int | None = None,
+    backend: "str | ExecutionBackend | None" = None,
+    workers: int | None = None,
 ) -> IMResult:
     """TIM+: TIM with the intermediate KPT refinement step."""
     delta = delta if delta is not None else 1.0 / max(graph.n, 2)
-    return _run_tim(graph, k, epsilon, delta, model, seed, refine=True, max_samples=max_samples)
+    return _run_tim(
+        graph, k, epsilon, delta, model, seed,
+        refine=True, max_samples=max_samples, backend=backend, workers=workers,
+    )

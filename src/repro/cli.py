@@ -23,6 +23,7 @@ from repro.experiments.figures import tvm_runtime_vs_k
 from repro.experiments.report import render_comparison
 from repro.experiments.runner import ALGORITHMS, evaluate_quality, run_algorithm
 from repro.graph.statistics import compute_stats
+from repro.sampling.backends import BACKENDS
 from repro.utils.tables import format_table
 
 
@@ -63,6 +64,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         epsilon=args.epsilon,
         seed=args.seed,
         dataset=args.dataset,
+        backend=args.backend,
+        workers=args.workers,
     )
     if args.quality:
         evaluate_quality(record, graph, simulations=args.quality_sims, seed=args.seed)
@@ -82,6 +85,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             epsilon=args.epsilon,
             seed=args.seed,
             dataset=args.dataset,
+            backend=args.backend,
+            workers=args.workers,
         )
         if args.quality:
             evaluate_quality(record, graph, simulations=args.quality_sims, seed=args.seed)
@@ -148,6 +153,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=7)
         p.add_argument("--quality", action="store_true", help="Monte Carlo-evaluate the seeds")
         p.add_argument("--quality-sims", type=int, default=200)
+        p.add_argument(
+            "--backend",
+            default="serial",
+            choices=sorted(BACKENDS),
+            help="RR-sampling execution backend (RIS algorithms only)",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="parallel sampling workers (>1 shards the RR stream; "
+            "defaults to the CPU count when a parallel backend is chosen)",
+        )
 
     p_run = sub.add_parser("run", help="run one algorithm")
     p_run.add_argument("algorithm", choices=list(ALGORITHMS))

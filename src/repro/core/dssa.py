@@ -30,9 +30,10 @@ from repro.core.result import IMResult
 from repro.core.thresholds import max_iterations, sample_cap
 from repro.diffusion.models import DiffusionModel
 from repro.graph.digraph import CSRGraph
-from repro.sampling.base import make_sampler
+from repro.sampling.backends import ExecutionBackend
 from repro.sampling.roots import UniformRoots, WeightedRoots
 from repro.sampling.rr_collection import RRCollection
+from repro.sampling.sharded import make_parallel_sampler
 from repro.utils.mathstats import upsilon
 from repro.utils.timer import Timer
 from repro.utils.validation import check_delta, check_epsilon, check_k
@@ -51,13 +52,17 @@ def dssa(
     roots: "UniformRoots | WeightedRoots | None" = None,
     max_samples: int | None = None,
     horizon: int | None = None,
+    backend: "str | ExecutionBackend | None" = None,
+    workers: int | None = None,
 ) -> IMResult:
     """Run D-SSA and return a ``(1-1/e-ε)``-approximate seed set w.h.p.
 
     Same surface as :func:`repro.core.ssa.ssa` minus the ε-split — D-SSA
     derives ε₁, ε₂, ε₃ from the observed estimates each iteration.
     ``horizon`` switches to the time-critical objective (activations
-    within T rounds).
+    within T rounds).  ``backend``/``workers`` parallelize RR-set
+    generation (D-SSA consumes a single merged stream, so the guarantees
+    are untouched — the merge only needs i.i.d. sets).
     """
     n = graph.n
     check_k(k, n)
@@ -75,70 +80,75 @@ def dssa(
     lambda_base = int(math.ceil(upsilon(epsilon, per_iter_delta)))
     lambda_1 = 1.0 + (1.0 + epsilon) * upsilon(epsilon, per_iter_delta)
 
-    sampler = make_sampler(graph, model, seed, roots=roots, max_hops=horizon)
+    sampler = make_parallel_sampler(
+        graph, model, seed, roots=roots, max_hops=horizon, backend=backend, workers=workers
+    )
     scale = sampler.scale
 
-    with Timer() as timer:
-        stream = RRCollection(n)
-        cover = None
-        influence_hat = 0.0
-        iterations = 0
-        stopped_by = "cap"
-        epsilon_trace: list[dict] = []
+    try:
+        with Timer() as timer:
+            stream = RRCollection(n)
+            cover = None
+            influence_hat = 0.0
+            iterations = 0
+            stopped_by = "cap"
+            epsilon_trace: list[dict] = []
 
-        while True:
-            iterations += 1
-            half = lambda_base * (2 ** (iterations - 1))
-            need = 2 * half
-            if need > len(stream):
-                stream.extend(sampler.sample_batch(need - len(stream)))
+            while True:
+                iterations += 1
+                half = lambda_base * (2 ** (iterations - 1))
+                need = 2 * half
+                if need > len(stream):
+                    stream.extend(sampler.sample_batch(need - len(stream)))
 
-            cover = max_coverage(stream, k, start=0, end=half)
-            influence_hat = cover.influence_estimate(scale)
+                cover = max_coverage(stream, k, start=0, end=half)
+                influence_hat = cover.influence_estimate(scale)
 
-            verify_cov = stream.coverage(cover.seeds, start=half, end=need)
-            record = {
-                "iteration": iterations,
-                "find_half": half,
-                "coverage": cover.coverage,
-                "verify_coverage": verify_cov,
-                "influence_hat": influence_hat,
-            }
+                verify_cov = stream.coverage(cover.seeds, start=half, end=need)
+                record = {
+                    "iteration": iterations,
+                    "find_half": half,
+                    "coverage": cover.coverage,
+                    "verify_coverage": verify_cov,
+                    "influence_hat": influence_hat,
+                }
 
-            if verify_cov >= lambda_1:  # condition D1
-                influence_check = scale * verify_cov / half
-                # Dynamic precision parameters (Alg. 4 lines 11-13).  The
-                # 2^(t-1) factor follows the paper's normalization (the
-                # Λ part of |R_t| is folded into the Υ(ε, ·) term).
-                e1 = influence_hat / influence_check - 1.0
-                e2 = epsilon * math.sqrt(
-                    scale * (1.0 + epsilon) / (2 ** (iterations - 1) * influence_check)
-                )
-                e3 = epsilon * math.sqrt(
-                    scale
-                    * (1.0 + epsilon)
-                    * (1.0 - 1.0 / math.e - epsilon)
-                    / ((1.0 + epsilon / 3.0) * 2 ** (iterations - 1) * influence_check)
-                )
-                eps_t = (e1 + e2 + e1 * e2) * (1.0 - 1.0 / math.e - epsilon) + _E_FACTOR * e3
-                record.update(
-                    {
-                        "influence_check": influence_check,
-                        "epsilon_1": e1,
-                        "epsilon_2": e2,
-                        "epsilon_3": e3,
-                        "epsilon_t": eps_t,
-                    }
-                )
-                if eps_t <= epsilon:  # condition D2
-                    stopped_by = "conditions"
-                    epsilon_trace.append(record)
+                if verify_cov >= lambda_1:  # condition D1
+                    influence_check = scale * verify_cov / half
+                    # Dynamic precision parameters (Alg. 4 lines 11-13).  The
+                    # 2^(t-1) factor follows the paper's normalization (the
+                    # Λ part of |R_t| is folded into the Υ(ε, ·) term).
+                    e1 = influence_hat / influence_check - 1.0
+                    e2 = epsilon * math.sqrt(
+                        scale * (1.0 + epsilon) / (2 ** (iterations - 1) * influence_check)
+                    )
+                    e3 = epsilon * math.sqrt(
+                        scale
+                        * (1.0 + epsilon)
+                        * (1.0 - 1.0 / math.e - epsilon)
+                        / ((1.0 + epsilon / 3.0) * 2 ** (iterations - 1) * influence_check)
+                    )
+                    eps_t = (e1 + e2 + e1 * e2) * (1.0 - 1.0 / math.e - epsilon) + _E_FACTOR * e3
+                    record.update(
+                        {
+                            "influence_check": influence_check,
+                            "epsilon_1": e1,
+                            "epsilon_2": e2,
+                            "epsilon_3": e3,
+                            "epsilon_t": eps_t,
+                        }
+                    )
+                    if eps_t <= epsilon:  # condition D2
+                        stopped_by = "conditions"
+                        epsilon_trace.append(record)
+                        break
+                epsilon_trace.append(record)
+
+                if len(stream) >= n_max:
+                    stopped_by = "cap"
                     break
-            epsilon_trace.append(record)
-
-            if len(stream) >= n_max:
-                stopped_by = "cap"
-                break
+    finally:
+        sampler.close()
 
     return IMResult(
         algorithm="D-SSA",

@@ -37,9 +37,11 @@ from repro.core.thresholds import (
 )
 from repro.diffusion.models import DiffusionModel
 from repro.graph.digraph import CSRGraph
+from repro.sampling.backends import ExecutionBackend
 from repro.sampling.base import make_sampler
 from repro.sampling.roots import UniformRoots, WeightedRoots
 from repro.sampling.rr_collection import RRCollection
+from repro.sampling.sharded import make_parallel_sampler
 from repro.utils.mathstats import upsilon
 from repro.utils.rng import spawn_rngs
 from repro.utils.timer import Timer
@@ -58,6 +60,8 @@ def ssa(
     roots: "UniformRoots | WeightedRoots | None" = None,
     max_samples: int | None = None,
     horizon: int | None = None,
+    backend: "str | ExecutionBackend | None" = None,
+    workers: int | None = None,
 ) -> IMResult:
     """Run SSA and return a ``(1-1/e-ε)``-approximate seed set w.h.p.
 
@@ -88,6 +92,11 @@ def ssa(
         Optional time-critical cap T: the objective becomes the expected
         number of activations within T rounds (RR sets are truncated to
         T reverse hops, the exact dual of T-round cascades).
+    backend, workers:
+        Parallel execution of the optimization pool's sampling: backend
+        name (``"serial"``, ``"thread"``, ``"process"``) and worker
+        count.  Defaults keep the single-stream behaviour; the
+        verification stream stays serial (its batches are small).
     """
     n = graph.n
     check_k(k, n)
@@ -106,48 +115,53 @@ def ssa(
     lambda_1 = (1.0 + e1) * (1.0 + e2) * upsilon(e3, per_iter_delta)
 
     rng_main, rng_verify = spawn_rngs(seed, 2)
-    sampler = make_sampler(graph, model, rng_main, roots=roots, max_hops=horizon)
+    sampler = make_parallel_sampler(
+        graph, model, rng_main, roots=roots, max_hops=horizon, backend=backend, workers=workers
+    )
     verifier = make_sampler(graph, model, rng_verify, roots=roots, max_hops=horizon)
     scale = sampler.scale
 
-    with Timer() as timer:
-        pool = RRCollection(n)
-        pool.extend(sampler.sample_batch(int(math.ceil(lambda_base))))
+    try:
+        with Timer() as timer:
+            pool = RRCollection(n)
+            pool.extend(sampler.sample_batch(int(math.ceil(lambda_base))))
 
-        cover = None
-        iterations = 0
-        stopped_by = "cap"
-        epsilon_trace: list[dict] = []
+            cover = None
+            iterations = 0
+            stopped_by = "cap"
+            epsilon_trace: list[dict] = []
 
-        while True:
-            iterations += 1
-            pool.extend(sampler.sample_batch(len(pool)))  # double R
-            cover = max_coverage(pool, k)
-            influence_hat = cover.influence_estimate(scale)
+            while True:
+                iterations += 1
+                pool.extend(sampler.sample_batch(len(pool)))  # double R
+                cover = max_coverage(pool, k)
+                influence_hat = cover.influence_estimate(scale)
 
-            record = {
-                "iteration": iterations,
-                "pool": len(pool),
-                "coverage": cover.coverage,
-                "influence_hat": influence_hat,
-            }
+                record = {
+                    "iteration": iterations,
+                    "pool": len(pool),
+                    "coverage": cover.coverage,
+                    "influence_hat": influence_hat,
+                }
 
-            if cover.coverage >= lambda_1:  # condition C1
-                t_max = int(
-                    math.ceil(2.0 * len(pool) * (1.0 + e2) / (1.0 - e2) * (e3 * e3) / (e2 * e2))
-                )
-                check = estimate_influence(verifier, cover.seeds, e2, per_iter_delta, t_max)
-                record["verify_samples"] = check.samples_used
-                record["influence_check"] = check.influence
-                if check.influence is not None and influence_hat <= (1.0 + e1) * check.influence:
-                    stopped_by = "conditions"  # C2 met
-                    epsilon_trace.append(record)
+                if cover.coverage >= lambda_1:  # condition C1
+                    t_max = int(
+                        math.ceil(2.0 * len(pool) * (1.0 + e2) / (1.0 - e2) * (e3 * e3) / (e2 * e2))
+                    )
+                    check = estimate_influence(verifier, cover.seeds, e2, per_iter_delta, t_max)
+                    record["verify_samples"] = check.samples_used
+                    record["influence_check"] = check.influence
+                    if check.influence is not None and influence_hat <= (1.0 + e1) * check.influence:
+                        stopped_by = "conditions"  # C2 met
+                        epsilon_trace.append(record)
+                        break
+                epsilon_trace.append(record)
+
+                if len(pool) >= n_max:
+                    stopped_by = "cap"
                     break
-            epsilon_trace.append(record)
-
-            if len(pool) >= n_max:
-                stopped_by = "cap"
-                break
+    finally:
+        sampler.close()
 
     return IMResult(
         algorithm="SSA",

@@ -73,13 +73,28 @@ def run_algorithm(
     dataset: str = "?",
     max_samples: int | None = None,
     celf_simulations: int = 100,
+    backend: str | None = None,
+    workers: int | None = None,
 ) -> RunRecord:
-    """Run one named algorithm and collect its metrics."""
+    """Run one named algorithm and collect its metrics.
+
+    ``backend``/``workers`` select the RR-sampling execution backend for
+    the RIS algorithms (D-SSA/SSA/IMM/TIM+/TIM); the simulation-based
+    baselines ignore them.
+    """
     key = name.strip()
     if key not in ALGORITHMS:
         raise ParameterError(f"unknown algorithm {name!r}; known: {ALGORITHMS}")
 
-    common = dict(epsilon=epsilon, delta=delta, model=model, seed=seed, max_samples=max_samples)
+    common = dict(
+        epsilon=epsilon,
+        delta=delta,
+        model=model,
+        seed=seed,
+        max_samples=max_samples,
+        backend=backend,
+        workers=workers,
+    )
     if key == "D-SSA":
         result = dssa(graph, k, **common)
     elif key == "SSA":

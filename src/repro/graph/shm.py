@@ -1,0 +1,148 @@
+"""Zero-copy CSR graph (de)serialization over POSIX shared memory.
+
+The process execution backend ships the influence graph to its workers
+exactly once: :func:`share_csr_graph` lays the six CSR arrays out in a
+single :class:`multiprocessing.shared_memory.SharedMemory` segment and
+returns a small picklable :class:`SharedCSRSpec` manifest (segment name +
+per-array offsets).  A worker calls :func:`attach_csr_graph` with the
+manifest and reconstructs a fully validated :class:`CSRGraph` whose
+arrays are *views into the segment* — no copy, no re-parse, O(1) attach
+regardless of graph size.
+
+Lifetime rules follow the usual shared-memory discipline: the creator
+owns the segment and must :meth:`~multiprocessing.shared_memory.SharedMemory.unlink`
+it after every attacher has closed; attachers only ``close()``.  Both
+sides must keep their ``SharedMemory`` handle alive for as long as the
+attached graph is in use (the graph's arrays borrow the segment's
+buffer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.exceptions import GraphIOError
+from repro.graph.digraph import CSRGraph
+
+# CSR fields in layout order; each is (attribute name, dtype).
+_FIELDS: tuple[tuple[str, str], ...] = (
+    ("out_indptr", "int64"),
+    ("out_indices", "int32"),
+    ("out_weights", "float64"),
+    ("in_indptr", "int64"),
+    ("in_indices", "int32"),
+    ("in_weights", "float64"),
+)
+
+_ALIGNMENT = 8  # every array starts on an 8-byte boundary
+
+
+@dataclass(frozen=True)
+class SharedCSRSpec:
+    """Picklable manifest describing a CSR graph laid out in shared memory.
+
+    ``fields`` maps each CSR array name to its ``(offset, length)`` within
+    the segment; dtypes are fixed by the CSR contract (`_FIELDS`).
+    """
+
+    shm_name: str
+    n: int
+    m: int
+    fields: tuple[tuple[str, int, int], ...]
+    total_bytes: int
+
+
+def _layout(graph: CSRGraph) -> tuple[tuple[tuple[str, int, int], ...], int]:
+    """Compute (name, offset, length) for each array plus the total size."""
+    fields = []
+    cursor = 0
+    for name, dtype in _FIELDS:
+        arr = getattr(graph, name)
+        fields.append((name, cursor, int(arr.size)))
+        cursor += int(arr.size) * np.dtype(dtype).itemsize
+        cursor = (cursor + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+    return tuple(fields), cursor
+
+
+def share_csr_graph(
+    graph: CSRGraph, *, name: str | None = None
+) -> tuple[shared_memory.SharedMemory, SharedCSRSpec]:
+    """Copy ``graph``'s CSR arrays into a new shared-memory segment.
+
+    Returns the owning segment handle (caller must eventually ``close()``
+    and ``unlink()`` it) and the manifest to hand to attachers.
+    """
+    fields, total = _layout(graph)
+    # SharedMemory refuses zero-length segments; indptr arrays guarantee
+    # total > 0 for any n >= 0, but keep the guard for safety.
+    shm = shared_memory.SharedMemory(create=True, size=max(total, 1), name=name)
+    dtypes = dict(_FIELDS)
+    for field_name, offset, length in fields:
+        view = np.ndarray((length,), dtype=dtypes[field_name], buffer=shm.buf, offset=offset)
+        view[:] = getattr(graph, field_name)
+        del view  # drop the exported-buffer reference before returning
+    spec = SharedCSRSpec(
+        shm_name=shm.name,
+        n=graph.n,
+        m=graph.m,
+        fields=fields,
+        total_bytes=max(total, 1),
+    )
+    return shm, spec
+
+
+def attach_csr_graph(
+    spec: SharedCSRSpec, *, shm: shared_memory.SharedMemory | None = None
+) -> tuple[CSRGraph, shared_memory.SharedMemory]:
+    """Reconstruct a :class:`CSRGraph` from a shared-memory manifest.
+
+    The returned graph's arrays are zero-copy views into the segment; the
+    returned handle must stay alive (and be ``close()``-d, not unlinked)
+    by the caller.  Pass ``shm`` to reuse an already-attached handle.
+    """
+    if shm is None:
+        try:
+            shm = shared_memory.SharedMemory(name=spec.shm_name)
+        except FileNotFoundError as exc:
+            raise GraphIOError(
+                f"shared CSR segment {spec.shm_name!r} does not exist "
+                "(owner exited or unlinked it?)"
+            ) from exc
+    if shm.size < spec.total_bytes:
+        raise GraphIOError(
+            f"shared CSR segment {spec.shm_name!r} is {shm.size} bytes, "
+            f"manifest expects {spec.total_bytes}"
+        )
+    dtypes = dict(_FIELDS)
+    arrays = {
+        field_name: np.ndarray(
+            (length,), dtype=dtypes[field_name], buffer=shm.buf, offset=offset
+        )
+        for field_name, offset, length in spec.fields
+    }
+    # CSRGraph re-validates the arrays, so a corrupt/truncated segment
+    # fails loudly here rather than mid-sampling.
+    graph = CSRGraph(spec.n, **arrays)
+    return graph, shm
+
+
+def close_segment(shm: shared_memory.SharedMemory, *, unlink: bool = False) -> None:
+    """Best-effort close (and optional unlink) of a shared segment.
+
+    ``mmap`` refuses to close while graph views still borrow the buffer;
+    swallowing the :class:`BufferError` keeps teardown paths (worker exit,
+    backend close, test cleanup) from masking the real error, at the cost
+    of letting the OS reclaim the mapping at process exit instead.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        pass
+    if unlink:
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass

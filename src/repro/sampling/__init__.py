@@ -5,15 +5,30 @@ from repro.sampling.ic_sampler import ICSampler
 from repro.sampling.lt_sampler import LTSampler
 from repro.sampling.base import RRSampler, make_sampler
 from repro.sampling.rr_collection import RRCollection
-from repro.sampling.sharded import ShardedSampler
+from repro.sampling.sharded import ShardedSampler, make_parallel_sampler
+from repro.sampling.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
 
 __all__ = [
     "RRSampler",
     "make_sampler",
+    "make_parallel_sampler",
     "ICSampler",
     "LTSampler",
     "ShardedSampler",
     "RRCollection",
     "UniformRoots",
     "WeightedRoots",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "make_backend",
 ]

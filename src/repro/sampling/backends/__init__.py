@@ -1,0 +1,51 @@
+"""Pluggable execution backends for parallel RR-set sampling.
+
+``serial`` (default), ``thread``, and ``process`` all implement the
+:class:`ExecutionBackend` contract; see :mod:`repro.sampling.backends.base`
+for the coordinator/worker protocol and the determinism guarantee
+(backend choice never changes the sampled RR stream).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SamplingError
+from repro.sampling.backends.base import ExecutionBackend, WorkerSpec
+from repro.sampling.backends.process import ProcessBackend, default_worker_count
+from repro.sampling.backends.serial import SerialBackend
+from repro.sampling.backends.thread import ThreadBackend
+
+#: registry keyed by CLI / API name.
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def make_backend(backend: "str | ExecutionBackend | None") -> ExecutionBackend:
+    """Coerce a backend name (or pass through an instance) to a backend.
+
+    ``None`` means the default (:class:`SerialBackend`).
+    """
+    if backend is None:
+        return SerialBackend()
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    key = str(backend).strip().lower()
+    if key not in BACKENDS:
+        raise SamplingError(
+            f"unknown execution backend {backend!r}; known: {sorted(BACKENDS)}"
+        )
+    return BACKENDS[key]()
+
+
+__all__ = [
+    "ExecutionBackend",
+    "WorkerSpec",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "make_backend",
+    "default_worker_count",
+]

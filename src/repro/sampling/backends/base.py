@@ -1,0 +1,184 @@
+"""Execution-backend protocol for parallel RR-set sampling.
+
+The Stop-and-Stare estimators only need the merged RR stream to be
+i.i.d., so *where* each set is computed is an execution detail.  This
+module pins down the contract between the coordinator
+(:class:`repro.sampling.sharded.ShardedSampler`) and the workers:
+
+* the coordinator owns the root distribution and the merge order — it
+  draws every root itself and partitions them into per-worker batches;
+* each worker owns one RNG stream (spawned from the coordinator's
+  :class:`~numpy.random.SeedSequence`, independent by construction) and
+  turns its root batch into RR sets with a plain
+  :class:`~repro.sampling.base.RRSampler`.
+
+Because workers only consume the roots they are handed and their own
+stream, the merged output is a pure function of ``(seed, workers)`` — a
+backend swap (serial ↔ thread ↔ process) cannot change a single byte of
+the RR stream.  ``tests/sampling/test_backends.py`` enforces this.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.diffusion.models import DiffusionModel
+from repro.exceptions import SamplingError
+from repro.graph.digraph import CSRGraph
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a backend needs to stand up its worker fleet.
+
+    ``seed_seqs`` has one entry per worker; its length defines the fleet
+    size.  The spec itself is cheap — only the process backend pays the
+    cost of shipping ``graph`` (once, via shared memory).
+    """
+
+    graph: CSRGraph
+    model: DiffusionModel
+    seed_seqs: list = field(default_factory=list)
+    max_hops: int | None = None
+
+    @property
+    def workers(self) -> int:
+        return len(self.seed_seqs)
+
+
+class ExecutionBackend(abc.ABC):
+    """Lifecycle + fan-out contract shared by all execution backends.
+
+    Usage::
+
+        backend = make_backend("process")
+        backend.start(spec)            # stand up workers, ship the graph
+        shards = backend.sample_shards(root_batches)
+        backend.close()                # tear down workers, free resources
+
+    ``sample_shards`` takes one root batch per worker (empty batches are
+    allowed and produce empty shard results) and returns, per worker, the
+    RR sets for its roots *in root order*.
+    """
+
+    #: registry key / CLI name, overridden by each implementation.
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self._spec: WorkerSpec | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, spec: WorkerSpec) -> None:
+        """Stand up the worker fleet for ``spec`` (idempotence not allowed)."""
+        if self._spec is not None:
+            raise SamplingError(f"{type(self).__name__} already started")
+        if spec.workers < 1:
+            raise SamplingError(f"need at least one worker seed, got {spec.workers}")
+        self._closed = False
+        self._start(spec)
+        # Only a fully stood-up fleet counts as started: a _start that
+        # raises leaves the backend restartable instead of wedged.
+        self._spec = spec
+
+    def close(self) -> None:
+        """Tear down workers and release resources (idempotent).
+
+        Marked closed only after teardown succeeds, so a failed teardown
+        can be retried (by the caller or the ``__del__`` safety net)
+        instead of silently leaking workers or shared-memory segments.
+        """
+        if self._closed:
+            return
+        self._close()
+        self._closed = True
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def workers(self) -> int:
+        """Fleet size (0 before :meth:`start`)."""
+        return self._spec.workers if self._spec is not None else 0
+
+    @property
+    def started(self) -> bool:
+        return self._spec is not None and not self._closed
+
+    # ------------------------------------------------------------------
+    # Fan-out
+    # ------------------------------------------------------------------
+    def sample_shards(self, root_batches: Sequence[np.ndarray]) -> list[list[np.ndarray]]:
+        """Sample RR sets for each worker's root batch.
+
+        ``root_batches[w]`` are the roots assigned to worker ``w``; the
+        result keeps the same shape: ``result[w][i]`` is the RR set for
+        ``root_batches[w][i]``.
+        """
+        if not self.started:
+            raise SamplingError(f"{type(self).__name__} is not running (start it first)")
+        if len(root_batches) != self.workers:
+            raise SamplingError(
+                f"got {len(root_batches)} root batches for {self.workers} workers"
+            )
+        return self._sample_shards(root_batches)
+
+    # ------------------------------------------------------------------
+    # Implementation hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _start(self, spec: WorkerSpec) -> None:
+        """Backend-specific fleet startup."""
+
+    @abc.abstractmethod
+    def _sample_shards(self, root_batches: Sequence[np.ndarray]) -> list[list[np.ndarray]]:
+        """Backend-specific fan-out; called only while started."""
+
+    @abc.abstractmethod
+    def _close(self) -> None:
+        """Backend-specific teardown; called at most once."""
+
+
+def build_worker_sampler(spec: WorkerSpec, worker_id: int, graph: CSRGraph | None = None):
+    """Construct worker ``worker_id``'s sampler from a spec.
+
+    Shared by every backend so the in-process and out-of-process paths
+    use byte-identical RNG construction (``default_rng`` over the spawned
+    SeedSequence).  ``graph`` overrides the spec's graph for workers that
+    attached their own shared-memory copy.
+    """
+    from repro.sampling.base import make_sampler
+
+    return make_sampler(
+        graph if graph is not None else spec.graph,
+        spec.model,
+        np.random.default_rng(spec.seed_seqs[worker_id]),
+        max_hops=spec.max_hops,
+    )
+
+
+def flatten_rr_batch(rr_sets: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack a list of RR sets into one ``(flat, sizes)`` message.
+
+    Inter-process replies ship two arrays instead of N small ones, which
+    keeps pickling overhead per batch O(1) in the number of sets.
+    """
+    sizes = np.fromiter((rr.size for rr in rr_sets), dtype=np.int64, count=len(rr_sets))
+    flat = np.concatenate(rr_sets) if rr_sets else np.zeros(0, dtype=np.int32)
+    return flat.astype(np.int32, copy=False), sizes
+
+
+def unflatten_rr_batch(flat: np.ndarray, sizes: np.ndarray) -> list[np.ndarray]:
+    """Invert :func:`flatten_rr_batch` (views into ``flat``, no copies)."""
+    if sizes.size == 0:
+        return []
+    return np.split(flat, np.cumsum(sizes[:-1]))

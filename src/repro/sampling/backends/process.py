@@ -1,0 +1,186 @@
+"""Multi-process execution backend over shared-memory CSR graphs.
+
+This is the real distributed topology the paper names as future work,
+scaled down to one machine:
+
+* **startup** — the coordinator lays the CSR graph out in a POSIX
+  shared-memory segment (:func:`repro.graph.shm.share_csr_graph`) and
+  spawns W persistent worker processes.  Each worker attaches the
+  segment zero-copy, rebuilds a validated :class:`CSRGraph` view, and
+  constructs its sampler from its own spawned
+  :class:`~numpy.random.SeedSequence`;
+* **steady state** — the only traffic per fan-out is one ``root_batch``
+  array down each worker's pipe and one packed ``(flat, sizes)``
+  RR-batch reply back up.  The graph never crosses a pipe again;
+* **teardown** — workers get a ``None`` sentinel, detach, and exit; the
+  coordinator joins them, then closes *and unlinks* the segment.
+
+The default start method is ``spawn``: it is portable, and it proves the
+architecture (a spawned child shares no memory with its parent, so the
+graph really does arrive via the segment — the same property a future
+network transport needs).  Pass ``start_method="fork"`` to trade that
+isolation for faster startup on POSIX.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+from repro.graph.shm import SharedCSRSpec, attach_csr_graph, close_segment, share_csr_graph
+from repro.sampling.backends.base import (
+    ExecutionBackend,
+    WorkerSpec,
+    build_worker_sampler,
+    flatten_rr_batch,
+    unflatten_rr_batch,
+)
+
+_JOIN_TIMEOUT = 5.0
+
+
+def _worker_main(conn, graph_spec: SharedCSRSpec, worker_spec: WorkerSpec, worker_id: int) -> None:
+    """Worker process entry point: attach graph, serve root batches.
+
+    ``worker_spec.graph`` is ``None`` on the wire (the graph travels via
+    shared memory, not pickle); everything else — model, seed sequences,
+    hop cap — rides the spec unchanged so worker construction is the
+    same code path as the in-process backends.
+    """
+    shm = None
+    try:
+        graph, shm = attach_csr_graph(graph_spec)
+        sampler = build_worker_sampler(worker_spec, worker_id, graph=graph)
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            try:
+                rr_sets = [sampler._reverse_sample(int(root)) for root in message]
+                conn.send(("ok",) + flatten_rr_batch(rr_sets))
+            except Exception as exc:  # surface worker faults to the coordinator
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        # Drop the graph views before detaching so mmap can actually close.
+        sampler = graph = None
+        if shm is not None:
+            close_segment(shm)
+        conn.close()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Persistent ``multiprocessing`` worker pool fed over pipes."""
+
+    name = "process"
+
+    def __init__(self, *, start_method: str | None = None) -> None:
+        super().__init__()
+        self._start_method = start_method or "spawn"
+        self._shm = None
+        self._procs: list[mp.process.BaseProcess] = []
+        self._conns: list = []
+
+    def _start(self, spec: WorkerSpec) -> None:
+        ctx = mp.get_context(self._start_method)
+        self._shm, graph_spec = share_csr_graph(spec.graph)
+        # The graph is in the segment now; the pickled spec must not drag
+        # a second copy of it through every worker's bootstrap.
+        wire_spec = WorkerSpec(
+            graph=None, model=spec.model, seed_seqs=spec.seed_seqs, max_hops=spec.max_hops
+        )
+        try:
+            for worker_id in range(spec.workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, graph_spec, wire_spec, worker_id),
+                    name=f"rr-worker-{worker_id}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except Exception:
+            self._teardown()
+            raise
+
+    def _sample_shards(self, root_batches: Sequence[np.ndarray]) -> list[list[np.ndarray]]:
+        # Ship all batches first so workers overlap, then collect in order.
+        # Faults on either leg are accumulated, never raised mid-protocol:
+        # every successfully-sent batch must be drained before raising, or
+        # a retry would pair this call's stale replies with new roots.
+        engaged = []
+        faults: list[str] = []
+        for worker_id, (conn, batch) in enumerate(zip(self._conns, root_batches)):
+            if len(batch) == 0:
+                continue
+            try:
+                conn.send(np.asarray(batch, dtype=np.int64))
+            except (BrokenPipeError, OSError) as exc:
+                faults.append(
+                    f"worker {worker_id} (pid {self._procs[worker_id].pid}) is gone: {exc}"
+                )
+                continue
+            engaged.append(worker_id)
+
+        results: list[list[np.ndarray]] = [[] for _ in root_batches]
+        for worker_id in engaged:
+            try:
+                reply = self._conns[worker_id].recv()
+            except (EOFError, OSError) as exc:
+                faults.append(
+                    f"worker {worker_id} died mid-batch "
+                    f"(exitcode {self._procs[worker_id].exitcode}): {exc}"
+                )
+                continue
+            if reply[0] != "ok":
+                faults.append(f"worker {worker_id} failed: {reply[1]}")
+                continue
+            results[worker_id] = unflatten_rr_batch(reply[1], reply[2])
+        if faults:
+            raise SamplingError("; ".join(faults))
+        return results
+
+    def _close(self) -> None:
+        self._teardown()
+
+    def _teardown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=_JOIN_TIMEOUT)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=_JOIN_TIMEOUT)
+        for conn in self._conns:
+            conn.close()
+        self._procs = []
+        self._conns = []
+        if self._shm is not None:
+            close_segment(self._shm, unlink=True)
+            self._shm = None
+
+    def __del__(self) -> None:
+        # Safety net for abandoned backends; normal paths call close().
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def default_worker_count() -> int:
+    """A sensible worker count for this machine (scheduler affinity aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # non-Linux
+        return max(1, os.cpu_count() or 1)

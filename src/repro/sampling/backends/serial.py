@@ -1,0 +1,34 @@
+"""Serial execution backend — workers run one after another, in-process.
+
+This is the default and the reference implementation: the worker fleet
+is a list of plain samplers iterated in worker order.  It carries zero
+startup or transport cost, so it is also what single-worker
+:class:`~repro.sampling.sharded.ShardedSampler` instances and small
+graphs should use.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.sampling.backends.base import ExecutionBackend, WorkerSpec, build_worker_sampler
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every worker's batch sequentially on the calling thread."""
+
+    name = "serial"
+
+    def _start(self, spec: WorkerSpec) -> None:
+        self._samplers = [build_worker_sampler(spec, w) for w in range(spec.workers)]
+
+    def _sample_shards(self, root_batches: Sequence[np.ndarray]) -> list[list[np.ndarray]]:
+        return [
+            [sampler._reverse_sample(int(root)) for root in batch]
+            for sampler, batch in zip(self._samplers, root_batches)
+        ]
+
+    def _close(self) -> None:
+        self._samplers = []

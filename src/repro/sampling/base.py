@@ -83,6 +83,14 @@ class RRSampler(abc.ABC):
         self._generation += 1
         return self._generation
 
+    def close(self) -> None:
+        """Release execution resources; no-op for in-process samplers.
+
+        Parallel samplers (:class:`repro.sampling.sharded.ShardedSampler`
+        on the process backend) override this to tear down worker pools,
+        so algorithm code can unconditionally ``close()`` in a finally.
+        """
+
 
 def make_sampler(
     graph: CSRGraph,

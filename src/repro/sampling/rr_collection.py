@@ -25,9 +25,13 @@ class RRCollection:
         self.n = int(n)
         self._sets: list[np.ndarray] = []
         self._total_entries = 0
-        # Compiled flat view (rebuilt lazily after growth).
-        self._flat: np.ndarray | None = None
-        self._offsets: np.ndarray | None = None
+        # Compiled flat view: geometrically grown append-only buffers, so
+        # keeping the view current is amortized O(1) per entry even under
+        # SSA/D-SSA's doubling loop (a full re-concatenation here used to
+        # make the loop O(total²) in entries).
+        self._flat_buf = np.zeros(0, dtype=np.int32)
+        self._flat_len = 0
+        self._offsets_buf = np.zeros(1, dtype=np.int64)
         self._compiled_upto = 0
 
     # ------------------------------------------------------------------
@@ -63,19 +67,34 @@ class RRCollection:
     # Flat compiled view
     # ------------------------------------------------------------------
     def _compile(self) -> tuple[np.ndarray, np.ndarray]:
-        """(flat entries, set offsets) covering all current sets."""
-        if self._flat is None or self._compiled_upto != len(self._sets):
-            if self._sets:
-                self._flat = np.concatenate(self._sets)
-                sizes = np.fromiter(
-                    (arr.size for arr in self._sets), dtype=np.int64, count=len(self._sets)
-                )
-                self._offsets = np.concatenate(([0], np.cumsum(sizes)))
-            else:
-                self._flat = np.zeros(0, dtype=np.int32)
-                self._offsets = np.zeros(1, dtype=np.int64)
-            self._compiled_upto = len(self._sets)
-        return self._flat, self._offsets
+        """(flat entries, set offsets) covering all current sets.
+
+        Incremental: only sets appended since the last compile are copied
+        into the flat buffer.  Buffers grow geometrically and are never
+        mutated below ``_flat_len``, so previously returned views stay
+        valid after further appends.
+        """
+        count = len(self._sets)
+        if self._compiled_upto < count:
+            new_sets = self._sets[self._compiled_upto :]
+            added = sum(arr.size for arr in new_sets)
+            need = self._flat_len + added
+            if need > self._flat_buf.size:
+                grown = np.empty(max(need, 2 * self._flat_buf.size, 1024), dtype=np.int32)
+                grown[: self._flat_len] = self._flat_buf[: self._flat_len]
+                self._flat_buf = grown
+            if count + 1 > self._offsets_buf.size:
+                grown = np.empty(max(count + 1, 2 * self._offsets_buf.size, 64), dtype=np.int64)
+                grown[: self._compiled_upto + 1] = self._offsets_buf[: self._compiled_upto + 1]
+                self._offsets_buf = grown
+            cursor = self._flat_len
+            for i, arr in enumerate(new_sets, start=self._compiled_upto):
+                self._flat_buf[cursor : cursor + arr.size] = arr
+                cursor += arr.size
+                self._offsets_buf[i + 1] = cursor
+            self._flat_len = cursor
+            self._compiled_upto = count
+        return self._flat_buf[: self._flat_len], self._offsets_buf[: count + 1]
 
     def flat_view(
         self, start: int = 0, end: int | None = None

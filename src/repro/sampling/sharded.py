@@ -1,4 +1,4 @@
-"""Sharded RR-set generation — the paper's distributed future work.
+"""Parallel RR-set generation — the paper's distributed future work, real.
 
 Section 1 notes the algorithms "are amenable to a distributed
 implementation which is one of our future works": RR sets are i.i.d., so
@@ -7,13 +7,25 @@ streams; every Stop-and-Stare guarantee only needs the merged stream to
 be i.i.d. RR sets, which holds as long as worker RNG streams are
 independent.
 
-:class:`ShardedSampler` simulates that topology in-process: it spawns W
-child generators via the SeedSequence protocol (independence by
-construction) and serves merged batches by round-robin interleaving, i.e.
-the deterministic merge order a synchronous coordinator would use.  It is
-a drop-in :class:`~repro.sampling.base.RRSampler`, so ``ssa(...)`` /
-``dssa(...)`` run on it unchanged — see ``tests/sampling/test_sharded.py``
-for the equivalence checks.
+:class:`ShardedSampler` *is* that coordinator.  It draws every root from
+its own stream, partitions them round-robin across W workers, and hands
+the per-worker batches to a pluggable
+:class:`~repro.sampling.backends.base.ExecutionBackend`:
+
+* ``serial`` — workers run sequentially in-process (default; the old
+  simulated topology);
+* ``thread`` — workers run on a persistent thread pool;
+* ``process`` — workers are persistent OS processes that attach the CSR
+  graph through shared memory and exchange only root/RR batches.
+
+Worker streams are spawned from the coordinator's seed via the
+SeedSequence protocol (independence by construction), and the merge is
+the deterministic round-robin order a synchronous coordinator would use
+— so the merged stream is a pure function of ``(seed, workers)``,
+independent of the backend.  :class:`ShardedSampler` remains a drop-in
+:class:`~repro.sampling.base.RRSampler`, so ``ssa(...)`` / ``dssa(...)``
+run on it unchanged; see ``tests/sampling/test_backends.py`` for the
+equivalence and unbiasedness checks.
 """
 
 from __future__ import annotations
@@ -23,23 +35,26 @@ import numpy as np
 from repro.diffusion.models import DiffusionModel
 from repro.exceptions import SamplingError
 from repro.graph.digraph import CSRGraph
+from repro.sampling.backends import ExecutionBackend, WorkerSpec, make_backend
 from repro.sampling.base import RRSampler, make_sampler
 from repro.sampling.roots import UniformRoots, WeightedRoots
-from repro.utils.rng import ensure_rng
 
 
 class ShardedSampler(RRSampler):
-    """RR sampler that fans sampling out over W simulated workers.
+    """RR sampler that fans sampling out over W backend workers.
 
     Parameters
     ----------
     graph, model:
         As for :func:`repro.sampling.base.make_sampler`.
     workers:
-        Number of simulated workers (independent RNG shards).
+        Number of workers (independent RNG shards).
     seed, roots:
         Root seed (spawned into per-worker streams) and root distribution
-        (shared by all workers — WRIS shards the same way RIS does).
+        (owned by the coordinator — WRIS shards the same way RIS does).
+    backend:
+        Backend name (``"serial"``, ``"thread"``, ``"process"``) or a
+        not-yet-started :class:`ExecutionBackend` instance.
     """
 
     def __init__(
@@ -51,50 +66,108 @@ class ShardedSampler(RRSampler):
         *,
         roots: "UniformRoots | WeightedRoots | None" = None,
         max_hops: int | None = None,
+        backend: "str | ExecutionBackend | None" = None,
     ) -> None:
         if workers < 1:
             raise SamplingError(f"need at least one worker, got {workers}")
         super().__init__(graph, seed, roots=roots, max_hops=max_hops)
         self.model = DiffusionModel.parse(model)
         self.workers = int(workers)
-        child_rngs = self.rng.spawn(workers)
-        self._shards = [
-            make_sampler(graph, self.model, child, roots=self.roots, max_hops=max_hops)
-            for child in child_rngs
-        ]
+        seed_seqs = list(self.rng.bit_generator.seed_seq.spawn(self.workers))
+        self.backend = make_backend(backend)
+        self.backend.start(
+            WorkerSpec(graph=graph, model=self.model, seed_seqs=seed_seqs, max_hops=max_hops)
+        )
         self._next_shard = 0
+        self._loads = [0] * self.workers
 
+    # ------------------------------------------------------------------
+    # RRSampler interface
+    # ------------------------------------------------------------------
     def _reverse_sample(self, root: int) -> np.ndarray:
         # Single draws route to the next worker round-robin; the root was
         # already drawn by the coordinator (the base-class sample()).
-        shard = self._shards[self._next_shard]
-        self._next_shard = (self._next_shard + 1) % self.workers
-        return shard._reverse_sample(root)
+        shard = self._next_shard
+        self._next_shard = (shard + 1) % self.workers
+        batches = [np.zeros(0, dtype=np.int64) for _ in range(self.workers)]
+        batches[shard] = np.asarray([root], dtype=np.int64)
+        result = self.backend.sample_shards(batches)
+        self._loads[shard] += 1
+        return result[shard][0]
 
     def sample_batch(self, count: int) -> list[np.ndarray]:
-        """Split a batch evenly over workers, merge round-robin.
+        """Draw ``count`` roots, fan out round-robin, merge in root order.
 
-        The merge is deterministic given the seed, so sharded runs are as
-        reproducible as single-stream ones.
+        Worker ``w`` receives roots ``count``-sequence positions
+        ``w, w+W, w+2W, ...``, so re-interleaving the shard results
+        restores the coordinator's draw order exactly — sharded runs are
+        as reproducible as single-stream ones, on every backend.
         """
         if count <= 0:
             return []
-        per_worker = [count // self.workers] * self.workers
-        for i in range(count % self.workers):
-            per_worker[i] += 1
-        shard_batches = [
-            shard.sample_batch(quota) if quota else []
-            for shard, quota in zip(self._shards, per_worker)
-        ]
-        merged: list[np.ndarray] = []
-        for position in range(max(per_worker)):
-            for batch in shard_batches:
-                if position < len(batch):
-                    merged.append(batch[position])
+        roots = self.roots.sample_many(self.rng, count)
+        root_batches = [roots[w :: self.workers] for w in range(self.workers)]
+        shard_batches = self.backend.sample_shards(root_batches)
+        merged: list[np.ndarray | None] = [None] * count
+        for w, batch in enumerate(shard_batches):
+            merged[w :: self.workers] = batch
+            self._loads[w] += len(batch)
         self.sets_generated += count
         self.entries_generated += int(sum(rr.size for rr in merged))
         return merged
 
+    # ------------------------------------------------------------------
+    # Diagnostics / lifecycle
+    # ------------------------------------------------------------------
     def per_worker_load(self) -> list[int]:
         """RR sets generated by each worker (load-balance diagnostics)."""
-        return [shard.sets_generated for shard in self._shards]
+        return list(self._loads)
+
+    def close(self) -> None:
+        """Shut the backend down (terminates process-backend workers)."""
+        self.backend.close()
+
+    def __enter__(self) -> "ShardedSampler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def make_parallel_sampler(
+    graph: CSRGraph,
+    model: "str | DiffusionModel",
+    seed: int | np.random.Generator | None = None,
+    *,
+    roots: "UniformRoots | WeightedRoots | None" = None,
+    max_hops: int | None = None,
+    backend: "str | ExecutionBackend | None" = None,
+    workers: int | None = None,
+) -> RRSampler:
+    """Factory: a plain sampler, or a sharded one when parallelism is asked.
+
+    With no ``backend`` (or an explicitly serial one) and a single worker
+    this returns exactly what :func:`make_sampler` would — same RNG
+    stream, no coordinator layer — so algorithm results are unchanged
+    unless parallel execution is actually requested.  ``workers=None``
+    means "pick for me" (1 when serial, the CPU count otherwise);
+    explicit values below 1 are rejected.  Callers should ``close()``
+    the returned sampler when done (a no-op except for the process
+    backend).
+    """
+    if workers is not None and workers < 1:
+        raise SamplingError(f"workers must be >= 1, got {workers}")
+    from repro.sampling.backends import SerialBackend, default_worker_count
+
+    is_serial = (
+        backend is None
+        or (isinstance(backend, str) and backend.strip().lower() == SerialBackend.name)
+        or isinstance(backend, SerialBackend)
+    )
+    if is_serial and (workers is None or workers == 1):
+        return make_sampler(graph, model, seed, roots=roots, max_hops=max_hops)
+    if workers is None:
+        workers = default_worker_count()
+    return ShardedSampler(
+        graph, model, workers, seed, roots=roots, max_hops=max_hops, backend=backend
+    )

@@ -1,0 +1,149 @@
+"""Tests for zero-copy CSR (de)serialization over shared memory."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphIOError
+from repro.graph.builder import from_edges
+from repro.graph.digraph import CSRGraph
+from repro.graph.generators import powerlaw_configuration
+from repro.graph.shm import (
+    SharedCSRSpec,
+    attach_csr_graph,
+    close_segment,
+    share_csr_graph,
+)
+from repro.graph.weights import assign_weighted_cascade
+
+
+def _round_trip(graph):
+    """share -> attach (in-process) -> compare, with clean teardown."""
+    shm, spec = share_csr_graph(graph)
+    try:
+        attached, attached_shm = attach_csr_graph(spec)
+        try:
+            assert attached == graph
+            assert attached.n == graph.n and attached.m == graph.m
+            assert np.array_equal(attached.in_indptr, graph.in_indptr)
+            assert np.array_equal(attached.in_indices, graph.in_indices)
+            assert np.allclose(attached.in_weights, graph.in_weights)
+            # zero-copy: the attached arrays live inside the segment, so
+            # the graph adds no O(m) memory of its own.
+            assert attached.out_indices.base is not None
+            return spec
+        finally:
+            del attached
+            close_segment(attached_shm)
+    finally:
+        close_segment(shm, unlink=True)
+
+
+class TestRoundTrip:
+    def test_weighted_graph(self):
+        graph = assign_weighted_cascade(powerlaw_configuration(150, 4.0, seed=3))
+        _round_trip(graph)
+
+    def test_mixed_weights(self, tiny_graph):
+        _round_trip(tiny_graph)
+
+    def test_empty_graph(self):
+        empty = CSRGraph(
+            0,
+            np.zeros(1, np.int64), np.zeros(0, np.int32), np.zeros(0, np.float64),
+            np.zeros(1, np.int64), np.zeros(0, np.int32), np.zeros(0, np.float64),
+        )
+        spec = _round_trip(empty)
+        assert spec.n == 0 and spec.m == 0
+
+    def test_single_node_no_edges(self):
+        single = from_edges([], n=1)
+        spec = _round_trip(single)
+        assert spec.n == 1 and spec.m == 0
+
+    def test_attached_graph_samples_identically(self):
+        """RR sampling over an attached graph matches the original."""
+        from repro.sampling.base import make_sampler
+
+        graph = assign_weighted_cascade(powerlaw_configuration(100, 4.0, seed=4))
+        shm, spec = share_csr_graph(graph)
+        try:
+            attached, attached_shm = attach_csr_graph(spec)
+            try:
+                a = make_sampler(graph, "LT", seed=5).sample_batch(50)
+                b = make_sampler(attached, "LT", seed=5).sample_batch(50)
+                assert all(np.array_equal(x, y) for x, y in zip(a, b))
+            finally:
+                del attached
+                close_segment(attached_shm)
+        finally:
+            close_segment(shm, unlink=True)
+
+
+def _child_attach(conn, spec: SharedCSRSpec) -> None:
+    """Child-process entry: attach, validate, report back a fingerprint."""
+    try:
+        graph, shm = attach_csr_graph(spec)
+        fingerprint = (
+            graph.n,
+            graph.m,
+            int(graph.in_indices.sum()),
+            float(graph.out_weights.sum()),
+        )
+        conn.send(("ok", fingerprint))
+        del graph
+        close_segment(shm)
+    except Exception as exc:
+        conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+class TestCrossProcess:
+    @pytest.mark.parametrize("start_method", ["spawn", "fork"])
+    def test_attach_in_child_process(self, start_method):
+        graph = assign_weighted_cascade(powerlaw_configuration(120, 4.0, seed=6))
+        shm, spec = share_csr_graph(graph)
+        try:
+            ctx = mp.get_context(start_method)
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_child_attach, args=(child_conn, spec))
+            proc.start()
+            child_conn.close()
+            status, payload = parent_conn.recv()
+            proc.join(timeout=30)
+            assert status == "ok", payload
+            assert payload == (
+                graph.n,
+                graph.m,
+                int(graph.in_indices.sum()),
+                float(graph.out_weights.sum()),
+            )
+        finally:
+            close_segment(shm, unlink=True)
+
+
+class TestFailureModes:
+    def test_attach_missing_segment(self):
+        graph = from_edges([(0, 1, 0.5)], n=2)
+        shm, spec = share_csr_graph(graph)
+        close_segment(shm, unlink=True)
+        with pytest.raises(GraphIOError):
+            attach_csr_graph(spec)
+
+    def test_truncated_manifest_rejected(self):
+        graph = from_edges([(0, 1, 0.5)], n=2)
+        shm, spec = share_csr_graph(graph)
+        try:
+            lying = SharedCSRSpec(
+                shm_name=spec.shm_name,
+                n=spec.n,
+                m=spec.m,
+                fields=spec.fields,
+                total_bytes=spec.total_bytes + 1_000_000,
+            )
+            with pytest.raises(GraphIOError):
+                attach_csr_graph(lying)
+        finally:
+            close_segment(shm, unlink=True)

@@ -106,3 +106,52 @@ class TestGrowthAfterCompile:
         coll.append(np.asarray([0, 1], dtype=np.int32))
         assert coll.coverage([0]) == 2  # flat view must refresh
         assert coll.coverage([1]) == 1
+
+    def test_incremental_compile_matches_full_rebuild(self):
+        """Interleaved append/query cycles keep the flat view exact."""
+        rng = np.random.default_rng(7)
+        coll = RRCollection(30)
+        reference: list[list[int]] = []
+        for round_no in range(12):
+            fresh = [
+                rng.choice(30, size=rng.integers(1, 8), replace=False).tolist()
+                for _ in range(rng.integers(1, 20))
+            ]
+            reference.extend(fresh)
+            coll.extend(np.asarray(s, dtype=np.int32) for s in fresh)
+            flat, offsets = coll.flat_view()
+            assert flat.tolist() == [x for s in reference for x in s]
+            assert offsets.tolist() == np.concatenate(
+                ([0], np.cumsum([len(s) for s in reference]))
+            ).tolist()
+            seeds = [int(rng.integers(30))]
+            brute = sum(1 for s in reference if set(s) & set(seeds))
+            assert coll.coverage(seeds) == brute
+
+    def test_compile_is_incremental_not_quadratic(self):
+        """Old entries are not recopied: buffer identity survives growth
+        while spare capacity remains, and total copies stay linear."""
+        coll = RRCollection(10)
+        coll.extend(np.asarray([i % 10], dtype=np.int32) for i in range(100))
+        flat_a, _ = coll.flat_view()
+        buffer_a = flat_a.base
+        coll.append(np.asarray([3], dtype=np.int32))
+        flat_b, _ = coll.flat_view()
+        # 100 compiled entries in a >=1024-slot buffer: appending one more
+        # must reuse the same backing buffer, not rebuild it.
+        assert flat_b.base is buffer_a
+        assert flat_b.size == flat_a.size + 1
+
+    def test_earlier_views_stay_valid_after_growth(self):
+        coll = make_collection(5, [[0, 1], [2]])
+        flat_before, _ = coll.flat_view()
+        snapshot = flat_before.tolist()
+        coll.extend([np.asarray([4] * 2000, dtype=np.int32)])
+        coll.coverage([4])  # force recompile (and a buffer grow)
+        assert flat_before.tolist() == snapshot
+
+    def test_empty_sets_allowed(self):
+        coll = make_collection(4, [[], [1], []])
+        assert len(coll) == 3
+        assert coll.coverage([1]) == 1
+        assert coll.coverage_mask([1]).tolist() == [False, True, False]

@@ -1,4 +1,8 @@
-"""Tests for the sharded (simulated-distributed) sampler."""
+"""Tests for the sharded sampler's coordinator behaviour (default backend).
+
+Backend-specific coverage (thread/process equivalence, shared-memory
+transport) lives in ``test_backends.py``.
+"""
 
 import numpy as np
 import pytest
