@@ -1,18 +1,20 @@
 #!/usr/bin/env python
-"""Quickstart: find influential users in a social network with D-SSA.
+"""Quickstart: answer influence-maximization queries with an engine session.
 
 This is the five-minute tour of the library:
 
 1. materialize a synthetic stand-in for one of the paper's datasets,
-2. run D-SSA (the dynamic Stop-and-Stare algorithm) to pick seed users,
-3. verify the returned influence estimate against forward Monte Carlo
-   simulation, and
-4. peek at D-SSA's internal stop-and-stare trace.
+2. open an :class:`~repro.InfluenceEngine` session — one backend spawn,
+   one RR-set pool, many queries,
+3. answer a maximize query with D-SSA (the dynamic Stop-and-Stare
+   algorithm), a k-sweep, and a spread estimate against the same pool,
+4. verify the returned influence estimate against forward Monte Carlo
+   simulation, and peek at D-SSA's internal stop-and-stare trace.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import dssa, estimate_spread, load_dataset
+from repro import InfluenceEngine, estimate_spread, load_dataset
 
 
 def main() -> None:
@@ -22,20 +24,40 @@ def main() -> None:
     graph = load_dataset("nethept")
     print(f"Loaded NetHEPT stand-in: {graph.n} nodes, {graph.m} edges")
 
-    # Pick 20 seed users under the Linear Threshold model with a
-    # (1 - 1/e - 0.1) approximation guarantee at 1 - 1/n confidence.
-    result = dssa(graph, k=20, epsilon=0.1, model="LT", seed=2016)
-    print("\n" + result.summary())
-    print(f"Seeds: {result.seeds}")
-    print(f"Stopped after {result.iterations} doubling iterations "
-          f"({result.samples} RR sets total).")
+    # One session serves every query below.  The same calls as one-shot
+    # functions (dssa(...) etc.) would return byte-identical results at
+    # this seed — but each would resample its RR sets from zero.
+    with InfluenceEngine(graph, model="LT", seed=2016) as engine:
+        # Pick 20 seed users under the Linear Threshold model with a
+        # (1 - 1/e - 0.1) approximation guarantee at 1 - 1/n confidence.
+        result = engine.maximize(20, epsilon=0.1, algorithm="D-SSA")
+        print("\n" + result.summary())
+        print(f"Seeds: {result.seeds}")
+        print(f"Stopped after {result.iterations} doubling iterations "
+              f"({result.samples} RR sets total).")
 
-    # Cross-check the RIS estimate with plain forward simulation.
+        # An influence-vs-k curve: every point carries D-SSA's guarantee,
+        # and the session pool means most of the work is already done.
+        print("\nInfluence vs k (warm sweep):")
+        for point in engine.sweep([1, 5, 10, 20], epsilon=0.1):
+            print(f"  k={point.k:>2}  influence≈{point.influence:8.1f}  "
+                  f"RR demand={point.samples}")
+
+        # RIS estimate for an arbitrary seed set, served from the pool.
+        ris_estimate = engine.estimate(result.seeds)
+        stats = engine.stats
+        print(f"\nSession stats: {stats.queries} queries, "
+              f"{stats.rr_sampled} RR sets sampled for "
+              f"{stats.rr_requested} demanded "
+              f"(cache hit rate {stats.hit_rate:.0%})")
+
+    # Cross-check the RIS estimates with plain forward simulation.
     check = estimate_spread(graph, result.seeds, "LT", simulations=500, seed=7)
     low, high = check.confidence_interval()
     print(f"\nForward-simulated spread: {check.mean:.1f} "
           f"(95% CI [{low:.1f}, {high:.1f}])")
     print(f"D-SSA's internal estimate: {result.influence:.1f}")
+    print(f"Pool-based RIS estimate:   {ris_estimate:.1f}")
 
     # The stop-and-stare trace: each iteration's pool size and the
     # dynamically measured precision parameters.

@@ -1,5 +1,13 @@
 """Legacy setup shim: enables `pip install -e . --no-use-pep517` offline."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-im",
+    version="1.0.0",
+    description="Stop-and-Stare (SSA/D-SSA) influence maximization reproduction",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro-im = repro.cli:main"]},
+)

@@ -6,15 +6,38 @@ Dinh — SIGMOD 2016), including the RIS sampling substrate, the SSA and
 D-SSA algorithms, the IMM/TIM+/CELF baselines they are evaluated against,
 and the Targeted Viral Marketing (TVM) extension.
 
-Quickstart
-----------
->>> from repro import load_dataset, dssa
+Quickstart — sessions first
+---------------------------
+The primary API is the session-oriented :class:`InfluenceEngine`: bind a
+graph once, keep the execution backend warm, and answer many queries
+against a shared RR-set pool:
+
+>>> from repro import InfluenceEngine, load_dataset
 >>> graph = load_dataset("nethept")
->>> result = dssa(graph, k=10, epsilon=0.2, model="LT", seed=42)
+>>> with InfluenceEngine(graph, model="LT", seed=42) as engine:
+...     result = engine.maximize(10, epsilon=0.2)          # algorithm="D-SSA"
+...     curve = engine.sweep([1, 5, 10], epsilon=0.2)      # reuses the pool
+...     spread = engine.estimate(result.seeds)
 >>> len(result.seeds)
 10
+
+One-shot conveniences (``dssa(...)``, ``ssa(...)``, ``imm(...)``, ...)
+remain for single queries; they are thin wrappers over a throwaway
+session and return byte-identical results to engine queries at equal
+seeds.  Every algorithm is described by the registry
+(:func:`register_algorithm` / :func:`list_algorithms`); print
+:func:`registry_table` or run ``repro-im algorithms`` for the
+capability table.
 """
 
+from repro.engine import (
+    InfluenceEngine,
+    SamplingContext,
+    get_algorithm,
+    list_algorithms,
+    register_algorithm,
+    registry_table,
+)
 from repro.core.dssa import dssa
 from repro.core.ssa import ssa
 from repro.core.result import IMResult
@@ -47,6 +70,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # query engine + registry
+    "InfluenceEngine",
+    "SamplingContext",
+    "register_algorithm",
+    "get_algorithm",
+    "list_algorithms",
+    "registry_table",
     # core algorithms
     "ssa",
     "dssa",

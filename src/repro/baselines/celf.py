@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.result import IMResult
 from repro.diffusion.models import DiffusionModel
 from repro.diffusion.spread import estimate_spread
+from repro.engine.registry import register_algorithm
 from repro.exceptions import ParameterError
 from repro.graph.digraph import CSRGraph
 from repro.utils.rng import ensure_rng
@@ -33,6 +34,19 @@ from repro.utils.timer import Timer
 from repro.utils.validation import check_k
 
 
+@register_algorithm(
+    "CELF++",
+    aliases=("celf++", "celfpp"),
+    description="CELF++ lazy greedy on Monte Carlo spread (Goyal 2011)",
+    accepts=("model", "simulations", "seed"),
+    extra_kwargs=(("plus_plus", True),),
+)
+@register_algorithm(
+    "CELF",
+    description="CELF lazy greedy on Monte Carlo spread (Leskovec 2007)",
+    accepts=("model", "simulations", "seed"),
+    extra_kwargs=(("plus_plus", False),),
+)
 def celf(
     graph: CSRGraph,
     k: int,

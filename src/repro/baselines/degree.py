@@ -10,11 +10,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.result import IMResult
+from repro.engine.registry import register_algorithm
 from repro.graph.digraph import CSRGraph
 from repro.utils.timer import Timer
 from repro.utils.validation import check_k
 
 
+@register_algorithm(
+    "degree",
+    description="highest out-degree heuristic (no guarantee)",
+)
 def degree_heuristic(graph: CSRGraph, k: int) -> IMResult:
     """Pick the k nodes with the highest out-degree."""
     check_k(k, graph.n)
@@ -32,6 +37,11 @@ def degree_heuristic(graph: CSRGraph, k: int) -> IMResult:
     )
 
 
+@register_algorithm(
+    "degree-discount",
+    aliases=("degree_discount", "degreediscount"),
+    description="DegreeDiscountIC (Chen et al. 2009; no guarantee)",
+)
 def degree_discount(graph: CSRGraph, k: int, *, probability: float | None = None) -> IMResult:
     """DegreeDiscountIC (Chen, Wang, Yang — KDD 2009).
 

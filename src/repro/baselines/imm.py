@@ -19,6 +19,11 @@ yardstick our Table 3 benchmark compares SSA/D-SSA against.
 Following the published IMM, phase 2 *reuses* the phase-1 RR sets.  (The
 post-publication erratum showing this reuse slightly breaks independence
 is acknowledged in DESIGN.md; it does not affect sample-count comparisons.)
+
+Like the Stop-and-Stare algorithms, the body (:func:`imm_on_context`)
+only consumes a prefix of its context's RR stream, so IMM queries share
+a warm engine session's pool with D-SSA/TIM — same stream derivation,
+same prefix semantics.
 """
 
 from __future__ import annotations
@@ -31,42 +36,33 @@ from repro.core.max_coverage import max_coverage
 from repro.core.result import IMResult
 from repro.core.thresholds import _E_FACTOR  # shared (1 - 1/e) constant
 from repro.diffusion.models import DiffusionModel
+from repro.engine.context import SamplingContext
+from repro.engine.registry import register_algorithm
 from repro.exceptions import ParameterError
 from repro.graph.digraph import CSRGraph
 from repro.sampling.backends import ExecutionBackend
 from repro.sampling.roots import UniformRoots, WeightedRoots
-from repro.sampling.rr_collection import RRCollection
-from repro.sampling.sharded import make_parallel_sampler
 from repro.utils.mathstats import binomial_coefficient_ln
 from repro.utils.timer import Timer
 from repro.utils.validation import check_delta, check_epsilon, check_k
 
 
-def imm(
-    graph: CSRGraph,
+def imm_on_context(
+    ctx: SamplingContext,
     k: int,
     *,
     epsilon: float = 0.1,
     delta: float | None = None,
-    model: "str | DiffusionModel" = "IC",
-    seed: int | np.random.Generator | None = None,
-    roots: "UniformRoots | WeightedRoots | None" = None,
     max_samples: int | None = None,
-    backend: "str | ExecutionBackend | None" = None,
-    workers: int | None = None,
 ) -> IMResult:
-    """Run IMM and return a ``(1-1/e-ε)``-approximate seed set w.h.p.
-
-    ``backend``/``workers`` parallelize RR-set generation (IMM batch
-    samples in both phases, so it shards the same way SSA does).
-    """
+    """IMM's two phases against a (possibly warm) sampling context."""
+    graph = ctx.graph
     n = graph.n
     check_k(k, n)
     check_epsilon(epsilon)
     delta = check_delta(delta if delta is not None else 1.0 / max(n, 2))
 
-    sampler = make_parallel_sampler(graph, model, seed, roots=roots, backend=backend, workers=workers)
-    scale = sampler.scale
+    scale = ctx.scale
     ln_binom = binomial_coefficient_ln(n, k)
     ln_inv_delta = math.log(1.0 / delta)
 
@@ -84,47 +80,44 @@ def imm(
     beta = math.sqrt(_E_FACTOR * (ln_binom + math.log(2.0 / delta)))
     lambda_star = 2.0 * n * (_E_FACTOR * alpha + beta) ** 2 / (epsilon * epsilon)
 
-    try:
-        with Timer() as timer:
-            pool = RRCollection(n)
-            lower_bound = 1.0
-            iterations = 0
-            for i in range(1, rounds + 1):
-                iterations += 1
-                x = n / (2.0**i)
-                theta_i = int(math.ceil(lambda_prime / x))
-                if max_samples is not None:
-                    theta_i = min(theta_i, max_samples)
-                if theta_i > len(pool):
-                    pool.extend(sampler.sample_batch(theta_i - len(pool)))
-                cover = max_coverage(pool, k)
-                estimate = cover.influence_estimate(scale)
-                if estimate >= (1.0 + eps_prime) * x:
-                    lower_bound = estimate / (1.0 + eps_prime)
-                    break
-                if max_samples is not None and len(pool) >= max_samples:
-                    lower_bound = max(estimate / (1.0 + eps_prime), 1.0)
-                    break
-
-            theta = int(math.ceil(lambda_star / lower_bound))
+    with Timer() as timer:
+        used = 0
+        lower_bound = 1.0
+        iterations = 0
+        for i in range(1, rounds + 1):
+            iterations += 1
+            x = n / (2.0**i)
+            theta_i = int(math.ceil(lambda_prime / x))
             if max_samples is not None:
-                theta = min(theta, max_samples)
-            if theta > len(pool):
-                pool.extend(sampler.sample_batch(theta - len(pool)))
-            cover = max_coverage(pool, k, start=0, end=theta)
-    finally:
-        sampler.close()
+                theta_i = min(theta_i, max_samples)
+            used = max(used, theta_i)
+            pool = ctx.require(used)
+            cover = max_coverage(pool, k, start=0, end=used)
+            estimate = cover.influence_estimate(scale)
+            if estimate >= (1.0 + eps_prime) * x:
+                lower_bound = estimate / (1.0 + eps_prime)
+                break
+            if max_samples is not None and used >= max_samples:
+                lower_bound = max(estimate / (1.0 + eps_prime), 1.0)
+                break
+
+        theta = int(math.ceil(lambda_star / lower_bound))
+        if max_samples is not None:
+            theta = min(theta, max_samples)
+        used = max(used, theta)
+        pool = ctx.require(used)
+        cover = max_coverage(pool, k, start=0, end=theta)
 
     return IMResult(
         algorithm="IMM",
         seeds=cover.seeds,
         influence=cover.influence_estimate(scale),
-        samples=sampler.sets_generated,
-        optimization_samples=sampler.sets_generated,
+        samples=used,
+        optimization_samples=used,
         iterations=iterations + 1,
         stopped_by="theta",
         elapsed_seconds=timer.elapsed,
-        memory_bytes=pool.memory_bytes() + graph.memory_bytes(),
+        memory_bytes=ctx.pool.memory_bytes(end=used) + graph.memory_bytes(),
         extras={
             "lower_bound": lower_bound,
             "theta": theta,
@@ -132,6 +125,58 @@ def imm(
             "lambda_star": lambda_star,
         },
     )
+
+
+@register_algorithm(
+    "IMM",
+    aliases=("imm",),
+    description="IMM (Tang et al. 2015): martingale LB estimation + fixed theta",
+    engine_func=imm_on_context,
+    stream="direct",
+    needs_rr_sets=True,
+    supports_backend=True,
+    supports_horizon=False,
+    accepts=(
+        "epsilon",
+        "delta",
+        "model",
+        "seed",
+        "roots",
+        "max_samples",
+        "backend",
+        "workers",
+    ),
+)
+def imm(
+    graph: CSRGraph,
+    k: int,
+    *,
+    epsilon: float = 0.1,
+    delta: float | None = None,
+    model: "str | DiffusionModel" = "IC",
+    seed: int | np.random.Generator | None = None,
+    roots: "UniformRoots | WeightedRoots | None" = None,
+    max_samples: int | None = None,
+    backend: "str | ExecutionBackend | None" = None,
+    workers: int | None = None,
+) -> IMResult:
+    """Run IMM and return a ``(1-1/e-ε)``-approximate seed set w.h.p.
+
+    ``backend``/``workers`` parallelize RR-set generation (IMM batch
+    samples in both phases, so it shards the same way SSA does).  This
+    is the one-shot convenience over a throwaway session; use
+    :class:`~repro.engine.engine.InfluenceEngine` for warm repeat
+    queries.
+    """
+    ctx = SamplingContext(
+        graph, model, seed=seed, roots=roots, backend=backend, workers=workers
+    )
+    try:
+        return imm_on_context(
+            ctx, k, epsilon=epsilon, delta=delta, max_samples=max_samples
+        )
+    finally:
+        ctx.close()
 
 
 def imm_sample_requirement(

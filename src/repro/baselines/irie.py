@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.result import IMResult
+from repro.engine.registry import register_algorithm
 from repro.exceptions import ParameterError
 from repro.graph.digraph import CSRGraph
 from repro.utils.timer import Timer
@@ -52,6 +53,11 @@ def _influence_rank(
     return rank
 
 
+@register_algorithm(
+    "IRIE",
+    aliases=("irie",),
+    description="IRIE influence-rank heuristic (Jung 2012; no guarantee)",
+)
 def irie(
     graph: CSRGraph,
     k: int,

@@ -4,10 +4,15 @@ Subcommands
 -----------
 ``datasets``
     List catalogued datasets with paper and stand-in statistics.
+``algorithms``
+    Print the algorithm registry's capability table.
 ``run``
     Run one algorithm on one dataset and print the result summary.
 ``compare``
     Run several algorithms at one k and print the comparison table.
+``query``
+    Open a warm :class:`~repro.engine.engine.InfluenceEngine` session
+    and answer many maximize/sweep/estimate queries against it.
 ``tvm``
     Run the TVM experiment (Fig. 8 style) on a topic group.
 """
@@ -19,6 +24,8 @@ import sys
 
 from repro.datasets.catalog import DATASETS
 from repro.datasets.synthetic import load_dataset
+from repro.engine import InfluenceEngine, registry_table
+from repro.exceptions import ReproError
 from repro.experiments.figures import tvm_runtime_vs_k
 from repro.experiments.report import render_comparison
 from repro.experiments.runner import ALGORITHMS, evaluate_quality, run_algorithm
@@ -120,6 +127,115 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_algorithms(_: argparse.Namespace) -> int:
+    print(registry_table())
+    return 0
+
+
+def _parse_query_options(tokens: "list[str]") -> dict:
+    """``key=value`` tokens -> dict (values stay strings)."""
+    options = {}
+    for token in tokens:
+        if "=" not in token:
+            raise ValueError(f"expected key=value, got {token!r}")
+        key, value = token.split("=", 1)
+        options[key.strip()] = value.strip()
+    return options
+
+
+def _query_execute(engine: InfluenceEngine, line: str) -> bool:
+    """Run one query-session command; returns False on quit."""
+    tokens = line.split()
+    if not tokens:
+        return True
+    command, opts = tokens[0].lower(), _parse_query_options(tokens[1:])
+    if command in ("quit", "exit"):
+        return False
+    if command == "help":
+        print(
+            "commands:\n"
+            "  maximize k=10 [epsilon=0.1] [algorithm=D-SSA] [horizon=T]\n"
+            "  sweep ks=1,5,10 [epsilon=0.1] [algorithm=D-SSA]\n"
+            "  estimate seeds=1,2,3 [samples=N]\n"
+            "  algorithms | stats | help | quit"
+        )
+    elif command == "algorithms":
+        print(registry_table())
+    elif command == "stats":
+        stats = engine.stats
+        print(
+            f"session seed={engine.seed} queries={stats.queries} "
+            f"rr_requested={stats.rr_requested} rr_sampled={stats.rr_sampled} "
+            f"cache_hits={stats.cache_hits} hit_rate={stats.hit_rate:.1%}"
+        )
+        for key, size in engine.pool_sizes().items():
+            print(f"  pool {key}: {size} RR sets")
+    elif command == "maximize":
+        horizon = opts.pop("horizon", None)
+        result = engine.maximize(
+            int(opts.pop("k")),
+            epsilon=float(opts.pop("epsilon", 0.1)),
+            algorithm=opts.pop("algorithm", "D-SSA"),
+            horizon=int(horizon) if horizon is not None else None,
+        )
+        print(result.summary())
+        print(f"  seeds: {result.seeds}")
+    elif command == "sweep":
+        ks = [int(x) for x in opts.pop("ks").split(",")]
+        results = engine.sweep(
+            ks,
+            epsilon=float(opts.pop("epsilon", 0.1)),
+            algorithm=opts.pop("algorithm", "D-SSA"),
+        )
+        rows = [[r.k, round(r.influence, 1), r.samples, r.iterations] for r in results]
+        print(format_table(["k", "influence", "RR demand", "iterations"], rows))
+    elif command == "estimate":
+        seeds = [int(x) for x in opts.pop("seeds").split(",")]
+        samples = opts.pop("samples", None)
+        estimate = engine.estimate(
+            seeds, samples=int(samples) if samples is not None else None
+        )
+        print(f"estimated influence: {estimate:.2f}")
+    else:
+        print(f"unknown command {command!r} (try: help)")
+        return True
+    if opts:
+        print(f"warning: ignored unknown option(s) {sorted(opts)}")
+    return True
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    interactive = args.command is None and sys.stdin.isatty()
+    with InfluenceEngine(
+        graph,
+        model=args.model,
+        seed=args.seed,
+        backend=args.backend,
+        workers=args.workers,
+    ) as engine:
+        print(
+            f"engine session: {args.dataset} (n={graph.n}, m={graph.m}), "
+            f"model={args.model}, seed={engine.seed}, backend={args.backend}"
+        )
+        lines = iter(args.command) if args.command is not None else sys.stdin
+        while True:
+            if interactive:
+                print("query> ", end="", flush=True)
+            line = next(lines, None)
+            if line is None:
+                break
+            try:
+                if not _query_execute(engine, line):
+                    break
+            except (ReproError, ValueError, KeyError) as exc:
+                print(f"error: {exc}")
+                if args.command is not None:
+                    return 1
+        _query_execute(engine, "stats")
+    return 0
+
+
 def _cmd_tvm(args: argparse.Namespace) -> int:
     graph = load_dataset("twitter", scale=args.scale)
     records = tvm_runtime_vs_k(
@@ -138,6 +254,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="list catalogued datasets").set_defaults(fn=_cmd_datasets)
+
+    sub.add_parser(
+        "algorithms", help="print the algorithm registry's capability table"
+    ).set_defaults(fn=_cmd_algorithms)
 
     p_stats = sub.add_parser("stats", help="show a dataset stand-in's statistics")
     p_stats.add_argument("dataset", choices=list(DATASETS))
@@ -176,6 +296,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--algorithms", nargs="+", default=["D-SSA", "SSA", "IMM"], choices=list(ALGORITHMS))
     add_common(p_cmp)
     p_cmp.set_defaults(fn=_cmd_compare)
+
+    p_query = sub.add_parser(
+        "query",
+        help="answer many maximize/sweep/estimate queries against one warm engine",
+        description=(
+            "REPL-style session over a warm InfluenceEngine: the execution "
+            "backend stays up and RR sets are cached across queries.  Reads "
+            "commands from stdin (or --command), e.g. 'maximize k=10 "
+            "epsilon=0.2 algorithm=D-SSA'; 'help' lists the rest."
+        ),
+    )
+    p_query.add_argument("--dataset", default="nethept", choices=list(DATASETS))
+    p_query.add_argument("--scale", type=float, default=1.0)
+    p_query.add_argument("--model", default="LT", choices=["LT", "IC"])
+    p_query.add_argument("--seed", type=int, default=7)
+    p_query.add_argument("--backend", default="serial", choices=sorted(BACKENDS))
+    p_query.add_argument("--workers", type=int, default=None)
+    p_query.add_argument(
+        "-c",
+        "--command",
+        action="append",
+        metavar="CMD",
+        help="run this query command instead of reading stdin (repeatable)",
+    )
+    p_query.set_defaults(fn=_cmd_query)
 
     p_sweep = sub.add_parser("sweep", help="influence-vs-k curve from one amortized run")
     p_sweep.add_argument("--dataset", default="nethept", choices=list(DATASETS))

@@ -18,6 +18,13 @@ If neither fires before the pool reaches ``N_max``, the cap itself
 guarantees the approximation (Lemma 4).  Theorem 2: the returned set is a
 ``(1-1/e-ε)``-approximation with probability ≥ 1-δ; Theorem 3: the sample
 count is within a constant factor of a type-1 minimum threshold.
+
+The body (:func:`ssa_on_context`) runs on a *split-stream*
+:class:`~repro.engine.context.SamplingContext`: the optimization pool is
+a cacheable prefix of the session's main stream, while the verification
+stream is re-derived per query exactly as a cold run derives it
+(``spawn_rngs(seed, 2)[1]``), so warm engine queries stay byte-identical
+to :func:`ssa` at equal seeds.
 """
 
 from __future__ import annotations
@@ -36,18 +43,137 @@ from repro.core.thresholds import (
     sample_cap,
 )
 from repro.diffusion.models import DiffusionModel
+from repro.engine.context import SamplingContext
+from repro.engine.registry import register_algorithm
 from repro.graph.digraph import CSRGraph
 from repro.sampling.backends import ExecutionBackend
-from repro.sampling.base import make_sampler
 from repro.sampling.roots import UniformRoots, WeightedRoots
-from repro.sampling.rr_collection import RRCollection
-from repro.sampling.sharded import make_parallel_sampler
 from repro.utils.mathstats import upsilon
-from repro.utils.rng import spawn_rngs
 from repro.utils.timer import Timer
 from repro.utils.validation import check_delta, check_epsilon, check_k
 
 
+def ssa_on_context(
+    ctx: SamplingContext,
+    k: int,
+    *,
+    epsilon: float = 0.1,
+    delta: float | None = None,
+    max_samples: int | None = None,
+    split: EpsilonSplit | None = None,
+) -> IMResult:
+    """Algorithm 1 against a (possibly warm) split-stream context.
+
+    The optimization pool is the stream prefix ``[0, used)`` with
+    ``used`` doubling per iteration; verification samples come from the
+    per-query verifier and are never pooled (they are candidate-
+    dependent, hence not reusable).
+    """
+    graph = ctx.graph
+    n = graph.n
+    check_k(k, n)
+    check_epsilon(epsilon)
+    delta = check_delta(delta if delta is not None else 1.0 / max(n, 2))
+    split = split if split is not None else default_epsilon_split(epsilon)
+    split.validate(epsilon, tolerance=1e-6)
+    e1, e2, e3 = split.epsilon_1, split.epsilon_2, split.epsilon_3
+
+    n_max = sample_cap(n, k, epsilon, delta)
+    if max_samples is not None:
+        n_max = min(n_max, float(max_samples))
+    i_max = max_iterations(n, k, epsilon, delta)
+    per_iter_delta = delta / (3.0 * i_max)
+    lambda_base = upsilon(epsilon, per_iter_delta)
+    lambda_1 = (1.0 + e1) * (1.0 + e2) * upsilon(e3, per_iter_delta)
+
+    verifier = ctx.fresh_verifier()
+    scale = ctx.scale
+
+    with Timer() as timer:
+        # The first iteration doubles to 2·⌈Λ⌉ and requires that prefix in
+        # one batch; materializing the ⌈Λ⌉ prefix here would be the same
+        # stream (batch-invariant) with one extra backend fan-out.
+        used = int(math.ceil(lambda_base))
+
+        cover = None
+        iterations = 0
+        stopped_by = "cap"
+        epsilon_trace: list[dict] = []
+
+        while True:
+            iterations += 1
+            used *= 2  # double R
+            pool = ctx.require(used)
+            cover = max_coverage(pool, k, start=0, end=used)
+            influence_hat = cover.influence_estimate(scale)
+
+            record = {
+                "iteration": iterations,
+                "pool": used,
+                "coverage": cover.coverage,
+                "influence_hat": influence_hat,
+            }
+
+            if cover.coverage >= lambda_1:  # condition C1
+                t_max = int(
+                    math.ceil(2.0 * used * (1.0 + e2) / (1.0 - e2) * (e3 * e3) / (e2 * e2))
+                )
+                check = estimate_influence(verifier, cover.seeds, e2, per_iter_delta, t_max)
+                record["verify_samples"] = check.samples_used
+                record["influence_check"] = check.influence
+                if check.influence is not None and influence_hat <= (1.0 + e1) * check.influence:
+                    stopped_by = "conditions"  # C2 met
+                    epsilon_trace.append(record)
+                    break
+            epsilon_trace.append(record)
+
+            if used >= n_max:
+                stopped_by = "cap"
+                break
+
+    return IMResult(
+        algorithm="SSA",
+        seeds=cover.seeds,
+        influence=cover.influence_estimate(scale),
+        samples=used + verifier.sets_generated,
+        optimization_samples=used,
+        verification_samples=verifier.sets_generated,
+        iterations=iterations,
+        stopped_by=stopped_by,
+        elapsed_seconds=timer.elapsed,
+        memory_bytes=ctx.pool.memory_bytes(end=used) + graph.memory_bytes(),
+        extras={
+            "epsilon_split": (e1, e2, e3),
+            "lambda_1": lambda_1,
+            "n_max": n_max,
+            "i_max": i_max,
+            "trace": epsilon_trace,
+        },
+    )
+
+
+@register_algorithm(
+    "SSA",
+    aliases=("ssa",),
+    description="Stop-and-Stare (Alg. 1): doubling pool + independent verification",
+    engine_func=ssa_on_context,
+    stream="split",
+    needs_rr_sets=True,
+    supports_backend=True,
+    supports_horizon=True,
+    accepts=(
+        "epsilon",
+        "delta",
+        "model",
+        "seed",
+        "roots",
+        "max_samples",
+        "horizon",
+        "backend",
+        "workers",
+        "split",
+    ),
+)
 def ssa(
     graph: CSRGraph,
     k: int,
@@ -97,88 +223,24 @@ def ssa(
         name (``"serial"``, ``"thread"``, ``"process"``) and worker
         count.  Defaults keep the single-stream behaviour; the
         verification stream stays serial (its batches are small).
+
+    One-shot convenience over a throwaway single-query session; use
+    :class:`~repro.engine.engine.InfluenceEngine` to answer many
+    queries against one warm backend and RR pool.
     """
-    n = graph.n
-    check_k(k, n)
-    check_epsilon(epsilon)
-    delta = check_delta(delta if delta is not None else 1.0 / max(n, 2))
-    split = split if split is not None else default_epsilon_split(epsilon)
-    split.validate(epsilon, tolerance=1e-6)
-    e1, e2, e3 = split.epsilon_1, split.epsilon_2, split.epsilon_3
-
-    n_max = sample_cap(n, k, epsilon, delta)
-    if max_samples is not None:
-        n_max = min(n_max, float(max_samples))
-    i_max = max_iterations(n, k, epsilon, delta)
-    per_iter_delta = delta / (3.0 * i_max)
-    lambda_base = upsilon(epsilon, per_iter_delta)
-    lambda_1 = (1.0 + e1) * (1.0 + e2) * upsilon(e3, per_iter_delta)
-
-    rng_main, rng_verify = spawn_rngs(seed, 2)
-    sampler = make_parallel_sampler(
-        graph, model, rng_main, roots=roots, max_hops=horizon, backend=backend, workers=workers
+    ctx = SamplingContext(
+        graph,
+        model,
+        seed=seed,
+        split_verify=True,
+        roots=roots,
+        horizon=horizon,
+        backend=backend,
+        workers=workers,
     )
-    verifier = make_sampler(graph, model, rng_verify, roots=roots, max_hops=horizon)
-    scale = sampler.scale
-
     try:
-        with Timer() as timer:
-            pool = RRCollection(n)
-            pool.extend(sampler.sample_batch(int(math.ceil(lambda_base))))
-
-            cover = None
-            iterations = 0
-            stopped_by = "cap"
-            epsilon_trace: list[dict] = []
-
-            while True:
-                iterations += 1
-                pool.extend(sampler.sample_batch(len(pool)))  # double R
-                cover = max_coverage(pool, k)
-                influence_hat = cover.influence_estimate(scale)
-
-                record = {
-                    "iteration": iterations,
-                    "pool": len(pool),
-                    "coverage": cover.coverage,
-                    "influence_hat": influence_hat,
-                }
-
-                if cover.coverage >= lambda_1:  # condition C1
-                    t_max = int(
-                        math.ceil(2.0 * len(pool) * (1.0 + e2) / (1.0 - e2) * (e3 * e3) / (e2 * e2))
-                    )
-                    check = estimate_influence(verifier, cover.seeds, e2, per_iter_delta, t_max)
-                    record["verify_samples"] = check.samples_used
-                    record["influence_check"] = check.influence
-                    if check.influence is not None and influence_hat <= (1.0 + e1) * check.influence:
-                        stopped_by = "conditions"  # C2 met
-                        epsilon_trace.append(record)
-                        break
-                epsilon_trace.append(record)
-
-                if len(pool) >= n_max:
-                    stopped_by = "cap"
-                    break
+        return ssa_on_context(
+            ctx, k, epsilon=epsilon, delta=delta, max_samples=max_samples, split=split
+        )
     finally:
-        sampler.close()
-
-    return IMResult(
-        algorithm="SSA",
-        seeds=cover.seeds,
-        influence=cover.influence_estimate(scale),
-        samples=sampler.sets_generated + verifier.sets_generated,
-        optimization_samples=sampler.sets_generated,
-        verification_samples=verifier.sets_generated,
-        iterations=iterations,
-        stopped_by=stopped_by,
-        elapsed_seconds=timer.elapsed,
-        memory_bytes=pool.memory_bytes() + graph.memory_bytes(),
-        extras={
-            "epsilon_split": (e1, e2, e3),
-            "lambda_1": lambda_1,
-            "n_max": n_max,
-            "i_max": i_max,
-            "trace": epsilon_trace,
-        },
-    )
+        ctx.close()

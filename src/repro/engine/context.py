@@ -1,0 +1,157 @@
+"""Warm sampling state shared by a session's queries.
+
+A :class:`SamplingContext` owns exactly what the one-shot algorithms
+used to rebuild per call: a parallel sampler (and with it the execution
+backend — acquired once here, released once in :meth:`close`) plus a
+persistent :class:`~repro.sampling.rr_collection.RRCollection` pool.
+Algorithm bodies ask for *prefixes* of the RR stream via
+:meth:`require`; because the stream is a pure function of
+``(seed, workers)`` independent of batching (see
+:mod:`repro.sampling.sharded`), serving a query from the cached pool is
+byte-identical to resampling it cold — reuse is free of statistical or
+reproducibility surprises beyond the documented cross-query correlation
+of shared samples.
+
+The one-shot wrappers (``dssa(...)``, ``ssa(...)``, ...) build a
+throwaway context per call, which both guarantees backend teardown on
+any exception path (``try/finally``) and makes "one-shot" literally the
+single-query special case of the engine — equivalence by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.diffusion.models import DiffusionModel
+from repro.exceptions import SamplingError
+from repro.sampling.base import RRSampler, make_sampler
+from repro.sampling.rr_collection import RRCollection
+from repro.sampling.sharded import make_parallel_sampler
+from repro.utils.rng import spawn_rngs
+
+
+class SamplingContext:
+    """One warm RR stream + pool, shared by every query that fits its key.
+
+    Parameters
+    ----------
+    graph, model, roots, horizon, backend, workers:
+        As for :func:`repro.sampling.sharded.make_parallel_sampler`.
+    seed:
+        Session seed.  An ``int`` (or ``None``) keeps the context fully
+        replayable; a :class:`numpy.random.Generator` is accepted for
+        one-shot use but cannot re-derive verification streams across
+        queries.
+    split_verify:
+        ``True`` for SSA's two-stream derivation: the main sampler is
+        seeded with ``spawn_rngs(seed, 2)[0]`` and each query gets a
+        fresh verification sampler derived exactly as a cold ``ssa``
+        call would derive it.
+    """
+
+    def __init__(
+        self,
+        graph,
+        model: "str | DiffusionModel",
+        *,
+        seed=None,
+        split_verify: bool = False,
+        roots=None,
+        horizon: int | None = None,
+        backend=None,
+        workers: int | None = None,
+    ) -> None:
+        self.graph = graph
+        self.model = DiffusionModel.parse(model)
+        self.roots = roots
+        self.horizon = horizon
+        self._seed = seed
+        self._split_verify = split_verify
+        self._stored_verify = None
+        if split_verify:
+            main_rng, self._stored_verify = spawn_rngs(seed, 2)
+        else:
+            main_rng = seed
+        self.sampler: RRSampler = make_parallel_sampler(
+            graph,
+            model,
+            main_rng,
+            roots=roots,
+            max_hops=horizon,
+            backend=backend,
+            workers=workers,
+        )
+        self.pool = RRCollection(graph.n)
+        self.sampled = 0  # RR sets actually generated into the pool
+        self.served = 0  # RR sets demanded by queries (cache hits included)
+        self.queries = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Stream access
+    # ------------------------------------------------------------------
+    @property
+    def scale(self) -> float:
+        """Estimator scale Γ (n for RIS, total benefit for WRIS)."""
+        return self.sampler.scale
+
+    def require(self, total: int) -> RRCollection:
+        """Top the pool up to ``total`` sets and return it.
+
+        Cached sets are served as-is; only the deficit is sampled — and
+        the deficit continues the session's pure stream, so the returned
+        prefix ``[0, total)`` matches what a cold run would sample.
+        """
+        if self._closed:
+            raise SamplingError("sampling context is closed")
+        deficit = int(total) - len(self.pool)
+        if deficit > 0:
+            self.pool.extend(self.sampler.sample_batch(deficit))
+            self.sampled += deficit
+        return self.pool
+
+    def note_query(self, demand: int) -> None:
+        """Record one finished query and its total RR-set demand."""
+        self.queries += 1
+        self.served += int(demand)
+
+    def fresh_verifier(self) -> RRSampler:
+        """A verification-stream sampler, derived as a cold run derives it.
+
+        For replayable (int) seeds this re-computes
+        ``spawn_rngs(seed, 2)[1]`` per query — the same generator state a
+        cold ``ssa(seed=...)`` call spawns — so engine queries stay
+        byte-identical to one-shots.  Generator-seeded (one-shot)
+        contexts hand out the child spawned at construction.
+        """
+        if not self._split_verify:
+            raise SamplingError("context was built without a verification stream")
+        if isinstance(self._seed, (int, np.integer)):
+            rng = spawn_rngs(int(self._seed), 2)[1]
+        elif self._stored_verify is not None:
+            rng, self._stored_verify = self._stored_verify, None
+        else:  # non-replayable session past its first query: fresh entropy
+            rng = None
+        return make_sampler(
+            self.graph, self.model, rng, roots=self.roots, max_hops=self.horizon
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the backend (idempotent); the pool stays readable."""
+        if self._closed:
+            return
+        self._closed = True
+        self.sampler.close()
+
+    def __enter__(self) -> "SamplingContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

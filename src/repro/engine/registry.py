@@ -1,0 +1,220 @@
+"""First-class algorithm registry with capability metadata.
+
+Every influence-maximization algorithm in the library registers itself
+here with :func:`register_algorithm`, declaring what it *is* (one-shot
+entry point, optional engine-aware body) and what it *supports*
+(RR-set sampling, execution backends, time-critical horizons, which
+keyword arguments its one-shot signature accepts).  The
+:class:`~repro.engine.engine.InfluenceEngine`,
+:func:`repro.experiments.runner.run_algorithm`, the ``compare``
+experiment path, and the CLI all resolve algorithm names through this
+table instead of hand-rolled ``if/elif`` chains, so adding an algorithm
+is one decorator — no dispatch sites to update.
+
+Names are matched case-insensitively and through declared aliases
+(``"dssa"`` resolves to ``"D-SSA"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ParameterError
+
+#: keyword arguments the experiment runner can supply; specs declare the
+#: subset their one-shot signature accepts via ``accepts``.
+KNOWN_OPTIONS = (
+    "epsilon",
+    "delta",
+    "model",
+    "seed",
+    "roots",
+    "max_samples",
+    "horizon",
+    "backend",
+    "workers",
+    "simulations",
+    "split",
+)
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered algorithm: entry points plus capability metadata.
+
+    Attributes
+    ----------
+    name / aliases:
+        Canonical display name (the paper's legend label) and extra
+        case-insensitive lookup keys.
+    func:
+        The one-shot entry point ``func(graph, k, **kwargs)``.
+    engine_func:
+        Engine-aware body ``engine_func(ctx, k, *, epsilon, delta,
+        max_samples, ...)`` run against a warm
+        :class:`~repro.engine.context.SamplingContext`; ``None`` for
+        algorithms that do not sample RR sets (the engine falls back to
+        the one-shot entry point, with no pool reuse).
+    stream:
+        Which stream derivation the engine's warm context must use:
+        ``"direct"`` (sampler seeded with the session seed, shared by
+        D-SSA/IMM/TIM) or ``"split"`` (SSA's two-stream derivation via
+        ``spawn_rngs(seed, 2)``).
+    needs_rr_sets / supports_backend / supports_horizon:
+        Capability flags the engine and docs surface.
+    accepts:
+        Keyword names of :data:`KNOWN_OPTIONS` the one-shot signature
+        takes; the runner filters its option dict through this set.
+    extra_kwargs:
+        Fixed keyword arguments bound at registration (e.g. CELF++'s
+        ``plus_plus=True``).
+    """
+
+    name: str
+    func: Callable
+    description: str
+    engine_func: Callable | None = None
+    stream: str = "direct"
+    needs_rr_sets: bool = False
+    supports_backend: bool = False
+    supports_horizon: bool = False
+    accepts: frozenset = frozenset()
+    extra_kwargs: tuple = ()
+    aliases: tuple = ()
+
+    def one_shot_kwargs(self, options: dict) -> dict:
+        """Filter a runner option dict down to what ``func`` accepts."""
+        kwargs = {key: val for key, val in options.items() if key in self.accepts}
+        kwargs.update(dict(self.extra_kwargs))
+        return kwargs
+
+    def run_one_shot(self, graph, k: int, options: dict):
+        """Invoke the one-shot entry point with filtered options."""
+        return self.func(graph, k, **self.one_shot_kwargs(options))
+
+
+_REGISTRY: dict[str, AlgorithmSpec] = {}
+_LOOKUP: dict[str, str] = {}  # lowercase name/alias -> canonical name
+_BUILTINS_LOADED = False
+
+
+def register_algorithm(
+    name: str,
+    *,
+    description: str,
+    engine_func: Callable | None = None,
+    stream: str = "direct",
+    needs_rr_sets: bool = False,
+    supports_backend: bool = False,
+    supports_horizon: bool = False,
+    accepts: tuple = (),
+    extra_kwargs: tuple = (),
+    aliases: tuple = (),
+):
+    """Class-of-one decorator: register ``func`` under ``name``.
+
+    Returns the function unchanged, so registrations stack (CELF and
+    CELF++ are two specs over one implementation).  Unknown ``accepts``
+    keys and duplicate names are rejected at import time — a misdeclared
+    algorithm fails fast, not at query time.
+    """
+    unknown = set(accepts) - set(KNOWN_OPTIONS)
+    if unknown:
+        raise ParameterError(f"algorithm {name!r} declares unknown options {sorted(unknown)}")
+    if stream not in ("direct", "split"):
+        raise ParameterError(f"algorithm {name!r}: stream must be 'direct' or 'split'")
+
+    def decorator(func: Callable) -> Callable:
+        spec = AlgorithmSpec(
+            name=name,
+            func=func,
+            description=description,
+            engine_func=engine_func,
+            stream=stream,
+            needs_rr_sets=needs_rr_sets,
+            supports_backend=supports_backend,
+            supports_horizon=supports_horizon,
+            accepts=frozenset(accepts),
+            extra_kwargs=tuple(extra_kwargs),
+            aliases=tuple(aliases),
+        )
+        _register(spec)
+        return func
+
+    return decorator
+
+
+def _register(spec: AlgorithmSpec) -> None:
+    if spec.name in _REGISTRY:
+        raise ParameterError(f"algorithm {spec.name!r} is already registered")
+    for key in (spec.name, *spec.aliases):
+        lower = key.strip().lower()
+        if lower in _LOOKUP:
+            raise ParameterError(
+                f"algorithm name {key!r} collides with registered {_LOOKUP[lower]!r}"
+            )
+    _REGISTRY[spec.name] = spec
+    for key in (spec.name, *spec.aliases):
+        _LOOKUP[key.strip().lower()] = spec.name
+
+
+def _load_builtins() -> None:
+    """Import the library's algorithm modules so their decorators run."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    import repro.core.dssa  # noqa: F401
+    import repro.core.ssa  # noqa: F401
+    import repro.baselines.imm  # noqa: F401
+    import repro.baselines.tim  # noqa: F401
+    import repro.baselines.celf  # noqa: F401
+    import repro.baselines.irie  # noqa: F401
+    import repro.baselines.degree  # noqa: F401
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Resolve a name or alias (case-insensitive) to its spec."""
+    _load_builtins()
+    canonical = _LOOKUP.get(str(name).strip().lower())
+    if canonical is None:
+        raise ParameterError(
+            f"unknown algorithm {name!r}; known: {tuple(_REGISTRY)}"
+        )
+    return _REGISTRY[canonical]
+
+
+def list_algorithms() -> tuple:
+    """Canonical algorithm names in registration order."""
+    _load_builtins()
+    return tuple(_REGISTRY)
+
+
+def registry_table() -> str:
+    """Render the registry as an aligned capability table.
+
+    Auto-generated from the registered metadata — the README and the
+    ``repro-im algorithms`` subcommand both print this, so docs cannot
+    drift from the code.
+    """
+    from repro.utils.tables import format_table
+
+    _load_builtins()
+    rows = []
+    for spec in _REGISTRY.values():
+        rows.append(
+            [
+                spec.name,
+                "yes" if spec.engine_func is not None else "one-shot only",
+                "yes" if spec.needs_rr_sets else "no",
+                "yes" if spec.supports_backend else "-",
+                "yes" if spec.supports_horizon else "-",
+                spec.description,
+            ]
+        )
+    return format_table(
+        ["algorithm", "engine reuse", "RR sets", "backends", "horizon", "description"],
+        rows,
+        title="Registered influence-maximization algorithms",
+    )

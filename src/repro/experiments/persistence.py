@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import fields
+from dataclasses import MISSING, fields
 from pathlib import Path
 
 from repro.exceptions import ReproError
@@ -57,7 +57,13 @@ def load_records(path: str | os.PathLike) -> "list[RunRecord]":
         )
 
     known = {f.name for f in fields(RunRecord)}
-    required = known - {"quality", "seeds", "iterations", "stopped_by"}
+    # Fields with defaults (quality, seeds, provenance, ...) are optional,
+    # so files written before a field existed keep loading.
+    required = {
+        f.name
+        for f in fields(RunRecord)
+        if f.default is MISSING and f.default_factory is MISSING
+    }
     records = []
     for i, raw in enumerate(payload["records"]):
         missing = required - set(raw)

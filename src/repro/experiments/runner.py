@@ -1,10 +1,14 @@
 """Uniform algorithm runner used by every figure/table benchmark.
 
-``run_algorithm`` dispatches on the algorithm name the paper uses in its
-legends ("D-SSA", "SSA", "IMM", "TIM+", "TIM", "CELF++", "degree") and
-returns a flat :class:`RunRecord` holding exactly the quantities the
-paper reports: wall time, RR-set count, memory, and the seed set whose
-quality the influence figures evaluate by Monte Carlo.
+``run_algorithm`` resolves the algorithm name the paper uses in its
+legends ("D-SSA", "SSA", "IMM", "TIM+", "TIM", "CELF++", "degree")
+through the :mod:`repro.engine.registry` — capability metadata decides
+which knobs each algorithm receives, so there is no dispatch chain to
+maintain — and returns a flat :class:`RunRecord` holding exactly the
+quantities the paper reports (wall time, RR-set count, memory, the seed
+set whose quality the influence figures evaluate by Monte Carlo) plus
+the execution provenance (``seed``, ``backend``, ``workers``) needed to
+reproduce the row.
 """
 
 from __future__ import annotations
@@ -13,35 +17,24 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from repro.baselines.celf import celf
-from repro.baselines.degree import degree_discount, degree_heuristic
-from repro.baselines.imm import imm
-from repro.baselines.irie import irie
-from repro.baselines.tim import tim, tim_plus
-from repro.core.dssa import dssa
-from repro.core.ssa import ssa
 from repro.core.result import IMResult
 from repro.diffusion.spread import estimate_spread
-from repro.exceptions import ParameterError
+from repro.engine.registry import get_algorithm, list_algorithms
 from repro.graph.digraph import CSRGraph
+from repro.sampling.backends import ExecutionBackend
 
-ALGORITHMS = (
-    "D-SSA",
-    "SSA",
-    "IMM",
-    "TIM+",
-    "TIM",
-    "CELF++",
-    "CELF",
-    "IRIE",
-    "degree",
-    "degree-discount",
-)
+#: canonical algorithm names, resolved from the registry.
+ALGORITHMS = list_algorithms()
 
 
 @dataclass
 class RunRecord:
-    """One algorithm run's metrics, flattened for table rendering."""
+    """One algorithm run's metrics, flattened for table rendering.
+
+    ``seed``/``backend``/``workers`` record the execution provenance:
+    together with ``algorithm``/``dataset``/``model``/``k``/``epsilon``
+    they are sufficient to re-run the row and get byte-identical seeds.
+    """
 
     algorithm: str
     dataset: str
@@ -56,9 +49,25 @@ class RunRecord:
     iterations: int = 1
     stopped_by: str = ""
     quality: float | None = None  # filled by evaluate_quality
+    seed: int | None = None
+    backend: str | None = None
+    workers: int | None = None
 
     def as_dict(self) -> dict:
         return asdict(self)
+
+
+def _provenance_seed(seed) -> int | None:
+    """An int seed is replayable provenance; a Generator is not."""
+    return int(seed) if isinstance(seed, (int, np.integer)) else None
+
+
+def _provenance_backend(backend) -> str | None:
+    if backend is None:
+        return None
+    if isinstance(backend, ExecutionBackend):
+        return backend.name
+    return str(backend)
 
 
 def run_algorithm(
@@ -79,52 +88,45 @@ def run_algorithm(
     """Run one named algorithm and collect its metrics.
 
     ``backend``/``workers`` select the RR-sampling execution backend for
-    the RIS algorithms (D-SSA/SSA/IMM/TIM+/TIM); the simulation-based
-    baselines ignore them.
+    the algorithms whose registry entry declares backend support; the
+    simulation-based baselines ignore them.  Unknown names raise
+    :class:`~repro.exceptions.ParameterError`.
     """
-    key = name.strip()
-    if key not in ALGORITHMS:
-        raise ParameterError(f"unknown algorithm {name!r}; known: {ALGORITHMS}")
-
-    common = dict(
-        epsilon=epsilon,
-        delta=delta,
+    spec = get_algorithm(name)
+    options = {
+        "epsilon": epsilon,
+        "delta": delta,
+        "model": model,
+        "seed": seed,
+        "max_samples": max_samples,
+        "backend": backend,
+        "workers": workers,
+        "simulations": celf_simulations,
+    }
+    result = spec.run_one_shot(graph, k, options)
+    return _to_record(
+        result,
+        dataset=dataset,
         model=model,
-        seed=seed,
-        max_samples=max_samples,
-        backend=backend,
-        workers=workers,
+        k=k,
+        epsilon=epsilon,
+        seed=_provenance_seed(seed),
+        backend=_provenance_backend(backend) if spec.supports_backend else None,
+        workers=workers if spec.supports_backend else None,
     )
-    if key == "D-SSA":
-        result = dssa(graph, k, **common)
-    elif key == "SSA":
-        result = ssa(graph, k, **common)
-    elif key == "IMM":
-        result = imm(graph, k, **common)
-    elif key == "TIM+":
-        result = tim_plus(graph, k, **common)
-    elif key == "TIM":
-        result = tim(graph, k, **common)
-    elif key in ("CELF++", "CELF"):
-        result = celf(
-            graph,
-            k,
-            model=model,
-            simulations=celf_simulations,
-            seed=seed,
-            plus_plus=(key == "CELF++"),
-        )
-    elif key == "IRIE":
-        result = irie(graph, k)
-    elif key == "degree":
-        result = degree_heuristic(graph, k)
-    else:  # degree-discount
-        result = degree_discount(graph, k)
-
-    return _to_record(result, dataset=dataset, model=model, k=k, epsilon=epsilon)
 
 
-def _to_record(result: IMResult, *, dataset: str, model: str, k: int, epsilon: float) -> RunRecord:
+def _to_record(
+    result: IMResult,
+    *,
+    dataset: str,
+    model: str,
+    k: int,
+    epsilon: float,
+    seed: int | None = None,
+    backend: str | None = None,
+    workers: int | None = None,
+) -> RunRecord:
     return RunRecord(
         algorithm=result.algorithm,
         dataset=dataset,
@@ -138,6 +140,9 @@ def _to_record(result: IMResult, *, dataset: str, model: str, k: int, epsilon: f
         seeds=list(result.seeds),
         iterations=result.iterations,
         stopped_by=result.stopped_by,
+        seed=seed,
+        backend=backend,
+        workers=workers,
     )
 
 

@@ -58,8 +58,17 @@ def influence_sweep(
     model: "str | DiffusionModel" = "IC",
     seed: int | np.random.Generator | None = None,
     max_samples: int | None = None,
+    engine=None,
 ) -> SweepResult:
-    """One D-SSA run at max(k_values); prefix estimates for the rest."""
+    """One D-SSA run at max(k_values); prefix estimates for the rest.
+
+    Pass a warm :class:`~repro.engine.engine.InfluenceEngine` as
+    ``engine`` to serve the k_max run from its session pool (byte-
+    identical to the one-shot run at the engine's seed; ``model`` and
+    ``seed`` are then taken from the session).  For a sweep where every
+    point carries its own certificate, use ``engine.sweep(ks)`` instead
+    — one guaranteed query per k, amortized through the shared pool.
+    """
     if not k_values:
         raise ParameterError("k_values must be non-empty")
     k_values = sorted(set(int(k) for k in k_values))
@@ -67,15 +76,24 @@ def influence_sweep(
         raise ParameterError(f"k values must lie in [1, {graph.n}], got {k_values}")
     k_max = k_values[-1]
 
-    result = dssa(
-        graph,
-        k_max,
-        epsilon=epsilon,
-        delta=delta,
-        model=model,
-        seed=seed,
-        max_samples=max_samples,
-    )
+    if engine is not None:
+        result = engine.maximize(
+            k_max,
+            epsilon=epsilon,
+            delta=delta,
+            algorithm="D-SSA",
+            max_samples=max_samples,
+        )
+    else:
+        result = dssa(
+            graph,
+            k_max,
+            epsilon=epsilon,
+            delta=delta,
+            model=model,
+            seed=seed,
+            max_samples=max_samples,
+        )
 
     # Recover the greedy ordering's prefix coverages on a fresh pool of
     # the same size D-SSA ended with: unbiased prefix estimates that do

@@ -69,11 +69,21 @@ class RRSampler(abc.ABC):
         return rr
 
     def sample_batch(self, count: int) -> list[np.ndarray]:
-        """Generate ``count`` RR sets (root draws vectorized)."""
+        """Generate ``count`` RR sets.
+
+        Each set draws its root immediately before its reverse traversal,
+        so the stream is a pure function of the RNG state and the *number*
+        of sets drawn — never of how the draws are batched:
+        ``sample_batch(a); sample_batch(b)`` equals ``sample_batch(a+b)``
+        set for set.  Warm query sessions rely on this prefix property to
+        treat a cached pool as the exact head of any cold run's stream.
+        """
         if count <= 0:
             return []
-        roots = self.roots.sample_many(self.rng, count)
-        batch = [self._reverse_sample(int(r)) for r in roots]
+        batch: list[np.ndarray] = []
+        for _ in range(count):
+            root = self.roots.sample(self.rng)
+            batch.append(self._reverse_sample(int(root)))
         self.sets_generated += count
         self.entries_generated += int(sum(rr.size for rr in batch))
         return batch

@@ -59,9 +59,15 @@ class RRCollection:
         """Total node occurrences across all stored sets."""
         return self._total_entries
 
-    def memory_bytes(self) -> int:
-        """Retained bytes of RR-set storage (the paper's memory driver)."""
-        return int(sum(arr.nbytes for arr in self._sets))
+    def memory_bytes(self, *, start: int = 0, end: int | None = None) -> int:
+        """Retained bytes of RR-set storage (the paper's memory driver).
+
+        ``start``/``end`` restrict the count to a set range, so a query
+        served from a larger session pool can report the footprint of
+        exactly the prefix it consumed (what a cold run would retain).
+        """
+        end = len(self._sets) if end is None else min(end, len(self._sets))
+        return int(sum(arr.nbytes for arr in self._sets[start:end]))
 
     # ------------------------------------------------------------------
     # Flat compiled view

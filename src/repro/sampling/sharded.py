@@ -19,13 +19,17 @@ the per-worker batches to a pluggable
   graph through shared memory and exchange only root/RR batches.
 
 Worker streams are spawned from the coordinator's seed via the
-SeedSequence protocol (independence by construction), and the merge is
-the deterministic round-robin order a synchronous coordinator would use
-— so the merged stream is a pure function of ``(seed, workers)``,
-independent of the backend.  :class:`ShardedSampler` remains a drop-in
-:class:`~repro.sampling.base.RRSampler`, so ``ssa(...)`` / ``dssa(...)``
-run on it unchanged; see ``tests/sampling/test_backends.py`` for the
-equivalence and unbiasedness checks.
+SeedSequence protocol (independence by construction), and shard
+assignment follows the *global* RR-set index (set ``g`` always goes to
+worker ``g mod W``), so the merged stream is a pure function of
+``(seed, workers)`` — independent of the backend *and* of how callers
+batch their demands.  That second invariance is what lets a warm
+:class:`~repro.engine.engine.InfluenceEngine` session reuse a cached RR
+pool as the byte-exact prefix of any cold run.  :class:`ShardedSampler`
+remains a drop-in :class:`~repro.sampling.base.RRSampler`, so
+``ssa(...)`` / ``dssa(...)`` run on it unchanged; see
+``tests/sampling/test_backends.py`` for the equivalence and
+unbiasedness checks.
 """
 
 from __future__ import annotations
@@ -78,17 +82,20 @@ class ShardedSampler(RRSampler):
         self.backend.start(
             WorkerSpec(graph=graph, model=self.model, seed_seqs=seed_seqs, max_hops=max_hops)
         )
-        self._next_shard = 0
+        # Global RR-set index: set g is always worker g mod W's next job,
+        # so shard assignment (hence each worker's stream consumption) is
+        # independent of how callers batch their demands.
+        self._cursor = 0
         self._loads = [0] * self.workers
 
     # ------------------------------------------------------------------
     # RRSampler interface
     # ------------------------------------------------------------------
     def _reverse_sample(self, root: int) -> np.ndarray:
-        # Single draws route to the next worker round-robin; the root was
-        # already drawn by the coordinator (the base-class sample()).
-        shard = self._next_shard
-        self._next_shard = (shard + 1) % self.workers
+        # Single draws take the next global index; the root was already
+        # drawn by the coordinator (the base-class sample()).
+        shard = self._cursor % self.workers
+        self._cursor += 1
         batches = [np.zeros(0, dtype=np.int64) for _ in range(self.workers)]
         batches[shard] = np.asarray([root], dtype=np.int64)
         result = self.backend.sample_shards(batches)
@@ -96,22 +103,28 @@ class ShardedSampler(RRSampler):
         return result[shard][0]
 
     def sample_batch(self, count: int) -> list[np.ndarray]:
-        """Draw ``count`` roots, fan out round-robin, merge in root order.
+        """Draw ``count`` roots, fan out by global index, merge in order.
 
-        Worker ``w`` receives roots ``count``-sequence positions
-        ``w, w+W, w+2W, ...``, so re-interleaving the shard results
-        restores the coordinator's draw order exactly — sharded runs are
-        as reproducible as single-stream ones, on every backend.
+        The batch covers global indices ``cursor .. cursor+count-1``;
+        index ``g`` routes to worker ``g mod W`` and workers receive
+        their roots in ascending global order.  Re-interleaving the shard
+        results restores the coordinator's draw order exactly, and a
+        worker's stream consumption depends only on its global indices —
+        so the merged stream is the same whether callers ask for one
+        batch of ``a+b`` sets or two batches of ``a`` and ``b``.
         """
         if count <= 0:
             return []
         roots = self.roots.sample_many(self.rng, count)
-        root_batches = [roots[w :: self.workers] for w in range(self.workers)]
+        base = self._cursor
+        offsets = [(w - base) % self.workers for w in range(self.workers)]
+        root_batches = [roots[offsets[w] :: self.workers] for w in range(self.workers)]
         shard_batches = self.backend.sample_shards(root_batches)
         merged: list[np.ndarray | None] = [None] * count
         for w, batch in enumerate(shard_batches):
-            merged[w :: self.workers] = batch
+            merged[offsets[w] :: self.workers] = batch
             self._loads[w] += len(batch)
+        self._cursor = base + count
         self.sets_generated += count
         self.entries_generated += int(sum(rr.size for rr in merged))
         return merged

@@ -16,7 +16,8 @@ import numpy as np
 from repro.core.dssa import dssa
 from repro.core.ssa import ssa
 from repro.core.result import IMResult
-from repro.baselines.tim import _run_tim
+from repro.baselines.tim import tim_on_context
+from repro.engine.context import SamplingContext
 from repro.diffusion.models import DiffusionModel
 from repro.diffusion.spread import simulate_cascade
 from repro.graph.digraph import CSRGraph
@@ -90,18 +91,13 @@ def kb_tim(
     max_samples: int | None = None,
 ) -> IMResult:
     """KB-TIM: weighted RIS sampling inside the TIM+ threshold machinery."""
-    delta = delta if delta is not None else 1.0 / max(graph.n, 2)
-    result = _run_tim(
-        graph,
-        k,
-        epsilon,
-        delta,
-        model,
-        seed,
-        refine=True,
-        max_samples=max_samples,
-        roots=group.roots_for(graph),
-    )
+    ctx = SamplingContext(graph, model, seed=seed, roots=group.roots_for(graph))
+    try:
+        result = tim_on_context(
+            ctx, k, epsilon=epsilon, delta=delta, max_samples=max_samples, refine=True
+        )
+    finally:
+        ctx.close()
     result.algorithm = "KB-TIM"
     result.extras["group"] = group.name
     return result
