@@ -1,0 +1,222 @@
+"""Service concurrency: throughput and hit rate vs. client count.
+
+The `InfluenceService` exists so many users can share one conditioned
+RR-set pool.  This benchmark measures what that sharing buys under a
+*fixed pool byte budget* at 1/4/16 concurrent clients, and enforces the
+PR's acceptance properties:
+
+* every concurrently-served answer is **byte-identical** to the same
+  query run sequentially on a fresh engine at the same seed, and
+* the shared pool produces a **nonzero cache hit rate** (clients ride
+  each other's sampling instead of multiplying it).
+
+Runs two ways:
+
+* **script mode** — ``python benchmarks/bench_service_concurrency.py
+  [--smoke]`` prints the report and writes
+  ``results/service_concurrency.txt`` (``--smoke`` shrinks the graph
+  and client counts for CI);
+* **pytest mode** — ``pytest benchmarks/bench_service_concurrency.py``
+  asserts the identity, hit-rate, and budget properties.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if __package__ in (None, ""):  # executed as a script, not collected by pytest
+    sys.path.insert(0, str(_REPO_ROOT))
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from benchmarks._common import BENCH_EPSILON, BENCH_SCALE, write_report
+
+#: per-client query mix: a repeat-heavy workload (the serving case).
+_KS = (3, 5, 8, 5, 3)
+
+
+def _client_queries(epsilon: float):
+    queries = [("maximize", dict(k=k, epsilon=epsilon)) for k in _KS]
+    queries.append(("estimate", dict(seeds=[1, 2, 3], samples=1024)))
+    return queries
+
+
+def measure_concurrency(
+    *,
+    dataset: str = "nethept",
+    scale: float = BENCH_SCALE,
+    model: str = "LT",
+    epsilon: float = BENCH_EPSILON,
+    seed: int = 2016,
+    client_counts: tuple = (1, 4, 16),
+    pool_budget: int = 32 << 20,
+) -> dict:
+    """Throughput/hit-rate at each client count; returns a stats dict."""
+    from repro.datasets.synthetic import load_dataset
+    from repro.engine import InfluenceEngine
+    from repro.service import InfluenceService
+
+    graph = load_dataset(dataset, scale=scale)
+    queries = _client_queries(epsilon)
+
+    # Sequential reference on a fresh engine: the byte-identity oracle.
+    with InfluenceEngine(graph, model=model, seed=seed) as engine:
+        reference = [getattr(engine, op)(**params) for op, params in queries]
+
+    def matches(result, want):
+        if isinstance(want, float):
+            return result == want
+        return (
+            result.seeds == want.seeds
+            and result.samples == want.samples
+            and result.influence == want.influence
+        )
+
+    rows = []
+    for clients in client_counts:
+        with InfluenceService(pool_budget=pool_budget, max_workers=clients) as service:
+            service.open_session("default", graph, model=model, seed=seed)
+            engine = service.session("default")
+
+            def run_client(_):
+                out = []
+                for op, params in queries:
+                    out.append(getattr(engine, op)(**params))
+                return out
+
+            start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                answers = list(pool.map(run_client, range(clients)))
+            elapsed = time.perf_counter() - start
+
+            stats = engine.stats
+            mismatches = sum(
+                0 if matches(result, want) else 1
+                for client in answers
+                for result, want in zip(client, reference)
+            )
+            total_queries = clients * len(queries)
+            rows.append(
+                {
+                    "clients": clients,
+                    "queries": total_queries,
+                    "seconds": elapsed,
+                    "throughput": total_queries / elapsed if elapsed else float("inf"),
+                    "hit_rate": stats.hit_rate,
+                    "rr_sampled": stats.rr_sampled,
+                    "pool_bytes": stats.pool_bytes,
+                    "evictions": stats.evictions,
+                    "mismatches": mismatches,
+                }
+            )
+    return {
+        "graph": graph,
+        "epsilon": epsilon,
+        "pool_budget": pool_budget,
+        "rows": rows,
+    }
+
+
+def render_report(m: dict, *, dataset: str) -> str:
+    from repro.utils.tables import format_table
+
+    graph = m["graph"]
+    table = format_table(
+        ["clients", "queries", "seconds", "q/s", "hit rate", "RR sampled", "pool bytes", "evictions", "byte-identical"],
+        [
+            [
+                r["clients"],
+                r["queries"],
+                round(r["seconds"], 2),
+                round(r["throughput"], 1),
+                f"{r['hit_rate']:.1%}",
+                r["rr_sampled"],
+                r["pool_bytes"],
+                r["evictions"],
+                "yes" if r["mismatches"] == 0 else f"NO ({r['mismatches']})",
+            ]
+            for r in m["rows"]
+        ],
+        title=(
+            f"Service concurrency on {dataset} (n={graph.n}, m={graph.m}), "
+            f"eps={m['epsilon']}, pool budget {m['pool_budget']} bytes"
+        ),
+    )
+    lines = [table, ""]
+    base = m["rows"][0]
+    for r in m["rows"][1:]:
+        ratio = r["rr_sampled"] / max(base["rr_sampled"], 1)
+        lines.append(
+            f"{r['clients']} clients sampled {ratio:.2f}x the RR sets of 1 client "
+            f"for {r['clients']}x the queries (hit rate {r['hit_rate']:.1%})"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Pytest mode
+# ----------------------------------------------------------------------
+def test_concurrent_serving_is_exact_and_shares_the_pool():
+    """Acceptance: byte-identity, nonzero hit rate, budget respected."""
+    m = measure_concurrency(scale=0.2, client_counts=(1, 4), pool_budget=32 << 20)
+    for row in m["rows"]:
+        assert row["mismatches"] == 0, f"{row['clients']} clients diverged"
+        assert row["hit_rate"] > 0.0
+    # 4 clients must not pay 4x the sampling bill of 1 client
+    assert m["rows"][1]["rr_sampled"] < 4 * m["rows"][0]["rr_sampled"]
+
+
+def test_budget_bounds_pool_bytes():
+    budget = 200_000
+    m = measure_concurrency(scale=0.2, client_counts=(4,), pool_budget=budget)
+    row = m["rows"][0]
+    assert row["mismatches"] == 0  # eviction never changes answers
+    # idle-state accounting: at rest the pools fit the budget
+    assert row["pool_bytes"] <= budget
+
+
+# ----------------------------------------------------------------------
+# Script mode
+# ----------------------------------------------------------------------
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="nethept")
+    parser.add_argument("--scale", type=float, default=BENCH_SCALE)
+    parser.add_argument("--model", default="LT", choices=["LT", "IC"])
+    parser.add_argument("--epsilon", type=float, default=BENCH_EPSILON)
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--clients", type=int, nargs="+", default=[1, 4, 16])
+    parser.add_argument("--pool-budget", type=int, default=32 << 20)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run (small graph, 1/4 clients), same assertions",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.scale, args.clients = min(args.scale, 0.2), [1, 4]
+
+    m = measure_concurrency(
+        dataset=args.dataset, scale=args.scale, model=args.model,
+        epsilon=args.epsilon, seed=args.seed,
+        client_counts=tuple(args.clients), pool_budget=args.pool_budget,
+    )
+    report = render_report(m, dataset=args.dataset)
+    write_report("service_concurrency", report)
+
+    bad = [r for r in m["rows"] if r["mismatches"]]
+    if bad:
+        print(f"FAIL: concurrent answers diverged at {[r['clients'] for r in bad]} clients")
+        return 1
+    if any(r["hit_rate"] <= 0.0 for r in m["rows"]):
+        print("FAIL: the shared pool produced no cache hits")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

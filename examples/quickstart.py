@@ -51,6 +51,18 @@ def main() -> None:
               f"{stats.rr_requested} demanded "
               f"(cache hit rate {stats.hit_rate:.0%})")
 
+    # Concurrent clients: the same engine/pool served through an
+    # InfluenceService — N threads, one shared pool, byte-identical
+    # answers to the sequential queries above.
+    from repro import InfluenceService
+
+    with InfluenceService(max_workers=4) as service:
+        service.open_session("default", graph, model="LT", seed=2016)
+        futures = [service.submit("maximize", k=20, epsilon=0.1) for _ in range(4)]
+        assert all(f.result().seeds == result.seeds for f in futures)
+        print(f"\n4 concurrent clients, byte-identical answers "
+              f"(hit rate {service.session().stats.hit_rate:.0%})")
+
     # Cross-check the RIS estimates with plain forward simulation.
     check = estimate_spread(graph, result.seeds, "LT", simulations=500, seed=7)
     low, high = check.confidence_interval()

@@ -28,6 +28,25 @@ seeds.  Every algorithm is described by the registry
 (:func:`register_algorithm` / :func:`list_algorithms`); print
 :func:`registry_table` or run ``repro-im algorithms`` for the
 capability table.
+
+Serving — many users, one pool
+------------------------------
+:class:`InfluenceService` scales the session model to concurrent
+multi-user serving: named sessions share one thread-safe pool manager
+with a global byte budget, LRU eviction, and cross-restart pool
+persistence, and every query remains byte-identical to its sequential
+one-shot counterpart:
+
+>>> service = InfluenceService(pool_budget=64 << 20)
+>>> _ = service.open_session("default", graph, model="LT", seed=42)
+>>> futures = [service.submit("maximize", k=k, epsilon=0.2) for k in (5, 10)]
+>>> [len(f.result().seeds) for f in futures]
+[5, 10]
+>>> service.close()
+
+``repro-im serve`` exposes the same service over TCP (newline-delimited
+JSON; :class:`ServiceClient` is the reference client) and ``repro-im
+query --connect HOST:PORT`` turns the REPL into a network client.
 """
 
 from repro.engine import (
@@ -37,6 +56,12 @@ from repro.engine import (
     list_algorithms,
     register_algorithm,
     registry_table,
+)
+from repro.service import (
+    InfluenceServer,
+    InfluenceService,
+    PoolManager,
+    ServiceClient,
 )
 from repro.core.dssa import dssa
 from repro.core.ssa import ssa
@@ -70,6 +95,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # serving
+    "InfluenceService",
+    "InfluenceServer",
+    "ServiceClient",
+    "PoolManager",
     # query engine + registry
     "InfluenceEngine",
     "SamplingContext",

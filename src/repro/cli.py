@@ -11,8 +11,13 @@ Subcommands
 ``compare``
     Run several algorithms at one k and print the comparison table.
 ``query``
-    Open a warm :class:`~repro.engine.engine.InfluenceEngine` session
-    and answer many maximize/sweep/estimate queries against it.
+    Answer many maximize/sweep/estimate queries against a warm
+    :class:`~repro.service.service.InfluenceService` — in-process by
+    default, or against a remote ``repro serve`` via ``--connect``.
+``serve``
+    Run an :class:`~repro.service.server.InfluenceServer`: concurrent
+    multi-client query serving over TCP (newline-delimited JSON) with a
+    pool byte budget and optional cross-restart pool persistence.
 ``tvm``
     Run the TVM experiment (Fig. 8 style) on a topic group.
 """
@@ -24,13 +29,20 @@ import sys
 
 from repro.datasets.catalog import DATASETS
 from repro.datasets.synthetic import load_dataset
-from repro.engine import InfluenceEngine, registry_table
+from repro.engine import registry_table
 from repro.exceptions import ReproError
 from repro.experiments.figures import tvm_runtime_vs_k
 from repro.experiments.report import render_comparison
 from repro.experiments.runner import ALGORITHMS, evaluate_quality, run_algorithm
 from repro.graph.statistics import compute_stats
 from repro.sampling.backends import BACKENDS
+from repro.service import (
+    InfluenceServer,
+    InfluenceService,
+    ServiceClient,
+    ServiceError,
+    summarize_result,
+)
 from repro.utils.tables import format_table
 
 
@@ -143,8 +155,50 @@ def _parse_query_options(tokens: "list[str]") -> dict:
     return options
 
 
-def _query_execute(engine: InfluenceEngine, line: str) -> bool:
-    """Run one query-session command; returns False on quit."""
+def _parse_bytes(text: str | None) -> int | None:
+    """``"64M"``/``"1.5G"``/``"800K"``/plain int -> bytes."""
+    if text is None:
+        return None
+    raw = str(text).strip().upper().removesuffix("B")
+    units = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    factor = units.get(raw[-1:] or "", 1)
+    digits = raw[:-1] if factor != 1 else raw
+    try:
+        value = int(float(digits) * factor)
+    except ValueError as exc:
+        raise ValueError(f"cannot parse byte size {text!r} (try 800K, 64M, 1G)") from exc
+    if value <= 0:
+        raise ValueError(f"byte size must be positive, got {text!r}")
+    return value
+
+
+def _render_algorithm_rows(rows: "list[dict]") -> str:
+    table_rows = [
+        [
+            r["name"],
+            "yes" if r["engine"] else "one-shot only",
+            "yes" if r["needs_rr_sets"] else "no",
+            "yes" if r["supports_backend"] else "-",
+            "yes" if r["supports_horizon"] else "-",
+            r["concurrency"],
+            r["description"],
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["algorithm", "engine reuse", "RR sets", "backends", "horizon", "concurrency", "description"],
+        table_rows,
+        title="Registered influence-maximization algorithms",
+    )
+
+
+def _query_execute(call, line: str) -> bool:
+    """Run one REPL command through a service ``call``; False on quit.
+
+    ``call(op, **params)`` is either the in-process service or a remote
+    client — both return wire-level (JSON-able) results, so rendering is
+    transport-agnostic.
+    """
     tokens = line.split()
     if not tokens:
         return True
@@ -157,83 +211,172 @@ def _query_execute(engine: InfluenceEngine, line: str) -> bool:
             "  maximize k=10 [epsilon=0.1] [algorithm=D-SSA] [horizon=T]\n"
             "  sweep ks=1,5,10 [epsilon=0.1] [algorithm=D-SSA]\n"
             "  estimate seeds=1,2,3 [samples=N]\n"
-            "  algorithms | stats | help | quit"
+            "  algorithms | stats | ping | help | quit\n"
+            "  shutdown   (stop a remote server)"
         )
     elif command == "algorithms":
-        print(registry_table())
+        print(_render_algorithm_rows(call("algorithms")))
+    elif command == "ping":
+        print("pong" if call("ping").get("pong") else "no answer")
+    elif command == "shutdown":
+        call("shutdown")
+        print("server stopping")
+        return False
     elif command == "stats":
-        stats = engine.stats
+        stats = call("stats")
         print(
-            f"session seed={engine.seed} queries={stats.queries} "
-            f"rr_requested={stats.rr_requested} rr_sampled={stats.rr_sampled} "
-            f"cache_hits={stats.cache_hits} hit_rate={stats.hit_rate:.1%}"
+            f"session seed={stats['seed']} queries={stats['queries']} "
+            f"rr_requested={stats['rr_requested']} rr_sampled={stats['rr_sampled']} "
+            f"cache_hits={stats['cache_hits']} hit_rate={stats['hit_rate']:.1%} "
+            f"pool_bytes={stats['pool_bytes']} evictions={stats['evictions']} "
+            f"reattached_sets={stats['reattached_sets']}"
         )
-        for key, size in engine.pool_sizes().items():
+        for key, size in stats["pools"].items():
             print(f"  pool {key}: {size} RR sets")
     elif command == "maximize":
-        horizon = opts.pop("horizon", None)
-        result = engine.maximize(
-            int(opts.pop("k")),
-            epsilon=float(opts.pop("epsilon", 0.1)),
-            algorithm=opts.pop("algorithm", "D-SSA"),
-            horizon=int(horizon) if horizon is not None else None,
-        )
-        print(result.summary())
-        print(f"  seeds: {result.seeds}")
+        if "k" not in opts:
+            raise ValueError("maximize needs k=<int>")
+        result = call("maximize", **opts)
+        print(summarize_result(result))
+        print(f"  seeds: {result['seeds']}")
     elif command == "sweep":
-        ks = [int(x) for x in opts.pop("ks").split(",")]
-        results = engine.sweep(
-            ks,
-            epsilon=float(opts.pop("epsilon", 0.1)),
-            algorithm=opts.pop("algorithm", "D-SSA"),
-        )
-        rows = [[r.k, round(r.influence, 1), r.samples, r.iterations] for r in results]
+        if "ks" not in opts:
+            raise ValueError("sweep needs ks=<k1,k2,...>")
+        results = call("sweep", **opts)
+        rows = [[r["k"], round(r["influence"], 1), r["samples"], r["iterations"]] for r in results]
         print(format_table(["k", "influence", "RR demand", "iterations"], rows))
     elif command == "estimate":
-        seeds = [int(x) for x in opts.pop("seeds").split(",")]
-        samples = opts.pop("samples", None)
-        estimate = engine.estimate(
-            seeds, samples=int(samples) if samples is not None else None
-        )
+        if "seeds" not in opts:
+            raise ValueError("estimate needs seeds=<v1,v2,...>")
+        estimate = call("estimate", **opts)
         print(f"estimated influence: {estimate:.2f}")
     else:
-        print(f"unknown command {command!r} (try: help)")
-        return True
-    if opts:
-        print(f"warning: ignored unknown option(s) {sorted(opts)}")
+        raise ValueError(f"unknown command {command!r} (try: help)")
     return True
 
 
+def _query_repl(call, lines, *, interactive: bool) -> int:
+    """Drive the REPL loop; returns a process exit code.
+
+    Interactive sessions keep going after a bad command; scripted input
+    (piped stdin or ``--command``) fails fast with a clean one-line
+    error on stderr and a non-zero exit — malformed scripts and dropped
+    server connections must not look like success (or a traceback).
+    """
+    while True:
+        if interactive:
+            print("query> ", end="", flush=True)
+        try:
+            line = next(lines, None)
+        except KeyboardInterrupt:
+            print()
+            break
+        if line is None:
+            break
+        try:
+            if not _query_execute(call, line):
+                break
+        except (ReproError, ValueError, KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            if not interactive:
+                return 1
+    try:
+        _query_execute(call, "stats")
+    except (ReproError, ValueError, KeyError):
+        pass  # server already gone (e.g. after shutdown) — stats are best-effort
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    graph = load_dataset(args.dataset, scale=args.scale)
     interactive = args.command is None and sys.stdin.isatty()
-    with InfluenceEngine(
-        graph,
-        model=args.model,
-        seed=args.seed,
-        backend=args.backend,
-        workers=args.workers,
-    ) as engine:
+    lines = iter(args.command) if args.command is not None else iter(sys.stdin)
+
+    if args.connect is not None:
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"error: --connect expects HOST:PORT, got {args.connect!r}", file=sys.stderr)
+            return 2
+        try:
+            with ServiceClient(host, int(port)) as client:
+                print(f"connected to influence service at {host}:{port}")
+
+                def call(op, **params):
+                    return client.call(op, session=args.session, **params)
+
+                return _query_repl(call, lines, interactive=interactive)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    try:
+        budget = _parse_bytes(args.pool_budget)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with InfluenceService(pool_budget=budget, spill_dir=args.spill_dir) as service:
+        engine = service.open_session(
+            args.session,
+            graph,
+            model=args.model,
+            seed=args.seed,
+            backend=args.backend,
+            workers=args.workers,
+        )
         print(
             f"engine session: {args.dataset} (n={graph.n}, m={graph.m}), "
             f"model={args.model}, seed={engine.seed}, backend={args.backend}"
         )
-        lines = iter(args.command) if args.command is not None else sys.stdin
-        while True:
-            if interactive:
-                print("query> ", end="", flush=True)
-            line = next(lines, None)
-            if line is None:
-                break
-            try:
-                if not _query_execute(engine, line):
-                    break
-            except (ReproError, ValueError, KeyError) as exc:
-                print(f"error: {exc}")
-                if args.command is not None:
-                    return 1
-        _query_execute(engine, "stats")
-    return 0
+
+        def call(op, **params):
+            return service.wire_result(service.call(op, session=args.session, **params))
+
+        return _query_repl(call, lines, interactive=interactive)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale)
+    try:
+        budget = _parse_bytes(args.pool_budget)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service = InfluenceService(
+        pool_budget=budget, spill_dir=args.spill_dir, max_workers=args.max_workers
+    )
+    try:
+        engine = service.open_session(
+            args.session,
+            graph,
+            model=args.model,
+            seed=args.seed,
+            backend=args.backend,
+            workers=args.workers,
+        )
+        server = InfluenceServer(service, host=args.host, port=args.port)
+        host, port = server.address
+        budget_str = f"{budget} bytes" if budget is not None else "unbounded"
+        print(
+            f"serving {args.dataset} (n={graph.n}, m={graph.m}) "
+            f"model={args.model} seed={engine.seed} backend={args.backend} "
+            f"session={args.session!r}",
+            flush=True,
+        )
+        print(
+            f"listening on {host}:{port}  (pool budget: {budget_str}, "
+            f"spill dir: {args.spill_dir or 'none'})",
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down", flush=True)
+            server.shutdown()
+        return 0
+    finally:
+        # Spills every warm pool when a spill dir is configured, so the
+        # next `repro serve` starts with yesterday's warmup.
+        service.close()
 
 
 def _cmd_tvm(args: argparse.Namespace) -> int:
@@ -299,12 +442,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_query = sub.add_parser(
         "query",
-        help="answer many maximize/sweep/estimate queries against one warm engine",
+        help="answer many maximize/sweep/estimate queries against a warm service",
         description=(
-            "REPL-style session over a warm InfluenceEngine: the execution "
+            "REPL-style session over a warm InfluenceService: the execution "
             "backend stays up and RR sets are cached across queries.  Reads "
             "commands from stdin (or --command), e.g. 'maximize k=10 "
-            "epsilon=0.2 algorithm=D-SSA'; 'help' lists the rest."
+            "epsilon=0.2 algorithm=D-SSA'; 'help' lists the rest.  With "
+            "--connect HOST:PORT the commands run against a remote "
+            "'repro-im serve' instead of an in-process engine."
         ),
     )
     p_query.add_argument("--dataset", default="nethept", choices=list(DATASETS))
@@ -314,6 +459,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--backend", default="serial", choices=sorted(BACKENDS))
     p_query.add_argument("--workers", type=int, default=None)
     p_query.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="talk to a remote 'repro-im serve' instead of an in-process engine "
+        "(--dataset/--seed/... are then the server's business)",
+    )
+    p_query.add_argument(
+        "--session",
+        default="default",
+        help="service session name to query (default: default)",
+    )
+    p_query.add_argument(
+        "--pool-budget",
+        default=None,
+        metavar="BYTES",
+        help="in-process pool byte budget with LRU eviction (e.g. 800K, 64M)",
+    )
+    p_query.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="persist pools here on close/eviction and reattach on startup",
+    )
+    p_query.add_argument(
         "-c",
         "--command",
         action="append",
@@ -321,6 +490,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="run this query command instead of reading stdin (repeatable)",
     )
     p_query.set_defaults(fn=_cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve concurrent influence queries over TCP (NDJSON protocol)",
+        description=(
+            "Run an InfluenceServer: one warm session, many concurrent "
+            "clients, newline-delimited JSON over TCP.  Queries are "
+            "byte-identical to sequential one-shot runs at the same seed; "
+            "the pool budget bounds memory via LRU eviction and --spill-dir "
+            "makes warmup survive restarts.  Clients: "
+            "'repro-im query --connect HOST:PORT' or repro.ServiceClient."
+        ),
+    )
+    p_serve.add_argument("--dataset", default="nethept", choices=list(DATASETS))
+    p_serve.add_argument("--scale", type=float, default=1.0)
+    p_serve.add_argument("--model", default="LT", choices=["LT", "IC"])
+    p_serve.add_argument("--seed", type=int, default=7)
+    p_serve.add_argument("--backend", default="serial", choices=sorted(BACKENDS))
+    p_serve.add_argument("--workers", type=int, default=None)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8642, help="TCP port (0 picks a free one)"
+    )
+    p_serve.add_argument("--session", default="default", help="name of the served session")
+    p_serve.add_argument(
+        "--pool-budget", default=None, metavar="BYTES",
+        help="global pool byte budget with LRU eviction (e.g. 64M)",
+    )
+    p_serve.add_argument(
+        "--spill-dir", default=None, metavar="DIR",
+        help="persist pools here on eviction/shutdown and reattach on startup",
+    )
+    p_serve.add_argument(
+        "--max-workers", type=int, default=8,
+        help="thread pool size for concurrent query execution",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_sweep = sub.add_parser("sweep", help="influence-vs-k curve from one amortized run")
     p_sweep.add_argument("--dataset", default="nethept", choices=list(DATASETS))

@@ -25,6 +25,12 @@ independent of batching — a warm session's cached pool is the byte-exact
 prefix of any cold run's stream, so repeated queries *top up* instead of
 resampling while returning byte-identical results to the one-shot
 functions at equal seeds.
+
+Sessions are thread-safe and bounded: pool state lives in a
+:class:`~repro.service.pool.PoolManager` (immutable per-query
+snapshots, byte budget with LRU eviction, disk spill/reattach); the
+multi-user front — named sessions, futures, TCP — is
+:mod:`repro.service`.
 """
 
 from repro.engine.context import SamplingContext

@@ -137,6 +137,29 @@ class SamplingContext:
         )
 
     # ------------------------------------------------------------------
+    # Stream position (pool spill / reattach)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The sampler's stream position (see :meth:`RRSampler.state_dict`)."""
+        return self.sampler.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a stream position captured by :meth:`state_dict`."""
+        self.sampler.load_state_dict(state)
+
+    def preload(self, rr_sets) -> int:
+        """Seed an *empty* pool with previously spilled RR sets.
+
+        The sets are served as cache without counting as sampled this
+        session; the caller must also :meth:`load_state_dict` the
+        matching sampler position so later top-ups continue the stream.
+        """
+        if len(self.pool):
+            raise SamplingError("can only preload an empty pool")
+        self.pool.extend(rr_sets)
+        return len(self.pool)
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     @property

@@ -23,10 +23,23 @@ price of sharing is statistical, and worth naming: queries answered from
 one pool are correlated with each other (the "condition once, query many
 times" trade of probabilistic databases); each individual answer still
 carries its algorithm's guarantee.
+
+Sessions are **thread-safe**: every query runs against an immutable
+prefix snapshot of the shared pool (see
+:class:`~repro.service.pool.PoolManager`), so concurrent callers get the
+same byte-identical answers sequential callers would.  ``pool_budget``
+bounds retained RR-set bytes with LRU eviction, and ``spill_dir`` makes
+pools survive process restarts — both default off, preserving the
+original unbounded in-memory behaviour.  A shared
+:class:`~repro.service.pool.PoolManager` can be injected by a
+multi-session :class:`~repro.service.service.InfluenceService`, which
+then owns one budget across all sessions.
 """
 
 from __future__ import annotations
 
+import threading
+import uuid
 from dataclasses import dataclass
 
 import numpy as np
@@ -48,6 +61,8 @@ class EngineStats:
     queries: int = 0
     rr_requested: int = 0  # RR sets queries demanded (cache hits included)
     rr_sampled: int = 0  # RR sets actually generated
+    pool_bytes: int = 0  # retained RR-set bytes across the session's pools
+    evictions: int = 0  # pools dropped by the byte-budget enforcer
 
     @property
     def cache_hits(self) -> int:
@@ -66,6 +81,8 @@ class EngineStats:
             "rr_sampled": self.rr_sampled,
             "cache_hits": self.cache_hits,
             "hit_rate": self.hit_rate,
+            "pool_bytes": self.pool_bytes,
+            "evictions": self.evictions,
         }
 
 
@@ -86,11 +103,27 @@ class InfluenceEngine:
     backend, workers, roots:
         Execution backend, worker count, and root distribution shared by
         every warm sampling context the session opens.
+    pool_budget:
+        Optional byte budget over the session's RR pools; exceeding it
+        evicts idle pools least-recently-used first (spilling them to
+        ``spill_dir`` when configured).  ``None`` keeps pools unbounded.
+    spill_dir:
+        Optional directory for cross-session pool persistence: closed
+        and evicted pools are written there and transparently
+        reattached by any later session with the same stream identity.
+    pool_manager:
+        A shared :class:`~repro.service.pool.PoolManager` (normally
+        injected by an :class:`~repro.service.service.InfluenceService`)
+        — mutually exclusive with ``pool_budget``/``spill_dir``, which
+        configure a private manager.
+    session:
+        Namespace for this session's pools inside the manager; defaults
+        to a unique generated name.
 
-    The engine lazily opens one :class:`SamplingContext` per distinct
-    ``(stream derivation, model, horizon)`` — D-SSA, IMM, TIM, and TIM+
-    share a single pool (they consume the same stream prefix), SSA's
-    split-stream derivation gets its own.
+    The engine lazily opens one pool per distinct ``(stream derivation,
+    model, horizon)`` — D-SSA, IMM, TIM, and TIM+ share a single pool
+    (they consume the same stream prefix), SSA's split-stream derivation
+    gets its own.  All queries are safe to issue from multiple threads.
     """
 
     def __init__(
@@ -102,7 +135,13 @@ class InfluenceEngine:
         backend=None,
         workers: int | None = None,
         roots=None,
+        pool_budget: int | None = None,
+        spill_dir=None,
+        pool_manager=None,
+        session: str | None = None,
     ) -> None:
+        from repro.service.pool import PoolManager
+
         self.graph = graph
         self.model = DiffusionModel.parse(model)
         if seed is None:
@@ -116,21 +155,41 @@ class InfluenceEngine:
         self.backend = backend
         self.workers = workers
         self.roots = roots
+        self.session = session if session is not None else f"engine-{uuid.uuid4().hex[:8]}"
+        if pool_manager is not None:
+            if pool_budget is not None or spill_dir is not None:
+                raise ParameterError(
+                    "pool_budget/spill_dir are owned by the shared PoolManager; "
+                    "configure them there"
+                )
+            self._pools = pool_manager
+            self._owns_pools = False
+        else:
+            self._pools = PoolManager(budget_bytes=pool_budget, spill_dir=spill_dir)
+            self._owns_pools = True
         self.stats = EngineStats()
-        self._contexts: dict[tuple, SamplingContext] = {}
+        self._stats_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------
-    # Context plumbing
+    # Pool plumbing
     # ------------------------------------------------------------------
+    @property
+    def pool_manager(self):
+        """The (private or shared) :class:`~repro.service.pool.PoolManager`."""
+        return self._pools
+
     def _check_open(self) -> None:
         if self._closed:
             raise ParameterError("InfluenceEngine session is closed")
 
-    def _context(self, *, stream: str, model: DiffusionModel, horizon: int | None) -> SamplingContext:
-        key = (stream, model.value, horizon)
-        ctx = self._contexts.get(key)
-        if ctx is None:
+    def _pool_key(self, *, stream: str, model: DiffusionModel, horizon: int | None):
+        from repro.service.pool import PoolKey
+
+        return PoolKey(self.session, stream, model.value, horizon)
+
+    def _pool_factory(self, *, stream: str, model: DiffusionModel, horizon: int | None):
+        def factory():
             ctx = SamplingContext(
                 self.graph,
                 model,
@@ -141,8 +200,23 @@ class InfluenceEngine:
                 backend=self.backend,
                 workers=self.workers,
             )
-            self._contexts[key] = ctx
-        return ctx
+            return ctx, self.seed
+
+        return factory
+
+    def _query_pool(self, *, stream: str, model: DiffusionModel, horizon: int | None):
+        return self._pools.query(
+            self._pool_key(stream=stream, model=model, horizon=horizon),
+            self._pool_factory(stream=stream, model=model, horizon=horizon),
+        )
+
+    def _account(self, *, demand: int, sampled: int) -> None:
+        with self._stats_lock:
+            self.stats.queries += 1
+            self.stats.rr_requested += demand
+            self.stats.rr_sampled += sampled
+            self.stats.pool_bytes = self._pools.bytes_for(self.session)
+            self.stats.evictions = self._pools.evictions_for(self.session)
 
     def _resolve(self, algorithm: "str | AlgorithmSpec") -> AlgorithmSpec:
         if isinstance(algorithm, AlgorithmSpec):
@@ -150,8 +224,8 @@ class InfluenceEngine:
         return get_algorithm(algorithm)
 
     def pool_sizes(self) -> dict:
-        """Cached RR sets per open context, keyed ``(stream, model, horizon)``."""
-        return {key: len(ctx.pool) for key, ctx in self._contexts.items()}
+        """Cached RR sets per open pool, keyed ``(stream, model, horizon)``."""
+        return self._pools.pool_sizes(self.session)
 
     # ------------------------------------------------------------------
     # Queries
@@ -170,7 +244,7 @@ class InfluenceEngine:
     ) -> IMResult:
         """Answer one influence-maximization query.
 
-        RIS algorithms run on the session's warm sampling context —
+        RIS algorithms run on the session's warm sampling pools —
         repeat and overlapping queries top up the cached RR pool instead
         of resampling.  Algorithms without an engine body (CELF, degree,
         IRIE) still resolve here for a uniform query surface, but run
@@ -192,19 +266,20 @@ class InfluenceEngine:
                 "max_samples": max_samples,
                 **algorithm_kwargs,
             }
-            self.stats.queries += 1
-            return spec.run_one_shot(self.graph, k, options)
+            result = spec.run_one_shot(self.graph, k, options)
+            self._account(demand=0, sampled=0)
+            return result
 
-        ctx = self._context(stream=spec.stream, model=query_model, horizon=horizon)
-        sampled_before = ctx.sampled
-        result = spec.engine_func(
-            ctx, k, epsilon=epsilon, delta=delta, max_samples=max_samples, **algorithm_kwargs
-        )
-        demand = int(result.optimization_samples)
-        ctx.note_query(demand)
-        self.stats.queries += 1
-        self.stats.rr_requested += demand
-        self.stats.rr_sampled += ctx.sampled - sampled_before
+        with self._query_pool(
+            stream=spec.stream, model=query_model, horizon=horizon
+        ) as view:
+            result = spec.engine_func(
+                view, k, epsilon=epsilon, delta=delta, max_samples=max_samples, **algorithm_kwargs
+            )
+            demand = int(result.optimization_samples)
+            view.note_query(demand)
+            sampled = view.sampled
+        self._account(demand=demand, sampled=sampled)
         return result
 
     def sweep(
@@ -250,17 +325,20 @@ class InfluenceEngine:
         """
         self._check_open()
         query_model = self.model if model is None else DiffusionModel.parse(model)
-        ctx = self._context(stream="direct", model=query_model, horizon=horizon)
-        target = int(samples) if samples is not None else max(len(ctx.pool), _DEFAULT_ESTIMATE_SAMPLES)
-        if target < 1:
-            raise ParameterError(f"samples must be positive, got {target}")
-        sampled_before = ctx.sampled
-        pool = ctx.require(target)
-        ctx.note_query(target)
-        self.stats.queries += 1
-        self.stats.rr_requested += target
-        self.stats.rr_sampled += ctx.sampled - sampled_before
-        return ctx.scale * pool.coverage(seeds, start=0, end=target) / target
+        if samples is not None and int(samples) < 1:
+            raise ParameterError(f"samples must be positive, got {samples}")
+        with self._query_pool(stream="direct", model=query_model, horizon=horizon) as view:
+            target = (
+                int(samples)
+                if samples is not None
+                else max(len(view.pool), _DEFAULT_ESTIMATE_SAMPLES)
+            )
+            pool = view.require(target)
+            view.note_query(target)
+            sampled = view.sampled
+            estimate = view.scale * pool.coverage(seeds, start=0, end=target) / target
+        self._account(demand=target, sampled=sampled)
+        return estimate
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -270,18 +348,18 @@ class InfluenceEngine:
         return self._closed
 
     def close(self) -> None:
-        """Release every warm backend (idempotent)."""
+        """Release every warm backend (idempotent).
+
+        Private pool managers are closed outright; a shared manager only
+        drops (and spills, when configured) this session's namespace.
+        """
         if self._closed:
             return
         self._closed = True
-        errors = []
-        for ctx in self._contexts.values():
-            try:
-                ctx.close()
-            except Exception as exc:  # keep releasing the rest
-                errors.append(exc)
-        if errors:
-            raise errors[0]
+        if self._owns_pools:
+            self._pools.close(spill=True)
+        else:
+            self._pools.release_namespace(self.session, spill=True)
 
     def __enter__(self) -> "InfluenceEngine":
         return self

@@ -63,6 +63,15 @@ class AlgorithmSpec:
         ``spawn_rngs(seed, 2)``).
     needs_rr_sets / supports_backend / supports_horizon:
         Capability flags the engine and docs surface.
+    concurrency:
+        How concurrent queries for this algorithm interact in a serving
+        session: ``"shared-pool"`` (engine-bodied RIS algorithms — all
+        in-flight queries read snapshots of one RR pool, answers are
+        correlated but byte-identical to sequential runs) or
+        ``"isolated"`` (one-shot fallbacks — each query runs on private
+        state, concurrency-safe but with no reuse).  The
+        :class:`~repro.service.service.InfluenceService` surfaces this
+        so clients know which queries share conditioning.
     accepts:
         Keyword names of :data:`KNOWN_OPTIONS` the one-shot signature
         takes; the runner filters its option dict through this set.
@@ -79,6 +88,7 @@ class AlgorithmSpec:
     needs_rr_sets: bool = False
     supports_backend: bool = False
     supports_horizon: bool = False
+    concurrency: str = "isolated"
     accepts: frozenset = frozenset()
     extra_kwargs: tuple = ()
     aliases: tuple = ()
@@ -108,6 +118,7 @@ def register_algorithm(
     needs_rr_sets: bool = False,
     supports_backend: bool = False,
     supports_horizon: bool = False,
+    concurrency: str | None = None,
     accepts: tuple = (),
     extra_kwargs: tuple = (),
     aliases: tuple = (),
@@ -117,13 +128,21 @@ def register_algorithm(
     Returns the function unchanged, so registrations stack (CELF and
     CELF++ are two specs over one implementation).  Unknown ``accepts``
     keys and duplicate names are rejected at import time — a misdeclared
-    algorithm fails fast, not at query time.
+    algorithm fails fast, not at query time.  ``concurrency`` defaults
+    from the engine body: ``"shared-pool"`` when one exists,
+    ``"isolated"`` otherwise.
     """
     unknown = set(accepts) - set(KNOWN_OPTIONS)
     if unknown:
         raise ParameterError(f"algorithm {name!r} declares unknown options {sorted(unknown)}")
     if stream not in ("direct", "split"):
         raise ParameterError(f"algorithm {name!r}: stream must be 'direct' or 'split'")
+    if concurrency is None:
+        concurrency = "shared-pool" if engine_func is not None else "isolated"
+    if concurrency not in ("shared-pool", "isolated"):
+        raise ParameterError(
+            f"algorithm {name!r}: concurrency must be 'shared-pool' or 'isolated'"
+        )
 
     def decorator(func: Callable) -> Callable:
         spec = AlgorithmSpec(
@@ -135,6 +154,7 @@ def register_algorithm(
             needs_rr_sets=needs_rr_sets,
             supports_backend=supports_backend,
             supports_horizon=supports_horizon,
+            concurrency=concurrency,
             accepts=frozenset(accepts),
             extra_kwargs=tuple(extra_kwargs),
             aliases=tuple(aliases),
@@ -210,11 +230,12 @@ def registry_table() -> str:
                 "yes" if spec.needs_rr_sets else "no",
                 "yes" if spec.supports_backend else "-",
                 "yes" if spec.supports_horizon else "-",
+                spec.concurrency,
                 spec.description,
             ]
         )
     return format_table(
-        ["algorithm", "engine reuse", "RR sets", "backends", "horizon", "description"],
+        ["algorithm", "engine reuse", "RR sets", "backends", "horizon", "concurrency", "description"],
         rows,
         title="Registered influence-maximization algorithms",
     )

@@ -133,11 +133,44 @@ class ExecutionBackend(abc.ABC):
         return self._sample_shards(root_batches)
 
     # ------------------------------------------------------------------
+    # Worker stream positions (pool spill / reattach)
+    # ------------------------------------------------------------------
+    def worker_states(self) -> list:
+        """Per-worker RNG states (JSON-serializable), in worker order.
+
+        Worker RNG streams are identified by worker *index*, so a state
+        list captured on one backend restores onto another — the stream
+        is a pure function of ``(seed, workers)``, never of where the
+        workers run.
+        """
+        if not self.started:
+            raise SamplingError(f"{type(self).__name__} is not running (start it first)")
+        return self._worker_states()
+
+    def restore_worker_states(self, states: list) -> None:
+        """Restore states captured by :meth:`worker_states`."""
+        if not self.started:
+            raise SamplingError(f"{type(self).__name__} is not running (start it first)")
+        if len(states) != self.workers:
+            raise SamplingError(
+                f"got {len(states)} worker states for {self.workers} workers"
+            )
+        self._restore_worker_states(states)
+
+    # ------------------------------------------------------------------
     # Implementation hooks
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def _start(self, spec: WorkerSpec) -> None:
         """Backend-specific fleet startup."""
+
+    def _worker_states(self) -> list:
+        """Backend-specific state fetch; called only while started."""
+        raise SamplingError(f"{type(self).__name__} does not support state capture")
+
+    def _restore_worker_states(self, states: list) -> None:
+        """Backend-specific state restore; called only while started."""
+        raise SamplingError(f"{type(self).__name__} does not support state restore")
 
     @abc.abstractmethod
     def _sample_shards(self, root_batches: Sequence[np.ndarray]) -> list[list[np.ndarray]]:

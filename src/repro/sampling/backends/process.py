@@ -59,6 +59,21 @@ def _worker_main(conn, graph_spec: SharedCSRSpec, worker_spec: WorkerSpec, worke
             message = conn.recv()
             if message is None:
                 break
+            if isinstance(message, tuple):
+                # Control messages: ("get_state",) / ("set_state", state).
+                # They ride the same pipe as root batches, so ordering with
+                # sampling work is inherited from the coordinator's calls.
+                try:
+                    if message[0] == "get_state":
+                        conn.send(("ok", sampler.rng.bit_generator.state))
+                    elif message[0] == "set_state":
+                        sampler.rng.bit_generator.state = message[1]
+                        conn.send(("ok",))
+                    else:
+                        conn.send(("err", f"unknown control message {message[0]!r}"))
+                except Exception as exc:
+                    conn.send(("err", f"{type(exc).__name__}: {exc}"))
+                continue
             try:
                 rr_sets = [sampler._reverse_sample(int(root)) for root in message]
                 conn.send(("ok",) + flatten_rr_batch(rr_sets))
@@ -147,6 +162,28 @@ class ProcessBackend(ExecutionBackend):
         if faults:
             raise SamplingError("; ".join(faults))
         return results
+
+    def _control_round(self, messages: "list[tuple]") -> list:
+        """One control request per worker; returns the payloads in order."""
+        replies = []
+        for worker_id, (conn, message) in enumerate(zip(self._conns, messages)):
+            try:
+                conn.send(message)
+                reply = conn.recv()
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                raise SamplingError(
+                    f"worker {worker_id} unreachable for control message: {exc}"
+                ) from exc
+            if reply[0] != "ok":
+                raise SamplingError(f"worker {worker_id} control failure: {reply[1]}")
+            replies.append(reply[1] if len(reply) > 1 else None)
+        return replies
+
+    def _worker_states(self) -> list:
+        return self._control_round([("get_state",)] * len(self._conns))
+
+    def _restore_worker_states(self, states: list) -> None:
+        self._control_round([("set_state", state) for state in states])
 
     def _close(self) -> None:
         self._teardown()

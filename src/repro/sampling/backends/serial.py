@@ -30,5 +30,12 @@ class SerialBackend(ExecutionBackend):
             for sampler, batch in zip(self._samplers, root_batches)
         ]
 
+    def _worker_states(self) -> list:
+        return [sampler.rng.bit_generator.state for sampler in self._samplers]
+
+    def _restore_worker_states(self, states: list) -> None:
+        for sampler, state in zip(self._samplers, states):
+            sampler.rng.bit_generator.state = state
+
     def _close(self) -> None:
         self._samplers = []

@@ -50,6 +50,15 @@ class ThreadBackend(ExecutionBackend):
         ]
         return [future.result() for future in futures]
 
+    def _worker_states(self) -> list:
+        # Safe without pool involvement: states are only captured/restored
+        # while no fan-out is in flight (the coordinator is idle).
+        return [sampler.rng.bit_generator.state for sampler in self._samplers]
+
+    def _restore_worker_states(self, states: list) -> None:
+        for sampler, state in zip(self._samplers, states):
+            sampler.rng.bit_generator.state = state
+
     def _close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)

@@ -93,6 +93,33 @@ class RRSampler(abc.ABC):
         self._generation += 1
         return self._generation
 
+    # ------------------------------------------------------------------
+    # Stream-position capture (pool spill / reattach)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable stream position: RNG state + lifetime counters.
+
+        Because the RR stream is a pure function of the RNG state and the
+        number of sets drawn, restoring this dict into a freshly
+        constructed sampler of the same configuration continues the
+        stream exactly where this one stopped — the contract pool
+        spilling relies on.
+        """
+        return {
+            "kind": "plain",
+            "rng": self.rng.bit_generator.state,
+            "sets_generated": int(self.sets_generated),
+            "entries_generated": int(self.entries_generated),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a position captured by :meth:`state_dict`."""
+        if state.get("kind") != "plain":
+            raise ValueError(f"cannot load {state.get('kind')!r} state into a plain sampler")
+        self.rng.bit_generator.state = state["rng"]
+        self.sets_generated = int(state["sets_generated"])
+        self.entries_generated = int(state["entries_generated"])
+
     def close(self) -> None:
         """Release execution resources; no-op for in-process samplers.
 

@@ -5,6 +5,13 @@ D-SSA slices it into a find half and a verify half.  Internally it keeps a
 list of int32 arrays plus a lazily compiled flat CSR view (all entries
 concatenated + offsets), so coverage counting and greedy max-coverage are
 numpy-vectorized rather than per-set Python loops.
+
+Concurrent serving reads the same data through :class:`RRSnapshot` — an
+immutable prefix view produced by :meth:`RRCollection.snapshot`.  The
+compiled buffers are append-only (never mutated below the compiled
+length, replaced wholesale when they grow), so a snapshot taken while
+holding the writer's lock stays valid forever: later appends write past
+the snapshot's views or into fresh buffers the snapshot never sees.
 """
 
 from __future__ import annotations
@@ -16,7 +23,79 @@ import numpy as np
 from repro.exceptions import SamplingError
 
 
-class RRCollection:
+class _CoverageReadOps:
+    """Coverage queries shared by the growable collection and its snapshots.
+
+    Implementations only need ``self.n`` plus ``flat_view(start, end)``
+    returning ``(flat entries, local offsets)`` for a set range.
+    """
+
+    n: int
+
+    def flat_view(
+        self, start: int = 0, end: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def coverage(
+        self, seeds: Sequence[int], *, start: int = 0, end: int | None = None
+    ) -> int:
+        """``Cov_R(S)``: number of sets in [start, end) intersecting S (Eq. 1)."""
+        mask = self.coverage_mask(seeds, start=start, end=end)
+        return int(mask.sum())
+
+    def coverage_mask(
+        self, seeds: Sequence[int], *, start: int = 0, end: int | None = None
+    ) -> np.ndarray:
+        """Boolean vector: does each set in the range intersect S?"""
+        flat, offsets = self.flat_view(start, end)
+        count = len(offsets) - 1
+        if count == 0:
+            return np.zeros(0, dtype=bool)
+        seed_mask = np.zeros(self.n, dtype=bool)
+        seed_arr = np.asarray(list(seeds), dtype=np.int64)
+        if seed_arr.size and (seed_arr.min() < 0 or seed_arr.max() >= self.n):
+            raise SamplingError("seed id out of range in coverage query")
+        seed_mask[seed_arr] = True
+        if flat.size == 0:
+            return np.zeros(count, dtype=bool)
+        hits = seed_mask[flat]
+        # Per-set any(): reduceat over the offsets; empty sets (offset[i] ==
+        # offset[i+1]) would misbehave with reduceat, so handle via maximum
+        # over a padded cumulative-sum trick.
+        cum = np.concatenate(([0], np.cumsum(hits)))
+        per_set = cum[offsets[1:]] - cum[offsets[:-1]]
+        return per_set > 0
+
+    def node_frequencies(self, *, start: int = 0, end: int | None = None) -> np.ndarray:
+        """How many sets of the range contain each node.
+
+        RR sets store distinct nodes, so this equals the per-node coverage
+        count used to seed greedy max-coverage.
+        """
+        flat, _ = self.flat_view(start, end)
+        return np.bincount(flat, minlength=self.n).astype(np.int64)
+
+    def estimate_influence(
+        self,
+        seeds: Sequence[int],
+        scale: float,
+        *,
+        start: int = 0,
+        end: int | None = None,
+    ) -> float:
+        """``Î(S) = Γ · Cov(S)/|R|`` over the given range (Lemma 1)."""
+        end = len(self) if end is None else end
+        count = end - start
+        if count <= 0:
+            raise SamplingError("cannot estimate influence from an empty range")
+        return scale * self.coverage(seeds, start=start, end=end) / count
+
+    def __len__(self) -> int:  # pragma: no cover - overridden everywhere
+        raise NotImplementedError
+
+
+class RRCollection(_CoverageReadOps):
     """Ordered collection of RR sets over nodes ``0..n-1``."""
 
     def __init__(self, n: int) -> None:
@@ -58,6 +137,11 @@ class RRCollection:
     def total_entries(self) -> int:
         """Total node occurrences across all stored sets."""
         return self._total_entries
+
+    @property
+    def nbytes(self) -> int:
+        """Retained RR-set bytes, O(1) (int32 entries; buffers excluded)."""
+        return 4 * self._total_entries
 
     def memory_bytes(self, *, start: int = 0, end: int | None = None) -> int:
         """Retained bytes of RR-set storage (the paper's memory driver).
@@ -118,58 +202,67 @@ class RRCollection:
         return flat[lo:hi], offsets[start : end + 1] - lo
 
     # ------------------------------------------------------------------
-    # Coverage queries
+    # Snapshots
     # ------------------------------------------------------------------
-    def coverage(
-        self, seeds: Sequence[int], *, start: int = 0, end: int | None = None
-    ) -> int:
-        """``Cov_R(S)``: number of sets in [start, end) intersecting S (Eq. 1)."""
-        mask = self.coverage_mask(seeds, start=start, end=end)
-        return int(mask.sum())
+    def snapshot(self, end: int | None = None) -> "RRSnapshot":
+        """Immutable view of the prefix ``[0, end)`` (default: everything).
 
-    def coverage_mask(
-        self, seeds: Sequence[int], *, start: int = 0, end: int | None = None
-    ) -> np.ndarray:
-        """Boolean vector: does each set in the range intersect S?"""
-        flat, offsets = self.flat_view(start, end)
-        count = len(offsets) - 1
-        if count == 0:
-            return np.zeros(0, dtype=bool)
-        seed_mask = np.zeros(self.n, dtype=bool)
-        seed_arr = np.asarray(list(seeds), dtype=np.int64)
-        if seed_arr.size and (seed_arr.min() < 0 or seed_arr.max() >= self.n):
-            raise SamplingError("seed id out of range in coverage query")
-        seed_mask[seed_arr] = True
-        if flat.size == 0:
-            return np.zeros(count, dtype=bool)
-        hits = seed_mask[flat]
-        # Per-set any(): reduceat over the offsets; empty sets (offset[i] ==
-        # offset[i+1]) would misbehave with reduceat, so handle via maximum
-        # over a padded cumulative-sum trick.
-        cum = np.concatenate(([0], np.cumsum(hits)))
-        per_set = cum[offsets[1:]] - cum[offsets[:-1]]
-        return per_set > 0
-
-    def node_frequencies(self, *, start: int = 0, end: int | None = None) -> np.ndarray:
-        """How many sets of the range contain each node.
-
-        RR sets store distinct nodes, so this equals the per-node coverage
-        count used to seed greedy max-coverage.
+        The caller must hold whatever lock serializes appends while
+        taking the snapshot (compilation mutates the internal buffers);
+        the *returned* snapshot needs no lock — concurrent appends never
+        touch the compiled region it references.
         """
-        flat, _ = self.flat_view(start, end)
-        return np.bincount(flat, minlength=self.n).astype(np.int64)
-
-    def estimate_influence(
-        self,
-        seeds: Sequence[int],
-        scale: float,
-        *,
-        start: int = 0,
-        end: int | None = None,
-    ) -> float:
-        """``Î(S) = Γ · Cov(S)/|R|`` over the given range (Lemma 1)."""
         end = len(self._sets) if end is None else end
-        count = end - start
-        if count <= 0:
-            raise SamplingError("cannot estimate influence from an empty range")
-        return scale * self.coverage(seeds, start=start, end=end) / count
+        if not 0 <= end <= len(self._sets):
+            raise SamplingError(f"invalid snapshot prefix [0, {end}) of {len(self._sets)}")
+        flat, offsets = self._compile()
+        return RRSnapshot(self.n, flat[: int(offsets[end])], offsets[: end + 1])
+
+
+class RRSnapshot(_CoverageReadOps):
+    """Immutable prefix view of an :class:`RRCollection`.
+
+    Supports the full read API the algorithm bodies use (coverage
+    queries, greedy max-coverage's ``flat_view``, ``memory_bytes``), so a
+    query can run against a frozen prefix while the shared pool keeps
+    growing under other queries' top-ups.
+    """
+
+    def __init__(self, n: int, flat: np.ndarray, offsets: np.ndarray) -> None:
+        self.n = int(n)
+        self._flat = flat
+        self._offsets = offsets
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        count = len(self)
+        if index < 0:
+            index += count
+        if not 0 <= index < count:
+            raise IndexError(f"set index {index} out of range [0, {count})")
+        return self._flat[self._offsets[index] : self._offsets[index + 1]]
+
+    @property
+    def total_entries(self) -> int:
+        return int(self._offsets[-1]) if len(self._offsets) else 0
+
+    @property
+    def nbytes(self) -> int:
+        return 4 * self.total_entries
+
+    def memory_bytes(self, *, start: int = 0, end: int | None = None) -> int:
+        end = len(self) if end is None else min(end, len(self))
+        if not 0 <= start <= end:
+            return 0
+        return int(4 * (self._offsets[end] - self._offsets[start]))
+
+    def flat_view(
+        self, start: int = 0, end: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        end = len(self) if end is None else end
+        if not 0 <= start <= end <= len(self):
+            raise SamplingError(f"invalid set range [{start}, {end}) of {len(self)}")
+        lo, hi = self._offsets[start], self._offsets[end]
+        return self._flat[lo:hi], self._offsets[start : end + 1] - lo

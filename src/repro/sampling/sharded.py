@@ -130,6 +130,47 @@ class ShardedSampler(RRSampler):
         return merged
 
     # ------------------------------------------------------------------
+    # Stream-position capture (pool spill / reattach)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Coordinator + worker stream positions, JSON-serializable.
+
+        Workers' RNG states are fetched through the backend (an
+        in-process read for serial/thread, a control round-trip for
+        process workers), so a spilled pool can be reattached on *any*
+        backend — worker streams are identified by index, not by where
+        they happen to execute.
+        """
+        return {
+            "kind": "sharded",
+            "workers": self.workers,
+            "rng": self.rng.bit_generator.state,
+            "cursor": int(self._cursor),
+            "loads": [int(x) for x in self._loads],
+            "worker_rngs": self.backend.worker_states(),
+            "sets_generated": int(self.sets_generated),
+            "entries_generated": int(self.entries_generated),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a position captured by :meth:`state_dict`."""
+        if state.get("kind") != "sharded":
+            raise SamplingError(
+                f"cannot load {state.get('kind')!r} state into a sharded sampler"
+            )
+        if int(state["workers"]) != self.workers:
+            raise SamplingError(
+                f"state was captured with {state['workers']} workers, "
+                f"this sampler has {self.workers}"
+            )
+        self.rng.bit_generator.state = state["rng"]
+        self._cursor = int(state["cursor"])
+        self._loads = [int(x) for x in state["loads"]]
+        self.backend.restore_worker_states(state["worker_rngs"])
+        self.sets_generated = int(state["sets_generated"])
+        self.entries_generated = int(state["entries_generated"])
+
+    # ------------------------------------------------------------------
     # Diagnostics / lifecycle
     # ------------------------------------------------------------------
     def per_worker_load(self) -> list[int]:

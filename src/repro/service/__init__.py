@@ -1,0 +1,47 @@
+"""Concurrent multi-user serving for influence maximization.
+
+This package turns the session-oriented engine (PR 2) into a *server*:
+many users, one conditioned sample pool, bounded memory, durable warmup.
+
+* :class:`~repro.service.pool.PoolManager` — thread-safe shared RR
+  pools: per-query immutable prefix snapshots (readers never block
+  samplers), a global byte budget with LRU eviction of idle pools, and
+  transparent spill/reattach through
+  :class:`~repro.service.store.PoolStore`;
+* :class:`~repro.service.service.InfluenceService` — a registry of
+  named :class:`~repro.engine.engine.InfluenceEngine` sessions sharing
+  one pool manager, with a future-based :meth:`submit` query surface
+  and a name-based op vocabulary for transports;
+* :class:`~repro.service.server.InfluenceServer` /
+  :class:`~repro.service.client.ServiceClient` — newline-delimited JSON
+  over TCP (``repro serve`` / ``repro query --connect``).
+
+The load-bearing guarantee everywhere: the RR stream is a pure function
+of ``(seed, workers)``, so *any* interleaving of concurrent queries —
+and any spill/evict/reattach history — returns byte-identical answers
+to a sequential cold run at the same seed.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.pool import PoolKey, PoolManager, QueryView
+from repro.service.protocol import result_to_dict, summarize_result
+from repro.service.server import InfluenceServer, serve
+from repro.service.service import OPERATIONS, InfluenceService, ServiceError
+from repro.service.store import PoolStore, graph_signature, make_stamp
+
+__all__ = [
+    "InfluenceService",
+    "InfluenceServer",
+    "ServiceClient",
+    "ServiceError",
+    "PoolManager",
+    "PoolKey",
+    "QueryView",
+    "PoolStore",
+    "OPERATIONS",
+    "serve",
+    "result_to_dict",
+    "summarize_result",
+    "make_stamp",
+    "graph_signature",
+]

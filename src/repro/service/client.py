@@ -1,0 +1,114 @@
+"""Client for the influence service's TCP protocol.
+
+Blocking, line-oriented, dependency-free — the shape a user's first
+integration takes, and what the ``repro query --connect`` REPL uses.
+Each :meth:`ServiceClient.call` sends one request line and waits for its
+response line; concurrency comes from using one client per thread (the
+server is thread-per-connection).
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.service.protocol import ProtocolError, decode_line, encode_line
+from repro.service.service import ServiceError
+
+
+class ServiceClient:
+    """Synchronous NDJSON-over-TCP client.
+
+    >>> with ServiceClient("127.0.0.1", 8642) as client:   # doctest: +SKIP
+    ...     answer = client.call("maximize", k=10, epsilon=0.2)
+    ...     answer["seeds"]
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float | None = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        try:
+            self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+            # Queries may legitimately run long (cold pools on big graphs);
+            # reads block unless the caller opts into a response deadline.
+            self._sock.settimeout(timeout)
+        except OSError as exc:
+            raise ServiceError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+        self._next_id = 0
+        self._closed = False
+
+    def call(self, op: str, *, session: str = "default", **params):
+        """Run one operation; returns the result payload or raises.
+
+        Raises :class:`ServiceError` for server-side errors *and* for
+        transport failures (connection refused, server gone mid-call) —
+        callers see one exception type with a clean message, never a
+        traceback from socket internals.
+        """
+        if self._closed:
+            raise ServiceError("client is closed")
+        self._next_id += 1
+        request = {"id": self._next_id, "op": op, "session": session, "params": params}
+        try:
+            self._wfile.write(encode_line(request))
+            self._wfile.flush()
+            line = self._rfile.readline()
+        except OSError as exc:
+            # The stream is desynchronized (a late response could still
+            # arrive for this request) — poison the client, don't let a
+            # retry read stale bytes as its own answer.
+            self.close()
+            raise ServiceError(f"connection to service lost: {exc}") from exc
+        if not line:
+            self.close()
+            raise ServiceError("server closed the connection (unexpected EOF)")
+        try:
+            response = decode_line(line)
+        except ProtocolError as exc:
+            self.close()
+            raise ServiceError(f"malformed response from server: {exc}") from exc
+        if response.get("id") != self._next_id:
+            self.close()
+            raise ServiceError(
+                f"out-of-sync response (expected id {self._next_id}, "
+                f"got {response.get('id')!r})"
+            )
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(
+                f"{error.get('type', 'ServiceError')}: {error.get('message', 'unknown error')}"
+            )
+        return response.get("result")
+
+    def ping(self) -> bool:
+        """True if the server answers."""
+        return bool(self.call("ping").get("pong"))
+
+    def shutdown_server(self) -> None:
+        """Ask the server to stop (it still answers this request)."""
+        self.call("shutdown")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for closer in (self._rfile.close, self._wfile.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

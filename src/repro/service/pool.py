@@ -1,0 +1,347 @@
+"""Thread-safe shared RR pools: snapshots, byte budgets, LRU eviction.
+
+This module is what makes "condition once, query many times" safe to
+share between users.  A :class:`PoolManager` owns every warm sampling
+context of a service (or of a thread-safe
+:class:`~repro.engine.engine.InfluenceEngine`), keyed by
+``(namespace, stream, model, horizon)``:
+
+* **Snapshot isolation** — each in-flight query reads an immutable
+  prefix :class:`~repro.sampling.rr_collection.RRSnapshot` of the shared
+  :class:`~repro.sampling.rr_collection.RRCollection`.  Readers never
+  block samplers: a top-up appends under the pool's lock and takes a new
+  snapshot; snapshots already handed out stay valid because the compiled
+  buffers are append-only.  The merged RR stream stays the byte-exact
+  pure function of ``(seed, workers)``, so any interleaving of
+  concurrent queries returns exactly the sequential answers.
+* **Byte budget** — an optional global budget over all pools.  After
+  each top-up batch the manager evicts *idle* pools, least-recently-used
+  first, until the budget holds again.  Pools with queries in flight are
+  never evicted, so the hard bound is budget + one in-flight top-up
+  batch per busy pool (a single busy pool — the common case — overshoots
+  by at most its one crossing batch).
+* **Spill / reattach** — with a spill directory configured, evicted and
+  closed pools are written through
+  :class:`~repro.service.store.PoolStore` (sets + sampler stream
+  position) and transparently reattached the next time a context with
+  the same stream identity is opened — warmup survives evictions *and*
+  process restarts.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.engine.context import SamplingContext
+from repro.exceptions import SamplingError
+from repro.service.store import PoolStore, make_stamp
+
+
+@dataclass(frozen=True)
+class PoolKey:
+    """Identity of one shared pool inside a manager.
+
+    ``namespace`` isolates sessions from each other (two sessions with
+    different graphs or seeds must never share a pool); the remaining
+    fields mirror the engine's context key.
+    """
+
+    namespace: str
+    stream: str
+    model: str
+    horizon: int | None
+
+
+class QueryView:
+    """One query's window onto a shared pool (duck-typed SamplingContext).
+
+    Algorithm bodies run against this object exactly as they run against
+    a private :class:`~repro.engine.context.SamplingContext`: ``require``
+    returns a pool holding at least the requested prefix — here an
+    immutable snapshot — and ``sampled`` counts only the RR sets *this*
+    query's top-ups generated, so per-query accounting stays exact under
+    interleaving.
+    """
+
+    def __init__(self, entry: "_PoolEntry") -> None:
+        self._entry = entry
+        self.graph = entry.ctx.graph
+        self.model = entry.ctx.model
+        self.roots = entry.ctx.roots
+        self.horizon = entry.ctx.horizon
+        self.sampled = 0
+        self._snap = None
+
+    @property
+    def scale(self) -> float:
+        return self._entry.ctx.scale
+
+    @property
+    def pool(self):
+        """The latest snapshot this query has seen (taken lazily)."""
+        if self._snap is None:
+            self._snap = self._entry.snapshot()
+        return self._snap
+
+    def require(self, total: int):
+        snap, sampled = self._entry.require_snapshot(int(total))
+        self.sampled += sampled
+        self._snap = snap
+        return snap
+
+    def note_query(self, demand: int) -> None:
+        self._entry.note_query(int(demand))
+
+    def fresh_verifier(self):
+        # Thread-safe for replayable (int) session seeds: the verifier is
+        # re-derived per call without touching shared mutable state.
+        return self._entry.ctx.fresh_verifier()
+
+
+class _PoolEntry:
+    """One shared context + its lock and usage bookkeeping."""
+
+    def __init__(self, manager: "PoolManager", key: PoolKey, ctx: SamplingContext, stamp) -> None:
+        self.manager = manager
+        self.key = key
+        self.ctx = ctx
+        self.stamp = stamp  # None => not spillable
+        self.lock = threading.RLock()
+        self.inflight = 0  # mutated only under the manager lock
+        self.last_used = 0
+        self.reattached = 0  # sets preloaded from a spill file
+
+    def require_snapshot(self, total: int):
+        """Top the shared pool up to ``total`` and snapshot it.
+
+        Returns ``(snapshot, newly_sampled)``.  The append and the
+        snapshot compile happen under this entry's lock; the budget
+        check runs after the lock is released (this entry has a query in
+        flight, so it can never evict itself).
+        """
+        with self.lock:
+            before = self.ctx.sampled
+            self.ctx.require(total)
+            snap = self.ctx.pool.snapshot()
+            sampled = self.ctx.sampled - before
+        if sampled:
+            self.manager.enforce_budget()
+        return snap, sampled
+
+    def snapshot(self):
+        with self.lock:
+            return self.ctx.pool.snapshot()
+
+    def note_query(self, demand: int) -> None:
+        with self.lock:
+            self.ctx.note_query(demand)
+
+    @property
+    def nbytes(self) -> int:
+        return self.ctx.pool.nbytes
+
+
+class PoolManager:
+    """Registry of shared pools with budget enforcement and spill.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Global cap on retained RR-set bytes across every pool; ``None``
+        disables eviction (the engine's historical behaviour).
+    spill_dir:
+        Directory for spilled pools; ``None`` disables persistence.
+    """
+
+    def __init__(
+        self,
+        *,
+        budget_bytes: int | None = None,
+        spill_dir=None,
+    ) -> None:
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise SamplingError(f"budget_bytes must be positive, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self.store = PoolStore(spill_dir) if spill_dir is not None else None
+        self._lock = threading.RLock()
+        self._entries: dict[PoolKey, _PoolEntry] = {}
+        self._clock = 0
+        self._evictions: dict[str, int] = {}  # namespace -> pools evicted
+        self._reattached: dict[str, int] = {}  # namespace -> sets loaded from disk
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Entry lifecycle
+    # ------------------------------------------------------------------
+    def _get_or_create(self, key: PoolKey, factory) -> _PoolEntry:
+        """Resolve ``key``; create (and maybe reattach) under the lock.
+
+        Context creation can be slow (process backends spawn workers);
+        holding the manager lock keeps double-creation impossible, which
+        matters more here than first-query latency.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            ctx, seed = factory()
+            stamp = make_stamp(
+                ctx.graph,
+                model=ctx.model.value,
+                stream=key.stream,
+                horizon=key.horizon,
+                seed=seed,
+                sampler=ctx.sampler,
+                roots=ctx.roots,
+            )
+            entry = _PoolEntry(self, key, ctx, stamp)
+            if self.store is not None and stamp is not None:
+                spilled = self.store.load(stamp)
+                if spilled is not None:
+                    sets, state = spilled
+                    entry.reattached = ctx.preload(sets)
+                    ctx.load_state_dict(state)
+                    ns = key.namespace
+                    self._reattached[ns] = self._reattached.get(ns, 0) + entry.reattached
+            self._entries[key] = entry
+        return entry
+
+    @contextmanager
+    def query(self, key: PoolKey, factory):
+        """Open one query against the pool at ``key``.
+
+        ``factory`` builds the backing context on first use and returns
+        ``(SamplingContext, replayable_seed_or_None)``.  Yields a
+        :class:`QueryView`; on exit the pool's LRU position is bumped
+        and the byte budget re-enforced.
+        """
+        with self._lock:
+            if self._closed:
+                raise SamplingError("PoolManager is closed")
+            entry = self._get_or_create(key, factory)
+            entry.inflight += 1
+        try:
+            yield QueryView(entry)
+        finally:
+            with self._lock:
+                entry.inflight -= 1
+                self._clock += 1
+                entry.last_used = self._clock
+            self.enforce_budget()
+
+    # ------------------------------------------------------------------
+    # Budget / eviction
+    # ------------------------------------------------------------------
+    def total_bytes(self) -> int:
+        """Retained RR-set bytes across every pool."""
+        with self._lock:
+            return sum(entry.nbytes for entry in self._entries.values())
+
+    def enforce_budget(self) -> int:
+        """Evict idle pools (LRU first) until the budget holds; returns evictions."""
+        if self.budget_bytes is None:
+            return 0
+        evicted = 0
+        with self._lock:
+            while sum(e.nbytes for e in self._entries.values()) > self.budget_bytes:
+                victims = [
+                    e for e in self._entries.values() if e.inflight == 0 and len(e.ctx.pool)
+                ]
+                if not victims:
+                    # Everything left is in flight: overshoot is bounded by
+                    # one top-up batch per busy pool until they go idle.
+                    break
+                victim = min(victims, key=lambda e: e.last_used)
+                self._evict(victim)
+                evicted += 1
+        return evicted
+
+    def _evict(self, entry: _PoolEntry) -> None:
+        """Spill (if possible) and drop one idle entry.  Manager lock held;
+        ``inflight == 0`` so no query is mid-top-up."""
+        self._retire(entry, spill=True)
+        ns = entry.key.namespace
+        self._evictions[ns] = self._evictions.get(ns, 0) + 1
+
+    def _retire(self, entry: _PoolEntry, *, spill: bool) -> None:
+        """Spill (optionally) and close one entry, serialized with its queries.
+
+        Taking the entry lock makes the spilled prefix consistent even if
+        a caller retires a session that still has queries in flight (a
+        misuse, but one that must corrupt nothing): an in-flight query
+        either finishes its top-up before the spill or sees a clean
+        "context is closed" error on its next ``require``.  Lock order is
+        manager → entry everywhere; no path takes them in reverse.
+        """
+        self._entries.pop(entry.key, None)
+        with entry.lock:
+            if spill:
+                self._spill_entry(entry)
+            entry.ctx.close()
+
+    def _spill_entry(self, entry: _PoolEntry) -> None:
+        if self.store is None or entry.stamp is None or not len(entry.ctx.pool):
+            return
+        self.store.save(entry.stamp, entry.ctx.pool, entry.ctx.state_dict())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pool_sizes(self, namespace: str | None = None) -> dict:
+        """Cached RR sets per pool, keyed ``(stream, model, horizon)``.
+
+        With ``namespace=None`` the keys include the namespace.
+        """
+        with self._lock:
+            out = {}
+            for key, entry in self._entries.items():
+                if namespace is not None and key.namespace != namespace:
+                    continue
+                short = (key.stream, key.model, key.horizon)
+                out[short if namespace is not None else (key.namespace, *short)] = len(
+                    entry.ctx.pool
+                )
+            return out
+
+    def bytes_for(self, namespace: str) -> int:
+        with self._lock:
+            return sum(
+                e.nbytes for k, e in self._entries.items() if k.namespace == namespace
+            )
+
+    def evictions_for(self, namespace: str | None = None) -> int:
+        with self._lock:
+            if namespace is None:
+                return sum(self._evictions.values())
+            return self._evictions.get(namespace, 0)
+
+    def reattached_for(self, namespace: str) -> int:
+        """Lifetime count of sets loaded from disk spills (warm starts)."""
+        with self._lock:
+            return self._reattached.get(namespace, 0)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def release_namespace(self, namespace: str, *, spill: bool = True) -> None:
+        """Close (and optionally spill) every pool of one namespace."""
+        with self._lock:
+            entries = [e for k, e in self._entries.items() if k.namespace == namespace]
+            for entry in entries:
+                self._retire(entry, spill=spill)
+
+    def close(self, *, spill: bool = True) -> None:
+        """Spill (by default) and close every pool; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            errors = []
+            for entry in list(self._entries.values()):
+                try:
+                    self._retire(entry, spill=spill)
+                except Exception as exc:  # keep releasing the rest
+                    errors.append(exc)
+            self._entries.clear()
+            if errors:
+                raise errors[0]

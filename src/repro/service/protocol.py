@@ -1,0 +1,109 @@
+"""Wire protocol for the influence service: newline-delimited JSON.
+
+One request per line, one response per line, over any byte stream (the
+TCP server, a pipe, a test harness).  Requests name an operation, a
+session, and a parameter dict; responses carry either a result or a
+typed error:
+
+.. code-block:: json
+
+    {"id": 7, "op": "maximize", "session": "default", "params": {"k": 10}}
+    {"id": 7, "ok": true, "result": {"algorithm": "D-SSA", "seeds": [3, 1], ...}}
+    {"id": 8, "ok": false, "error": {"type": "ParameterError", "message": "..."}}
+
+Numbers are plain JSON numbers and seed lists are plain JSON arrays, so
+byte-identity of served answers is checkable from any client language.
+``IMResult.extras`` (per-iteration traces) stays server-side — it is
+diagnostics, unbounded in size, and not part of the answer.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.result import IMResult
+from repro.exceptions import ReproError
+
+
+class ProtocolError(ReproError):
+    """Raised on malformed protocol messages."""
+
+
+def to_jsonable(value):
+    """Recursively coerce numpy scalars/arrays into plain JSON types."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    return value
+
+
+def result_to_dict(result: IMResult) -> dict:
+    """Flatten one :class:`IMResult` for the wire (``extras`` excluded)."""
+    return to_jsonable(
+        {
+            "algorithm": result.algorithm,
+            "k": result.k,
+            "seeds": list(result.seeds),
+            "influence": result.influence,
+            "samples": result.samples,
+            "optimization_samples": result.optimization_samples,
+            "verification_samples": result.verification_samples,
+            "iterations": result.iterations,
+            "stopped_by": result.stopped_by,
+            "elapsed_seconds": result.elapsed_seconds,
+            "memory_bytes": result.memory_bytes,
+        }
+    )
+
+
+def summarize_result(payload: dict) -> str:
+    """One-line summary of a wire result (mirrors ``IMResult.summary``)."""
+    return (
+        f"{payload['algorithm']}: k={payload['k']} "
+        f"influence≈{payload['influence']:.1f} samples={payload['samples']} "
+        f"iterations={payload['iterations']} "
+        f"time={payload['elapsed_seconds']:.3f}s stop={payload['stopped_by']}"
+    )
+
+
+def encode_line(message: dict) -> bytes:
+    """Serialize one protocol message to a newline-terminated JSON line."""
+    return (json.dumps(to_jsonable(message), separators=(",", ":")) + "\n").encode()
+
+
+def decode_line(line: "bytes | str") -> dict:
+    """Parse one protocol line; raises :class:`ProtocolError` when malformed."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty protocol line")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(f"protocol messages are JSON objects, got {type(message).__name__}")
+    return message
+
+
+def error_response(request_id, exc: BaseException) -> dict:
+    """Build the error response for one failed request."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+
+
+def ok_response(request_id, result) -> dict:
+    return {"id": request_id, "ok": True, "result": to_jsonable(result)}

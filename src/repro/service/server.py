@@ -1,0 +1,150 @@
+"""TCP front-end for :class:`~repro.service.service.InfluenceService`.
+
+A thin transport: one thread per connection (the pool layer already
+guarantees concurrent queries are exact), newline-delimited JSON per
+:mod:`repro.service.protocol`.  This is the network counterpart of the
+execution-backend groundwork — workers parallelize *sampling* below the
+engine, this server parallelizes *queries* above it.
+
+Typical lifecycle::
+
+    service = InfluenceService(pool_budget=..., spill_dir=...)
+    service.open_session("default", graph, model="LT", seed=7)
+    server = InfluenceServer(service, host="127.0.0.1", port=8642)
+    server.serve_forever()          # or server.start_background()
+
+Clients may send ``{"op": "shutdown"}`` to stop the server remotely
+(used by CI and orchestration scripts); the response is written before
+the listener winds down, and the service spills its pools on close.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+
+from repro.exceptions import ReproError
+from repro.service.protocol import (
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_response,
+    ok_response,
+)
+from repro.service.service import InfluenceService, ServiceError
+
+
+class _ConnectionHandler(socketserver.StreamRequestHandler):
+    """One client connection: request lines in, response lines out."""
+
+    def handle(self) -> None:
+        server: "InfluenceServer" = self.server.influence_server  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            if not raw.strip():
+                continue
+            response, stop = server.process_line(raw)
+            try:
+                self.wfile.write(encode_line(response))
+                self.wfile.flush()
+            except (BrokenPipeError, OSError):
+                return
+            if stop:
+                server.stop_async()
+                return
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class InfluenceServer:
+    """Serve an :class:`InfluenceService` over a TCP socket.
+
+    Parameters
+    ----------
+    service:
+        The service that owns sessions and pools.  The server never
+        closes it unless :meth:`shutdown` is asked to (``repro serve``
+        does, so a remote ``shutdown`` op spills pools on the way out).
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    """
+
+    def __init__(
+        self, service: InfluenceService, *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.service = service
+        self._tcp = _ThreadingTCPServer((host, port), _ConnectionHandler)
+        self._tcp.influence_server = self  # type: ignore[attr-defined]
+        self._stopped = threading.Event()
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The actually bound ``(host, port)``."""
+        return self._tcp.server_address[:2]
+
+    # ------------------------------------------------------------------
+    # Request processing
+    # ------------------------------------------------------------------
+    def process_line(self, raw: bytes) -> "tuple[dict, bool]":
+        """Handle one request line; returns ``(response, stop_server)``."""
+        request_id = None
+        try:
+            message = decode_line(raw)
+            request_id = message.get("id")
+            op = message.get("op")
+            if not isinstance(op, str):
+                raise ProtocolError("request needs a string 'op' field")
+            if op == "shutdown":
+                return ok_response(request_id, {"stopping": True}), True
+            session = message.get("session", "default")
+            params = message.get("params", {})
+            if not isinstance(params, dict):
+                raise ProtocolError("'params' must be a JSON object")
+            result = self.service.call(op, session=session, **params)
+            return ok_response(request_id, self.service.wire_result(result)), False
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            return error_response(request_id, exc), False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown` (or a remote one)."""
+        try:
+            self._tcp.serve_forever(poll_interval=0.1)
+        finally:
+            self._tcp.server_close()
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread; returns the thread."""
+        thread = threading.Thread(target=self.serve_forever, name="influence-server", daemon=True)
+        thread.start()
+        return thread
+
+    def stop_async(self) -> None:
+        """Request shutdown from a handler thread (non-blocking)."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def shutdown(self, *, close_service: bool = False) -> None:
+        """Stop the listener (idempotent); optionally close the service."""
+        if not self._stopped.is_set():
+            self._stopped.set()
+            self._tcp.shutdown()
+        if close_service:
+            self.service.close()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped.is_set()
+
+    def wait_stopped(self, timeout: float | None = None) -> bool:
+        return self._stopped.wait(timeout)
+
+
+def serve(
+    service: InfluenceService, *, host: str = "127.0.0.1", port: int = 0
+) -> InfluenceServer:
+    """Convenience: build a server bound to ``(host, port)``."""
+    return InfluenceServer(service, host=host, port=port)

@@ -1,0 +1,353 @@
+"""`InfluenceService` — concurrent multi-user serving over warm engines.
+
+The service is the multi-user face of the library: it owns a registry of
+named :class:`~repro.engine.engine.InfluenceEngine` sessions that all
+share one :class:`~repro.service.pool.PoolManager` — one global pool
+byte budget, one spill directory — plus a thread pool that lets many
+clients have queries in flight at once:
+
+>>> from repro import InfluenceService, load_dataset
+>>> service = InfluenceService(pool_budget=64 << 20)
+>>> _ = service.open_session("default", load_dataset("nethept"),
+...                          model="LT", seed=7)
+>>> futures = [service.submit("maximize", k=k, epsilon=0.2) for k in (5, 10)]
+>>> [len(f.result().seeds) for f in futures]
+[5, 10]
+>>> service.close()
+
+Concurrency is *exact*: queries read immutable pool snapshots and
+top-ups extend the pure ``(seed, workers)`` RR stream under a lock, so
+any interleaving of concurrent queries returns byte-identical answers to
+the same queries run sequentially on a fresh engine.  What concurrency
+*does* share is conditioning — answers served from one pool are
+statistically correlated (the registry's ``concurrency`` column says
+which algorithms share pools).
+
+Operations are also exposed name-based (:meth:`InfluenceService.call`)
+for transport layers: the TCP server
+(:mod:`repro.service.server`) and the ``repro query`` REPL both speak
+this op vocabulary.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.engine.engine import InfluenceEngine
+from repro.engine.registry import get_algorithm, list_algorithms
+from repro.exceptions import ReproError
+from repro.service.pool import PoolManager
+from repro.service.protocol import result_to_dict
+
+
+class ServiceError(ReproError):
+    """Raised for unknown sessions/operations and service misuse."""
+
+
+#: operation vocabulary shared by the programmatic API, the TCP server,
+#: and the REPL.  ``shutdown`` is transport-level and handled by the
+#: server, not here.
+OPERATIONS = ("ping", "algorithms", "sessions", "stats", "maximize", "sweep", "estimate")
+
+
+def _opt_int(value, name: str) -> int | None:
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"{name} must be an integer, got {value!r}") from exc
+
+
+def _opt_float(value, name: str) -> float | None:
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"{name} must be a number, got {value!r}") from exc
+
+
+def _int_list(value, name: str) -> list[int]:
+    if isinstance(value, str):
+        value = [tok for tok in value.replace(",", " ").split() if tok]
+    try:
+        out = [int(v) for v in value]
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"{name} must be a list of integers, got {value!r}") from exc
+    if not out:
+        raise ServiceError(f"{name} must be non-empty")
+    return out
+
+
+class InfluenceService:
+    """Registry of named engine sessions serving concurrent queries.
+
+    Parameters
+    ----------
+    pool_budget:
+        Global byte budget across *all* sessions' RR pools (LRU eviction
+        of idle pools; see :class:`~repro.service.pool.PoolManager`).
+    spill_dir:
+        Directory for cross-restart pool persistence.  Evicted and
+        closed pools are spilled there and reattached on the next
+        session with the same stream identity.
+    max_workers:
+        Size of the thread pool behind :meth:`submit`; also the number
+        of queries that can make progress at once.
+    """
+
+    def __init__(
+        self,
+        *,
+        pool_budget: int | None = None,
+        spill_dir=None,
+        max_workers: int = 8,
+    ) -> None:
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        self.pools = PoolManager(budget_bytes=pool_budget, spill_dir=spill_dir)
+        self._engines: dict[str, InfluenceEngine] = {}
+        self._lock = threading.RLock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="influence-query"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Session registry
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        name: str,
+        graph,
+        *,
+        model="IC",
+        seed: int | None = None,
+        backend=None,
+        workers: int | None = None,
+        roots=None,
+    ) -> InfluenceEngine:
+        """Create a named engine session bound to the shared pool manager."""
+        with self._lock:
+            self._check_open()
+            if name in self._engines:
+                raise ServiceError(f"session {name!r} already exists")
+            engine = InfluenceEngine(
+                graph,
+                model=model,
+                seed=seed,
+                backend=backend,
+                workers=workers,
+                roots=roots,
+                pool_manager=self.pools,
+                session=name,
+            )
+            self._engines[name] = engine
+            return engine
+
+    def session(self, name: str = "default") -> InfluenceEngine:
+        """Look a session up by name."""
+        with self._lock:
+            engine = self._engines.get(name)
+        if engine is None:
+            raise ServiceError(
+                f"unknown session {name!r}; open sessions: {sorted(self._engines)}"
+            )
+        return engine
+
+    def close_session(self, name: str) -> None:
+        """Close one session (its pools spill when a spill dir is set)."""
+        with self._lock:
+            engine = self._engines.pop(name, None)
+        if engine is None:
+            raise ServiceError(f"unknown session {name!r}")
+        engine.close()
+
+    def sessions(self) -> dict:
+        """Summary of every open session, keyed by name."""
+        with self._lock:
+            engines = dict(self._engines)
+        out = {}
+        for name, engine in engines.items():
+            out[name] = {
+                "graph_nodes": engine.graph.n,
+                "graph_edges": engine.graph.m,
+                "model": engine.model.value,
+                "seed": engine.seed,
+                "backend": getattr(engine.backend, "name", engine.backend) or "serial",
+                "workers": engine.workers,
+                "queries": engine.stats.queries,
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    # Query surface
+    # ------------------------------------------------------------------
+    def submit(self, op: str, *, session: str = "default", **params) -> Future:
+        """Run one operation on the service's thread pool; returns a future.
+
+        This is the async-friendly entry point: callers fan out any
+        number of operations and collect futures, while the pool layer
+        guarantees the answers are byte-identical to a sequential run.
+        """
+        with self._lock:
+            self._check_open()
+            return self._executor.submit(self.call, op, session=session, **params)
+
+    def call(self, op: str, *, session: str = "default", **params):
+        """Run one named operation synchronously and return its raw result."""
+        self._check_open()
+        handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
+        if op not in OPERATIONS or handler is None:
+            raise ServiceError(f"unknown operation {op!r}; known: {OPERATIONS}")
+        return handler(session, dict(params))
+
+    def stats(self, session: str | None = None) -> dict:
+        """Service-level statistics (optionally scoped to one session)."""
+        if session is not None:
+            engine = self.session(session)
+            payload = engine.stats.as_dict()
+            payload.update(
+                {
+                    "session": session,
+                    "seed": engine.seed,
+                    "pools": {
+                        "/".join(str(p) for p in key): size
+                        for key, size in engine.pool_sizes().items()
+                    },
+                    "reattached_sets": self.pools.reattached_for(session),
+                }
+            )
+            return payload
+        with self._lock:
+            names = sorted(self._engines)
+        return {
+            "sessions": {name: self.stats(name) for name in names},
+            "pool_bytes_total": self.pools.total_bytes(),
+            "pool_budget": self.pools.budget_bytes,
+            "evictions_total": self.pools.evictions_for(None),
+        }
+
+    # ------------------------------------------------------------------
+    # Operation handlers (name-based vocabulary for transports)
+    # ------------------------------------------------------------------
+    def _op_ping(self, session: str, params: dict):
+        return {"pong": True}
+
+    def _op_algorithms(self, session: str, params: dict):
+        rows = []
+        for name in list_algorithms():
+            spec = get_algorithm(name)
+            rows.append(
+                {
+                    "name": spec.name,
+                    "engine": spec.engine_func is not None,
+                    "needs_rr_sets": spec.needs_rr_sets,
+                    "supports_backend": spec.supports_backend,
+                    "supports_horizon": spec.supports_horizon,
+                    "concurrency": spec.concurrency,
+                    "description": spec.description,
+                }
+            )
+        return rows
+
+    def _op_sessions(self, session: str, params: dict):
+        return self.sessions()
+
+    def _op_stats(self, session: str, params: dict):
+        if params.pop("all", False):
+            return self.stats(None)
+        return self.stats(session)
+
+    def _op_maximize(self, session: str, params: dict):
+        engine = self.session(session)
+        k = _opt_int(params.pop("k", None), "k")
+        if k is None:
+            raise ServiceError("maximize needs k")
+        epsilon = _opt_float(params.pop("epsilon", None), "epsilon")
+        kwargs = {
+            "epsilon": epsilon if epsilon is not None else 0.1,
+            "delta": _opt_float(params.pop("delta", None), "delta"),
+            "algorithm": str(params.pop("algorithm", "D-SSA")),
+            "model": params.pop("model", None),
+            "horizon": _opt_int(params.pop("horizon", None), "horizon"),
+            "max_samples": _opt_int(params.pop("max_samples", None), "max_samples"),
+        }
+        self._reject_unknown("maximize", params)
+        return engine.maximize(k, **kwargs)
+
+    def _op_sweep(self, session: str, params: dict):
+        engine = self.session(session)
+        ks = _int_list(params.pop("ks", ()), "ks")
+        epsilon = _opt_float(params.pop("epsilon", None), "epsilon")
+        kwargs = {
+            "epsilon": epsilon if epsilon is not None else 0.1,
+            "delta": _opt_float(params.pop("delta", None), "delta"),
+            "algorithm": str(params.pop("algorithm", "D-SSA")),
+        }
+        self._reject_unknown("sweep", params)
+        return engine.sweep(ks, **kwargs)
+
+    def _op_estimate(self, session: str, params: dict):
+        engine = self.session(session)
+        seeds = _int_list(params.pop("seeds", ()), "seeds")
+        kwargs = {
+            "samples": _opt_int(params.pop("samples", None), "samples"),
+            "model": params.pop("model", None),
+            "horizon": _opt_int(params.pop("horizon", None), "horizon"),
+        }
+        self._reject_unknown("estimate", params)
+        return engine.estimate(seeds, **kwargs)
+
+    @staticmethod
+    def _reject_unknown(op: str, params: dict) -> None:
+        if params:
+            raise ServiceError(f"{op} got unknown parameter(s) {sorted(params)}")
+
+    @staticmethod
+    def wire_result(result):
+        """JSON-able form of an operation result (for transports)."""
+        from repro.core.result import IMResult
+
+        if isinstance(result, IMResult):
+            return result_to_dict(result)
+        if isinstance(result, list) and result and isinstance(result[0], IMResult):
+            return [result_to_dict(r) for r in result]
+        return result
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("InfluenceService is closed")
+
+    def close(self, *, spill: bool = True) -> None:
+        """Drain in-flight queries, close every session, spill pools."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            engines = list(self._engines.values())
+            self._engines.clear()
+        self._executor.shutdown(wait=True)
+        errors = []
+        for engine in engines:
+            try:
+                engine.close()
+            except Exception as exc:
+                errors.append(exc)
+        try:
+            self.pools.close(spill=spill)
+        except Exception as exc:
+            errors.append(exc)
+        if errors:
+            raise errors[0]
+
+    def __enter__(self) -> "InfluenceService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,170 @@
+"""Cross-session pool persistence: spill RR pools to disk, reattach later.
+
+A session pool is the byte-exact prefix of a pure RR stream identified by
+``(graph, model, stream derivation, horizon, seed, sampler shape)``.
+That makes spilling sound: save the sets plus the sampler's stream
+position, and any later process that builds the *same* stream can serve
+the saved prefix as cache and continue sampling from set ``count``
+onward as if it had never restarted.
+
+Files are self-describing ``.npz`` archives: the flat int32 entries, the
+int64 offsets, and a JSON header holding the identity stamp and the
+sampler state.  Identity is content-addressed — the file name is a
+digest of the stamp — so reattachment never needs session names and a
+stale file for a different seed/graph can never be picked up by
+accident.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+_FORMAT_VERSION = 1
+
+
+class PoolStoreError(ReproError):
+    """Raised when a spilled pool cannot be written or read."""
+
+
+def graph_signature(graph) -> str:
+    """Content fingerprint of a CSR graph (structure + weights)."""
+    digest = hashlib.sha1()
+    digest.update(f"{graph.n}:{graph.m}:".encode())
+    for arr in (graph.out_indptr, graph.out_indices, graph.out_weights):
+        digest.update(np.ascontiguousarray(arr).tobytes())
+    return digest.hexdigest()[:16]
+
+
+def make_stamp(
+    graph,
+    *,
+    model: str,
+    stream: str,
+    horizon: int | None,
+    seed,
+    sampler,
+    roots=None,
+) -> dict | None:
+    """Identity stamp for a context's RR stream, or ``None`` if unspillable.
+
+    Unspillable streams: non-replayable (non-int) seeds, and non-uniform
+    root distributions (their benefit vectors are not fingerprinted).
+    """
+    from repro.sampling.roots import UniformRoots
+    from repro.sampling.sharded import ShardedSampler
+
+    if roots is not None and not isinstance(roots, UniformRoots):
+        return None
+    if not isinstance(seed, (int, np.integer)) or isinstance(seed, bool):
+        return None
+    if isinstance(sampler, ShardedSampler):
+        kind, workers = "sharded", int(sampler.workers)
+    else:
+        kind, workers = "plain", 1
+    return {
+        "graph_sig": graph_signature(graph),
+        "model": str(model),
+        "stream": str(stream),
+        "horizon": None if horizon is None else int(horizon),
+        "seed": int(seed),
+        "sampler_kind": kind,
+        "workers": workers,
+    }
+
+
+def stamp_digest(stamp: dict) -> str:
+    """Content address of a stamp (stable across key order)."""
+    payload = json.dumps(stamp, sort_keys=True).encode()
+    return hashlib.sha1(payload).hexdigest()[:20]
+
+
+class PoolStore:
+    """Directory of spilled pools, addressed by stream-identity stamps."""
+
+    def __init__(self, directory: "str | os.PathLike") -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, stamp: dict) -> Path:
+        return self.directory / f"pool-{stamp_digest(stamp)}.npz"
+
+    # ------------------------------------------------------------------
+    # Spill
+    # ------------------------------------------------------------------
+    def save(self, stamp: dict, collection, sampler_state: dict) -> Path:
+        """Write one pool: sets + stamp + sampler stream position.
+
+        ``collection`` is any object with ``flat_view()`` (an
+        :class:`~repro.sampling.rr_collection.RRCollection` or snapshot).
+        Writes are atomic (temp file + rename) so a crash mid-spill can
+        not leave a half-readable pool behind.
+        """
+        flat, offsets = collection.flat_view()
+        header = {
+            "format_version": _FORMAT_VERSION,
+            "stamp": stamp,
+            "count": len(offsets) - 1,
+            "sampler_state": sampler_state,
+        }
+        header_bytes = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+        path = self.path_for(stamp)
+        tmp = path.with_suffix(".tmp.npz")
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez(
+                    handle,
+                    header=header_bytes,
+                    flat=np.ascontiguousarray(flat, dtype=np.int32),
+                    offsets=np.ascontiguousarray(offsets, dtype=np.int64),
+                )
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise PoolStoreError(f"cannot spill pool to {path}: {exc}") from exc
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    # ------------------------------------------------------------------
+    # Reattach
+    # ------------------------------------------------------------------
+    def load(self, stamp: dict) -> "tuple[list[np.ndarray], dict] | None":
+        """Load the pool matching ``stamp``: ``(rr_sets, sampler_state)``.
+
+        Returns ``None`` when no file exists for the stamp.  A file whose
+        embedded stamp disagrees with the requested one (hash collision,
+        tampering, format drift) raises instead of silently serving the
+        wrong stream.
+        """
+        path = self.path_for(stamp)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as archive:
+                header = json.loads(bytes(archive["header"]).decode())
+                flat = archive["flat"]
+                offsets = archive["offsets"]
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            raise PoolStoreError(f"cannot read spilled pool {path}: {exc}") from exc
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise PoolStoreError(
+                f"{path} has format_version {header.get('format_version')!r}; "
+                f"this library reads {_FORMAT_VERSION}"
+            )
+        if header.get("stamp") != stamp:
+            raise PoolStoreError(f"{path} holds a different stream than requested")
+        count = int(header["count"])
+        if len(offsets) != count + 1:
+            raise PoolStoreError(f"{path} is corrupt: offsets do not match count")
+        sets = [flat[offsets[i] : offsets[i + 1]] for i in range(count)]
+        return sets, header["sampler_state"]
+
+    def files(self) -> "list[Path]":
+        """All spilled pools currently on disk."""
+        return sorted(self.directory.glob("pool-*.npz"))

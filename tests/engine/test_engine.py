@@ -13,8 +13,8 @@ class TestSessionLifecycle:
     def test_context_manager_closes_backends(self, small_wc_graph):
         with InfluenceEngine(small_wc_graph, model="LT", seed=1, backend="thread", workers=2) as engine:
             engine.maximize(3, epsilon=0.3)
-            contexts = list(engine._contexts.values())
-            assert all(not ctx.closed for ctx in contexts)
+            contexts = [e.ctx for e in engine.pool_manager._entries.values()]
+            assert contexts and all(not ctx.closed for ctx in contexts)
         assert engine.closed
         assert all(ctx.closed for ctx in contexts)
 

@@ -57,6 +57,46 @@ class TestRoundtrip:
         assert loaded[0].algorithm == "D-SSA"
 
 
+class TestProvenanceRoundtrip:
+    """``seed``/``backend``/``workers`` survive persistence byte-exactly
+    and default cleanly when reloading pre-provenance record files."""
+
+    def test_provenance_fields_roundtrip_byte_exact(self, tmp_path):
+        original = record("D-SSA")
+        original.seed = 2016
+        original.backend = "process"
+        original.workers = 4
+        path = save_records([original], tmp_path / "runs.json")
+        loaded = load_records(path)[0]
+        assert loaded.seed == 2016
+        assert loaded.backend == "process"
+        assert loaded.workers == 4
+        assert loaded.as_dict() == original.as_dict()
+        # byte-exact: a second save of the loaded records equals the file
+        repath = save_records([loaded], tmp_path / "runs2.json")
+        assert repath.read_bytes() == path.read_bytes()
+
+    def test_legacy_records_without_provenance_load_with_defaults(self, tmp_path):
+        path = save_records([record("SSA")], tmp_path / "legacy.json")
+        payload = json.loads(path.read_text())
+        for field in ("seed", "backend", "workers"):
+            del payload["records"][0][field]
+        path.write_text(json.dumps(payload))
+        loaded = load_records(path)[0]
+        assert loaded.seed is None
+        assert loaded.backend is None
+        assert loaded.workers is None
+        assert loaded.algorithm == "SSA"
+
+    def test_null_provenance_distinct_from_absent(self, tmp_path):
+        original = record()
+        assert original.seed is None  # explicit null round-trips too
+        path = save_records([original], tmp_path / "runs.json")
+        raw = json.loads(path.read_text())["records"][0]
+        assert raw["seed"] is None and "seed" in raw
+        assert load_records(path)[0].seed is None
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(PersistenceError):

@@ -131,6 +131,50 @@ class TestShardedSamplerBehaviour:
             ShardedSampler(small_wc_graph, "LT", workers=0)
 
 
+class TestStreamStateCapture:
+    """state_dict/load_state_dict continue streams exactly (pool spills)."""
+
+    @pytest.mark.parametrize("backend,workers", [(None, 1), ("serial", 3), ("thread", 2)])
+    def test_restored_sampler_continues_byte_exact(self, small_wc_graph, backend, workers):
+        import json
+
+        first = make_parallel_sampler(
+            small_wc_graph, "LT", 7, backend=backend, workers=workers
+        )
+        try:
+            first.sample_batch(37)
+            state = json.loads(json.dumps(first.state_dict()))  # wire-safe
+            expected = first.sample_batch(23)
+        finally:
+            first.close()
+        second = make_parallel_sampler(
+            small_wc_graph, "LT", 7, backend=backend, workers=workers
+        )
+        try:
+            second.load_state_dict(state)
+            assert second.sets_generated == 37
+            continued = second.sample_batch(23)
+        finally:
+            second.close()
+        for a, b in zip(expected, continued):
+            assert np.array_equal(a, b)
+
+    def test_state_kind_and_worker_mismatch_rejected(self, small_wc_graph):
+        plain = make_sampler(small_wc_graph, "LT", 1)
+        sharded = ShardedSampler(small_wc_graph, "LT", 2, seed=1, backend="serial")
+        try:
+            with pytest.raises((SamplingError, ValueError)):
+                plain.load_state_dict(sharded.state_dict())
+            three = ShardedSampler(small_wc_graph, "LT", 3, seed=1, backend="serial")
+            try:
+                with pytest.raises(SamplingError):
+                    three.load_state_dict(sharded.state_dict())
+            finally:
+                three.close()
+        finally:
+            sharded.close()
+
+
 class TestMakeParallelSampler:
     def test_collapses_to_plain_sampler(self, small_wc_graph):
         plain = make_parallel_sampler(small_wc_graph, "LT", seed=4)

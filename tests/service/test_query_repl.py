@@ -1,0 +1,79 @@
+"""`repro query` REPL process behaviour: exit codes, clean errors, spill.
+
+These run the real CLI in subprocesses with piped stdin — the regression
+surface is the *process* contract (exit status, stderr, no tracebacks),
+which in-process tests cannot capture faithfully.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+QUERY = [sys.executable, "-m", "repro", "query", "--dataset", "nethept", "--scale", "0.2", "--seed", "11"]
+
+
+def _run(args, stdin_text):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        args, input=stdin_text, capture_output=True, text=True, env=env, timeout=300
+    )
+
+
+class TestPipedStdin:
+    def test_valid_script_exits_zero(self):
+        proc = _run(QUERY, "maximize k=3 epsilon=0.3\nstats\nquit\n")
+        assert proc.returncode == 0, proc.stderr
+        assert "seeds:" in proc.stdout
+        assert "pool_bytes=" in proc.stdout and "evictions=" in proc.stdout
+        assert "Traceback" not in proc.stderr
+
+    def test_malformed_command_exits_nonzero_without_traceback(self):
+        proc = _run(QUERY, "bogus nonsense\n")
+        assert proc.returncode == 1
+        assert "error:" in proc.stderr
+        assert "Traceback" not in proc.stderr
+        assert "Traceback" not in proc.stdout
+
+    def test_bad_option_value_exits_nonzero(self):
+        proc = _run(QUERY, "maximize k=notanumber\n")
+        assert proc.returncode == 1
+        assert "error:" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_missing_required_option_exits_nonzero(self):
+        proc = _run(QUERY, "maximize epsilon=0.3\n")
+        assert proc.returncode == 1
+        assert "maximize needs k" in proc.stderr
+
+    def test_eof_without_quit_is_a_clean_end(self):
+        proc = _run(QUERY, "maximize k=3 epsilon=0.3\n")  # no quit line
+        assert proc.returncode == 0, proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_connect_refused_exits_nonzero_cleanly(self):
+        proc = _run(
+            QUERY + ["--connect", "127.0.0.1:1"],  # nothing listens on port 1
+            "ping\n",
+        )
+        assert proc.returncode == 1
+        assert "error:" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+
+class TestSpillAcrossProcesses:
+    def test_reattached_pool_serves_first_query_from_cache(self, tmp_path):
+        spill = ["--spill-dir", str(tmp_path)]
+        first = _run(QUERY + spill, "maximize k=3 epsilon=0.3\nquit\n")
+        assert first.returncode == 0, first.stderr
+        assert "rr_sampled=0" not in first.stdout  # the cold run really sampled
+        second = _run(QUERY + spill, "maximize k=3 epsilon=0.3\nstats\nquit\n")
+        assert second.returncode == 0, second.stderr
+        assert "rr_sampled=0" in second.stdout
+        assert "hit_rate=100.0%" in second.stdout
+        # byte-identical seeds across the restart
+        first_seeds = [l for l in first.stdout.splitlines() if "seeds:" in l]
+        second_seeds = [l for l in second.stdout.splitlines() if "seeds:" in l]
+        assert first_seeds == second_seeds

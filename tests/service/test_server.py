@@ -1,0 +1,121 @@
+"""TCP serving: protocol correctness, concurrent clients, clean errors."""
+
+import socket
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.dssa import dssa
+from repro.service import (
+    InfluenceServer,
+    InfluenceService,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.protocol import decode_line, encode_line
+
+SEED = 2016
+EPS = 0.25
+
+
+@pytest.fixture
+def served(small_wc_graph):
+    """A service with one session, served on an ephemeral port."""
+    service = InfluenceService(max_workers=4)
+    service.open_session("default", small_wc_graph, model="LT", seed=SEED)
+    server = InfluenceServer(service, port=0)
+    server.start_background()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        service.close()
+
+
+class TestProtocol:
+    def test_ping_and_maximize_roundtrip(self, served, small_wc_graph):
+        host, port = served.address
+        with ServiceClient(host, port) as client:
+            assert client.ping()
+            wire = client.call("maximize", k=4, epsilon=EPS)
+        cold = dssa(small_wc_graph, 4, epsilon=EPS, model="LT", seed=SEED)
+        assert wire["seeds"] == cold.seeds
+        assert wire["samples"] == cold.samples
+        assert wire["algorithm"] == "D-SSA"
+
+    def test_sweep_estimate_stats_and_sessions(self, served):
+        host, port = served.address
+        with ServiceClient(host, port) as client:
+            sweep = client.call("sweep", ks=[2, 4], epsilon=EPS)
+            assert [r["k"] for r in sweep] == [2, 4]
+            estimate = client.call("estimate", seeds=[1, 2], samples=256)
+            assert isinstance(estimate, float)
+            stats = client.call("stats")
+            assert stats["queries"] == 3 and stats["hit_rate"] > 0
+            sessions = client.call("sessions")
+            assert "default" in sessions
+            algos = client.call("algorithms")
+            assert {"D-SSA", "SSA", "IMM"} <= {a["name"] for a in algos}
+
+    def test_server_errors_are_typed_not_fatal(self, served):
+        host, port = served.address
+        with ServiceClient(host, port) as client:
+            with pytest.raises(ServiceError, match="maximize needs k"):
+                client.call("maximize")
+            with pytest.raises(ServiceError, match="unknown operation"):
+                client.call("frobnicate")
+            with pytest.raises(ServiceError, match="unknown session"):
+                client.call("maximize", session="nope", k=3)
+            assert client.ping()  # the connection survived all of that
+
+    def test_malformed_json_gets_error_response(self, served):
+        host, port = served.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"this is not json\n")
+            response = decode_line(sock.makefile("rb").readline())
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ProtocolError"
+
+    def test_request_ids_echo_back(self, served):
+        host, port = served.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(encode_line({"id": "abc-7", "op": "ping"}))
+            response = decode_line(sock.makefile("rb").readline())
+        assert response["id"] == "abc-7" and response["ok"]
+
+
+class TestConcurrentClients:
+    def test_parallel_clients_get_byte_identical_answers(self, served, small_wc_graph):
+        host, port = served.address
+        cold = dssa(small_wc_graph, 4, epsilon=EPS, model="LT", seed=SEED)
+
+        def one_client(_):
+            with ServiceClient(host, port) as client:
+                return client.call("maximize", k=4, epsilon=EPS)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            answers = list(pool.map(one_client, range(6)))
+        for wire in answers:
+            assert wire["seeds"] == cold.seeds
+            assert wire["samples"] == cold.samples
+        with ServiceClient(host, port) as client:
+            assert client.call("stats")["hit_rate"] > 0
+
+
+class TestShutdown:
+    def test_remote_shutdown_stops_the_listener(self, small_wc_graph):
+        service = InfluenceService()
+        service.open_session("default", small_wc_graph, model="LT", seed=SEED)
+        server = InfluenceServer(service, port=0)
+        thread = server.start_background()
+        host, port = server.address
+        try:
+            with ServiceClient(host, port) as client:
+                client.shutdown_server()
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            with pytest.raises(ServiceError):
+                ServiceClient(host, port, timeout=2).ping()
+        finally:
+            server.shutdown()
+            service.close()

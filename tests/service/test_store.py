@@ -1,0 +1,149 @@
+"""Pool spill / reattach: warmup that survives restarts and evictions."""
+
+import numpy as np
+import pytest
+
+from repro.core.dssa import dssa
+from repro.engine import InfluenceEngine
+from repro.sampling.rr_collection import RRCollection
+from repro.service.store import PoolStore, PoolStoreError, graph_signature, make_stamp
+
+SEED = 2016
+EPS = 0.25
+
+
+class TestStampsAndSignatures:
+    def test_signature_is_stable_and_content_sensitive(self, small_wc_graph, er_graph):
+        assert graph_signature(small_wc_graph) == graph_signature(small_wc_graph)
+        assert graph_signature(small_wc_graph) != graph_signature(er_graph)
+
+    def test_generator_seeds_are_not_spillable(self, small_wc_graph):
+        from repro.sampling.base import make_sampler
+
+        sampler = make_sampler(small_wc_graph, "LT", 1)
+        stamp = make_stamp(
+            small_wc_graph, model="LT", stream="direct", horizon=None,
+            seed=np.random.default_rng(1), sampler=sampler,
+        )
+        assert stamp is None
+
+    def test_int_seed_uniform_roots_are_spillable(self, small_wc_graph):
+        from repro.sampling.base import make_sampler
+
+        sampler = make_sampler(small_wc_graph, "LT", 1)
+        stamp = make_stamp(
+            small_wc_graph, model="LT", stream="direct", horizon=None,
+            seed=11, sampler=sampler,
+        )
+        assert stamp is not None and stamp["sampler_kind"] == "plain"
+
+
+class TestStoreRoundtrip:
+    def _stamp(self, graph, seed=SEED):
+        from repro.sampling.base import make_sampler
+
+        return make_stamp(
+            graph, model="LT", stream="direct", horizon=None,
+            seed=seed, sampler=make_sampler(graph, "LT", seed),
+        )
+
+    def test_sets_roundtrip_byte_exact(self, small_wc_graph, tmp_path):
+        store = PoolStore(tmp_path)
+        pool = RRCollection(small_wc_graph.n)
+        rng = np.random.default_rng(0)
+        pool.extend([rng.integers(0, small_wc_graph.n, size=rng.integers(0, 9)) for _ in range(57)])
+        stamp = self._stamp(small_wc_graph)
+        store.save(stamp, pool, {"kind": "plain", "rng": {}, "sets_generated": 57, "entries_generated": 0})
+        sets, state = store.load(stamp)
+        assert len(sets) == 57
+        for i, rr in enumerate(sets):
+            assert np.array_equal(rr, pool[i])
+        assert state["sets_generated"] == 57
+
+    def test_missing_stamp_loads_none(self, small_wc_graph, tmp_path):
+        store = PoolStore(tmp_path)
+        assert store.load(self._stamp(small_wc_graph)) is None
+
+    def test_different_seed_is_a_different_file(self, small_wc_graph, tmp_path):
+        store = PoolStore(tmp_path)
+        a, b = self._stamp(small_wc_graph, 1), self._stamp(small_wc_graph, 2)
+        assert store.path_for(a) != store.path_for(b)
+
+    def test_corrupt_file_raises_cleanly(self, small_wc_graph, tmp_path):
+        store = PoolStore(tmp_path)
+        stamp = self._stamp(small_wc_graph)
+        store.path_for(stamp).write_bytes(b"not an npz")
+        with pytest.raises(PoolStoreError):
+            store.load(stamp)
+
+
+class TestEngineReattach:
+    """The acceptance path: spill in one session, warm-start the next."""
+
+    @pytest.mark.parametrize("backend,workers", [(None, None), ("thread", 2)])
+    def test_first_query_after_reattach_is_pure_cache(
+        self, small_wc_graph, tmp_path, backend, workers
+    ):
+        with InfluenceEngine(
+            small_wc_graph, model="LT", seed=SEED, spill_dir=tmp_path,
+            backend=backend, workers=workers,
+        ) as first:
+            warm = first.maximize(4, epsilon=EPS)
+        with InfluenceEngine(
+            small_wc_graph, model="LT", seed=SEED, spill_dir=tmp_path,
+            backend=backend, workers=workers,
+        ) as second:
+            replay = second.maximize(4, epsilon=EPS)
+            assert second.stats.rr_sampled == 0
+            assert second.stats.hit_rate == 1.0
+            assert second.pool_manager.reattached_for(second.session) > 0
+            # over-demand continues the spilled stream byte-exactly
+            bigger = second.maximize(8, epsilon=0.2)
+        assert replay.seeds == warm.seeds and replay.samples == warm.samples
+        cold = dssa(
+            small_wc_graph, 8, epsilon=0.2, model="LT", seed=SEED,
+            backend=backend, workers=workers,
+        )
+        assert bigger.seeds == cold.seeds and bigger.samples == cold.samples
+
+    def test_reattach_ignores_other_seeds_and_graphs(
+        self, small_wc_graph, er_graph, tmp_path
+    ):
+        with InfluenceEngine(small_wc_graph, model="LT", seed=SEED, spill_dir=tmp_path) as e:
+            e.maximize(4, epsilon=EPS)
+        # different seed: no reattach, still correct
+        with InfluenceEngine(small_wc_graph, model="LT", seed=7, spill_dir=tmp_path) as e:
+            r = e.maximize(4, epsilon=EPS)
+            assert e.stats.rr_sampled > 0
+        assert r.seeds == dssa(small_wc_graph, 4, epsilon=EPS, model="LT", seed=7).seeds
+        # different graph: no reattach either
+        with InfluenceEngine(er_graph, model="LT", seed=SEED, spill_dir=tmp_path) as e:
+            e.maximize(4, epsilon=EPS)
+            assert e.pool_manager.reattached_for(e.session) == 0
+
+    def test_eviction_spills_and_next_use_reattaches(self, small_wc_graph, tmp_path):
+        """Budget eviction + spill dir = demotion to disk, not loss."""
+        with InfluenceEngine(
+            small_wc_graph, model="LT", seed=SEED,
+            pool_budget=1_000, spill_dir=tmp_path,  # evicts after every query
+        ) as engine:
+            first = engine.maximize(4, epsilon=EPS)
+            assert engine.stats.evictions >= 1
+            assert engine.pool_sizes() == {}
+            again = engine.maximize(4, epsilon=EPS)
+            # the evicted pool came back from disk: no resampling
+            assert engine.stats.rr_sampled == first.optimization_samples
+            assert engine.pool_manager.reattached_for(engine.session) > 0
+        assert again.seeds == first.seeds
+
+    def test_split_stream_pools_spill_too(self, small_wc_graph, tmp_path):
+        from repro.core.ssa import ssa
+
+        with InfluenceEngine(small_wc_graph, model="LT", seed=SEED, spill_dir=tmp_path) as e:
+            warm = e.maximize(4, epsilon=EPS, algorithm="SSA")
+        with InfluenceEngine(small_wc_graph, model="LT", seed=SEED, spill_dir=tmp_path) as e:
+            replay = e.maximize(4, epsilon=EPS, algorithm="SSA")
+            assert e.stats.rr_sampled == 0  # optimization pool fully reattached
+        cold = ssa(small_wc_graph, 4, epsilon=EPS, model="LT", seed=SEED)
+        assert replay.seeds == warm.seeds == cold.seeds
+        assert replay.samples == cold.samples
