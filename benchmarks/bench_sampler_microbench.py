@@ -1,60 +1,342 @@
-"""Micro-benchmarks of the RIS substrate.
+"""Micro-benchmarks of the RIS substrate, kernel by kernel.
 
 RR-set generation dominates every algorithm's runtime, so its throughput
 (sets/second) and the mean RR-set size per (dataset, model) are the
 numbers that explain the macro benchmarks.  Mean RR-set size also
 determines the per-sample memory in the Figs. 6-7 model.
+
+Since the kernel subsystem landed, the hot loop itself is pluggable
+(:mod:`repro.sampling.kernels`), and this benchmark measures it two
+ways:
+
+* **pytest mode** (``pytest benchmarks/bench_sampler_microbench.py``) —
+  the historical per-(dataset, model) throughput benchmarks, now
+  parametrized over kernels, plus a smoke run of the kernel matrix;
+* **script mode** (``python benchmarks/bench_sampler_microbench.py``) —
+  the full scalar-vs-vectorized matrix over workloads × backends:
+  sets/sec per cell, speedup vs the scalar kernel on the same backend, a
+  within-kernel byte-identity check across backends, and a
+  machine-readable ``BENCH_sampler.json`` that CI's ``perf`` job gates
+  against ``benchmarks/baselines/`` (see
+  ``benchmarks/check_perf_regression.py``).
+
+The workload matrix deliberately spans both cascade regimes: under the
+paper's weighted-cascade weights RR sets are small (a handful of nodes —
+frontier-at-once batching can only tie the scalar loop), while constant
+edge probabilities put IC in its viral regime, where frontiers are wide
+and the vectorized kernel wins by multiples.  Absolute sets/sec are
+machine-specific; the committed baseline gates on the *relative*
+speedups, which are not.
 """
 
 from __future__ import annotations
 
-import pytest
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
 
-from repro.datasets.synthetic import load_dataset
-from repro.sampling.base import make_sampler
-from repro.utils.tables import format_table
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if __package__ in (None, ""):  # executed as a script, not collected by pytest
+    sys.path.insert(0, str(_REPO_ROOT))
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+import numpy as np
 
 from benchmarks._common import BENCH_SCALE, write_report
 
 _BATCH = 2000
 
 
-@pytest.mark.parametrize("model", ["LT", "IC"])
-@pytest.mark.parametrize("dataset", ["nethept", "twitter"])
-def test_bench_rr_generation(benchmark, dataset, model):
-    graph = load_dataset(dataset, scale=BENCH_SCALE)
-    sampler = make_sampler(graph, model, seed=1)
-    benchmark.pedantic(sampler.sample_batch, args=(_BATCH,), rounds=2, iterations=1)
+# ----------------------------------------------------------------------
+# Workload matrix (script mode and the pytest smoke share it)
+# ----------------------------------------------------------------------
+#: (name, dataset, weighting, model, timed sets).  ``weighting`` is the
+#: paper's weighted cascade (None) or a constant edge probability —
+#: constant-p IC is the viral regime where frontiers get wide.
+WORKLOADS = (
+    ("nethept-wc", "nethept", None, "IC", 2000),
+    ("nethept-wc", "nethept", None, "LT", 2000),
+    ("twitter-wc", "twitter", None, "IC", 2000),
+    ("nethept-p0.3", "nethept", 0.3, "IC", 1000),
+    ("twitter-p0.05", "twitter", 0.05, "IC", 300),
+)
+
+KERNEL_NAMES = ("scalar", "vectorized")
 
 
-def test_rr_size_report(benchmark):
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+def _load_workload(dataset: str, weighting, scale: float):
+    from repro.datasets.synthetic import load_dataset
+    from repro.graph.weights import assign_constant_weights
+
+    graph = load_dataset(dataset, scale=scale)
+    if weighting is not None:
+        graph = assign_constant_weights(graph, weighting)
+    return graph
+
+
+def _make(graph, model, kernel, backend, workers, seed):
+    from repro.sampling.base import make_sampler
+    from repro.sampling.sharded import ShardedSampler
+
+    if backend == "single":
+        return make_sampler(graph, model, seed=seed, kernel=kernel)
+    return ShardedSampler(
+        graph, model, workers, seed=seed, backend=backend, kernel=kernel
+    )
+
+
+def _time_batch(sampler, sets: int, *, warmup: int) -> float:
+    sampler.sample_batch(warmup)  # pools, caches, worker spin-up off the clock
+    start = time.perf_counter()
+    sampler.sample_batch(sets)
+    return time.perf_counter() - start
+
+
+def run_matrix(args: argparse.Namespace) -> dict:
+    """Measure the kernel × backend matrix; returns the JSON payload."""
+    cpus = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count()
+    )
     rows = []
-    for dataset in ("nethept", "netphy", "dblp", "twitter"):
-        graph = load_dataset(dataset, scale=BENCH_SCALE)
-        for model in ("LT", "IC"):
-            sampler = make_sampler(graph, model, seed=2)
-            sampler.sample_batch(_BATCH)
-            mean_size = sampler.entries_generated / sampler.sets_generated
-            rows.append([dataset, model, graph.n, graph.m, round(mean_size, 2)])
-    write_report(
-        "sampler_rr_sizes",
-        format_table(
-            ["dataset", "model", "n", "m", "mean RR-set size"],
-            rows,
-            title=f"Mean RR-set sizes ({_BATCH} sets per cell)",
+    speedups: dict[str, dict] = {}
+    for name, dataset, weighting, model, sets in WORKLOADS:
+        if args.smoke:
+            sets = max(50, sets // 10)
+        graph = _load_workload(dataset, weighting, args.scale)
+        for backend in args.backends:
+            scalar_rate = None
+            for kernel in KERNEL_NAMES:
+                sampler = _make(graph, model, kernel, backend, args.workers, args.seed)
+                try:
+                    seconds = _time_batch(sampler, sets, warmup=max(20, sets // 10))
+                    mean_size = sampler.entries_generated / sampler.sets_generated
+                finally:
+                    sampler.close()
+                rate = sets / seconds
+                if kernel == "scalar":
+                    scalar_rate = rate
+                speedup = rate / scalar_rate
+                cell = f"{name}/{model}/{backend}"
+                speedups.setdefault(cell, {})[kernel] = round(speedup, 3)
+                rows.append(
+                    {
+                        "workload": name,
+                        "dataset": dataset,
+                        "weighting": "wc" if weighting is None else f"p={weighting}",
+                        "model": model,
+                        "kernel": kernel,
+                        "backend": backend,
+                        "workers": 1 if backend == "single" else args.workers,
+                        "sets": sets,
+                        "seconds": round(seconds, 4),
+                        "sets_per_sec": round(rate, 1),
+                        "mean_rr_size": round(mean_size, 2),
+                        "speedup_vs_scalar": round(speedup, 3),
+                    }
+                )
+                print(
+                    f"  {name:>14} {model} {backend:>7} {kernel:>10}: "
+                    f"{rate:9.1f} sets/s ({speedup:5.2f}x scalar)",
+                    flush=True,
+                )
+    identity = _byte_identity_check(args)
+    return {
+        "schema": "repro-bench-sampler/1",
+        "generated_by": "benchmarks/bench_sampler_microbench.py",
+        "config": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "workers": args.workers,
+            "backends": list(args.backends),
+            "smoke": bool(args.smoke),
+            "cpus": cpus,
+        },
+        "rows": rows,
+        "speedups": speedups,
+        "byte_identity_within_kernel": identity,
+    }
+
+
+def _byte_identity_check(args: argparse.Namespace) -> dict:
+    """Same (seed, workers) on two backends must agree byte-for-byte,
+    separately under each kernel — the stream contract this benchmark's
+    numbers are only meaningful under."""
+    from repro.sampling.sharded import ShardedSampler
+
+    graph = _load_workload("nethept", None, args.scale)
+    verdict = {}
+    for kernel in KERNEL_NAMES:
+        batches = {}
+        for backend in ("serial", "thread"):
+            sampler = ShardedSampler(
+                graph, "IC", 3, seed=args.seed, backend=backend, kernel=kernel
+            )
+            try:
+                batches[backend] = sampler.sample_batch(400)
+            finally:
+                sampler.close()
+        verdict[kernel] = all(
+            np.array_equal(a, b)
+            for a, b in zip(batches["serial"], batches["thread"])
+        )
+    return verdict
+
+
+def render_report(payload: dict) -> str:
+    from repro.utils.tables import format_table
+
+    table_rows = [
+        [
+            r["workload"],
+            r["model"],
+            r["backend"],
+            r["kernel"],
+            r["mean_rr_size"],
+            r["sets_per_sec"],
+            f"{r['speedup_vs_scalar']:.2f}x",
+        ]
+        for r in payload["rows"]
+    ]
+    config = payload["config"]
+    report = format_table(
+        ["workload", "model", "backend", "kernel", "mean RR size", "sets/s", "vs scalar"],
+        table_rows,
+        title=(
+            f"Sampler kernel microbenchmark (scale={config['scale']}, "
+            f"workers={config['workers']}, {config['cpus']} CPU(s) visible)"
         ),
     )
-    assert all(row[4] >= 1.0 for row in rows)
+    identity = payload["byte_identity_within_kernel"]
+    report += (
+        "\nwithin-kernel byte-identity across backends: "
+        + ", ".join(f"{k}={'OK' if v else 'MISMATCH'}" for k, v in identity.items())
+    )
+    report += (
+        "\nnote: wc workloads have tiny RR sets (per-step numpy overhead bounds "
+        "the vectorized kernel near 1x); constant-p IC is the viral regime the "
+        "frontier-at-once kernel exists for."
+    )
+    return report
 
 
-def test_bench_max_coverage(benchmark):
-    """Greedy max-coverage cost on a realistic pool (k=50, 20k RR sets)."""
-    from repro.core.max_coverage import max_coverage
-    from repro.sampling.rr_collection import RRCollection
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    # Full stand-in sizes by default (the macro benches' BENCH_SCALE knob
+    # shrinks figure sweeps; the kernel matrix wants nethept-scale graphs).
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument(
+        "--backends", nargs="+", default=["single", "thread"],
+        choices=["single", "serial", "thread", "process"],
+        help="'single' is a plain (unsharded) sampler; the rest are "
+        "ShardedSampler execution backends",
+    )
+    parser.add_argument("--workers", type=int, default=4,
+                        help="workers for sharded backends")
+    parser.add_argument(
+        "--json", default=str(_REPO_ROOT / "BENCH_sampler.json"),
+        metavar="PATH", help="machine-readable output (the CI perf artifact)",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="10x fewer sets per cell (CI tier / quick checks)")
+    return parser
 
-    graph = load_dataset("twitter", scale=BENCH_SCALE)
-    sampler = make_sampler(graph, "LT", seed=3)
-    pool = RRCollection(graph.n)
-    pool.extend(sampler.sample_batch(20_000))
-    benchmark.pedantic(max_coverage, args=(pool, 50), rounds=2, iterations=1)
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    print(
+        f"sampler kernel matrix: backends={args.backends}, "
+        f"workers={args.workers}, scale={args.scale}",
+        flush=True,
+    )
+    payload = run_matrix(args)
+    write_report("sampler_kernels", render_report(payload))
+    json_path = Path(args.json)
+    json_path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"[bench json written to {json_path}]")
+    if not all(payload["byte_identity_within_kernel"].values()):
+        print("FAIL: backend swap changed a kernel's stream", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Pytest mode
+# ----------------------------------------------------------------------
+try:
+    import pytest
+except ImportError:  # script mode without pytest installed
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.parametrize("kernel", KERNEL_NAMES)
+    @pytest.mark.parametrize("model", ["LT", "IC"])
+    @pytest.mark.parametrize("dataset", ["nethept", "twitter"])
+    def test_bench_rr_generation(benchmark, dataset, model, kernel):
+        from repro.datasets.synthetic import load_dataset
+        from repro.sampling.base import make_sampler
+
+        graph = load_dataset(dataset, scale=BENCH_SCALE)
+        sampler = make_sampler(graph, model, seed=1, kernel=kernel)
+        benchmark.pedantic(sampler.sample_batch, args=(_BATCH,), rounds=2, iterations=1)
+
+    def test_kernel_matrix_smoke(benchmark, tmp_path):
+        """The script-mode matrix, miniaturized: runs end to end, writes
+        the report, and the vectorized kernel must beat scalar in the
+        viral-regime cell on the single backend."""
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        args = build_parser().parse_args(
+            ["--smoke", "--backends", "single", "--json", str(tmp_path / "bench.json")]
+        )
+        payload = run_matrix(args)
+        write_report("sampler_kernels", render_report(payload))
+        assert all(payload["byte_identity_within_kernel"].values())
+        viral = payload["speedups"]["twitter-p0.05/IC/single"]["vectorized"]
+        assert viral > 1.5, f"vectorized kernel only {viral}x scalar in the viral regime"
+
+    def test_rr_size_report(benchmark):
+        from repro.datasets.synthetic import load_dataset
+        from repro.sampling.base import make_sampler
+        from repro.utils.tables import format_table
+
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        rows = []
+        for dataset in ("nethept", "netphy", "dblp", "twitter"):
+            graph = load_dataset(dataset, scale=BENCH_SCALE)
+            for model in ("LT", "IC"):
+                sampler = make_sampler(graph, model, seed=2)
+                sampler.sample_batch(_BATCH)
+                mean_size = sampler.entries_generated / sampler.sets_generated
+                rows.append([dataset, model, graph.n, graph.m, round(mean_size, 2)])
+        write_report(
+            "sampler_rr_sizes",
+            format_table(
+                ["dataset", "model", "n", "m", "mean RR-set size"],
+                rows,
+                title=f"Mean RR-set sizes ({_BATCH} sets per cell)",
+            ),
+        )
+        assert all(row[4] >= 1.0 for row in rows)
+
+    def test_bench_max_coverage(benchmark):
+        """Greedy max-coverage cost on a realistic pool (k=50, 20k RR sets)."""
+        from repro.core.max_coverage import max_coverage
+        from repro.datasets.synthetic import load_dataset
+        from repro.sampling.base import make_sampler
+        from repro.sampling.rr_collection import RRCollection
+
+        graph = load_dataset("twitter", scale=BENCH_SCALE)
+        sampler = make_sampler(graph, "LT", seed=3)
+        pool = RRCollection(graph.n)
+        pool.extend(sampler.sample_batch(20_000))
+        benchmark.pedantic(max_coverage, args=(pool, 50), rounds=2, iterations=1)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

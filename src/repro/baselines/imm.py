@@ -145,6 +145,7 @@ def imm_on_context(
         "max_samples",
         "backend",
         "workers",
+        "kernel",
     ),
 )
 def imm(
@@ -159,6 +160,7 @@ def imm(
     max_samples: int | None = None,
     backend: "str | ExecutionBackend | None" = None,
     workers: int | None = None,
+    kernel=None,
 ) -> IMResult:
     """Run IMM and return a ``(1-1/e-ε)``-approximate seed set w.h.p.
 
@@ -169,7 +171,8 @@ def imm(
     queries.
     """
     ctx = SamplingContext(
-        graph, model, seed=seed, roots=roots, backend=backend, workers=workers
+        graph, model, seed=seed, roots=roots, backend=backend, workers=workers,
+        kernel=kernel,
     )
     try:
         return imm_on_context(

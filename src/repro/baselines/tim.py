@@ -146,8 +146,13 @@ def tim_on_context(
     )
 
 
-def _one_shot(graph, k, *, refine, epsilon, delta, model, seed, max_samples, backend, workers):
-    ctx = SamplingContext(graph, model, seed=seed, backend=backend, workers=workers)
+def _one_shot(
+    graph, k, *, refine, epsilon, delta, model, seed, max_samples, backend, workers,
+    kernel,
+):
+    ctx = SamplingContext(
+        graph, model, seed=seed, backend=backend, workers=workers, kernel=kernel
+    )
     try:
         return tim_on_context(
             ctx, k, epsilon=epsilon, delta=delta, max_samples=max_samples, refine=refine
@@ -161,7 +166,9 @@ def tim_plus_on_context(ctx, k, **kwargs) -> IMResult:
     return tim_on_context(ctx, k, refine=True, **kwargs)
 
 
-_TIM_ACCEPTS = ("epsilon", "delta", "model", "seed", "max_samples", "backend", "workers")
+_TIM_ACCEPTS = (
+    "epsilon", "delta", "model", "seed", "max_samples", "backend", "workers", "kernel"
+)
 
 
 @register_algorithm(
@@ -186,11 +193,13 @@ def tim(
     max_samples: int | None = None,
     backend: "str | ExecutionBackend | None" = None,
     workers: int | None = None,
+    kernel=None,
 ) -> IMResult:
     """TIM: KPT estimation, then one-shot RIS at ``θ = λ/KPT``."""
     return _one_shot(
         graph, k, refine=False, epsilon=epsilon, delta=delta, model=model,
         seed=seed, max_samples=max_samples, backend=backend, workers=workers,
+        kernel=kernel,
     )
 
 
@@ -216,9 +225,11 @@ def tim_plus(
     max_samples: int | None = None,
     backend: "str | ExecutionBackend | None" = None,
     workers: int | None = None,
+    kernel=None,
 ) -> IMResult:
     """TIM+: TIM with the intermediate KPT refinement step."""
     return _one_shot(
         graph, k, refine=True, epsilon=epsilon, delta=delta, model=model,
         seed=seed, max_samples=max_samples, backend=backend, workers=workers,
+        kernel=kernel,
     )

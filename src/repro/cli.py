@@ -36,6 +36,7 @@ from repro.experiments.report import render_comparison
 from repro.experiments.runner import ALGORITHMS, evaluate_quality, run_algorithm
 from repro.graph.statistics import compute_stats
 from repro.sampling.backends import BACKENDS
+from repro.sampling.kernels import KERNELS
 from repro.service import (
     InfluenceServer,
     InfluenceService,
@@ -85,6 +86,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         dataset=args.dataset,
         backend=args.backend,
         workers=args.workers,
+        kernel=args.kernel,
     )
     if args.quality:
         evaluate_quality(record, graph, simulations=args.quality_sims, seed=args.seed)
@@ -106,6 +108,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             dataset=args.dataset,
             backend=args.backend,
             workers=args.workers,
+            kernel=args.kernel,
         )
         if args.quality:
             evaluate_quality(record, graph, simulations=args.quality_sims, seed=args.seed)
@@ -180,13 +183,14 @@ def _render_algorithm_rows(rows: "list[dict]") -> str:
             "yes" if r["needs_rr_sets"] else "no",
             "yes" if r["supports_backend"] else "-",
             "yes" if r["supports_horizon"] else "-",
+            "yes" if r.get("supports_kernel") else "-",
             r["concurrency"],
             r["description"],
         ]
         for r in rows
     ]
     return format_table(
-        ["algorithm", "engine reuse", "RR sets", "backends", "horizon", "concurrency", "description"],
+        ["algorithm", "engine reuse", "RR sets", "backends", "horizon", "kernels", "concurrency", "description"],
         table_rows,
         title="Registered influence-maximization algorithms",
     )
@@ -322,10 +326,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
             seed=args.seed,
             backend=args.backend,
             workers=args.workers,
+            kernel=args.kernel,
         )
         print(
             f"engine session: {args.dataset} (n={graph.n}, m={graph.m}), "
-            f"model={args.model}, seed={engine.seed}, backend={args.backend}"
+            f"model={args.model}, seed={engine.seed}, backend={args.backend}, "
+            f"kernel={engine.kernel.name}"
         )
 
         def call(op, **params):
@@ -352,6 +358,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             backend=args.backend,
             workers=args.workers,
+            kernel=args.kernel,
         )
         server = InfluenceServer(service, host=args.host, port=args.port)
         host, port = server.address
@@ -429,6 +436,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="parallel sampling workers (>1 shards the RR stream; "
             "defaults to the CPU count when a parallel backend is chosen)",
         )
+        p.add_argument(
+            "--kernel",
+            default=None,
+            choices=sorted(KERNELS),
+            help="reverse-sampling kernel: 'scalar' (historical stream, "
+            "default) or 'vectorized' (frontier-at-once numpy BFS; "
+            "different RNG draw order, same distribution)",
+        )
 
     p_run = sub.add_parser("run", help="run one algorithm")
     p_run.add_argument("algorithm", choices=list(ALGORITHMS))
@@ -458,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--seed", type=int, default=7)
     p_query.add_argument("--backend", default="serial", choices=sorted(BACKENDS))
     p_query.add_argument("--workers", type=int, default=None)
+    p_query.add_argument("--kernel", default=None, choices=sorted(KERNELS))
     p_query.add_argument(
         "--connect",
         metavar="HOST:PORT",
@@ -509,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=7)
     p_serve.add_argument("--backend", default="serial", choices=sorted(BACKENDS))
     p_serve.add_argument("--workers", type=int, default=None)
+    p_serve.add_argument("--kernel", default=None, choices=sorted(KERNELS))
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument(
         "--port", type=int, default=8642, help="TCP port (0 picks a free one)"

@@ -181,6 +181,7 @@ def dssa_on_context(
         "horizon",
         "backend",
         "workers",
+        "kernel",
     ),
 )
 def dssa(
@@ -196,6 +197,7 @@ def dssa(
     horizon: int | None = None,
     backend: "str | ExecutionBackend | None" = None,
     workers: int | None = None,
+    kernel=None,
 ) -> IMResult:
     """Run D-SSA and return a ``(1-1/e-ε)``-approximate seed set w.h.p.
 
@@ -219,6 +221,7 @@ def dssa(
         horizon=horizon,
         backend=backend,
         workers=workers,
+        kernel=kernel,
     )
     try:
         return dssa_on_context(

@@ -171,6 +171,7 @@ def ssa_on_context(
         "horizon",
         "backend",
         "workers",
+        "kernel",
         "split",
     ),
 )
@@ -188,6 +189,7 @@ def ssa(
     horizon: int | None = None,
     backend: "str | ExecutionBackend | None" = None,
     workers: int | None = None,
+    kernel=None,
 ) -> IMResult:
     """Run SSA and return a ``(1-1/e-ε)``-approximate seed set w.h.p.
 
@@ -237,6 +239,7 @@ def ssa(
         horizon=horizon,
         backend=backend,
         workers=workers,
+        kernel=kernel,
     )
     try:
         return ssa_on_context(

@@ -47,6 +47,10 @@ class SamplingContext:
         seeded with ``spawn_rngs(seed, 2)[0]`` and each query gets a
         fresh verification sampler derived exactly as a cold ``ssa``
         call would derive it.
+    kernel:
+        Reverse-sampling kernel (see :mod:`repro.sampling.kernels`);
+        defines the stream's ``stream_id``, shared by the main sampler,
+        the pool, and every verification sampler the context derives.
     """
 
     def __init__(
@@ -60,6 +64,7 @@ class SamplingContext:
         horizon: int | None = None,
         backend=None,
         workers: int | None = None,
+        kernel=None,
     ) -> None:
         self.graph = graph
         self.model = DiffusionModel.parse(model)
@@ -80,8 +85,10 @@ class SamplingContext:
             max_hops=horizon,
             backend=backend,
             workers=workers,
+            kernel=kernel,
         )
-        self.pool = RRCollection(graph.n)
+        self.kernel = self.sampler.kernel
+        self.pool = RRCollection(graph.n, stream_id=self.sampler.stream_id)
         self.sampled = 0  # RR sets actually generated into the pool
         self.served = 0  # RR sets demanded by queries (cache hits included)
         self.queries = 0
@@ -133,7 +140,8 @@ class SamplingContext:
         else:  # non-replayable session past its first query: fresh entropy
             rng = None
         return make_sampler(
-            self.graph, self.model, rng, roots=self.roots, max_hops=self.horizon
+            self.graph, self.model, rng, roots=self.roots, max_hops=self.horizon,
+            kernel=self.kernel,
         )
 
     # ------------------------------------------------------------------

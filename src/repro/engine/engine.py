@@ -103,6 +103,12 @@ class InfluenceEngine:
     backend, workers, roots:
         Execution backend, worker count, and root distribution shared by
         every warm sampling context the session opens.
+    kernel:
+        Reverse-sampling kernel for every context the session opens
+        (``"scalar"`` — the default, historical stream — or
+        ``"vectorized"``; see :mod:`repro.sampling.kernels`).  Pools are
+        keyed by the kernel's ``stream_id``, so sessions on different
+        kernels never share or reattach each other's pools.
     pool_budget:
         Optional byte budget over the session's RR pools; exceeding it
         evicts idle pools least-recently-used first (spilling them to
@@ -135,15 +141,18 @@ class InfluenceEngine:
         backend=None,
         workers: int | None = None,
         roots=None,
+        kernel=None,
         pool_budget: int | None = None,
         spill_dir=None,
         pool_manager=None,
         session: str | None = None,
     ) -> None:
+        from repro.sampling.kernels import make_kernel
         from repro.service.pool import PoolManager
 
         self.graph = graph
         self.model = DiffusionModel.parse(model)
+        self.kernel = make_kernel(kernel)
         if seed is None:
             seed = int(np.random.SeedSequence().entropy)
         elif not isinstance(seed, (int, np.integer)):
@@ -186,7 +195,9 @@ class InfluenceEngine:
     def _pool_key(self, *, stream: str, model: DiffusionModel, horizon: int | None):
         from repro.service.pool import PoolKey
 
-        return PoolKey(self.session, stream, model.value, horizon)
+        return PoolKey(
+            self.session, stream, model.value, horizon, self.kernel.stream_id
+        )
 
     def _pool_factory(self, *, stream: str, model: DiffusionModel, horizon: int | None):
         def factory():
@@ -199,6 +210,7 @@ class InfluenceEngine:
                 horizon=horizon,
                 backend=self.backend,
                 workers=self.workers,
+                kernel=self.kernel,
             )
             return ctx, self.seed
 
@@ -264,6 +276,7 @@ class InfluenceEngine:
                 "model": query_model.value,
                 "seed": self.seed,
                 "max_samples": max_samples,
+                "kernel": self.kernel.name,
                 **algorithm_kwargs,
             }
             result = spec.run_one_shot(self.graph, k, options)

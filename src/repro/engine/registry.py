@@ -34,6 +34,7 @@ KNOWN_OPTIONS = (
     "horizon",
     "backend",
     "workers",
+    "kernel",
     "simulations",
     "split",
 )
@@ -61,8 +62,13 @@ class AlgorithmSpec:
         ``"direct"`` (sampler seeded with the session seed, shared by
         D-SSA/IMM/TIM) or ``"split"`` (SSA's two-stream derivation via
         ``spawn_rngs(seed, 2)``).
-    needs_rr_sets / supports_backend / supports_horizon:
+    needs_rr_sets / supports_backend / supports_horizon /
+    supports_kernel:
         Capability flags the engine and docs surface.
+        ``supports_kernel`` marks algorithms whose RR sampling accepts a
+        :mod:`~repro.sampling.kernels` kernel selection (``--kernel``);
+        the vectorized kernel makes their hot loop multi-x faster on
+        dense/viral graphs (see ``BENCH_sampler.json``).
     concurrency:
         How concurrent queries for this algorithm interact in a serving
         session: ``"shared-pool"`` (engine-bodied RIS algorithms — all
@@ -88,6 +94,7 @@ class AlgorithmSpec:
     needs_rr_sets: bool = False
     supports_backend: bool = False
     supports_horizon: bool = False
+    supports_kernel: bool = False
     concurrency: str = "isolated"
     accepts: frozenset = frozenset()
     extra_kwargs: tuple = ()
@@ -118,6 +125,7 @@ def register_algorithm(
     needs_rr_sets: bool = False,
     supports_backend: bool = False,
     supports_horizon: bool = False,
+    supports_kernel: bool | None = None,
     concurrency: str | None = None,
     accepts: tuple = (),
     extra_kwargs: tuple = (),
@@ -130,8 +138,12 @@ def register_algorithm(
     keys and duplicate names are rejected at import time — a misdeclared
     algorithm fails fast, not at query time.  ``concurrency`` defaults
     from the engine body: ``"shared-pool"`` when one exists,
-    ``"isolated"`` otherwise.
+    ``"isolated"`` otherwise; ``supports_kernel`` defaults from the
+    declared ``accepts`` (an algorithm that takes ``kernel=`` selects
+    sampling kernels).
     """
+    if supports_kernel is None:
+        supports_kernel = "kernel" in accepts
     unknown = set(accepts) - set(KNOWN_OPTIONS)
     if unknown:
         raise ParameterError(f"algorithm {name!r} declares unknown options {sorted(unknown)}")
@@ -154,6 +166,7 @@ def register_algorithm(
             needs_rr_sets=needs_rr_sets,
             supports_backend=supports_backend,
             supports_horizon=supports_horizon,
+            supports_kernel=supports_kernel,
             concurrency=concurrency,
             accepts=frozenset(accepts),
             extra_kwargs=tuple(extra_kwargs),
@@ -230,12 +243,13 @@ def registry_table() -> str:
                 "yes" if spec.needs_rr_sets else "no",
                 "yes" if spec.supports_backend else "-",
                 "yes" if spec.supports_horizon else "-",
+                "yes" if spec.supports_kernel else "-",
                 spec.concurrency,
                 spec.description,
             ]
         )
     return format_table(
-        ["algorithm", "engine reuse", "RR sets", "backends", "horizon", "concurrency", "description"],
+        ["algorithm", "engine reuse", "RR sets", "backends", "horizon", "kernels", "concurrency", "description"],
         rows,
         title="Registered influence-maximization algorithms",
     )

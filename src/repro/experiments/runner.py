@@ -52,6 +52,9 @@ class RunRecord:
     seed: int | None = None
     backend: str | None = None
     workers: int | None = None
+    # Sampling-kernel stream the RR sets came from; None for pre-kernel
+    # records and non-sampling algorithms (the scalar stream either way).
+    kernel: str | None = None
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -84,14 +87,18 @@ def run_algorithm(
     celf_simulations: int = 100,
     backend: str | None = None,
     workers: int | None = None,
+    kernel: str | None = None,
 ) -> RunRecord:
     """Run one named algorithm and collect its metrics.
 
-    ``backend``/``workers`` select the RR-sampling execution backend for
-    the algorithms whose registry entry declares backend support; the
-    simulation-based baselines ignore them.  Unknown names raise
+    ``backend``/``workers`` select the RR-sampling execution backend and
+    ``kernel`` the reverse-sampling kernel for the algorithms whose
+    registry entry declares the capability; the simulation-based
+    baselines ignore them.  Unknown names raise
     :class:`~repro.exceptions.ParameterError`.
     """
+    from repro.sampling.kernels import make_kernel
+
     spec = get_algorithm(name)
     options = {
         "epsilon": epsilon,
@@ -101,6 +108,7 @@ def run_algorithm(
         "max_samples": max_samples,
         "backend": backend,
         "workers": workers,
+        "kernel": kernel,
         "simulations": celf_simulations,
     }
     result = spec.run_one_shot(graph, k, options)
@@ -113,6 +121,7 @@ def run_algorithm(
         seed=_provenance_seed(seed),
         backend=_provenance_backend(backend) if spec.supports_backend else None,
         workers=workers if spec.supports_backend else None,
+        kernel=make_kernel(kernel).name if spec.supports_kernel else None,
     )
 
 
@@ -126,6 +135,7 @@ def _to_record(
     seed: int | None = None,
     backend: str | None = None,
     workers: int | None = None,
+    kernel: str | None = None,
 ) -> RunRecord:
     return RunRecord(
         algorithm=result.algorithm,
@@ -143,6 +153,7 @@ def _to_record(
         seed=seed,
         backend=backend,
         workers=workers,
+        kernel=kernel,
     )
 
 

@@ -14,6 +14,14 @@ from repro.sampling.backends import (
     ThreadBackend,
     make_backend,
 )
+from repro.sampling.kernels import (
+    KERNELS,
+    SamplingKernel,
+    ScalarKernel,
+    VectorizedKernel,
+    list_kernels,
+    make_kernel,
+)
 
 __all__ = [
     "RRSampler",
@@ -31,4 +39,10 @@ __all__ = [
     "ProcessBackend",
     "BACKENDS",
     "make_backend",
+    "SamplingKernel",
+    "ScalarKernel",
+    "VectorizedKernel",
+    "KERNELS",
+    "make_kernel",
+    "list_kernels",
 ]

@@ -44,6 +44,10 @@ class WorkerSpec:
     model: DiffusionModel
     seed_seqs: list = field(default_factory=list)
     max_hops: int | None = None
+    # Kernel *name* (not instance): it must survive pickling to process
+    # workers, and every worker must instantiate the same kernel or the
+    # merged stream would silently mix draw orders.
+    kernel: str | None = None
 
     @property
     def workers(self) -> int:
@@ -196,6 +200,7 @@ def build_worker_sampler(spec: WorkerSpec, worker_id: int, graph: CSRGraph | Non
         spec.model,
         np.random.default_rng(spec.seed_seqs[worker_id]),
         max_hops=spec.max_hops,
+        kernel=spec.kernel,
     )
 
 

@@ -107,7 +107,11 @@ class ProcessBackend(ExecutionBackend):
         # The graph is in the segment now; the pickled spec must not drag
         # a second copy of it through every worker's bootstrap.
         wire_spec = WorkerSpec(
-            graph=None, model=spec.model, seed_seqs=spec.seed_seqs, max_hops=spec.max_hops
+            graph=None,
+            model=spec.model,
+            seed_seqs=spec.seed_seqs,
+            max_hops=spec.max_hops,
+            kernel=spec.kernel,
         )
         try:
             for worker_id in range(spec.workers):

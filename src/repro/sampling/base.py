@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.diffusion.models import DiffusionModel
 from repro.graph.digraph import CSRGraph
+from repro.sampling.kernels import SamplingKernel, check_stream_id, make_kernel
 from repro.sampling.roots import UniformRoots, WeightedRoots
 from repro.utils.rng import ensure_rng
 
@@ -31,12 +32,16 @@ class RRSampler(abc.ABC):
         *,
         roots: "UniformRoots | WeightedRoots | None" = None,
         max_hops: int | None = None,
+        kernel: "str | SamplingKernel | None" = None,
     ) -> None:
         if max_hops is not None and max_hops < 0:
             raise ValueError(f"max_hops must be non-negative, got {max_hops}")
         self.graph = graph
         self.rng = ensure_rng(seed)
         self.roots = roots if roots is not None else UniformRoots(graph.n)
+        # The reverse-sampling kernel defines the RNG draw order, hence
+        # the stream identity (see repro.sampling.kernels).
+        self.kernel = make_kernel(kernel)
         # Horizon for time-critical IM: an RR set only reaches nodes within
         # max_hops reverse steps, mirroring a cascade truncated after
         # max_hops rounds.  None = unbounded (the paper's setting).
@@ -46,6 +51,19 @@ class RRSampler(abc.ABC):
         # Generation-stamped visited marks: O(1) reset between samples.
         self._visited_stamp = np.zeros(graph.n, dtype=np.int64)
         self._generation = 0
+        # Reusable kernel scratch buffers (e.g. the vectorized kernel's
+        # node-flag array), keyed by the kernel that owns them.
+        self._scratch: dict = {}
+
+    @property
+    def stream_id(self) -> str:
+        """Stream-compatibility token of this sampler's kernel.
+
+        Two samplers of the same configuration produce interchangeable
+        (byte-identical) streams iff their ``stream_id`` matches; pools,
+        spill stamps, and restored states all key on it.
+        """
+        return self.kernel.stream_id
 
     @property
     def scale(self) -> float:
@@ -107,6 +125,7 @@ class RRSampler(abc.ABC):
         """
         return {
             "kind": "plain",
+            "stream_id": self.stream_id,
             "rng": self.rng.bit_generator.state,
             "sets_generated": int(self.sets_generated),
             "entries_generated": int(self.entries_generated),
@@ -116,6 +135,7 @@ class RRSampler(abc.ABC):
         """Restore a position captured by :meth:`state_dict`."""
         if state.get("kind") != "plain":
             raise ValueError(f"cannot load {state.get('kind')!r} state into a plain sampler")
+        check_stream_id(state, self.stream_id)
         self.rng.bit_generator.state = state["rng"]
         self.sets_generated = int(state["sets_generated"])
         self.entries_generated = int(state["entries_generated"])
@@ -136,6 +156,7 @@ def make_sampler(
     *,
     roots: "UniformRoots | WeightedRoots | None" = None,
     max_hops: int | None = None,
+    kernel: "str | SamplingKernel | None" = None,
 ) -> RRSampler:
     """Factory: the right sampler class for a diffusion model.
 
@@ -149,4 +170,4 @@ def make_sampler(
 
     parsed = DiffusionModel.parse(model)
     cls = ICSampler if parsed is DiffusionModel.IC else LTSampler
-    return cls(graph, seed, roots=roots, max_hops=max_hops)
+    return cls(graph, seed, roots=roots, max_hops=max_hops, kernel=kernel)

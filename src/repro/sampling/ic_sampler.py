@@ -5,6 +5,11 @@ path to v, where each edge (u, w) is live independently with probability
 w(u, w).  Equivalently: run a reverse BFS from v, flipping one coin per
 incoming edge the first time its target is expanded (deferred-decision
 principle — coins for edges never reached need not be flipped).
+
+*How* that BFS executes — per-node coin batches (``scalar``) or one coin
+batch for the whole frontier per step (``vectorized``) — is the
+sampler's :mod:`~repro.sampling.kernels` kernel; the sampler itself only
+owns the RNG, the generation-stamp array, and the lifetime counters.
 """
 
 from __future__ import annotations
@@ -21,34 +26,4 @@ class ICSampler(RRSampler):
     model = DiffusionModel.IC
 
     def _reverse_sample(self, root: int) -> np.ndarray:
-        graph = self.graph
-        stamp = self._visited_stamp
-        gen = self._next_generation()
-        rng = self.rng
-
-        stamp[root] = gen
-        result = [root]
-        frontier = [root]
-        indptr = graph.in_indptr
-        indices = graph.in_indices
-        weights = graph.in_weights
-        hops_left = self.max_hops if self.max_hops is not None else -1
-
-        while frontier:
-            if hops_left == 0:
-                break
-            hops_left -= 1
-            next_frontier: list[int] = []
-            for v in frontier:
-                lo, hi = indptr[v], indptr[v + 1]
-                if lo == hi:
-                    continue
-                coins = rng.random(hi - lo)
-                live = indices[lo:hi][coins < weights[lo:hi]]
-                for u in live.tolist():
-                    if stamp[u] != gen:
-                        stamp[u] = gen
-                        result.append(u)
-                        next_frontier.append(u)
-            frontier = next_frontier
-        return np.asarray(result, dtype=np.int32)
+        return self.kernel.ic_sample(self, root)

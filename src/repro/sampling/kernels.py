@@ -1,0 +1,331 @@
+"""Pluggable reverse-sampling kernels: how one RR set gets computed.
+
+The paper's cost model is ``time = number of RR sets × cost per RR set``.
+The execution backends (:mod:`repro.sampling.backends`) attack the first
+factor by sharding sets across workers; a *kernel* attacks the second —
+it is the inner loop that turns one root into one RR set.  Two kernels
+ship:
+
+* ``scalar`` — the reference implementation: reverse BFS expanding one
+  frontier node at a time, flipping one coin batch per node.  Its RNG
+  draw order is the library's historical stream, so every previously
+  published seed set replays byte-identically under it.
+* ``vectorized`` — frontier-at-once expansion: each BFS step gathers the
+  in-adjacency slices of the *entire* frontier with CSR range arithmetic
+  (``np.repeat`` over degrees + a flat ``arange``), flips a single
+  ``rng.random(total_edges)`` coin batch, filters live edges against the
+  edge weights, and dedupes newly visited nodes against the
+  generation-stamp array — no Python inner loop anywhere.
+
+Both kernels sample the *same distribution* over RR sets (each in-edge
+of an expanded node gets exactly one coin, by the deferred-decision
+principle), but they consume the RNG in different orders, so their
+streams are **not** byte-compatible.  Every kernel therefore carries a
+``stream_id`` (name + version); samplers stamp it into their
+``state_dict``, pools key on it, and the spill store refuses to reattach
+a pool onto a different stream.  Byte-identity guarantees — backend
+invariance, batching invariance, warm-vs-cold equality — hold exactly
+*within* a kernel; *across* kernels agreement is distributional and is
+verified statistically (``tests/sampling/test_kernels.py``).
+
+Under the LT model an RR set is a reverse random walk — one node per
+step, nothing to batch — so both kernels share the walk implementation
+(their LT streams coincide); the ``stream_id`` still differs, which
+keeps pooling conservative and the contract simple.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SamplingError
+
+_EMPTY_INT32 = np.zeros(0, dtype=np.int32)
+
+
+class SamplingKernel:
+    """One reverse-sampling strategy, shared stateless across samplers.
+
+    A kernel owns no RNG and no scratch memory — it operates on the
+    sampler handed to it (its graph, its generation-stamp array, its
+    generator), so one registered instance serves every sampler in the
+    process.  ``ic_sample`` must implement IC reverse BFS;
+    :meth:`lt_sample` defaults to the shared LT reverse walk.
+    """
+
+    #: registry / CLI name, overridden by implementations.
+    name = "abstract"
+    #: bumped whenever the kernel's RNG draw order changes.
+    version = 1
+
+    @property
+    def stream_id(self) -> str:
+        """Stream-compatibility token: two samplers interoperate (pool
+        sharing, spill reattach, state restore) iff their ``stream_id``
+        matches."""
+        return f"{self.name}-v{self.version}"
+
+    def ic_sample(self, sampler, root: int) -> np.ndarray:
+        """Produce the IC RR set anchored at ``root`` (includes the root)."""
+        raise NotImplementedError
+
+    def lt_sample(self, sampler, root: int) -> np.ndarray:
+        """Produce the LT RR set anchored at ``root``: the reverse walk.
+
+        The walk draws one uniform per hop (stop with the residual
+        probability, else hop to an in-neighbour by inverse-CDF over the
+        prefix-summed edge weights) and stops on a revisit.  Sequential
+        by nature, so every kernel shares this implementation.
+        """
+        graph = sampler.graph
+        stamp = sampler._visited_stamp
+        gen = sampler._next_generation()
+        rng = sampler.rng
+        indptr = graph.in_indptr
+        indices = graph.in_indices
+        prefix = sampler._weight_prefix
+
+        current = root
+        stamp[root] = gen
+        result = [root]
+        hops_left = sampler.max_hops if sampler.max_hops is not None else -1
+        while True:
+            if hops_left == 0:
+                break
+            hops_left -= 1
+            lo, hi = indptr[current], indptr[current + 1]
+            if lo == hi:
+                break
+            draw = rng.random()
+            if draw >= graph.in_weight_totals[current]:
+                break  # the kept subgraph has no incoming edge here
+            # Invert the CDF of this node's in-edge weights.
+            pos = int(np.searchsorted(prefix, prefix[lo] + draw, side="right")) - 1
+            pos = min(max(pos, lo), hi - 1)
+            nxt = int(indices[pos])
+            if stamp[nxt] == gen:
+                break  # walk closed a cycle; nothing new reachable
+            stamp[nxt] = gen
+            result.append(nxt)
+            current = nxt
+        return np.asarray(result, dtype=np.int32)
+
+
+class ScalarKernel(SamplingKernel):
+    """Reference kernel: per-node frontier expansion, historical stream.
+
+    One ``rng.random(deg)`` coin batch per expanded node, in frontier
+    order — exactly the draw order the library has always used, so seed
+    sets published before kernels existed replay byte-identically.
+    Stamping and result growth are numpy mask operations (no per-element
+    Python loop), which changes nothing about the stream.
+    """
+
+    name = "scalar"
+    version = 1
+
+    def ic_sample(self, sampler, root: int) -> np.ndarray:
+        graph = sampler.graph
+        stamp = sampler._visited_stamp
+        gen = sampler._next_generation()
+        rng = sampler.rng
+
+        indptr = graph.in_indptr
+        indices = graph.in_indices
+        weights = graph.in_weights
+        hops_left = sampler.max_hops if sampler.max_hops is not None else -1
+
+        stamp[root] = gen
+        pieces = [np.asarray([root], dtype=np.int32)]
+        frontier = pieces[0]
+        while frontier.size:
+            if hops_left == 0:
+                break
+            hops_left -= 1
+            step_pieces = []
+            for v in frontier:
+                lo, hi = indptr[v], indptr[v + 1]
+                if lo == hi:
+                    continue
+                coins = rng.random(hi - lo)
+                live = indices[lo:hi][coins < weights[lo:hi]]
+                fresh = live[stamp[live] != gen]
+                if fresh.size:
+                    stamp[fresh] = gen
+                    step_pieces.append(fresh)
+            frontier = (
+                np.concatenate(step_pieces) if step_pieces else _EMPTY_INT32
+            )
+            if frontier.size:
+                pieces.append(frontier)
+        return np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
+
+
+class VectorizedKernel(SamplingKernel):
+    """Frontier-at-once kernel: one coin batch per BFS *step*.
+
+    Each step gathers every frontier node's in-edge slice from the CSR
+    arrays in one shot: with per-node degrees ``deg = indptr[f+1] -
+    indptr[f]``, the flat edge positions are ``np.arange(deg.sum()) +
+    np.repeat(starts - cumulative_offsets, deg)`` — pure range
+    arithmetic, no loop.  A single ``rng.random(total_edges)`` batch
+    decides liveness against ``in_weights``, and the surviving endpoints
+    are deduped against the generation-stamp array (``np.unique`` for
+    batch-internal repeats, a stamp mask for earlier generations).
+
+    Per-edge work is identical to the scalar kernel — every in-edge of
+    an expanded node flips exactly one coin — so the RR-set distribution
+    is unchanged; only the RNG draw *order* (and the within-step node
+    order, which is sorted) differs, hence the distinct ``stream_id``.
+
+    Size-adaptive shortcuts keep small cascades cheap without touching
+    the stream: tiny frontiers gather per node (numpy's
+    ``Generator.random`` draws doubles sequentially with no buffering,
+    so per-node coin batches consume byte-for-byte the same draws as one
+    step-wide batch — ``tests/sampling/test_kernels.py`` pins this
+    batch-split invariance), and batch dedup switches from ``np.unique``
+    (sort) to a reusable node-flag array once the candidate batch is
+    large enough for O(E log E) sorting to lose to O(n) flag scans.
+    Either way each step's output is the same sorted fresh-node array,
+    so the stream is a pure function of the seed alone.
+    """
+
+    name = "vectorized"
+    version = 1
+
+    #: frontier size up to which per-node CSR slicing beats the gather.
+    _PER_NODE_MAX = 4
+    #: candidate-batch size above which flag-array dedup beats sorting.
+    _FLAG_DEDUP_MIN = 64
+
+    def ic_sample(self, sampler, root: int) -> np.ndarray:
+        graph = sampler.graph
+        stamp = sampler._visited_stamp
+        gen = sampler._next_generation()
+        rng = sampler.rng
+
+        indptr = graph.in_indptr
+        indices = graph.in_indices
+        weights = graph.in_weights
+        hops_left = sampler.max_hops if sampler.max_hops is not None else -1
+        flags = sampler._scratch.get("vectorized_flags")
+
+        stamp[root] = gen
+        pieces = [np.asarray([root], dtype=np.int32)]
+        frontier = pieces[0]
+        while frontier.size:
+            if hops_left == 0:
+                break
+            hops_left -= 1
+            if frontier.size == 1:
+                # One-node frontier: its slice *is* the gathered range.
+                lo, hi = indptr[frontier[0]], indptr[frontier[0] + 1]
+                if lo == hi:
+                    break
+                coins = rng.random(hi - lo)
+                candidates = indices[lo:hi][coins < weights[lo:hi]]
+            elif frontier.size <= self._PER_NODE_MAX:
+                # Tiny frontier: per-node slices, same draws as the batch
+                # (batch-split invariance of Generator.random).
+                parts = []
+                for v in frontier:
+                    lo, hi = indptr[v], indptr[v + 1]
+                    if lo == hi:
+                        continue
+                    coins = rng.random(hi - lo)
+                    sel = indices[lo:hi][coins < weights[lo:hi]]
+                    if sel.size:
+                        parts.append(sel)
+                candidates = (
+                    np.concatenate(parts) if len(parts) > 1
+                    else parts[0] if parts else _EMPTY_INT32
+                )
+            else:
+                starts = indptr[frontier]
+                degs = indptr[frontier + 1] - starts
+                total = int(degs.sum())
+                if total == 0:
+                    break
+                # Flat positions of every frontier in-edge: node i's slice
+                # lands at [offsets[i], offsets[i+1]) of the gathered
+                # range, and position j inside the range maps back to
+                # starts[i] + (j - offsets[i]).
+                offsets = np.cumsum(degs) - degs
+                positions = np.arange(total, dtype=np.int64) + np.repeat(
+                    starts - offsets, degs
+                )
+                coins = rng.random(total)
+                live = positions[coins < weights[positions]]
+                candidates = indices[live]
+            if candidates.size == 0:
+                break
+            # Dedup batch-internal repeats and drop already-visited nodes —
+            # numpy only, output sorted either way.
+            if candidates.size > self._FLAG_DEDUP_MIN:
+                if flags is None:
+                    flags = np.zeros(graph.n, dtype=bool)
+                    sampler._scratch["vectorized_flags"] = flags
+                flags[candidates] = True
+                fresh = np.flatnonzero(flags).astype(np.int32, copy=False)
+                flags[fresh] = False
+            else:
+                fresh = np.unique(candidates)
+            fresh = fresh[stamp[fresh] != gen]
+            if fresh.size == 0:
+                break
+            stamp[fresh] = gen
+            pieces.append(fresh)
+            frontier = fresh
+        return np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
+
+
+#: registry keyed by CLI / API name.
+KERNELS: dict[str, SamplingKernel] = {
+    ScalarKernel.name: ScalarKernel(),
+    VectorizedKernel.name: VectorizedKernel(),
+}
+
+#: the historical stream — the default everywhere a kernel is not named.
+DEFAULT_KERNEL = ScalarKernel.name
+
+#: stream token of the default kernel (what legacy state/pools carry).
+DEFAULT_STREAM_ID = KERNELS[DEFAULT_KERNEL].stream_id
+
+
+def make_kernel(kernel: "str | SamplingKernel | None") -> SamplingKernel:
+    """Coerce a kernel name (or pass through an instance) to a kernel.
+
+    ``None`` means the default (:class:`ScalarKernel`) — the stream the
+    library produced before kernels existed.
+    """
+    if kernel is None:
+        return KERNELS[DEFAULT_KERNEL]
+    if isinstance(kernel, SamplingKernel):
+        return kernel
+    key = str(kernel).strip().lower()
+    if key not in KERNELS:
+        raise SamplingError(
+            f"unknown sampling kernel {kernel!r}; known: {sorted(KERNELS)}"
+        )
+    return KERNELS[key]
+
+
+def list_kernels() -> tuple:
+    """Registered kernel names in registration order."""
+    return tuple(KERNELS)
+
+
+def check_stream_id(state: dict, expected: str) -> None:
+    """Reject restoring a stream position onto a different kernel.
+
+    States captured before kernels existed carry no ``stream_id``; they
+    were produced by the historical (scalar) draw order, so that is what
+    a missing field means.
+    """
+    got = state.get("stream_id", KERNELS[DEFAULT_KERNEL].stream_id)
+    if got != expected:
+        raise SamplingError(
+            f"stream position was captured on kernel stream {got!r}; this "
+            f"sampler produces {expected!r} — the streams are not "
+            "byte-compatible"
+        )

@@ -11,6 +11,11 @@ reached).
 
 With weighted-cascade weights (Σ = 1) the walk always hops until a revisit
 — matching Fig. 1's example construction.
+
+The walk is one node per step — nothing to batch — so every registered
+:mod:`~repro.sampling.kernels` kernel shares the same LT implementation;
+the sampler still dispatches through its kernel so the stream identity
+(``stream_id``) is uniform across models.
 """
 
 from __future__ import annotations
@@ -27,8 +32,10 @@ class LTSampler(RRSampler):
 
     model = DiffusionModel.LT
 
-    def __init__(self, graph: CSRGraph, seed=None, *, roots=None, max_hops=None) -> None:
-        super().__init__(graph, seed, roots=roots, max_hops=max_hops)
+    def __init__(
+        self, graph: CSRGraph, seed=None, *, roots=None, max_hops=None, kernel=None
+    ) -> None:
+        super().__init__(graph, seed, roots=roots, max_hops=max_hops, kernel=kernel)
         # Global prefix-sum of in-edge weights: a single binary search per
         # hop finds the chosen in-neighbour (in-edges of v occupy the
         # contiguous range [in_indptr[v], in_indptr[v+1])).
@@ -37,35 +44,4 @@ class LTSampler(RRSampler):
         )
 
     def _reverse_sample(self, root: int) -> np.ndarray:
-        graph = self.graph
-        stamp = self._visited_stamp
-        gen = self._next_generation()
-        rng = self.rng
-        indptr = graph.in_indptr
-        indices = graph.in_indices
-        prefix = self._weight_prefix
-
-        current = root
-        stamp[root] = gen
-        result = [root]
-        hops_left = self.max_hops if self.max_hops is not None else -1
-        while True:
-            if hops_left == 0:
-                break
-            hops_left -= 1
-            lo, hi = indptr[current], indptr[current + 1]
-            if lo == hi:
-                break
-            draw = rng.random()
-            if draw >= graph.in_weight_totals[current]:
-                break  # the kept subgraph has no incoming edge here
-            # Invert the CDF of this node's in-edge weights.
-            pos = int(np.searchsorted(prefix, prefix[lo] + draw, side="right")) - 1
-            pos = min(max(pos, lo), hi - 1)
-            nxt = int(indices[pos])
-            if stamp[nxt] == gen:
-                break  # walk closed a cycle; nothing new reachable
-            stamp[nxt] = gen
-            result.append(nxt)
-            current = nxt
-        return np.asarray(result, dtype=np.int32)
+        return self.kernel.lt_sample(self, root)

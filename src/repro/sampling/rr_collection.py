@@ -96,12 +96,19 @@ class _CoverageReadOps:
 
 
 class RRCollection(_CoverageReadOps):
-    """Ordered collection of RR sets over nodes ``0..n-1``."""
+    """Ordered collection of RR sets over nodes ``0..n-1``.
 
-    def __init__(self, n: int) -> None:
+    ``stream_id`` optionally records which kernel stream the stored sets
+    came from (see :mod:`repro.sampling.kernels`); it is provenance —
+    snapshots inherit it, and pool/spill layers key on it so sets from
+    different draw orders are never mixed in one collection.
+    """
+
+    def __init__(self, n: int, *, stream_id: str | None = None) -> None:
         if n <= 0:
             raise SamplingError(f"RRCollection needs a positive node count, got {n}")
         self.n = int(n)
+        self.stream_id = stream_id
         self._sets: list[np.ndarray] = []
         self._total_entries = 0
         # Compiled flat view: geometrically grown append-only buffers, so
@@ -216,7 +223,10 @@ class RRCollection(_CoverageReadOps):
         if not 0 <= end <= len(self._sets):
             raise SamplingError(f"invalid snapshot prefix [0, {end}) of {len(self._sets)}")
         flat, offsets = self._compile()
-        return RRSnapshot(self.n, flat[: int(offsets[end])], offsets[: end + 1])
+        return RRSnapshot(
+            self.n, flat[: int(offsets[end])], offsets[: end + 1],
+            stream_id=self.stream_id,
+        )
 
 
 class RRSnapshot(_CoverageReadOps):
@@ -228,10 +238,14 @@ class RRSnapshot(_CoverageReadOps):
     growing under other queries' top-ups.
     """
 
-    def __init__(self, n: int, flat: np.ndarray, offsets: np.ndarray) -> None:
+    def __init__(
+        self, n: int, flat: np.ndarray, offsets: np.ndarray,
+        *, stream_id: str | None = None,
+    ) -> None:
         self.n = int(n)
         self._flat = flat
         self._offsets = offsets
+        self.stream_id = stream_id
 
     def __len__(self) -> int:
         return len(self._offsets) - 1

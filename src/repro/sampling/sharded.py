@@ -41,6 +41,7 @@ from repro.exceptions import SamplingError
 from repro.graph.digraph import CSRGraph
 from repro.sampling.backends import ExecutionBackend, WorkerSpec, make_backend
 from repro.sampling.base import RRSampler, make_sampler
+from repro.sampling.kernels import check_stream_id
 from repro.sampling.roots import UniformRoots, WeightedRoots
 
 
@@ -59,6 +60,10 @@ class ShardedSampler(RRSampler):
     backend:
         Backend name (``"serial"``, ``"thread"``, ``"process"``) or a
         not-yet-started :class:`ExecutionBackend` instance.
+    kernel:
+        Reverse-sampling kernel (name or instance); every worker
+        instantiates the same kernel, so the merged stream carries one
+        ``stream_id``.
     """
 
     def __init__(
@@ -71,16 +76,36 @@ class ShardedSampler(RRSampler):
         roots: "UniformRoots | WeightedRoots | None" = None,
         max_hops: int | None = None,
         backend: "str | ExecutionBackend | None" = None,
+        kernel=None,
     ) -> None:
         if workers < 1:
             raise SamplingError(f"need at least one worker, got {workers}")
-        super().__init__(graph, seed, roots=roots, max_hops=max_hops)
+        super().__init__(graph, seed, roots=roots, max_hops=max_hops, kernel=kernel)
+        # Workers rebuild the kernel from its *name* (instances don't
+        # cross process boundaries), so only registered kernels can
+        # shard — an unregistered instance would be silently replaced by
+        # whatever the registry holds under that name.
+        from repro.sampling.kernels import make_kernel
+
+        if make_kernel(self.kernel.name) is not self.kernel:
+            raise SamplingError(
+                f"kernel {self.kernel.name!r} is not the registered instance; "
+                "sharded sampling rebuilds kernels by name in workers, so "
+                "custom kernels must be registered in repro.sampling.kernels."
+                "KERNELS first"
+            )
         self.model = DiffusionModel.parse(model)
         self.workers = int(workers)
         seed_seqs = list(self.rng.bit_generator.seed_seq.spawn(self.workers))
         self.backend = make_backend(backend)
         self.backend.start(
-            WorkerSpec(graph=graph, model=self.model, seed_seqs=seed_seqs, max_hops=max_hops)
+            WorkerSpec(
+                graph=graph,
+                model=self.model,
+                seed_seqs=seed_seqs,
+                max_hops=max_hops,
+                kernel=self.kernel.name,
+            )
         )
         # Global RR-set index: set g is always worker g mod W's next job,
         # so shard assignment (hence each worker's stream consumption) is
@@ -143,6 +168,7 @@ class ShardedSampler(RRSampler):
         """
         return {
             "kind": "sharded",
+            "stream_id": self.stream_id,
             "workers": self.workers,
             "rng": self.rng.bit_generator.state,
             "cursor": int(self._cursor),
@@ -163,6 +189,7 @@ class ShardedSampler(RRSampler):
                 f"state was captured with {state['workers']} workers, "
                 f"this sampler has {self.workers}"
             )
+        check_stream_id(state, self.stream_id)
         self.rng.bit_generator.state = state["rng"]
         self._cursor = int(state["cursor"])
         self._loads = [int(x) for x in state["loads"]]
@@ -197,6 +224,7 @@ def make_parallel_sampler(
     max_hops: int | None = None,
     backend: "str | ExecutionBackend | None" = None,
     workers: int | None = None,
+    kernel=None,
 ) -> RRSampler:
     """Factory: a plain sampler, or a sharded one when parallelism is asked.
 
@@ -219,9 +247,18 @@ def make_parallel_sampler(
         or isinstance(backend, SerialBackend)
     )
     if is_serial and (workers is None or workers == 1):
-        return make_sampler(graph, model, seed, roots=roots, max_hops=max_hops)
+        return make_sampler(
+            graph, model, seed, roots=roots, max_hops=max_hops, kernel=kernel
+        )
     if workers is None:
         workers = default_worker_count()
     return ShardedSampler(
-        graph, model, workers, seed, roots=roots, max_hops=max_hops, backend=backend
+        graph,
+        model,
+        workers,
+        seed,
+        roots=roots,
+        max_hops=max_hops,
+        backend=backend,
+        kernel=kernel,
     )

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 from repro.engine.context import SamplingContext
 from repro.exceptions import SamplingError
+from repro.sampling.kernels import DEFAULT_STREAM_ID
 from repro.service.store import PoolStore, make_stamp
 
 
@@ -45,13 +46,17 @@ class PoolKey:
 
     ``namespace`` isolates sessions from each other (two sessions with
     different graphs or seeds must never share a pool); the remaining
-    fields mirror the engine's context key.
+    fields mirror the engine's context key.  ``stream_id`` is the
+    kernel's stream-compatibility token (defaulting to the historical
+    scalar stream): two queries share a pool only when their RNG draw
+    orders are byte-compatible.
     """
 
     namespace: str
     stream: str
     model: str
     horizon: int | None
+    stream_id: str = DEFAULT_STREAM_ID
 
 
 class QueryView:
@@ -288,7 +293,8 @@ class PoolManager:
     # Introspection
     # ------------------------------------------------------------------
     def pool_sizes(self, namespace: str | None = None) -> dict:
-        """Cached RR sets per pool, keyed ``(stream, model, horizon)``.
+        """Cached RR sets per pool, keyed ``(stream, model, horizon,
+        stream_id)``.
 
         With ``namespace=None`` the keys include the namespace.
         """
@@ -297,7 +303,7 @@ class PoolManager:
             for key, entry in self._entries.items():
                 if namespace is not None and key.namespace != namespace:
                     continue
-                short = (key.stream, key.model, key.horizon)
+                short = (key.stream, key.model, key.horizon, key.stream_id)
                 out[short if namespace is not None else (key.namespace, *short)] = len(
                     entry.ctx.pool
                 )

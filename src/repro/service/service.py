@@ -128,6 +128,7 @@ class InfluenceService:
         backend=None,
         workers: int | None = None,
         roots=None,
+        kernel=None,
     ) -> InfluenceEngine:
         """Create a named engine session bound to the shared pool manager."""
         with self._lock:
@@ -141,6 +142,7 @@ class InfluenceService:
                 backend=backend,
                 workers=workers,
                 roots=roots,
+                kernel=kernel,
                 pool_manager=self.pools,
                 session=name,
             )
@@ -178,6 +180,7 @@ class InfluenceService:
                 "seed": engine.seed,
                 "backend": getattr(engine.backend, "name", engine.backend) or "serial",
                 "workers": engine.workers,
+                "kernel": engine.kernel.name,
                 "queries": engine.stats.queries,
             }
         return out
@@ -247,6 +250,7 @@ class InfluenceService:
                     "needs_rr_sets": spec.needs_rr_sets,
                     "supports_backend": spec.supports_backend,
                     "supports_horizon": spec.supports_horizon,
+                    "supports_kernel": spec.supports_kernel,
                     "concurrency": spec.concurrency,
                     "description": spec.description,
                 }

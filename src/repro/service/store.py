@@ -64,11 +64,13 @@ def make_stamp(
         return None
     if not isinstance(seed, (int, np.integer)) or isinstance(seed, bool):
         return None
+    from repro.sampling.kernels import DEFAULT_STREAM_ID
+
     if isinstance(sampler, ShardedSampler):
         kind, workers = "sharded", int(sampler.workers)
     else:
         kind, workers = "plain", 1
-    return {
+    stamp = {
         "graph_sig": graph_signature(graph),
         "model": str(model),
         "stream": str(stream),
@@ -77,6 +79,15 @@ def make_stamp(
         "sampler_kind": kind,
         "workers": workers,
     }
+    # Kernel stream identity: a spilled pool is only the prefix of
+    # streams with the same draw order, so a kernel switch must look
+    # like a different pool, never a reattachable one.  The default
+    # (scalar) stream omits the field so its stamps — hence content
+    # addresses — stay byte-identical to pre-kernel releases: pools
+    # spilled before kernels existed keep reattaching.
+    if sampler.stream_id != DEFAULT_STREAM_ID:
+        stamp["stream_id"] = sampler.stream_id
+    return stamp
 
 
 def stamp_digest(stamp: dict) -> str:

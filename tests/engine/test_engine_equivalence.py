@@ -5,6 +5,10 @@ byte-identical seeds/samples to the one-shot function at the same seed —
 across serial, thread, and process execution backends — and a repeat
 query with the same parameters must be served from the cached RR pool
 without growing it.
+
+Every test runs under both sampling kernels (module-level ``kernel``
+fixture): byte-identity guarantees hold *within* a kernel, whichever
+kernel it is.
 """
 
 import pytest
@@ -20,6 +24,11 @@ EPS = 0.25
 SEED = 2016
 
 
+@pytest.fixture(params=["scalar", "vectorized"])
+def kernel(request):
+    return request.param
+
+
 def _identical(a, b):
     assert a.seeds == b.seeds
     assert a.samples == b.samples
@@ -33,34 +42,40 @@ def _identical(a, b):
 class TestByteIdentity:
     @pytest.mark.parametrize("algorithm", sorted(ONE_SHOTS))
     @pytest.mark.parametrize("backend,workers", [(None, None), ("thread", 3)])
-    def test_engine_equals_one_shot(self, small_wc_graph, algorithm, backend, workers):
+    def test_engine_equals_one_shot(
+        self, small_wc_graph, algorithm, backend, workers, kernel
+    ):
         cold = ONE_SHOTS[algorithm](
             small_wc_graph, 4, epsilon=EPS, model="LT", seed=SEED,
-            backend=backend, workers=workers,
+            backend=backend, workers=workers, kernel=kernel,
         )
         with InfluenceEngine(
-            small_wc_graph, model="LT", seed=SEED, backend=backend, workers=workers
+            small_wc_graph, model="LT", seed=SEED, backend=backend, workers=workers,
+            kernel=kernel,
         ) as engine:
             warm = engine.maximize(4, epsilon=EPS, algorithm=algorithm)
         _identical(warm, cold)
 
     @pytest.mark.parametrize("algorithm", ["D-SSA", "SSA"])
-    def test_engine_equals_one_shot_process_backend(self, small_wc_graph, algorithm):
+    def test_engine_equals_one_shot_process_backend(
+        self, small_wc_graph, algorithm, kernel
+    ):
         """The expensive backend: one representative per stream shape."""
         cold = ONE_SHOTS[algorithm](
             small_wc_graph, 3, epsilon=EPS, model="LT", seed=SEED,
-            backend="process", workers=2,
+            backend="process", workers=2, kernel=kernel,
         )
         with InfluenceEngine(
-            small_wc_graph, model="LT", seed=SEED, backend="process", workers=2
+            small_wc_graph, model="LT", seed=SEED, backend="process", workers=2,
+            kernel=kernel,
         ) as engine:
             warm = engine.maximize(3, epsilon=EPS, algorithm=algorithm)
         _identical(warm, cold)
 
-    def test_equivalence_survives_earlier_queries(self, small_wc_graph):
+    def test_equivalence_survives_earlier_queries(self, small_wc_graph, kernel):
         """Byte-identity holds for *warm* queries, not just the first."""
-        cold = dssa(small_wc_graph, 7, epsilon=EPS, model="LT", seed=SEED)
-        with InfluenceEngine(small_wc_graph, model="LT", seed=SEED) as engine:
+        cold = dssa(small_wc_graph, 7, epsilon=EPS, model="LT", seed=SEED, kernel=kernel)
+        with InfluenceEngine(small_wc_graph, model="LT", seed=SEED, kernel=kernel) as engine:
             engine.maximize(2, epsilon=EPS)
             engine.maximize(4, epsilon=0.3)
             warm = engine.maximize(7, epsilon=EPS)
@@ -69,8 +84,10 @@ class TestByteIdentity:
 
 class TestCacheReuse:
     @pytest.mark.parametrize("algorithm", sorted(ONE_SHOTS))
-    def test_repeat_query_reuses_pool(self, small_wc_graph, algorithm):
-        with InfluenceEngine(small_wc_graph, model="LT", seed=SEED) as engine:
+    def test_repeat_query_reuses_pool(self, small_wc_graph, algorithm, kernel):
+        with InfluenceEngine(
+            small_wc_graph, model="LT", seed=SEED, kernel=kernel
+        ) as engine:
             first = engine.maximize(4, epsilon=EPS, algorithm=algorithm)
             sampled_after_first = engine.stats.rr_sampled
             pool_after_first = dict(engine.pool_sizes())
@@ -93,18 +110,23 @@ class TestCacheReuse:
             engine.maximize(4, epsilon=EPS, algorithm="SSA")
             assert len(engine.pool_sizes()) == 2
 
-    def test_sweep_samples_strictly_less_than_independent_calls(self, small_wc_graph):
+    def test_sweep_samples_strictly_less_than_independent_calls(
+        self, small_wc_graph, kernel
+    ):
         """The acceptance criterion, as a tier-1 test."""
         ks = [2, 3, 4, 6, 8]
         cold_total = sum(
-            dssa(small_wc_graph, k, epsilon=EPS, model="LT", seed=SEED).samples
+            dssa(small_wc_graph, k, epsilon=EPS, model="LT", seed=SEED, kernel=kernel).samples
             for k in ks
         )
-        with InfluenceEngine(small_wc_graph, model="LT", seed=SEED) as engine:
+        with InfluenceEngine(small_wc_graph, model="LT", seed=SEED, kernel=kernel) as engine:
             results = engine.sweep(ks, epsilon=EPS)
         assert [r.k for r in results] == ks
         assert engine.stats.rr_sampled < cold_total
         assert engine.stats.hit_rate > 0.0
         # ... and each sweep point is still byte-identical to its one-shot.
         for k, warm in zip(ks, results):
-            _identical(warm, dssa(small_wc_graph, k, epsilon=EPS, model="LT", seed=SEED))
+            _identical(
+                warm,
+                dssa(small_wc_graph, k, epsilon=EPS, model="LT", seed=SEED, kernel=kernel),
+            )

@@ -39,11 +39,16 @@ class TestMetadata:
             assert spec.needs_rr_sets and spec.supports_backend
             assert spec.engine_func is not None
 
+    def test_ris_algorithms_select_sampling_kernels(self):
+        for name in ("D-SSA", "SSA", "IMM", "TIM", "TIM+"):
+            assert get_algorithm(name).supports_kernel, name
+
     def test_heuristics_are_one_shot_only(self):
         for name in ("CELF", "CELF++", "degree", "degree-discount", "IRIE"):
             spec = get_algorithm(name)
             assert not spec.needs_rr_sets
             assert spec.engine_func is None
+            assert not spec.supports_kernel
 
     def test_ssa_uses_split_stream(self):
         assert get_algorithm("SSA").stream == "split"

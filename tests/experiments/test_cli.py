@@ -55,6 +55,24 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "D-SSA" in out
 
+    def test_run_command_with_vectorized_kernel(self, capsys):
+        code = main(
+            ["run", "D-SSA", "--dataset", "nethept", "--scale", "0.1",
+             "-k", "2", "--epsilon", "0.25", "--model", "IC",
+             "--kernel", "vectorized"]
+        )
+        assert code == 0
+        assert "D-SSA" in capsys.readouterr().out
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "D-SSA", "--kernel", "simd"])
+
+    def test_algorithms_table_has_kernel_column(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "kernels" in out
+
     def test_sweep_command(self, capsys):
         code = main(
             ["sweep", "--dataset", "nethept", "--scale", "0.1",

@@ -66,11 +66,13 @@ class TestProvenanceRoundtrip:
         original.seed = 2016
         original.backend = "process"
         original.workers = 4
+        original.kernel = "vectorized"
         path = save_records([original], tmp_path / "runs.json")
         loaded = load_records(path)[0]
         assert loaded.seed == 2016
         assert loaded.backend == "process"
         assert loaded.workers == 4
+        assert loaded.kernel == "vectorized"
         assert loaded.as_dict() == original.as_dict()
         # byte-exact: a second save of the loaded records equals the file
         repath = save_records([loaded], tmp_path / "runs2.json")
@@ -79,13 +81,14 @@ class TestProvenanceRoundtrip:
     def test_legacy_records_without_provenance_load_with_defaults(self, tmp_path):
         path = save_records([record("SSA")], tmp_path / "legacy.json")
         payload = json.loads(path.read_text())
-        for field in ("seed", "backend", "workers"):
+        for field in ("seed", "backend", "workers", "kernel"):
             del payload["records"][0][field]
         path.write_text(json.dumps(payload))
         loaded = load_records(path)[0]
         assert loaded.seed is None
         assert loaded.backend is None
         assert loaded.workers is None
+        assert loaded.kernel is None
         assert loaded.algorithm == "SSA"
 
     def test_null_provenance_distinct_from_absent(self, tmp_path):

@@ -1,0 +1,443 @@
+"""Kernel subsystem acceptance: streams, identity plumbing, agreement.
+
+Three layers of guarantees:
+
+* **within a kernel** — the stream is byte-identical across replays,
+  batchings, and serial/thread/process execution backends (the same
+  contract the backends have always had, now per kernel);
+* **across kernels** — streams are *not* byte-compatible (different RNG
+  draw order) and every identity surface says so: ``state_dict`` refuses
+  cross-kernel restores, pool keys and spill stamps embed ``stream_id``;
+* **distributionally** — both kernels sample the same RR-set law, which
+  a KS check on RR sizes and an influence-estimate comparison verify.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.graph.weights import assign_constant_weights
+from repro.sampling.base import make_sampler
+from repro.sampling.kernels import (
+    DEFAULT_STREAM_ID,
+    KERNELS,
+    ScalarKernel,
+    VectorizedKernel,
+    check_stream_id,
+    list_kernels,
+    make_kernel,
+)
+from repro.sampling.sharded import ShardedSampler
+
+SEED = 2016
+KERNEL_NAMES = ("scalar", "vectorized")
+
+
+@pytest.fixture
+def viral_graph(er_graph):
+    """IC in the wide-frontier regime (constant p exercises every
+    vectorized code path: per-node fast path, gather, flag dedup)."""
+    return assign_constant_weights(er_graph, 0.35)
+
+
+class TestRegistry:
+    def test_default_is_the_scalar_stream(self):
+        assert make_kernel(None) is KERNELS["scalar"]
+        assert DEFAULT_STREAM_ID == "scalar-v1"
+
+    def test_names_resolve_case_insensitively(self):
+        assert make_kernel("Vectorized") is KERNELS["vectorized"]
+
+    def test_instances_pass_through(self):
+        kernel = VectorizedKernel()
+        assert make_kernel(kernel) is kernel
+
+    def test_unknown_kernel_is_rejected(self):
+        with pytest.raises(SamplingError, match="unknown sampling kernel"):
+            make_kernel("simd")
+
+    def test_stream_ids_are_distinct_and_versioned(self):
+        ids = {KERNELS[name].stream_id for name in list_kernels()}
+        assert len(ids) == len(list_kernels())
+        assert ids == {"scalar-v1", "vectorized-v1"}
+
+    def test_sampler_carries_its_kernel_stream_id(self, small_wc_graph):
+        sampler = make_sampler(small_wc_graph, "IC", SEED, kernel="vectorized")
+        assert sampler.stream_id == "vectorized-v1"
+        assert isinstance(sampler.kernel, VectorizedKernel)
+
+
+class TestScalarStreamUnchanged:
+    """The scalar kernel's numpy-mask stamping is a pure optimization:
+    its stream must equal the historical per-element loop's, byte for
+    byte — published seed sets replay."""
+
+    @staticmethod
+    def _reference_ic(sampler, root):
+        """The pre-kernel ICSampler._reverse_sample, verbatim."""
+        graph = sampler.graph
+        stamp = sampler._visited_stamp
+        gen = sampler._next_generation()
+        rng = sampler.rng
+        stamp[root] = gen
+        result = [root]
+        frontier = [root]
+        indptr = graph.in_indptr
+        indices = graph.in_indices
+        weights = graph.in_weights
+        hops_left = sampler.max_hops if sampler.max_hops is not None else -1
+        while frontier:
+            if hops_left == 0:
+                break
+            hops_left -= 1
+            next_frontier = []
+            for v in frontier:
+                lo, hi = indptr[v], indptr[v + 1]
+                if lo == hi:
+                    continue
+                coins = rng.random(hi - lo)
+                live = indices[lo:hi][coins < weights[lo:hi]]
+                for u in live.tolist():
+                    if stamp[u] != gen:
+                        stamp[u] = gen
+                        result.append(u)
+                        next_frontier.append(u)
+            frontier = next_frontier
+        return np.asarray(result, dtype=np.int32)
+
+    @pytest.mark.parametrize("max_hops", [None, 0, 2])
+    def test_ic_stream_matches_reference_loop(self, viral_graph, max_hops):
+        new = make_sampler(viral_graph, "IC", SEED, max_hops=max_hops)
+        old = make_sampler(viral_graph, "IC", SEED, max_hops=max_hops)
+        rng = np.random.default_rng(3)
+        for root in rng.integers(0, viral_graph.n, 200):
+            got = new._reverse_sample(int(root))
+            want = self._reference_ic(old, int(root))
+            assert np.array_equal(got, want)
+        # the RNG positions agree too — the streams stay aligned forever
+        assert new.rng.bit_generator.state == old.rng.bit_generator.state
+
+    def test_lt_stream_untouched_by_kernel_dispatch(self, small_wc_graph):
+        a = make_sampler(small_wc_graph, "LT", SEED).sample_batch(200)
+        b = make_sampler(small_wc_graph, "LT", SEED, kernel="vectorized").sample_batch(200)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)  # LT shares the walk implementation
+
+
+class TestBatchSplitInvariance:
+    def test_generator_random_is_batch_split_invariant(self):
+        """The vectorized kernel's per-node fast path draws rng.random(d)
+        per frontier node instead of one rng.random(total) — legal only
+        because numpy fills double batches sequentially with no
+        buffering.  If this ever breaks, the kernel must bump its
+        version (the stream changed)."""
+        for seed in range(4):
+            split = np.random.default_rng(seed)
+            parts = [split.random(3), split.random(0), split.random(5), split.random(1)]
+            whole = np.random.default_rng(seed).random(9)
+            assert np.array_equal(np.concatenate(parts), whole)
+
+
+class TestWithinKernelByteIdentity:
+    @pytest.mark.parametrize("kernel", KERNEL_NAMES)
+    def test_replay_and_batching_invariance(self, viral_graph, kernel):
+        whole = make_sampler(viral_graph, "IC", SEED, kernel=kernel).sample_batch(120)
+        pieces_sampler = make_sampler(viral_graph, "IC", SEED, kernel=kernel)
+        pieces = pieces_sampler.sample_batch(50) + pieces_sampler.sample_batch(70)
+        for x, y in zip(whole, pieces):
+            assert np.array_equal(x, y)
+
+    @pytest.mark.parametrize("kernel", KERNEL_NAMES)
+    def test_stream_identical_across_all_backends(self, viral_graph, kernel):
+        """serial / thread / process workers all instantiate the same
+        kernel, so a backend swap cannot change a byte of the stream."""
+        streams = {}
+        for backend in ("serial", "thread", "process"):
+            sampler = ShardedSampler(
+                viral_graph, "IC", 3, seed=SEED, backend=backend, kernel=kernel
+            )
+            try:
+                streams[backend] = sampler.sample_batch(90)
+            finally:
+                sampler.close()
+        for backend in ("thread", "process"):
+            assert all(
+                np.array_equal(a, b)
+                for a, b in zip(streams["serial"], streams[backend])
+            ), backend
+
+    def test_sharded_rejects_unregistered_kernel_instances(self, small_wc_graph):
+        """Workers rebuild kernels by name, so an instance the registry
+        doesn't hold must fail at construction, not mid-batch (or worse,
+        silently swap streams)."""
+
+        class RogueScalar(ScalarKernel):
+            pass
+
+        with pytest.raises(SamplingError, match="registered"):
+            ShardedSampler(small_wc_graph, "IC", 2, seed=SEED, kernel=RogueScalar())
+
+    def test_kernels_produce_different_ic_streams(self, viral_graph):
+        """Sanity that the stream_id split is not vacuous: on a graph
+        with branching frontiers the draw orders genuinely diverge."""
+        a = make_sampler(viral_graph, "IC", SEED, kernel="scalar").sample_batch(120)
+        b = make_sampler(viral_graph, "IC", SEED, kernel="vectorized").sample_batch(120)
+        assert any(not np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestVectorizedCorrectness:
+    @pytest.mark.parametrize("max_hops", [None, 1, 3])
+    def test_rr_sets_are_valid(self, viral_graph, max_hops):
+        sampler = make_sampler(
+            viral_graph, "IC", SEED, kernel="vectorized", max_hops=max_hops
+        )
+        in_neighbors = {
+            v: set(
+                viral_graph.in_indices[
+                    viral_graph.in_indptr[v] : viral_graph.in_indptr[v + 1]
+                ].tolist()
+            )
+            for v in range(viral_graph.n)
+        }
+        for root in range(min(40, viral_graph.n)):
+            rr = sampler.sample(root)
+            assert rr[0] == root
+            assert len(set(rr.tolist())) == len(rr)  # no duplicates
+            if max_hops == 1:
+                assert set(rr[1:].tolist()) <= in_neighbors[root]
+            # every non-root member has an edge into the already-reached set
+            reached = {root}
+            for u in rr[1:].tolist():
+                # u entered via some edge (u -> w) with w already reached
+                out = viral_graph.out_indices[
+                    viral_graph.out_indptr[u] : viral_graph.out_indptr[u + 1]
+                ]
+                assert reached & set(out.tolist())
+                reached.add(u)
+
+    def test_max_hops_zero_is_just_the_root(self, viral_graph):
+        sampler = make_sampler(viral_graph, "IC", SEED, kernel="vectorized", max_hops=0)
+        assert sampler.sample(5).tolist() == [5]
+
+
+class TestDistributionalAgreement:
+    """Cross-kernel agreement is statistical, not byte-level: same RR-set
+    law, verified on sizes (KS) and on the influence estimates the
+    algorithms actually consume."""
+
+    _SETS = 1200
+
+    def _sizes(self, graph, kernel, seed):
+        sampler = make_sampler(graph, "IC", seed, kernel=kernel)
+        return np.asarray([rr.size for rr in sampler.sample_batch(self._SETS)])
+
+    def test_rr_size_distributions_agree(self, viral_graph):
+        a = self._sizes(viral_graph, "scalar", 11)
+        b = self._sizes(viral_graph, "vectorized", 12)
+        hi = max(a.max(), b.max()) + 1
+        cdf_a = np.cumsum(np.bincount(a, minlength=hi)) / a.size
+        cdf_b = np.cumsum(np.bincount(b, minlength=hi)) / b.size
+        ks = np.abs(cdf_a - cdf_b).max()
+        # two-sample KS critical value at alpha=0.001 for n=m=1200
+        crit = 1.949 * np.sqrt(2.0 / self._SETS)
+        assert ks < crit, f"KS statistic {ks:.4f} exceeds {crit:.4f}"
+        # a same-kernel split of equal size must also pass (the check has
+        # no power against the null being trivially violated by noise)
+        c = self._sizes(viral_graph, "scalar", 13)
+        assert np.abs(
+            np.cumsum(np.bincount(a, minlength=max(a.max(), c.max()) + 1)) / a.size
+            - np.cumsum(np.bincount(c, minlength=max(a.max(), c.max()) + 1)) / c.size
+        ).max() < crit
+
+    def test_influence_estimates_agree_within_epsilon(self, viral_graph):
+        from repro.sampling.rr_collection import RRCollection
+
+        seeds = list(range(4))
+        estimates = {}
+        for kernel, seed in (("scalar", 21), ("vectorized", 22)):
+            sampler = make_sampler(viral_graph, "IC", seed, kernel=kernel)
+            pool = RRCollection(viral_graph.n, stream_id=sampler.stream_id)
+            pool.extend(sampler.sample_batch(3000))
+            estimates[kernel] = (
+                sampler.scale * pool.coverage(seeds) / len(pool)
+            )
+        rel = abs(estimates["scalar"] - estimates["vectorized"]) / estimates["scalar"]
+        assert rel < 0.1, estimates
+
+
+class TestStreamIdentityPlumbing:
+    def test_state_dict_carries_stream_id(self, small_wc_graph):
+        sampler = make_sampler(small_wc_graph, "IC", SEED, kernel="vectorized")
+        assert sampler.state_dict()["stream_id"] == "vectorized-v1"
+
+    def test_cross_kernel_restore_is_rejected_plain(self, small_wc_graph):
+        state = make_sampler(small_wc_graph, "IC", SEED, kernel="vectorized").state_dict()
+        scalar = make_sampler(small_wc_graph, "IC", SEED)
+        with pytest.raises(SamplingError, match="byte-compatible"):
+            scalar.load_state_dict(state)
+
+    def test_cross_kernel_restore_is_rejected_sharded(self, small_wc_graph):
+        donor = ShardedSampler(small_wc_graph, "IC", 2, seed=SEED, kernel="scalar")
+        try:
+            state = donor.state_dict()
+        finally:
+            donor.close()
+        heir = ShardedSampler(small_wc_graph, "IC", 2, seed=SEED, kernel="vectorized")
+        try:
+            with pytest.raises(SamplingError, match="byte-compatible"):
+                heir.load_state_dict(state)
+        finally:
+            heir.close()
+
+    def test_legacy_state_means_the_scalar_stream(self, small_wc_graph):
+        """Pre-kernel spills carry no stream_id: they restore onto the
+        scalar stream (whose draw order produced them) and nothing else."""
+        sampler = make_sampler(small_wc_graph, "IC", SEED)
+        legacy = sampler.state_dict()
+        del legacy["stream_id"]
+        sampler.load_state_dict(legacy)  # accepted
+        vector = make_sampler(small_wc_graph, "IC", SEED, kernel="vectorized")
+        with pytest.raises(SamplingError, match="byte-compatible"):
+            vector.load_state_dict(legacy)
+        check_stream_id({}, ScalarKernel().stream_id)  # helper agrees
+
+    def test_collections_and_snapshots_inherit_stream_id(self, small_wc_graph):
+        from repro.sampling.rr_collection import RRCollection
+
+        pool = RRCollection(small_wc_graph.n, stream_id="vectorized-v1")
+        pool.extend([np.array([1, 2]), np.array([3])])
+        assert pool.snapshot().stream_id == "vectorized-v1"
+
+    def test_context_pool_is_stamped_with_the_kernel_stream(self, small_wc_graph):
+        from repro.engine.context import SamplingContext
+
+        with SamplingContext(small_wc_graph, "IC", seed=SEED, kernel="vectorized") as ctx:
+            assert ctx.pool.stream_id == "vectorized-v1"
+            assert ctx.fresh_verifier is not None  # API intact
+
+    def test_spill_stamps_differ_across_kernels(self, small_wc_graph):
+        from repro.service.store import make_stamp, stamp_digest
+
+        stamps = {}
+        for kernel in KERNEL_NAMES:
+            sampler = make_sampler(small_wc_graph, "LT", SEED, kernel=kernel)
+            stamps[kernel] = make_stamp(
+                small_wc_graph, model="LT", stream="direct", horizon=None,
+                seed=SEED, sampler=sampler,
+            )
+        # The default stream omits the field so scalar stamps (and their
+        # content addresses) stay byte-identical to pre-kernel releases:
+        # pools spilled before kernels existed keep reattaching.
+        assert "stream_id" not in stamps["scalar"]
+        assert stamps["vectorized"]["stream_id"] == "vectorized-v1"
+        assert stamp_digest(stamps["scalar"]) != stamp_digest(stamps["vectorized"])
+
+    def test_pre_kernel_spill_reattaches_into_a_scalar_session(
+        self, small_wc_graph, tmp_path
+    ):
+        """A pool spilled by a pre-kernel release (no stream_id anywhere)
+        must keep reattaching into default-kernel sessions."""
+        from repro.engine import InfluenceEngine
+        from repro.service.store import PoolStore
+
+        # Spill with today's scalar session, then strip every stream_id
+        # from the file — reconstructing the legacy on-disk format.
+        with InfluenceEngine(
+            small_wc_graph, model="LT", seed=SEED, spill_dir=tmp_path
+        ) as engine:
+            cold = engine.maximize(3, epsilon=0.25)
+        store = PoolStore(tmp_path)
+        (path,) = store.files()
+        import json
+
+        with np.load(path) as archive:
+            header = json.loads(bytes(archive["header"]).decode())
+            flat, offsets = archive["flat"], archive["offsets"]
+        assert "stream_id" not in header["stamp"]  # stamp already legacy-shaped
+        header["sampler_state"].pop("stream_id")
+        header_bytes = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+        with open(path, "wb") as handle:
+            np.savez(handle, header=header_bytes, flat=flat, offsets=offsets)
+
+        with InfluenceEngine(
+            small_wc_graph, model="LT", seed=SEED, spill_dir=tmp_path
+        ) as engine:
+            warm = engine.maximize(3, epsilon=0.25)
+            assert engine.pool_manager.reattached_for(engine.session) > 0
+            assert engine.stats.rr_sampled == 0
+        assert warm.seeds == cold.seeds and warm.samples == cold.samples
+
+    def test_pools_with_different_stream_ids_do_not_collide(self, small_wc_graph):
+        """Same (namespace, stream, model, horizon), different kernel:
+        the manager must hold two independent pools."""
+        from repro.engine.context import SamplingContext
+        from repro.service.pool import PoolKey, PoolManager
+
+        manager = PoolManager()
+
+        def factory(kernel):
+            def build():
+                return (
+                    SamplingContext(small_wc_graph, "LT", seed=SEED, kernel=kernel),
+                    SEED,
+                )
+            return build
+
+        key_scalar = PoolKey("s", "direct", "LT", None, "scalar-v1")
+        key_vector = PoolKey("s", "direct", "LT", None, "vectorized-v1")
+        with manager.query(key_scalar, factory("scalar")) as view:
+            view.require(30)
+        with manager.query(key_vector, factory("vectorized")) as view:
+            view.require(10)
+        sizes = manager.pool_sizes("s")
+        assert sizes == {
+            ("direct", "LT", None, "scalar-v1"): 30,
+            ("direct", "LT", None, "vectorized-v1"): 10,
+        }
+        manager.close()
+
+
+class TestVectorizedSpillReattach:
+    """A vectorized-kernel pool round-trips through service/store.py:
+    spill on close, reattach on the next session with the same stream
+    identity — and never onto a scalar session."""
+
+    def _run(self, graph, tmp_path, kernel, seed=SEED):
+        from repro.engine import InfluenceEngine
+
+        with InfluenceEngine(
+            graph, model="IC", seed=seed, kernel=kernel, spill_dir=tmp_path
+        ) as engine:
+            result = engine.maximize(3, epsilon=0.25)
+            reattached = engine.pool_manager.reattached_for(engine.session)
+            sampled = engine.stats.rr_sampled
+        return result, reattached, sampled
+
+    def test_vectorized_pool_survives_restart(self, viral_graph, tmp_path):
+        cold, reattached_cold, sampled_cold = self._run(viral_graph, tmp_path, "vectorized")
+        assert reattached_cold == 0 and sampled_cold > 0
+        warm, reattached_warm, sampled_warm = self._run(viral_graph, tmp_path, "vectorized")
+        assert reattached_warm >= cold.optimization_samples
+        assert sampled_warm == 0  # fully served from the reattached pool
+        assert warm.seeds == cold.seeds and warm.samples == cold.samples
+        assert warm.influence == cold.influence
+
+    def test_scalar_session_ignores_the_vectorized_spill(self, viral_graph, tmp_path):
+        self._run(viral_graph, tmp_path, "vectorized")
+        _, reattached, sampled = self._run(viral_graph, tmp_path, "scalar")
+        assert reattached == 0  # different stream_id => different stamp
+        assert sampled > 0
+
+    def test_spilled_file_embeds_the_stream_position(self, viral_graph, tmp_path):
+        from repro.service.store import PoolStore
+
+        self._run(viral_graph, tmp_path, "vectorized")
+        store = PoolStore(tmp_path)
+        files = store.files()
+        assert files
+        import json
+
+        with np.load(files[0]) as archive:
+            header = json.loads(bytes(archive["header"]).decode())
+        assert header["stamp"]["stream_id"] == "vectorized-v1"
+        assert header["sampler_state"]["stream_id"] == "vectorized-v1"

@@ -3,7 +3,9 @@
 N threads issuing interleaved ``maximize``/``sweep``/``estimate`` queries
 against one service must return byte-identical seeds/samples to the same
 queries run sequentially on a fresh engine at the same seed — for
-SSA/D-SSA/IMM across the serial and process execution backends.
+SSA/D-SSA/IMM across the serial and process execution backends, and
+under both sampling kernels (the guarantee is per-kernel; the
+interleaving tests re-run on each).
 """
 
 from concurrent.futures import ThreadPoolExecutor
@@ -62,26 +64,31 @@ def _assert_identical(concurrent, sequential):
 
 
 class TestConcurrentExactness:
+    @pytest.mark.parametrize("kernel", ["scalar", "vectorized"])
     @pytest.mark.parametrize("algorithm", ["D-SSA", "SSA", "IMM"])
     def test_interleaved_queries_match_sequential_serial_backend(
-        self, small_wc_graph, algorithm
+        self, small_wc_graph, algorithm, kernel
     ):
         queries = _query_mix(algorithm)
-        sequential = _run_sequential(small_wc_graph, queries)
-        concurrent, stats = _run_concurrent(small_wc_graph, queries, threads=4)
+        sequential = _run_sequential(small_wc_graph, queries, kernel=kernel)
+        concurrent, stats = _run_concurrent(
+            small_wc_graph, queries, threads=4, kernel=kernel
+        )
         _assert_identical(concurrent, sequential)
         assert stats.hit_rate > 0.0  # sharing actually happened
 
+    @pytest.mark.parametrize("kernel", ["scalar", "vectorized"])
     @pytest.mark.parametrize("algorithm", ["D-SSA", "SSA"])
     def test_interleaved_queries_match_sequential_process_backend(
-        self, small_wc_graph, algorithm
+        self, small_wc_graph, algorithm, kernel
     ):
         queries = _query_mix(algorithm)[:3]  # keep the expensive backend short
         sequential = _run_sequential(
-            small_wc_graph, queries, backend="process", workers=2
+            small_wc_graph, queries, backend="process", workers=2, kernel=kernel
         )
         concurrent, _ = _run_concurrent(
-            small_wc_graph, queries, threads=3, backend="process", workers=2
+            small_wc_graph, queries, threads=3, backend="process", workers=2,
+            kernel=kernel,
         )
         _assert_identical(concurrent, sequential)
 
