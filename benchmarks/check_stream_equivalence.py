@@ -1,0 +1,117 @@
+"""CI gate: the merged RR stream is seed-pure (elastic-worker equivalence).
+
+Hashes the merged stream for workers ∈ {1, 2, 4} across execution
+backends and kernels, plus a mid-stream resize (W=1 → W=4), and fails
+if any cell's hash differs from the plain (coordinator-free) sampler's.
+This is the externally checkable form of the library's core contract:
+``workers`` and ``backend`` are throughput knobs — the stream is a pure
+function of the seed alone.
+
+Runs in seconds (it samples a few hundred sets per cell); CI's ``perf``
+job runs it next to the kernel microbenchmark.  Exit codes: 0 = every
+cell matches, 1 = divergence (a correctness bug, not a perf regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if __package__ in (None, ""):  # executed as a script, not collected by pytest
+    sys.path.insert(0, str(_REPO_ROOT))
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+import numpy as np
+
+from benchmarks._common import write_report
+
+KERNELS = ("scalar", "vectorized")
+WORKER_COUNTS = (1, 2, 4)
+
+
+def stream_hash(rr_sets) -> str:
+    digest = hashlib.sha256()
+    for rr in rr_sets:
+        digest.update(np.ascontiguousarray(rr, dtype=np.int32).tobytes())
+        digest.update(b"|")
+    return digest.hexdigest()[:16]
+
+
+def run(args: argparse.Namespace) -> "tuple[list[str], bool]":
+    from repro.datasets.synthetic import load_dataset
+    from repro.sampling.base import make_sampler
+    from repro.sampling.sharded import ShardedSampler
+
+    graph = load_dataset(args.dataset, scale=args.scale)
+    lines = [
+        f"stream equivalence on {args.dataset} (scale={args.scale}, "
+        f"seed={args.seed}, {args.sets} sets, model={args.model})"
+    ]
+    ok = True
+    for kernel in KERNELS:
+        reference = stream_hash(
+            make_sampler(graph, args.model, args.seed, kernel=kernel).sample_batch(args.sets)
+        )
+        lines.append(f"  {kernel}: plain sampler = {reference}")
+        for backend in args.backends:
+            for workers in WORKER_COUNTS:
+                sampler = ShardedSampler(
+                    graph, args.model, workers, seed=args.seed,
+                    backend=backend, kernel=kernel,
+                )
+                try:
+                    got = stream_hash(sampler.sample_batch(args.sets))
+                finally:
+                    sampler.close()
+                verdict = "OK" if got == reference else "MISMATCH"
+                ok &= got == reference
+                lines.append(f"    {backend:>7} W={workers}: {got} {verdict}")
+            # mid-stream resize: W=1 for the first half, W=4 for the rest
+            sampler = ShardedSampler(
+                graph, args.model, 1, seed=args.seed, backend=backend, kernel=kernel
+            )
+            try:
+                first = sampler.sample_batch(args.sets // 2)
+                sampler.resize(4)
+                second = sampler.sample_batch(args.sets - args.sets // 2)
+            finally:
+                sampler.close()
+            got = stream_hash(first + second)
+            verdict = "OK" if got == reference else "MISMATCH"
+            ok &= got == reference
+            lines.append(f"    {backend:>7} resize 1->4 mid-stream: {got} {verdict}")
+    return lines, ok
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="nethept")
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--model", default="IC", choices=["IC", "LT"])
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--sets", type=int, default=400)
+    parser.add_argument(
+        "--backends", nargs="+", default=["serial", "thread", "process"],
+        choices=["serial", "thread", "process"],
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    lines, ok = run(args)
+    report = "\n".join(lines)
+    print(report)
+    write_report("stream_equivalence", report)
+    if not ok:
+        print("FAIL: worker count or backend changed the RR stream", file=sys.stderr)
+        return 1
+    print("OK: stream is a pure function of the seed across every cell")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -212,10 +212,11 @@ def _query_execute(call, line: str) -> bool:
     if command == "help":
         print(
             "commands:\n"
-            "  maximize k=10 [epsilon=0.1] [algorithm=D-SSA] [horizon=T]\n"
+            "  maximize k=10 [epsilon=0.1] [algorithm=D-SSA] [horizon=T] [workers=W]\n"
             "  sweep ks=1,5,10 [epsilon=0.1] [algorithm=D-SSA]\n"
             "  estimate seeds=1,2,3 [samples=N]\n"
-            "  algorithms | stats | ping | help | quit\n"
+            "  resize workers=W   (elastic worker count; stream unchanged)\n"
+            "  algorithms | stats | metrics | ping | help | quit\n"
             "  shutdown   (stop a remote server)"
         )
     elif command == "algorithms":
@@ -229,14 +230,54 @@ def _query_execute(call, line: str) -> bool:
     elif command == "stats":
         stats = call("stats")
         print(
-            f"session seed={stats['seed']} queries={stats['queries']} "
+            f"session seed={stats['seed']} workers={stats.get('workers') or 1} "
+            f"queries={stats['queries']} "
             f"rr_requested={stats['rr_requested']} rr_sampled={stats['rr_sampled']} "
             f"cache_hits={stats['cache_hits']} hit_rate={stats['hit_rate']:.1%} "
             f"pool_bytes={stats['pool_bytes']} evictions={stats['evictions']} "
+            f"truncations={stats.get('pool_truncations', 0)} "
             f"reattached_sets={stats['reattached_sets']}"
         )
         for key, size in stats["pools"].items():
             print(f"  pool {key}: {size} RR sets")
+        metrics = call("metrics")
+        for op, hist in metrics.items():
+            if hist["count"]:
+                print(
+                    f"  latency {op}: n={hist['count']} "
+                    f"p50={hist['p50_seconds'] * 1000:.1f}ms "
+                    f"p99={hist['p99_seconds'] * 1000:.1f}ms "
+                    f"max={hist['max_seconds'] * 1000:.1f}ms"
+                )
+    elif command == "metrics":
+        metrics = call("metrics")
+        rows = [
+            [
+                op,
+                hist["count"],
+                f"{hist['mean_seconds'] * 1000:.1f}",
+                f"{hist['p50_seconds'] * 1000:.1f}",
+                f"{hist['p90_seconds'] * 1000:.1f}",
+                f"{hist['p99_seconds'] * 1000:.1f}",
+                f"{hist['max_seconds'] * 1000:.1f}",
+            ]
+            for op, hist in metrics.items()
+        ]
+        print(
+            format_table(
+                ["op", "count", "mean ms", "p50 ms", "p90 ms", "p99 ms", "max ms"],
+                rows,
+                title="Per-operation latency (bucketed histogram estimates)",
+            )
+        )
+    elif command == "resize":
+        if "workers" not in opts:
+            raise ValueError("resize needs workers=<int>")
+        outcome = call("resize", **opts)
+        print(
+            f"session {outcome['session']!r} now at workers={outcome['workers']} "
+            f"({outcome['pools_resized']} warm pool(s) resized; stream unchanged)"
+        )
     elif command == "maximize":
         if "k" not in opts:
             raise ValueError("maximize needs k=<int>")
@@ -433,8 +474,9 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers",
             type=int,
             default=None,
-            help="parallel sampling workers (>1 shards the RR stream; "
-            "defaults to the CPU count when a parallel backend is chosen)",
+            help="parallel sampling workers — a pure throughput knob: the "
+            "RR stream is byte-identical at any count (defaults to the "
+            "CPU count when a parallel backend is chosen)",
         )
         p.add_argument(
             "--kernel",

@@ -20,11 +20,14 @@ many times" economics of probabilistic databases:
   support) that the engine, ``run_algorithm``, ``compare``, and the CLI
   all resolve through.
 
-Because the RR stream is a pure function of ``(seed, workers)`` —
-independent of batching — a warm session's cached pool is the byte-exact
-prefix of any cold run's stream, so repeated queries *top up* instead of
-resampling while returning byte-identical results to the one-shot
-functions at equal seeds.
+Because the RR stream is a pure function of the seed alone —
+independent of batching, backend, and worker count (per-set SeedSequence
+derivation; see :mod:`repro.sampling.seedstream`) — a warm session's
+cached pool is the byte-exact prefix of any cold run's stream, so
+repeated queries *top up* instead of resampling while returning
+byte-identical results to the one-shot functions at equal seeds, and
+``workers`` can be retuned per query or mid-session
+(:meth:`~repro.engine.engine.InfluenceEngine.resize`) for free.
 
 Sessions are thread-safe and bounded: pool state lives in a
 :class:`~repro.service.pool.PoolManager` (immutable per-query

@@ -5,12 +5,13 @@ used to rebuild per call: a parallel sampler (and with it the execution
 backend — acquired once here, released once in :meth:`close`) plus a
 persistent :class:`~repro.sampling.rr_collection.RRCollection` pool.
 Algorithm bodies ask for *prefixes* of the RR stream via
-:meth:`require`; because the stream is a pure function of
-``(seed, workers)`` independent of batching (see
-:mod:`repro.sampling.sharded`), serving a query from the cached pool is
-byte-identical to resampling it cold — reuse is free of statistical or
-reproducibility surprises beyond the documented cross-query correlation
-of shared samples.
+:meth:`require`; because the stream is a pure function of the seed
+alone — independent of batching, backend, and worker count (see
+:mod:`repro.sampling.seedstream`) — serving a query from the cached
+pool is byte-identical to resampling it cold, and :meth:`resize` can
+change the worker fleet mid-session without touching a byte.  Reuse is
+free of statistical or reproducibility surprises beyond the documented
+cross-query correlation of shared samples.
 
 The one-shot wrappers (``dssa(...)``, ``ssa(...)``, ...) build a
 throwaway context per call, which both guarantees backend teardown on
@@ -71,6 +72,7 @@ class SamplingContext:
         self.roots = roots
         self.horizon = horizon
         self._seed = seed
+        self._backend = backend
         self._split_verify = split_verify
         self._stored_verify = None
         if split_verify:
@@ -145,6 +147,69 @@ class SamplingContext:
         )
 
     # ------------------------------------------------------------------
+    # Elastic workers
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Current worker count of the context's sampler."""
+        return self.sampler.workers
+
+    def resize(self, workers: int) -> None:
+        """Set the sampler's worker count mid-session (byte-invisible).
+
+        Seed-pure streams make ``workers`` a pure throughput knob, so a
+        resize never changes what any query returns.  A context built
+        without a coordinator (plain in-process sampler) is upgraded in
+        place to a :class:`~repro.sampling.sharded.ShardedSampler`,
+        continuing the stream at the same position — on its configured
+        backend, or on the thread backend when the session never chose
+        one (``backend=None`` means "no parallelism yet", and resizing
+        to W>1 onto a serial fleet would be a silent no-op).
+        """
+        from repro.sampling.sharded import ShardedSampler
+
+        if self._closed:
+            raise SamplingError("sampling context is closed")
+        workers = int(workers)
+        if workers < 1:
+            raise SamplingError(f"workers must be >= 1, got {workers}")
+        if isinstance(self.sampler, ShardedSampler):
+            self.sampler.resize(workers)
+            return
+        if workers == 1:
+            return  # a plain sampler already is the one-worker topology
+        state = self.sampler.state_dict()
+        upgraded = ShardedSampler(
+            self.graph,
+            self.model,
+            workers,
+            self.sampler.seed_stream,
+            roots=self.roots,
+            max_hops=self.horizon,
+            backend=self._backend if self._backend is not None else "thread",
+            kernel=self.kernel,
+        )
+        upgraded.load_state_dict(state)
+        old, self.sampler = self.sampler, upgraded
+        old.close()
+
+    def truncate(self, keep: int) -> int:
+        """Drop pool sets ``[keep, len)`` and reposition the stream.
+
+        Per-set seed derivation makes any prefix resumable: the sampler
+        simply seeks to ``keep``, so the next :meth:`require` past the
+        kept prefix re-continues the stream byte-exactly.  Returns the
+        number of sets dropped.  Used by the pool manager's suffix
+        eviction under byte pressure.
+        """
+        if self._closed:
+            raise SamplingError("sampling context is closed")
+        dropped = self.pool.truncate(keep)
+        if dropped:
+            self.sampler.seek(len(self.pool), entries=self.pool.total_entries)
+        return dropped
+
+    # ------------------------------------------------------------------
     # Stream position (pool spill / reattach)
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
@@ -165,6 +230,10 @@ class SamplingContext:
         if len(self.pool):
             raise SamplingError("can only preload an empty pool")
         self.pool.extend(rr_sets)
+        # Keep the stream position consistent even if the caller skips
+        # load_state_dict: top-ups must continue after the preloaded
+        # prefix, never resample over it.
+        self.sampler.seek(len(self.pool), entries=self.pool.total_entries)
         return len(self.pool)
 
     # ------------------------------------------------------------------

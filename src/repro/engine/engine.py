@@ -16,9 +16,11 @@ once:
 True
 
 Reuse is *exact*, not approximate: the RR stream is a pure function of
-``(seed, workers)`` independent of batching, so every query returns
-byte-identical seeds/samples to the corresponding one-shot function at
-the same seed — the cache only removes duplicated sampling work.  The
+the session seed — independent of batching, backend, and worker count
+(``workers`` is a runtime throughput knob; see :meth:`resize`) — so
+every query returns byte-identical seeds/samples to the corresponding
+one-shot function at the same seed — the cache only removes duplicated
+sampling work.  The
 price of sharing is statistical, and worth naming: queries answered from
 one pool are correlated with each other (the "condition once, query many
 times" trade of probabilistic databases); each individual answer still
@@ -101,8 +103,11 @@ class InfluenceEngine:
         replayable.  Pass the same seed to a one-shot function to get
         byte-identical output.
     backend, workers, roots:
-        Execution backend, worker count, and root distribution shared by
-        every warm sampling context the session opens.
+        Execution backend, initial worker count, and root distribution
+        shared by every warm sampling context the session opens.
+        ``workers`` is pure throughput — the stream is identical at any
+        value — and can be changed per query (``maximize(...,
+        workers=)``) or session-wide at runtime (:meth:`resize`).
     kernel:
         Reverse-sampling kernel for every context the session opens
         (``"scalar"`` — the default, historical stream — or
@@ -239,6 +244,47 @@ class InfluenceEngine:
         """Cached RR sets per open pool, keyed ``(stream, model, horizon)``."""
         return self._pools.pool_sizes(self.session)
 
+    @property
+    def active_workers(self) -> int:
+        """The worker count this session actually runs at.
+
+        Reads the live pool samplers (so per-query ``workers=``
+        overrides and resizes show through); with no pool open yet it
+        reports what the first pool would be built with — 1 for serial
+        sessions, the configured count (or this machine's CPU count)
+        for parallel backends.
+        """
+        counts = self._pools.workers_for(self.session)
+        if counts:
+            return max(counts)
+        from repro.sampling.backends import SerialBackend, default_worker_count
+
+        is_serial = (
+            self.backend is None
+            or (isinstance(self.backend, str)
+                and self.backend.strip().lower() == SerialBackend.name)
+            or isinstance(self.backend, SerialBackend)
+        )
+        if is_serial and self.workers is None:
+            return 1
+        return int(self.workers) if self.workers is not None else default_worker_count()
+
+    def resize(self, workers: int) -> int:
+        """Set the session's worker count at runtime; returns pools resized.
+
+        Seed-pure streams make ``workers`` a pure throughput knob: every
+        open pool's sampler is resized in place and *continues the same
+        stream byte-exactly*, and pools opened later start at the new
+        count.  Queries in flight are unaffected (they read immutable
+        snapshots; top-ups serialize on the pool lock).
+        """
+        workers = int(workers)
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        self._check_open()
+        self.workers = workers
+        return self._pools.resize_namespace(self.session, workers)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -252,6 +298,7 @@ class InfluenceEngine:
         model: "str | DiffusionModel | None" = None,
         horizon: int | None = None,
         max_samples: int | None = None,
+        workers: int | None = None,
         **algorithm_kwargs,
     ) -> IMResult:
         """Answer one influence-maximization query.
@@ -260,8 +307,11 @@ class InfluenceEngine:
         repeat and overlapping queries top up the cached RR pool instead
         of resampling.  Algorithms without an engine body (CELF, degree,
         IRIE) still resolve here for a uniform query surface, but run
-        one-shot.  Extra keyword arguments are forwarded to the
-        algorithm body (e.g. ``split=`` for SSA).
+        one-shot.  ``workers`` overrides the pool's worker count for
+        this query onward — a pure throughput knob (seed-pure streams
+        are worker-invariant), so the answer is byte-identical at any
+        value.  Extra keyword arguments are forwarded to the algorithm
+        body (e.g. ``split=`` for SSA).
         """
         self._check_open()
         spec = self._resolve(algorithm)
@@ -286,6 +336,8 @@ class InfluenceEngine:
         with self._query_pool(
             stream=spec.stream, model=query_model, horizon=horizon
         ) as view:
+            if workers is not None:
+                view.resize(workers)
             result = spec.engine_func(
                 view, k, epsilon=epsilon, delta=delta, max_samples=max_samples, **algorithm_kwargs
             )
@@ -328,6 +380,7 @@ class InfluenceEngine:
         samples: int | None = None,
         model: "str | DiffusionModel | None" = None,
         horizon: int | None = None,
+        workers: int | None = None,
     ) -> float:
         """RIS estimate ``Î(S) = Γ·Cov(S)/|R|`` over the session pool.
 
@@ -341,6 +394,8 @@ class InfluenceEngine:
         if samples is not None and int(samples) < 1:
             raise ParameterError(f"samples must be positive, got {samples}")
         with self._query_pool(stream="direct", model=query_model, horizon=horizon) as view:
+            if workers is not None:
+                view.resize(workers)
             target = (
                 int(samples)
                 if samples is not None

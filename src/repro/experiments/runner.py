@@ -51,10 +51,16 @@ class RunRecord:
     quality: float | None = None  # filled by evaluate_quality
     seed: int | None = None
     backend: str | None = None
+    # Worker count is runtime provenance only: seed-pure streams are
+    # byte-identical at any count, so it documents throughput, not the
+    # result.  ``seed`` (+ kernel/stream_id) alone replays the row.
     workers: int | None = None
     # Sampling-kernel stream the RR sets came from; None for pre-kernel
     # records and non-sampling algorithms (the scalar stream either way).
     kernel: str | None = None
+    # Full stream token (kernel + derivation version, e.g. "scalar-v2");
+    # None for records written before seed-pure streams.
+    stream_id: str | None = None
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -122,6 +128,7 @@ def run_algorithm(
         backend=_provenance_backend(backend) if spec.supports_backend else None,
         workers=workers if spec.supports_backend else None,
         kernel=make_kernel(kernel).name if spec.supports_kernel else None,
+        stream_id=make_kernel(kernel).stream_id if spec.supports_kernel else None,
     )
 
 
@@ -136,6 +143,7 @@ def _to_record(
     backend: str | None = None,
     workers: int | None = None,
     kernel: str | None = None,
+    stream_id: str | None = None,
 ) -> RunRecord:
     return RunRecord(
         algorithm=result.algorithm,
@@ -154,6 +162,7 @@ def _to_record(
         backend=backend,
         workers=workers,
         kernel=kernel,
+        stream_id=stream_id,
     )
 
 

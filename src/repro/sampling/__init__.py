@@ -22,6 +22,7 @@ from repro.sampling.kernels import (
     list_kernels,
     make_kernel,
 )
+from repro.sampling.seedstream import SeedStream
 
 __all__ = [
     "RRSampler",
@@ -45,4 +46,5 @@ __all__ = [
     "KERNELS",
     "make_kernel",
     "list_kernels",
+    "SeedStream",
 ]

@@ -5,23 +5,28 @@ i.i.d., so *where* each set is computed is an execution detail.  This
 module pins down the contract between the coordinator
 (:class:`repro.sampling.sharded.ShardedSampler`) and the workers:
 
-* the coordinator owns the root distribution and the merge order — it
-  draws every root itself and partitions them into per-worker batches;
-* each worker owns one RNG stream (spawned from the coordinator's
-  :class:`~numpy.random.SeedSequence`, independent by construction) and
-  turns its root batch into RR sets with a plain
-  :class:`~repro.sampling.base.RRSampler`.
+* the coordinator owns the merge order — it assigns each RR set's
+  *global stream index* to a worker and re-interleaves the results;
+* each worker owns a plain :class:`~repro.sampling.base.RRSampler`
+  built from the stream's seed material (``entropy`` + ``spawn_key``)
+  and computes any set it is handed via
+  :meth:`~repro.sampling.base.RRSampler.sample_at` — the per-set
+  SeedSequence derivation (:mod:`repro.sampling.seedstream`) makes set
+  ``g`` a pure function of ``(seed, g)``, with its root drawn from its
+  own generator.
 
-Because workers only consume the roots they are handed and their own
-stream, the merged output is a pure function of ``(seed, workers)`` — a
-backend swap (serial ↔ thread ↔ process) cannot change a single byte of
-the RR stream.  ``tests/sampling/test_backends.py`` enforces this.
+Workers therefore carry **no stream state**: any worker can compute any
+set, the merged output is a pure function of the seed alone, and the
+fleet can be resized mid-stream (:meth:`ExecutionBackend.resize`)
+without changing a byte.  A backend swap (serial ↔ thread ↔ process)
+cannot change the stream either.  ``tests/sampling/test_backends.py``
+and ``tests/sampling/test_elastic.py`` enforce all of this.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
@@ -35,23 +40,28 @@ from repro.graph.digraph import CSRGraph
 class WorkerSpec:
     """Everything a backend needs to stand up its worker fleet.
 
-    ``seed_seqs`` has one entry per worker; its length defines the fleet
-    size.  The spec itself is cheap — only the process backend pays the
-    cost of shipping ``graph`` (once, via shared memory).
+    ``entropy``/``spawn_key`` identify the stream (the root SeedSequence
+    every per-set child derives from); ``workers`` is the fleet size —
+    pure throughput, no stream meaning.  ``roots`` is the root
+    distribution (``None`` = uniform over the graph's nodes); workers
+    draw each set's root from the set's own generator, so the
+    distribution object must ship to them (picklable: it crosses the
+    process boundary once, at startup).  The spec itself is cheap — only
+    the process backend pays the cost of shipping ``graph`` (once, via
+    shared memory).
     """
 
-    graph: CSRGraph
+    graph: CSRGraph | None
     model: DiffusionModel
-    seed_seqs: list = field(default_factory=list)
+    entropy: int = 0
+    spawn_key: tuple = ()
+    workers: int = 1
+    roots: object | None = None
     max_hops: int | None = None
     # Kernel *name* (not instance): it must survive pickling to process
     # workers, and every worker must instantiate the same kernel or the
     # merged stream would silently mix draw orders.
     kernel: str | None = None
-
-    @property
-    def workers(self) -> int:
-        return len(self.seed_seqs)
 
 
 class ExecutionBackend(abc.ABC):
@@ -61,12 +71,13 @@ class ExecutionBackend(abc.ABC):
 
         backend = make_backend("process")
         backend.start(spec)            # stand up workers, ship the graph
-        shards = backend.sample_shards(root_batches)
+        shards = backend.sample_shards(index_batches)
+        backend.resize(16)             # elastic: stream is unchanged
         backend.close()                # tear down workers, free resources
 
-    ``sample_shards`` takes one root batch per worker (empty batches are
-    allowed and produce empty shard results) and returns, per worker, the
-    RR sets for its roots *in root order*.
+    ``sample_shards`` takes one *global-index* batch per worker (empty
+    batches are allowed and produce empty shard results) and returns,
+    per worker, the RR sets for its indices *in batch order*.
     """
 
     #: registry key / CLI name, overridden by each implementation.
@@ -84,7 +95,7 @@ class ExecutionBackend(abc.ABC):
         if self._spec is not None:
             raise SamplingError(f"{type(self).__name__} already started")
         if spec.workers < 1:
-            raise SamplingError(f"need at least one worker seed, got {spec.workers}")
+            raise SamplingError(f"need at least one worker, got {spec.workers}")
         self._closed = False
         self._start(spec)
         # Only a fully stood-up fleet counts as started: a _start that
@@ -118,48 +129,49 @@ class ExecutionBackend(abc.ABC):
     def started(self) -> bool:
         return self._spec is not None and not self._closed
 
+    def resize(self, workers: int) -> None:
+        """Grow or shrink the fleet mid-stream.
+
+        Seed-pure streams make this safe by construction: workers hold
+        no stream state, so the only effect is throughput.  The next
+        ``sample_shards`` call must pass batches for the new count.
+        """
+        if not self.started:
+            raise SamplingError(f"{type(self).__name__} is not running (start it first)")
+        workers = int(workers)
+        if workers < 1:
+            raise SamplingError(f"need at least one worker, got {workers}")
+        if workers == self._spec.workers:
+            return
+        self._resize(workers)
+        self._spec = replace(self._spec, workers=workers)
+
     # ------------------------------------------------------------------
     # Fan-out
     # ------------------------------------------------------------------
-    def sample_shards(self, root_batches: Sequence[np.ndarray]) -> list[list[np.ndarray]]:
-        """Sample RR sets for each worker's root batch.
+    def sample_shards(
+        self,
+        index_batches: Sequence[np.ndarray],
+        root_batches: "Sequence[np.ndarray | None] | None" = None,
+    ) -> list[list[np.ndarray]]:
+        """Sample RR sets for each worker's batch of global set indices.
 
-        ``root_batches[w]`` are the roots assigned to worker ``w``; the
-        result keeps the same shape: ``result[w][i]`` is the RR set for
-        ``root_batches[w][i]``.
+        ``index_batches[w]`` are the stream indices assigned to worker
+        ``w``; the result keeps the same shape: ``result[w][i]`` is the
+        RR set of stream index ``index_batches[w][i]``.  ``root_batches``
+        optionally pins explicit roots (aligned with the indices);
+        ``None`` — the normal case — draws each root from its set's own
+        generator.
         """
         if not self.started:
             raise SamplingError(f"{type(self).__name__} is not running (start it first)")
-        if len(root_batches) != self.workers:
+        if len(index_batches) != self.workers:
             raise SamplingError(
-                f"got {len(root_batches)} root batches for {self.workers} workers"
+                f"got {len(index_batches)} index batches for {self.workers} workers"
             )
-        return self._sample_shards(root_batches)
-
-    # ------------------------------------------------------------------
-    # Worker stream positions (pool spill / reattach)
-    # ------------------------------------------------------------------
-    def worker_states(self) -> list:
-        """Per-worker RNG states (JSON-serializable), in worker order.
-
-        Worker RNG streams are identified by worker *index*, so a state
-        list captured on one backend restores onto another — the stream
-        is a pure function of ``(seed, workers)``, never of where the
-        workers run.
-        """
-        if not self.started:
-            raise SamplingError(f"{type(self).__name__} is not running (start it first)")
-        return self._worker_states()
-
-    def restore_worker_states(self, states: list) -> None:
-        """Restore states captured by :meth:`worker_states`."""
-        if not self.started:
-            raise SamplingError(f"{type(self).__name__} is not running (start it first)")
-        if len(states) != self.workers:
-            raise SamplingError(
-                f"got {len(states)} worker states for {self.workers} workers"
-            )
-        self._restore_worker_states(states)
+        if root_batches is not None and len(root_batches) != len(index_batches):
+            raise SamplingError("root batches must align with index batches")
+        return self._sample_shards(index_batches, root_batches)
 
     # ------------------------------------------------------------------
     # Implementation hooks
@@ -168,16 +180,17 @@ class ExecutionBackend(abc.ABC):
     def _start(self, spec: WorkerSpec) -> None:
         """Backend-specific fleet startup."""
 
-    def _worker_states(self) -> list:
-        """Backend-specific state fetch; called only while started."""
-        raise SamplingError(f"{type(self).__name__} does not support state capture")
-
-    def _restore_worker_states(self, states: list) -> None:
-        """Backend-specific state restore; called only while started."""
-        raise SamplingError(f"{type(self).__name__} does not support state restore")
+    @abc.abstractmethod
+    def _resize(self, workers: int) -> None:
+        """Backend-specific fleet resize; called only while started and
+        only for an actual size change."""
 
     @abc.abstractmethod
-    def _sample_shards(self, root_batches: Sequence[np.ndarray]) -> list[list[np.ndarray]]:
+    def _sample_shards(
+        self,
+        index_batches: Sequence[np.ndarray],
+        root_batches: "Sequence[np.ndarray | None] | None",
+    ) -> list[list[np.ndarray]]:
         """Backend-specific fan-out; called only while started."""
 
     @abc.abstractmethod
@@ -185,23 +198,38 @@ class ExecutionBackend(abc.ABC):
         """Backend-specific teardown; called at most once."""
 
 
-def build_worker_sampler(spec: WorkerSpec, worker_id: int, graph: CSRGraph | None = None):
-    """Construct worker ``worker_id``'s sampler from a spec.
+def build_worker_sampler(spec: WorkerSpec, graph: CSRGraph | None = None):
+    """Construct one worker's sampler from a spec.
 
-    Shared by every backend so the in-process and out-of-process paths
-    use byte-identical RNG construction (``default_rng`` over the spawned
-    SeedSequence).  ``graph`` overrides the spec's graph for workers that
-    attached their own shared-memory copy.
+    Workers are interchangeable (no per-worker stream state), so there
+    is no worker id: every backend builds samplers from the same seed
+    material and byte-identical per-set derivation follows.  ``graph``
+    overrides the spec's graph for workers that attached their own
+    shared-memory copy.
     """
     from repro.sampling.base import make_sampler
 
     return make_sampler(
         graph if graph is not None else spec.graph,
         spec.model,
-        np.random.default_rng(spec.seed_seqs[worker_id]),
+        np.random.SeedSequence(entropy=spec.entropy, spawn_key=spec.spawn_key),
+        roots=spec.roots,
         max_hops=spec.max_hops,
         kernel=spec.kernel,
     )
+
+
+def run_worker_batch(
+    sampler, indices: np.ndarray, roots: "np.ndarray | None" = None
+) -> list[np.ndarray]:
+    """Compute one worker's shard: ``sample_at`` per global index.
+
+    Shared by every backend so in-process and out-of-process paths run
+    byte-identical code.
+    """
+    if roots is None:
+        return [sampler.sample_at(int(g)) for g in indices]
+    return [sampler.sample_at(int(g), int(r)) for g, r in zip(indices, roots)]
 
 
 def flatten_rr_batch(rr_sets: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:

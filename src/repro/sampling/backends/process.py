@@ -7,13 +7,23 @@ scaled down to one machine:
   shared-memory segment (:func:`repro.graph.shm.share_csr_graph`) and
   spawns W persistent worker processes.  Each worker attaches the
   segment zero-copy, rebuilds a validated :class:`CSRGraph` view, and
-  constructs its sampler from its own spawned
-  :class:`~numpy.random.SeedSequence`;
-* **steady state** — the only traffic per fan-out is one ``root_batch``
-  array down each worker's pipe and one packed ``(flat, sizes)``
-  RR-batch reply back up.  The graph never crosses a pipe again;
+  constructs its sampler from the stream's seed material — workers hold
+  no per-worker stream state, so any worker can compute any set;
+* **steady state** — the only traffic per fan-out is one batch of
+  global set indices down each worker's pipe and one packed
+  ``(flat, sizes)`` RR-batch reply back up.  The graph never crosses a
+  pipe again;
+* **elasticity** — :meth:`ProcessBackend.resize` spawns extra workers
+  against the existing segment or retires surplus ones; the stream is
+  seed-pure, so a resize is byte-invisible;
 * **teardown** — workers get a ``None`` sentinel, detach, and exit; the
   coordinator joins them, then closes *and unlinks* the segment.
+
+Each worker's stderr is redirected to a scratch file the coordinator
+keeps; when a worker dies, the raised
+:class:`~repro.exceptions.SamplingError` carries the worker id, pid,
+exit code, how many batches it had been dispatched, and the tail of its
+stderr — a crash is debuggable from the coordinator's exception alone.
 
 The default start method is ``spawn``: it is portable, and it proves the
 architecture (a spawned child shares no memory with its parent, so the
@@ -26,6 +36,8 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import sys
+import tempfile
 from typing import Sequence
 
 import numpy as np
@@ -37,46 +49,55 @@ from repro.sampling.backends.base import (
     WorkerSpec,
     build_worker_sampler,
     flatten_rr_batch,
+    run_worker_batch,
     unflatten_rr_batch,
 )
 
 _JOIN_TIMEOUT = 5.0
+_STDERR_TAIL_BYTES = 2048
 
 
-def _worker_main(conn, graph_spec: SharedCSRSpec, worker_spec: WorkerSpec, worker_id: int) -> None:
-    """Worker process entry point: attach graph, serve root batches.
+def _worker_main(
+    conn,
+    graph_spec: SharedCSRSpec,
+    worker_spec: WorkerSpec,
+    worker_id: int,
+    stderr_path: str | None,
+) -> None:
+    """Worker process entry point: attach graph, serve index batches.
 
     ``worker_spec.graph`` is ``None`` on the wire (the graph travels via
-    shared memory, not pickle); everything else — model, seed sequences,
-    hop cap — rides the spec unchanged so worker construction is the
-    same code path as the in-process backends.
+    shared memory, not pickle); everything else — model, seed material,
+    root distribution, hop cap — rides the spec unchanged so worker
+    construction is the same code path as the in-process backends.
     """
+    if stderr_path is not None:
+        # Everything the worker (or a crashing libc/numpy) writes to fd 2
+        # lands in the coordinator's scratch file, so worker death comes
+        # with a stderr tail attached to the coordinator's exception.
+        err_file = open(stderr_path, "a", buffering=1)
+        os.dup2(err_file.fileno(), 2)
+        sys.stderr = err_file
     shm = None
     try:
         graph, shm = attach_csr_graph(graph_spec)
-        sampler = build_worker_sampler(worker_spec, worker_id, graph=graph)
+        sampler = build_worker_sampler(worker_spec, graph=graph)
         while True:
             message = conn.recv()
             if message is None:
                 break
-            if isinstance(message, tuple):
-                # Control messages: ("get_state",) / ("set_state", state).
-                # They ride the same pipe as root batches, so ordering with
-                # sampling work is inherited from the coordinator's calls.
-                try:
-                    if message[0] == "get_state":
-                        conn.send(("ok", sampler.rng.bit_generator.state))
-                    elif message[0] == "set_state":
-                        sampler.rng.bit_generator.state = message[1]
-                        conn.send(("ok",))
-                    else:
-                        conn.send(("err", f"unknown control message {message[0]!r}"))
-                except Exception as exc:
-                    conn.send(("err", f"{type(exc).__name__}: {exc}"))
-                continue
             try:
-                rr_sets = [sampler._reverse_sample(int(root)) for root in message]
-                conn.send(("ok",) + flatten_rr_batch(rr_sets))
+                if message[0] == "sample":
+                    _, indices, roots = message
+                    rr_sets = run_worker_batch(sampler, indices, roots)
+                    conn.send(("ok",) + flatten_rr_batch(rr_sets))
+                elif message[0] == "abort":
+                    # Fault injection for crash-context tests: die hard,
+                    # leaving only stderr behind (no protocol reply).
+                    print(message[1], file=sys.stderr, flush=True)
+                    os._exit(70)
+                else:
+                    conn.send(("err", f"unknown message {message[0]!r}"))
             except Exception as exc:  # surface worker faults to the coordinator
                 conn.send(("err", f"{type(exc).__name__}: {exc}"))
     except (EOFError, KeyboardInterrupt):
@@ -98,66 +119,144 @@ class ProcessBackend(ExecutionBackend):
         super().__init__()
         self._start_method = start_method or "spawn"
         self._shm = None
+        self._graph_spec: SharedCSRSpec | None = None
+        self._wire_spec: WorkerSpec | None = None
         self._procs: list[mp.process.BaseProcess] = []
         self._conns: list = []
+        self._stderr_paths: list[str] = []
+        self._batches_dispatched: list[int] = []
+
+    def _spawn_worker(self, worker_id: int) -> None:
+        ctx = mp.get_context(self._start_method)
+        handle = tempfile.NamedTemporaryFile(
+            prefix=f"rr-worker-{worker_id}-", suffix=".stderr", delete=False
+        )
+        handle.close()
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._graph_spec, self._wire_spec, worker_id, handle.name),
+            name=f"rr-worker-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._procs.append(proc)
+        self._conns.append(parent_conn)
+        self._stderr_paths.append(handle.name)
+        self._batches_dispatched.append(0)
 
     def _start(self, spec: WorkerSpec) -> None:
-        ctx = mp.get_context(self._start_method)
-        self._shm, graph_spec = share_csr_graph(spec.graph)
+        self._shm, self._graph_spec = share_csr_graph(spec.graph)
         # The graph is in the segment now; the pickled spec must not drag
         # a second copy of it through every worker's bootstrap.
-        wire_spec = WorkerSpec(
+        self._wire_spec = WorkerSpec(
             graph=None,
             model=spec.model,
-            seed_seqs=spec.seed_seqs,
+            entropy=spec.entropy,
+            spawn_key=spec.spawn_key,
+            workers=spec.workers,
+            roots=spec.roots,
             max_hops=spec.max_hops,
             kernel=spec.kernel,
         )
         try:
             for worker_id in range(spec.workers):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, graph_spec, wire_spec, worker_id),
-                    name=f"rr-worker-{worker_id}",
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._procs.append(proc)
-                self._conns.append(parent_conn)
+                self._spawn_worker(worker_id)
         except Exception:
             self._teardown()
             raise
 
-    def _sample_shards(self, root_batches: Sequence[np.ndarray]) -> list[list[np.ndarray]]:
+    def _resize(self, workers: int) -> None:
+        if workers > len(self._procs):
+            # The shared-memory segment is already up; new workers attach
+            # it exactly as the original fleet did.
+            for worker_id in range(len(self._procs), workers):
+                self._spawn_worker(worker_id)
+            return
+        # Retire the surplus: sentinel, join, release pipe + stderr file.
+        for worker_id in range(workers, len(self._procs)):
+            try:
+                self._conns[worker_id].send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker_id in range(workers, len(self._procs)):
+            proc = self._procs[worker_id]
+            proc.join(timeout=_JOIN_TIMEOUT)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=_JOIN_TIMEOUT)
+            self._conns[worker_id].close()
+            self._remove_stderr_file(self._stderr_paths[worker_id])
+        del self._procs[workers:]
+        del self._conns[workers:]
+        del self._stderr_paths[workers:]
+        del self._batches_dispatched[workers:]
+
+    # ------------------------------------------------------------------
+    # Fault context
+    # ------------------------------------------------------------------
+    def _stderr_tail(self, worker_id: int) -> str:
+        try:
+            with open(self._stderr_paths[worker_id], "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                handle.seek(max(0, size - _STDERR_TAIL_BYTES))
+                tail = handle.read().decode("utf-8", errors="replace").strip()
+        except OSError:
+            return ""
+        return tail
+
+    def _fault(self, worker_id: int, why: str) -> str:
+        """One worker-failure description with full crash context."""
+        proc = self._procs[worker_id]
+        message = (
+            f"worker {worker_id} (pid {proc.pid}, exitcode {proc.exitcode}) {why}; "
+            f"batches dispatched to it: {self._batches_dispatched[worker_id]}"
+        )
+        tail = self._stderr_tail(worker_id)
+        if tail:
+            message += f"; stderr tail:\n{tail}"
+        return message
+
+    # ------------------------------------------------------------------
+    # Fan-out
+    # ------------------------------------------------------------------
+    def _sample_shards(
+        self,
+        index_batches: Sequence[np.ndarray],
+        root_batches: "Sequence[np.ndarray | None] | None",
+    ) -> list[list[np.ndarray]]:
         # Ship all batches first so workers overlap, then collect in order.
         # Faults on either leg are accumulated, never raised mid-protocol:
         # every successfully-sent batch must be drained before raising, or
-        # a retry would pair this call's stale replies with new roots.
+        # a retry would pair this call's stale replies with new indices.
         engaged = []
         faults: list[str] = []
-        for worker_id, (conn, batch) in enumerate(zip(self._conns, root_batches)):
+        for worker_id, (conn, batch) in enumerate(zip(self._conns, index_batches)):
             if len(batch) == 0:
                 continue
+            roots = None if root_batches is None else root_batches[worker_id]
             try:
-                conn.send(np.asarray(batch, dtype=np.int64))
-            except (BrokenPipeError, OSError) as exc:
-                faults.append(
-                    f"worker {worker_id} (pid {self._procs[worker_id].pid}) is gone: {exc}"
+                conn.send(
+                    (
+                        "sample",
+                        np.asarray(batch, dtype=np.int64),
+                        None if roots is None else np.asarray(roots, dtype=np.int64),
+                    )
                 )
+            except (BrokenPipeError, OSError) as exc:
+                faults.append(self._fault(worker_id, f"is gone: {exc}"))
                 continue
+            self._batches_dispatched[worker_id] += 1
             engaged.append(worker_id)
 
-        results: list[list[np.ndarray]] = [[] for _ in root_batches]
+        results: list[list[np.ndarray]] = [[] for _ in index_batches]
         for worker_id in engaged:
             try:
                 reply = self._conns[worker_id].recv()
             except (EOFError, OSError) as exc:
-                faults.append(
-                    f"worker {worker_id} died mid-batch "
-                    f"(exitcode {self._procs[worker_id].exitcode}): {exc}"
-                )
+                faults.append(self._fault(worker_id, f"died mid-batch: {exc}"))
                 continue
             if reply[0] != "ok":
                 faults.append(f"worker {worker_id} failed: {reply[1]}")
@@ -167,30 +266,18 @@ class ProcessBackend(ExecutionBackend):
             raise SamplingError("; ".join(faults))
         return results
 
-    def _control_round(self, messages: "list[tuple]") -> list:
-        """One control request per worker; returns the payloads in order."""
-        replies = []
-        for worker_id, (conn, message) in enumerate(zip(self._conns, messages)):
-            try:
-                conn.send(message)
-                reply = conn.recv()
-            except (BrokenPipeError, EOFError, OSError) as exc:
-                raise SamplingError(
-                    f"worker {worker_id} unreachable for control message: {exc}"
-                ) from exc
-            if reply[0] != "ok":
-                raise SamplingError(f"worker {worker_id} control failure: {reply[1]}")
-            replies.append(reply[1] if len(reply) > 1 else None)
-        return replies
-
-    def _worker_states(self) -> list:
-        return self._control_round([("get_state",)] * len(self._conns))
-
-    def _restore_worker_states(self, states: list) -> None:
-        self._control_round([("set_state", state) for state in states])
-
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
     def _close(self) -> None:
         self._teardown()
+
+    @staticmethod
+    def _remove_stderr_file(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
 
     def _teardown(self) -> None:
         for conn in self._conns:
@@ -205,8 +292,12 @@ class ProcessBackend(ExecutionBackend):
                 proc.join(timeout=_JOIN_TIMEOUT)
         for conn in self._conns:
             conn.close()
+        for path in self._stderr_paths:
+            self._remove_stderr_file(path)
         self._procs = []
         self._conns = []
+        self._stderr_paths = []
+        self._batches_dispatched = []
         if self._shm is not None:
             close_segment(self._shm, unlink=True)
             self._shm = None

@@ -1,10 +1,11 @@
 """Serial execution backend — workers run one after another, in-process.
 
-This is the default and the reference implementation: the worker fleet
-is a list of plain samplers iterated in worker order.  It carries zero
-startup or transport cost, so it is also what single-worker
-:class:`~repro.sampling.sharded.ShardedSampler` instances and small
-graphs should use.
+This is the default and the reference implementation.  Seed-pure streams
+make workers stateless, so the "fleet" is a single plain sampler that
+computes every shard's batch in worker order; resizing is free.  It
+carries zero startup or transport cost, so it is also what
+single-worker :class:`~repro.sampling.sharded.ShardedSampler` instances
+and small graphs should use.
 """
 
 from __future__ import annotations
@@ -13,7 +14,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.sampling.backends.base import ExecutionBackend, WorkerSpec, build_worker_sampler
+from repro.sampling.backends.base import (
+    ExecutionBackend,
+    WorkerSpec,
+    build_worker_sampler,
+    run_worker_batch,
+)
 
 
 class SerialBackend(ExecutionBackend):
@@ -22,20 +28,26 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def _start(self, spec: WorkerSpec) -> None:
-        self._samplers = [build_worker_sampler(spec, w) for w in range(spec.workers)]
+        # One sampler serves every shard: workers hold no stream state,
+        # so distinct sampler objects would be pure overhead here.
+        self._sampler = build_worker_sampler(spec)
 
-    def _sample_shards(self, root_batches: Sequence[np.ndarray]) -> list[list[np.ndarray]]:
+    def _resize(self, workers: int) -> None:
+        pass  # fleet size is bookkeeping only; the sampler is shared
+
+    def _sample_shards(
+        self,
+        index_batches: Sequence[np.ndarray],
+        root_batches: "Sequence[np.ndarray | None] | None",
+    ) -> list[list[np.ndarray]]:
         return [
-            [sampler._reverse_sample(int(root)) for root in batch]
-            for sampler, batch in zip(self._samplers, root_batches)
+            run_worker_batch(
+                self._sampler,
+                batch,
+                None if root_batches is None else root_batches[w],
+            )
+            for w, batch in enumerate(index_batches)
         ]
 
-    def _worker_states(self) -> list:
-        return [sampler.rng.bit_generator.state for sampler in self._samplers]
-
-    def _restore_worker_states(self, states: list) -> None:
-        for sampler, state in zip(self._samplers, states):
-            sampler.rng.bit_generator.state = state
-
     def _close(self) -> None:
-        self._samplers = []
+        self._sampler = None

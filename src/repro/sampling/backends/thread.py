@@ -1,10 +1,13 @@
 """Thread-pool execution backend.
 
 One long-lived :class:`~concurrent.futures.ThreadPoolExecutor` runs each
-worker's batch as a task.  Each worker's sampler object is only ever
-touched by the one task holding its batch, so results are byte-identical
-to :class:`~repro.sampling.backends.serial.SerialBackend` — threads change
-*when* a shard is computed, never *what* it computes.
+worker's batch as a task.  Each worker owns a private sampler object
+(scratch buffers and generator state must not be shared across
+concurrent tasks), but samplers carry no stream state — every per-set
+generator derives from the set's global index — so results are
+byte-identical to :class:`~repro.sampling.backends.serial.SerialBackend`
+at any fleet size: threads change *when* a shard is computed, never
+*what* it computes.
 
 CPython's GIL limits the speedup to the fraction of sampling spent in
 GIL-releasing numpy kernels, but the backend exercises the exact fan-out
@@ -20,7 +23,12 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.sampling.backends.base import ExecutionBackend, WorkerSpec, build_worker_sampler
+from repro.sampling.backends.base import (
+    ExecutionBackend,
+    WorkerSpec,
+    build_worker_sampler,
+    run_worker_batch,
+)
 
 
 class ThreadBackend(ExecutionBackend):
@@ -34,30 +42,43 @@ class ThreadBackend(ExecutionBackend):
         self._samplers: list = []
 
     def _start(self, spec: WorkerSpec) -> None:
-        self._samplers = [build_worker_sampler(spec, w) for w in range(spec.workers)]
+        self._samplers = [build_worker_sampler(spec) for _ in range(spec.workers)]
         self._pool = ThreadPoolExecutor(
             max_workers=spec.workers, thread_name_prefix="rr-worker"
         )
 
-    @staticmethod
-    def _run_shard(sampler, batch: np.ndarray) -> list[np.ndarray]:
-        return [sampler._reverse_sample(int(root)) for root in batch]
+    def _resize(self, workers: int) -> None:
+        # Workers are stateless; grow or shrink the sampler list and
+        # swap the executor so the pool width tracks the fleet.
+        if workers > len(self._samplers):
+            self._samplers.extend(
+                build_worker_sampler(self._spec)
+                for _ in range(workers - len(self._samplers))
+            )
+        else:
+            del self._samplers[workers:]
+        old = self._pool
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="rr-worker"
+        )
+        if old is not None:
+            old.shutdown(wait=True)
 
-    def _sample_shards(self, root_batches: Sequence[np.ndarray]) -> list[list[np.ndarray]]:
+    def _sample_shards(
+        self,
+        index_batches: Sequence[np.ndarray],
+        root_batches: "Sequence[np.ndarray | None] | None",
+    ) -> list[list[np.ndarray]]:
         futures = [
-            self._pool.submit(self._run_shard, sampler, batch)
-            for sampler, batch in zip(self._samplers, root_batches)
+            self._pool.submit(
+                run_worker_batch,
+                sampler,
+                batch,
+                None if root_batches is None else root_batches[w],
+            )
+            for w, (sampler, batch) in enumerate(zip(self._samplers, index_batches))
         ]
         return [future.result() for future in futures]
-
-    def _worker_states(self) -> list:
-        # Safe without pool involvement: states are only captured/restored
-        # while no fan-out is in flight (the coordinator is idle).
-        return [sampler.rng.bit_generator.state for sampler in self._samplers]
-
-    def _restore_worker_states(self, states: list) -> None:
-        for sampler, state in zip(self._samplers, states):
-            sampler.rng.bit_generator.state = state
 
     def _close(self) -> None:
         if self._pool is not None:

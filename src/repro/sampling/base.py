@@ -1,10 +1,20 @@
 """Common RR-sampler interface.
 
-A sampler owns a graph, a root distribution, and an RNG, and produces RR
-sets — int32 numpy arrays of the nodes that can reach a random root in a
-random sampled subgraph (Definition 2).  Samplers also keep lifetime
-counters (sets generated, total entries) which the experiment harness uses
-for the paper's "number of RR sets" and memory reports.
+A sampler owns a graph, a root distribution, and a seed-pure stream
+derivation, and produces RR sets — int32 numpy arrays of the nodes that
+can reach a random root in a random sampled subgraph (Definition 2).
+Samplers also keep lifetime counters (sets generated, total entries)
+which the experiment harness uses for the paper's "number of RR sets"
+and memory reports.
+
+**The seed-pure stream contract.**  Set ``g`` of a stream draws its
+root and runs its reverse traversal on a generator derived from the
+per-set SeedSequence child ``g`` (see
+:mod:`repro.sampling.seedstream`), so the stream is a pure function of
+the seed alone — independent of batching, of the execution backend, of
+the worker count, and of any resize in between.  A sampler's resumable
+position is therefore a single integer (the next global index), which
+is what :meth:`RRSampler.state_dict` captures.
 """
 
 from __future__ import annotations
@@ -14,10 +24,11 @@ import abc
 import numpy as np
 
 from repro.diffusion.models import DiffusionModel
+from repro.exceptions import SamplingError
 from repro.graph.digraph import CSRGraph
 from repro.sampling.kernels import SamplingKernel, check_stream_id, make_kernel
 from repro.sampling.roots import UniformRoots, WeightedRoots
-from repro.utils.rng import ensure_rng
+from repro.sampling.seedstream import SeedStream
 
 
 class RRSampler(abc.ABC):
@@ -28,7 +39,7 @@ class RRSampler(abc.ABC):
     def __init__(
         self,
         graph: CSRGraph,
-        seed: int | np.random.Generator | None = None,
+        seed: "int | np.random.Generator | np.random.SeedSequence | None" = None,
         *,
         roots: "UniformRoots | WeightedRoots | None" = None,
         max_hops: int | None = None,
@@ -37,7 +48,15 @@ class RRSampler(abc.ABC):
         if max_hops is not None and max_hops < 0:
             raise ValueError(f"max_hops must be non-negative, got {max_hops}")
         self.graph = graph
-        self.rng = ensure_rng(seed)
+        # The stream identity: per-set generators derive from this and a
+        # global set index, nothing else.  A Generator seed contributes
+        # only its SeedSequence (the stream is seed-pure, not
+        # generator-state-dependent).
+        self.seed_stream = SeedStream(seed)
+        # Generator for *explicit* `_reverse_sample` calls outside the
+        # indexed stream (reference tests, ad-hoc probing); indexed
+        # sampling rebinds this to the per-set generator before each set.
+        self.rng = np.random.default_rng(self.seed_stream.seed_sequence)
         self.roots = roots if roots is not None else UniformRoots(graph.n)
         # The reverse-sampling kernel defines the RNG draw order, hence
         # the stream identity (see repro.sampling.kernels).
@@ -46,6 +65,7 @@ class RRSampler(abc.ABC):
         # max_hops reverse steps, mirroring a cascade truncated after
         # max_hops rounds.  None = unbounded (the paper's setting).
         self.max_hops = max_hops
+        self._cursor = 0  # global index of the next auto-indexed set
         self.sets_generated = 0
         self.entries_generated = 0
         # Generation-stamped visited marks: O(1) reset between samples.
@@ -73,15 +93,38 @@ class RRSampler(abc.ABC):
         """
         return self.roots.total_benefit
 
+    @property
+    def workers(self) -> int:
+        """Worker-fleet size; 1 for in-process samplers.
+
+        Purely a throughput property — the stream is identical at any
+        value (see :meth:`resize`).
+        """
+        return 1
+
     @abc.abstractmethod
     def _reverse_sample(self, root: int) -> np.ndarray:
         """Produce the RR set anchored at ``root`` (includes the root)."""
 
-    def sample(self, root: int | None = None) -> np.ndarray:
-        """Generate one RR set; a uniform/weighted random root by default."""
+    def sample_at(self, index: int, root: int | None = None) -> np.ndarray:
+        """Compute stream set ``index``: derive its generator, draw its
+        root (unless given), run the reverse traversal.
+
+        Pure in ``(seed, index)`` — it neither reads nor advances the
+        sampler's own cursor, so any worker anywhere can compute any
+        set.  Lifetime counters are the caller's business.
+        """
+        rng = self.seed_stream.rng_at(index)
+        self.rng = rng
         if root is None:
-            root = self.roots.sample(self.rng)
-        rr = self._reverse_sample(int(root))
+            root = self.roots.sample(rng)
+        return self._reverse_sample(int(root))
+
+    def sample(self, root: int | None = None) -> np.ndarray:
+        """Generate the next stream set; a uniform/weighted random root
+        drawn from the set's own generator by default."""
+        rr = self.sample_at(self._cursor, root)
+        self._cursor += 1
         self.sets_generated += 1
         self.entries_generated += int(rr.size)
         return rr
@@ -89,19 +132,18 @@ class RRSampler(abc.ABC):
     def sample_batch(self, count: int) -> list[np.ndarray]:
         """Generate ``count`` RR sets.
 
-        Each set draws its root immediately before its reverse traversal,
-        so the stream is a pure function of the RNG state and the *number*
-        of sets drawn — never of how the draws are batched:
+        Each set is a pure function of ``(seed, global index)``, so the
+        stream never depends on how draws are batched:
         ``sample_batch(a); sample_batch(b)`` equals ``sample_batch(a+b)``
         set for set.  Warm query sessions rely on this prefix property to
         treat a cached pool as the exact head of any cold run's stream.
         """
         if count <= 0:
             return []
-        batch: list[np.ndarray] = []
-        for _ in range(count):
-            root = self.roots.sample(self.rng)
-            batch.append(self._reverse_sample(int(root)))
+        base = self._cursor
+        self.seed_stream.prepare(base, count)
+        batch = [self.sample_at(base + i) for i in range(count)]
+        self._cursor = base + count
         self.sets_generated += count
         self.entries_generated += int(sum(rr.size for rr in batch))
         return batch
@@ -112,33 +154,73 @@ class RRSampler(abc.ABC):
         return self._generation
 
     # ------------------------------------------------------------------
-    # Stream-position capture (pool spill / reattach)
+    # Stream-position capture (pool spill / reattach / suffix truncation)
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
-        """JSON-serializable stream position: RNG state + lifetime counters.
+        """JSON-serializable stream position.
 
-        Because the RR stream is a pure function of the RNG state and the
-        number of sets drawn, restoring this dict into a freshly
-        constructed sampler of the same configuration continues the
-        stream exactly where this one stopped — the contract pool
-        spilling relies on.
+        Seed-pure streams make this a single integer: the next global
+        set index.  Restoring it into any sampler of the same stream —
+        plain or sharded, any backend, any worker count — continues the
+        stream exactly where this one stopped, which is the contract
+        pool spilling and suffix truncation rely on.
         """
         return {
-            "kind": "plain",
+            "kind": "seedpure",
             "stream_id": self.stream_id,
-            "rng": self.rng.bit_generator.state,
+            "cursor": int(self._cursor),
             "sets_generated": int(self.sets_generated),
             "entries_generated": int(self.entries_generated),
         }
 
     def load_state_dict(self, state: dict) -> None:
         """Restore a position captured by :meth:`state_dict`."""
-        if state.get("kind") != "plain":
-            raise ValueError(f"cannot load {state.get('kind')!r} state into a plain sampler")
+        kind = state.get("kind")
+        if kind != "seedpure":
+            raise SamplingError(
+                f"cannot restore a {kind!r} stream position: states of that "
+                "shape were captured by the legacy (seed, workers)-derived "
+                "streams, which are not byte-compatible with seed-pure "
+                "streams — legacy spills are read-only "
+                "(see repro.service.store.PoolStore.load_file)"
+            )
         check_stream_id(state, self.stream_id)
-        self.rng.bit_generator.state = state["rng"]
+        self.seek(int(state["cursor"]))
         self.sets_generated = int(state["sets_generated"])
         self.entries_generated = int(state["entries_generated"])
+
+    def seek(self, index: int, *, entries: int | None = None) -> None:
+        """Reposition the stream so the next set generated is ``index``.
+
+        Per-set derivation makes any position directly addressable — no
+        replay, no RNG state.  Used by pool suffix truncation (continue
+        from ``keep`` after dropping sets ``[keep, len)``) and by state
+        restores.  ``entries`` optionally resets the lifetime entry
+        counter to match a truncated pool.
+        """
+        index = int(index)
+        if index < 0:
+            raise SamplingError(f"stream index must be non-negative, got {index}")
+        self._cursor = index
+        self.sets_generated = index
+        if entries is not None:
+            self.entries_generated = int(entries)
+
+    def resize(self, workers: int) -> None:
+        """Set the worker-fleet size (a pure throughput knob).
+
+        In-process samplers have no fleet; only ``workers=1`` is a
+        no-op here.  :class:`~repro.sampling.sharded.ShardedSampler`
+        overrides this with a real backend resize, and
+        :meth:`repro.engine.context.SamplingContext.resize` upgrades a
+        plain sampler in place when a session asks for parallelism.
+        """
+        if int(workers) == 1:
+            return
+        raise SamplingError(
+            "this sampler has no worker fleet; construct a ShardedSampler "
+            "(any backend) for elastic workers — the stream is identical"
+        )
 
     def close(self) -> None:
         """Release execution resources; no-op for in-process samplers.
@@ -152,7 +234,7 @@ class RRSampler(abc.ABC):
 def make_sampler(
     graph: CSRGraph,
     model: "str | DiffusionModel",
-    seed: int | np.random.Generator | None = None,
+    seed: "int | np.random.Generator | np.random.SeedSequence | None" = None,
     *,
     roots: "UniformRoots | WeightedRoots | None" = None,
     max_hops: int | None = None,

@@ -7,9 +7,8 @@ it is the inner loop that turns one root into one RR set.  Two kernels
 ship:
 
 * ``scalar`` — the reference implementation: reverse BFS expanding one
-  frontier node at a time, flipping one coin batch per node.  Its RNG
-  draw order is the library's historical stream, so every previously
-  published seed set replays byte-identically under it.
+  frontier node at a time, flipping one coin batch per node (the
+  library's historical draw order within a set).
 * ``vectorized`` — frontier-at-once expansion: each BFS step gathers the
   in-adjacency slices of the *entire* frontier with CSR range arithmetic
   (``np.repeat`` over degrees + a flat ``arange``), flips a single
@@ -23,10 +22,21 @@ principle), but they consume the RNG in different orders, so their
 streams are **not** byte-compatible.  Every kernel therefore carries a
 ``stream_id`` (name + version); samplers stamp it into their
 ``state_dict``, pools key on it, and the spill store refuses to reattach
-a pool onto a different stream.  Byte-identity guarantees — backend
-invariance, batching invariance, warm-vs-cold equality — hold exactly
-*within* a kernel; *across* kernels agreement is distributional and is
-verified statistically (``tests/sampling/test_kernels.py``).
+a pool onto a different stream.  Byte-identity guarantees — backend,
+batching, and worker-count invariance, warm-vs-cold equality — hold
+exactly *within* a stream_id; *across* kernels agreement is
+distributional and is verified statistically
+(``tests/sampling/test_kernels.py``).
+
+The version component covers the whole stream derivation, not just the
+kernel's inner loop.  ``*-v1`` streams derived per-set RNGs from
+per-*worker* spawned generators (identity ``(seed, workers)``); ``*-v2``
+streams derive one SeedSequence child per RR set
+(:mod:`repro.sampling.seedstream`), making the stream a pure function of
+the seed alone.  v1 state blobs and spill stamps are therefore not
+restorable onto v2 samplers — a clean refusal / cache miss, never silent
+mixing; :data:`LEGACY_STREAM_ID` names what an unstamped legacy state
+means.
 
 Under the LT model an RR set is a reverse random walk — one node per
 step, nothing to batch — so both kernels share the walk implementation
@@ -55,8 +65,10 @@ class SamplingKernel:
 
     #: registry / CLI name, overridden by implementations.
     name = "abstract"
-    #: bumped whenever the kernel's RNG draw order changes.
-    version = 1
+    #: bumped whenever the stream changes — the kernel's RNG draw order
+    #: *or* the library-wide seed derivation (v2 = seed-pure per-set
+    #: SeedSequence children; v1 = legacy per-worker spawned streams).
+    version = 2
 
     @property
     def stream_id(self) -> str:
@@ -112,17 +124,16 @@ class SamplingKernel:
 
 
 class ScalarKernel(SamplingKernel):
-    """Reference kernel: per-node frontier expansion, historical stream.
+    """Reference kernel: per-node frontier expansion.
 
     One ``rng.random(deg)`` coin batch per expanded node, in frontier
-    order — exactly the draw order the library has always used, so seed
-    sets published before kernels existed replay byte-identically.
-    Stamping and result growth are numpy mask operations (no per-element
-    Python loop), which changes nothing about the stream.
+    order — the draw order the library has always used *within* one RR
+    set.  Stamping and result growth are numpy mask operations (no
+    per-element Python loop), which changes nothing about the stream.
     """
 
     name = "scalar"
-    version = 1
+    version = 2
 
     def ic_sample(self, sampler, root: int) -> np.ndarray:
         graph = sampler.graph
@@ -191,7 +202,7 @@ class VectorizedKernel(SamplingKernel):
     """
 
     name = "vectorized"
-    version = 1
+    version = 2
 
     #: frontier size up to which per-node CSR slicing beats the gather.
     _PER_NODE_MAX = 4
@@ -285,11 +296,16 @@ KERNELS: dict[str, SamplingKernel] = {
     VectorizedKernel.name: VectorizedKernel(),
 }
 
-#: the historical stream — the default everywhere a kernel is not named.
+#: the historical draw order — the default everywhere a kernel is not named.
 DEFAULT_KERNEL = ScalarKernel.name
 
-#: stream token of the default kernel (what legacy state/pools carry).
+#: stream token of the default kernel at the current derivation version.
 DEFAULT_STREAM_ID = KERNELS[DEFAULT_KERNEL].stream_id
+
+#: what an *unstamped* legacy state/spill means: the scalar draw order
+#: under the v1 (per-worker spawned) derivation.  Not restorable onto
+#: current samplers — kept so mismatches are named, not mysterious.
+LEGACY_STREAM_ID = "scalar-v1"
 
 
 def make_kernel(kernel: "str | SamplingKernel | None") -> SamplingKernel:
@@ -316,16 +332,16 @@ def list_kernels() -> tuple:
 
 
 def check_stream_id(state: dict, expected: str) -> None:
-    """Reject restoring a stream position onto a different kernel.
+    """Reject restoring a stream position onto a different stream.
 
     States captured before kernels existed carry no ``stream_id``; they
-    were produced by the historical (scalar) draw order, so that is what
-    a missing field means.
+    were produced by the historical scalar draw order under the legacy
+    v1 derivation, so a missing field means :data:`LEGACY_STREAM_ID`.
     """
-    got = state.get("stream_id", KERNELS[DEFAULT_KERNEL].stream_id)
+    got = state.get("stream_id", LEGACY_STREAM_ID)
     if got != expected:
         raise SamplingError(
-            f"stream position was captured on kernel stream {got!r}; this "
+            f"stream position was captured on stream {got!r}; this "
             f"sampler produces {expected!r} — the streams are not "
             "byte-compatible"
         )

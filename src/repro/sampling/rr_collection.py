@@ -208,6 +208,29 @@ class RRCollection(_CoverageReadOps):
         lo, hi = offsets[start], offsets[end]
         return flat[lo:hi], offsets[start : end + 1] - lo
 
+    def truncate(self, keep: int) -> int:
+        """Drop sets ``[keep, len)``, keeping the prefix ``[0, keep)``.
+
+        Returns the number of sets dropped.  The compiled buffers are
+        *replaced*, not rewound: snapshots handed out earlier keep their
+        own (now orphaned) buffers, so truncation can never corrupt a
+        reader — the caller only needs to serialize with writers, as for
+        any append.
+        """
+        keep = int(keep)
+        if not 0 <= keep <= len(self._sets):
+            raise SamplingError(f"invalid truncation point {keep} of {len(self._sets)}")
+        dropped = len(self._sets) - keep
+        if dropped == 0:
+            return 0
+        del self._sets[keep:]
+        self._total_entries = int(sum(arr.size for arr in self._sets))
+        self._flat_buf = np.zeros(0, dtype=np.int32)
+        self._flat_len = 0
+        self._offsets_buf = np.zeros(1, dtype=np.int64)
+        self._compiled_upto = 0
+        return dropped
+
     # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------

@@ -4,32 +4,35 @@ Section 1 notes the algorithms "are amenable to a distributed
 implementation which is one of our future works": RR sets are i.i.d., so
 W workers can sample independently and a coordinator can merge their
 streams; every Stop-and-Stare guarantee only needs the merged stream to
-be i.i.d. RR sets, which holds as long as worker RNG streams are
-independent.
+be i.i.d. RR sets.
 
-:class:`ShardedSampler` *is* that coordinator.  It draws every root from
-its own stream, partitions them round-robin across W workers, and hands
-the per-worker batches to a pluggable
-:class:`~repro.sampling.backends.base.ExecutionBackend`:
+:class:`ShardedSampler` *is* that coordinator.  Stream set ``g`` is a
+pure function of ``(seed, g)`` — its generator derives from the per-set
+SeedSequence child ``g`` (:mod:`repro.sampling.seedstream`) and its root
+is the first draw of that generator — so the coordinator's whole job is
+to partition global indices round-robin across W workers and
+re-interleave the results.  It hands the per-worker index batches to a
+pluggable :class:`~repro.sampling.backends.base.ExecutionBackend`:
 
 * ``serial`` — workers run sequentially in-process (default; the old
   simulated topology);
 * ``thread`` — workers run on a persistent thread pool;
 * ``process`` — workers are persistent OS processes that attach the CSR
-  graph through shared memory and exchange only root/RR batches.
+  graph through shared memory and exchange only index/RR batches.
 
-Worker streams are spawned from the coordinator's seed via the
-SeedSequence protocol (independence by construction), and shard
-assignment follows the *global* RR-set index (set ``g`` always goes to
-worker ``g mod W``), so the merged stream is a pure function of
-``(seed, workers)`` — independent of the backend *and* of how callers
-batch their demands.  That second invariance is what lets a warm
+Because workers hold no stream state, the merged stream is a pure
+function of the **seed alone** — independent of the backend, of how
+callers batch their demands, *and of the worker count*.  ``workers`` is
+a throughput knob: :meth:`ShardedSampler.resize` grows or shrinks the
+fleet mid-stream without changing a byte, and a pool sampled at W=4
+continues at W=16.  That invariance is what lets a warm
 :class:`~repro.engine.engine.InfluenceEngine` session reuse a cached RR
 pool as the byte-exact prefix of any cold run.  :class:`ShardedSampler`
 remains a drop-in :class:`~repro.sampling.base.RRSampler`, so
 ``ssa(...)`` / ``dssa(...)`` run on it unchanged; see
-``tests/sampling/test_backends.py`` for the equivalence and
-unbiasedness checks.
+``tests/sampling/test_backends.py`` and
+``tests/sampling/test_elastic.py`` for the equivalence and unbiasedness
+checks.
 """
 
 from __future__ import annotations
@@ -41,7 +44,6 @@ from repro.exceptions import SamplingError
 from repro.graph.digraph import CSRGraph
 from repro.sampling.backends import ExecutionBackend, WorkerSpec, make_backend
 from repro.sampling.base import RRSampler, make_sampler
-from repro.sampling.kernels import check_stream_id
 from repro.sampling.roots import UniformRoots, WeightedRoots
 
 
@@ -53,10 +55,12 @@ class ShardedSampler(RRSampler):
     graph, model:
         As for :func:`repro.sampling.base.make_sampler`.
     workers:
-        Number of workers (independent RNG shards).
+        Initial worker count — pure throughput, resizable at runtime via
+        :meth:`resize`; the stream is identical at every value.
     seed, roots:
-        Root seed (spawned into per-worker streams) and root distribution
-        (owned by the coordinator — WRIS shards the same way RIS does).
+        Stream seed (per-set SeedSequence children derive from it) and
+        root distribution (shipped to workers — each set's root is drawn
+        from the set's own generator, so WRIS shards exactly like RIS).
     backend:
         Backend name (``"serial"``, ``"thread"``, ``"process"``) or a
         not-yet-started :class:`ExecutionBackend` instance.
@@ -71,7 +75,7 @@ class ShardedSampler(RRSampler):
         graph: CSRGraph,
         model: "str | DiffusionModel",
         workers: int,
-        seed: int | np.random.Generator | None = None,
+        seed=None,
         *,
         roots: "UniformRoots | WeightedRoots | None" = None,
         max_hops: int | None = None,
@@ -95,59 +99,71 @@ class ShardedSampler(RRSampler):
                 "KERNELS first"
             )
         self.model = DiffusionModel.parse(model)
-        self.workers = int(workers)
-        seed_seqs = list(self.rng.bit_generator.seed_seq.spawn(self.workers))
+        self._workers = int(workers)
         self.backend = make_backend(backend)
         self.backend.start(
             WorkerSpec(
                 graph=graph,
                 model=self.model,
-                seed_seqs=seed_seqs,
+                entropy=self.seed_stream.entropy,
+                spawn_key=self.seed_stream.spawn_key,
+                workers=self._workers,
+                roots=self.roots,
                 max_hops=max_hops,
                 kernel=self.kernel.name,
             )
         )
-        # Global RR-set index: set g is always worker g mod W's next job,
-        # so shard assignment (hence each worker's stream consumption) is
-        # independent of how callers batch their demands.
-        self._cursor = 0
-        self._loads = [0] * self.workers
+        self._loads = [0] * self._workers
 
     # ------------------------------------------------------------------
     # RRSampler interface
     # ------------------------------------------------------------------
-    def _reverse_sample(self, root: int) -> np.ndarray:
-        # Single draws take the next global index; the root was already
-        # drawn by the coordinator (the base-class sample()).
-        shard = self._cursor % self.workers
-        self._cursor += 1
-        batches = [np.zeros(0, dtype=np.int64) for _ in range(self.workers)]
-        batches[shard] = np.asarray([root], dtype=np.int64)
-        result = self.backend.sample_shards(batches)
+    @property
+    def workers(self) -> int:
+        """Current worker count (a throughput knob; see :meth:`resize`)."""
+        return self._workers
+
+    def _reverse_sample(self, root: int) -> np.ndarray:  # pragma: no cover
+        raise SamplingError(
+            "ShardedSampler computes sets in workers; use sample()/"
+            "sample_batch()/sample_at()"
+        )
+
+    def sample_at(self, index: int, root: int | None = None) -> np.ndarray:
+        """Compute one stream set on a worker (round-robin by index)."""
+        shard = int(index) % self._workers
+        index_batches = [np.zeros(0, dtype=np.int64) for _ in range(self._workers)]
+        index_batches[shard] = np.asarray([index], dtype=np.int64)
+        root_batches = None
+        if root is not None:
+            root_batches = [None] * self._workers
+            root_batches[shard] = np.asarray([root], dtype=np.int64)
+        result = self.backend.sample_shards(index_batches, root_batches)
         self._loads[shard] += 1
         return result[shard][0]
 
     def sample_batch(self, count: int) -> list[np.ndarray]:
-        """Draw ``count`` roots, fan out by global index, merge in order.
+        """Fan global indices out round-robin, merge back in index order.
 
         The batch covers global indices ``cursor .. cursor+count-1``;
-        index ``g`` routes to worker ``g mod W`` and workers receive
-        their roots in ascending global order.  Re-interleaving the shard
-        results restores the coordinator's draw order exactly, and a
-        worker's stream consumption depends only on its global indices —
-        so the merged stream is the same whether callers ask for one
-        batch of ``a+b`` sets or two batches of ``a`` and ``b``.
+        index ``g`` routes to worker ``g mod W``.  Every set is
+        self-contained (its generator and root derive from ``g`` alone),
+        so re-interleaving the shard results restores the stream order
+        exactly and the merged stream is the same for any batching, any
+        backend, and any worker count — including a :meth:`resize`
+        between batches.
         """
         if count <= 0:
             return []
-        roots = self.roots.sample_many(self.rng, count)
         base = self._cursor
-        offsets = [(w - base) % self.workers for w in range(self.workers)]
-        root_batches = [roots[offsets[w] :: self.workers] for w in range(self.workers)]
-        shard_batches = self.backend.sample_shards(root_batches)
+        workers = self._workers
+        indices = np.arange(base, base + count, dtype=np.int64)
+        offsets = [(w - base) % workers for w in range(workers)]
+        index_batches = [indices[offsets[w] :: workers] for w in range(workers)]
+        shard_batches = self.backend.sample_shards(index_batches)
         merged: list[np.ndarray | None] = [None] * count
         for w, batch in enumerate(shard_batches):
-            merged[offsets[w] :: self.workers] = batch
+            merged[offsets[w] :: workers] = batch
             self._loads[w] += len(batch)
         self._cursor = base + count
         self.sets_generated += count
@@ -155,53 +171,30 @@ class ShardedSampler(RRSampler):
         return merged
 
     # ------------------------------------------------------------------
-    # Stream-position capture (pool spill / reattach)
+    # Elastic fleet
     # ------------------------------------------------------------------
-    def state_dict(self) -> dict:
-        """Coordinator + worker stream positions, JSON-serializable.
+    def resize(self, workers: int) -> None:
+        """Change the worker count mid-stream (byte-invisible).
 
-        Workers' RNG states are fetched through the backend (an
-        in-process read for serial/thread, a control round-trip for
-        process workers), so a spilled pool can be reattached on *any*
-        backend — worker streams are identified by index, not by where
-        they happen to execute.
+        Seed-pure derivation makes the fleet size pure throughput: the
+        next batch simply shards over the new count.  Per-worker load
+        counters reset (they describe the current fleet).
         """
-        return {
-            "kind": "sharded",
-            "stream_id": self.stream_id,
-            "workers": self.workers,
-            "rng": self.rng.bit_generator.state,
-            "cursor": int(self._cursor),
-            "loads": [int(x) for x in self._loads],
-            "worker_rngs": self.backend.worker_states(),
-            "sets_generated": int(self.sets_generated),
-            "entries_generated": int(self.entries_generated),
-        }
-
-    def load_state_dict(self, state: dict) -> None:
-        """Restore a position captured by :meth:`state_dict`."""
-        if state.get("kind") != "sharded":
-            raise SamplingError(
-                f"cannot load {state.get('kind')!r} state into a sharded sampler"
-            )
-        if int(state["workers"]) != self.workers:
-            raise SamplingError(
-                f"state was captured with {state['workers']} workers, "
-                f"this sampler has {self.workers}"
-            )
-        check_stream_id(state, self.stream_id)
-        self.rng.bit_generator.state = state["rng"]
-        self._cursor = int(state["cursor"])
-        self._loads = [int(x) for x in state["loads"]]
-        self.backend.restore_worker_states(state["worker_rngs"])
-        self.sets_generated = int(state["sets_generated"])
-        self.entries_generated = int(state["entries_generated"])
+        workers = int(workers)
+        if workers < 1:
+            raise SamplingError(f"need at least one worker, got {workers}")
+        if workers == self._workers:
+            return
+        self.backend.resize(workers)
+        self._workers = workers
+        self._loads = [0] * workers
 
     # ------------------------------------------------------------------
     # Diagnostics / lifecycle
     # ------------------------------------------------------------------
     def per_worker_load(self) -> list[int]:
-        """RR sets generated by each worker (load-balance diagnostics)."""
+        """RR sets generated by each current worker since the last resize
+        (load-balance diagnostics)."""
         return list(self._loads)
 
     def close(self) -> None:
@@ -218,7 +211,7 @@ class ShardedSampler(RRSampler):
 def make_parallel_sampler(
     graph: CSRGraph,
     model: "str | DiffusionModel",
-    seed: int | np.random.Generator | None = None,
+    seed=None,
     *,
     roots: "UniformRoots | WeightedRoots | None" = None,
     max_hops: int | None = None,
@@ -229,13 +222,12 @@ def make_parallel_sampler(
     """Factory: a plain sampler, or a sharded one when parallelism is asked.
 
     With no ``backend`` (or an explicitly serial one) and a single worker
-    this returns exactly what :func:`make_sampler` would — same RNG
-    stream, no coordinator layer — so algorithm results are unchanged
-    unless parallel execution is actually requested.  ``workers=None``
-    means "pick for me" (1 when serial, the CPU count otherwise);
-    explicit values below 1 are rejected.  Callers should ``close()``
-    the returned sampler when done (a no-op except for the process
-    backend).
+    this returns exactly what :func:`make_sampler` would — same stream
+    (seed-pure streams are worker-count invariant anyway), no coordinator
+    layer.  ``workers=None`` means "pick for me" (1 when serial, the CPU
+    count otherwise); explicit values below 1 are rejected.  Callers
+    should ``close()`` the returned sampler when done (a no-op except
+    for the process backend).
     """
     if workers is not None and workers < 1:
         raise SamplingError(f"workers must be >= 1, got {workers}")

@@ -17,12 +17,15 @@ many users, one conditioned sample pool, bounded memory, durable warmup.
   over TCP (``repro serve`` / ``repro query --connect``).
 
 The load-bearing guarantee everywhere: the RR stream is a pure function
-of ``(seed, workers)``, so *any* interleaving of concurrent queries —
-and any spill/evict/reattach history — returns byte-identical answers
-to a sequential cold run at the same seed.
+of the seed alone (worker count and backend are runtime throughput
+knobs — see the ``resize`` op), so *any* interleaving of concurrent
+queries — and any spill/truncate/evict/reattach history, at any worker
+count — returns byte-identical answers to a sequential cold run at the
+same seed.
 """
 
 from repro.service.client import ServiceClient
+from repro.service.metrics import LatencyHistogram, MetricsRegistry
 from repro.service.pool import PoolKey, PoolManager, QueryView
 from repro.service.protocol import result_to_dict, summarize_result
 from repro.service.server import InfluenceServer, serve
@@ -44,4 +47,6 @@ __all__ = [
     "summarize_result",
     "make_stamp",
     "graph_signature",
+    "LatencyHistogram",
+    "MetricsRegistry",
 ]

@@ -1,0 +1,111 @@
+"""Service observability: per-operation latency histograms.
+
+Fixed log-scale buckets (Prometheus-style ``le`` upper bounds in
+seconds) keep recording O(1), lock-cheap, and mergeable; quantiles are
+estimated from the bucket counts, which is exactly the fidelity a
+serving dashboard needs — the raw samples are never retained.
+
+The :class:`MetricsRegistry` is owned by
+:class:`~repro.service.service.InfluenceService`, which times every
+``call`` op through it and exposes the snapshot over the NDJSON
+protocol as the ``metrics`` operation (``repro query``'s ``stats``
+output renders the same numbers).
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: histogram upper bounds, seconds; one overflow bucket (+inf) follows.
+BUCKET_BOUNDS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class LatencyHistogram:
+    """One operation's latency distribution, thread-safe."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(BUCKET_BOUNDS) + 1)
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        slot = len(BUCKET_BOUNDS)
+        for i, bound in enumerate(BUCKET_BOUNDS):
+            if seconds <= bound:
+                slot = i
+                break
+        with self._lock:
+            self._counts[slot] += 1
+            self._count += 1
+            self._total += seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the q-th observation); 0.0 when empty."""
+        with self._lock:
+            counts = list(self._counts)
+            count = self._count
+            maximum = self._max
+        if count == 0:
+            return 0.0
+        rank = q * count
+        seen = 0
+        for i, bucket in enumerate(counts):
+            seen += bucket
+            if seen >= rank:
+                # the bucket's upper bound, clamped by the exact max so a
+                # sub-millisecond op never reports p50 > max
+                bound = BUCKET_BOUNDS[i] if i < len(BUCKET_BOUNDS) else maximum
+                return min(bound, maximum)
+        return maximum
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counts = list(self._counts)
+            count = self._count
+            total = self._total
+            maximum = self._max
+        mean = total / count if count else 0.0
+        return {
+            "count": count,
+            "total_seconds": total,
+            "mean_seconds": mean,
+            "max_seconds": maximum,
+            "p50_seconds": self.quantile(0.50),
+            "p90_seconds": self.quantile(0.90),
+            "p99_seconds": self.quantile(0.99),
+            "buckets": [
+                {"le": bound, "count": counts[i]}
+                for i, bound in enumerate(BUCKET_BOUNDS)
+            ]
+            + [{"le": "inf", "count": counts[-1]}],
+        }
+
+
+class MetricsRegistry:
+    """Per-operation latency histograms, created on first observation."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def observe(self, op: str, seconds: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(op)
+            if histogram is None:
+                histogram = self._histograms[op] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    def snapshot(self) -> dict:
+        """``{op: histogram snapshot}`` for every op observed so far."""
+        with self._lock:
+            histograms = dict(self._histograms)
+        return {op: histogram.snapshot() for op, histogram in sorted(histograms.items())}

@@ -12,14 +12,20 @@ context of a service (or of a thread-safe
   block samplers: a top-up appends under the pool's lock and takes a new
   snapshot; snapshots already handed out stay valid because the compiled
   buffers are append-only.  The merged RR stream stays the byte-exact
-  pure function of ``(seed, workers)``, so any interleaving of
-  concurrent queries returns exactly the sequential answers.
+  pure function of the seed (worker count and backend are throughput
+  knobs), so any interleaving of concurrent queries returns exactly the
+  sequential answers.
 * **Byte budget** — an optional global budget over all pools.  After
-  each top-up batch the manager evicts *idle* pools, least-recently-used
-  first, until the budget holds again.  Pools with queries in flight are
-  never evicted, so the hard bound is budget + one in-flight top-up
-  batch per busy pool (a single busy pool — the common case — overshoots
-  by at most its one crossing batch).
+  each top-up batch the manager reclaims bytes from *idle* pools,
+  least-recently-used first, until the budget holds again.  A large idle
+  pool is first **suffix-truncated** — its sets ``[keep, len)`` are
+  dropped and the sampler seeks back to ``keep``, which per-set seed
+  derivation makes byte-exactly resumable — so a pool loses its cold
+  tail before it loses its hot head; only pools too small to truncate
+  are evicted whole.  Pools with queries in flight are never touched, so
+  the hard bound is budget + one in-flight top-up batch per busy pool (a
+  single busy pool — the common case — overshoots by at most its one
+  crossing batch).
 * **Spill / reattach** — with a spill directory configured, evicted and
   closed pools are written through
   :class:`~repro.service.store.PoolStore` (sets + sampler stream
@@ -99,6 +105,14 @@ class QueryView:
     def note_query(self, demand: int) -> None:
         self._entry.note_query(int(demand))
 
+    def resize(self, workers: int) -> None:
+        """Per-query worker override: resize the shared pool's sampler.
+
+        Byte-invisible (the stream is seed-pure), so one query asking
+        for more throughput can never change another query's answer.
+        """
+        self._entry.resize(int(workers))
+
     def fresh_verifier(self):
         # Thread-safe for replayable (int) session seeds: the verifier is
         # re-derived per call without touching shared mutable state.
@@ -143,6 +157,19 @@ class _PoolEntry:
         with self.lock:
             self.ctx.note_query(demand)
 
+    def resize(self, workers: int) -> bool:
+        """Resize the backing context; False if it was already retired.
+
+        Namespace-wide resizes collect entries and then take each entry
+        lock in turn, so an entry can be evicted (context closed) in
+        between — that is a skip, not an error.
+        """
+        with self.lock:
+            if self.ctx.closed:
+                return False
+            self.ctx.resize(workers)
+            return True
+
     @property
     def nbytes(self) -> int:
         return self.ctx.pool.nbytes
@@ -158,6 +185,11 @@ class PoolManager:
         disables eviction (the engine's historical behaviour).
     spill_dir:
         Directory for spilled pools; ``None`` disables persistence.
+    suffix_min_sets:
+        Floor below which suffix truncation stops and whole-pool
+        eviction takes over: a truncation must keep at least this many
+        sets to be worth the bookkeeping.  (Truncation keeps the first
+        half of a pool; pools smaller than twice this are evicted whole.)
     """
 
     def __init__(
@@ -165,15 +197,20 @@ class PoolManager:
         *,
         budget_bytes: int | None = None,
         spill_dir=None,
+        suffix_min_sets: int = 1024,
     ) -> None:
         if budget_bytes is not None and budget_bytes <= 0:
             raise SamplingError(f"budget_bytes must be positive, got {budget_bytes}")
+        if suffix_min_sets < 1:
+            raise SamplingError(f"suffix_min_sets must be >= 1, got {suffix_min_sets}")
         self.budget_bytes = budget_bytes
+        self.suffix_min_sets = int(suffix_min_sets)
         self.store = PoolStore(spill_dir) if spill_dir is not None else None
         self._lock = threading.RLock()
         self._entries: dict[PoolKey, _PoolEntry] = {}
         self._clock = 0
         self._evictions: dict[str, int] = {}  # namespace -> pools evicted
+        self._truncations: dict[str, int] = {}  # namespace -> suffix truncations
         self._reattached: dict[str, int] = {}  # namespace -> sets loaded from disk
         self._closed = False
 
@@ -243,10 +280,17 @@ class PoolManager:
             return sum(entry.nbytes for entry in self._entries.values())
 
     def enforce_budget(self) -> int:
-        """Evict idle pools (LRU first) until the budget holds; returns evictions."""
+        """Reclaim bytes from idle pools (LRU first) until the budget holds.
+
+        Large pools shed their *suffix* first — per-set seed derivation
+        makes any prefix byte-exactly resumable, so truncation trades
+        cold warmup for memory without dropping the hot head — and pools
+        too small to truncate are evicted whole.  Returns the number of
+        reclaim actions (truncations + evictions).
+        """
         if self.budget_bytes is None:
             return 0
-        evicted = 0
+        reclaimed = 0
         with self._lock:
             while sum(e.nbytes for e in self._entries.values()) > self.budget_bytes:
                 victims = [
@@ -257,9 +301,28 @@ class PoolManager:
                     # one top-up batch per busy pool until they go idle.
                     break
                 victim = min(victims, key=lambda e: e.last_used)
-                self._evict(victim)
-                evicted += 1
-        return evicted
+                keep = len(victim.ctx.pool) // 2
+                if keep >= self.suffix_min_sets:
+                    self._truncate(victim, keep)
+                else:
+                    self._evict(victim)
+                reclaimed += 1
+        return reclaimed
+
+    def _truncate(self, entry: _PoolEntry, keep: int) -> None:
+        """Suffix-truncate one idle entry to ``[0, keep)``.  Manager lock
+        held; ``inflight == 0`` so no query is mid-top-up.
+
+        The *full* pool is spilled first (when a store is configured), so
+        disk keeps the longest sampled prefix — a later reattach restores
+        everything, and the store's keep-longest rule stops the eventual
+        shorter-pool spill from clobbering it.
+        """
+        with entry.lock:
+            self._spill_entry(entry)
+            entry.ctx.truncate(keep)
+        ns = entry.key.namespace
+        self._truncations[ns] = self._truncations.get(ns, 0) + 1
 
     def _evict(self, entry: _PoolEntry) -> None:
         """Spill (if possible) and drop one idle entry.  Manager lock held;
@@ -320,6 +383,34 @@ class PoolManager:
             if namespace is None:
                 return sum(self._evictions.values())
             return self._evictions.get(namespace, 0)
+
+    def truncations_for(self, namespace: str | None = None) -> int:
+        """Lifetime count of suffix truncations (budget pressure relief)."""
+        with self._lock:
+            if namespace is None:
+                return sum(self._truncations.values())
+            return self._truncations.get(namespace, 0)
+
+    def resize_namespace(self, namespace: str, workers: int) -> int:
+        """Resize every open pool of one namespace; returns pools resized.
+
+        Safe mid-stream: seed-pure streams make the worker count pure
+        throughput, so in-flight queries of other sessions (and even of
+        this one) keep returning byte-identical answers.  Entries evicted
+        concurrently (between collection and their resize) are skipped.
+        """
+        with self._lock:
+            entries = [e for k, e in self._entries.items() if k.namespace == namespace]
+        return sum(1 for entry in entries if entry.resize(workers))
+
+    def workers_for(self, namespace: str) -> "list[int]":
+        """Actual worker counts of the namespace's open pools."""
+        with self._lock:
+            return [
+                e.ctx.workers
+                for k, e in self._entries.items()
+                if k.namespace == namespace and not e.ctx.closed
+            ]
 
     def reattached_for(self, namespace: str) -> int:
         """Lifetime count of sets loaded from disk spills (warm starts)."""

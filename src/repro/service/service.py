@@ -32,11 +32,13 @@ this op vocabulary.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.engine.engine import InfluenceEngine
 from repro.engine.registry import get_algorithm, list_algorithms
 from repro.exceptions import ReproError
+from repro.service.metrics import MetricsRegistry
 from repro.service.pool import PoolManager
 from repro.service.protocol import result_to_dict
 
@@ -48,7 +50,17 @@ class ServiceError(ReproError):
 #: operation vocabulary shared by the programmatic API, the TCP server,
 #: and the REPL.  ``shutdown`` is transport-level and handled by the
 #: server, not here.
-OPERATIONS = ("ping", "algorithms", "sessions", "stats", "maximize", "sweep", "estimate")
+OPERATIONS = (
+    "ping",
+    "algorithms",
+    "sessions",
+    "stats",
+    "metrics",
+    "resize",
+    "maximize",
+    "sweep",
+    "estimate",
+)
 
 
 def _opt_int(value, name: str) -> int | None:
@@ -108,6 +120,7 @@ class InfluenceService:
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
         self.pools = PoolManager(budget_bytes=pool_budget, spill_dir=spill_dir)
+        self.metrics = MetricsRegistry()
         self._engines: dict[str, InfluenceEngine] = {}
         self._lock = threading.RLock()
         self._executor = ThreadPoolExecutor(
@@ -179,7 +192,7 @@ class InfluenceService:
                 "model": engine.model.value,
                 "seed": engine.seed,
                 "backend": getattr(engine.backend, "name", engine.backend) or "serial",
-                "workers": engine.workers,
+                "workers": engine.active_workers,
                 "kernel": engine.kernel.name,
                 "queries": engine.stats.queries,
             }
@@ -200,12 +213,21 @@ class InfluenceService:
             return self._executor.submit(self.call, op, session=session, **params)
 
     def call(self, op: str, *, session: str = "default", **params):
-        """Run one named operation synchronously and return its raw result."""
+        """Run one named operation synchronously and return its raw result.
+
+        Every call — success or failure — is timed into the service's
+        per-op latency histograms (the ``metrics`` operation reads them
+        back).
+        """
         self._check_open()
         handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
         if op not in OPERATIONS or handler is None:
             raise ServiceError(f"unknown operation {op!r}; known: {OPERATIONS}")
-        return handler(session, dict(params))
+        start = time.perf_counter()
+        try:
+            return handler(session, dict(params))
+        finally:
+            self.metrics.observe(op, time.perf_counter() - start)
 
     def stats(self, session: str | None = None) -> dict:
         """Service-level statistics (optionally scoped to one session)."""
@@ -216,11 +238,13 @@ class InfluenceService:
                 {
                     "session": session,
                     "seed": engine.seed,
+                    "workers": engine.active_workers,
                     "pools": {
                         "/".join(str(p) for p in key): size
                         for key, size in engine.pool_sizes().items()
                     },
                     "reattached_sets": self.pools.reattached_for(session),
+                    "pool_truncations": self.pools.truncations_for(session),
                 }
             )
             return payload
@@ -265,6 +289,19 @@ class InfluenceService:
             return self.stats(None)
         return self.stats(session)
 
+    def _op_metrics(self, session: str, params: dict):
+        self._reject_unknown("metrics", params)
+        return self.metrics.snapshot()
+
+    def _op_resize(self, session: str, params: dict):
+        engine = self.session(session)
+        workers = _opt_int(params.pop("workers", None), "workers")
+        if workers is None:
+            raise ServiceError("resize needs workers")
+        self._reject_unknown("resize", params)
+        resized = engine.resize(workers)
+        return {"session": session, "workers": workers, "pools_resized": resized}
+
     def _op_maximize(self, session: str, params: dict):
         engine = self.session(session)
         k = _opt_int(params.pop("k", None), "k")
@@ -278,6 +315,7 @@ class InfluenceService:
             "model": params.pop("model", None),
             "horizon": _opt_int(params.pop("horizon", None), "horizon"),
             "max_samples": _opt_int(params.pop("max_samples", None), "max_samples"),
+            "workers": _opt_int(params.pop("workers", None), "workers"),
         }
         self._reject_unknown("maximize", params)
         return engine.maximize(k, **kwargs)
@@ -290,6 +328,7 @@ class InfluenceService:
             "epsilon": epsilon if epsilon is not None else 0.1,
             "delta": _opt_float(params.pop("delta", None), "delta"),
             "algorithm": str(params.pop("algorithm", "D-SSA")),
+            "workers": _opt_int(params.pop("workers", None), "workers"),
         }
         self._reject_unknown("sweep", params)
         return engine.sweep(ks, **kwargs)
@@ -301,6 +340,7 @@ class InfluenceService:
             "samples": _opt_int(params.pop("samples", None), "samples"),
             "model": params.pop("model", None),
             "horizon": _opt_int(params.pop("horizon", None), "horizon"),
+            "workers": _opt_int(params.pop("workers", None), "workers"),
         }
         self._reject_unknown("estimate", params)
         return engine.estimate(seeds, **kwargs)

@@ -1,11 +1,14 @@
 """Cross-session pool persistence: spill RR pools to disk, reattach later.
 
-A session pool is the byte-exact prefix of a pure RR stream identified by
-``(graph, model, stream derivation, horizon, seed, sampler shape)``.
-That makes spilling sound: save the sets plus the sampler's stream
-position, and any later process that builds the *same* stream can serve
-the saved prefix as cache and continue sampling from set ``count``
-onward as if it had never restarted.
+A session pool is the byte-exact prefix of a pure RR stream identified
+by ``(graph, model, stream derivation, horizon, seed, stream_id)`` —
+note there is **no worker count** in the identity: seed-pure streams are
+worker-invariant, so a pool spilled at W=4 reattaches and continues at
+W=16.  That makes spilling sound: save the sets plus the sampler's
+stream position (for seed-pure streams, a single cursor integer), and
+any later process that builds the *same* stream can serve the saved
+prefix as cache and continue sampling from set ``count`` onward as if it
+had never restarted.
 
 Files are self-describing ``.npz`` archives: the flat int32 entries, the
 int64 offsets, and a JSON header holding the identity stamp and the
@@ -13,6 +16,13 @@ sampler state.  Identity is content-addressed — the file name is a
 digest of the stamp — so reattachment never needs session names and a
 stale file for a different seed/graph can never be picked up by
 accident.
+
+**Legacy spills.**  Files stamped by the v1 (``(seed, workers)``-derived)
+streams carry ``workers``/``sampler_kind`` in their stamps, so their
+content addresses can never match a current stamp: looking one up is a
+clean cache miss, never silent mixing.  Their *sets* remain readable
+through :meth:`PoolStore.load_file` (read-only — a legacy stream cannot
+be continued by a seed-pure sampler).
 """
 
 from __future__ import annotations
@@ -58,36 +68,24 @@ def make_stamp(
     root distributions (their benefit vectors are not fingerprinted).
     """
     from repro.sampling.roots import UniformRoots
-    from repro.sampling.sharded import ShardedSampler
 
     if roots is not None and not isinstance(roots, UniformRoots):
         return None
     if not isinstance(seed, (int, np.integer)) or isinstance(seed, bool):
         return None
-    from repro.sampling.kernels import DEFAULT_STREAM_ID
-
-    if isinstance(sampler, ShardedSampler):
-        kind, workers = "sharded", int(sampler.workers)
-    else:
-        kind, workers = "plain", 1
-    stamp = {
+    # No sampler shape in the identity: seed-pure streams are identical
+    # for any worker count and backend, so one spill serves them all.
+    # The stream_id (kernel draw order + derivation version) is always
+    # embedded — v2 stamps must never collide with legacy ones, whose
+    # extra workers/sampler_kind keys change the digest anyway.
+    return {
         "graph_sig": graph_signature(graph),
         "model": str(model),
         "stream": str(stream),
         "horizon": None if horizon is None else int(horizon),
         "seed": int(seed),
-        "sampler_kind": kind,
-        "workers": workers,
+        "stream_id": sampler.stream_id,
     }
-    # Kernel stream identity: a spilled pool is only the prefix of
-    # streams with the same draw order, so a kernel switch must look
-    # like a different pool, never a reattachable one.  The default
-    # (scalar) stream omits the field so its stamps — hence content
-    # addresses — stay byte-identical to pre-kernel releases: pools
-    # spilled before kernels existed keep reattaching.
-    if sampler.stream_id != DEFAULT_STREAM_ID:
-        stamp["stream_id"] = sampler.stream_id
-    return stamp
 
 
 def stamp_digest(stamp: dict) -> str:
@@ -115,9 +113,16 @@ class PoolStore:
         ``collection`` is any object with ``flat_view()`` (an
         :class:`~repro.sampling.rr_collection.RRCollection` or snapshot).
         Writes are atomic (temp file + rename) so a crash mid-spill can
-        not leave a half-readable pool behind.
+        not leave a half-readable pool behind.  A file already holding a
+        *longer* prefix of the same stream is left alone: prefixes of a
+        pure stream only ever extend each other, so keeping the longest
+        one preserves the most warmup (suffix eviction spills the full
+        pool before truncating in memory and relies on this).
         """
         flat, offsets = collection.flat_view()
+        existing = self._peek_count(self.path_for(stamp))
+        if existing is not None and existing >= len(offsets) - 1:
+            return self.path_for(stamp)
         header = {
             "format_version": _FORMAT_VERSION,
             "stamp": stamp,
@@ -141,6 +146,17 @@ class PoolStore:
         finally:
             tmp.unlink(missing_ok=True)
         return path
+
+    def _peek_count(self, path: Path) -> int | None:
+        """Set count of an existing spill, or ``None`` if absent/unreadable."""
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as archive:
+                header = json.loads(bytes(archive["header"]).decode())
+            return int(header["count"])
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return None  # unreadable: let save() overwrite it
 
     # ------------------------------------------------------------------
     # Reattach
@@ -175,6 +191,42 @@ class PoolStore:
             raise PoolStoreError(f"{path} is corrupt: offsets do not match count")
         sets = [flat[offsets[i] : offsets[i + 1]] for i in range(count)]
         return sets, header["sampler_state"]
+
+    def load_file(self, path: "str | os.PathLike") -> dict:
+        """Read one spill file by path, without stamp matching — read-only.
+
+        The migration / inspection entry point: legacy (v1-stream) spills
+        have stamps no current sampler can produce, so they are
+        unreachable through :meth:`load`; this reads any structurally
+        valid file and returns ``{"stamp", "sets", "sampler_state",
+        "count"}``.  The sets are plain arrays (usable as a frozen
+        RR collection); the sampler state is returned verbatim and a
+        legacy state will be *refused* by
+        :meth:`~repro.sampling.base.RRSampler.load_state_dict` — a v1
+        stream cannot be continued, only read.
+        """
+        path = Path(path)
+        try:
+            with np.load(path) as archive:
+                header = json.loads(bytes(archive["header"]).decode())
+                flat = archive["flat"]
+                offsets = archive["offsets"]
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            raise PoolStoreError(f"cannot read spilled pool {path}: {exc}") from exc
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise PoolStoreError(
+                f"{path} has format_version {header.get('format_version')!r}; "
+                f"this library reads {_FORMAT_VERSION}"
+            )
+        count = int(header["count"])
+        if len(offsets) != count + 1:
+            raise PoolStoreError(f"{path} is corrupt: offsets do not match count")
+        return {
+            "stamp": header.get("stamp", {}),
+            "sets": [flat[offsets[i] : offsets[i + 1]] for i in range(count)],
+            "sampler_state": header["sampler_state"],
+            "count": count,
+        }
 
     def files(self) -> "list[Path]":
         """All spilled pools currently on disk."""

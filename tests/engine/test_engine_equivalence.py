@@ -72,6 +72,32 @@ class TestByteIdentity:
             warm = engine.maximize(3, epsilon=EPS, algorithm=algorithm)
         _identical(warm, cold)
 
+    def test_workers_are_byte_invisible_across_sessions(self, small_wc_graph, kernel):
+        """Seed-pure streams: sessions at different worker counts answer
+        identically (workers used to be stream identity; no longer)."""
+        cold = dssa(small_wc_graph, 4, epsilon=EPS, model="LT", seed=SEED, kernel=kernel)
+        for backend, workers in ((None, None), ("serial", 2), ("thread", 4)):
+            with InfluenceEngine(
+                small_wc_graph, model="LT", seed=SEED, backend=backend,
+                workers=workers, kernel=kernel,
+            ) as engine:
+                _identical(engine.maximize(4, epsilon=EPS), cold)
+
+    def test_per_query_workers_and_session_resize(self, small_wc_graph, kernel):
+        """workers= per query and engine.resize() mid-session: pure
+        throughput, byte-identical answers throughout."""
+        cold4 = dssa(small_wc_graph, 4, epsilon=EPS, model="LT", seed=SEED, kernel=kernel)
+        cold6 = dssa(small_wc_graph, 6, epsilon=0.2, model="LT", seed=SEED, kernel=kernel)
+        with InfluenceEngine(
+            small_wc_graph, model="LT", seed=SEED, backend="thread", workers=2,
+            kernel=kernel,
+        ) as engine:
+            a = engine.maximize(4, epsilon=EPS, workers=3)
+            assert engine.resize(1) >= 1
+            b = engine.maximize(6, epsilon=0.2)
+        _identical(a, cold4)
+        _identical(b, cold6)
+
     def test_equivalence_survives_earlier_queries(self, small_wc_graph, kernel):
         """Byte-identity holds for *warm* queries, not just the first."""
         cold = dssa(small_wc_graph, 7, epsilon=EPS, model="LT", seed=SEED, kernel=kernel)

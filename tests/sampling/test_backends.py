@@ -1,10 +1,12 @@
 """Execution-backend tests: determinism, equivalence, unbiasedness.
 
-The load-bearing property is that a backend swap is *invisible* in the
-sampled RR stream: serial, thread, and process execution of the same
-``(seed, workers)`` coordinator must merge to byte-identical streams,
-and the merged stream must stay unbiased (Lemma 1) so every
-Stop-and-Stare guarantee survives parallel execution.
+The load-bearing property is that execution topology is *invisible* in
+the sampled RR stream: serial, thread, and process execution at **any**
+worker count must merge to byte-identical streams (seed-pure per-set
+derivation), and the merged stream must stay unbiased (Lemma 1) so
+every Stop-and-Stare guarantee survives parallel execution.  The full
+workers × backends × kernels matrix lives in
+``tests/sampling/test_elastic.py``.
 """
 
 import numpy as np
@@ -60,7 +62,7 @@ class TestRegistry:
         sampler = ShardedSampler(small_wc_graph, "LT", 2, seed=0, backend="serial")
         with pytest.raises(SamplingError):
             sampler.backend.start(
-                WorkerSpec(graph=small_wc_graph, model=sampler.model, seed_seqs=[None, None])
+                WorkerSpec(graph=small_wc_graph, model=sampler.model, workers=2)
             )
         sampler.close()
 
@@ -82,11 +84,16 @@ class TestBackendEquivalence:
             small_wc_graph, "LT", 3, 15, "thread"
         )
 
-    def test_worker_count_changes_stream(self, small_wc_graph):
-        # Different shard counts spawn different RNG trees — documented.
-        assert _stream(small_wc_graph, "LT", 2, 16, "serial") != _stream(
+    def test_worker_count_does_not_change_stream(self, small_wc_graph):
+        # The seed-pure contract: workers is a pure throughput knob.
+        assert _stream(small_wc_graph, "LT", 2, 16, "serial") == _stream(
             small_wc_graph, "LT", 3, 16, "serial"
         )
+
+    def test_plain_sampler_is_the_same_stream(self, small_wc_graph):
+        plain = make_sampler(small_wc_graph, "LT", 16)
+        merged = [rr.tolist() for rr in plain.sample_batch(58)]
+        assert merged == _stream(small_wc_graph, "LT", 4, 16, "thread")
 
     def test_identical_seed_sets_serial_vs_thread(self, medium_wc_graph):
         """The acceptance property: byte-identical seeds at a fixed seed."""
@@ -159,20 +166,46 @@ class TestStreamStateCapture:
         for a, b in zip(expected, continued):
             assert np.array_equal(a, b)
 
-    def test_state_kind_and_worker_mismatch_rejected(self, small_wc_graph):
-        plain = make_sampler(small_wc_graph, "LT", 1)
+    def test_states_are_worker_free_and_shape_free(self, small_wc_graph):
+        """Seed-pure positions restore across sampler shapes and worker
+        counts — the identity has neither in it."""
         sharded = ShardedSampler(small_wc_graph, "LT", 2, seed=1, backend="serial")
         try:
-            with pytest.raises((SamplingError, ValueError)):
-                plain.load_state_dict(sharded.state_dict())
-            three = ShardedSampler(small_wc_graph, "LT", 3, seed=1, backend="serial")
-            try:
-                with pytest.raises(SamplingError):
-                    three.load_state_dict(sharded.state_dict())
-            finally:
-                three.close()
+            sharded.sample_batch(21)
+            state = sharded.state_dict()
+            expected = [rr.tolist() for rr in sharded.sample_batch(9)]
         finally:
             sharded.close()
+        assert "workers" not in state and state["kind"] == "seedpure"
+        plain = make_sampler(small_wc_graph, "LT", 1)
+        plain.load_state_dict(state)
+        assert [rr.tolist() for rr in plain.sample_batch(9)] == expected
+        three = ShardedSampler(small_wc_graph, "LT", 3, seed=1, backend="serial")
+        try:
+            three.load_state_dict(state)
+            assert [rr.tolist() for rr in three.sample_batch(9)] == expected
+        finally:
+            three.close()
+
+    def test_legacy_state_kinds_are_refused(self, small_wc_graph):
+        """v1 states (kinds 'plain'/'sharded', RNG blobs) must fail with
+        a clear error, never restore approximately."""
+        sampler = make_sampler(small_wc_graph, "LT", 1)
+        legacy = {
+            "kind": "sharded",
+            "stream_id": "scalar-v1",
+            "workers": 2,
+            "rng": {},
+            "cursor": 10,
+            "loads": [5, 5],
+            "worker_rngs": [{}, {}],
+            "sets_generated": 10,
+            "entries_generated": 40,
+        }
+        with pytest.raises(SamplingError, match="legacy"):
+            sampler.load_state_dict(legacy)
+        with pytest.raises(SamplingError, match="legacy"):
+            sampler.load_state_dict({"kind": "plain", "rng": {}, "sets_generated": 3})
 
 
 class TestMakeParallelSampler:
@@ -264,22 +297,40 @@ class TestProcessBackend:
             expected = [rr.tolist() for rr in reference.sample_batch(10)]
             reference.close()
             with pytest.raises(SamplingError, match="worker"):
-                # Out-of-range root on worker 0 while worker 1 has a good
-                # batch: the coordinator must relay the fault AND drain
-                # worker 1's reply so the pipe protocol stays in sync.
+                # Out-of-range *root* pinned on worker 0 while worker 1 has
+                # a good batch: the coordinator must relay the fault AND
+                # drain worker 1's reply so the pipe protocol stays in sync.
                 backend.sample_shards(
-                    [np.asarray([10**6], dtype=np.int64), np.asarray([0, 1], dtype=np.int64)]
+                    [np.asarray([0], dtype=np.int64), np.asarray([1, 2], dtype=np.int64)],
+                    [np.asarray([10**6], dtype=np.int64), None],
                 )
-            # The pool is still usable and not serving stale replies.  The
-            # injected batch advanced worker RNG state (so full streams
-            # legitimately diverge from a fresh run), but the coordinator
-            # drew no roots for it — so the next batch's roots (each RR
-            # set's first element) must line up position-for-position with
-            # a fresh coordinator's.  A desynced pipe would pair the old
-            # [0, 1] reply with these roots instead.
+            # The pool is still usable and not serving stale replies: the
+            # injected batch consumed no stream position (sets derive from
+            # their global index alone), so the next batch must equal a
+            # fresh run's stream byte for byte.  A desynced pipe would
+            # pair the old [1, 2] reply with these indices instead.
             after = [rr.tolist() for rr in sampler.sample_batch(10)]
-            assert len(after) == 10
-            assert [rr[0] for rr in after] == [rr[0] for rr in expected]
+            assert after == expected
+        finally:
+            sampler.close()
+
+    def test_worker_death_carries_crash_context(self, small_wc_graph):
+        """A dead process worker surfaces as a SamplingError naming the
+        worker, its exit code, its dispatch count, and its stderr tail."""
+        backend = ProcessBackend()
+        sampler = ShardedSampler(small_wc_graph, "LT", 2, seed=24, backend=backend)
+        try:
+            sampler.sample_batch(6)
+            backend._conns[0].send(("abort", "injected crash: disk on fire"))
+            deadline = backend._procs[0]
+            deadline.join(timeout=10)
+            with pytest.raises(SamplingError) as excinfo:
+                sampler.sample_batch(6)
+            message = str(excinfo.value)
+            assert "worker 0" in message
+            assert "exitcode" in message and "pid" in message
+            assert "batches dispatched" in message
+            assert "disk on fire" in message  # the stderr tail rode along
         finally:
             sampler.close()
 

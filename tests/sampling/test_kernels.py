@@ -43,7 +43,7 @@ def viral_graph(er_graph):
 class TestRegistry:
     def test_default_is_the_scalar_stream(self):
         assert make_kernel(None) is KERNELS["scalar"]
-        assert DEFAULT_STREAM_ID == "scalar-v1"
+        assert DEFAULT_STREAM_ID == "scalar-v2"
 
     def test_names_resolve_case_insensitively(self):
         assert make_kernel("Vectorized") is KERNELS["vectorized"]
@@ -59,11 +59,11 @@ class TestRegistry:
     def test_stream_ids_are_distinct_and_versioned(self):
         ids = {KERNELS[name].stream_id for name in list_kernels()}
         assert len(ids) == len(list_kernels())
-        assert ids == {"scalar-v1", "vectorized-v1"}
+        assert ids == {"scalar-v2", "vectorized-v2"}
 
     def test_sampler_carries_its_kernel_stream_id(self, small_wc_graph):
         sampler = make_sampler(small_wc_graph, "IC", SEED, kernel="vectorized")
-        assert sampler.stream_id == "vectorized-v1"
+        assert sampler.stream_id == "vectorized-v2"
         assert isinstance(sampler.kernel, VectorizedKernel)
 
 
@@ -268,7 +268,7 @@ class TestDistributionalAgreement:
 class TestStreamIdentityPlumbing:
     def test_state_dict_carries_stream_id(self, small_wc_graph):
         sampler = make_sampler(small_wc_graph, "IC", SEED, kernel="vectorized")
-        assert sampler.state_dict()["stream_id"] == "vectorized-v1"
+        assert sampler.state_dict()["stream_id"] == "vectorized-v2"
 
     def test_cross_kernel_restore_is_rejected_plain(self, small_wc_graph):
         state = make_sampler(small_wc_graph, "IC", SEED, kernel="vectorized").state_dict()
@@ -289,30 +289,33 @@ class TestStreamIdentityPlumbing:
         finally:
             heir.close()
 
-    def test_legacy_state_means_the_scalar_stream(self, small_wc_graph):
-        """Pre-kernel spills carry no stream_id: they restore onto the
-        scalar stream (whose draw order produced them) and nothing else."""
+    def test_unstamped_state_means_the_legacy_stream(self, small_wc_graph):
+        """States with no stream_id were captured by the v1 (per-worker
+        spawned) scalar stream — not byte-compatible with any current
+        sampler, so restoring one must be refused, naming scalar-v1."""
+        from repro.sampling.kernels import LEGACY_STREAM_ID
+
         sampler = make_sampler(small_wc_graph, "IC", SEED)
-        legacy = sampler.state_dict()
-        del legacy["stream_id"]
-        sampler.load_state_dict(legacy)  # accepted
-        vector = make_sampler(small_wc_graph, "IC", SEED, kernel="vectorized")
+        unstamped = sampler.state_dict()
+        del unstamped["stream_id"]
+        with pytest.raises(SamplingError, match="scalar-v1"):
+            sampler.load_state_dict(unstamped)
         with pytest.raises(SamplingError, match="byte-compatible"):
-            vector.load_state_dict(legacy)
-        check_stream_id({}, ScalarKernel().stream_id)  # helper agrees
+            check_stream_id({}, ScalarKernel().stream_id)
+        check_stream_id({}, LEGACY_STREAM_ID)  # what the blank means
 
     def test_collections_and_snapshots_inherit_stream_id(self, small_wc_graph):
         from repro.sampling.rr_collection import RRCollection
 
-        pool = RRCollection(small_wc_graph.n, stream_id="vectorized-v1")
+        pool = RRCollection(small_wc_graph.n, stream_id="vectorized-v2")
         pool.extend([np.array([1, 2]), np.array([3])])
-        assert pool.snapshot().stream_id == "vectorized-v1"
+        assert pool.snapshot().stream_id == "vectorized-v2"
 
     def test_context_pool_is_stamped_with_the_kernel_stream(self, small_wc_graph):
         from repro.engine.context import SamplingContext
 
         with SamplingContext(small_wc_graph, "IC", seed=SEED, kernel="vectorized") as ctx:
-            assert ctx.pool.stream_id == "vectorized-v1"
+            assert ctx.pool.stream_id == "vectorized-v2"
             assert ctx.fresh_verifier is not None  # API intact
 
     def test_spill_stamps_differ_across_kernels(self, small_wc_graph):
@@ -325,46 +328,48 @@ class TestStreamIdentityPlumbing:
                 small_wc_graph, model="LT", stream="direct", horizon=None,
                 seed=SEED, sampler=sampler,
             )
-        # The default stream omits the field so scalar stamps (and their
-        # content addresses) stay byte-identical to pre-kernel releases:
-        # pools spilled before kernels existed keep reattaching.
-        assert "stream_id" not in stamps["scalar"]
-        assert stamps["vectorized"]["stream_id"] == "vectorized-v1"
+        # Every v2 stamp names its full stream token: legacy files carry
+        # other keys entirely, so digests can never collide across the
+        # derivation generations — a clean miss by construction.
+        assert stamps["scalar"]["stream_id"] == "scalar-v2"
+        assert stamps["vectorized"]["stream_id"] == "vectorized-v2"
+        assert "workers" not in stamps["scalar"]
+        assert "sampler_kind" not in stamps["scalar"]
         assert stamp_digest(stamps["scalar"]) != stamp_digest(stamps["vectorized"])
 
-    def test_pre_kernel_spill_reattaches_into_a_scalar_session(
-        self, small_wc_graph, tmp_path
-    ):
-        """A pool spilled by a pre-kernel release (no stream_id anywhere)
-        must keep reattaching into default-kernel sessions."""
+    def test_legacy_v1_spill_is_a_clean_cache_miss(self, small_wc_graph, tmp_path):
+        """A spill stamped by the legacy (seed, workers)-derived streams
+        must never reattach into a seed-pure session — its stamp carries
+        workers/sampler_kind keys no current sampler produces, so lookup
+        misses and the session samples fresh, byte-equal to cold."""
+        from repro.core.dssa import dssa
         from repro.engine import InfluenceEngine
-        from repro.service.store import PoolStore
+        from repro.sampling.rr_collection import RRCollection
+        from repro.service.store import PoolStore, graph_signature
 
-        # Spill with today's scalar session, then strip every stream_id
-        # from the file — reconstructing the legacy on-disk format.
-        with InfluenceEngine(
-            small_wc_graph, model="LT", seed=SEED, spill_dir=tmp_path
-        ) as engine:
-            cold = engine.maximize(3, epsilon=0.25)
+        legacy_stamp = {
+            "graph_sig": graph_signature(small_wc_graph),
+            "model": "LT",
+            "stream": "direct",
+            "horizon": None,
+            "seed": SEED,
+            "sampler_kind": "plain",
+            "workers": 1,
+        }
+        legacy_state = {"kind": "plain", "rng": {}, "sets_generated": 40,
+                        "entries_generated": 160}
         store = PoolStore(tmp_path)
-        (path,) = store.files()
-        import json
-
-        with np.load(path) as archive:
-            header = json.loads(bytes(archive["header"]).decode())
-            flat, offsets = archive["flat"], archive["offsets"]
-        assert "stream_id" not in header["stamp"]  # stamp already legacy-shaped
-        header["sampler_state"].pop("stream_id")
-        header_bytes = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
-        with open(path, "wb") as handle:
-            np.savez(handle, header=header_bytes, flat=flat, offsets=offsets)
+        junk = RRCollection(small_wc_graph.n)
+        junk.extend([np.arange(4, dtype=np.int32)] * 40)
+        store.save(legacy_stamp, junk, legacy_state)
 
         with InfluenceEngine(
             small_wc_graph, model="LT", seed=SEED, spill_dir=tmp_path
         ) as engine:
             warm = engine.maximize(3, epsilon=0.25)
-            assert engine.pool_manager.reattached_for(engine.session) > 0
-            assert engine.stats.rr_sampled == 0
+            assert engine.pool_manager.reattached_for(engine.session) == 0
+            assert engine.stats.rr_sampled > 0  # sampled fresh, no mixing
+        cold = dssa(small_wc_graph, 3, epsilon=0.25, model="LT", seed=SEED)
         assert warm.seeds == cold.seeds and warm.samples == cold.samples
 
     def test_pools_with_different_stream_ids_do_not_collide(self, small_wc_graph):
@@ -383,16 +388,16 @@ class TestStreamIdentityPlumbing:
                 )
             return build
 
-        key_scalar = PoolKey("s", "direct", "LT", None, "scalar-v1")
-        key_vector = PoolKey("s", "direct", "LT", None, "vectorized-v1")
+        key_scalar = PoolKey("s", "direct", "LT", None, "scalar-v2")
+        key_vector = PoolKey("s", "direct", "LT", None, "vectorized-v2")
         with manager.query(key_scalar, factory("scalar")) as view:
             view.require(30)
         with manager.query(key_vector, factory("vectorized")) as view:
             view.require(10)
         sizes = manager.pool_sizes("s")
         assert sizes == {
-            ("direct", "LT", None, "scalar-v1"): 30,
-            ("direct", "LT", None, "vectorized-v1"): 10,
+            ("direct", "LT", None, "scalar-v2"): 30,
+            ("direct", "LT", None, "vectorized-v2"): 10,
         }
         manager.close()
 
@@ -439,5 +444,5 @@ class TestVectorizedSpillReattach:
 
         with np.load(files[0]) as archive:
             header = json.loads(bytes(archive["header"]).decode())
-        assert header["stamp"]["stream_id"] == "vectorized-v1"
-        assert header["sampler_state"]["stream_id"] == "vectorized-v1"
+        assert header["stamp"]["stream_id"] == "vectorized-v2"
+        assert header["sampler_state"]["stream_id"] == "vectorized-v2"

@@ -1,0 +1,124 @@
+"""SeedStream acceptance: the fast path IS numpy's SeedSequence derivation.
+
+The v2 stream identity is *defined* as per-set SeedSequence children
+(``SeedSequence(entropy, spawn_key + (g,))`` feeding ``default_rng``).
+The vectorized hashmix clone and the PCG64 srandom replication are
+optimizations only — these tests pin them bit-for-bit to the reference
+so the fast path can never drift into a different stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.sampling.seedstream import (
+    MAX_STREAM_INDEX,
+    SeedStream,
+    _assembled_prefix_words,
+    _children_seed_words,
+    _uint32_words,
+    resolve_seed_sequence,
+)
+
+INDICES = (0, 1, 2, 7, 63, 64, 1000, 2**20, 2**31, 2**32 - 1)
+
+
+class TestWordCoercion:
+    @pytest.mark.parametrize(
+        "value", [0, 1, 42, 2**31, 2**32 - 1, 2**32, 2**64 - 1, 2**96 + 12345]
+    )
+    def test_matches_numpy_entropy_words(self, value):
+        """Our int->uint32-word coercion must equal numpy's: feed the int
+        as SeedSequence entropy and compare derived pools."""
+        ours = _assembled_prefix_words(value, (9,))
+        ss = np.random.SeedSequence(entropy=value, spawn_key=(9, 3))
+        got = _children_seed_words(ours, np.asarray([3]))[0]
+        want = ss.generate_state(4, np.uint64)
+        assert np.array_equal(got, want)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SamplingError):
+            _uint32_words(-1)
+
+
+class TestFastPathEqualsReference:
+    @pytest.mark.parametrize("entropy", [0, 7, 2016, 123456789, 2**64 + 17])
+    @pytest.mark.parametrize("prefix", [(), (0,), (1,), (3, 5)])
+    def test_child_words_match_numpy(self, entropy, prefix):
+        words = _assembled_prefix_words(entropy, prefix)
+        got = _children_seed_words(words, np.asarray(INDICES, dtype=np.uint64))
+        for row, g in zip(got, INDICES):
+            want = np.random.SeedSequence(
+                entropy=entropy, spawn_key=prefix + (g,)
+            ).generate_state(4, np.uint64)
+            assert np.array_equal(row, want), (entropy, prefix, g)
+
+    def test_128bit_fresh_entropy_matches(self):
+        entropy = np.random.SeedSequence().entropy  # 128-bit
+        words = _assembled_prefix_words(entropy, ())
+        got = _children_seed_words(words, np.asarray([0, 5]))
+        for row, g in zip(got, (0, 5)):
+            want = np.random.SeedSequence(
+                entropy=entropy, spawn_key=(g,)
+            ).generate_state(4, np.uint64)
+            assert np.array_equal(row, want)
+
+    @pytest.mark.parametrize("seed", [0, 7, 2016])
+    def test_rng_at_equals_fresh_default_rng(self, seed):
+        """The reused bit generator, re-seeded per index, draws exactly
+        what a fresh default_rng(child) would — including across block
+        boundaries and random access order."""
+        stream = SeedStream(seed)
+        assert stream._fast  # the self-check passed on this platform
+        for index in (0, 3, 5000, 3, 2**31):  # revisits and far jumps
+            fast = stream.rng_at(index).random(6)
+            reference = stream.generator_at(index).random(6)
+            assert np.array_equal(fast, reference)
+
+    def test_integer_draw_parity(self):
+        stream = SeedStream(42)
+        for index in (0, 11):
+            assert stream.rng_at(index).integers(10**9) == stream.generator_at(
+                index
+            ).integers(10**9)
+
+
+class TestIdentityResolution:
+    def test_generator_contributes_its_seed_sequence(self):
+        gen = np.random.default_rng(99)
+        gen.random(1000)  # advancing the generator must not matter
+        stream = SeedStream(gen)
+        assert stream.entropy == 99 and stream.spawn_key == ()
+        assert np.array_equal(
+            stream.rng_at(4).random(3), SeedStream(99).rng_at(4).random(3)
+        )
+
+    def test_spawned_generator_keeps_its_key(self):
+        child = np.random.default_rng(7).spawn(2)[1]
+        stream = SeedStream(child)
+        assert stream.entropy == 7 and stream.spawn_key == (1,)
+
+    def test_seed_sequence_and_stream_inputs(self):
+        ss = np.random.SeedSequence(entropy=5, spawn_key=(2,))
+        stream = SeedStream(ss)
+        assert SeedStream(stream).spawn_key == (2,)
+        assert stream.seed_sequence.entropy == 5
+
+    def test_none_resolves_to_fresh_entropy(self):
+        a, b = SeedStream(None), SeedStream(None)
+        assert a.entropy != b.entropy  # vanishing collision probability
+
+    def test_index_bounds(self):
+        stream = SeedStream(1)
+        with pytest.raises(SamplingError):
+            stream.rng_at(MAX_STREAM_INDEX)
+        with pytest.raises(SamplingError):
+            stream.child(-1)
+
+    def test_sibling_streams_do_not_collide(self):
+        """Distinct spawn-key prefixes (e.g. SSA's main vs verification
+        derivation) give disjoint child families."""
+        main = SeedStream(np.random.default_rng(7).spawn(2)[0])
+        verify = SeedStream(np.random.default_rng(7).spawn(2)[1])
+        assert main.spawn_key != verify.spawn_key
+        assert not np.array_equal(main.rng_at(0).random(4), verify.rng_at(0).random(4))

@@ -73,7 +73,7 @@ class TestBudget:
         with manager.query(_key(horizon=None), _factory(small_wc_graph)) as view:
             view.require(100)
             # the horizon=2 pool is idle and older -> evicted; this one is busy
-            assert ("direct", "LT", 2, "scalar-v1") not in manager.pool_sizes("s")
+            assert ("direct", "LT", 2, "scalar-v2") not in manager.pool_sizes("s")
             assert len(view.pool) >= 0  # snapshot still usable mid-flight
         assert manager.evictions_for("s") == 2
         assert manager.pool_sizes("s") == {}
@@ -93,16 +93,86 @@ class TestBudget:
         assert manager.total_bytes() <= budget
         assert manager.evictions_for("s") >= 1
         # the survivor is the most recently used pool (LRU eviction order)
-        assert ("direct", "LT", None, "scalar-v1") in manager.pool_sizes("s")
+        assert ("direct", "LT", None, "scalar-v2") in manager.pool_sizes("s")
 
     def test_inflight_pools_never_evicted(self, small_wc_graph):
         manager = PoolManager(budget_bytes=1)
         with manager.query(_key(), _factory(small_wc_graph)) as view:
             view.require(200)  # far over budget, but this query is in flight
-            assert ("direct", "LT", None, "scalar-v1") in manager.pool_sizes("s")
+            assert ("direct", "LT", None, "scalar-v2") in manager.pool_sizes("s")
             assert len(view.require(250)) == 250  # keeps answering correctly
         # once idle, the budget wins
         assert manager.pool_sizes("s") == {}
+
+    def test_suffix_truncation_keeps_the_hot_head(self, small_wc_graph):
+        """Under byte pressure a big idle pool sheds its suffix first:
+        sets [0, keep) survive, the sampler seeks back, and the next
+        over-demand re-continues the stream byte-exactly."""
+        probe = PoolManager()
+        with probe.query(_key(), _factory(small_wc_graph)) as view:
+            full = view.require(400)
+            reference = [rr.tolist() for rr in (full[i] for i in range(400))]
+            bytes_at_300 = 4 * sum(len(rr) for rr in reference[:300])
+        probe.close()
+
+        manager = PoolManager(budget_bytes=bytes_at_300, suffix_min_sets=50)
+        with manager.query(_key(), _factory(small_wc_graph)) as view:
+            view.require(400)
+        # idle now: the budget forced a truncation, not an eviction
+        assert manager.truncations_for("s") >= 1
+        assert manager.evictions_for("s") == 0
+        (size,) = manager.pool_sizes("s").values()
+        assert 0 < size < 400
+        with manager.query(_key(), _factory(small_wc_graph)) as view:
+            regrown = view.require(400)
+            assert view.sampled == 400 - size  # only the suffix resampled
+            assert [list(regrown[i]) for i in range(400)] == reference
+        manager.close()
+
+    def test_truncation_halves_until_eviction(self, small_wc_graph):
+        """A pool that cannot fit even its truncated prefix keeps halving
+        and is finally evicted whole — the budget always wins."""
+        manager = PoolManager(budget_bytes=1, suffix_min_sets=50)
+        with manager.query(_key(), _factory(small_wc_graph)) as view:
+            view.require(400)
+        assert manager.pool_sizes("s") == {}
+        assert manager.truncations_for("s") >= 1
+        assert manager.evictions_for("s") == 1
+        assert manager.total_bytes() == 0
+        manager.close()
+
+    def test_truncation_spills_the_full_prefix_first(self, small_wc_graph, tmp_path):
+        """Disk keeps the longest prefix: truncation spills the full pool
+        and later (shorter) spills must not clobber it."""
+        manager = PoolManager(budget_bytes=1_000, suffix_min_sets=50, spill_dir=tmp_path)
+        with manager.query(_key(), _factory(small_wc_graph)) as view:
+            view.require(400)
+        manager.close()
+        from repro.service.store import PoolStore
+
+        (path,) = PoolStore(tmp_path).files()
+        loaded = PoolStore(tmp_path).load_file(path)
+        assert loaded["count"] == 400  # the full prefix, not the truncated one
+
+        # and a fresh manager reattaches all 400 sets from it
+        fresh = PoolManager(spill_dir=tmp_path)
+        with fresh.query(_key(), _factory(small_wc_graph)) as view:
+            got = view.require(400)
+            assert view.sampled == 0
+            assert len(got) == 400
+        fresh.close()
+
+    def test_resize_skips_concurrently_evicted_entries(self, small_wc_graph):
+        """resize_namespace collects entries outside their locks; one
+        retired in between must be skipped, not raise 'context closed'."""
+        manager = PoolManager()
+        with manager.query(_key(), _factory(small_wc_graph)) as view:
+            view.require(20)
+        entry = next(iter(manager._entries.values()))
+        manager.release_namespace("s")  # closes the context
+        assert entry.resize(4) is False  # skip, no exception
+        assert manager.resize_namespace("s", 4) == 0
+        manager.close()
 
     def test_namespaces_are_isolated(self, small_wc_graph):
         manager = PoolManager()
@@ -110,10 +180,10 @@ class TestBudget:
             view.require(40)
         with manager.query(_key("b"), _factory(small_wc_graph, seed=7)) as view:
             view.require(10)
-        assert manager.pool_sizes("a") == {("direct", "LT", None, "scalar-v1"): 40}
-        assert manager.pool_sizes("b") == {("direct", "LT", None, "scalar-v1"): 10}
+        assert manager.pool_sizes("a") == {("direct", "LT", None, "scalar-v2"): 40}
+        assert manager.pool_sizes("b") == {("direct", "LT", None, "scalar-v2"): 10}
         assert manager.bytes_for("a") > 0
         manager.release_namespace("a")
         assert manager.pool_sizes("a") == {}
-        assert manager.pool_sizes("b") == {("direct", "LT", None, "scalar-v1"): 10}
+        assert manager.pool_sizes("b") == {("direct", "LT", None, "scalar-v2"): 10}
         manager.close()

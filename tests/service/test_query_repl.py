@@ -48,6 +48,25 @@ class TestPipedStdin:
         assert proc.returncode == 1
         assert "maximize needs k" in proc.stderr
 
+    def test_resize_and_metrics_commands(self):
+        proc = _run(
+            QUERY + ["--backend", "thread", "--workers", "2"],
+            "maximize k=3 epsilon=0.3\nresize workers=4\nmaximize k=3 epsilon=0.3\nmetrics\nstats\nquit\n",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "workers=4" in proc.stdout  # resize confirmation + stats line
+        assert "stream unchanged" in proc.stdout
+        assert "latency maximize:" in proc.stdout  # stats shows op latency
+        assert "Per-operation latency" in proc.stdout  # metrics table
+        # the two maximize answers are byte-identical across the resize
+        seeds = [l for l in proc.stdout.splitlines() if "seeds:" in l]
+        assert len(seeds) == 2 and seeds[0] == seeds[1]
+
+    def test_resize_needs_workers(self):
+        proc = _run(QUERY, "resize\n")
+        assert proc.returncode == 1
+        assert "resize needs workers" in proc.stderr
+
     def test_eof_without_quit_is_a_clean_end(self):
         proc = _run(QUERY, "maximize k=3 epsilon=0.3\n")  # no quit line
         assert proc.returncode == 0, proc.stderr

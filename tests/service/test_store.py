@@ -35,7 +35,28 @@ class TestStampsAndSignatures:
             small_wc_graph, model="LT", stream="direct", horizon=None,
             seed=11, sampler=sampler,
         )
-        assert stamp is not None and stamp["sampler_kind"] == "plain"
+        assert stamp is not None and stamp["stream_id"] == "scalar-v2"
+
+    def test_stamp_identity_is_worker_free(self, small_wc_graph):
+        """Pools sampled at any worker count / backend share one stamp —
+        a spill at W=4 reattaches and continues at W=16."""
+        from repro.sampling.base import make_sampler
+        from repro.sampling.sharded import ShardedSampler
+
+        plain = make_sampler(small_wc_graph, "LT", 11)
+        sharded = ShardedSampler(small_wc_graph, "LT", 4, seed=11, backend="serial")
+        try:
+            stamps = [
+                make_stamp(
+                    small_wc_graph, model="LT", stream="direct", horizon=None,
+                    seed=11, sampler=sampler,
+                )
+                for sampler in (plain, sharded)
+            ]
+        finally:
+            sharded.close()
+        assert stamps[0] == stamps[1]
+        assert "workers" not in stamps[0] and "sampler_kind" not in stamps[0]
 
 
 class TestStoreRoundtrip:
@@ -77,6 +98,88 @@ class TestStoreRoundtrip:
             store.load(stamp)
 
 
+def _legacy_spill(store, graph, *, seed=SEED, workers=2, count=30):
+    """Forge a spill file exactly as a v1 release would have written it:
+    stamp keyed on (seed, workers, sampler shape), no stream_id, state
+    holding RNG blobs."""
+    stamp = {
+        "graph_sig": graph_signature(graph),
+        "model": "LT",
+        "stream": "direct",
+        "horizon": None,
+        "seed": seed,
+        "sampler_kind": "sharded" if workers > 1 else "plain",
+        "workers": workers,
+    }
+    state = {
+        "kind": "sharded" if workers > 1 else "plain",
+        "workers": workers,
+        "rng": {"bit_generator": "PCG64", "state": {"state": 1, "inc": 3}},
+        "cursor": count,
+        "loads": [count // workers] * workers,
+        "worker_rngs": [{}] * workers,
+        "sets_generated": count,
+        "entries_generated": 4 * count,
+    }
+    pool = RRCollection(graph.n)
+    pool.extend([np.arange(4, dtype=np.int32)] * count)
+    return store.save(stamp, pool, state), stamp, state
+
+
+class TestLegacySpillMigration:
+    """scalar-v1 stamped spills: readable read-only, never reattached,
+    never silently mixed into a seed-pure stream."""
+
+    def test_legacy_stamp_never_matches_a_current_lookup(self, small_wc_graph, tmp_path):
+        from repro.sampling.base import make_sampler
+
+        store = PoolStore(tmp_path)
+        _legacy_spill(store, small_wc_graph)
+        current = make_stamp(
+            small_wc_graph, model="LT", stream="direct", horizon=None,
+            seed=SEED, sampler=make_sampler(small_wc_graph, "LT", SEED),
+        )
+        assert store.load(current) is None  # clean cache miss
+
+    def test_legacy_file_loads_read_only(self, small_wc_graph, tmp_path):
+        from repro.exceptions import SamplingError
+        from repro.sampling.base import make_sampler
+
+        store = PoolStore(tmp_path)
+        path, stamp, _ = _legacy_spill(store, small_wc_graph, count=30)
+        loaded = store.load_file(path)
+        assert loaded["count"] == 30 and len(loaded["sets"]) == 30
+        assert loaded["stamp"] == stamp
+        for rr in loaded["sets"]:
+            assert np.array_equal(rr, np.arange(4, dtype=np.int32))
+        # ...but its stream cannot be continued by a seed-pure sampler
+        sampler = make_sampler(small_wc_graph, "LT", SEED)
+        with pytest.raises(SamplingError, match="legacy"):
+            sampler.load_state_dict(loaded["sampler_state"])
+
+    def test_kernel_mismatch_is_a_miss_not_a_mix(self, small_wc_graph, tmp_path):
+        """Same (graph, seed), different stream_id: nothing reattaches,
+        the session samples fresh and stays byte-equal to cold."""
+        from repro.engine import InfluenceEngine
+
+        store = PoolStore(tmp_path)
+        _legacy_spill(store, small_wc_graph)
+        with InfluenceEngine(
+            small_wc_graph, model="LT", seed=SEED, kernel="vectorized",
+            spill_dir=tmp_path,
+        ) as engine:
+            engine.maximize(3, epsilon=EPS)
+            assert engine.pool_manager.reattached_for(engine.session) == 0
+            assert engine.stats.rr_sampled > 0
+
+    def test_corrupt_legacy_file_raises_cleanly(self, tmp_path):
+        store = PoolStore(tmp_path)
+        bad = tmp_path / "pool-deadbeef.npz"
+        bad.write_bytes(b"not an npz")
+        with pytest.raises(PoolStoreError):
+            store.load_file(bad)
+
+
 class TestEngineReattach:
     """The acceptance path: spill in one session, warm-start the next."""
 
@@ -104,6 +207,25 @@ class TestEngineReattach:
             small_wc_graph, 8, epsilon=0.2, model="LT", seed=SEED,
             backend=backend, workers=workers,
         )
+        assert bigger.seeds == cold.seeds and bigger.samples == cold.samples
+
+    def test_reattach_across_worker_counts_and_backends(self, small_wc_graph, tmp_path):
+        """The tentpole property on disk: a pool spilled at one worker
+        count reattaches and *continues* at another, byte-exactly."""
+        with InfluenceEngine(
+            small_wc_graph, model="LT", seed=SEED, spill_dir=tmp_path,
+            backend="thread", workers=2,
+        ) as first:
+            warm = first.maximize(4, epsilon=EPS)
+        with InfluenceEngine(
+            small_wc_graph, model="LT", seed=SEED, spill_dir=tmp_path,
+            backend="serial", workers=5,
+        ) as second:
+            replay = second.maximize(4, epsilon=EPS)
+            assert second.stats.rr_sampled == 0  # pure cache across W
+            bigger = second.maximize(8, epsilon=0.2)  # continues the stream
+        assert replay.seeds == warm.seeds and replay.samples == warm.samples
+        cold = dssa(small_wc_graph, 8, epsilon=0.2, model="LT", seed=SEED)
         assert bigger.seeds == cold.seeds and bigger.samples == cold.samples
 
     def test_reattach_ignores_other_seeds_and_graphs(
