@@ -232,9 +232,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=2016)
     parser.add_argument(
         "--backends", nargs="+", default=["single", "thread"],
-        choices=["single", "serial", "thread", "process"],
+        choices=["single", "serial", "thread", "process", "network"],
         help="'single' is a plain (unsharded) sampler; the rest are "
-        "ShardedSampler execution backends",
+        "ShardedSampler execution backends ('network' self-hosts a "
+        "loopback TCP worker fleet per cell)",
     )
     parser.add_argument("--workers", type=int, default=4,
                         help="workers for sharded backends")

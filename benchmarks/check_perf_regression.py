@@ -47,6 +47,12 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=1.4,
                         help="only gate cells whose baseline speedup is at "
                         "least this (near-parity cells are noise; default 1.4)")
+    parser.add_argument("--informational", action="append", default=[],
+                        metavar="BACKEND",
+                        help="backend whose cells are printed but never gated "
+                        "and never required (repeatable) — e.g. 'network' on a "
+                        "1-CPU runner, where loopback TCP framing costs are "
+                        "environment, not code")
     args = parser.parse_args(argv)
 
     current, baseline = load(args.current), load(args.baseline)
@@ -58,6 +64,7 @@ def main(argv=None) -> int:
 
     regressions, missing, compared = [], [], 0
     for cell, base_kernels in sorted(baseline.get("speedups", {}).items()):
+        backend = cell.rsplit("/", 1)[-1]
         cur_kernels = current.get("speedups", {}).get(cell)
         if cur_kernels is None:
             print(f"  skip {cell}: not measured in this run")
@@ -65,6 +72,14 @@ def main(argv=None) -> int:
         for kernel, base_speedup in sorted(base_kernels.items()):
             if kernel == "scalar":
                 continue  # the 1.0 reference by construction
+            if backend in args.informational:
+                shown = cur_kernels.get(kernel)
+                shown = "absent" if shown is None else f"{shown:.2f}x"
+                print(
+                    f"  {cell} {kernel}: {shown} vs baseline "
+                    f"{base_speedup:.2f}x (informational, not gated)"
+                )
+                continue
             if kernel not in cur_kernels:
                 # A measured cell that lost a kernel is a broken bench,
                 # not a pass — fail loudly instead of gating on nothing.

@@ -95,7 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--sets", type=int, default=400)
     parser.add_argument(
         "--backends", nargs="+", default=["serial", "thread", "process"],
-        choices=["serial", "thread", "process"],
+        choices=["serial", "thread", "process", "network"],
+        help="'network' spins a loopback TCP worker fleet per cell (slower; "
+        "CI runs it in the dedicated fleet job, not by default)",
     )
     return parser
 

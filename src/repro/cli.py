@@ -18,6 +18,11 @@ Subcommands
     Run an :class:`~repro.service.server.InfluenceServer`: concurrent
     multi-client query serving over TCP (newline-delimited JSON) with a
     pool byte budget and optional cross-restart pool persistence.
+``worker``
+    Join a network sampling fleet as one worker host: connect to a
+    ``--backend network`` coordinator, fetch the content-addressed graph
+    blob (cached by hash across restarts), and serve RR batches under a
+    heartbeat lease until the coordinator closes the connection.
 ``tvm``
     Run the TVM experiment (Fig. 8 style) on a topic group.
 """
@@ -35,7 +40,12 @@ from repro.experiments.figures import tvm_runtime_vs_k
 from repro.experiments.report import render_comparison
 from repro.experiments.runner import ALGORITHMS, evaluate_quality, run_algorithm
 from repro.graph.statistics import compute_stats
-from repro.sampling.backends import BACKENDS
+from repro.sampling.backends import (
+    BACKENDS,
+    parse_hosts_spec,
+    run_worker,
+    set_network_defaults,
+)
 from repro.sampling.kernels import KERNELS
 from repro.service import (
     InfluenceServer,
@@ -427,6 +437,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service.close()
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    try:
+        return run_worker(
+            args.connect,
+            cache_dir=args.cache_dir,
+            label=args.label,
+            retry_for=args.retry,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_tvm(args: argparse.Namespace) -> int:
     graph = load_dataset("twitter", scale=args.scale)
     records = tvm_runtime_vs_k(
@@ -486,6 +509,20 @@ def build_parser() -> argparse.ArgumentParser:
             "default) or 'vectorized' (frontier-at-once numpy BFS; "
             "different RNG draw order, same distribution)",
         )
+        add_hosts(p)
+
+    def add_hosts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--hosts",
+            default=None,
+            metavar="SPEC",
+            help="network-backend fleet config (with --backend network): an "
+            "integer N spawns N loopback worker processes; HOST:PORT "
+            "listens there for external 'repro-im worker' hosts; extras: "
+            "min=K (hosts to wait for), ttl=SECONDS (heartbeat lease), "
+            "cache=DIR (worker blob cache) — e.g. "
+            "--hosts 0.0.0.0:8700,min=2,ttl=15",
+        )
 
     p_run = sub.add_parser("run", help="run one algorithm")
     p_run.add_argument("algorithm", choices=list(ALGORITHMS))
@@ -516,6 +553,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--backend", default="serial", choices=sorted(BACKENDS))
     p_query.add_argument("--workers", type=int, default=None)
     p_query.add_argument("--kernel", default=None, choices=sorted(KERNELS))
+    add_hosts(p_query)
     p_query.add_argument(
         "--connect",
         metavar="HOST:PORT",
@@ -568,6 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--backend", default="serial", choices=sorted(BACKENDS))
     p_serve.add_argument("--workers", type=int, default=None)
     p_serve.add_argument("--kernel", default=None, choices=sorted(KERNELS))
+    add_hosts(p_serve)
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument(
         "--port", type=int, default=8642, help="TCP port (0 picks a free one)"
@@ -596,6 +635,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--k-values", type=int, nargs="+", default=[1, 5, 10, 20, 50])
     p_sweep.set_defaults(fn=_cmd_sweep)
 
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a network sampling fleet as one worker host",
+        description=(
+            "Connect to a '--backend network' coordinator, register under a "
+            "heartbeat lease, fetch the content-addressed graph blob (cached "
+            "by hash in --cache-dir across restarts), and serve RR-set "
+            "batches until the coordinator closes the connection.  Workers "
+            "are stateless: kill one at any time, start one late — the "
+            "coordinator re-partitions over the live fleet and the merged "
+            "stream is byte-identical either way."
+        ),
+    )
+    p_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="fleet coordinator address",
+    )
+    p_worker.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed graph blob cache (skips re-fetch on rejoin)",
+    )
+    p_worker.add_argument(
+        "--label", default=None,
+        help="host label shown in coordinator fault logs (default: hostname)",
+    )
+    p_worker.add_argument(
+        "--retry", type=float, default=0.0, metavar="SECONDS",
+        help="keep retrying the initial connection for this long, so workers "
+        "may be launched before the coordinator is up",
+    )
+    p_worker.set_defaults(fn=_cmd_worker)
+
     p_tvm = sub.add_parser("tvm", help="targeted viral marketing experiment")
     p_tvm.add_argument("--topic", type=int, default=1, choices=[1, 2])
     p_tvm.add_argument("--scale", type=float, default=1.0)
@@ -611,6 +682,13 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    hosts_spec = getattr(args, "hosts", None)
+    if hosts_spec:
+        try:
+            set_network_defaults(**parse_hosts_spec(hosts_spec))
+        except (ReproError, ValueError) as exc:
+            print(f"error: bad --hosts spec: {exc}", file=sys.stderr)
+            return 2
     return args.fn(args)
 
 

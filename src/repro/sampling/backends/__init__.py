@@ -1,15 +1,22 @@
 """Pluggable execution backends for parallel RR-set sampling.
 
-``serial`` (default), ``thread``, and ``process`` all implement the
-:class:`ExecutionBackend` contract; see :mod:`repro.sampling.backends.base`
-for the coordinator/worker protocol and the determinism guarantee
-(backend choice never changes the sampled RR stream).
+``serial`` (default), ``thread``, ``process``, and ``network`` all
+implement the :class:`ExecutionBackend` contract; see
+:mod:`repro.sampling.backends.base` for the coordinator/worker protocol
+and the determinism guarantee (backend choice never changes the sampled
+RR stream).
 """
 
 from __future__ import annotations
 
 from repro.exceptions import SamplingError
 from repro.sampling.backends.base import ExecutionBackend, WorkerSpec
+from repro.sampling.backends.network import (
+    NetworkBackend,
+    parse_hosts_spec,
+    run_worker,
+    set_network_defaults,
+)
 from repro.sampling.backends.process import ProcessBackend, default_worker_count
 from repro.sampling.backends.serial import SerialBackend
 from repro.sampling.backends.thread import ThreadBackend
@@ -19,6 +26,7 @@ BACKENDS: dict[str, type[ExecutionBackend]] = {
     SerialBackend.name: SerialBackend,
     ThreadBackend.name: ThreadBackend,
     ProcessBackend.name: ProcessBackend,
+    NetworkBackend.name: NetworkBackend,
 }
 
 
@@ -45,7 +53,11 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "NetworkBackend",
     "BACKENDS",
     "make_backend",
     "default_worker_count",
+    "parse_hosts_spec",
+    "run_worker",
+    "set_network_defaults",
 ]

@@ -86,6 +86,12 @@ class ExecutionBackend(abc.ABC):
     def __init__(self) -> None:
         self._spec: WorkerSpec | None = None
         self._closed = False
+        #: workers replaced after a crash (fault-tolerant backends bump
+        #: this; serial/thread have nothing to respawn and keep it 0).
+        self.respawns = 0
+        #: crash context retained from faults that were retried instead of
+        #: raised (each entry is one worker-failure description).
+        self.fault_log: list[str] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -110,6 +116,13 @@ class ExecutionBackend(abc.ABC):
         instead of silently leaking workers or shared-memory segments.
         """
         if self._closed:
+            return
+        if self._spec is None:
+            # Never started (or _start raised and start() never recorded a
+            # spec): there is no fleet or shared resource to tear down, and
+            # backend _close() hooks are entitled to assume a stood-up
+            # fleet — calling them here would poke half-initialized state.
+            self._closed = True
             return
         self._close()
         self._closed = True
@@ -145,6 +158,21 @@ class ExecutionBackend(abc.ABC):
             return
         self._resize(workers)
         self._spec = replace(self._spec, workers=workers)
+
+    def sync_fleet(self) -> int:
+        """Reconcile the nominal worker count with the live fleet.
+
+        Local backends own their fleet, so the answer is simply
+        ``workers``.  Backends whose membership can change underneath the
+        coordinator (remote hosts joining or leaving a network fleet)
+        override this to report the current live size — the coordinator
+        calls it before partitioning each batch and re-shards over
+        whatever answer comes back.  Seed-pure streams make the answer a
+        pure throughput concern: any value yields the same bytes.
+        """
+        if not self.started:
+            raise SamplingError(f"{type(self).__name__} is not running (start it first)")
+        return self.workers
 
     # ------------------------------------------------------------------
     # Fan-out

@@ -20,10 +20,17 @@ scaled down to one machine:
   coordinator joins them, then closes *and unlinks* the segment.
 
 Each worker's stderr is redirected to a scratch file the coordinator
-keeps; when a worker dies, the raised
-:class:`~repro.exceptions.SamplingError` carries the worker id, pid,
-exit code, how many batches it had been dispatched, and the tail of its
-stderr — a crash is debuggable from the coordinator's exception alone.
+keeps; when a worker dies its crash context — worker id, pid, exit code,
+how many batches it had been dispatched, and the tail of its stderr — is
+recorded in :attr:`ProcessBackend.fault_log`.  A crash is **not** a
+user-facing failure: because every RR set is a pure function of its
+global stream index, the coordinator quarantines the dead worker,
+respawns a replacement against the live shared-memory segment, and
+replays the lost index batch byte-identically (:attr:`respawns` counts
+replacements).  Only a crash loop that exhausts the per-call retry
+budget — or a worker *reply* reporting an application error, which would
+recur deterministically — raises :class:`~repro.exceptions.SamplingError`,
+and the raised error carries the same crash context.
 
 The default start method is ``spawn``: it is portable, and it proves the
 architecture (a spawned child shares no memory with its parent, so the
@@ -55,6 +62,12 @@ from repro.sampling.backends.base import (
 
 _JOIN_TIMEOUT = 5.0
 _STDERR_TAIL_BYTES = 2048
+# Worker replacements allowed within one sample_shards call before the
+# accumulated faults are raised: a crash loop (bad graph memory, OOM
+# killer) must not retry forever.
+_MAX_RESPAWNS_PER_CALL = 3
+# fault_log is diagnostics, not an audit trail; keep it bounded.
+_FAULT_LOG_LIMIT = 32
 
 
 def _worker_main(
@@ -126,7 +139,8 @@ class ProcessBackend(ExecutionBackend):
         self._stderr_paths: list[str] = []
         self._batches_dispatched: list[int] = []
 
-    def _spawn_worker(self, worker_id: int) -> None:
+    def _build_worker(self, worker_id: int):
+        """Spawn one worker process attached to the live shm segment."""
         ctx = mp.get_context(self._start_method)
         handle = tempfile.NamedTemporaryFile(
             prefix=f"rr-worker-{worker_id}-", suffix=".stderr", delete=False
@@ -141,10 +155,46 @@ class ProcessBackend(ExecutionBackend):
         )
         proc.start()
         child_conn.close()
+        return proc, parent_conn, handle.name
+
+    def _spawn_worker(self, worker_id: int) -> None:
+        proc, conn, stderr_path = self._build_worker(worker_id)
         self._procs.append(proc)
-        self._conns.append(parent_conn)
-        self._stderr_paths.append(handle.name)
+        self._conns.append(conn)
+        self._stderr_paths.append(stderr_path)
         self._batches_dispatched.append(0)
+
+    def _respawn_worker(self, worker_id: int) -> None:
+        """Quarantine a dead worker and stand a replacement up in its slot.
+
+        The shared-memory segment outlives any individual worker, so the
+        replacement attaches exactly as the original fleet did; seed-pure
+        per-set derivation means re-dispatching the lost indices to it is
+        byte-identical to the crash-free run.
+        """
+        old = self._procs[worker_id]
+        old.join(timeout=_JOIN_TIMEOUT)
+        if old.is_alive():
+            old.terminate()
+            old.join(timeout=_JOIN_TIMEOUT)
+        try:
+            self._conns[worker_id].close()
+        except OSError:
+            pass
+        self._remove_stderr_file(self._stderr_paths[worker_id])
+        proc, conn, stderr_path = self._build_worker(worker_id)
+        self._procs[worker_id] = proc
+        self._conns[worker_id] = conn
+        self._stderr_paths[worker_id] = stderr_path
+        self._batches_dispatched[worker_id] = 0
+        self.respawns += 1
+
+    def _record_fault(self, worker_id: int, why: str) -> str:
+        """Append one crash description to the bounded fault log."""
+        fault = self._fault(worker_id, why)
+        self.fault_log.append(fault)
+        del self.fault_log[:-_FAULT_LOG_LIMIT]
+        return fault
 
     def _start(self, spec: WorkerSpec) -> None:
         self._shm, self._graph_spec = share_csr_graph(spec.graph)
@@ -229,41 +279,62 @@ class ProcessBackend(ExecutionBackend):
     ) -> list[list[np.ndarray]]:
         # Ship all batches first so workers overlap, then collect in order.
         # Faults on either leg are accumulated, never raised mid-protocol:
-        # every successfully-sent batch must be drained before raising, or
-        # a retry would pair this call's stale replies with new indices.
-        engaged = []
-        faults: list[str] = []
-        for worker_id, (conn, batch) in enumerate(zip(self._conns, index_batches)):
+        # every successfully-sent batch must be drained before raising or
+        # retrying, or a retry would pair stale replies with new indices.
+        #
+        # A *crashed* worker (broken pipe, EOF) is quarantined, respawned
+        # against the live shm segment, and its batch re-dispatched — the
+        # retry is byte-identical because each set derives from its global
+        # index alone.  A worker *reply* reporting an error is an
+        # application fault that would recur on replay, so it raises.
+        results: list[list[np.ndarray]] = [[] for _ in index_batches]
+        pending: dict[int, tuple[np.ndarray, "np.ndarray | None"]] = {}
+        for worker_id, batch in enumerate(index_batches):
             if len(batch) == 0:
                 continue
             roots = None if root_batches is None else root_batches[worker_id]
-            try:
-                conn.send(
-                    (
-                        "sample",
-                        np.asarray(batch, dtype=np.int64),
-                        None if roots is None else np.asarray(roots, dtype=np.int64),
-                    )
-                )
-            except (BrokenPipeError, OSError) as exc:
-                faults.append(self._fault(worker_id, f"is gone: {exc}"))
-                continue
-            self._batches_dispatched[worker_id] += 1
-            engaged.append(worker_id)
+            pending[worker_id] = (
+                np.asarray(batch, dtype=np.int64),
+                None if roots is None else np.asarray(roots, dtype=np.int64),
+            )
 
-        results: list[list[np.ndarray]] = [[] for _ in index_batches]
-        for worker_id in engaged:
-            try:
-                reply = self._conns[worker_id].recv()
-            except (EOFError, OSError) as exc:
-                faults.append(self._fault(worker_id, f"died mid-batch: {exc}"))
-                continue
-            if reply[0] != "ok":
-                faults.append(f"worker {worker_id} failed: {reply[1]}")
-                continue
-            results[worker_id] = unflatten_rr_batch(reply[1], reply[2])
-        if faults:
-            raise SamplingError("; ".join(faults))
+        call_faults: list[str] = []
+        respawned_this_call = 0
+        while pending:
+            engaged, crashed, app_errors = [], [], []
+            for worker_id, (batch, roots) in pending.items():
+                try:
+                    self._conns[worker_id].send(("sample", batch, roots))
+                except (BrokenPipeError, OSError) as exc:
+                    crashed.append((worker_id, f"is gone: {exc}"))
+                    continue
+                self._batches_dispatched[worker_id] += 1
+                engaged.append(worker_id)
+            for worker_id in engaged:
+                try:
+                    reply = self._conns[worker_id].recv()
+                except (EOFError, OSError) as exc:
+                    crashed.append((worker_id, f"died mid-batch: {exc}"))
+                    continue
+                if reply[0] != "ok":
+                    app_errors.append(f"worker {worker_id} failed: {reply[1]}")
+                    continue
+                results[worker_id] = unflatten_rr_batch(reply[1], reply[2])
+                del pending[worker_id]
+            # Respawn crashed workers before raising anything: a dead pipe
+            # left in the fleet would wedge every later call on this
+            # backend (the historical failure mode this loop exists for).
+            for worker_id, why in crashed:
+                call_faults.append(self._record_fault(worker_id, why))
+                self._respawn_worker(worker_id)
+                respawned_this_call += 1
+            if app_errors:
+                raise SamplingError("; ".join(app_errors))
+            if crashed and respawned_this_call > _MAX_RESPAWNS_PER_CALL:
+                raise SamplingError(
+                    "worker crash loop, retry budget exhausted: "
+                    + "; ".join(call_faults)
+                )
         return results
 
     # ------------------------------------------------------------------

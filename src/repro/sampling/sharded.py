@@ -18,7 +18,11 @@ pluggable :class:`~repro.sampling.backends.base.ExecutionBackend`:
   simulated topology);
 * ``thread`` — workers run on a persistent thread pool;
 * ``process`` — workers are persistent OS processes that attach the CSR
-  graph through shared memory and exchange only index/RR batches.
+  graph through shared memory and exchange only index/RR batches;
+* ``network`` — workers are remote hosts over TCP that fetch the graph
+  as a content-addressed blob and serve batches under heartbeat leases
+  (hosts may join, crash, or expire mid-stream; the coordinator
+  re-partitions over the live fleet and retries byte-identically).
 
 Because workers hold no stream state, the merged stream is a pure
 function of the **seed alone** — independent of the backend, of how
@@ -62,8 +66,9 @@ class ShardedSampler(RRSampler):
         root distribution (shipped to workers — each set's root is drawn
         from the set's own generator, so WRIS shards exactly like RIS).
     backend:
-        Backend name (``"serial"``, ``"thread"``, ``"process"``) or a
-        not-yet-started :class:`ExecutionBackend` instance.
+        Backend name (``"serial"``, ``"thread"``, ``"process"``,
+        ``"network"``) or a not-yet-started :class:`ExecutionBackend`
+        instance.
     kernel:
         Reverse-sampling kernel (name or instance); every worker
         instantiates the same kernel, so the merged stream carries one
@@ -129,8 +134,23 @@ class ShardedSampler(RRSampler):
             "sample_batch()/sample_at()"
         )
 
+    def _sync_fleet(self) -> None:
+        """Adopt the backend's live fleet size before partitioning.
+
+        Local backends always report the nominal count, so this is a
+        no-op for them.  A network fleet's membership can change between
+        batches (hosts join and leave under their leases); seed-pure
+        streams make that churn byte-invisible, so the coordinator simply
+        re-partitions the next batch over whatever is alive.
+        """
+        live = self.backend.sync_fleet()
+        if live != self._workers:
+            self._workers = live
+            self._loads = [0] * live
+
     def sample_at(self, index: int, root: int | None = None) -> np.ndarray:
         """Compute one stream set on a worker (round-robin by index)."""
+        self._sync_fleet()
         shard = int(index) % self._workers
         index_batches = [np.zeros(0, dtype=np.int64) for _ in range(self._workers)]
         index_batches[shard] = np.asarray([index], dtype=np.int64)
@@ -155,6 +175,7 @@ class ShardedSampler(RRSampler):
         """
         if count <= 0:
             return []
+        self._sync_fleet()
         base = self._cursor
         workers = self._workers
         indices = np.arange(base, base + count, dtype=np.int64)

@@ -78,6 +78,8 @@ class InfluenceServer:
         self._tcp = _ThreadingTCPServer((host, port), _ConnectionHandler)
         self._tcp.influence_server = self  # type: ignore[attr-defined]
         self._stopped = threading.Event()
+        self._lifecycle = threading.Lock()
+        self._serving = False
 
     @property
     def address(self) -> "tuple[str, int]":
@@ -112,9 +114,19 @@ class InfluenceServer:
     # ------------------------------------------------------------------
     def serve_forever(self) -> None:
         """Block serving requests until :meth:`shutdown` (or a remote one)."""
+        with self._lifecycle:
+            if self._stopped.is_set():
+                # shutdown() won the race (or already ran): never enter the
+                # serve loop, just release the socket.
+                self._tcp.server_close()
+                return
+            self._serving = True
         try:
             self._tcp.serve_forever(poll_interval=0.1)
         finally:
+            with self._lifecycle:
+                self._serving = False
+                self._stopped.set()
             self._tcp.server_close()
 
     def start_background(self) -> threading.Thread:
@@ -128,10 +140,24 @@ class InfluenceServer:
         threading.Thread(target=self.shutdown, daemon=True).start()
 
     def shutdown(self, *, close_service: bool = False) -> None:
-        """Stop the listener (idempotent); optionally close the service."""
-        if not self._stopped.is_set():
+        """Stop the listener (idempotent); optionally close the service.
+
+        Safe at any lifecycle point: ``socketserver.shutdown`` blocks on an
+        event that only a *running* ``serve_forever`` loop ever sets, so it
+        is called only when the loop is live.  If the loop has not started
+        yet (e.g. ``start_background`` just launched its thread), the stop
+        flag makes ``serve_forever`` exit before serving instead — no
+        deadlock either way.
+        """
+        with self._lifecycle:
+            first = not self._stopped.is_set()
             self._stopped.set()
-            self._tcp.shutdown()
+            serving = self._serving
+        if first:
+            if serving:
+                self._tcp.shutdown()
+            else:
+                self._tcp.server_close()
         if close_service:
             self.service.close()
 

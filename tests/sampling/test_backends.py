@@ -40,7 +40,7 @@ def _stream(graph, model, workers, seed, backend, batches=(40, 17, 1)):
 
 class TestRegistry:
     def test_known_backends(self):
-        assert set(BACKENDS) == {"serial", "thread", "process"}
+        assert set(BACKENDS) == {"serial", "thread", "process", "network"}
 
     def test_make_backend_coercion(self):
         assert isinstance(make_backend(None), SerialBackend)
@@ -52,10 +52,27 @@ class TestRegistry:
         with pytest.raises(SamplingError):
             make_backend("gpu")
 
-    @pytest.mark.parametrize("name", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("name", ["serial", "thread", "process", "network"])
     def test_close_before_start_is_safe(self, name):
         backend = make_backend(name)
         backend.close()  # idempotent teardown must not require start()
+        backend.close()
+
+    @pytest.mark.parametrize("name", ["serial", "thread", "process", "network"])
+    def test_close_after_failed_start_is_noop(self, name):
+        """A _start that raises must leave close() a no-op: the teardown
+        hook is entitled to a stood-up fleet, so calling it against
+        half-initialized state used to crash (or hang) instead of
+        cleaning up nothing."""
+        from repro.diffusion.models import DiffusionModel
+
+        backend = make_backend(name)
+        with pytest.raises(Exception):
+            # graph=None cannot be packed/shared/sampled: every backend's
+            # _start fails somewhere past validation.
+            backend.start(WorkerSpec(graph=None, model=DiffusionModel.parse("LT"), workers=2))
+        assert not backend.started
+        backend.close()
         backend.close()
 
     def test_double_start_rejected(self, small_wc_graph):
@@ -314,23 +331,52 @@ class TestProcessBackend:
         finally:
             sampler.close()
 
-    def test_worker_death_carries_crash_context(self, small_wc_graph):
-        """A dead process worker surfaces as a SamplingError naming the
-        worker, its exit code, its dispatch count, and its stderr tail."""
+    def test_worker_death_respawns_and_retries_byte_identically(self, small_wc_graph):
+        """A dead process worker is quarantined and respawned, its lost
+        batch replayed byte-identically, and the crash context — worker
+        id, exit code, dispatch count, stderr tail — lands in fault_log."""
+        reference = ShardedSampler(small_wc_graph, "LT", 2, seed=24, backend="serial")
+        expected = [rr.tolist() for rr in reference.sample_batch(18)]
+        reference.close()
+
         backend = ProcessBackend()
         sampler = ShardedSampler(small_wc_graph, "LT", 2, seed=24, backend=backend)
         try:
-            sampler.sample_batch(6)
+            stream = [rr.tolist() for rr in sampler.sample_batch(6)]
             backend._conns[0].send(("abort", "injected crash: disk on fire"))
-            deadline = backend._procs[0]
-            deadline.join(timeout=10)
-            with pytest.raises(SamplingError) as excinfo:
-                sampler.sample_batch(6)
-            message = str(excinfo.value)
+            backend._procs[0].join(timeout=10)
+            # The crash becomes an internal retry event, not an error: the
+            # next two batches merge to the same bytes as the serial run.
+            stream += [rr.tolist() for rr in sampler.sample_batch(6)]
+            stream += [rr.tolist() for rr in sampler.sample_batch(6)]
+            assert stream == expected
+            assert backend.respawns == 1
+            message = "; ".join(backend.fault_log)
             assert "worker 0" in message
             assert "exitcode" in message and "pid" in message
             assert "batches dispatched" in message
             assert "disk on fire" in message  # the stderr tail rode along
+        finally:
+            sampler.close()
+
+    def test_backend_not_wedged_after_repeated_crashes(self, small_wc_graph):
+        """Seed-state regression: a crash used to leave the dead pipe in
+        the fleet, so every later sample_shards re-raised.  Now each crash
+        respawns and the backend keeps serving exact bytes indefinitely."""
+        reference = ShardedSampler(small_wc_graph, "LT", 2, seed=25, backend="serial")
+        expected = [rr.tolist() for rr in reference.sample_batch(30)]
+        reference.close()
+
+        backend = ProcessBackend()
+        sampler = ShardedSampler(small_wc_graph, "LT", 2, seed=25, backend=backend)
+        try:
+            stream = []
+            for round_no in range(3):
+                backend._conns[round_no % 2].send(("abort", f"crash {round_no}"))
+                backend._procs[round_no % 2].join(timeout=10)
+                stream += [rr.tolist() for rr in sampler.sample_batch(10)]
+            assert stream == expected
+            assert backend.respawns == 3
         finally:
             sampler.close()
 

@@ -1,0 +1,255 @@
+"""Network backend: wire protocol, blob cache, and fleet fault injection.
+
+The load-bearing property is the same one every backend must honor —
+execution topology is invisible in the RR stream — but here topology
+*churns*: hosts crash mid-batch, leases expire, new hosts join between
+batches.  Every scenario below asserts the merged stream is
+byte-identical to a crash-free serial run, because seed-pure per-set
+derivation makes retry and re-partitioning pure reassignment.
+"""
+
+import pickle
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SamplingError
+from repro.graph import assign_weighted_cascade, powerlaw_configuration
+from repro.graph.shm import pack_csr_graph
+from repro.sampling.backends import NetworkBackend, run_worker
+from repro.sampling.backends.netproto import (
+    ConnectionClosed,
+    load_cached_blob,
+    parse_address,
+    recv_frame,
+    send_frame,
+    store_cached_blob,
+)
+from repro.sampling.backends.network import parse_hosts_spec
+from repro.sampling.sharded import ShardedSampler
+
+SHORT_TTL = 2.0
+
+
+def _fleet_graph():
+    return assign_weighted_cascade(powerlaw_configuration(100, 4.0, seed=45))
+
+
+def _serial_stream(graph, seed, count):
+    sampler = ShardedSampler(graph, "LT", 1, seed=seed, backend="serial")
+    try:
+        return [rr.tolist() for rr in sampler.sample_batch(count)]
+    finally:
+        sampler.close()
+
+
+class TestWireProtocol:
+    def test_frames_roundtrip_over_a_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            payload = ("sample", 3, np.arange(5, dtype=np.int64), None)
+            send_frame(a, payload)
+            kind, seq, indices, roots = recv_frame(b)
+            assert (kind, seq, roots) == ("sample", 3, None)
+            assert np.array_equal(indices, np.arange(5))
+        finally:
+            a.close()
+            b.close()
+
+    def test_recv_raises_connection_closed_on_eof(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises(ConnectionClosed):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_header_is_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall((1 << 40).to_bytes(8, "big") + b"x")
+            with pytest.raises(ConnectionClosed, match="exceeds"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:8700") == ("127.0.0.1", 8700)
+        for bad in ("nope", ":80", "host:", "host:abc"):
+            with pytest.raises(ValueError):
+                parse_address(bad)
+
+    def test_parse_hosts_spec(self):
+        assert parse_hosts_spec(None) == {}
+        assert parse_hosts_spec("3") == {"spawn": 3}
+        assert parse_hosts_spec("0.0.0.0:8700,min=2,ttl=15") == {
+            "listen": "0.0.0.0:8700",
+            "spawn": 0,
+            "min_hosts": 2,
+            "lease_ttl": 15.0,
+        }
+        assert parse_hosts_spec("cache=/tmp/blobs")["cache_dir"] == "/tmp/blobs"
+        with pytest.raises(ValueError):
+            parse_hosts_spec("not an address")
+
+
+class TestBlobCache:
+    def test_fetch_once_then_hit(self, tmp_path, small_wc_graph):
+        blob, manifest = pack_csr_graph(small_wc_graph)
+        cache = str(tmp_path)
+        assert load_cached_blob(cache, manifest) is None
+        store_cached_blob(cache, manifest, blob)
+        assert load_cached_blob(cache, manifest) == blob
+
+    def test_corrupt_entry_is_dropped_not_trusted(self, tmp_path, small_wc_graph):
+        from repro.sampling.backends.netproto import blob_cache_path
+
+        blob, manifest = pack_csr_graph(small_wc_graph)
+        cache = str(tmp_path)
+        store_cached_blob(cache, manifest, blob)
+        path = blob_cache_path(cache, manifest.content_hash)
+        with open(path, "r+b") as handle:
+            handle.write(b"\xff" * 16)  # torn write / disk corruption
+        assert load_cached_blob(cache, manifest) is None
+        assert not list(tmp_path.glob("csr-*.blob"))  # evicted, not kept
+
+
+class TestFleetChurn:
+    """Crash, lease expiry, and join — stream bytes never move."""
+
+    def test_crash_expiry_and_join_are_byte_invisible(self, tmp_path):
+        graph = _fleet_graph()
+        expected = _serial_stream(graph, 47, 80)
+
+        backend = NetworkBackend(
+            spawn=2,
+            lease_ttl=SHORT_TTL,
+            cache_dir=str(tmp_path),
+            start_timeout=60.0,
+            join_grace=60.0,
+        )
+        sampler = ShardedSampler(graph, "LT", 2, seed=47, backend=backend)
+        try:
+            stream = [rr.tolist() for rr in sampler.sample_batch(20)]
+
+            # Crash: the abort frame reaches host 0 before its next batch,
+            # so its in-flight indices are retried on the survivor.
+            backend.inject_abort(0, "injected abort: disk on fire")
+            stream += [rr.tolist() for rr in sampler.sample_batch(20)]
+            assert any("died mid-batch" in f or "is gone" in f for f in backend.fault_log)
+            # Healing is eventually-consistent: waiting for full strength
+            # drives the respawn loop, and the replacement counts.
+            backend.wait_for_hosts(2, timeout=60.0)
+            assert backend.respawns >= 1
+
+            # Lease expiry: heartbeats stop, the reaper retires the lease,
+            # and the fleet heals back to strength.
+            backend.pause_heartbeat(0)
+            time.sleep(SHORT_TTL * 1.6)
+            stream += [rr.tolist() for rr in sampler.sample_batch(20)]
+            assert any("lease expired" in f for f in backend.fault_log)
+
+            # Join: a third host enters mid-stream; the coordinator
+            # re-partitions over the larger fleet.
+            backend.add_local_worker()
+            backend.wait_for_hosts(3, timeout=60.0)
+            assert backend.sync_fleet() == 3
+            stream += [rr.tolist() for rr in sampler.sample_batch(20)]
+
+            assert stream == expected
+        finally:
+            sampler.close()
+        assert not backend.started
+
+    def test_worker_blob_cache_is_content_addressed(self, tmp_path):
+        graph = _fleet_graph()
+        _, manifest = pack_csr_graph(graph)
+        backend = NetworkBackend(spawn=1, cache_dir=str(tmp_path), start_timeout=60.0)
+        sampler = ShardedSampler(graph, "LT", 1, seed=48, backend=backend)
+        try:
+            sampler.sample_batch(4)
+            # The spawned worker stored the fetched blob under its hash.
+            assert (tmp_path / f"csr-{manifest.content_hash}.blob").exists()
+        finally:
+            sampler.close()
+
+    def test_worker_application_error_raises_and_fleet_survives(self):
+        graph = _fleet_graph()
+        expected = _serial_stream(graph, 49, 12)
+        backend = NetworkBackend(spawn=2, start_timeout=60.0, join_grace=60.0)
+        sampler = ShardedSampler(graph, "LT", 2, seed=49, backend=backend)
+        try:
+            # A pinned out-of-range root is a deterministic worker-side
+            # failure: retrying it elsewhere would fail identically, so it
+            # must raise — but without crashing or wedging the fleet.
+            with pytest.raises(SamplingError, match="failed"):
+                backend.sample_shards(
+                    [np.asarray([0], dtype=np.int64), np.asarray([1], dtype=np.int64)],
+                    [np.asarray([10**6], dtype=np.int64), None],
+                )
+            after = [rr.tolist() for rr in sampler.sample_batch(12)]
+            assert after == expected  # the failed call consumed no stream position
+        finally:
+            sampler.close()
+
+
+class TestExternalHosts:
+    """spawn=0 fleets: workers live elsewhere and dial in."""
+
+    def test_external_worker_joins_and_matches_serial(self, tmp_path):
+        graph = _fleet_graph()
+        expected = _serial_stream(graph, 50, 30)
+        backend = NetworkBackend(spawn=0, min_hosts=0, join_grace=60.0)
+        sampler = ShardedSampler(graph, "LT", 1, seed=50, backend=backend)
+        worker = None
+        try:
+            host, port = backend.address
+            # An in-thread stand-in for `repro-im worker --connect` on
+            # another box (never send it an abort: abort kills the process).
+            worker = threading.Thread(
+                target=run_worker,
+                args=(f"{host}:{port}",),
+                kwargs={"cache_dir": str(tmp_path), "label": "external-1"},
+                daemon=True,
+            )
+            worker.start()
+            backend.wait_for_hosts(1, timeout=60.0)
+            stream = [rr.tolist() for rr in sampler.sample_batch(30)]
+            assert stream == expected
+            assert [h["label"] for h in backend.hosts_info()] == ["external-1"]
+        finally:
+            sampler.close()  # the close frame releases the worker thread
+            if worker is not None:
+                worker.join(timeout=10)
+                assert not worker.is_alive()
+
+    def test_no_hosts_ever_raises_after_grace(self):
+        graph = _fleet_graph()
+        backend = NetworkBackend(spawn=0, min_hosts=0, join_grace=0.5)
+        sampler = ShardedSampler(graph, "LT", 1, seed=51, backend=backend)
+        try:
+            with pytest.raises(SamplingError, match="no live worker hosts"):
+                sampler.sample_batch(4)
+        finally:
+            sampler.close()
+
+    def test_worker_cannot_reach_coordinator(self):
+        with pytest.raises(SamplingError, match="cannot reach"):
+            run_worker("127.0.0.1:1", retry_for=0.0)
+
+    def test_wire_spec_carries_no_graph(self):
+        graph = _fleet_graph()
+        backend = NetworkBackend(spawn=0, min_hosts=0)
+        sampler = ShardedSampler(graph, "LT", 1, seed=52, backend=backend)
+        try:
+            # The graph must travel only as the content-addressed blob;
+            # pickling a full CSR graph per host would defeat the cache.
+            assert backend._wire_spec.graph is None
+            assert len(pickle.dumps(backend._wire_spec)) < len(backend._blob)
+        finally:
+            sampler.close()

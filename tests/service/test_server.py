@@ -103,6 +103,44 @@ class TestConcurrentClients:
 
 
 class TestShutdown:
+    def test_shutdown_never_deadlocks_against_start_background(self):
+        """Lifecycle-race regression: socketserver.shutdown() blocks on an
+        event that only a *running* serve_forever loop ever sets, so a
+        shutdown racing start_background — landing before the background
+        thread entered the loop — used to hang forever.  Shutdown must be
+        safe at any lifecycle point, so hammer the race window."""
+        import threading
+
+        service = InfluenceService()
+        try:
+            for _ in range(15):
+                server = InfluenceServer(service, port=0)
+                thread = server.start_background()
+                # No sleep: shutdown lands while the thread may not have
+                # reached serve_forever yet.
+                stopper = threading.Thread(target=server.shutdown, daemon=True)
+                stopper.start()
+                stopper.join(timeout=10)
+                assert not stopper.is_alive(), "shutdown deadlocked"
+                thread.join(timeout=10)
+                assert not thread.is_alive()
+                assert server.stopped
+        finally:
+            service.close()
+
+    def test_shutdown_without_serving_then_serve_returns(self):
+        """shutdown() on a server whose loop never ran must not block, and
+        a later serve_forever must return immediately instead of serving."""
+        service = InfluenceService()
+        try:
+            server = InfluenceServer(service, port=0)
+            server.shutdown()  # loop never started: close the socket, done
+            assert server.stopped
+            server.shutdown()  # idempotent
+            server.serve_forever()  # stop flag set: returns right away
+        finally:
+            service.close()
+
     def test_remote_shutdown_stops_the_listener(self, small_wc_graph):
         service = InfluenceService()
         service.open_session("default", small_wc_graph, model="LT", seed=SEED)
