@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — run reprolint (see ``repro lint --help``)."""
+
+from repro.analysis.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""reprolint: project-specific invariant-enforcing static analysis.
+
+Four checkers guard the contracts documented in ``docs/INVARIANTS.md``:
+
+* ``seed-purity`` — no ambient RNG / wall clock / set order in
+  stream-deriving code;
+* ``lock-discipline`` — guarded attributes stay guarded, no blocking
+  calls under a lock, no lock-order cycles;
+* ``provenance-stamp`` — PoolKey / RunRecord / spill stamps / sampler
+  ``state_dict`` always thread explicit stream provenance;
+* ``resource-lifecycle`` — sockets, processes, shm and executors are
+  released exception-safely or ownership-transferred.
+
+Run as ``repro lint`` or ``python -m repro.analysis``; in tests, use
+:func:`lint_source` on an in-memory snippet.
+"""
+
+from repro.analysis.lint.baseline import (
+    BaselineError,
+    BaselineMatch,
+    load_baseline,
+    match_baseline,
+    save_baseline,
+)
+from repro.analysis.lint.core import (
+    CHECKERS,
+    Finding,
+    LintReport,
+    load_checkers,
+    lint_source,
+    run_lint,
+)
+
+__all__ = [
+    "BaselineError",
+    "BaselineMatch",
+    "CHECKERS",
+    "Finding",
+    "LintReport",
+    "lint_source",
+    "load_baseline",
+    "load_checkers",
+    "match_baseline",
+    "run_lint",
+    "save_baseline",
+]

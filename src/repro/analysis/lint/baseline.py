@@ -1,0 +1,114 @@
+"""Committed baseline of grandfathered findings.
+
+New checkers land on an existing tree; violations that predate them are
+recorded here — each with a one-line justification — so CI can gate on
+*new* findings from day one without a big-bang cleanup.  The contract:
+
+* an entry matches a finding by ``(checker, path, context)`` — the
+  stripped source line, not the line number, so unrelated edits that
+  shift code do not invalidate entries;
+* matching is by multiplicity: two identical findings need two entries;
+* an entry that matches nothing is **stale** — the violation was fixed
+  (or the line changed, which must re-justify the entry either way) —
+  and is reported as "fixed — remove from baseline".
+
+The file is plain JSON so diffs review well; entries should only ever
+be removed (fixes) or added with a justification (new grandfathered
+code, which should be rare — fix instead).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.lint.core import Finding
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for unreadable or malformed baseline files."""
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of matching one report against one baseline."""
+
+    new: "list[Finding]" = field(default_factory=list)
+    baselined: "list[Finding]" = field(default_factory=list)
+    stale: "list[dict]" = field(default_factory=list)
+
+
+def load_baseline(path: "str | Path") -> "list[dict]":
+    """Read baseline entries; raises :class:`BaselineError` loudly —
+    a silently ignored baseline would gate nothing."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported format "
+            f"(expected a JSON object with version {_FORMAT_VERSION})"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path} has no 'entries' list")
+    for entry in entries:
+        missing = {"checker", "path", "context"} - set(entry)
+        if missing:
+            raise BaselineError(
+                f"baseline {path} entry {entry!r} is missing {sorted(missing)}"
+            )
+    return entries
+
+
+def save_baseline(findings: "list[Finding]", path: "str | Path") -> None:
+    """Write every finding as a baseline entry (justifications TODO).
+
+    Used by ``--write-baseline`` when adopting the linter; each TODO is
+    expected to be replaced by a real one-line justification in review.
+    """
+    entries = [
+        {
+            "checker": f.checker,
+            "path": f.path,
+            "line": f.line,
+            "context": f.context,
+            "justification": "TODO: justify or fix",
+        }
+        for f in findings
+    ]
+    payload = {"version": _FORMAT_VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def entry_key(entry: dict) -> tuple:
+    return (entry["checker"], entry["path"], entry["context"])
+
+
+def match_baseline(findings: "list[Finding]", entries: "list[dict]") -> BaselineMatch:
+    """Split findings into new/baselined and surface stale entries."""
+    budget: "dict[tuple, int]" = {}
+    for entry in entries:
+        key = entry_key(entry)
+        budget[key] = budget.get(key, 0) + 1
+    outcome = BaselineMatch()
+    for finding in findings:
+        if budget.get(finding.key, 0) > 0:
+            budget[finding.key] -= 1
+            outcome.baselined.append(finding)
+        else:
+            outcome.new.append(finding)
+    remaining = dict(budget)
+    for entry in entries:
+        key = entry_key(entry)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            outcome.stale.append(entry)
+    return outcome

@@ -1,0 +1,178 @@
+"""Command-line front end: ``repro lint`` / ``python -m repro.analysis``.
+
+Exit codes: 0 — clean (every finding suppressed or baselined); 1 — new
+findings (or, with ``--strict``, stale baseline entries); 2 — usage or
+baseline-file errors.  A baseline named ``reprolint-baseline.json`` in
+the current directory is picked up automatically so ``repro lint src/``
+gates the same way locally and in CI; ``--no-baseline`` shows the
+ungated picture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.lint.baseline import (
+    BaselineError,
+    load_baseline,
+    match_baseline,
+    save_baseline,
+)
+from repro.analysis.lint.core import load_checkers, run_lint
+
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the report (in the chosen format) to FILE",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=f"baseline file of grandfathered findings "
+        f"(default: ./{DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline; report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings as a fresh baseline to FILE and exit",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated checker ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail (exit 1) on stale baseline entries",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="list registered checkers and exit",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_checkers:
+        for checker_id, checker in sorted(load_checkers().items()):
+            print(f"{checker_id}: {checker.description}")
+        return 0
+
+    select = None
+    if args.select:
+        select = {tok.strip() for tok in args.select.split(",") if tok.strip()}
+
+    try:
+        report = run_lint(args.paths, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        save_baseline(report.sorted(), args.write_baseline)
+        print(
+            f"reprolint: wrote {len(report.findings)} entr"
+            f"{'y' if len(report.findings) == 1 else 'ies'} to "
+            f"{args.write_baseline} (fill in the justifications)"
+        )
+        return 0
+
+    entries: "list[dict]" = []
+    baseline_path = None
+    if not args.no_baseline:
+        if args.baseline:
+            baseline_path = Path(args.baseline)
+        elif Path(DEFAULT_BASELINE).is_file():
+            baseline_path = Path(DEFAULT_BASELINE)
+        if baseline_path is not None:
+            try:
+                entries = load_baseline(baseline_path)
+            except BaselineError as exc:
+                print(f"reprolint: error: {exc}", file=sys.stderr)
+                return 2
+
+    outcome = match_baseline(report.sorted(), entries)
+
+    payload = {
+        "files": report.files,
+        "suppressed": report.suppressed,
+        "baseline": str(baseline_path) if baseline_path else None,
+        "new": [f.to_dict() for f in outcome.new],
+        "baselined": [f.to_dict() for f in outcome.baselined],
+        "stale": outcome.stale,
+    }
+    text = _render(payload) if args.format == "text" else json.dumps(payload, indent=2)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(payload, indent=2) + "\n"
+            if args.format == "json"
+            else text + "\n",
+            encoding="utf-8",
+        )
+
+    if outcome.new:
+        return 1
+    if args.strict and outcome.stale:
+        return 1
+    return 0
+
+
+def _render(payload: dict) -> str:
+    lines = []
+    for finding in payload["new"]:
+        lines.append(
+            f"{finding['path']}:{finding['line']}: "
+            f"[{finding['checker']}] {finding['message']}"
+        )
+    for entry in payload["stale"]:
+        lines.append(
+            f"{entry['path']}: [{entry['checker']}] baseline entry matches "
+            f"nothing — fixed? remove from baseline "
+            f"(context: {entry['context']!r})"
+        )
+    new = len(payload["new"])
+    lines.append(
+        f"reprolint: {payload['files']} file"
+        f"{'' if payload['files'] == 1 else 's'}, "
+        f"{new} new finding{'' if new == 1 else 's'}, "
+        f"{len(payload['baselined'])} baselined, "
+        f"{payload['suppressed']} suppressed, "
+        f"{len(payload['stale'])} stale baseline entr"
+        f"{'y' if len(payload['stale']) == 1 else 'ies'}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="project-specific invariant linter (reprolint)",
+    )
+    add_arguments(parser)
+    return run(parser.parse_args(argv))

@@ -1,0 +1,299 @@
+"""reprolint core: findings, the checker registry, and the lint runner.
+
+The framework is deliberately small: a checker is one class with an
+``id``, a ``description``, and a ``check(module)`` method returning
+:class:`Finding` objects.  The runner parses each source file once,
+hands the shared :class:`ModuleSource` (path, text, AST, pragma index)
+to every applicable checker, filters findings through the inline
+``# repro: allow[checker-id]`` pragma, and leaves baseline matching to
+:mod:`repro.analysis.lint.baseline`.
+
+Checkers are *project-specific by design*: they encode this repository's
+load-bearing contracts (seed-pure streams, lock discipline, provenance
+stamping, resource lifecycle — see ``docs/INVARIANTS.md``) rather than
+generic style rules, so a finding is an invariant violation, not a
+nit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.lint.pragmas import pragma_index
+
+#: checker-id used for files the runner cannot parse at all.
+PARSE_ERROR_ID = "parse-error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation at one source location.
+
+    ``context`` is the stripped source line the finding anchors to; the
+    baseline keys on ``(checker, path, context)`` instead of the line
+    number, so unrelated edits that shift code down a file do not
+    invalidate grandfathered entries.
+    """
+
+    checker: str
+    path: str
+    line: int
+    message: str
+    context: str = ""
+
+    @property
+    def key(self) -> tuple:
+        return (self.checker, self.path, self.context)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.checker}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "checker": self.checker,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "context": self.context,
+        }
+
+
+def normalize_path(path: "str | Path") -> str:
+    """Stable display/baseline path: anchored at ``src/repro/`` (or
+    ``repro/``) when the file lives under the package, else as given.
+
+    Anchoring makes baseline entries and pragma-free fixture tests agree
+    regardless of whether the linter was invoked with an absolute path,
+    a relative path, or from a different working directory.
+    """
+    text = Path(path).as_posix()
+    for anchor in ("src/repro/", "repro/"):
+        index = text.find(anchor)
+        if index != -1:
+            return text[index:]
+    return text
+
+
+class ModuleSource:
+    """One parsed source file shared by every checker."""
+
+    def __init__(self, path: "str | Path", source: str) -> None:
+        self.path = normalize_path(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source)  # caller handles SyntaxError
+        self.pragmas = pragma_index(source)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, checker_id: str, node, message: str) -> Finding:
+        """Build a finding anchored at ``node`` (AST node or line int)."""
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(
+            checker=checker_id,
+            path=self.path,
+            line=int(line),
+            message=message,
+            context=self.line_text(int(line)),
+        )
+
+
+class Checker:
+    """Base class: subclass, set ``id``/``description``, implement ``check``.
+
+    ``applies_to`` scopes a checker to part of the tree (e.g. seed
+    purity only polices stream-deriving code); the default is every
+    file.
+    """
+
+    id: str = ""
+    description: str = ""
+
+    def applies_to(self, module: ModuleSource) -> bool:
+        return True
+
+    def check(self, module: ModuleSource) -> "list[Finding]":
+        raise NotImplementedError
+
+    def finding(self, module: ModuleSource, node, message: str) -> Finding:
+        return module.finding(self.id, node, message)
+
+
+#: id -> checker instance; populated by :func:`register`.
+CHECKERS: "dict[str, Checker]" = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding one checker instance to the registry."""
+    checker = cls()
+    if not checker.id:
+        raise ValueError(f"checker {cls.__name__} has no id")
+    if checker.id in CHECKERS:
+        raise ValueError(f"duplicate checker id {checker.id!r}")
+    CHECKERS[checker.id] = checker
+    return cls
+
+
+def load_checkers() -> "dict[str, Checker]":
+    """Import every built-in checker module (idempotent) and return the
+    registry.  Keeping the imports here avoids import cycles: checker
+    modules import :mod:`core`, never the other way around."""
+    from repro.analysis.lint import (  # noqa: F401 (imported for registration)
+        lifecycle,
+        lock_discipline,
+        provenance,
+        seed_purity,
+    )
+
+    return CHECKERS
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, before baseline matching."""
+
+    findings: "list[Finding]" = field(default_factory=list)
+    suppressed: int = 0  # findings silenced by an inline pragma
+    files: int = 0
+
+    def sorted(self) -> "list[Finding]":
+        return sorted(self.findings, key=lambda f: (f.path, f.line, f.checker))
+
+
+def iter_python_files(paths) -> "list[Path]":
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: "list[Path]" = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(p for p in path.rglob("*.py") if p.is_file()))
+        elif path.is_file():
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return out
+
+
+def lint_source(
+    source: str,
+    path: "str | Path" = "module.py",
+    *,
+    select: "set[str] | None" = None,
+) -> LintReport:
+    """Lint one in-memory source string (the fixture-test entry point)."""
+    report = LintReport(files=1)
+    checkers = _selected(select)
+    try:
+        module = ModuleSource(path, source)
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                checker=PARSE_ERROR_ID,
+                path=normalize_path(path),
+                line=int(exc.lineno or 1),
+                message=f"cannot parse: {exc.msg}",
+            )
+        )
+        return report
+    for checker in checkers:
+        if not checker.applies_to(module):
+            continue
+        for finding in checker.check(module):
+            if finding.checker in module.pragmas.get(finding.line, set()):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+    return report
+
+
+def run_lint(paths, *, select: "set[str] | None" = None) -> LintReport:
+    """Lint files/directories; returns the merged report."""
+    report = LintReport()
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.findings.append(
+                Finding(
+                    checker=PARSE_ERROR_ID,
+                    path=normalize_path(path),
+                    line=1,
+                    message=f"cannot read: {exc}",
+                )
+            )
+            continue
+        sub = lint_source(source, path, select=select)
+        report.findings.extend(sub.findings)
+        report.suppressed += sub.suppressed
+        report.files += 1
+    report.findings = report.sorted()
+    return report
+
+
+def _selected(select: "set[str] | None") -> "list[Checker]":
+    registry = load_checkers()
+    if select is None:
+        return list(registry.values())
+    unknown = set(select) - set(registry)
+    if unknown:
+        raise ValueError(
+            f"unknown checker id(s) {sorted(unknown)}; known: {sorted(registry)}"
+        )
+    return [registry[cid] for cid in sorted(select)]
+
+
+# ----------------------------------------------------------------------
+# Small AST helpers shared by checkers
+# ----------------------------------------------------------------------
+def dotted_name(node) -> "str | None":
+    """``a.b.c`` for Name/Attribute chains, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def import_aliases(tree: ast.AST) -> "dict[str, str]":
+    """Local name -> canonical dotted origin for every import.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy.random
+    import default_rng as rng`` maps ``rng -> numpy.random.default_rng``.
+    """
+    aliases: "dict[str, str]" = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            # Relative imports keep their leading dots; absolute names in
+            # checker tables won't match them (correct — the origin is
+            # unknown), but suffix-based rules still see the dotted path.
+            prefix = "." * node.level + (node.module or "")
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{prefix}.{alias.name}" if prefix else alias.name
+                )
+    return aliases
+
+
+def resolve_call_name(node: ast.Call, aliases: "dict[str, str]") -> "str | None":
+    """The canonical dotted name of a call target, import-aliases applied."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    origin = aliases.get(head)
+    if origin is not None:
+        return f"{origin}.{rest}" if rest else origin
+    return name

@@ -1,0 +1,219 @@
+"""resource-lifecycle: acquire/release pairing for leak-prone handles.
+
+The fleet layer holds sockets, worker subprocesses, shared-memory
+segments and executors — resources the OS will not forgive leaking under
+churn (PR 6's respawn loop can cycle workers for hours).  The rule: a
+function that *acquires* such a resource into a local variable must, on
+every path, either
+
+* **release** it (``close``/``terminate``/``kill``/``shutdown``/
+  ``unlink``/``detach``/``cleanup``) — exception-safely, i.e. from a
+  ``finally`` or ``except`` block, or with no failure-prone call between
+  acquisition and release;
+* manage it with a ``with`` statement; or
+* **transfer ownership** — return/yield it, store it on an object or
+  container, or pass it to another callable (constructors like
+  ``_HostLease(sock)`` take ownership).
+
+Two findings come out of this:
+
+* *leak* — no release and no transfer anywhere in the function;
+* *not exception-safe* — a release exists, but it sits on the straight-
+  line path with failure-prone calls before it, so an exception skips
+  it.
+
+Resources stored directly onto ``self`` at acquisition are the owning
+object's problem (its ``close`` is a different checker's concern) and
+are not tracked here.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.core import (
+    Checker,
+    ModuleSource,
+    import_aliases,
+    register,
+    resolve_call_name,
+)
+
+#: resolved constructor name -> human label for messages.
+_ACQUIRERS = {
+    "socket.socket": "socket",
+    "socket.create_connection": "socket",
+    "open": "file handle",
+    "tempfile.NamedTemporaryFile": "temp file",
+    "tempfile.TemporaryFile": "temp file",
+    "tempfile.TemporaryDirectory": "temp dir",
+    "subprocess.Popen": "child process",
+    "multiprocessing.shared_memory.SharedMemory": "shared-memory segment",
+    "concurrent.futures.ThreadPoolExecutor": "executor",
+    "concurrent.futures.ProcessPoolExecutor": "executor",
+}
+
+_RELEASE_METHODS = {
+    "close", "terminate", "kill", "shutdown", "unlink", "detach", "cleanup",
+}
+
+
+class _Resource:
+    def __init__(self, name: str, node: ast.AST, label: str, ctor: str) -> None:
+        self.name = name
+        self.node = node
+        self.label = label
+        self.ctor = ctor
+        self.released_at: "list[tuple[int, bool]]" = []  # (lineno, safe?)
+        self.transferred = False
+        self.with_managed = False
+
+
+@register
+class LifecycleChecker(Checker):
+    id = "resource-lifecycle"
+    description = (
+        "sockets/processes/shm/executors acquired in a function must be "
+        "released exception-safely or have ownership transferred"
+    )
+
+    def check(self, module: ModuleSource) -> list:
+        aliases = import_aliases(module.tree)
+        findings = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_function(module, node, aliases))
+        return findings
+
+    def _check_function(self, module: ModuleSource, func, aliases) -> list:
+        resources: "dict[str, _Resource]" = {}
+        call_lines: "list[int]" = []
+
+        def acquirer_label(call: ast.Call) -> "tuple[str, str] | None":
+            name = resolve_call_name(call, aliases)
+            label = _ACQUIRERS.get(name or "")
+            return (label, name) if label else None
+
+        def mentions(expr, name: str) -> bool:
+            return any(
+                isinstance(n, ast.Name) and n.id == name for n in ast.walk(expr)
+            )
+
+        def visit(node, safe: bool) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return  # nested callables get their own pass
+            if isinstance(node, ast.Try):
+                for child in node.body:
+                    visit(child, safe)
+                for handler in node.handlers:
+                    for child in handler.body:
+                        visit(child, True)
+                for child in node.orelse:
+                    visit(child, safe)
+                for child in node.finalbody:
+                    visit(child, True)
+                return
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Call):
+                        call_lines.append(item.context_expr.lineno)
+                        # `with socket.socket() as s:` is inherently safe.
+                    elif isinstance(item.context_expr, ast.Name):
+                        res = resources.get(item.context_expr.id)
+                        if res is not None:
+                            res.with_managed = True
+                    else:
+                        # closing(x) / stack.enter_context(x): handled as a
+                        # Call below (x transfers into the manager).
+                        visit(item.context_expr, safe)
+                for child in node.body:
+                    visit(child, safe)
+                return
+            if isinstance(node, ast.Assign):
+                if isinstance(node.value, ast.Call):
+                    acquired = acquirer_label(node.value)
+                    if (
+                        acquired is not None
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)
+                    ):
+                        label, ctor = acquired
+                        name = node.targets[0].id
+                        resources.setdefault(
+                            name, _Resource(name, node.value, label, ctor)
+                        )
+                        visit(node.value, safe)  # nested calls in the args
+                        return
+                for res in resources.values():
+                    if not isinstance(node.targets[0], ast.Name) and mentions(
+                        node.value, res.name
+                    ):
+                        res.transferred = True  # self.x = res / d[k] = res
+                visit(node.value, safe)
+                return
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if node.value is not None:
+                    for res in resources.values():
+                        if mentions(node.value, res.name):
+                            res.transferred = True
+                    visit(node.value, safe)
+                return
+            if isinstance(node, ast.Call):
+                call_lines.append(node.lineno)
+                func_expr = node.func
+                if (
+                    isinstance(func_expr, ast.Attribute)
+                    and isinstance(func_expr.value, ast.Name)
+                    and func_expr.value.id in resources
+                ):
+                    if func_expr.attr in _RELEASE_METHODS:
+                        resources[func_expr.value.id].released_at.append(
+                            (node.lineno, safe)
+                        )
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    for res in resources.values():
+                        if mentions(arg, res.name):
+                            res.transferred = True
+            for child in ast.iter_child_nodes(node):
+                visit(child, safe)
+
+        for stmt in func.body:
+            visit(stmt, False)
+
+        findings = []
+        for res in resources.values():
+            if res.transferred or res.with_managed:
+                continue
+            if not res.released_at:
+                findings.append(
+                    self.finding(
+                        module,
+                        res.node,
+                        f"{res.label} acquired by {res.ctor}() in "
+                        f"{func.name}() is never released or transferred; "
+                        "close it in a finally block, use a with statement, "
+                        "or hand ownership to a longer-lived owner",
+                    )
+                )
+                continue
+            if any(safe for _line, safe in res.released_at):
+                continue
+            first_release = min(line for line, _safe in res.released_at)
+            risky = [
+                line
+                for line in call_lines
+                if res.node.lineno < line < first_release
+            ]
+            if risky:
+                findings.append(
+                    self.finding(
+                        module,
+                        res.node,
+                        f"{res.label} acquired by {res.ctor}() in "
+                        f"{func.name}() is released only on the straight-line "
+                        f"path (line {first_release}); a raise from the calls "
+                        "in between leaks it — release in a finally block or "
+                        "use a with statement",
+                    )
+                )
+        return findings

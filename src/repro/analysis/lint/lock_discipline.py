@@ -1,0 +1,533 @@
+"""lock-discipline: guarded attributes, blocking-under-lock, lock cycles.
+
+The concurrent layers (engine, service, network fleet) follow one
+convention this checker mechanizes: a class that creates a
+``threading.Lock``/``RLock``/``Condition`` on ``self`` guards some of
+its attributes with it.  The checker *infers* the guarded set — the
+``self.X`` attributes written while holding the lock outside
+``__init__`` — and then enforces three rules:
+
+1. **Unguarded access** — reading or writing an inferred-guarded
+   attribute in a method that does not hold the lock is a race.
+   Exempt: ``__init__``/``__del__`` (no concurrent aliases yet /
+   anymore) and methods whose name ends in ``_locked`` (the repo's
+   caller-holds-the-lock naming convention).
+2. **Blocking under lock** — socket I/O (``recv``/``accept``/
+   ``sendall``/``send``/``connect``, the project's ``send_frame``/
+   ``recv_frame``), ``subprocess`` spawns, ``time.sleep``, thread
+   ``join``, and ``wait`` on anything that is not the held condition
+   itself must not run while a lock is held; this is the class of bug
+   behind PR 6's ``shutdown()``/``start_background()`` deadlock.  The
+   check follows ``self.method()`` calls transitively inside the class,
+   so hiding the blocking call one helper down still fires.
+3. **Lock-order cycles** — a ``with self.A`` region that (transitively)
+   enters methods acquiring lock ``B`` adds edge ``A -> B`` to the
+   module's lock graph; any cycle is a deadlock candidate, and a
+   ``with``-reacquisition of a plain (non-reentrant) ``Lock`` is
+   reported as a guaranteed self-deadlock.
+
+``threading.Condition(self._lock)`` aliases the condition to the lock
+it wraps: holding either counts as holding both.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.lint.core import (
+    Checker,
+    ModuleSource,
+    dotted_name,
+    import_aliases,
+    register,
+    resolve_call_name,
+)
+
+_LOCK_FACTORIES = {
+    "threading.Lock": "Lock",
+    "threading.RLock": "RLock",
+    "threading.Condition": "Condition",
+}
+
+#: attribute-call suffixes that block (socket and wire-protocol I/O).
+#: ``join``/``wait`` get receiver-sensitive handling below.
+_BLOCKING_SUFFIXES = {
+    "recv", "recv_into", "recvfrom", "accept", "connect", "sendall",
+    "send", "send_frame", "recv_frame",
+}
+
+_SLEEP_NAMES = {"time.sleep"}
+
+_SUBPROCESS_NAMES = {
+    "subprocess.Popen", "subprocess.run", "subprocess.call",
+    "subprocess.check_call", "subprocess.check_output",
+}
+
+#: ``X.join()`` receivers that look like threads/processes/workers; a
+#: name-based heuristic keeps ``", ".join`` and ``os.path.join`` silent.
+_JOINABLE_HINTS = ("thread", "proc", "worker", "host", "executor")
+
+_EXEMPT_METHODS = {"__init__", "__del__"}
+
+
+@dataclass
+class _MethodInfo:
+    name: str
+    node: ast.AST
+    acquires: "set[str]" = field(default_factory=set)  # canonical lock attrs
+    #: blocking call made while a lock was held: direct findings
+    held_blocking: "list[tuple[ast.AST, str]]" = field(default_factory=list)
+    #: blocking call anywhere in the method: transitive-closure fuel
+    any_blocking: "list[tuple[ast.AST, str]]" = field(default_factory=list)
+    #: lock misuse independent of held state (wait without the lock)
+    misuse: "list[tuple[ast.AST, str]]" = field(default_factory=list)
+    self_calls: "set[str]" = field(default_factory=set)
+    #: (held canonical lock, call node, callee descriptor)
+    lock_calls: "list[tuple[str, ast.AST, tuple]]" = field(default_factory=list)
+
+
+class _ClassModel:
+    """Locks, guarded attributes, and per-method facts for one class."""
+
+    def __init__(self, node: ast.ClassDef, aliases: dict) -> None:
+        self.node = node
+        self.name = node.name
+        self.aliases = aliases
+        self.locks: "dict[str, str]" = {}  # attr -> factory kind
+        self.lock_groups: "dict[str, str]" = {}  # attr -> canonical attr
+        self.methods: "dict[str, _MethodInfo]" = {}
+        self.guarded: "set[str]" = set()
+        self._find_locks()
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.methods[item.name] = self._scan_method(item)
+        self._infer_guarded()
+
+    # -- lock discovery ------------------------------------------------
+    def _find_locks(self) -> None:
+        for stmt in ast.walk(self.node):
+            if not isinstance(stmt, ast.Assign) or not isinstance(stmt.value, ast.Call):
+                continue
+            factory = resolve_call_name(stmt.value, self.aliases)
+            kind = _LOCK_FACTORIES.get(factory or "")
+            if kind is None:
+                continue
+            for target in stmt.targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                self.locks[attr] = kind
+                self.lock_groups.setdefault(attr, attr)
+                if kind == "Condition" and stmt.value.args:
+                    wrapped = _self_attr(stmt.value.args[0])
+                    if wrapped is not None:
+                        # Condition(self._lock): one underlying mutex.
+                        canonical = self.lock_groups.get(wrapped, wrapped)
+                        self.lock_groups[attr] = canonical
+                        self.lock_groups.setdefault(wrapped, canonical)
+
+    def canonical(self, attr: str) -> str:
+        return self.lock_groups.get(attr, attr)
+
+    def with_acquires(self, node: ast.With) -> "set[str]":
+        """Canonical lock attrs a ``with`` statement acquires."""
+        out = set()
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None and attr in self.locks:
+                out.add(self.canonical(attr))
+        return out
+
+    # -- per-method traversal ------------------------------------------
+    def _scan_method(self, func) -> _MethodInfo:
+        info = _MethodInfo(name=func.name, node=func)
+        for stmt in func.body:
+            self._visit(stmt, frozenset(), info)
+        return info
+
+    def _visit(self, node, held: frozenset, info: _MethodInfo) -> None:
+        if isinstance(node, ast.With):
+            acquired = self.with_acquires(node)
+            for attr in acquired:
+                info.acquires.add(attr)
+                raw = [
+                    a
+                    for item in node.items
+                    for a in [_self_attr(item.context_expr)]
+                    if a is not None and self.canonical(a) == attr
+                ]
+                if attr in held and any(self.locks.get(a) == "Lock" for a in raw):
+                    reason = (
+                        f"re-acquires non-reentrant self.{raw[0]} already held "
+                        "by this call path (guaranteed self-deadlock)"
+                    )
+                    info.held_blocking.append((node, reason))
+                    info.any_blocking.append((node, reason))
+            for item in node.items:
+                self._visit(item.context_expr, held, info)
+            for child in node.body:
+                self._visit(child, held | frozenset(acquired), info)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested callables run later, not under this lock
+        if isinstance(node, ast.Call):
+            self._visit_call(node, held, info)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held, info)
+
+    def _visit_call(self, node: ast.Call, held: frozenset, info: _MethodInfo) -> None:
+        name = resolve_call_name(node, self.aliases) or ""
+        suffix = name.rsplit(".", 1)[-1]
+        reason = None
+        if name in _SUBPROCESS_NAMES:
+            reason = f"spawns a subprocess ({name})"
+        elif name in _SLEEP_NAMES:
+            reason = "sleeps (time.sleep)"
+        elif suffix == "join" and _receiver_hint(node, _JOINABLE_HINTS):
+            reason = f"joins a thread/process ({name})"
+        elif suffix == "wait":
+            receiver = _self_attr_receiver(node)
+            if receiver is not None and receiver in self.locks:
+                if self.canonical(receiver) not in held:
+                    info.misuse.append(
+                        (
+                            node,
+                            f"calls self.{receiver}.wait() without holding "
+                            f"self.{receiver} (Condition.wait requires its own "
+                            "lock)",
+                        )
+                    )
+                # wait on the held condition releases the lock: sanctioned.
+            else:
+                reason = f"waits on a foreign object ({name or 'wait'})"
+        elif suffix in _BLOCKING_SUFFIXES and "." in name:
+            reason = f"performs blocking I/O ({name})"
+        if reason is not None:
+            info.any_blocking.append((node, reason))
+            if held:
+                info.held_blocking.append((node, reason))
+        callee = self._callee_descriptor(node)
+        if callee is not None:
+            if callee[0] == "self":
+                info.self_calls.add(callee[1])
+            for lock in held:
+                info.lock_calls.append((lock, node, callee))
+
+    @staticmethod
+    def _callee_descriptor(node: ast.Call) -> "tuple | None":
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                return ("self", func.attr)
+            return ("other", func.attr)
+        if isinstance(func, ast.Name):
+            return ("func", func.id)
+        return None
+
+    # -- guarded-attribute inference -----------------------------------
+    def _infer_guarded(self) -> None:
+        for info in self.methods.values():
+            if info.name in _EXEMPT_METHODS:
+                continue
+            for _node, attr, held in _self_stores(info.node, self):
+                if held and attr not in self.locks:
+                    self.guarded.add(attr)
+        self.guarded -= set(self.locks)
+
+
+# ----------------------------------------------------------------------
+# Shared store/load scanners
+# ----------------------------------------------------------------------
+def _self_attr(node) -> "str | None":
+    """``self.X`` expression -> ``X``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _store_base_attr(target) -> "str | None":
+    """Innermost ``self.X`` of a store target (handles self.X.Y, self.X[k])."""
+    node = target
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        node = node.value
+    return None
+
+
+def _self_stores(func, model: _ClassModel):
+    """``(node, attr, held?)`` for every ``self.X``-rooted store in ``func``."""
+    out = []
+
+    def visit(node, held):
+        if isinstance(node, ast.With):
+            inner = held | model.with_acquires(node)
+            for child in node.body:
+                visit(child, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            attr = _store_base_attr(target)
+            if attr is not None:
+                out.append((node, attr, bool(held)))
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    for stmt in func.body:
+        visit(stmt, frozenset())
+    return out
+
+
+def _self_loads(func, model: _ClassModel):
+    """``(node, attr, held?)`` for every plain ``self.X`` read in ``func``."""
+    out = []
+
+    def visit(node, held):
+        if isinstance(node, ast.With):
+            inner = held | model.with_acquires(node)
+            for item in node.items:
+                visit(item.context_expr, held)
+            for child in node.body:
+                visit(child, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            attr = _self_attr(node)
+            if attr is not None:
+                out.append((node, attr, bool(held)))
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    for stmt in func.body:
+        visit(stmt, frozenset())
+    return out
+
+
+def _receiver_hint(node: ast.Call, hints) -> bool:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    name = dotted_name(func.value)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(h in lowered for h in hints)
+
+
+def _self_attr_receiver(node: ast.Call) -> "str | None":
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return _self_attr(func.value)
+    return None
+
+
+def _find_cycles(edges: "dict[tuple, set[tuple]]") -> "list[list[tuple]]":
+    """Elementary cycles of a small digraph, each reported once."""
+    cycles: "list[list[tuple]]" = []
+    seen: "set[tuple]" = set()
+
+    def normalize(path: "list[tuple]") -> tuple:
+        pivot = min(range(len(path)), key=lambda i: path[i])
+        return tuple(path[pivot:] + path[:pivot])
+
+    def dfs(start: tuple, node: tuple, path: "list[tuple]", visited: "set[tuple]"):
+        for nxt in sorted(edges.get(node, ())):
+            if nxt == start:
+                key = normalize(path)
+                if key not in seen:
+                    seen.add(key)
+                    cycles.append(list(key))
+            elif nxt not in visited:
+                dfs(start, nxt, path + [nxt], visited | {nxt})
+
+    for start in sorted(edges):
+        dfs(start, start, [start], {start})
+    return cycles
+
+
+@register
+class LockDisciplineChecker(Checker):
+    id = "lock-discipline"
+    description = (
+        "attributes written under a class's lock must always be accessed "
+        "under it; no blocking calls while holding a lock; no cycles in "
+        "the lock-acquisition graph"
+    )
+
+    def check(self, module: ModuleSource) -> list:
+        aliases = import_aliases(module.tree)
+        findings = []
+        models = [
+            _ClassModel(node, aliases)
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        ]
+        for model in models:
+            if not model.locks:
+                continue
+            findings.extend(self._unguarded_access(module, model))
+            findings.extend(self._blocking_under_lock(module, model))
+        findings.extend(self._lock_cycles(module, models))
+        return findings
+
+    # -- rule 1: unguarded access --------------------------------------
+    def _unguarded_access(self, module: ModuleSource, model: _ClassModel) -> list:
+        findings = []
+        if not model.guarded:
+            return findings
+        lock_label = " / ".join(
+            f"self.{n}" for n in sorted({model.canonical(a) for a in model.locks})
+        )
+        for info in model.methods.values():
+            if info.name in _EXEMPT_METHODS or info.name.endswith("_locked"):
+                continue
+            seen: "set[str]" = set()
+            accesses = [
+                (node, attr, True)
+                for node, attr, held in _self_stores(info.node, model)
+                if not held
+            ] + [
+                (node, attr, False)
+                for node, attr, held in _self_loads(info.node, model)
+                if not held
+            ]
+            accesses.sort(key=lambda item: getattr(item[0], "lineno", 0))
+            for node, attr, is_write in accesses:
+                if attr not in model.guarded or attr in seen:
+                    continue
+                seen.add(attr)
+                verb = "writes" if is_write else "reads"
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"{model.name}.{info.name} {verb} self.{attr} without "
+                        f"holding {lock_label}; the attribute is written under "
+                        "the lock elsewhere, so this access races",
+                    )
+                )
+        return findings
+
+    # -- rule 2: blocking under lock -----------------------------------
+    def _blocking_under_lock(self, module: ModuleSource, model: _ClassModel) -> list:
+        findings = []
+        reported: "set[int]" = set()
+        # transitive closure: does calling self.m eventually block?
+        blocks: "dict[str, str]" = {}
+        changed = True
+        while changed:
+            changed = False
+            for name, info in model.methods.items():
+                if name in blocks:
+                    continue
+                if info.any_blocking:
+                    blocks[name] = info.any_blocking[0][1]
+                    changed = True
+                    continue
+                for callee in sorted(info.self_calls):
+                    if callee in blocks:
+                        blocks[name] = f"calls self.{callee}() which {blocks[callee]}"
+                        changed = True
+                        break
+        for info in model.methods.values():
+            for node, reason in info.held_blocking:
+                if id(node) in reported:
+                    continue
+                reported.add(id(node))
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"{model.name}.{info.name} {reason} while holding a "
+                        "lock; move the call outside the critical section",
+                    )
+                )
+            for node, reason in info.misuse:
+                if id(node) in reported:
+                    continue
+                reported.add(id(node))
+                findings.append(
+                    self.finding(module, node, f"{model.name}.{info.name} {reason}")
+                )
+            for lock, node, callee in info.lock_calls:
+                if id(node) in reported:
+                    continue
+                if callee[0] == "self" and callee[1] in blocks:
+                    reported.add(id(node))
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"{model.name}.{info.name} holds self.{lock} while "
+                            f"calling self.{callee[1]}(), which "
+                            f"{blocks[callee[1]]}; move the blocking work "
+                            "outside the critical section",
+                        )
+                    )
+        return findings
+
+    # -- rule 3: lock-acquisition cycles -------------------------------
+    def _lock_cycles(self, module: ModuleSource, models: list) -> list:
+        by_method: "dict[str, list]" = {}
+        for model in models:
+            for name, info in model.methods.items():
+                by_method.setdefault(name, []).append((model, info))
+        edges: "dict[tuple, set[tuple]]" = {}
+        sites: "dict[tuple, tuple]" = {}
+        for model in models:
+            for info in model.methods.values():
+                for lock, node, callee in info.lock_calls:
+                    holder = (model.name, lock)
+                    for target_model, target_info in self._resolve(
+                        model, callee, by_method
+                    ):
+                        for acquired in target_info.acquires:
+                            inner = (target_model.name, acquired)
+                            if inner == holder:
+                                continue
+                            edges.setdefault(holder, set()).add(inner)
+                            sites.setdefault((holder, inner), (node, info, model))
+        findings = []
+        for cycle in _find_cycles(edges):
+            if len(cycle) < 2:
+                continue
+            holder, inner = cycle[0], cycle[1]
+            node, info, model = sites[(holder, inner)]
+            path = " -> ".join(f"{c}.{a}" for c, a in cycle + [cycle[0]])
+            findings.append(
+                self.finding(
+                    module,
+                    node,
+                    f"lock-acquisition cycle {path} (entered here by "
+                    f"{model.name}.{info.name}): threads entering the cycle at "
+                    "different points can deadlock; impose a single "
+                    "acquisition order or merge the locks",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _resolve(model: _ClassModel, callee: tuple, by_method: dict) -> list:
+        kind, name = callee
+        if kind == "self":
+            info = model.methods.get(name)
+            return [(model, info)] if info else []
+        if kind == "other":
+            return [(m, i) for m, i in by_method.get(name, []) if m is not model]
+        return []

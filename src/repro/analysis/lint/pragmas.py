@@ -1,0 +1,55 @@
+"""Inline suppression pragmas: ``# repro: allow[checker-id]``.
+
+A pragma suppresses findings of the named checker(s) **on its own line
+only** — a pragma on the line above (or anywhere else) does nothing, so
+suppressions stay glued to the code they excuse and survive reformatting
+only when the excuse still points at the violation.  Several ids may be
+listed comma-separated: ``# repro: allow[seed-purity, lock-discipline]``.
+
+Suppressions are for violations that are *correct on purpose* (e.g. a
+send-serialization lock that exists precisely to hold a lock across a
+socket write); violations that are merely *old* belong in the committed
+baseline file with a justification instead
+(:mod:`repro.analysis.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+
+def parse_pragma(comment: str) -> "set[str] | None":
+    """Checker ids named by one comment, or ``None`` if not a pragma."""
+    match = _PRAGMA_RE.search(comment)
+    if match is None:
+        return None
+    return {tok.strip() for tok in match.group(1).split(",") if tok.strip()}
+
+
+def pragma_index(source: str) -> "dict[int, set[str]]":
+    """1-based line -> suppressed checker ids, from real COMMENT tokens.
+
+    Tokenizing (instead of regexing raw lines) means a pragma-shaped
+    substring inside a string literal never suppresses anything.
+    Falls back to a line scan if tokenization fails — the linter still
+    reports on files the tokenizer chokes on.
+    """
+    index: "dict[int, set[str]]" = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            ids = parse_pragma(tok.string)
+            if ids:
+                index.setdefault(tok.start[0], set()).update(ids)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            ids = parse_pragma(line)
+            if ids:
+                index.setdefault(lineno, set()).update(ids)
+    return index

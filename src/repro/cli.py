@@ -25,6 +25,10 @@ Subcommands
     heartbeat lease until the coordinator closes the connection.
 ``tvm``
     Run the TVM experiment (Fig. 8 style) on a topic group.
+``lint``
+    Run reprolint, the project-specific invariant linter (seed-purity,
+    lock-discipline, provenance-stamp, resource-lifecycle) — see
+    ``docs/INVARIANTS.md``.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis.lint import cli as lint_cli
 from repro.datasets.catalog import DATASETS
 from repro.datasets.synthetic import load_dataset
 from repro.engine import registry_table
@@ -459,6 +464,10 @@ def _cmd_tvm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return lint_cli.run(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -674,6 +683,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_tvm.add_argument("--epsilon", type=float, default=0.2)
     p_tvm.add_argument("--k-values", type=int, nargs="+", default=[5, 10, 20])
     p_tvm.set_defaults(fn=_cmd_tvm)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the project invariant linter (reprolint)",
+        description="Static analysis enforcing the contracts in "
+        "docs/INVARIANTS.md: seed-purity, lock-discipline, "
+        "provenance-stamp, resource-lifecycle.",
+    )
+    lint_cli.add_arguments(p_lint)
+    p_lint.set_defaults(fn=_cmd_lint)
 
     return parser
 

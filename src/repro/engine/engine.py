@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import threading
 import uuid
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -226,6 +226,16 @@ class InfluenceEngine:
             self._pool_key(stream=stream, model=model, horizon=horizon),
             self._pool_factory(stream=stream, model=model, horizon=horizon),
         )
+
+    def stats_snapshot(self) -> EngineStats:
+        """A consistent copy of :attr:`stats`, taken under the stats lock.
+
+        Concurrent readers (the service's ``stats``/``sessions`` surface)
+        should use this instead of reading :attr:`stats` directly: the
+        copy can't observe a query's counters half-applied.
+        """
+        with self._stats_lock:
+            return replace(self.stats)
 
     def _account(self, *, demand: int, sampled: int) -> None:
         with self._stats_lock:

@@ -200,6 +200,14 @@ def tvm_runtime_vs_k(
                     seeds=list(result.seeds),
                     iterations=result.iterations,
                     stopped_by=result.stopped_by,
+                    # TVM runs derive per-row child generators from the
+                    # sweep seed, so the row itself is replayed via the
+                    # sweep-level seed; the spawned child is not an int.
+                    seed=None,
+                    backend=None,
+                    workers=None,
+                    kernel=None,
+                    stream_id=None,
                 )
             )
     return records

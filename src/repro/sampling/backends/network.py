@@ -166,7 +166,10 @@ class _HostLease:
     def send(self, message: tuple) -> None:
         try:
             with self._send_lock:
-                send_frame(self.sock, message)
+                # The whole point of this lock is to hold it across the
+                # socket write: frames from the dispatcher and the
+                # heartbeat/abort paths must not interleave mid-frame.
+                send_frame(self.sock, message)  # repro: allow[lock-discipline]
         except OSError as exc:
             raise ConnectionClosed(str(exc)) from exc
 
@@ -597,9 +600,12 @@ class NetworkBackend(ExecutionBackend):
     def _await_ready_hosts(self) -> list[_HostLease]:
         """Block until at least one host is ready (or the grace expires)."""
         deadline = time.monotonic() + self._join_grace
-        with self._cond:
-            while True:
-                self._reap_spawned()  # replace self-hosted workers that died idle
+        while True:
+            # Reap outside the lock: replacing a dead self-hosted worker
+            # forks a subprocess, far too slow to hold the fleet lock
+            # across (reader/reaper threads would stall behind the fork).
+            self._reap_spawned()
+            with self._cond:
                 hosts = self._ready_hosts_locked()
                 if hosts:
                     return hosts
@@ -631,14 +637,19 @@ class NetworkBackend(ExecutionBackend):
     def wait_for_hosts(self, count: int, timeout: float = 30.0) -> None:
         """Block until ``count`` hosts are registered and ready."""
         deadline = time.monotonic() + timeout
-        with self._cond:
-            while len(self._ready_hosts_locked()) < count:
-                self._reap_spawned()
+        while True:
+            # As in _await_ready_hosts: subprocess respawn happens
+            # outside the lock, readiness is re-checked under it.
+            self._reap_spawned()
+            with self._cond:
+                ready = len(self._ready_hosts_locked())
+                if ready >= count:
+                    return
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise SamplingError(
                         f"waited {timeout:.0f}s but only "
-                        f"{len(self._ready_hosts_locked())}/{count} host(s) joined"
+                        f"{ready}/{count} host(s) joined"
                         + self._fault_suffix()
                     )
                 self._cond.wait(min(0.1, remaining))

@@ -47,13 +47,13 @@ class LatencyHistogram:
             if seconds > self._max:
                 self._max = seconds
 
-    def quantile(self, q: float) -> float:
-        """Bucket-resolution quantile estimate (upper bound of the bucket
-        holding the q-th observation); 0.0 when empty."""
+    def _capture(self) -> tuple:
+        """One consistent (counts, count, total, max) under one lock hold."""
         with self._lock:
-            counts = list(self._counts)
-            count = self._count
-            maximum = self._max
+            return list(self._counts), self._count, self._total, self._max
+
+    @staticmethod
+    def _quantile_from(counts: list, count: int, maximum: float, q: float) -> float:
         if count == 0:
             return 0.0
         rank = q * count
@@ -67,21 +67,27 @@ class LatencyHistogram:
                 return min(bound, maximum)
         return maximum
 
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the q-th observation); 0.0 when empty."""
+        counts, count, _total, maximum = self._capture()
+        return self._quantile_from(counts, count, maximum, q)
+
     def snapshot(self) -> dict:
-        with self._lock:
-            counts = list(self._counts)
-            count = self._count
-            total = self._total
-            maximum = self._max
+        # One capture for the whole snapshot: quantiles, mean, max and
+        # buckets all describe the same instant even under concurrent
+        # observe() calls (re-acquiring per quantile would let p50 count
+        # observations that max/mean missed).
+        counts, count, total, maximum = self._capture()
         mean = total / count if count else 0.0
         return {
             "count": count,
             "total_seconds": total,
             "mean_seconds": mean,
             "max_seconds": maximum,
-            "p50_seconds": self.quantile(0.50),
-            "p90_seconds": self.quantile(0.90),
-            "p99_seconds": self.quantile(0.99),
+            "p50_seconds": self._quantile_from(counts, count, maximum, 0.50),
+            "p90_seconds": self._quantile_from(counts, count, maximum, 0.90),
+            "p99_seconds": self._quantile_from(counts, count, maximum, 0.99),
             "buckets": [
                 {"le": bound, "count": counts[i]}
                 for i, bound in enumerate(BUCKET_BOUNDS)

@@ -166,9 +166,10 @@ class InfluenceService:
         """Look a session up by name."""
         with self._lock:
             engine = self._engines.get(name)
+            open_names = sorted(self._engines)
         if engine is None:
             raise ServiceError(
-                f"unknown session {name!r}; open sessions: {sorted(self._engines)}"
+                f"unknown session {name!r}; open sessions: {open_names}"
             )
         return engine
 
@@ -194,7 +195,7 @@ class InfluenceService:
                 "backend": getattr(engine.backend, "name", engine.backend) or "serial",
                 "workers": engine.active_workers,
                 "kernel": engine.kernel.name,
-                "queries": engine.stats.queries,
+                "queries": engine.stats_snapshot().queries,
             }
         return out
 
@@ -233,7 +234,7 @@ class InfluenceService:
         """Service-level statistics (optionally scoped to one session)."""
         if session is not None:
             engine = self.session(session)
-            payload = engine.stats.as_dict()
+            payload = engine.stats_snapshot().as_dict()
             payload.update(
                 {
                     "session": session,
@@ -365,6 +366,10 @@ class InfluenceService:
     # Lifecycle
     # ------------------------------------------------------------------
     def _check_open(self) -> None:
+        # Deliberately lock-free (baselined in reprolint-baseline.json):
+        # _closed is a monotonic GIL-atomic bool, and this sits on every
+        # query's hot path.  Worst case a query racing close() proceeds
+        # and fails in the draining executor instead of failing here.
         if self._closed:
             raise ServiceError("InfluenceService is closed")
 

@@ -1,0 +1,445 @@
+"""Per-checker fixtures: each rule fires on a violation and stays silent
+on the sanctioned pattern."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import lint_source
+
+
+def lint(src: str, path: str, checker: str):
+    report = lint_source(textwrap.dedent(src), path, select={checker})
+    return report.findings
+
+
+def seed(src: str, path: str = "repro/sampling/mod.py"):
+    return lint(src, path, "seed-purity")
+
+
+def locks(src: str, path: str = "repro/service/mod.py"):
+    return lint(src, path, "lock-discipline")
+
+
+def prov(src: str, path: str = "repro/service/mod.py"):
+    return lint(src, path, "provenance-stamp")
+
+
+def life(src: str, path: str = "repro/service/mod.py"):
+    return lint(src, path, "resource-lifecycle")
+
+
+class TestSeedPurity:
+    def test_ambient_numpy_rng_fires(self):
+        findings = seed("import numpy as np\nv = np.random.rand(3)\n")
+        assert len(findings) == 1
+        assert "global RandomState" in findings[0].message
+
+    def test_np_random_seed_fires_even_with_constant(self):
+        assert len(seed("import numpy as np\nnp.random.seed(42)\n")) == 1
+
+    def test_out_of_scope_paths_are_ignored(self):
+        findings = seed(
+            "import numpy as np\nv = np.random.rand(3)\n",
+            path="repro/experiments/mod.py",
+        )
+        assert findings == []
+
+    def test_unseeded_default_rng_fires_seeded_does_not(self):
+        src = "import numpy as np\nrng = np.random.default_rng({})\n"
+        assert len(seed(src.format(""))) == 1
+        assert seed(src.format("ss")) == []
+
+    def test_import_alias_is_resolved(self):
+        findings = seed(
+            "from numpy.random import default_rng as mk\ng = mk()\n"
+        )
+        assert len(findings) == 1
+        assert "fresh OS entropy" in findings[0].message
+
+    def test_stdlib_random_fires(self):
+        findings = seed("import random\nx = random.choice(items)\n")
+        assert len(findings) == 1
+        assert "Mersenne Twister" in findings[0].message
+
+    def test_wall_clock_fires_monotonic_does_not(self):
+        assert len(seed("import time\nt = time.time()\n")) == 1
+        assert seed("import time\nt = time.monotonic()\n") == []
+
+    def test_set_iteration_fires_sorted_does_not(self):
+        src = """
+        def spread(nodes):
+            for n in set(nodes):
+                yield n
+        """
+        findings = seed(src)
+        assert len(findings) == 1
+        assert "sorted" in findings[0].message
+        assert seed(src.replace("set(nodes)", "sorted(set(nodes))")) == []
+
+
+LOCKED_CLASS = """
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, n):
+        with self._lock:
+            self.total += n
+
+    def {reader}
+"""
+
+
+class TestLockDiscipline:
+    def test_unguarded_read_fires(self):
+        findings = locks(LOCKED_CLASS.format(reader="peek(self):\n        return self.total"))
+        assert len(findings) == 1
+        assert "reads self.total" in findings[0].message
+
+    def test_guarded_read_is_clean(self):
+        reader = "peek(self):\n        with self._lock:\n            return self.total"
+        assert locks(LOCKED_CLASS.format(reader=reader)) == []
+
+    def test_locked_suffix_convention_is_exempt(self):
+        reader = "peek_locked(self):\n        return self.total"
+        assert locks(LOCKED_CLASS.format(reader=reader)) == []
+
+    def test_direct_blocking_under_lock_fires(self):
+        src = """
+        import threading, time
+
+        class Poller:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def poll(self):
+                with self._lock:
+                    time.sleep(0.1)
+        """
+        findings = locks(src)
+        assert len(findings) == 1
+        assert "sleeps" in findings[0].message
+
+    def test_transitive_blocking_through_self_call_fires(self):
+        src = """
+        import threading, subprocess
+
+        class Fleet:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def _respawn(self):
+                subprocess.Popen(["worker"])
+
+            def ensure(self):
+                with self._lock:
+                    self._respawn()
+        """
+        findings = locks(src)
+        assert any("self._respawn()" in f.message for f in findings)
+
+    def test_blocking_outside_lock_is_clean(self):
+        src = """
+        import threading, time
+
+        class Poller:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def poll(self):
+                with self._lock:
+                    pass
+                time.sleep(0.1)
+        """
+        assert locks(src) == []
+
+    def test_condition_wait_requires_its_lock(self):
+        src = """
+        import threading
+
+        class Q:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._cond = threading.Condition(self._lock)
+
+            def bad(self):
+                self._cond.wait()
+
+            def good(self):
+                with self._cond:
+                    self._cond.wait()
+        """
+        findings = locks(src)
+        assert len(findings) == 1
+        assert "without holding" in findings[0].message
+        assert findings[0].line < 12  # anchored at bad(), not good()
+
+    def test_holding_the_wrapped_lock_counts_for_the_condition(self):
+        src = """
+        import threading
+
+        class Q:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._cond = threading.Condition(self._lock)
+
+            def good(self):
+                with self._lock:
+                    self._cond.wait()
+        """
+        assert locks(src) == []
+
+    def test_lock_reacquisition_fires(self):
+        src = """
+        import threading
+
+        class R:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def outer(self):
+                with self._lock:
+                    with self._lock:
+                        pass
+        """
+        findings = locks(src)
+        assert len(findings) == 1
+        assert "self-deadlock" in findings[0].message
+
+    def test_lock_order_cycle_fires(self):
+        src = """
+        import threading
+
+        class A:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.x = 0
+
+            def foo(self, b):
+                with self._lock:
+                    self.x = 1
+                    b.bar()
+
+        class B:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.y = 0
+
+            def bar(self):
+                with self._lock:
+                    self.y = 2
+
+            def back(self, a):
+                with self._lock:
+                    self.y = 3
+                    a.foo(self)
+        """
+        findings = locks(src)
+        assert any("lock-acquisition cycle" in f.message for f in findings)
+
+
+class TestProvenance:
+    def test_poolkey_without_stream_id_fires(self):
+        findings = prov('key = PoolKey("ns", "s", "LT", 10)\n')
+        assert len(findings) == 1
+        assert "stream_id" in findings[0].message
+
+    def test_poolkey_keyword_or_full_positional_is_clean(self):
+        assert prov('key = PoolKey("ns", "s", "LT", 10, stream_id="scalar-v2")\n') == []
+        assert prov('key = PoolKey("ns", "s", "LT", 10, "scalar-v2")\n') == []
+
+    def test_star_kwargs_is_skipped(self):
+        assert prov('key = PoolKey("ns", "s", "LT", 10, **extra)\n') == []
+
+    def test_runrecord_missing_provenance_fires_with_field_names(self):
+        findings = prov('rec = RunRecord(algorithm="SSA", k=5, seed=3)\n')
+        assert len(findings) == 1
+        for field in ("backend", "kernel", "stream_id", "workers"):
+            assert field in findings[0].message
+
+    def test_runrecord_explicit_nones_are_clean(self):
+        assert (
+            prov(
+                "rec = RunRecord(algorithm='SSA', k=5, seed=None, backend=None,"
+                " workers=None, kernel=None, stream_id=None)\n"
+            )
+            == []
+        )
+
+    def test_make_stamp_requires_full_provenance(self):
+        findings = prov('s = make_stamp(graph, model="LT", stream="rr", seed=1)\n')
+        assert len(findings) == 1
+        assert "horizon" in findings[0].message and "sampler" in findings[0].message
+
+    def test_state_dict_without_stream_id_fires_in_sampling(self):
+        src = """
+        class S:
+            def state_dict(self):
+                return {"cursor": self.cursor}
+        """
+        findings = prov(src, path="repro/sampling/stream.py")
+        assert len(findings) == 1
+        assert "stream_id" in findings[0].message
+
+    def test_state_dict_with_stream_id_is_clean(self):
+        src = """
+        class S:
+            def state_dict(self):
+                return {"cursor": self.cursor, "stream_id": self.stream_id}
+        """
+        assert prov(src, path="repro/sampling/stream.py") == []
+
+    def test_state_dict_rule_scoped_to_sampling(self):
+        src = """
+        class S:
+            def state_dict(self):
+                return {"cursor": self.cursor}
+        """
+        assert prov(src, path="repro/service/stream.py") == []
+
+
+class TestLifecycle:
+    def test_leaked_socket_fires(self):
+        src = """
+        import socket
+
+        def ping(addr):
+            sock = socket.create_connection(addr)
+            sock.sendall(b"hi")
+        """
+        findings = life(src)
+        assert len(findings) == 1
+        assert "never released" in findings[0].message
+
+    def test_finally_release_is_clean(self):
+        src = """
+        import socket
+
+        def ping(addr):
+            sock = socket.create_connection(addr)
+            try:
+                sock.sendall(b"hi")
+            finally:
+                sock.close()
+        """
+        assert life(src) == []
+
+    def test_with_statement_is_clean(self):
+        src = """
+        import socket
+
+        def ping(addr):
+            with socket.create_connection(addr) as sock:
+                sock.sendall(b"hi")
+        """
+        assert life(src) == []
+
+    def test_ownership_transfer_by_return_is_clean(self):
+        src = """
+        import socket
+
+        def dial(addr):
+            sock = socket.create_connection(addr)
+            return sock
+        """
+        assert life(src) == []
+
+    def test_ownership_transfer_by_constructor_is_clean(self):
+        src = """
+        import socket
+
+        def lease(addr):
+            sock = socket.create_connection(addr)
+            return HostLease(sock)
+        """
+        assert life(src) == []
+
+    def test_ownership_transfer_by_attribute_store_is_clean(self):
+        src = """
+        import subprocess
+
+        class Spawner:
+            def spawn(self):
+                proc = subprocess.Popen(["worker"])
+                self.procs[proc.pid] = proc
+        """
+        assert life(src) == []
+
+    def test_straight_line_release_fires(self):
+        src = """
+        import socket
+
+        def ping(addr):
+            sock = socket.create_connection(addr)
+            sock.sendall(b"hi")
+            sock.close()
+        """
+        findings = life(src)
+        assert len(findings) == 1
+        assert "leaks it" in findings[0].message
+
+    def test_immediate_release_is_clean(self):
+        src = """
+        import socket
+
+        def probe(addr):
+            sock = socket.create_connection(addr)
+            sock.close()
+        """
+        assert life(src) == []
+
+
+SUPPRESSIBLE = {
+    "seed-purity": (
+        "repro/sampling/mod.py",
+        "import numpy as np\n"
+        "v = np.random.rand(3){pragma}\n",
+    ),
+    "lock-discipline": (
+        "repro/service/mod.py",
+        "import threading\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.total = 0\n"
+        "    def add(self):\n"
+        "        with self._lock:\n"
+        "            self.total += 1\n"
+        "    def peek(self):\n"
+        "        return self.total{pragma}\n",
+    ),
+    "provenance-stamp": (
+        "repro/service/mod.py",
+        'key = PoolKey("ns", "s", "LT", 10){pragma}\n',
+    ),
+    "resource-lifecycle": (
+        "repro/service/mod.py",
+        "import socket\n"
+        "def ping(addr):\n"
+        "    sock = socket.create_connection(addr){pragma}\n"
+        '    sock.sendall(b"hi")\n',
+    ),
+}
+
+
+class TestEveryCheckerIsSuppressible:
+    """Each checker both fires and is silenced by its own pragma."""
+
+    @pytest.mark.parametrize("checker", sorted(SUPPRESSIBLE))
+    def test_fires_without_pragma(self, checker):
+        path, template = SUPPRESSIBLE[checker]
+        report = lint_source(template.format(pragma=""), path, select={checker})
+        assert len(report.findings) == 1
+        assert report.findings[0].checker == checker
+
+    @pytest.mark.parametrize("checker", sorted(SUPPRESSIBLE))
+    def test_pragma_on_the_finding_line_silences(self, checker):
+        path, template = SUPPRESSIBLE[checker]
+        pragma = f"  # repro: allow[{checker}]"
+        report = lint_source(template.format(pragma=pragma), path, select={checker})
+        assert report.findings == []
+        assert report.suppressed == 1

@@ -1,0 +1,128 @@
+"""CLI surface: exit codes, formats, baseline workflow, repro subcommand."""
+
+import json
+
+import pytest
+
+from repro.analysis.lint.cli import main
+from repro.cli import main as repro_main
+
+CLEAN = "x = 1\n"
+DIRTY = "import numpy as np\nv = np.random.rand(3)\n"
+
+
+@pytest.fixture()
+def workdir(tmp_path, monkeypatch):
+    """Run the CLI from an empty directory so no baseline is discovered."""
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def _write(workdir, name: str, source: str):
+    # a sampling-scoped path so seed-purity applies
+    path = workdir / "repro" / "sampling" / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, workdir, capsys):
+        path = _write(workdir, "ok.py", CLEAN)
+        assert main([str(path)]) == 0
+        assert "0 new findings" in capsys.readouterr().out
+
+    def test_new_findings_exit_one(self, workdir, capsys):
+        path = _write(workdir, "bad.py", DIRTY)
+        assert main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "[seed-purity]" in out
+        assert "bad.py:2:" in out
+
+    def test_missing_path_exits_two(self, workdir, capsys):
+        assert main([str(workdir / "nope.py")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_select_exits_two(self, workdir, capsys):
+        path = _write(workdir, "ok.py", CLEAN)
+        assert main([str(path), "--select", "bogus"]) == 2
+        assert "unknown checker" in capsys.readouterr().err
+
+    def test_malformed_baseline_exits_two(self, workdir, capsys):
+        path = _write(workdir, "ok.py", CLEAN)
+        (workdir / "broken.json").write_text("{}", encoding="utf-8")
+        assert main([str(path), "--baseline", str(workdir / "broken.json")]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestBaselineWorkflow:
+    def test_write_baseline_then_lint_is_clean(self, workdir, capsys):
+        path = _write(workdir, "bad.py", DIRTY)
+        baseline = workdir / "baseline.json"
+        assert main([str(path), "--write-baseline", str(baseline)]) == 0
+        assert main([str(path), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_default_baseline_is_discovered_in_cwd(self, workdir, capsys):
+        path = _write(workdir, "bad.py", DIRTY)
+        assert main([str(path), "--write-baseline", "reprolint-baseline.json"]) == 0
+        assert main([str(path)]) == 0
+        assert main([str(path), "--no-baseline"]) == 1
+
+    def test_fixed_finding_reports_stale_entry(self, workdir, capsys):
+        path = _write(workdir, "bad.py", DIRTY)
+        baseline = workdir / "baseline.json"
+        main([str(path), "--write-baseline", str(baseline)])
+        path.write_text(CLEAN, encoding="utf-8")  # fix the violation
+        capsys.readouterr()
+        assert main([str(path), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "fixed? remove from baseline" in out
+        assert "1 stale baseline entry" in out
+
+    def test_strict_fails_on_stale_entries(self, workdir):
+        path = _write(workdir, "bad.py", DIRTY)
+        baseline = workdir / "baseline.json"
+        main([str(path), "--write-baseline", str(baseline)])
+        path.write_text(CLEAN, encoding="utf-8")
+        assert main([str(path), "--baseline", str(baseline), "--strict"]) == 1
+
+
+class TestOutput:
+    def test_json_format(self, workdir, capsys):
+        path = _write(workdir, "bad.py", DIRTY)
+        assert main([str(path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files"] == 1
+        assert payload["new"][0]["checker"] == "seed-purity"
+        assert payload["new"][0]["context"] == "v = np.random.rand(3)"
+
+    def test_output_file_always_gets_json_when_asked(self, workdir, capsys):
+        path = _write(workdir, "bad.py", DIRTY)
+        report = workdir / "findings.json"
+        main([str(path), "--format", "json", "--output", str(report)])
+        capsys.readouterr()
+        payload = json.loads(report.read_text(encoding="utf-8"))
+        assert len(payload["new"]) == 1
+
+    def test_list_checkers(self, workdir, capsys):
+        assert main(["--list-checkers"]) == 0
+        out = capsys.readouterr().out
+        for checker_id in (
+            "seed-purity",
+            "lock-discipline",
+            "provenance-stamp",
+            "resource-lifecycle",
+        ):
+            assert checker_id in out
+
+
+class TestReproSubcommand:
+    def test_repro_lint_wires_through(self, workdir, capsys):
+        path = _write(workdir, "bad.py", DIRTY)
+        assert repro_main(["lint", str(path)]) == 1
+        assert "[seed-purity]" in capsys.readouterr().out
+
+    def test_repro_lint_clean_exits_zero(self, workdir, capsys):
+        path = _write(workdir, "ok.py", CLEAN)
+        assert repro_main(["lint", str(path)]) == 0

@@ -1,0 +1,153 @@
+"""reprolint framework mechanics: pragmas, baseline, registry, paths."""
+
+import pytest
+
+from repro.analysis.lint import (
+    BaselineError,
+    Finding,
+    lint_source,
+    load_baseline,
+    load_checkers,
+    match_baseline,
+    save_baseline,
+)
+from repro.analysis.lint.core import normalize_path
+from repro.analysis.lint.pragmas import parse_pragma, pragma_index
+
+#: one-line seed-purity violation, reused across fixtures.
+AMBIENT = "v = np.random.rand(3)"
+
+
+def _sampling(src: str):
+    """Lint ``src`` as if it lived in stream-deriving code."""
+    return lint_source(src, "repro/sampling/mod.py", select={"seed-purity"})
+
+
+class TestRegistry:
+    def test_all_four_checkers_registered(self):
+        registry = load_checkers()
+        assert set(registry) >= {
+            "seed-purity",
+            "lock-discipline",
+            "provenance-stamp",
+            "resource-lifecycle",
+        }
+        for checker_id, checker in registry.items():
+            assert checker.id == checker_id
+            assert checker.description
+
+    def test_unknown_select_rejected(self):
+        with pytest.raises(ValueError, match="unknown checker"):
+            lint_source("x = 1", select={"no-such-checker"})
+
+
+class TestPaths:
+    def test_normalize_anchors_at_package(self):
+        assert (
+            normalize_path("/home/u/repo/src/repro/service/pool.py")
+            == "src/repro/service/pool.py"
+        )
+        assert normalize_path("repro/sampling/base.py") == "repro/sampling/base.py"
+        assert normalize_path("scratch/tool.py") == "scratch/tool.py"
+
+    def test_parse_error_is_a_finding(self):
+        report = lint_source("def broken(:\n", "repro/sampling/bad.py")
+        assert [f.checker for f in report.findings] == ["parse-error"]
+
+
+class TestPragmas:
+    def test_parse_pragma(self):
+        assert parse_pragma("# repro: allow[seed-purity]") == {"seed-purity"}
+        assert parse_pragma("#repro: allow[a, b]") == {"a", "b"}
+        assert parse_pragma("# a plain comment") is None
+
+    def test_same_line_suppresses(self):
+        report = _sampling(
+            f"import numpy as np\n{AMBIENT}  # repro: allow[seed-purity]\n"
+        )
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_wrong_line_does_not_suppress(self):
+        report = _sampling(
+            f"import numpy as np\n# repro: allow[seed-purity]\n{AMBIENT}\n"
+        )
+        assert [f.checker for f in report.findings] == ["seed-purity"]
+        assert report.suppressed == 0
+
+    def test_wrong_checker_id_does_not_suppress(self):
+        report = _sampling(
+            f"import numpy as np\n{AMBIENT}  # repro: allow[lock-discipline]\n"
+        )
+        assert len(report.findings) == 1
+
+    def test_pragma_inside_string_literal_is_inert(self):
+        report = _sampling(
+            f'import numpy as np\nv = (np.random.rand(3), "# repro: allow[seed-purity]")\n'
+        )
+        assert len(report.findings) == 1
+
+    def test_pragma_index_is_tokenizer_based(self):
+        index = pragma_index('s = "# repro: allow[x]"\n# repro: allow[y]\n')
+        assert index == {2: {"y"}}
+
+
+def _finding(context: str = AMBIENT, line: int = 2) -> Finding:
+    return Finding(
+        checker="seed-purity",
+        path="repro/sampling/mod.py",
+        line=line,
+        message="ambient RNG",
+        context=context,
+    )
+
+
+def _entry(context: str = AMBIENT) -> dict:
+    return {
+        "checker": "seed-purity",
+        "path": "repro/sampling/mod.py",
+        "context": context,
+        "justification": "grandfathered",
+    }
+
+
+class TestBaseline:
+    def test_match_splits_new_and_baselined(self):
+        outcome = match_baseline([_finding(), _finding("other = 1")], [_entry()])
+        assert [f.context for f in outcome.new] == ["other = 1"]
+        assert [f.context for f in outcome.baselined] == [AMBIENT]
+        assert outcome.stale == []
+
+    def test_matching_is_by_multiplicity(self):
+        # two identical findings, one entry: the second finding is new.
+        outcome = match_baseline([_finding(line=2), _finding(line=9)], [_entry()])
+        assert len(outcome.baselined) == 1
+        assert len(outcome.new) == 1
+
+    def test_line_number_changes_do_not_go_stale(self):
+        # the baseline keys on context, not line numbers.
+        outcome = match_baseline([_finding(line=77)], [_entry()])
+        assert outcome.new == [] and outcome.stale == []
+
+    def test_stale_entry_surfaces_for_removal(self):
+        outcome = match_baseline([], [_entry()])
+        assert outcome.stale == [_entry()]
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline([_finding()], path)
+        entries = load_baseline(path)
+        assert len(entries) == 1
+        assert entries[0]["context"] == AMBIENT
+        assert "justification" in entries[0]
+
+    def test_malformed_baseline_raises_loudly(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("[]", encoding="utf-8")
+        with pytest.raises(BaselineError, match="unsupported format"):
+            load_baseline(path)
+        path.write_text('{"version": 1, "entries": [{"checker": "x"}]}')
+        with pytest.raises(BaselineError, match="missing"):
+            load_baseline(path)
+        with pytest.raises(BaselineError, match="cannot read"):
+            load_baseline(tmp_path / "absent.json")

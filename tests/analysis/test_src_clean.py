@@ -1,0 +1,32 @@
+"""The shipped tree is lint-clean modulo the committed baseline.
+
+This is the same gate CI's ``lint`` job applies; keeping it in tier-1
+means a change that introduces an invariant violation — or fixes one
+without pruning its baseline entry — fails locally before it fails in
+CI.
+"""
+
+from pathlib import Path
+
+from repro.analysis.lint import load_baseline, match_baseline, run_lint
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_clean_modulo_baseline():
+    report = run_lint([REPO / "src"])
+    entries = load_baseline(REPO / "reprolint-baseline.json")
+    outcome = match_baseline(report.sorted(), entries)
+    assert not outcome.new, "new findings:\n" + "\n".join(
+        f.render() for f in outcome.new
+    )
+    assert not outcome.stale, (
+        "stale baseline entries (fixed? remove from reprolint-baseline.json):\n"
+        + "\n".join(str(e) for e in outcome.stale)
+    )
+
+
+def test_baseline_entries_carry_justifications():
+    for entry in load_baseline(REPO / "reprolint-baseline.json"):
+        justification = entry.get("justification", "")
+        assert justification and "TODO" not in justification, entry
