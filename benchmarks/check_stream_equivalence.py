@@ -83,6 +83,40 @@ def run(args: argparse.Namespace) -> "tuple[list[str], bool]":
             verdict = "OK" if got == reference else "MISMATCH"
             ok &= got == reference
             lines.append(f"    {backend:>7} resize 1->4 mid-stream: {got} {verdict}")
+
+    # Dynamic-graph cell: mutate the graph mid-stream and repair the warm
+    # pool incrementally — the repaired pool must hash identically to a
+    # cold sampler run directly on the mutated graph.
+    from repro.dynamic import GraphDelta, MutableGraphView
+    from repro.dynamic.repair import repair_context
+    from repro.engine.context import SamplingContext
+
+    # Delete an edge into the best-connected node so the invalidation set
+    # is non-trivial (a leaf target would make the repair a no-op).
+    v = int(np.argmax(np.diff(graph.in_indptr)))
+    u = int(graph.in_indices[graph.in_indptr[v]])
+    delta = GraphDelta().remove_edge(u, v)
+    mutated = MutableGraphView(graph).apply(delta)
+    lines.append("  mutate-then-repair (incremental pool repair):")
+    for kernel in KERNELS:
+        reference = stream_hash(
+            make_sampler(mutated, args.model, args.seed, kernel=kernel).sample_batch(
+                args.sets
+            )
+        )
+        ctx = SamplingContext(graph, args.model, seed=args.seed, kernel=kernel)
+        try:
+            ctx.require(args.sets)
+            stats = repair_context(ctx, mutated, 1, delta)
+            got = stream_hash(ctx.pool[i] for i in range(args.sets))
+        finally:
+            ctx.close()
+        verdict = "OK" if got == reference else "MISMATCH"
+        ok &= got == reference
+        lines.append(
+            f"    {kernel}: repaired {stats['repaired']}/{stats['sets_total']} "
+            f"sets, hash {got} vs cold {reference} {verdict}"
+        )
     return lines, ok
 
 

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Dynamic graphs: answer queries while the network churns underneath.
+
+The walkthrough:
+
+1. open an :class:`~repro.InfluenceEngine` session and warm its RR pool
+   with a maximize query on the pristine graph (version 0),
+2. apply a batched :class:`~repro.dynamic.GraphDelta` — a new edge, a
+   dead link, a re-estimated probability — producing graph version 1,
+3. watch the engine repair the warm pool *incrementally*: only the RR
+   sets whose stored nodes contain a mutated edge's target are
+   resampled (a few percent for a localized delta), and
+4. verify the headline guarantee: the post-mutation answer is
+   byte-identical to a cold engine built directly on the mutated graph.
+
+Run:  python examples/dynamic_churn.py
+"""
+
+from repro import InfluenceEngine, load_dataset
+from repro.dynamic import GraphDelta, MutableGraphView
+
+SEED = 2016
+
+
+def main() -> None:
+    graph = load_dataset("nethept")
+    print(f"Loaded NetHEPT stand-in: {graph.n} nodes, {graph.m} edges")
+
+    with InfluenceEngine(graph, model="IC", seed=SEED) as engine:
+        before = engine.maximize(10, epsilon=0.2)
+        print("\nOn the pristine graph (version 0):")
+        print(f"  seeds: {before.seeds}")
+        print(f"  pool holds {engine.stats.rr_sampled} RR sets")
+
+        # One churn batch: a follow appears, a link dies, a probability
+        # is re-estimated.  The whole batch is one new graph version,
+        # one invalidation set, one repair pass.
+        u = max(range(graph.n), key=lambda x: int(graph.out_degree(x)))
+        dead_v = int(graph.out_indices[graph.out_indptr[u]])
+        new_u, new_v = next(
+            (a, b)
+            for a in before.seeds
+            for b in before.seeds
+            if a != b and not graph.has_edge(a, b)
+        )
+        delta = (
+            GraphDelta()
+            .add_edge(new_u, new_v, 0.2)
+            .remove_edge(u, dead_v)
+            .reweight(u, int(graph.out_indices[graph.out_indptr[u] + 1]), 0.05)
+        )
+        report = engine.mutate(delta)
+        print(f"\nApplied {delta!r}:")
+        print(f"  graph_version={report['graph_version']} "
+              f"content_hash={report['content_hash']}")
+        print(f"  invalidated {report['invalidated']}/{report['sets_total']} "
+              f"pooled RR sets -> repaired {report['repaired']} "
+              f"({report['repair_fraction']:.1%} of the pool)")
+
+        after = engine.maximize(10, epsilon=0.2)
+        print("\nOn the mutated graph (version 1, warm pool repaired):")
+        print(f"  seeds: {after.seeds}")
+
+    # The guarantee that makes incremental repair trustworthy: a cold
+    # session built directly on the mutated graph returns the same
+    # bytes — same seeds, same sample count, same influence estimate.
+    mutated = MutableGraphView(graph).apply(delta)
+    with InfluenceEngine(mutated, model="IC", seed=SEED) as cold:
+        check = cold.maximize(10, epsilon=0.2)
+    assert check.seeds == after.seeds
+    assert check.samples == after.samples
+    assert check.influence == after.influence
+    print("\nCold engine on the mutated graph agrees byte-for-byte: "
+          f"{check.seeds}")
+
+
+if __name__ == "__main__":
+    main()

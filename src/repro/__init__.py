@@ -63,6 +63,7 @@ from repro.service import (
     PoolManager,
     ServiceClient,
 )
+from repro.dynamic import GraphDelta, MutableGraphView
 from repro.core.dssa import dssa
 from repro.core.ssa import ssa
 from repro.core.result import IMResult
@@ -123,6 +124,9 @@ __all__ = [
     # extensions
     "budgeted_dssa",
     "influence_sweep",
+    # dynamic graphs
+    "GraphDelta",
+    "MutableGraphView",
     # graph substrate
     "CSRGraph",
     "GraphBuilder",

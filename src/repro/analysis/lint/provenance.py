@@ -8,19 +8,23 @@ but a *new* call site that silently inherits a default is exactly how a
 pool gets keyed to the wrong stream or a results row becomes
 unreplayable.  This checker makes the defaults unusable:
 
-* ``PoolKey(...)`` must pass ``stream_id`` explicitly (5th positional or
-  keyword) — pools cache RR sets per stream, and a defaulted stream id
-  would alias scalar- and vector-kernel pools;
+* ``PoolKey(...)`` must pass ``stream_id`` and ``graph_version``
+  explicitly (or all six positionals) — pools cache RR sets per stream
+  *per graph snapshot*, and a defaulted field would alias pools across
+  kernels or across mutations;
 * ``RunRecord(...)`` must pass every provenance field — ``seed``,
-  ``backend``, ``workers``, ``kernel``, ``stream_id`` — explicitly;
-  ``None`` is fine (it states "not replayable" on purpose), omission is
-  not;
+  ``backend``, ``workers``, ``kernel``, ``stream_id``,
+  ``graph_version`` — explicitly; ``None`` is fine (it states "not
+  replayable" / "pristine graph" on purpose), omission is not;
 * ``make_stamp(...)`` must pass ``model``, ``stream``, ``horizon``,
-  ``seed`` and ``sampler`` — a spill stamp missing any of them cannot be
-  verified on reattach;
+  ``seed``, ``sampler`` and ``graph_version`` — a spill stamp missing
+  any of them cannot be verified on reattach (``graph_version=None``
+  states "pristine lineage" explicitly; see the stamp's nonzero-only
+  embedding in :func:`repro.service.store.make_stamp`);
 * a ``state_dict`` method in ``repro/sampling/`` that returns a dict
-  literal must include a ``"stream_id"`` key — resuming a stream without
-  its identity is how cross-kernel resume bugs are born.
+  literal must include ``"stream_id"`` and ``"graph_version"`` keys —
+  resuming a stream without its kernel identity or graph lineage is how
+  cross-kernel and cross-mutation resume bugs are born.
 
 A call made with ``**kwargs`` is skipped: the checker cannot see the
 keys, and forcing a rewrite there would be guessing.
@@ -42,22 +46,23 @@ from repro.analysis.lint.core import (
 #: also satisfies the requirement, human phrasing of why).
 _REQUIRED = {
     "PoolKey": (
-        {"stream_id"},
-        5,
-        "pools cache RR sets per kernel stream; a defaulted stream_id "
-        "aliases pools across kernels",
+        {"stream_id", "graph_version"},
+        6,
+        "pools cache RR sets per kernel stream per graph snapshot; a "
+        "defaulted stream_id or graph_version aliases pools across "
+        "kernels or across mutations",
     ),
     "RunRecord": (
-        {"seed", "backend", "workers", "kernel", "stream_id"},
+        {"seed", "backend", "workers", "kernel", "stream_id", "graph_version"},
         None,
         "results rows without execution provenance cannot be replayed; "
         "pass None explicitly where a field is genuinely unknown",
     ),
     "make_stamp": (
-        {"model", "stream", "horizon", "seed", "sampler"},
+        {"model", "stream", "horizon", "seed", "sampler", "graph_version"},
         None,
         "a spill stamp missing stream provenance cannot be verified on "
-        "reattach",
+        "reattach; graph_version=None states pristine lineage explicitly",
     ),
 }
 
@@ -125,14 +130,18 @@ class ProvenanceChecker(Checker):
                     for k in ret.value.keys
                     if isinstance(k, ast.Constant) and isinstance(k.value, str)
                 }
-                if "stream_id" not in keys:
-                    findings.append(
-                        self.finding(
-                            module,
-                            ret,
-                            "state_dict() payload has no 'stream_id' key; a "
-                            "resumed stream must carry its kernel identity "
-                            "(see RRSampler.state_dict)",
+                for field, what in (
+                    ("stream_id", "kernel identity"),
+                    ("graph_version", "graph lineage"),
+                ):
+                    if field not in keys:
+                        findings.append(
+                            self.finding(
+                                module,
+                                ret,
+                                f"state_dict() payload has no {field!r} key; "
+                                f"a resumed stream must carry its {what} "
+                                "(see RRSampler.state_dict)",
+                            )
                         )
-                    )
         return findings

@@ -231,6 +231,8 @@ def _query_execute(call, line: str) -> bool:
             "  sweep ks=1,5,10 [epsilon=0.1] [algorithm=D-SSA]\n"
             "  estimate seeds=1,2,3 [samples=N]\n"
             "  resize workers=W   (elastic worker count; stream unchanged)\n"
+            "  mutate [add=u:v:w,...] [remove=u:v,...] [reweight=u:v:w,...]\n"
+            "         (edge churn; warm pools repaired incrementally)\n"
             "  algorithms | stats | metrics | ping | help | quit\n"
             "  shutdown   (stop a remote server)"
         )
@@ -246,12 +248,15 @@ def _query_execute(call, line: str) -> bool:
         stats = call("stats")
         print(
             f"session seed={stats['seed']} workers={stats.get('workers') or 1} "
+            f"graph_version={stats.get('graph_version', 0)} "
             f"queries={stats['queries']} "
             f"rr_requested={stats['rr_requested']} rr_sampled={stats['rr_sampled']} "
             f"cache_hits={stats['cache_hits']} hit_rate={stats['hit_rate']:.1%} "
             f"pool_bytes={stats['pool_bytes']} evictions={stats['evictions']} "
             f"truncations={stats.get('pool_truncations', 0)} "
-            f"reattached_sets={stats['reattached_sets']}"
+            f"reattached_sets={stats['reattached_sets']} "
+            f"mutations={stats.get('mutations', 0)} "
+            f"repairs={stats.get('repairs', 0)}"
         )
         for key, size in stats["pools"].items():
             print(f"  pool {key}: {size} RR sets")
@@ -292,6 +297,20 @@ def _query_execute(call, line: str) -> bool:
         print(
             f"session {outcome['session']!r} now at workers={outcome['workers']} "
             f"({outcome['pools_resized']} warm pool(s) resized; stream unchanged)"
+        )
+    elif command == "mutate":
+        if not opts:
+            raise ValueError(
+                "mutate needs at least one of add=u:v:w,... remove=u:v,... "
+                "reweight=u:v:w,..."
+            )
+        report = call("mutate", **opts)
+        print(
+            f"graph now v{report['graph_version']} "
+            f"(hash {report['content_hash']}, n={report['n']} m={report['m']}); "
+            f"repaired {report['repaired']}/{report['sets_total']} pooled RR sets "
+            f"(repair_fraction={report['repair_fraction']:.1%}, "
+            f"{report['pools_retired']} pool(s) retired)"
         )
     elif command == "maximize":
         if "k" not in opts:

@@ -1,0 +1,187 @@
+"""Batched graph mutations.
+
+A :class:`GraphDelta` accumulates edge operations — inserts, deletes,
+probability reweights — and is applied atomically by
+:meth:`repro.dynamic.view.MutableGraphView.apply`: the whole batch
+becomes *one* new graph version, one invalidation set, one repair pass.
+Validation happens at record time (node ids, weight domain, self-loops,
+conflicting ops on the same edge) so an invalid delta never reaches the
+compile step half-applied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError, WeightError
+
+
+class GraphDelta:
+    """An ordered, validated batch of edge mutations.
+
+    >>> delta = GraphDelta().add_edge(0, 3, 0.5).remove_edge(2, 1)
+    >>> len(delta)
+    2
+
+    Each edge may appear in at most one operation per delta — "remove
+    then re-add (u, v)" in one batch has no well-defined combined weight
+    and is rejected; apply two deltas instead.
+    """
+
+    __slots__ = ("_adds", "_removes", "_reweights", "_pairs")
+
+    def __init__(self) -> None:
+        self._adds: list[tuple[int, int, float]] = []
+        self._removes: list[tuple[int, int]] = []
+        self._reweights: list[tuple[int, int, float]] = []
+        self._pairs: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> "GraphDelta":
+        """Record insertion of edge (u, v) with influence probability."""
+        u, v = self._claim_pair(u, v, "add")
+        self._adds.append((u, v, self._check_weight(u, v, weight)))
+        return self
+
+    def remove_edge(self, u: int, v: int) -> "GraphDelta":
+        """Record deletion of edge (u, v)."""
+        u, v = self._claim_pair(u, v, "remove")
+        self._removes.append((u, v))
+        return self
+
+    def reweight(self, u: int, v: int, weight: float) -> "GraphDelta":
+        """Record a probability change on the existing edge (u, v)."""
+        u, v = self._claim_pair(u, v, "reweight")
+        self._reweights.append((u, v, self._check_weight(u, v, weight)))
+        return self
+
+    def _claim_pair(self, u: int, v: int, op: str) -> tuple[int, int]:
+        u, v = int(u), int(v)
+        if u < 0 or v < 0:
+            raise GraphError(f"cannot {op} edge ({u}, {v}): node ids must be non-negative")
+        if u == v:
+            raise GraphError(f"cannot {op} edge ({u}, {v}): self-loops never affect influence")
+        if (u, v) in self._pairs:
+            raise GraphError(
+                f"edge ({u}, {v}) appears twice in one delta; "
+                "each edge may carry at most one operation per batch"
+            )
+        self._pairs.add((u, v))
+        return u, v
+
+    @staticmethod
+    def _check_weight(u: int, v: int, weight: float) -> float:
+        weight = float(weight)
+        if not 0.0 <= weight <= 1.0:
+            raise WeightError(
+                f"edge weight must be in [0, 1], got {weight} on ({u}, {v})"
+            )
+        return weight
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def adds(self) -> tuple[tuple[int, int, float], ...]:
+        return tuple(self._adds)
+
+    @property
+    def removes(self) -> tuple[tuple[int, int], ...]:
+        return tuple(self._removes)
+
+    @property
+    def reweights(self) -> tuple[tuple[int, int, float], ...]:
+        return tuple(self._reweights)
+
+    def __len__(self) -> int:
+        return len(self._adds) + len(self._removes) + len(self._reweights)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    @property
+    def max_node(self) -> int:
+        """Largest node id any operation references (-1 when empty).
+
+        Only inserts can grow the graph, but deletes/reweights are
+        included so out-of-range references fail loudly at apply time.
+        """
+        if not self._pairs:
+            return -1
+        return max(max(u, v) for u, v in self._pairs)
+
+    def touched_targets(self) -> np.ndarray:
+        """Distinct *target* node of every mutated edge (sorted int64).
+
+        This is the invalidation key: reverse traversals only read the
+        in-adjacency of nodes they visit, so an RR set can observe a
+        mutation of edge (u → v) iff it contains v (see
+        :class:`repro.dynamic.index.RRSetIndex`).
+        """
+        targets = {v for _u, v in self._pairs}
+        return np.asarray(sorted(targets), dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphDelta(adds={len(self._adds)}, removes={len(self._removes)}, "
+            f"reweights={len(self._reweights)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Wire format (service `mutate` op)
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-serializable form; inverse of :meth:`from_dict`."""
+        return {
+            "add": [[u, v, w] for u, v, w in self._adds],
+            "remove": [[u, v] for u, v in self._removes],
+            "reweight": [[u, v, w] for u, v, w in self._reweights],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GraphDelta":
+        """Rebuild a delta from :meth:`as_dict` output (re-validates)."""
+        return as_delta(
+            add=payload.get("add") or (),
+            remove=payload.get("remove") or (),
+            reweight=payload.get("reweight") or (),
+        )
+
+
+def as_delta(
+    delta: "GraphDelta | None" = None,
+    *,
+    add=(),
+    remove=(),
+    reweight=(),
+) -> GraphDelta:
+    """Coerce edge tuples (or a ready delta) into one :class:`GraphDelta`.
+
+    ``add``/``reweight`` entries are ``(u, v, weight)`` (2-tuples default
+    to weight 1.0 for ``add``); ``remove`` entries are ``(u, v)``.
+    Passing both a delta and edge tuples is ambiguous and rejected.
+    """
+    if delta is not None:
+        if not isinstance(delta, GraphDelta):
+            raise GraphError(f"expected a GraphDelta, got {type(delta).__name__}")
+        if add or remove or reweight:
+            raise GraphError("pass either a GraphDelta or add/remove/reweight edges, not both")
+        return delta
+    built = GraphDelta()
+    for edge in add:
+        if len(edge) == 2:
+            built.add_edge(edge[0], edge[1])
+        else:
+            built.add_edge(edge[0], edge[1], edge[2])
+    for edge in remove:
+        if len(edge) != 2:
+            raise GraphError(f"remove entries are (u, v) pairs, got {tuple(edge)!r}")
+        built.remove_edge(edge[0], edge[1])
+    for edge in reweight:
+        if len(edge) != 3:
+            raise GraphError(f"reweight entries are (u, v, weight) triples, got {tuple(edge)!r}")
+        built.reweight(edge[0], edge[1], edge[2])
+    return built

@@ -1,0 +1,102 @@
+"""Node → containing-sets inverted index over an RR collection.
+
+This is the invalidation oracle for incremental repair: given a mutation
+batch, which stored RR sets could the mutation have changed?
+
+**The invalidation rule.**  Any mutation of edge (u → v) — insert,
+delete, or reweight — invalidates exactly the RR sets whose stored
+nodes include the *target* v.  Soundness is a statement about the
+reverse-sampling kernels, not about reachability alone:
+
+* A reverse traversal only ever reads the in-adjacency of nodes it
+  *visits*, and the visited nodes are exactly the stored set (both IC
+  kernels and the LT walk record every expanded node).  A set that does
+  not contain v never read v's in-edge list, and no other node's
+  in-edge list changed, so replaying it on the mutated graph consumes
+  byte-identical draws: the root draw depends only on n, and each
+  expansion of node x draws from x's unchanged in-adjacency.
+* Conversely a set containing v *did* read v's in-edge list — its draw
+  counts (IC flips one coin per in-edge of v; LT's searchsorted hop
+  picks within v's in-edge weight range) may differ on the mutated
+  graph, so it must be resampled.
+
+Note this is deliberately *stronger* than the tempting refinement
+"deletes/reweights only matter if the set contains both endpoints":
+that refinement is reachability-sound but **stream-unsound** — removing
+(u → v) changes the number of RNG draws consumed while expanding v even
+when u was never reached, which shifts every subsequent draw of that
+set and breaks byte-identity with a cold resample.  Containment of the
+target is the exact criterion for "this set's draw sequence is
+unchanged".
+
+A node-count change (an insert referencing a new node id) invalidates
+everything: root selection draws over ``n`` itself, so no stored set's
+draws survive.  Callers handle that case before consulting the index
+(see :meth:`repro.service.pool.PoolManager.mutate_namespace`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamic.delta import GraphDelta
+from repro.exceptions import SamplingError
+
+
+class RRSetIndex:
+    """Immutable inverted index: which stored sets contain each node.
+
+    Built in O(total entries) from the collection's compiled flat view;
+    ``sets_containing`` answers per-node membership via two pointer
+    lookups and a slice.  The index describes the collection at build
+    time — rebuild after appends, truncation, or repair.
+    """
+
+    def __init__(self, n: int, sets_by_node: np.ndarray, node_ptr: np.ndarray, count: int) -> None:
+        self.n = int(n)
+        self._sets_by_node = sets_by_node
+        self._node_ptr = node_ptr
+        self.count = int(count)
+
+    @classmethod
+    def from_collection(cls, collection) -> "RRSetIndex":
+        """Index any object with ``n`` and ``flat_view()`` (an
+        :class:`~repro.sampling.rr_collection.RRCollection` or snapshot)."""
+        flat, offsets = collection.flat_view()
+        count = len(offsets) - 1
+        set_ids = np.repeat(
+            np.arange(count, dtype=np.int64), np.diff(offsets)
+        )
+        order = np.argsort(flat, kind="stable")
+        nodes_sorted = flat[order]
+        sets_by_node = set_ids[order]
+        node_ptr = np.searchsorted(
+            nodes_sorted, np.arange(collection.n + 1, dtype=np.int64)
+        )
+        return cls(collection.n, sets_by_node, node_ptr, count)
+
+    def sets_containing(self, nodes) -> np.ndarray:
+        """Sorted distinct ids of sets containing any of ``nodes``."""
+        nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+        if nodes.size and (nodes[0] < 0 or nodes[-1] >= self.n):
+            raise SamplingError(
+                f"node id out of range [0, {self.n}) in index query"
+            )
+        if nodes.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        parts = [
+            self._sets_by_node[self._node_ptr[v] : self._node_ptr[v + 1]]
+            for v in nodes
+        ]
+        return np.unique(np.concatenate(parts))
+
+    def invalidated_by(self, delta: GraphDelta) -> np.ndarray:
+        """Set ids a mutation batch invalidates (the head-containment
+        rule; see the module docstring for why all operation kinds use
+        it).  Targets beyond the indexed ``n`` are new nodes — no stored
+        set can contain them, so they contribute nothing here; the
+        caller already handles the n-growth full-invalidation case.
+        """
+        targets = delta.touched_targets()
+        targets = targets[targets < self.n]
+        return self.sets_containing(targets)

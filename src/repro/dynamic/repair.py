@@ -1,0 +1,62 @@
+"""Incremental repair of a warm RR pool after a graph mutation.
+
+Seed purity is what makes this exact rather than approximate: stream set
+``g`` is a pure function of ``(seed, g, graph)``, so resampling exactly
+the invalidated ids via ``sample_at(g)`` on the mutated graph rebuilds a
+pool byte-identical to one sampled cold on that graph — for any
+execution backend and any kernel, because the repair runs the same
+per-set derivation every backend runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamic.delta import GraphDelta
+from repro.dynamic.index import RRSetIndex
+from repro.sampling.base import make_sampler
+
+
+def repair_context(ctx, graph, graph_version: int, delta: GraphDelta) -> dict:
+    """Rebind ``ctx`` onto the mutated ``graph`` and repair its pool.
+
+    Computes the exact invalidation set from the pool's inverted index,
+    moves the context's sampler onto the new snapshot
+    (:meth:`~repro.engine.context.SamplingContext.rebind_graph`), then
+    resamples only the invalidated set ids with a local plain sampler on
+    the same seed stream — a deliberate choice over routing repairs
+    through the context's (possibly sharded) sampler: seed purity makes
+    the bytes identical either way, and a local sampler avoids one
+    fan-out round-trip per repaired set.
+
+    Returns ``{"sets_total", "invalidated", "repaired",
+    "repair_fraction"}``.  The caller must hold whatever lock serializes
+    pool access (repairs rewrite stored sets in place).
+    """
+    pool = ctx.pool
+    total = len(pool)
+    invalid = np.zeros(0, dtype=np.int64)
+    if total:
+        invalid = RRSetIndex.from_collection(pool).invalidated_by(delta)
+    ctx.rebind_graph(graph, graph_version)
+    if invalid.size:
+        repairer = make_sampler(
+            graph,
+            ctx.model,
+            ctx.sampler.seed_stream,
+            roots=ctx.roots,
+            max_hops=ctx.horizon,
+            kernel=ctx.kernel,
+            graph_version=int(graph_version),
+        )
+        try:
+            updates = {int(g): repairer.sample_at(int(g)) for g in invalid}
+        finally:
+            repairer.close()
+        pool.replace_many(updates)
+    return {
+        "sets_total": int(total),
+        "invalidated": int(invalid.size),
+        "repaired": int(invalid.size),
+        "repair_fraction": float(invalid.size) / total if total else 0.0,
+    }

@@ -66,8 +66,10 @@ class SamplingContext:
         backend=None,
         workers: int | None = None,
         kernel=None,
+        graph_version: int = 0,
     ) -> None:
         self.graph = graph
+        self.graph_version = int(graph_version)
         self.model = DiffusionModel.parse(model)
         self.roots = roots
         self.horizon = horizon
@@ -88,6 +90,7 @@ class SamplingContext:
             backend=backend,
             workers=workers,
             kernel=kernel,
+            graph_version=self.graph_version,
         )
         self.kernel = self.sampler.kernel
         self.pool = RRCollection(graph.n, stream_id=self.sampler.stream_id)
@@ -143,7 +146,7 @@ class SamplingContext:
             rng = None
         return make_sampler(
             self.graph, self.model, rng, roots=self.roots, max_hops=self.horizon,
-            kernel=self.kernel,
+            kernel=self.kernel, graph_version=self.graph_version,
         )
 
     # ------------------------------------------------------------------
@@ -192,6 +195,69 @@ class SamplingContext:
         upgraded.load_state_dict(state)
         old, self.sampler = self.sampler, upgraded
         old.close()
+
+    # ------------------------------------------------------------------
+    # Graph mutation (see repro.dynamic)
+    # ------------------------------------------------------------------
+    def rebind_graph(self, graph, graph_version: int) -> None:
+        """Move the context onto a mutated graph snapshot, mid-stream.
+
+        The sampler is rebuilt on ``graph`` from the *same* seed stream
+        and continues at the same cursor — seed purity makes position
+        portable across graphs; what changes is which bytes future sets
+        contain.  The pool is left as-is: the caller owns repairing the
+        invalidated sets (:func:`repro.dynamic.repair.repair_context`)
+        before serving any query from it.  A node-count change is
+        refused while the pool holds sets — no targeted repair exists
+        (root selection draws over ``n``); retire the pool instead.
+        """
+        from repro.sampling.sharded import ShardedSampler
+
+        if self._closed:
+            raise SamplingError("sampling context is closed")
+        graph_version = int(graph_version)
+        if graph.n != self.graph.n and len(self.pool):
+            raise SamplingError(
+                f"node count changed ({self.graph.n} -> {graph.n}): every "
+                "stored set is invalid, retire the pool instead of rebinding"
+            )
+        old = self.sampler
+        state = old.state_dict()
+        state["graph_version"] = graph_version
+        seed_stream = old.seed_stream
+        workers = old.workers
+        if isinstance(old, ShardedSampler):
+            backend = self._backend
+            if backend is not None and not isinstance(backend, str):
+                # The original backend *instance* was consumed (started and
+                # now closed) by the old sampler; rebuild by name.
+                backend = getattr(backend, "name", None)
+            old.close()  # free ports/shm before the replacement fleet starts
+            replacement: RRSampler = ShardedSampler(
+                graph,
+                self.model,
+                workers,
+                seed_stream,
+                roots=self.roots,
+                max_hops=self.horizon,
+                backend=backend if backend is not None else "thread",
+                kernel=self.kernel,
+                graph_version=graph_version,
+            )
+        else:
+            old.close()
+            replacement = make_sampler(
+                graph, self.model, seed_stream, roots=self.roots,
+                max_hops=self.horizon, kernel=self.kernel,
+                graph_version=graph_version,
+            )
+        replacement.load_state_dict(state)
+        self.sampler = replacement
+        self.graph = graph
+        self.graph_version = graph_version
+        if graph.n != self.pool.n:
+            # Empty pool on a grown/shrunk graph: restart it at the new n.
+            self.pool = RRCollection(graph.n, stream_id=self.sampler.stream_id)
 
     def truncate(self, keep: int) -> int:
         """Drop pool sets ``[keep, len)`` and reposition the stream.

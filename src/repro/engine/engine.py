@@ -65,6 +65,10 @@ class EngineStats:
     rr_sampled: int = 0  # RR sets actually generated
     pool_bytes: int = 0  # retained RR-set bytes across the session's pools
     evictions: int = 0  # pools dropped by the byte-budget enforcer
+    mutations: int = 0  # graph mutation batches applied this session
+    invalidated_sets: int = 0  # pooled RR sets invalidated by mutations
+    repairs: int = 0  # invalidated sets resampled in place (vs dropped)
+    repair_fraction: float = 0.0  # invalidated/total of the last mutation
 
     @property
     def cache_hits(self) -> int:
@@ -85,6 +89,10 @@ class EngineStats:
             "hit_rate": self.hit_rate,
             "pool_bytes": self.pool_bytes,
             "evictions": self.evictions,
+            "mutations": self.mutations,
+            "invalidated_sets": self.invalidated_sets,
+            "repairs": self.repairs,
+            "repair_fraction": self.repair_fraction,
         }
 
 
@@ -152,10 +160,19 @@ class InfluenceEngine:
         pool_manager=None,
         session: str | None = None,
     ) -> None:
+        from repro.dynamic import MutableGraphView
         from repro.sampling.kernels import make_kernel
         from repro.service.pool import PoolManager
 
-        self.graph = graph
+        # The session's graph lives behind a versioned mutable view:
+        # `self.graph` always reads the current snapshot, and `mutate`
+        # advances it (repairing warm pools in place).  Accepting a
+        # ready-made view lets callers share one live graph across
+        # engines of one service.
+        if isinstance(graph, MutableGraphView):
+            self._graph_view = graph
+        else:
+            self._graph_view = MutableGraphView(graph)
         self.model = DiffusionModel.parse(model)
         self.kernel = make_kernel(kernel)
         if seed is None:
@@ -183,7 +200,26 @@ class InfluenceEngine:
             self._owns_pools = True
         self.stats = EngineStats()
         self._stats_lock = threading.Lock()
+        self._mutation_lock = threading.Lock()
         self._closed = False
+
+    # ------------------------------------------------------------------
+    # Graph access
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        """The current immutable graph snapshot (see :meth:`mutate`)."""
+        return self._graph_view.graph
+
+    @property
+    def graph_version(self) -> int:
+        """Monotone mutation counter of the session's graph (0 = pristine)."""
+        return self._graph_view.version
+
+    @property
+    def graph_view(self):
+        """The session's :class:`~repro.dynamic.MutableGraphView`."""
+        return self._graph_view
 
     # ------------------------------------------------------------------
     # Pool plumbing
@@ -201,13 +237,15 @@ class InfluenceEngine:
         from repro.service.pool import PoolKey
 
         return PoolKey(
-            self.session, stream, model.value, horizon, self.kernel.stream_id
+            self.session, stream, model.value, horizon, self.kernel.stream_id,
+            self.graph_version,
         )
 
     def _pool_factory(self, *, stream: str, model: DiffusionModel, horizon: int | None):
         def factory():
+            graph, graph_version = self._graph_view.snapshot()
             ctx = SamplingContext(
-                self.graph,
+                graph,
                 model,
                 seed=self.seed,
                 split_verify=(stream == "split"),
@@ -216,6 +254,7 @@ class InfluenceEngine:
                 backend=self.backend,
                 workers=self.workers,
                 kernel=self.kernel,
+                graph_version=graph_version,
             )
             return ctx, self.seed
 
@@ -251,7 +290,8 @@ class InfluenceEngine:
         return get_algorithm(algorithm)
 
     def pool_sizes(self) -> dict:
-        """Cached RR sets per open pool, keyed ``(stream, model, horizon)``."""
+        """Cached RR sets per open pool, keyed ``(stream, model, horizon,
+        stream_id, graph_version)``."""
         return self._pools.pool_sizes(self.session)
 
     @property
@@ -417,6 +457,53 @@ class InfluenceEngine:
             estimate = view.scale * pool.coverage(seeds, start=0, end=target) / target
         self._account(demand=target, sampled=sampled)
         return estimate
+
+    # ------------------------------------------------------------------
+    # Graph mutation
+    # ------------------------------------------------------------------
+    def mutate(self, delta=None, *, add=(), remove=(), reweight=()) -> dict:
+        """Apply one mutation batch to the session's graph, repairing pools.
+
+        Accepts a ready :class:`~repro.dynamic.GraphDelta` or raw edge
+        tuples (``add``/``reweight``: ``(u, v, weight)``; ``remove``:
+        ``(u, v)``).  The batch compiles into a new graph snapshot
+        (``graph_version`` bumps by one), and every warm pool in the
+        session is repaired in place: exactly the invalidated RR sets —
+        those containing a mutated edge's target — are resampled
+        seed-purely on the new graph, byte-identical to a cold resample
+        (see :mod:`repro.dynamic`).  Mutation is a **barrier operation**:
+        it requires no queries in flight and blocks new ones until the
+        repair completes.
+
+        Returns a report dict: ``graph_version``, ``content_hash``,
+        ``n``, ``m``, ``pools``, ``sets_total``, ``invalidated``,
+        ``repaired``, ``repair_fraction``, ``pools_retired``.
+        """
+        self._check_open()
+        from repro.dynamic import as_delta
+
+        batch = as_delta(delta, add=add, remove=remove, reweight=reweight)
+        if batch.is_empty:
+            raise ParameterError("mutate needs at least one edge operation")
+        with self._mutation_lock:
+            new_graph = self._graph_view.apply(batch)
+            version = self._graph_view.version
+            report = self._pools.mutate_namespace(
+                self.session, new_graph, version, batch
+            )
+        with self._stats_lock:
+            self.stats.mutations += 1
+            self.stats.invalidated_sets += report["invalidated"]
+            self.stats.repairs += report["repaired"]
+            self.stats.repair_fraction = report["repair_fraction"]
+            self.stats.pool_bytes = self._pools.bytes_for(self.session)
+        report.update(
+            graph_version=version,
+            content_hash=new_graph.fingerprint(),
+            n=new_graph.n,
+            m=new_graph.m,
+        )
+        return report
 
     # ------------------------------------------------------------------
     # Lifecycle

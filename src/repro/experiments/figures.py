@@ -208,6 +208,7 @@ def tvm_runtime_vs_k(
                     workers=None,
                     kernel=None,
                     stream_id=None,
+                    graph_version=None,
                 )
             )
     return records

@@ -61,6 +61,10 @@ class RunRecord:
     # Full stream token (kernel + derivation version, e.g. "scalar-v2");
     # None for records written before seed-pure streams.
     stream_id: str | None = None
+    # Mutation lineage position of the graph the run sampled on; None
+    # for records written before dynamic graphs (and for one-shot runs
+    # on a pristine graph, where it means graph_version 0).
+    graph_version: int | None = None
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -129,6 +133,7 @@ def run_algorithm(
         workers=workers if spec.supports_backend else None,
         kernel=make_kernel(kernel).name if spec.supports_kernel else None,
         stream_id=make_kernel(kernel).stream_id if spec.supports_kernel else None,
+        graph_version=None,  # one-shot runs sample the pristine snapshot
     )
 
 
@@ -144,6 +149,7 @@ def _to_record(
     workers: int | None = None,
     kernel: str | None = None,
     stream_id: str | None = None,
+    graph_version: int | None = None,
 ) -> RunRecord:
     return RunRecord(
         algorithm=result.algorithm,
@@ -163,6 +169,7 @@ def _to_record(
         workers=workers,
         kernel=kernel,
         stream_id=stream_id,
+        graph_version=graph_version,
     )
 
 

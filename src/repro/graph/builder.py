@@ -101,6 +101,26 @@ def from_edges(
     return builder.build()
 
 
+def compile_edge_arrays(
+    n: int, src: np.ndarray, dst: np.ndarray, wgt: np.ndarray
+) -> CSRGraph:
+    """Compile pre-normalized edge arrays straight into a :class:`CSRGraph`.
+
+    The fast path for callers that already hold deduplicated, self-loop
+    free edges — :class:`~repro.dynamic.MutableGraphView` rebuilds its
+    snapshot from the previous CSR out view this way, skipping the
+    builder's python accumulation and dedup passes.  The caller owns the
+    no-duplicates / no-self-loops invariants; node ids and weights are
+    still range-checked by the :class:`CSRGraph` constructor.
+    """
+    return _compile_csr(
+        int(n),
+        np.ascontiguousarray(src, dtype=np.int64),
+        np.ascontiguousarray(dst, dtype=np.int64),
+        np.ascontiguousarray(wgt, dtype=np.float64),
+    )
+
+
 def _deduplicate(
     src: np.ndarray, dst: np.ndarray, wgt: np.ndarray, n: int, combine: str
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -15,6 +15,8 @@ mutation happens in :class:`repro.graph.builder.GraphBuilder`.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.exceptions import GraphError, WeightError
@@ -50,6 +52,7 @@ class CSRGraph:
         "in_indices",
         "in_weights",
         "in_weight_totals",
+        "_fingerprint",
     )
 
     def __init__(
@@ -91,6 +94,7 @@ class CSRGraph:
             self.in_weight_totals,
         ):
             arr.setflags(write=False)
+        self._fingerprint: str | None = None
 
     def _validate(self) -> None:
         if len(self.out_indptr) != self.n + 1 or len(self.in_indptr) != self.n + 1:
@@ -185,6 +189,23 @@ class CSRGraph:
                 f"{self.in_weight_totals[v]:.6f} > 1 ({bad.size} offending nodes)"
             )
 
+    def fingerprint(self) -> str:
+        """Content fingerprint (structure + exact weights), cached.
+
+        The out view fully determines the edge set (the in view is a
+        permutation of it), so hashing ``n``, ``m`` and the three out
+        arrays identifies the graph.  This is the same fingerprint the
+        pool store and graph manifests use, so a graph, its spills and
+        its shared-memory blobs agree on identity.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha1()
+            digest.update(f"{self.n}:{self.m}:".encode())
+            for arr in (self.out_indptr, self.out_indices, self.out_weights):
+                digest.update(np.ascontiguousarray(arr).tobytes())
+            self._fingerprint = digest.hexdigest()[:16]
+        return self._fingerprint
+
     def memory_bytes(self) -> int:
         """Resident bytes of the CSR arrays (used by the memory model)."""
         arrays = (
@@ -209,8 +230,11 @@ class CSRGraph:
             and self.m == other.m
             and np.array_equal(self.out_indptr, other.out_indptr)
             and np.array_equal(self.out_indices, other.out_indices)
-            and np.allclose(self.out_weights, other.out_weights)
+            and np.array_equal(self.out_weights, other.out_weights)
         )
 
-    def __hash__(self) -> int:  # graphs are immutable but large; identity hash
-        return id(self)
+    def __hash__(self) -> int:
+        # Hash/eq contract: equality is structural (exact arrays), so the
+        # hash must be content-based too — equal graphs built separately
+        # must collide in dicts/sets keyed on graphs.
+        return hash(self.fingerprint())

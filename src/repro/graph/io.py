@@ -68,7 +68,10 @@ def save_edge_list(graph: CSRGraph, path: str | os.PathLike, *, weights: bool = 
             wgts = graph.out_edge_weights(u)
             for v, w in zip(targets.tolist(), wgts.tolist()):
                 if weights:
-                    handle.write(f"{u} {v} {w:.10g}\n")
+                    # 17 significant digits: the shortest precision that
+                    # roundtrips every float64, so a saved graph reloads
+                    # with the same content fingerprint.
+                    handle.write(f"{u} {v} {w:.17g}\n")
                 else:
                     handle.write(f"{u} {v}\n")
 

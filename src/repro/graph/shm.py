@@ -68,6 +68,11 @@ class GraphManifest:
     fields: tuple[tuple[str, int, int], ...]
     total_bytes: int
     content_hash: str = ""
+    # Mutation lineage position of the snapshot (see repro.dynamic); the
+    # content hash is the fetch key — workers holding the same hash skip
+    # the re-fetch even across versions — while graph_version lets a
+    # coordinator advertise *which* snapshot a fleet is serving.
+    graph_version: int = 0
 
 
 @dataclass(frozen=True)
@@ -103,12 +108,13 @@ def blob_hash(buf) -> str:
     return hashlib.sha256(buf).hexdigest()
 
 
-def pack_csr_graph(graph: CSRGraph) -> tuple[bytes, GraphManifest]:
+def pack_csr_graph(graph: CSRGraph, *, graph_version: int = 0) -> tuple[bytes, GraphManifest]:
     """Serialize ``graph`` into one contiguous content-addressed blob.
 
     Returns ``(blob, manifest)``; ``manifest.content_hash`` is the blob's
     SHA-256, so receivers can verify a fetched or cached copy before
-    trusting it.
+    trusting it (and skip re-fetching a blob they already hold — after a
+    mutation only a changed hash forces a transfer).
     """
     fields, total = _layout(graph)
     blob = bytearray(max(total, 1))  # zero-filled, padding included
@@ -120,6 +126,7 @@ def pack_csr_graph(graph: CSRGraph) -> tuple[bytes, GraphManifest]:
         fields=fields,
         total_bytes=max(total, 1),
         content_hash=blob_hash(blob),
+        graph_version=int(graph_version),
     )
 
 
@@ -161,7 +168,7 @@ def verify_blob(manifest: GraphManifest, buf) -> None:
 
 
 def share_csr_graph(
-    graph: CSRGraph, *, name: str | None = None
+    graph: CSRGraph, *, name: str | None = None, graph_version: int = 0
 ) -> tuple[shared_memory.SharedMemory, SharedCSRSpec]:
     """Copy ``graph``'s CSR arrays into a new shared-memory segment.
 
@@ -185,6 +192,7 @@ def share_csr_graph(
         fields=fields,
         total_bytes=max(total, 1),
         content_hash=content_hash,
+        graph_version=int(graph_version),
     )
     return shm, spec
 

@@ -62,6 +62,10 @@ class WorkerSpec:
     # workers, and every worker must instantiate the same kernel or the
     # merged stream would silently mix draw orders.
     kernel: str | None = None
+    # Mutation-lineage position of ``graph`` (see repro.dynamic); 0 is
+    # the pristine snapshot.  Stamped into graph manifests so remote
+    # workers re-fetch the blob only when the content hash changed.
+    graph_version: int = 0
 
 
 class ExecutionBackend(abc.ABC):
@@ -244,6 +248,7 @@ def build_worker_sampler(spec: WorkerSpec, graph: CSRGraph | None = None):
         roots=spec.roots,
         max_hops=spec.max_hops,
         kernel=spec.kernel,
+        graph_version=spec.graph_version,
     )
 
 

@@ -256,7 +256,9 @@ class NetworkBackend(ExecutionBackend):
         return self._listener_sock.getsockname()[:2]
 
     def _start(self, spec: WorkerSpec) -> None:
-        self._blob, self._manifest = pack_csr_graph(spec.graph)
+        self._blob, self._manifest = pack_csr_graph(
+            spec.graph, graph_version=spec.graph_version
+        )
         # The graph travels as the content-addressed blob, never pickled
         # inside the spec.
         self._wire_spec = replace(spec, graph=None)

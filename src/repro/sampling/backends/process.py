@@ -197,7 +197,9 @@ class ProcessBackend(ExecutionBackend):
         return fault
 
     def _start(self, spec: WorkerSpec) -> None:
-        self._shm, self._graph_spec = share_csr_graph(spec.graph)
+        self._shm, self._graph_spec = share_csr_graph(
+            spec.graph, graph_version=spec.graph_version
+        )
         # The graph is in the segment now; the pickled spec must not drag
         # a second copy of it through every worker's bootstrap.
         self._wire_spec = WorkerSpec(
@@ -209,6 +211,7 @@ class ProcessBackend(ExecutionBackend):
             roots=spec.roots,
             max_hops=spec.max_hops,
             kernel=spec.kernel,
+            graph_version=spec.graph_version,
         )
         try:
             for worker_id in range(spec.workers):

@@ -44,10 +44,16 @@ class RRSampler(abc.ABC):
         roots: "UniformRoots | WeightedRoots | None" = None,
         max_hops: int | None = None,
         kernel: "str | SamplingKernel | None" = None,
+        graph_version: int = 0,
     ) -> None:
         if max_hops is not None and max_hops < 0:
             raise ValueError(f"max_hops must be non-negative, got {max_hops}")
         self.graph = graph
+        # Mutation-lineage position of `graph` (0 = the pristine snapshot;
+        # see repro.dynamic).  Captured states refuse to restore across a
+        # version mismatch — a cursor only means "prefix of *this* graph's
+        # stream".
+        self.graph_version = int(graph_version)
         # The stream identity: per-set generators derive from this and a
         # global set index, nothing else.  A Generator seed contributes
         # only its SeedSequence (the stream is seed-pure, not
@@ -168,6 +174,7 @@ class RRSampler(abc.ABC):
         return {
             "kind": "seedpure",
             "stream_id": self.stream_id,
+            "graph_version": int(self.graph_version),
             "cursor": int(self._cursor),
             "sets_generated": int(self.sets_generated),
             "entries_generated": int(self.entries_generated),
@@ -185,6 +192,16 @@ class RRSampler(abc.ABC):
                 "(see repro.service.store.PoolStore.load_file)"
             )
         check_stream_id(state, self.stream_id)
+        # Pre-dynamic-graphs states carry no graph_version: they were
+        # captured against a static snapshot, i.e. version 0.
+        state_version = int(state.get("graph_version", 0))
+        if state_version != self.graph_version:
+            raise SamplingError(
+                f"stream position was captured at graph_version "
+                f"{state_version} but this sampler's graph is at version "
+                f"{self.graph_version}: refusing to continue a stream "
+                "across graph mutations (repair or resample instead)"
+            )
         self.seek(int(state["cursor"]))
         self.sets_generated = int(state["sets_generated"])
         self.entries_generated = int(state["entries_generated"])
@@ -239,6 +256,7 @@ def make_sampler(
     roots: "UniformRoots | WeightedRoots | None" = None,
     max_hops: int | None = None,
     kernel: "str | SamplingKernel | None" = None,
+    graph_version: int = 0,
 ) -> RRSampler:
     """Factory: the right sampler class for a diffusion model.
 
@@ -252,4 +270,7 @@ def make_sampler(
 
     parsed = DiffusionModel.parse(model)
     cls = ICSampler if parsed is DiffusionModel.IC else LTSampler
-    return cls(graph, seed, roots=roots, max_hops=max_hops, kernel=kernel)
+    return cls(
+        graph, seed, roots=roots, max_hops=max_hops, kernel=kernel,
+        graph_version=graph_version,
+    )

@@ -33,9 +33,19 @@ class LTSampler(RRSampler):
     model = DiffusionModel.LT
 
     def __init__(
-        self, graph: CSRGraph, seed=None, *, roots=None, max_hops=None, kernel=None
+        self,
+        graph: CSRGraph,
+        seed=None,
+        *,
+        roots=None,
+        max_hops=None,
+        kernel=None,
+        graph_version: int = 0,
     ) -> None:
-        super().__init__(graph, seed, roots=roots, max_hops=max_hops, kernel=kernel)
+        super().__init__(
+            graph, seed, roots=roots, max_hops=max_hops, kernel=kernel,
+            graph_version=graph_version,
+        )
         # Global prefix-sum of in-edge weights: a single binary search per
         # hop finds the chosen in-neighbour (in-edges of v occupy the
         # contiguous range [in_indptr[v], in_indptr[v+1])).

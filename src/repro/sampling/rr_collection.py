@@ -231,6 +231,36 @@ class RRCollection(_CoverageReadOps):
         self._compiled_upto = 0
         return dropped
 
+    def replace_many(self, updates: "dict[int, np.ndarray]") -> int:
+        """Swap the stored sets at the given indices in place.
+
+        The incremental-repair primitive (see :mod:`repro.dynamic`): after
+        a graph mutation, the invalidated sets — and only those — are
+        recomputed via seed-pure ``sample_at`` and written back here,
+        leaving every other set untouched.  Returns the number of sets
+        replaced.  Like :meth:`truncate`, the compiled buffers are
+        replaced rather than patched, so snapshots handed out earlier
+        keep their own (now orphaned) buffers and stay valid; the caller
+        serializes with writers as for any append.
+        """
+        if not updates:
+            return 0
+        count = len(self._sets)
+        for index in updates:
+            if not 0 <= int(index) < count:
+                raise SamplingError(
+                    f"replace_many index {index} out of range [0, {count})"
+                )
+        for index, rr_set in updates.items():
+            arr = np.asarray(rr_set, dtype=np.int32)
+            self._total_entries += int(arr.size) - int(self._sets[int(index)].size)
+            self._sets[int(index)] = arr
+        self._flat_buf = np.zeros(0, dtype=np.int32)
+        self._flat_len = 0
+        self._offsets_buf = np.zeros(1, dtype=np.int64)
+        self._compiled_upto = 0
+        return len(updates)
+
     # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------

@@ -86,10 +86,14 @@ class ShardedSampler(RRSampler):
         max_hops: int | None = None,
         backend: "str | ExecutionBackend | None" = None,
         kernel=None,
+        graph_version: int = 0,
     ) -> None:
         if workers < 1:
             raise SamplingError(f"need at least one worker, got {workers}")
-        super().__init__(graph, seed, roots=roots, max_hops=max_hops, kernel=kernel)
+        super().__init__(
+            graph, seed, roots=roots, max_hops=max_hops, kernel=kernel,
+            graph_version=graph_version,
+        )
         # Workers rebuild the kernel from its *name* (instances don't
         # cross process boundaries), so only registered kernels can
         # shard — an unregistered instance would be silently replaced by
@@ -116,6 +120,7 @@ class ShardedSampler(RRSampler):
                 roots=self.roots,
                 max_hops=max_hops,
                 kernel=self.kernel.name,
+                graph_version=self.graph_version,
             )
         )
         self._loads = [0] * self._workers
@@ -239,6 +244,7 @@ def make_parallel_sampler(
     backend: "str | ExecutionBackend | None" = None,
     workers: int | None = None,
     kernel=None,
+    graph_version: int = 0,
 ) -> RRSampler:
     """Factory: a plain sampler, or a sharded one when parallelism is asked.
 
@@ -261,7 +267,8 @@ def make_parallel_sampler(
     )
     if is_serial and (workers is None or workers == 1):
         return make_sampler(
-            graph, model, seed, roots=roots, max_hops=max_hops, kernel=kernel
+            graph, model, seed, roots=roots, max_hops=max_hops, kernel=kernel,
+            graph_version=graph_version,
         )
     if workers is None:
         workers = default_worker_count()
@@ -274,4 +281,5 @@ def make_parallel_sampler(
         max_hops=max_hops,
         backend=backend,
         kernel=kernel,
+        graph_version=graph_version,
     )

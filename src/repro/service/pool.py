@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.engine.context import SamplingContext
 from repro.exceptions import SamplingError
@@ -55,7 +55,11 @@ class PoolKey:
     fields mirror the engine's context key.  ``stream_id`` is the
     kernel's stream-compatibility token (defaulting to the historical
     scalar stream): two queries share a pool only when their RNG draw
-    orders are byte-compatible.
+    orders are byte-compatible.  ``graph_version`` is the mutation
+    lineage position of the graph the pool was sampled on (0 = the
+    pristine snapshot; see :mod:`repro.dynamic`) — a mutation rekeys
+    every repaired pool to the new version, so stale keys can never
+    resolve to post-mutation state.
     """
 
     namespace: str
@@ -63,6 +67,7 @@ class PoolKey:
     model: str
     horizon: int | None
     stream_id: str = DEFAULT_STREAM_ID
+    graph_version: int = 0
 
 
 class QueryView:
@@ -224,7 +229,8 @@ class PoolManager:
         holding the manager lock keeps double-creation impossible, which
         matters more here than first-query latency.
         """
-        entry = self._entries.get(key)
+        # Callers hold self._lock (query() acquires it before resolving).
+        entry = self._entries.get(key)  # repro: allow[lock-discipline]
         if entry is None:
             ctx, seed = factory()
             stamp = make_stamp(
@@ -235,6 +241,7 @@ class PoolManager:
                 seed=seed,
                 sampler=ctx.sampler,
                 roots=ctx.roots,
+                graph_version=ctx.graph_version,
             )
             entry = _PoolEntry(self, key, ctx, stamp)
             if self.store is not None and stamp is not None:
@@ -341,7 +348,8 @@ class PoolManager:
         "context is closed" error on its next ``require``.  Lock order is
         manager → entry everywhere; no path takes them in reverse.
         """
-        self._entries.pop(entry.key, None)
+        # Callers hold self._lock (retire/evict/mutate paths acquire it).
+        self._entries.pop(entry.key, None)  # repro: allow[lock-discipline]
         with entry.lock:
             if spill:
                 self._spill_entry(entry)
@@ -357,7 +365,7 @@ class PoolManager:
     # ------------------------------------------------------------------
     def pool_sizes(self, namespace: str | None = None) -> dict:
         """Cached RR sets per pool, keyed ``(stream, model, horizon,
-        stream_id)``.
+        stream_id, graph_version)``.
 
         With ``namespace=None`` the keys include the namespace.
         """
@@ -366,7 +374,13 @@ class PoolManager:
             for key, entry in self._entries.items():
                 if namespace is not None and key.namespace != namespace:
                     continue
-                short = (key.stream, key.model, key.horizon, key.stream_id)
+                short = (
+                    key.stream,
+                    key.model,
+                    key.horizon,
+                    key.stream_id,
+                    key.graph_version,
+                )
                 out[short if namespace is not None else (key.namespace, *short)] = len(
                     entry.ctx.pool
                 )
@@ -402,6 +416,85 @@ class PoolManager:
         with self._lock:
             entries = [e for k, e in self._entries.items() if k.namespace == namespace]
         return sum(1 for entry in entries if entry.resize(workers))
+
+    # ------------------------------------------------------------------
+    # Graph mutation (see repro.dynamic)
+    # ------------------------------------------------------------------
+    def mutate_namespace(self, namespace: str, graph, graph_version: int, delta) -> dict:
+        """Move every pool of one namespace onto a mutated graph snapshot.
+
+        For each pool: compute the exact invalidation set from its
+        node→set index, rebind its context onto ``graph``, resample only
+        the invalidated sets in place (byte-identical to a cold resample
+        — see :func:`repro.dynamic.repair.repair_context`), refresh its
+        spill stamp, and rekey it to ``graph_version``.  A node-count
+        change defeats targeted repair (root selection draws over ``n``),
+        so those pools are retired (spilled under their old stamp) and
+        rebuilt lazily on next use.
+
+        Mutation is a **barrier operation**: the whole pass runs under
+        the manager lock — new queries block until the repair completes —
+        and a namespace with queries in flight is refused, because
+        repairs rewrite pool sets that in-flight snapshots may be
+        reading.  Returns a report dict (``pools``, ``sets_total``,
+        ``invalidated``, ``repaired``, ``repair_fraction``,
+        ``pools_retired``).
+        """
+        graph_version = int(graph_version)
+        report = {
+            "pools": 0,
+            "sets_total": 0,
+            "invalidated": 0,
+            "repaired": 0,
+            "pools_retired": 0,
+        }
+        from repro.dynamic.repair import repair_context
+
+        with self._lock:
+            if self._closed:
+                raise SamplingError("PoolManager is closed")
+            items = [
+                (k, e) for k, e in self._entries.items() if k.namespace == namespace
+            ]
+            busy = sum(1 for _k, e in items if e.inflight)
+            if busy:
+                raise SamplingError(
+                    f"cannot mutate namespace {namespace!r}: {busy} pool(s) "
+                    "have queries in flight — mutation is a barrier operation"
+                )
+            for key, entry in items:
+                with entry.lock:
+                    if entry.ctx.closed:
+                        continue
+                    if graph.n != entry.ctx.graph.n:
+                        pooled = len(entry.ctx.pool)
+                        report["sets_total"] += pooled
+                        report["invalidated"] += pooled
+                        self._retire(entry, spill=True)
+                        report["pools_retired"] += 1
+                        continue
+                    stats = repair_context(entry.ctx, graph, graph_version, delta)
+                    entry.stamp = make_stamp(
+                        graph,
+                        model=entry.ctx.model.value,
+                        stream=key.stream,
+                        horizon=key.horizon,
+                        seed=entry.stamp["seed"] if entry.stamp is not None else None,
+                        sampler=entry.ctx.sampler,
+                        roots=entry.ctx.roots,
+                        graph_version=graph_version,
+                    )
+                new_key = replace(key, graph_version=graph_version)
+                self._entries.pop(key, None)
+                entry.key = new_key
+                self._entries[new_key] = entry
+                report["pools"] += 1
+                report["sets_total"] += stats["sets_total"]
+                report["invalidated"] += stats["invalidated"]
+                report["repaired"] += stats["repaired"]
+        total = report["sets_total"]
+        report["repair_fraction"] = report["invalidated"] / total if total else 0.0
+        return report
 
     def workers_for(self, namespace: str) -> "list[int]":
         """Actual worker counts of the namespace's open pools."""

@@ -57,6 +57,7 @@ OPERATIONS = (
     "stats",
     "metrics",
     "resize",
+    "mutate",
     "maximize",
     "sweep",
     "estimate",
@@ -79,6 +80,36 @@ def _opt_float(value, name: str) -> float | None:
         return float(value)
     except (TypeError, ValueError) as exc:
         raise ServiceError(f"{name} must be a number, got {value!r}") from exc
+
+
+def _edge_list(value, name: str, *, weighted: bool) -> list[tuple]:
+    """Parse a wire-format edge list for the ``mutate`` operation.
+
+    Accepts either a string of comma-separated groups with colon-separated
+    fields (``"0:1:0.5,2:3:0.25"`` for weighted ops, ``"4:5"`` for
+    removes) or a list of ``[u, v(, w)]`` sequences.  Weighted ops
+    (add/reweight) need exactly three fields; removes exactly two.
+    """
+    if value is None:
+        return []
+    if isinstance(value, str):
+        value = [group.split(":") for group in value.split(",") if group.strip()]
+    arity = 3 if weighted else 2
+    out = []
+    for item in value:
+        fields = list(item)
+        if len(fields) != arity:
+            raise ServiceError(
+                f"{name} entries need {arity} fields (got {fields!r})"
+            )
+        try:
+            edge = (int(fields[0]), int(fields[1]))
+            if weighted:
+                edge = edge + (float(fields[2]),)
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"{name} entry {fields!r} is not numeric") from exc
+        out.append(edge)
+    return out
 
 
 def _int_list(value, name: str) -> list[int]:
@@ -240,6 +271,7 @@ class InfluenceService:
                     "session": session,
                     "seed": engine.seed,
                     "workers": engine.active_workers,
+                    "graph_version": engine.graph_version,
                     "pools": {
                         "/".join(str(p) for p in key): size
                         for key, size in engine.pool_sizes().items()
@@ -302,6 +334,16 @@ class InfluenceService:
         self._reject_unknown("resize", params)
         resized = engine.resize(workers)
         return {"session": session, "workers": workers, "pools_resized": resized}
+
+    def _op_mutate(self, session: str, params: dict):
+        engine = self.session(session)
+        add = _edge_list(params.pop("add", None), "add", weighted=True)
+        remove = _edge_list(params.pop("remove", None), "remove", weighted=False)
+        reweight = _edge_list(params.pop("reweight", None), "reweight", weighted=True)
+        self._reject_unknown("mutate", params)
+        if not (add or remove or reweight):
+            raise ServiceError("mutate needs at least one of add/remove/reweight")
+        return engine.mutate(add=add, remove=remove, reweight=reweight)
 
     def _op_maximize(self, session: str, params: dict):
         engine = self.session(session)

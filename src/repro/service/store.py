@@ -44,7 +44,15 @@ class PoolStoreError(ReproError):
 
 
 def graph_signature(graph) -> str:
-    """Content fingerprint of a CSR graph (structure + weights)."""
+    """Content fingerprint of a CSR graph (structure + weights).
+
+    Delegates to :meth:`CSRGraph.fingerprint` when available so the graph
+    caches the digest (it is rehashed on every stamp otherwise); the
+    fallback keeps duck-typed graph stand-ins working.
+    """
+    fingerprint = getattr(graph, "fingerprint", None)
+    if callable(fingerprint):
+        return fingerprint()
     digest = hashlib.sha1()
     digest.update(f"{graph.n}:{graph.m}:".encode())
     for arr in (graph.out_indptr, graph.out_indices, graph.out_weights):
@@ -61,11 +69,20 @@ def make_stamp(
     seed,
     sampler,
     roots=None,
+    graph_version=None,
 ) -> dict | None:
     """Identity stamp for a context's RR stream, or ``None`` if unspillable.
 
     Unspillable streams: non-replayable (non-int) seeds, and non-uniform
     root distributions (their benefit vectors are not fingerprinted).
+
+    ``graph_version`` is the mutation-lineage counter of a
+    :class:`~repro.dynamic.MutableGraphView` (``None`` means "static
+    graph", equivalent to version 0).  It is embedded only when nonzero,
+    so every pre-dynamic-graphs spill keeps its content address and
+    reattaches cleanly at version 0; for mutated graphs the version keys
+    the stamp *in addition to* ``graph_sig``, pinning the spill to one
+    lineage position.
     """
     from repro.sampling.roots import UniformRoots
 
@@ -78,7 +95,7 @@ def make_stamp(
     # The stream_id (kernel draw order + derivation version) is always
     # embedded — v2 stamps must never collide with legacy ones, whose
     # extra workers/sampler_kind keys change the digest anyway.
-    return {
+    stamp = {
         "graph_sig": graph_signature(graph),
         "model": str(model),
         "stream": str(stream),
@@ -86,6 +103,9 @@ def make_stamp(
         "seed": int(seed),
         "stream_id": sampler.stream_id,
     }
+    if graph_version:
+        stamp["graph_version"] = int(graph_version)
+    return stamp
 
 
 def stamp_digest(stamp: dict) -> str:

@@ -249,8 +249,19 @@ class TestProvenance:
         assert "stream_id" in findings[0].message
 
     def test_poolkey_keyword_or_full_positional_is_clean(self):
-        assert prov('key = PoolKey("ns", "s", "LT", 10, stream_id="scalar-v2")\n') == []
-        assert prov('key = PoolKey("ns", "s", "LT", 10, "scalar-v2")\n') == []
+        assert (
+            prov(
+                'key = PoolKey("ns", "s", "LT", 10, stream_id="scalar-v2",'
+                " graph_version=0)\n"
+            )
+            == []
+        )
+        assert prov('key = PoolKey("ns", "s", "LT", 10, "scalar-v2", 0)\n') == []
+
+    def test_poolkey_without_graph_version_fires(self):
+        findings = prov('key = PoolKey("ns", "s", "LT", 10, "scalar-v2")\n')
+        assert len(findings) == 1
+        assert "graph_version" in findings[0].message
 
     def test_star_kwargs_is_skipped(self):
         assert prov('key = PoolKey("ns", "s", "LT", 10, **extra)\n') == []
@@ -265,15 +276,24 @@ class TestProvenance:
         assert (
             prov(
                 "rec = RunRecord(algorithm='SSA', k=5, seed=None, backend=None,"
-                " workers=None, kernel=None, stream_id=None)\n"
+                " workers=None, kernel=None, stream_id=None, graph_version=None)\n"
             )
             == []
         )
+
+    def test_runrecord_without_graph_version_fires(self):
+        findings = prov(
+            "rec = RunRecord(algorithm='SSA', k=5, seed=None, backend=None,"
+            " workers=None, kernel=None, stream_id=None)\n"
+        )
+        assert len(findings) == 1
+        assert "graph_version" in findings[0].message
 
     def test_make_stamp_requires_full_provenance(self):
         findings = prov('s = make_stamp(graph, model="LT", stream="rr", seed=1)\n')
         assert len(findings) == 1
         assert "horizon" in findings[0].message and "sampler" in findings[0].message
+        assert "graph_version" in findings[0].message
 
     def test_state_dict_without_stream_id_fires_in_sampling(self):
         src = """
@@ -282,16 +302,31 @@ class TestProvenance:
                 return {"cursor": self.cursor}
         """
         findings = prov(src, path="repro/sampling/stream.py")
-        assert len(findings) == 1
+        assert len(findings) == 2
         assert "stream_id" in findings[0].message
+        assert "graph_version" in findings[1].message
 
-    def test_state_dict_with_stream_id_is_clean(self):
+    def test_state_dict_with_full_identity_is_clean(self):
+        src = """
+        class S:
+            def state_dict(self):
+                return {
+                    "cursor": self.cursor,
+                    "stream_id": self.stream_id,
+                    "graph_version": self.graph_version,
+                }
+        """
+        assert prov(src, path="repro/sampling/stream.py") == []
+
+    def test_state_dict_without_graph_version_fires_in_sampling(self):
         src = """
         class S:
             def state_dict(self):
                 return {"cursor": self.cursor, "stream_id": self.stream_id}
         """
-        assert prov(src, path="repro/sampling/stream.py") == []
+        findings = prov(src, path="repro/sampling/stream.py")
+        assert len(findings) == 1
+        assert "graph_version" in findings[0].message
 
     def test_state_dict_rule_scoped_to_sampling(self):
         src = """

@@ -1,0 +1,75 @@
+"""GraphDelta: mutation batch validation and wire format."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import GraphDelta, as_delta
+from repro.exceptions import GraphError, WeightError
+
+
+class TestValidation:
+    def test_chaining_collects_all_three_kinds(self):
+        d = GraphDelta().add_edge(0, 1, 0.5).remove_edge(2, 3).reweight(4, 5, 0.9)
+        assert d.adds == ((0, 1, 0.5),)
+        assert d.removes == ((2, 3),)
+        assert d.reweights == ((4, 5, 0.9),)
+        assert len(d) == 3 and not d.is_empty
+
+    def test_self_loops_are_rejected(self):
+        with pytest.raises(GraphError):
+            GraphDelta().add_edge(3, 3, 0.5)
+
+    def test_negative_node_ids_are_rejected(self):
+        with pytest.raises(GraphError):
+            GraphDelta().remove_edge(-1, 2)
+
+    def test_weight_outside_unit_interval_is_rejected(self):
+        with pytest.raises(WeightError):
+            GraphDelta().add_edge(0, 1, 1.5)
+        with pytest.raises(WeightError):
+            GraphDelta().reweight(0, 1, -0.1)
+
+    def test_one_pair_cannot_carry_two_operations(self):
+        d = GraphDelta().remove_edge(0, 1)
+        with pytest.raises(GraphError):
+            d.add_edge(0, 1, 0.5)
+        # the reverse edge is a different pair and is fine
+        d.add_edge(1, 0, 0.5)
+
+    def test_touched_targets_are_sorted_distinct_heads(self):
+        d = GraphDelta().add_edge(0, 9, 0.1).remove_edge(4, 2).reweight(8, 2, 0.3)
+        assert list(d.touched_targets()) == [2, 9]
+        assert d.touched_targets().dtype == np.int64
+
+    def test_max_node_spans_all_operations(self):
+        assert GraphDelta().max_node == -1
+        assert GraphDelta().add_edge(3, 17, 0.5).max_node == 17
+
+
+class TestAsDelta:
+    def test_tuples_build_a_delta(self):
+        d = as_delta(add=[(0, 1), (1, 2, 0.25)], remove=[(3, 4)], reweight=[(5, 6, 0.5)])
+        assert d.adds == ((0, 1, 1.0), (1, 2, 0.25))
+        assert d.removes == ((3, 4),)
+        assert d.reweights == ((5, 6, 0.5),)
+
+    def test_passing_both_delta_and_tuples_is_rejected(self):
+        with pytest.raises(Exception):
+            as_delta(GraphDelta().add_edge(0, 1, 0.5), add=[(2, 3)])
+
+    def test_delta_passes_through(self):
+        d = GraphDelta().add_edge(0, 1, 0.5)
+        assert as_delta(d) is d
+
+    def test_remove_entries_must_be_pairs(self):
+        with pytest.raises(Exception):
+            as_delta(remove=[(1, 2, 0.5)])
+
+
+class TestWireFormat:
+    def test_dict_roundtrip(self):
+        d = GraphDelta().add_edge(0, 1, 0.5).remove_edge(2, 3).reweight(4, 5, 0.9)
+        back = GraphDelta.from_dict(d.as_dict())
+        assert back.adds == d.adds
+        assert back.removes == d.removes
+        assert back.reweights == d.reweights

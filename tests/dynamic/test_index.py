@@ -1,0 +1,60 @@
+"""RRSetIndex: exact invalidation sets from the inverted node index."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import GraphDelta, RRSetIndex
+from repro.exceptions import SamplingError
+from repro.sampling.rr_collection import RRCollection
+
+
+def _pool(n, sets):
+    pool = RRCollection(n)
+    pool.extend([np.asarray(s, dtype=np.int32) for s in sets])
+    return pool
+
+
+class TestIndex:
+    def test_sets_containing_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        sets = [
+            rng.choice(50, size=rng.integers(1, 8), replace=False) for _ in range(200)
+        ]
+        index = RRSetIndex.from_collection(_pool(50, sets))
+        for nodes in ([0], [7, 31], [49], list(range(10))):
+            expected = sorted(
+                i for i, s in enumerate(sets) if any(v in s for v in nodes)
+            )
+            assert index.sets_containing(nodes).tolist() == expected
+
+    def test_empty_pool_invalidates_nothing(self):
+        index = RRSetIndex.from_collection(_pool(10, []))
+        assert index.invalidated_by(GraphDelta().remove_edge(0, 1)).size == 0
+
+    def test_out_of_range_node_query_is_loud(self):
+        index = RRSetIndex.from_collection(_pool(10, [[1, 2]]))
+        with pytest.raises(SamplingError, match="out of range"):
+            index.sets_containing([10])
+
+    def test_invalidation_keys_on_the_target_only(self):
+        """Head containment is the invalidation criterion for every
+        operation kind — a set containing only the *source* of a mutated
+        edge never read that edge (reverse traversals read in-adjacency
+        of visited nodes), so it survives untouched."""
+        sets = [[2, 5], [7], [5, 9], [3]]
+        index = RRSetIndex.from_collection(_pool(12, sets))
+        delta = (
+            GraphDelta()
+            .remove_edge(7, 5)  # source 7 alone must not invalidate set [7]
+            .add_edge(0, 3, 0.5)
+            .reweight(2, 9, 0.4)  # source 2 alone must not invalidate set [2, 5]
+        )
+        # targets {5, 3, 9}: sets 0 and 2 (contain 5 / 9), set 3 (contains 3)
+        assert index.invalidated_by(delta).tolist() == [0, 2, 3]
+
+    def test_targets_beyond_indexed_n_are_ignored(self):
+        """New nodes cannot appear in any stored set; the n-growth full
+        invalidation is the caller's job, not the index's."""
+        index = RRSetIndex.from_collection(_pool(4, [[0, 1], [2]]))
+        delta = GraphDelta().add_edge(0, 99, 0.5)
+        assert index.invalidated_by(delta).size == 0

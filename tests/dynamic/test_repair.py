@@ -1,0 +1,127 @@
+"""Incremental repair: byte-identical to cold resample, on every backend.
+
+The acceptance property of dynamic graphs: after ``repair_context``, the
+warm pool equals — array for array — a pool sampled cold on the mutated
+graph, for both kernels and across execution backends, while resampling
+only the invalidated fraction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import GraphDelta, MutableGraphView
+from repro.dynamic.repair import repair_context
+from repro.engine.context import SamplingContext
+from repro.exceptions import SamplingError
+
+SEED = 2016
+POOL = 300
+
+BACKENDS = [
+    pytest.param(None, None, id="serial"),
+    pytest.param("thread", 2, id="thread"),
+    pytest.param("process", 2, id="process"),
+]
+
+
+def _localized_delta(graph):
+    """A delta touching one existing edge plus one insert — small blast
+    radius, so the repair fraction must stay well below 1."""
+    u = 0
+    while graph.out_indptr[u] == graph.out_indptr[u + 1]:
+        u += 1
+    v = int(graph.out_indices[graph.out_indptr[u]])
+    add_u, add_v = None, None
+    for cand_u in range(graph.n):
+        for cand_v in range(graph.n - 1, -1, -1):
+            if cand_u != cand_v and not graph.has_edge(cand_u, cand_v):
+                add_u, add_v = cand_u, cand_v
+                break
+        if add_u is not None:
+            break
+    return GraphDelta().remove_edge(u, v).add_edge(add_u, add_v, 0.3)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("kernel", ["scalar", "vectorized"])
+    @pytest.mark.parametrize("backend,workers", BACKENDS)
+    @pytest.mark.parametrize("model", ["IC", "LT"])
+    def test_repaired_pool_equals_cold_resample(
+        self, small_wc_graph, model, backend, workers, kernel
+    ):
+        delta = _localized_delta(small_wc_graph)
+        warm = SamplingContext(
+            small_wc_graph, model, seed=SEED, backend=backend, workers=workers,
+            kernel=kernel,
+        )
+        try:
+            warm.require(POOL)
+            mutated = MutableGraphView(small_wc_graph).apply(delta)
+            stats = repair_context(warm, mutated, 1, delta)
+            assert 0 < stats["invalidated"] < POOL
+            assert stats["repair_fraction"] == pytest.approx(
+                stats["invalidated"] / POOL
+            )
+            with SamplingContext(mutated, model, seed=SEED, kernel=kernel) as cold:
+                cold.require(POOL)
+                for i in range(POOL):
+                    assert np.array_equal(warm.pool[i], cold.pool[i]), i
+                # the stream continues identically past the repair point
+                warm.require(POOL + 50)
+                cold.require(POOL + 50)
+                for i in range(POOL, POOL + 50):
+                    assert np.array_equal(warm.pool[i], cold.pool[i]), i
+        finally:
+            warm.close()
+
+    def test_sets_not_containing_the_target_are_not_resampled(self, small_wc_graph):
+        """The repair is *incremental*: untouched sets keep their exact
+        buffers (object identity), proving no wasted resampling."""
+        delta = _localized_delta(small_wc_graph)
+        ctx = SamplingContext(small_wc_graph, "IC", seed=SEED)
+        try:
+            ctx.require(POOL)
+            before = [ctx.pool[i] for i in range(POOL)]
+            from repro.dynamic.index import RRSetIndex
+
+            invalid = set(
+                RRSetIndex.from_collection(ctx.pool).invalidated_by(delta).tolist()
+            )
+            mutated = MutableGraphView(small_wc_graph).apply(delta)
+            repair_context(ctx, mutated, 1, delta)
+            for i in range(POOL):
+                if i not in invalid:
+                    assert ctx.pool[i] is before[i]
+        finally:
+            ctx.close()
+
+    def test_graph_version_travels_with_the_stream_state(self, small_wc_graph):
+        """A stream position captured after a mutation refuses to load
+        into a sampler still bound to the pristine graph (and vice
+        versa) — repair or resample, never silently continue."""
+        from repro.sampling.base import make_sampler
+
+        delta = _localized_delta(small_wc_graph)
+        ctx = SamplingContext(small_wc_graph, "IC", seed=SEED)
+        try:
+            ctx.require(50)
+            mutated = MutableGraphView(small_wc_graph).apply(delta)
+            repair_context(ctx, mutated, 1, delta)
+            state = ctx.state_dict()
+            assert state["graph_version"] == 1
+            pristine = make_sampler(small_wc_graph, "IC", SEED)
+            with pytest.raises(SamplingError, match="graph_version"):
+                pristine.load_state_dict(state)
+        finally:
+            ctx.close()
+
+    def test_node_growth_refuses_in_place_rebind(self, small_wc_graph):
+        delta = GraphDelta().add_edge(0, small_wc_graph.n, 0.5)
+        ctx = SamplingContext(small_wc_graph, "IC", seed=SEED)
+        try:
+            ctx.require(20)
+            grown = MutableGraphView(small_wc_graph).apply(delta)
+            with pytest.raises(SamplingError, match="node count"):
+                ctx.rebind_graph(grown, 1)
+        finally:
+            ctx.close()

@@ -1,0 +1,88 @@
+"""MutableGraphView: atomic snapshot replacement with strict semantics."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import GraphDelta, MutableGraphView
+from repro.exceptions import GraphError
+from repro.graph.builder import from_edges
+
+
+@pytest.fixture
+def view():
+    return MutableGraphView(
+        from_edges([(0, 1, 0.5), (0, 2, 0.25), (2, 3, 0.75), (3, 2, 0.3)], n=4)
+    )
+
+
+class TestApply:
+    def test_batched_apply_is_one_version_bump(self, view):
+        before = view.graph
+        snap = view.apply(
+            GraphDelta().add_edge(1, 3, 0.4).remove_edge(0, 2).reweight(2, 3, 0.1)
+        )
+        assert view.version == 1
+        assert snap is view.graph
+        assert snap.has_edge(1, 3) and not snap.has_edge(0, 2)
+        assert snap.edge_weight(2, 3) == pytest.approx(0.1)
+        # the old snapshot is untouched — readers holding it stay valid
+        assert before.has_edge(0, 2) and not before.has_edge(1, 3)
+        assert before.edge_weight(2, 3) == pytest.approx(0.75)
+
+    def test_add_existing_edge_is_rejected(self, view):
+        with pytest.raises(GraphError, match="use reweight"):
+            view.add_edge(0, 1, 0.9)
+        assert view.version == 0
+
+    def test_remove_and_reweight_require_the_edge(self, view):
+        with pytest.raises(GraphError, match="does not exist"):
+            view.remove_edge(1, 0)
+        with pytest.raises(GraphError, match="does not exist"):
+            view.reweight(3, 0, 0.5)
+
+    def test_failed_batch_leaves_the_view_untouched(self, view):
+        before, version = view.snapshot()
+        with pytest.raises(GraphError):
+            view.apply(GraphDelta().add_edge(1, 3, 0.4).remove_edge(1, 0))
+        after, after_version = view.snapshot()
+        assert after is before and after_version == version
+
+    def test_empty_delta_is_rejected(self, view):
+        with pytest.raises(GraphError, match="empty"):
+            view.apply(GraphDelta())
+
+    def test_insert_beyond_n_grows_the_node_set(self, view):
+        snap = view.add_edge(3, 9, 0.5)
+        assert snap.n == 10 and snap.has_edge(3, 9)
+        # old nodes' adjacency survives the growth
+        assert snap.has_edge(0, 1) and snap.edge_weight(0, 1) == pytest.approx(0.5)
+
+    def test_remove_referencing_unknown_node_fails_loudly(self, view):
+        with pytest.raises(GraphError, match="out of range"):
+            view.remove_edge(0, 9)
+
+
+class TestIdentity:
+    def test_version_is_monotone_per_apply(self, view):
+        view.add_edge(1, 2, 0.5)
+        view.remove_edge(1, 2)
+        assert view.version == 2
+
+    def test_content_hash_tracks_the_snapshot(self, view):
+        h0 = view.content_hash
+        view.reweight(0, 1, 0.6)
+        h1 = view.content_hash
+        assert h0 != h1
+        # reverting the weight restores the content identity (lineage
+        # differs — version is 2 — but the bytes are the same graph)
+        view.reweight(0, 1, 0.5)
+        assert view.content_hash == h0 and view.version == 2
+
+    def test_in_and_out_views_stay_consistent(self, view):
+        snap = view.apply(GraphDelta().add_edge(1, 2, 0.4).remove_edge(3, 2))
+        # in-adjacency of node 2: was {0, 3}, now {0, 1}
+        lo, hi = snap.in_indptr[2], snap.in_indptr[3]
+        assert sorted(snap.in_indices[lo:hi].tolist()) == [0, 1]
+        total_out = int(snap.out_indptr[-1])
+        total_in = int(snap.in_indptr[-1])
+        assert total_out == total_in == snap.m

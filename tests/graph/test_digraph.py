@@ -158,3 +158,45 @@ class TestEquality:
 
     def test_memory_bytes_positive(self, tiny_graph):
         assert tiny_graph.memory_bytes() > 0
+
+
+class TestFingerprint:
+    """Content hashing: __hash__ agrees with __eq__ (the dynamic-graph
+    manifest key depends on it)."""
+
+    def test_fingerprint_is_stable_and_cached(self):
+        g = from_edges([(0, 1, 0.5), (1, 2, 0.25)], n=3)
+        assert g.fingerprint() == g.fingerprint()
+        assert len(g.fingerprint()) == 16
+
+    def test_equal_graphs_share_hash_and_fingerprint(self):
+        a = from_edges([(0, 1, 0.5), (1, 2, 0.25)], n=3)
+        b = from_edges([(1, 2, 0.25), (0, 1, 0.5)], n=3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_weight_change_changes_fingerprint(self):
+        a = from_edges([(0, 1, 0.5)], n=2)
+        b = from_edges([(0, 1, 0.6)], n=2)
+        assert a != b
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_tiny_weight_difference_is_a_different_graph(self):
+        """Equality is exact (np.array_equal, not allclose): content
+        identity must agree with the content hash bit for bit."""
+        a = from_edges([(0, 1, 0.5)], n=2)
+        b = from_edges([(0, 1, 0.5 + 1e-12)], n=2)
+        assert a != b
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_isolated_tail_node_changes_fingerprint(self):
+        a = from_edges([(0, 1, 0.5)], n=2)
+        b = from_edges([(0, 1, 0.5)], n=3)
+        assert a != b and a.fingerprint() != b.fingerprint()
+
+    def test_graphs_are_usable_as_dict_keys(self):
+        a = from_edges([(0, 1, 0.5)], n=2)
+        b = from_edges([(0, 1, 0.5)], n=2)
+        seen = {a: "first"}
+        assert seen[b] == "first"

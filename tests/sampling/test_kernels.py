@@ -396,8 +396,8 @@ class TestStreamIdentityPlumbing:
             view.require(10)
         sizes = manager.pool_sizes("s")
         assert sizes == {
-            ("direct", "LT", None, "scalar-v2"): 30,
-            ("direct", "LT", None, "vectorized-v2"): 10,
+            ("direct", "LT", None, "scalar-v2", 0): 30,
+            ("direct", "LT", None, "vectorized-v2", 0): 10,
         }
         manager.close()
 

@@ -180,6 +180,114 @@ class TestLegacySpillMigration:
             store.load_file(bad)
 
 
+class TestGraphVersionMigration:
+    """Spills written before dynamic graphs carry no ``graph_version``
+    key.  They must keep reattaching on a pristine (version-0) graph —
+    the version-0 stamp is byte-identical to the legacy one — and be a
+    clean cache miss against any mutated graph, never silently mixed."""
+
+    def test_version_zero_stamp_has_no_graph_version_key(self, small_wc_graph):
+        from repro.sampling.base import make_sampler
+
+        sampler = make_sampler(small_wc_graph, "LT", SEED)
+        legacy_shape = make_stamp(
+            small_wc_graph, model="LT", stream="direct", horizon=None,
+            seed=SEED, sampler=sampler, graph_version=None,
+        )
+        v0 = make_stamp(
+            small_wc_graph, model="LT", stream="direct", horizon=None,
+            seed=SEED, sampler=sampler, graph_version=0,
+        )
+        assert "graph_version" not in v0
+        assert v0 == legacy_shape  # pre-dynamic spills keep their address
+        v1 = make_stamp(
+            small_wc_graph, model="LT", stream="direct", horizon=None,
+            seed=SEED, sampler=sampler, graph_version=1,
+        )
+        assert v1["graph_version"] == 1
+
+    def test_pre_dynamic_spill_reattaches_on_pristine_graph(
+        self, small_wc_graph, tmp_path
+    ):
+        """Forge a spill exactly as a pre-dynamic release wrote it (no
+        graph_version in stamp or state): a version-0 session reattaches
+        it as pure cache."""
+        from repro.sampling.base import make_sampler
+
+        store = PoolStore(tmp_path)
+        with InfluenceEngine(
+            small_wc_graph, model="LT", seed=SEED, spill_dir=tmp_path
+        ) as first:
+            warm = first.maximize(4, epsilon=EPS)
+        # strip the modern keys a pre-dynamic release never wrote
+        sampler = make_sampler(small_wc_graph, "LT", SEED)
+        stamp = make_stamp(
+            small_wc_graph, model="LT", stream="direct", horizon=None,
+            seed=SEED, sampler=sampler, graph_version=None,
+        )
+        sets, state = store.load(stamp)
+        assert "graph_version" in state
+        state = {k: v for k, v in state.items() if k != "graph_version"}
+        legacy_pool = RRCollection(small_wc_graph.n)
+        legacy_pool.extend(sets)
+        store.path_for(stamp).unlink()  # rewrite in the pre-dynamic shape
+        store.save(stamp, legacy_pool, state)
+        with InfluenceEngine(
+            small_wc_graph, model="LT", seed=SEED, spill_dir=tmp_path
+        ) as second:
+            replay = second.maximize(4, epsilon=EPS)
+            assert second.stats.rr_sampled == 0
+            assert second.pool_manager.reattached_for(second.session) > 0
+        assert replay.seeds == warm.seeds
+
+    def test_any_spill_is_a_miss_against_a_mutated_graph(
+        self, small_wc_graph, tmp_path
+    ):
+        """After a mutation the session's pools key to the new version
+        and content signature: nothing spilled against the pristine
+        graph reattaches, and answers equal a cold run on the mutated
+        graph."""
+        from repro.dynamic import GraphDelta, MutableGraphView
+
+        u = 0
+        while small_wc_graph.out_indptr[u] == small_wc_graph.out_indptr[u + 1]:
+            u += 1
+        v = int(small_wc_graph.out_indices[small_wc_graph.out_indptr[u]])
+        with InfluenceEngine(
+            small_wc_graph, model="LT", seed=SEED, spill_dir=tmp_path
+        ) as first:
+            first.maximize(4, epsilon=EPS)
+        with InfluenceEngine(
+            small_wc_graph, model="LT", seed=SEED, spill_dir=tmp_path
+        ) as second:
+            second.mutate(remove=[(u, v)])
+            replay = second.maximize(4, epsilon=EPS)
+            assert second.pool_manager.reattached_for(second.session) == 0
+            assert second.stats.rr_sampled > 0
+        mutated = MutableGraphView(small_wc_graph).apply(
+            GraphDelta().remove_edge(u, v)
+        )
+        cold = dssa(mutated, 4, epsilon=EPS, model="LT", seed=SEED)
+        assert replay.seeds == cold.seeds and replay.samples == cold.samples
+
+    def test_versioned_state_refuses_a_version_zero_session(
+        self, small_wc_graph, tmp_path
+    ):
+        """A spill whose stream position was captured at graph_version 1
+        must not continue a version-0 stream: the sampler refuses the
+        state instead of silently mixing lineages."""
+        from repro.exceptions import SamplingError
+        from repro.sampling.base import make_sampler
+
+        sampler = make_sampler(small_wc_graph, "LT", SEED)
+        sampler.sample_batch(10)
+        state = sampler.state_dict()
+        state["graph_version"] = 1
+        fresh = make_sampler(small_wc_graph, "LT", SEED)
+        with pytest.raises(SamplingError, match="graph_version"):
+            fresh.load_state_dict(state)
+
+
 class TestEngineReattach:
     """The acceptance path: spill in one session, warm-start the next."""
 

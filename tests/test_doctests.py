@@ -10,6 +10,8 @@ import pytest
 
 import repro.core.thresholds
 import repro.analysis.seeds
+import repro.dynamic.delta
+import repro.dynamic.view
 import repro.graph.builder
 import repro.sampling.base
 import repro.utils.mathstats
@@ -24,6 +26,8 @@ _MODULES = [
     repro.sampling.base,
     repro.core.thresholds,
     repro.analysis.seeds,
+    repro.dynamic.delta,
+    repro.dynamic.view,
 ]
 
 
