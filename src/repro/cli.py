@@ -211,6 +211,35 @@ def _render_algorithm_rows(rows: "list[dict]") -> str:
     )
 
 
+def _parse_edge_groups(text, name: str, *, weighted: bool) -> "list[list]":
+    """Parse REPL edge shorthand (``u:v:w,...``) into structured rows.
+
+    The REPL keeps the compact command syntax but puts the structured
+    ``GraphDelta.as_dict()`` form on the wire — the string wire format
+    is deprecated server-side.
+    """
+    if text is None:
+        return []
+    arity = 3 if weighted else 2
+    rows = []
+    for group in str(text).split(","):
+        if not group.strip():
+            continue
+        fields = group.split(":")
+        if len(fields) != arity:
+            raise ValueError(
+                f"{name} groups need {arity} colon-separated fields, got {group!r}"
+            )
+        try:
+            row = [int(fields[0]), int(fields[1])]
+            if weighted:
+                row.append(float(fields[2]))
+        except ValueError as exc:
+            raise ValueError(f"{name} group {group!r} is not numeric") from exc
+        rows.append(row)
+    return rows
+
+
 def _query_execute(call, line: str) -> bool:
     """Run one REPL command through a service ``call``; False on quit.
 
@@ -233,6 +262,7 @@ def _query_execute(call, line: str) -> bool:
             "  resize workers=W   (elastic worker count; stream unchanged)\n"
             "  mutate [add=u:v:w,...] [remove=u:v,...] [reweight=u:v:w,...]\n"
             "         (edge churn; warm pools repaired incrementally)\n"
+            "  quota [quota_bytes=N]   (show or set the session byte quota)\n"
             "  algorithms | stats | metrics | ping | help | quit\n"
             "  shutdown   (stop a remote server)"
         )
@@ -298,13 +328,33 @@ def _query_execute(call, line: str) -> bool:
             f"session {outcome['session']!r} now at workers={outcome['workers']} "
             f"({outcome['pools_resized']} warm pool(s) resized; stream unchanged)"
         )
+    elif command == "quota":
+        outcome = call("quota", **opts)
+        quota = outcome.get("quota_bytes")
+        print(
+            f"session {outcome['session']!r} quota="
+            f"{quota if quota is not None else 'unlimited'} "
+            f"pool_bytes={outcome['pool_bytes']} "
+            f"reserved_bytes={outcome['reserved_bytes']}"
+        )
     elif command == "mutate":
-        if not opts:
+        known = {"add", "remove", "reweight"}
+        unknown = sorted(set(opts) - known)
+        if unknown:
+            raise ValueError(f"mutate got unknown option(s) {unknown}")
+        delta = {
+            key: _parse_edge_groups(
+                opts.get(key), key, weighted=(key != "remove")
+            )
+            for key in known
+            if opts.get(key) is not None
+        }
+        if not any(delta.values()):
             raise ValueError(
                 "mutate needs at least one of add=u:v:w,... remove=u:v,... "
                 "reweight=u:v:w,..."
             )
-        report = call("mutate", **opts)
+        report = call("mutate", delta=delta)
         print(
             f"graph now v{report['graph_version']} "
             f"(hash {report['content_hash']}, n={report['n']} m={report['m']}); "
@@ -419,6 +469,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, scale=args.scale)
     try:
         budget = _parse_bytes(args.pool_budget)
+        quota = _parse_bytes(args.session_quota)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -434,8 +485,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             backend=args.backend,
             workers=args.workers,
             kernel=args.kernel,
+            quota_bytes=quota,
         )
-        server = InfluenceServer(service, host=args.host, port=args.port)
+        server = InfluenceServer(
+            service, host=args.host, port=args.port, metrics_port=args.metrics_port
+        )
         host, port = server.address
         budget_str = f"{budget} bytes" if budget is not None else "unbounded"
         print(
@@ -449,6 +503,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"spill dir: {args.spill_dir or 'none'})",
             flush=True,
         )
+        if server.metrics_address is not None:
+            mhost, mport = server.metrics_address
+            print(
+                f"metrics on http://{mhost}:{mport}/metrics "
+                "(Prometheus text exposition)",
+                flush=True,
+            )
+        if quota is not None:
+            print(
+                f"session quota: {quota} bytes (admission control active)",
+                flush=True,
+            )
         try:
             server.serve_forever()
         except KeyboardInterrupt:
@@ -651,6 +717,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--max-workers", type=int, default=8,
         help="thread pool size for concurrent query execution",
+    )
+    p_serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also serve Prometheus text exposition to HTTP GET /metrics "
+        "on this port (0 picks a free one)",
+    )
+    p_serve.add_argument(
+        "--session-quota", default=None, metavar="BYTES",
+        help="byte quota for the served session inside the pool budget "
+        "(e.g. 400K, 16M): over-quota usage evicts the session's own "
+        "pools first, and queries predicted to blow the quota are "
+        "rejected with a structured over_budget error",
     )
     p_serve.set_defaults(fn=_cmd_serve)
 

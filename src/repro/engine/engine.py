@@ -294,6 +294,20 @@ class InfluenceEngine:
         stream_id, graph_version)``."""
         return self._pools.pool_sizes(self.session)
 
+    def pool_occupancy(
+        self, *, stream: str, model=None, horizon: int | None = None
+    ) -> tuple[int, int]:
+        """``(sets, bytes)`` this session has pooled for one query shape.
+
+        The admission cost model reads this before a query runs: pooled
+        sets are served from cache for free, so only demand beyond the
+        occupancy is billed (see :mod:`repro.service.admission`).
+        """
+        query_model = self.model if model is None else DiffusionModel.parse(model)
+        return self._pools.occupancy(
+            self._pool_key(stream=stream, model=query_model, horizon=horizon)
+        )
+
     @property
     def active_workers(self) -> int:
         """The worker count this session actually runs at.

@@ -5,16 +5,27 @@ many users, one conditioned sample pool, bounded memory, durable warmup.
 
 * :class:`~repro.service.pool.PoolManager` — thread-safe shared RR
   pools: per-query immutable prefix snapshots (readers never block
-  samplers), a global byte budget with LRU eviction of idle pools, and
-  transparent spill/reattach through
+  samplers), a global byte budget with LRU eviction of idle pools,
+  per-session byte quotas (a hot tenant sheds its *own* pools first),
+  and transparent spill/reattach through
   :class:`~repro.service.store.PoolStore`;
+* :class:`~repro.service.admission.AdmissionController` — cost-model
+  admission: a query's RR-set bill is estimated from theta bounds +
+  observed mean set size + pool occupancy *before* any sampling, and
+  unaffordable queries are rejected (or briefly queued) with a
+  structured ``over_budget`` error carrying the estimate;
 * :class:`~repro.service.service.InfluenceService` — a registry of
   named :class:`~repro.engine.engine.InfluenceEngine` sessions sharing
   one pool manager, with a future-based :meth:`submit` query surface
   and a name-based op vocabulary for transports;
 * :class:`~repro.service.server.InfluenceServer` /
-  :class:`~repro.service.client.ServiceClient` — newline-delimited JSON
-  over TCP (``repro serve`` / ``repro query --connect``).
+  :class:`~repro.service.client.ServiceClient` — asyncio
+  newline-delimited JSON over TCP with per-connection pipelining
+  (``repro serve`` / ``repro query --connect``), typed versioned frames
+  (:mod:`repro.service.protocol`), machine-readable error codes
+  (:mod:`repro.service.errors`), and Prometheus text exposition
+  (:func:`~repro.service.metrics.prometheus_text`,
+  ``repro serve --metrics-port``).
 
 The load-bearing guarantee everywhere: the RR stream is a pure function
 of the seed alone (worker count and backend are runtime throughput
@@ -24,12 +35,27 @@ count — returns byte-identical answers to a sequential cold run at the
 same seed.
 """
 
+from repro.service.admission import AdmissionController, CostEstimate, estimate_cost
 from repro.service.client import ServiceClient
-from repro.service.metrics import LatencyHistogram, MetricsRegistry
+from repro.service.errors import (
+    ERROR_CODES,
+    InternalServiceError,
+    OverBudgetError,
+    ServiceError,
+    UnknownSessionError,
+)
+from repro.service.metrics import LatencyHistogram, MetricsRegistry, prometheus_text
 from repro.service.pool import PoolKey, PoolManager, QueryView
-from repro.service.protocol import result_to_dict, summarize_result
+from repro.service.protocol import (
+    PROTO_VERSION,
+    ErrorResponse,
+    OkResponse,
+    Request,
+    result_to_dict,
+    summarize_result,
+)
 from repro.service.server import InfluenceServer, serve
-from repro.service.service import OPERATIONS, InfluenceService, ServiceError
+from repro.service.service import OPERATIONS, InfluenceService
 from repro.service.store import PoolStore, graph_signature, make_stamp
 
 __all__ = [
@@ -37,11 +63,22 @@ __all__ = [
     "InfluenceServer",
     "ServiceClient",
     "ServiceError",
+    "UnknownSessionError",
+    "OverBudgetError",
+    "InternalServiceError",
+    "ERROR_CODES",
+    "AdmissionController",
+    "CostEstimate",
+    "estimate_cost",
     "PoolManager",
     "PoolKey",
     "QueryView",
     "PoolStore",
     "OPERATIONS",
+    "PROTO_VERSION",
+    "Request",
+    "OkResponse",
+    "ErrorResponse",
     "serve",
     "result_to_dict",
     "summarize_result",
@@ -49,4 +86,5 @@ __all__ = [
     "graph_signature",
     "LatencyHistogram",
     "MetricsRegistry",
+    "prometheus_text",
 ]

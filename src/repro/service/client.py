@@ -3,20 +3,34 @@
 Blocking, line-oriented, dependency-free — the shape a user's first
 integration takes, and what the ``repro query --connect`` REPL uses.
 Each :meth:`ServiceClient.call` sends one request line and waits for its
-response line; concurrency comes from using one client per thread (the
-server is thread-per-connection).
+response line; concurrency comes from using one client per thread, or
+from :meth:`ServiceClient.call_pipelined`, which rides the asyncio
+server's per-connection pipelining (many requests in flight on one
+socket, responses matched by ``id`` in any order).
+
+Server-side failures surface as **typed exceptions keyed on the wire
+error code** (see :mod:`repro.service.errors`): ``over_budget`` raises
+:class:`~repro.service.errors.OverBudgetError` with the admission cost
+estimate attached, ``no_such_session`` raises
+:class:`~repro.service.errors.UnknownSessionError`, and so on — no
+string-matching of messages required.
 """
 
 from __future__ import annotations
 
 import socket
 
-from repro.service.protocol import ProtocolError, decode_line, encode_line
-from repro.service.service import ServiceError
+from repro.service.errors import ServiceError, exception_from_wire
+from repro.service.protocol import (
+    PROTO_VERSION,
+    ProtocolError,
+    decode_line,
+    encode_line,
+)
 
 
 class ServiceClient:
-    """Synchronous NDJSON-over-TCP client.
+    """Synchronous NDJSON-over-TCP client (protocol revision 1).
 
     >>> with ServiceClient("127.0.0.1", 8642) as client:   # doctest: +SKIP
     ...     answer = client.call("maximize", k=10, epsilon=0.2)
@@ -43,52 +57,147 @@ class ServiceClient:
         self._next_id = 0
         self._closed = False
 
-    def call(self, op: str, *, session: str = "default", **params):
-        """Run one operation; returns the result payload or raises.
-
-        Raises :class:`ServiceError` for server-side errors *and* for
-        transport failures (connection refused, server gone mid-call) —
-        callers see one exception type with a clean message, never a
-        traceback from socket internals.
-        """
-        if self._closed:
-            raise ServiceError("client is closed")
-        self._next_id += 1
-        request = {"id": self._next_id, "op": op, "session": session, "params": params}
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _send(self, request: dict) -> None:
         try:
             self._wfile.write(encode_line(request))
             self._wfile.flush()
+        except OSError as exc:
+            self.close()
+            raise ServiceError(f"connection to service lost: {exc}") from exc
+
+    def _read_response(self) -> dict:
+        try:
             line = self._rfile.readline()
         except OSError as exc:
             # The stream is desynchronized (a late response could still
-            # arrive for this request) — poison the client, don't let a
-            # retry read stale bytes as its own answer.
+            # arrive) — poison the client, don't let a retry read stale
+            # bytes as its own answer.
             self.close()
             raise ServiceError(f"connection to service lost: {exc}") from exc
         if not line:
             self.close()
             raise ServiceError("server closed the connection (unexpected EOF)")
         try:
-            response = decode_line(line)
+            return decode_line(line)
         except ProtocolError as exc:
             self.close()
             raise ServiceError(f"malformed response from server: {exc}") from exc
+
+    @staticmethod
+    def _unwrap(response: dict):
+        if not response.get("ok"):
+            raise exception_from_wire(response.get("error") or {})
+        return response.get("result")
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def call(self, op: str, *, session: str = "default", **params):
+        """Run one operation; returns the result payload or raises.
+
+        Raises a :class:`~repro.service.errors.ServiceError` subclass
+        keyed on the wire error code for server-side errors, and plain
+        :class:`ServiceError` for transport failures (connection
+        refused, server gone mid-call) — callers see clean typed
+        exceptions, never a traceback from socket internals.
+        """
+        if self._closed:
+            raise ServiceError("client is closed")
+        self._next_id += 1
+        self._send(
+            {
+                "id": self._next_id,
+                "op": op,
+                "session": session,
+                "params": params,
+                "proto": PROTO_VERSION,
+            }
+        )
+        response = self._read_response()
         if response.get("id") != self._next_id:
             self.close()
             raise ServiceError(
                 f"out-of-sync response (expected id {self._next_id}, "
                 f"got {response.get('id')!r})"
             )
-        if not response.get("ok"):
-            error = response.get("error") or {}
-            raise ServiceError(
-                f"{error.get('type', 'ServiceError')}: {error.get('message', 'unknown error')}"
+        return self._unwrap(response)
+
+    def call_pipelined(self, requests, *, session: str = "default"):
+        """Issue many requests on one socket before reading any response.
+
+        ``requests`` is an iterable of ``(op, params_dict)`` pairs.  All
+        request lines are written first; responses stream back in
+        whatever order the server finishes them and are matched by
+        ``id``.  Returns results in *request* order; a failed request's
+        slot holds its typed exception instead of raising, so one
+        over-budget query doesn't hide its siblings' answers.
+        """
+        if self._closed:
+            raise ServiceError("client is closed")
+        ids = []
+        for op, params in requests:
+            self._next_id += 1
+            ids.append(self._next_id)
+            self._send(
+                {
+                    "id": self._next_id,
+                    "op": op,
+                    "session": session,
+                    "params": dict(params),
+                    "proto": PROTO_VERSION,
+                }
             )
-        return response.get("result")
+        expected = set(ids)
+        outcomes: dict = {}
+        while expected:
+            response = self._read_response()
+            rid = response.get("id")
+            if rid not in expected:
+                self.close()
+                raise ServiceError(
+                    f"out-of-sync response (unexpected id {rid!r}; "
+                    f"awaiting {sorted(expected)})"
+                )
+            expected.discard(rid)
+            try:
+                outcomes[rid] = self._unwrap(response)
+            except ServiceError as exc:
+                outcomes[rid] = exc
+        return [outcomes[rid] for rid in ids]
+
+    def hello(self) -> dict:
+        """Negotiate: the server's protocol revision and op vocabulary."""
+        return self.call("hello")
 
     def ping(self) -> bool:
         """True if the server answers."""
         return bool(self.call("ping").get("pong"))
+
+    def mutate(
+        self, delta, *, session: str = "default", add=None, remove=None, reweight=None
+    ):
+        """Apply one graph mutation in the structured wire form.
+
+        ``delta`` may be a :class:`~repro.dynamic.delta.GraphDelta`, an
+        ``as_dict()``-shaped mapping, or ``None`` with explicit
+        ``add``/``remove``/``reweight`` edge-row lists.
+        """
+        if delta is None:
+            payload = {}
+            if add:
+                payload["add"] = [list(row) for row in add]
+            if remove:
+                payload["remove"] = [list(row) for row in remove]
+            if reweight:
+                payload["reweight"] = [list(row) for row in reweight]
+        elif hasattr(delta, "as_dict"):
+            payload = delta.as_dict()
+        else:
+            payload = dict(delta)
+        return self.call("mutate", session=session, delta=payload)
 
     def shutdown_server(self) -> None:
         """Ask the server to stop (it still answers this request)."""

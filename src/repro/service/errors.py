@@ -1,0 +1,120 @@
+"""Service errors with stable, machine-readable codes.
+
+Every error a transport can put on the wire carries a ``code`` drawn
+from a small closed vocabulary (:data:`ERROR_CODES`), so clients branch
+on ``error.code`` instead of string-matching messages:
+
+``bad_request``
+    The request itself is wrong — unknown op, malformed params, invalid
+    algorithm parameters.  Retrying unchanged will fail again.
+``no_such_session``
+    The named session does not exist on this server.
+``over_budget``
+    The admission controller predicted the query's RR-set bill would
+    blow the session's byte quota; the structured cost estimate rides
+    along in ``details`` (see :mod:`repro.service.admission`).
+``internal``
+    An unexpected server-side failure; the request may be retried.
+
+:class:`ServiceError` lives here (re-exported by
+:mod:`repro.service.service` for compatibility) so the protocol, client,
+service, and admission layers can share one hierarchy without import
+cycles.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+#: the closed error-code vocabulary, pinned by tests and docs/PROTOCOL.md.
+ERROR_CODES = ("bad_request", "no_such_session", "over_budget", "internal")
+
+
+class ServiceError(ReproError):
+    """Raised for unknown operations and service misuse (``bad_request``)."""
+
+    code = "bad_request"
+
+    @property
+    def details(self) -> "dict | None":
+        """Optional structured payload serialized into the wire error."""
+        return None
+
+
+class UnknownSessionError(ServiceError):
+    """The named session is not open on this service."""
+
+    code = "no_such_session"
+
+
+class OverBudgetError(ServiceError):
+    """Admission control rejected a query whose predicted bill blows the quota.
+
+    Carries the :class:`~repro.service.admission.CostEstimate` (as a
+    plain dict) that justified the rejection, so callers can shrink the
+    query — lower ``k``, coarser ``epsilon``, fewer ``samples`` — or ask
+    for a bigger quota.
+    """
+
+    code = "over_budget"
+
+    def __init__(self, message: str, *, estimate: "dict | None" = None) -> None:
+        super().__init__(message)
+        self.estimate = dict(estimate) if estimate else None
+
+    @property
+    def details(self) -> "dict | None":
+        return self.estimate
+
+
+class InternalServiceError(ServiceError):
+    """Server-side failure that is not the client's fault."""
+
+    code = "internal"
+
+
+#: wire code -> exception class raised by :class:`ServiceClient`.
+_CODE_CLASSES = {
+    "bad_request": ServiceError,
+    "no_such_session": UnknownSessionError,
+    "over_budget": OverBudgetError,
+    "internal": InternalServiceError,
+}
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable wire code for one exception.
+
+    Library errors (and the argument errors the service validates with)
+    are the client's fault — ``bad_request`` — unless the exception
+    class pins a more specific code; anything else is ``internal``.
+    """
+    code = getattr(exc, "code", None)
+    if code in ERROR_CODES:
+        return code
+    if isinstance(exc, (ReproError, ValueError, KeyError, TypeError)):
+        return "bad_request"
+    return "internal"
+
+
+def error_details(exc: BaseException) -> "dict | None":
+    """The structured payload one exception contributes to the wire error."""
+    details = getattr(exc, "details", None)
+    return dict(details) if isinstance(details, dict) else None
+
+
+def exception_from_wire(error: dict) -> ServiceError:
+    """Rebuild the typed client-side exception for one wire error dict.
+
+    Unknown codes (a newer server) degrade to plain :class:`ServiceError`
+    — the message still names the server-side type.
+    """
+    code = error.get("code")
+    message = (
+        f"{error.get('type', 'ServiceError')}: {error.get('message', 'unknown error')}"
+    )
+    cls = _CODE_CLASSES.get(code, ServiceError)
+    if cls is OverBudgetError:
+        return OverBudgetError(message, estimate=error.get("details"))
+    exc = cls(message)
+    return exc

@@ -1,4 +1,4 @@
-"""Service observability: per-operation latency histograms.
+"""Service observability: latency histograms + Prometheus exposition.
 
 Fixed log-scale buckets (Prometheus-style ``le`` upper bounds in
 seconds) keep recording O(1), lock-cheap, and mergeable; quantiles are
@@ -10,6 +10,12 @@ The :class:`MetricsRegistry` is owned by
 ``call`` op through it and exposes the snapshot over the NDJSON
 protocol as the ``metrics`` operation (``repro query``'s ``stats``
 output renders the same numbers).
+
+:func:`prometheus_text` renders the whole serving tier — latency
+histograms, pool-byte gauges, per-tenant occupancy, admission
+accept/reject/queue counters — in Prometheus text exposition format
+0.0.4, served by the asyncio server's ``metrics_text`` op and plain
+``GET /metrics`` scrapes on ``repro serve --metrics-port``.
 """
 
 from __future__ import annotations
@@ -115,3 +121,159 @@ class MetricsRegistry:
         with self._lock:
             histograms = dict(self._histograms)
         return {op: histogram.snapshot() for op, histogram in sorted(histograms.items())}
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (format 0.0.4)
+# ----------------------------------------------------------------------
+def _escape_label(value: str) -> str:
+    return (
+        str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels(**labels) -> str:
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in labels.items())
+    return "{" + inner + "}" if inner else ""
+
+
+def _num(value) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+class _Exposition:
+    """Accumulates families in exposition order with HELP/TYPE headers."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def family(self, name: str, kind: str, help_text: str) -> None:
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, value, **labels) -> None:
+        self.lines.append(f"{name}{_labels(**labels)} {_num(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def prometheus_text(service, *, connections: "int | None" = None) -> str:
+    """Render one scrape of the serving tier in Prometheus text format.
+
+    Families: global/per-tenant pool-byte gauges, per-tenant occupancy
+    (pools/sets/in-flight), quota and admission-reservation gauges,
+    admission decision counters, eviction/truncation counters, and
+    per-op request counts + latency histograms (cumulative buckets, as
+    the format requires).  ``connections`` adds the asyncio server's
+    open-connection gauge when serving over TCP.
+    """
+    exp = _Exposition()
+    pools = service.pools
+    usage = pools.namespace_usage()
+    admission = service.admission
+    decisions = admission.counters()
+    tenants = sorted(set(usage) | set(decisions))
+
+    exp.family("repro_pool_bytes", "gauge", "Retained RR-set bytes across all pools.")
+    exp.sample("repro_pool_bytes", pools.total_bytes())
+    if pools.budget_bytes is not None:
+        exp.family(
+            "repro_pool_budget_bytes", "gauge", "Global byte budget over all pools."
+        )
+        exp.sample("repro_pool_budget_bytes", pools.budget_bytes)
+
+    exp.family(
+        "repro_session_pool_bytes", "gauge", "Retained RR-set bytes per session."
+    )
+    for ns in tenants:
+        exp.sample("repro_session_pool_bytes", usage.get(ns, {}).get("bytes", 0), session=ns)
+    exp.family(
+        "repro_session_pool_sets", "gauge", "Pooled RR sets per session."
+    )
+    for ns in tenants:
+        exp.sample("repro_session_pool_sets", usage.get(ns, {}).get("sets", 0), session=ns)
+    exp.family("repro_session_pools", "gauge", "Open pools per session.")
+    for ns in tenants:
+        exp.sample("repro_session_pools", usage.get(ns, {}).get("pools", 0), session=ns)
+    exp.family(
+        "repro_session_inflight_queries", "gauge",
+        "Queries currently holding pool snapshots, per session.",
+    )
+    for ns in tenants:
+        exp.sample(
+            "repro_session_inflight_queries",
+            usage.get(ns, {}).get("inflight", 0),
+            session=ns,
+        )
+
+    quotas = {ns: row["quota"] for ns, row in usage.items() if row.get("quota")}
+    if quotas:
+        exp.family(
+            "repro_session_quota_bytes", "gauge", "Per-session byte quota."
+        )
+        for ns in sorted(quotas):
+            exp.sample("repro_session_quota_bytes", quotas[ns], session=ns)
+    exp.family(
+        "repro_session_reserved_bytes", "gauge",
+        "Bytes reserved by admitted in-flight queries, per session.",
+    )
+    for ns in tenants:
+        exp.sample(
+            "repro_session_reserved_bytes", admission.reserved_for(ns), session=ns
+        )
+
+    exp.family(
+        "repro_admission_decisions_total", "counter",
+        "Admission controller decisions by session and outcome.",
+    )
+    for ns in tenants:
+        outcomes = decisions.get(ns, {})
+        for outcome in ("accepted", "rejected", "queued"):
+            exp.sample(
+                "repro_admission_decisions_total",
+                outcomes.get(outcome, 0),
+                session=ns,
+                outcome=outcome,
+            )
+
+    exp.family(
+        "repro_pool_evictions_total", "counter",
+        "Whole-pool evictions under byte pressure, per session.",
+    )
+    for ns in tenants:
+        exp.sample("repro_pool_evictions_total", pools.evictions_for(ns), session=ns)
+    exp.family(
+        "repro_pool_truncations_total", "counter",
+        "Suffix truncations under byte pressure, per session.",
+    )
+    for ns in tenants:
+        exp.sample("repro_pool_truncations_total", pools.truncations_for(ns), session=ns)
+
+    latencies = service.metrics.snapshot()
+    exp.family("repro_requests_total", "counter", "Completed requests per operation.")
+    for op, snap in latencies.items():
+        exp.sample("repro_requests_total", snap["count"], op=op)
+    exp.family(
+        "repro_request_latency_seconds", "histogram",
+        "Request latency per operation.",
+    )
+    for op, snap in latencies.items():
+        cumulative = 0
+        for bucket in snap["buckets"]:
+            cumulative += bucket["count"]
+            le = "+Inf" if bucket["le"] == "inf" else repr(float(bucket["le"]))
+            exp.sample(
+                "repro_request_latency_seconds_bucket", cumulative, op=op, le=le
+            )
+        exp.sample("repro_request_latency_seconds_sum", snap["total_seconds"], op=op)
+        exp.sample("repro_request_latency_seconds_count", snap["count"], op=op)
+
+    if connections is not None:
+        exp.family(
+            "repro_connections_open", "gauge", "Open client connections."
+        )
+        exp.sample("repro_connections_open", connections)
+    return exp.text()

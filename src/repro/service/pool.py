@@ -26,6 +26,14 @@ context of a service (or of a thread-safe
   the hard bound is budget + one in-flight top-up batch per busy pool (a
   single busy pool — the common case — overshoots by at most its one
   crossing batch).
+* **Per-namespace quotas** — inside the global budget, each namespace
+  (session) may carry its own byte quota (:meth:`PoolManager.set_quota`).
+  Budget enforcement is two-pass: first every over-quota namespace
+  reclaims from **its own** idle pools until its quota holds, then the
+  global pass reclaims preferring pools of still-over-quota namespaces
+  before touching anyone else.  The fairness contract: a hot session
+  that overruns its quota sheds its own pools first and never evicts a
+  within-quota tenant's warmth while its own overrun can pay the bill.
 * **Spill / reattach** — with a spill directory configured, evicted and
   closed pools are written through
   :class:`~repro.service.store.PoolStore` (sets + sampler stream
@@ -213,6 +221,7 @@ class PoolManager:
         self.store = PoolStore(spill_dir) if spill_dir is not None else None
         self._lock = threading.RLock()
         self._entries: dict[PoolKey, _PoolEntry] = {}
+        self._quotas: dict[str, int] = {}  # namespace -> byte quota
         self._clock = 0
         self._evictions: dict[str, int] = {}  # namespace -> pools evicted
         self._truncations: dict[str, int] = {}  # namespace -> suffix truncations
@@ -286,35 +295,111 @@ class PoolManager:
         with self._lock:
             return sum(entry.nbytes for entry in self._entries.values())
 
-    def enforce_budget(self) -> int:
-        """Reclaim bytes from idle pools (LRU first) until the budget holds.
+    def set_quota(self, namespace: str, quota_bytes: int | None) -> None:
+        """Set (or clear, with ``None``) one namespace's byte quota.
 
-        Large pools shed their *suffix* first — per-set seed derivation
-        makes any prefix byte-exactly resumable, so truncation trades
-        cold warmup for memory without dropping the hot head — and pools
-        too small to truncate are evicted whole.  Returns the number of
-        reclaim actions (truncations + evictions).
+        Enforced immediately: lowering a quota below current usage
+        reclaims from the namespace's own idle pools right away.
         """
-        if self.budget_bytes is None:
-            return 0
+        if quota_bytes is not None and quota_bytes <= 0:
+            raise SamplingError(f"quota_bytes must be positive, got {quota_bytes}")
+        with self._lock:
+            if quota_bytes is None:
+                self._quotas.pop(namespace, None)
+            else:
+                self._quotas[namespace] = int(quota_bytes)
+        self.enforce_budget()
+
+    def quota_for(self, namespace: str) -> int | None:
+        with self._lock:
+            return self._quotas.get(namespace)
+
+    def quotas(self) -> dict:
+        """Copy of the ``{namespace: quota_bytes}`` map."""
+        with self._lock:
+            return dict(self._quotas)
+
+    def enforce_budget(self) -> int:
+        """Reclaim bytes from idle pools until quotas and budget hold.
+
+        Two passes.  **Quota pass**: every namespace over its own byte
+        quota reclaims from *its own* idle pools (LRU first) until the
+        quota holds.  **Global pass**: while the global budget is still
+        exceeded, reclaim LRU-first — preferring pools of namespaces
+        still over quota (their overrun pays the global bill) and only
+        then falling back to any idle pool.  Large pools shed their
+        *suffix* first — per-set seed derivation makes any prefix
+        byte-exactly resumable, so truncation trades cold warmup for
+        memory without dropping the hot head — and pools too small to
+        truncate are evicted whole.  Returns the number of reclaim
+        actions (truncations + evictions).
+        """
         reclaimed = 0
         with self._lock:
+            for namespace, quota in list(self._quotas.items()):
+                while True:
+                    used = sum(
+                        e.nbytes
+                        for k, e in self._entries.items()
+                        if k.namespace == namespace
+                    )
+                    if used <= quota:
+                        break
+                    victims = self._victims_locked(namespace)
+                    if not victims:
+                        break  # everything left in this namespace is busy
+                    self._reclaim_one_locked(victims)
+                    reclaimed += 1
+            if self.budget_bytes is None:
+                return reclaimed
             while sum(e.nbytes for e in self._entries.values()) > self.budget_bytes:
-                victims = [
-                    e for e in self._entries.values() if e.inflight == 0 and len(e.ctx.pool)
-                ]
-                if not victims:
-                    # Everything left is in flight: overshoot is bounded by
-                    # one top-up batch per busy pool until they go idle.
-                    break
-                victim = min(victims, key=lambda e: e.last_used)
-                keep = len(victim.ctx.pool) // 2
-                if keep >= self.suffix_min_sets:
-                    self._truncate(victim, keep)
+                over = self._over_quota_namespaces_locked()
+                if over:
+                    # An over-quota tenant pays the global bill.  If its
+                    # pools are all busy, overshoot until they go idle
+                    # (the quota pass then reclaims them) rather than
+                    # evict a within-quota tenant's warmth.
+                    victims = [
+                        e for e in self._victims_locked(None) if e.key.namespace in over
+                    ]
                 else:
-                    self._evict(victim)
+                    victims = self._victims_locked(None)
+                if not victims:
+                    # Everything eligible is in flight: overshoot is bounded
+                    # by one top-up batch per busy pool until they go idle.
+                    break
+                self._reclaim_one_locked(victims)
                 reclaimed += 1
         return reclaimed
+
+    def _victims_locked(self, namespace: str | None) -> list:
+        """Idle, non-empty entries eligible for reclaim.  Manager lock held."""
+        return [
+            e
+            for k, e in self._entries.items()
+            if (namespace is None or k.namespace == namespace)
+            and e.inflight == 0
+            and len(e.ctx.pool)
+        ]
+
+    def _over_quota_namespaces_locked(self) -> set:
+        usage: dict[str, int] = {}
+        for key, entry in self._entries.items():
+            usage[key.namespace] = usage.get(key.namespace, 0) + entry.nbytes
+        return {
+            ns
+            for ns, quota in self._quotas.items()
+            if usage.get(ns, 0) > quota
+        }
+
+    def _reclaim_one_locked(self, victims: list) -> None:
+        """Truncate or evict the least-recently-used victim.  Lock held."""
+        victim = min(victims, key=lambda e: e.last_used)
+        keep = len(victim.ctx.pool) // 2
+        if keep >= self.suffix_min_sets:
+            self._truncate(victim, keep)
+        else:
+            self._evict(victim)
 
     def _truncate(self, entry: _PoolEntry, keep: int) -> None:
         """Suffix-truncate one idle entry to ``[0, keep)``.  Manager lock
@@ -391,6 +476,42 @@ class PoolManager:
             return sum(
                 e.nbytes for k, e in self._entries.items() if k.namespace == namespace
             )
+
+    def occupancy(self, key: PoolKey) -> tuple[int, int]:
+        """``(sets, bytes)`` currently pooled at ``key`` (0, 0 if absent).
+
+        This is the admission cost model's view of the cache: how much
+        of a query's demand is already paid for.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return (0, 0)
+            return (len(entry.ctx.pool), entry.nbytes)
+
+    def namespace_usage(self) -> dict:
+        """Per-namespace gauge snapshot for metrics exposition.
+
+        ``{namespace: {"pools", "sets", "bytes", "inflight", "quota"}}``
+        — quota is ``None`` for unlimited namespaces.  Namespaces with a
+        quota but no open pools still appear (all-zero), so a tenant's
+        gauges never vanish from the scrape just because it went cold.
+        """
+        with self._lock:
+            usage: dict[str, dict] = {}
+            for ns in self._quotas:
+                usage[ns] = {"pools": 0, "sets": 0, "bytes": 0, "inflight": 0}
+            for key, entry in self._entries.items():
+                row = usage.setdefault(
+                    key.namespace, {"pools": 0, "sets": 0, "bytes": 0, "inflight": 0}
+                )
+                row["pools"] += 1
+                row["sets"] += len(entry.ctx.pool)
+                row["bytes"] += entry.nbytes
+                row["inflight"] += entry.inflight
+            for ns, row in usage.items():
+                row["quota"] = self._quotas.get(ns)
+            return usage
 
     def evictions_for(self, namespace: str | None = None) -> int:
         with self._lock:

@@ -1,15 +1,31 @@
-"""Wire protocol for the influence service: newline-delimited JSON.
+"""Wire protocol for the influence service: typed, versioned NDJSON.
 
 One request per line, one response per line, over any byte stream (the
-TCP server, a pipe, a test harness).  Requests name an operation, a
-session, and a parameter dict; responses carry either a result or a
-typed error:
+asyncio TCP server, a pipe, a test harness).  Frames are JSON objects;
+the typed view of each frame is a dataclass — :class:`Request`,
+:class:`OkResponse`, :class:`ErrorResponse` — with ``to_wire`` /
+``from_wire`` converters, so transports never build ad-hoc dicts:
 
 .. code-block:: json
 
-    {"id": 7, "op": "maximize", "session": "default", "params": {"k": 10}}
-    {"id": 7, "ok": true, "result": {"algorithm": "D-SSA", "seeds": [3, 1], ...}}
-    {"id": 8, "ok": false, "error": {"type": "ParameterError", "message": "..."}}
+    {"id": 7, "op": "maximize", "session": "default", "params": {"k": 10}, "proto": 1}
+    {"id": 7, "ok": true, "result": {"algorithm": "D-SSA", "seeds": [3, 1]}, "proto": 1}
+    {"id": 8, "ok": false, "error": {"type": "ServiceError", "code": "bad_request",
+                                     "message": "..."}}
+
+**Versioning.**  ``proto`` declares the protocol revision a client
+speaks; the current revision is :data:`PROTO_VERSION`.  A request
+*without* ``proto`` is an implicit version-0 client (the pre-typed dict
+protocol) and keeps working unchanged: v0 responses carry the same
+``id``/``ok``/``result``/``error.type``/``error.message`` fields they
+always did — everything newer (``error.code``, ``error.details``,
+echoed ``proto``) is additive.  Clients may open with a ``hello`` frame
+to learn the server's revision and op vocabulary before issuing
+queries.
+
+Requests are independent per connection: the server answers each as it
+completes, so responses to pipelined requests may arrive **out of
+order** — match on ``id``, not arrival order.
 
 Numbers are plain JSON numbers and seed lists are plain JSON arrays, so
 byte-identity of served answers is checkable from any client language.
@@ -20,15 +36,22 @@ diagnostics, unbounded in size, and not part of the answer.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.result import IMResult
 from repro.exceptions import ReproError
+from repro.service.errors import error_code, error_details
+
+#: the protocol revision this build speaks; negotiated via ``hello``.
+PROTO_VERSION = 1
 
 
 class ProtocolError(ReproError):
-    """Raised on malformed protocol messages."""
+    """Raised on malformed protocol messages (wire code ``bad_request``)."""
+
+    code = "bad_request"
 
 
 def to_jsonable(value):
@@ -46,6 +69,137 @@ def to_jsonable(value):
     return value
 
 
+# ----------------------------------------------------------------------
+# Typed frames
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Request:
+    """One decoded request frame.
+
+    ``proto`` is the client's declared protocol revision; ``None`` means
+    an implicit version-0 client, whose responses must stay shaped
+    exactly as the pre-typed protocol shaped them.
+    """
+
+    op: str
+    id: object = None
+    session: str = "default"
+    params: dict = field(default_factory=dict)
+    proto: "int | None" = None
+
+    @classmethod
+    def from_wire(cls, message: dict) -> "Request":
+        """Validate one decoded frame into a typed request."""
+        op = message.get("op")
+        if not isinstance(op, str):
+            raise ProtocolError("request needs a string 'op' field")
+        params = message.get("params", {})
+        if params is None:
+            params = {}
+        if not isinstance(params, dict):
+            raise ProtocolError("'params' must be a JSON object")
+        session = message.get("session", "default")
+        if not isinstance(session, str):
+            raise ProtocolError("'session' must be a string")
+        proto = message.get("proto")
+        if proto is not None:
+            if not isinstance(proto, int) or isinstance(proto, bool):
+                raise ProtocolError("'proto' must be an integer protocol revision")
+            if proto > PROTO_VERSION:
+                raise ProtocolError(
+                    f"client speaks protocol revision {proto}, this server "
+                    f"speaks up to {PROTO_VERSION}"
+                )
+        return cls(
+            op=op,
+            id=message.get("id"),
+            session=session,
+            params=dict(params),
+            proto=proto,
+        )
+
+    def to_wire(self) -> dict:
+        message = {"id": self.id, "op": self.op, "session": self.session,
+                   "params": self.params}
+        if self.proto is not None:
+            message["proto"] = self.proto
+        return message
+
+
+@dataclass(frozen=True)
+class OkResponse:
+    """A successful response to one request."""
+
+    id: object
+    result: object
+    proto: "int | None" = None
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+    def to_wire(self) -> dict:
+        message = {"id": self.id, "ok": True, "result": to_jsonable(self.result)}
+        if self.proto is not None:
+            message["proto"] = PROTO_VERSION
+        return message
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A failed response: stable ``code``, exception type, message.
+
+    ``details`` carries optional structured context — for
+    ``over_budget`` it is the admission controller's cost estimate.
+    """
+
+    id: object
+    code: str
+    error_type: str
+    message: str
+    details: "dict | None" = None
+    proto: "int | None" = None
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    @classmethod
+    def from_exception(
+        cls, request_id, exc: BaseException, *, proto: "int | None" = None,
+        code: "str | None" = None,
+    ) -> "ErrorResponse":
+        return cls(
+            id=request_id,
+            code=code if code is not None else error_code(exc),
+            error_type=type(exc).__name__,
+            message=str(exc),
+            details=error_details(exc),
+            proto=proto,
+        )
+
+    def to_wire(self) -> dict:
+        error = {"type": self.error_type, "message": self.message, "code": self.code}
+        if self.details is not None:
+            error["details"] = to_jsonable(self.details)
+        message = {"id": self.id, "ok": False, "error": error}
+        if self.proto is not None:
+            message["proto"] = PROTO_VERSION
+        return message
+
+
+def hello_payload(operations=()) -> dict:
+    """The server's side of ``hello`` version negotiation."""
+    return {
+        "proto": PROTO_VERSION,
+        "server": "repro-im",
+        "ops": list(operations),
+    }
+
+
+# ----------------------------------------------------------------------
+# Result flattening / line codec
+# ----------------------------------------------------------------------
 def result_to_dict(result: IMResult) -> dict:
     """Flatten one :class:`IMResult` for the wire (``extras`` excluded)."""
     return to_jsonable(
@@ -75,8 +229,10 @@ def summarize_result(payload: dict) -> str:
     )
 
 
-def encode_line(message: dict) -> bytes:
-    """Serialize one protocol message to a newline-terminated JSON line."""
+def encode_line(message) -> bytes:
+    """Serialize one protocol frame (typed or dict) to a JSON line."""
+    if hasattr(message, "to_wire"):
+        message = message.to_wire()
     return (json.dumps(to_jsonable(message), separators=(",", ":")) + "\n").encode()
 
 
@@ -97,13 +253,10 @@ def decode_line(line: "bytes | str") -> dict:
 
 
 def error_response(request_id, exc: BaseException) -> dict:
-    """Build the error response for one failed request."""
-    return {
-        "id": request_id,
-        "ok": False,
-        "error": {"type": type(exc).__name__, "message": str(exc)},
-    }
+    """Build the error response dict for one failed request (v0 helper)."""
+    return ErrorResponse.from_exception(request_id, exc).to_wire()
 
 
 def ok_response(request_id, result) -> dict:
-    return {"id": request_id, "ok": True, "result": to_jsonable(result)}
+    """Build the success response dict for one request (v0 helper)."""
+    return OkResponse(request_id, result).to_wire()

@@ -1,65 +1,59 @@
-"""TCP front-end for :class:`~repro.service.service.InfluenceService`.
+"""Asyncio TCP front-end for :class:`~repro.service.service.InfluenceService`.
 
-A thin transport: one thread per connection (the pool layer already
-guarantees concurrent queries are exact), newline-delimited JSON per
-:mod:`repro.service.protocol`.  This is the network counterpart of the
-execution-backend groundwork — workers parallelize *sampling* below the
-engine, this server parallelizes *queries* above it.
+The serving tier is a single event loop, so **connection count is
+decoupled from thread count**: ten thousand idle sockets cost ten
+thousand readers on one loop, not ten thousand threads.  Protocol work
+(framing, dispatch, response writing) happens on the loop; query work
+happens on the service's existing thread pool via
+:meth:`~repro.service.service.InfluenceService.submit`, bridged back
+with :func:`asyncio.wrap_future` — the `PoolManager` locking discipline
+is untouched, the loop never blocks on a query.
 
-Typical lifecycle::
+Requests **pipeline per connection**: a client may write any number of
+request lines without waiting; each is dispatched as its own task and
+answered when it completes, so responses can arrive **out of order** —
+clients match on ``id`` (see :mod:`repro.service.protocol`).  One
+connection issuing a slow ``maximize`` and a ``ping`` gets the pong
+immediately.
 
-    service = InfluenceService(pool_budget=..., spill_dir=...)
-    service.open_session("default", graph, model="LT", seed=7)
-    server = InfluenceServer(service, host="127.0.0.1", port=8642)
-    server.serve_forever()          # or server.start_background()
+Lifecycle mirrors the historical thread-per-connection server exactly —
+``serve_forever`` / ``start_background`` / ``stop_async`` /
+``shutdown`` with the same shutdown-vs-startup race guarantees — and the
+listening socket binds eagerly in ``__init__`` so :attr:`address` is
+known before serving.  Clients may send ``{"op": "shutdown"}`` to stop
+the server remotely (used by CI and orchestration scripts); the
+response is written before the listener winds down.
 
-Clients may send ``{"op": "shutdown"}`` to stop the server remotely
-(used by CI and orchestration scripts); the response is written before
-the listener winds down, and the service spills its pools on close.
+With ``metrics_port`` set, a second listener serves Prometheus text
+exposition to plain HTTP ``GET /metrics`` scrapes
+(:func:`~repro.service.metrics.prometheus_text`) — no protocol client
+needed to observe the tier.
 """
 
 from __future__ import annotations
 
-import socketserver
+import asyncio
+import socket
 import threading
 
 from repro.exceptions import ReproError
+from repro.service.metrics import prometheus_text
 from repro.service.protocol import (
-    ProtocolError,
+    ErrorResponse,
+    OkResponse,
+    Request,
     decode_line,
     encode_line,
-    error_response,
-    ok_response,
+    hello_payload,
 )
-from repro.service.service import InfluenceService, ServiceError
+from repro.service.service import OPERATIONS, InfluenceService
 
-
-class _ConnectionHandler(socketserver.StreamRequestHandler):
-    """One client connection: request lines in, response lines out."""
-
-    def handle(self) -> None:
-        server: "InfluenceServer" = self.server.influence_server  # type: ignore[attr-defined]
-        for raw in self.rfile:
-            if not raw.strip():
-                continue
-            response, stop = server.process_line(raw)
-            try:
-                self.wfile.write(encode_line(response))
-                self.wfile.flush()
-            except (BrokenPipeError, OSError):
-                return
-            if stop:
-                server.stop_async()
-                return
-
-
-class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
-    allow_reuse_address = True
-    daemon_threads = True
+#: transport-level ops the server answers without touching the service.
+TRANSPORT_OPS = ("hello", "shutdown")
 
 
 class InfluenceServer:
-    """Serve an :class:`InfluenceService` over a TCP socket.
+    """Serve an :class:`InfluenceService` over an asyncio TCP socket.
 
     Parameters
     ----------
@@ -69,95 +63,325 @@ class InfluenceServer:
         does, so a remote ``shutdown`` op spills pools on the way out).
     host, port:
         Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    metrics_port:
+        When not ``None``, also bind an HTTP listener on
+        ``(host, metrics_port)`` answering ``GET /metrics`` with
+        Prometheus text exposition (``0`` picks a free port, see
+        :attr:`metrics_address`).
     """
 
     def __init__(
-        self, service: InfluenceService, *, host: str = "127.0.0.1", port: int = 0
+        self,
+        service: InfluenceService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics_port: int | None = None,
     ) -> None:
         self.service = service
-        self._tcp = _ThreadingTCPServer((host, port), _ConnectionHandler)
-        self._tcp.influence_server = self  # type: ignore[attr-defined]
+        # Eager bind: the address is known (and the port reserved) before
+        # serve_forever runs, exactly as the socketserver front end did.
+        self._sock = socket.create_server((host, port))
+        self._metrics_sock = (
+            socket.create_server((host, metrics_port))
+            if metrics_port is not None
+            else None
+        )
         self._stopped = threading.Event()
+        self._finished = threading.Event()  # serve loop fully wound down
         self._lifecycle = threading.Lock()
         self._serving = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        # Loop-thread-only state (no locks: touched only on the loop).
+        self._stop_event: asyncio.Event | None = None
+        self._stop_requested = False
+        self._tasks: set = set()
+        self._connections = 0
 
     @property
     def address(self) -> "tuple[str, int]":
         """The actually bound ``(host, port)``."""
-        return self._tcp.server_address[:2]
+        return self._sock.getsockname()[:2]
+
+    @property
+    def metrics_address(self) -> "tuple[str, int] | None":
+        """The bound metrics ``(host, port)``; ``None`` when disabled."""
+        if self._metrics_sock is None:
+            return None
+        return self._metrics_sock.getsockname()[:2]
 
     # ------------------------------------------------------------------
     # Request processing
     # ------------------------------------------------------------------
-    def process_line(self, raw: bytes) -> "tuple[dict, bool]":
-        """Handle one request line; returns ``(response, stop_server)``."""
+    def process_line(self, raw: bytes) -> "tuple[object, bool]":
+        """Handle one request line synchronously (transport-agnostic core).
+
+        Returns ``(response_frame, stop_server)``.  The asyncio path
+        does the same decode/dispatch but awaits the service instead of
+        blocking; this entry point stays for in-process callers and
+        tests that want the protocol without a socket.
+        """
+        request, response = self._decode_request(raw)
+        if response is not None:
+            return response, False
+        transport = self._transport_response(request)
+        if transport is not None:
+            return transport
+        try:
+            result = self.service.call(
+                request.op, session=request.session, **request.params
+            )
+            return (
+                OkResponse(request.id, self.service.wire_result(result), proto=request.proto),
+                False,
+            )
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            return ErrorResponse.from_exception(request.id, exc, proto=request.proto), False
+
+    def _decode_request(self, raw):
+        """Decode one line to ``(Request, None)`` or ``(None, ErrorResponse)``."""
         request_id = None
         try:
             message = decode_line(raw)
             request_id = message.get("id")
-            op = message.get("op")
-            if not isinstance(op, str):
-                raise ProtocolError("request needs a string 'op' field")
-            if op == "shutdown":
-                return ok_response(request_id, {"stopping": True}), True
-            session = message.get("session", "default")
-            params = message.get("params", {})
-            if not isinstance(params, dict):
-                raise ProtocolError("'params' must be a JSON object")
-            result = self.service.call(op, session=session, **params)
-            return ok_response(request_id, self.service.wire_result(result)), False
+            return Request.from_wire(message), None
         except (ReproError, ValueError, KeyError, TypeError) as exc:
-            return error_response(request_id, exc), False
+            return None, ErrorResponse.from_exception(request_id, exc)
+
+    def _transport_response(self, request: Request):
+        """Answer transport-level ops; ``None`` for service ops."""
+        if request.op == "shutdown":
+            return OkResponse(request.id, {"stopping": True}, proto=request.proto), True
+        if request.op == "hello":
+            payload = hello_payload(OPERATIONS + TRANSPORT_OPS)
+            return OkResponse(request.id, payload, proto=request.proto), False
+        return None
+
+    async def _respond(self, raw: bytes):
+        """Async decode/dispatch for one request line (loop thread)."""
+        request, response = self._decode_request(raw)
+        if response is not None:
+            return response, False
+        transport = self._transport_response(request)
+        if transport is not None:
+            return transport
+        try:
+            future = self.service.submit(
+                request.op, session=request.session, **request.params
+            )
+            result = await asyncio.wrap_future(future)
+            return (
+                OkResponse(request.id, self.service.wire_result(result), proto=request.proto),
+                False,
+            )
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            return ErrorResponse.from_exception(request.id, exc, proto=request.proto), False
+
+    # ------------------------------------------------------------------
+    # Connection handling (loop thread)
+    # ------------------------------------------------------------------
+    async def _handle_request(self, raw, writer, write_lock) -> None:
+        response, stop = await self._respond(raw)
+        try:
+            async with write_lock:
+                writer.write(encode_line(response))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            # Client went away mid-response: the query already completed
+            # (and released its pool snapshot); nothing to clean up.
+            return
+        if stop:
+            self.stop_async()
+
+    def _spawn(self, coro):
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    async def _handle_connection(self, reader, writer) -> None:
+        """One client connection: pipelined request lines in, responses out.
+
+        Every request line becomes its own task, so a connection can
+        have many queries in flight; the write lock keeps response
+        frames whole.  On disconnect — clean or abrupt — the handler
+        waits for in-flight requests to finish (their executor futures
+        are not cancellable mid-query), which releases their pool
+        snapshots; their response writes fail silently.
+        """
+        self._connections += 1
+        write_lock = asyncio.Lock()
+        pending: set = set()
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (ConnectionError, OSError):
+                    break
+                if not raw:
+                    break
+                if not raw.strip():
+                    continue
+                task = self._spawn(self._handle_request(raw, writer, write_lock))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        finally:
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            self._connections -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_metrics(self, reader, writer) -> None:
+        """Answer one plain-HTTP scrape on the metrics listener."""
+        try:
+            request_line = await reader.readline()
+            while True:  # drain headers up to the blank line
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.split()
+            method = parts[0].decode("latin-1") if parts else ""
+            path = parts[1].decode("latin-1") if len(parts) > 1 else "/"
+            path = path.split("?", 1)[0]
+            if method != "GET":
+                status, ctype = "405 Method Not Allowed", "text/plain; charset=utf-8"
+                body = b"method not allowed; GET /metrics\n"
+            elif path not in ("/metrics", "/"):
+                status, ctype = "404 Not Found", "text/plain; charset=utf-8"
+                body = b"not found; scrape /metrics\n"
+            else:
+                text = prometheus_text(self.service, connections=self._connections)
+                status = "200 OK"
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+                body = text.encode()
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def _signal_stop(self) -> None:
+        # Runs on the loop thread (scheduled by call_soon_threadsafe).
+        self._stop_requested = True
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def _serve(self) -> None:
+        self._stop_event = asyncio.Event()
+        if self._stop_requested:
+            # shutdown() signalled before the loop started running.
+            self._stop_event.set()
+        server = await asyncio.start_server(self._handle_connection, sock=self._sock)
+        metrics_server = None
+        if self._metrics_sock is not None:
+            metrics_server = await asyncio.start_server(
+                self._handle_metrics, sock=self._metrics_sock
+            )
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            if metrics_server is not None:
+                metrics_server.close()
+            await server.wait_closed()
+            if metrics_server is not None:
+                await metrics_server.wait_closed()
+            # Outstanding request tasks: cancel the awaits (the executor
+            # side of an in-flight query still runs to completion and
+            # releases its snapshot; only the response write is dropped).
+            for task in list(self._tasks):
+                task.cancel()
+            if self._tasks:
+                await asyncio.gather(*self._tasks, return_exceptions=True)
+
     def serve_forever(self) -> None:
         """Block serving requests until :meth:`shutdown` (or a remote one)."""
         with self._lifecycle:
             if self._stopped.is_set():
                 # shutdown() won the race (or already ran): never enter the
-                # serve loop, just release the socket.
-                self._tcp.server_close()
+                # serve loop, just release the sockets.
+                self._close_sockets()
+                self._finished.set()
                 return
             self._serving = True
+            loop = asyncio.new_event_loop()
+            self._loop = loop
         try:
-            self._tcp.serve_forever(poll_interval=0.1)
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(self._serve())
         finally:
-            with self._lifecycle:
-                self._serving = False
-                self._stopped.set()
-            self._tcp.server_close()
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                asyncio.set_event_loop(None)
+                loop.close()
+                with self._lifecycle:
+                    self._serving = False
+                    self._loop = None
+                    self._stopped.set()
+                self._close_sockets()
+                self._finished.set()
+
+    def _close_sockets(self) -> None:
+        # Idempotent; asyncio's Server.close() may already have closed
+        # the underlying sockets.
+        self._sock.close()
+        if self._metrics_sock is not None:
+            self._metrics_sock.close()
 
     def start_background(self) -> threading.Thread:
         """Serve on a daemon thread; returns the thread."""
-        thread = threading.Thread(target=self.serve_forever, name="influence-server", daemon=True)
+        thread = threading.Thread(
+            target=self.serve_forever, name="influence-server", daemon=True
+        )
         thread.start()
         return thread
 
     def stop_async(self) -> None:
-        """Request shutdown from a handler thread (non-blocking)."""
+        """Request shutdown from the loop or a handler (non-blocking)."""
         threading.Thread(target=self.shutdown, daemon=True).start()
 
     def shutdown(self, *, close_service: bool = False) -> None:
         """Stop the listener (idempotent); optionally close the service.
 
-        Safe at any lifecycle point: ``socketserver.shutdown`` blocks on an
-        event that only a *running* ``serve_forever`` loop ever sets, so it
-        is called only when the loop is live.  If the loop has not started
-        yet (e.g. ``start_background`` just launched its thread), the stop
-        flag makes ``serve_forever`` exit before serving instead — no
-        deadlock either way.
+        Safe at any lifecycle point: if the loop is live, the stop event
+        is set on the loop thread and the caller waits for the loop to
+        wind down; if the loop has not started yet (``start_background``
+        just launched its thread), the stop flag makes ``serve_forever``
+        exit before serving instead — no deadlock either way.
         """
         with self._lifecycle:
             first = not self._stopped.is_set()
             self._stopped.set()
             serving = self._serving
+            loop = self._loop
         if first:
-            if serving:
-                self._tcp.shutdown()
+            if serving and loop is not None:
+                try:
+                    loop.call_soon_threadsafe(self._signal_stop)
+                except RuntimeError:
+                    pass  # the loop closed between the lock and the call
+                self._finished.wait(timeout=30)
             else:
-                self._tcp.server_close()
+                self._close_sockets()
         if close_service:
             self.service.close()
 
@@ -170,7 +394,11 @@ class InfluenceServer:
 
 
 def serve(
-    service: InfluenceService, *, host: str = "127.0.0.1", port: int = 0
+    service: InfluenceService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    metrics_port: int | None = None,
 ) -> InfluenceServer:
     """Convenience: build a server bound to ``(host, port)``."""
-    return InfluenceServer(service, host=host, port=port)
+    return InfluenceServer(service, host=host, port=port, metrics_port=metrics_port)

@@ -33,29 +33,33 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.engine.engine import InfluenceEngine
 from repro.engine.registry import get_algorithm, list_algorithms
-from repro.exceptions import ReproError
-from repro.service.metrics import MetricsRegistry
+from repro.service.admission import ADMITTED_OPS, AdmissionController, estimate_cost
+from repro.service.errors import (  # noqa: F401  (re-exported compat surface)
+    InternalServiceError,
+    OverBudgetError,
+    ServiceError,
+    UnknownSessionError,
+)
+from repro.service.metrics import MetricsRegistry, prometheus_text
 from repro.service.pool import PoolManager
 from repro.service.protocol import result_to_dict
 
-
-class ServiceError(ReproError):
-    """Raised for unknown sessions/operations and service misuse."""
-
-
 #: operation vocabulary shared by the programmatic API, the TCP server,
-#: and the REPL.  ``shutdown`` is transport-level and handled by the
-#: server, not here.
+#: and the REPL.  ``shutdown`` and ``hello`` are transport-level and
+#: handled by the server, not here.
 OPERATIONS = (
     "ping",
     "algorithms",
     "sessions",
     "stats",
     "metrics",
+    "metrics_text",
+    "quota",
     "resize",
     "mutate",
     "maximize",
@@ -82,17 +86,30 @@ def _opt_float(value, name: str) -> float | None:
         raise ServiceError(f"{name} must be a number, got {value!r}") from exc
 
 
-def _edge_list(value, name: str, *, weighted: bool) -> list[tuple]:
+def _edge_list(value, name: str, *, weighted: bool, allow_string: bool = True) -> list[tuple]:
     """Parse a wire-format edge list for the ``mutate`` operation.
 
-    Accepts either a string of comma-separated groups with colon-separated
-    fields (``"0:1:0.5,2:3:0.25"`` for weighted ops, ``"4:5"`` for
-    removes) or a list of ``[u, v(, w)]`` sequences.  Weighted ops
+    The structured form is a list of ``[u, v(, w)]`` rows — the
+    :meth:`repro.dynamic.delta.GraphDelta.as_dict` wire shape.  The
+    legacy string form (comma-separated groups with colon-separated
+    fields, ``"0:1:0.5,2:3:0.25"``) is a **deprecated alias** kept for
+    one release; it warns and will be removed.  Weighted ops
     (add/reweight) need exactly three fields; removes exactly two.
     """
     if value is None:
         return []
     if isinstance(value, str):
+        if not allow_string:
+            raise ServiceError(
+                f"{name} must be a list of edge rows, not a string"
+            )
+        warnings.warn(
+            f"string edge lists for mutate ({name}={value!r}) are deprecated; "
+            "send the structured GraphDelta.as_dict() form "
+            '({"delta": {"add": [[u, v, w], ...], ...}})',
+            DeprecationWarning,
+            stacklevel=3,
+        )
         value = [group.split(":") for group in value.split(",") if group.strip()]
     arity = 3 if weighted else 2
     out = []
@@ -139,6 +156,10 @@ class InfluenceService:
     max_workers:
         Size of the thread pool behind :meth:`submit`; also the number
         of queries that can make progress at once.
+    admission_queue_timeout:
+        How long an admitted-but-over-reserved query queues for
+        in-flight reservations to drain before rejection (see
+        :class:`~repro.service.admission.AdmissionController`).
     """
 
     def __init__(
@@ -147,11 +168,13 @@ class InfluenceService:
         pool_budget: int | None = None,
         spill_dir=None,
         max_workers: int = 8,
+        admission_queue_timeout: float = 0.5,
     ) -> None:
         if max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
         self.pools = PoolManager(budget_bytes=pool_budget, spill_dir=spill_dir)
         self.metrics = MetricsRegistry()
+        self.admission = AdmissionController(queue_timeout=admission_queue_timeout)
         self._engines: dict[str, InfluenceEngine] = {}
         self._lock = threading.RLock()
         self._executor = ThreadPoolExecutor(
@@ -173,8 +196,15 @@ class InfluenceService:
         workers: int | None = None,
         roots=None,
         kernel=None,
+        quota_bytes: int | None = None,
     ) -> InfluenceEngine:
-        """Create a named engine session bound to the shared pool manager."""
+        """Create a named engine session bound to the shared pool manager.
+
+        ``quota_bytes`` caps this session's share of the pool budget:
+        over-quota usage reclaims from the session's *own* pools first,
+        and the admission controller rejects queries whose predicted
+        RR-set bill exceeds the quota (see :meth:`set_quota`).
+        """
         with self._lock:
             self._check_open()
             if name in self._engines:
@@ -191,7 +221,14 @@ class InfluenceService:
                 session=name,
             )
             self._engines[name] = engine
-            return engine
+        if quota_bytes is not None:
+            self.pools.set_quota(name, quota_bytes)
+        return engine
+
+    def set_quota(self, name: str, quota_bytes: int | None) -> None:
+        """Set (or clear, with ``None``) one session's byte quota."""
+        self.session(name)  # raises UnknownSessionError for typos
+        self.pools.set_quota(name, quota_bytes)
 
     def session(self, name: str = "default") -> InfluenceEngine:
         """Look a session up by name."""
@@ -199,7 +236,7 @@ class InfluenceService:
             engine = self._engines.get(name)
             open_names = sorted(self._engines)
         if engine is None:
-            raise ServiceError(
+            raise UnknownSessionError(
                 f"unknown session {name!r}; open sessions: {open_names}"
             )
         return engine
@@ -209,8 +246,9 @@ class InfluenceService:
         with self._lock:
             engine = self._engines.pop(name, None)
         if engine is None:
-            raise ServiceError(f"unknown session {name!r}")
+            raise UnknownSessionError(f"unknown session {name!r}")
         engine.close()
+        self.pools.set_quota(name, None)
 
     def sessions(self) -> dict:
         """Summary of every open session, keyed by name."""
@@ -249,7 +287,12 @@ class InfluenceService:
 
         Every call — success or failure — is timed into the service's
         per-op latency histograms (the ``metrics`` operation reads them
-        back).
+        back).  Query operations (:data:`~repro.service.admission.ADMITTED_OPS`)
+        pass through the admission controller first: their predicted
+        RR-set bill is checked against the session quota, and an
+        unaffordable query fails with
+        :class:`~repro.service.errors.OverBudgetError` before any
+        sampling happens.
         """
         self._check_open()
         handler = getattr(self, f"_op_{op.replace('-', '_')}", None)
@@ -257,6 +300,16 @@ class InfluenceService:
             raise ServiceError(f"unknown operation {op!r}; known: {OPERATIONS}")
         start = time.perf_counter()
         try:
+            if op in ADMITTED_OPS:
+                engine = self.session(session)
+                quota = self.pools.quota_for(session)
+                estimate = estimate_cost(
+                    engine, op=op, session=session, params=params, quota_bytes=quota
+                )
+                with self.admission.admit(
+                    session=session, quota=quota, estimate=estimate
+                ):
+                    return handler(session, dict(params))
             return handler(session, dict(params))
         finally:
             self.metrics.observe(op, time.perf_counter() - start)
@@ -278,6 +331,9 @@ class InfluenceService:
                     },
                     "reattached_sets": self.pools.reattached_for(session),
                     "pool_truncations": self.pools.truncations_for(session),
+                    "pool_bytes": self.pools.bytes_for(session),
+                    "quota_bytes": self.pools.quota_for(session),
+                    "admission": self.admission.counters().get(session, {}),
                 }
             )
             return payload
@@ -288,6 +344,8 @@ class InfluenceService:
             "pool_bytes_total": self.pools.total_bytes(),
             "pool_budget": self.pools.budget_bytes,
             "evictions_total": self.pools.evictions_for(None),
+            "quotas": self.pools.quotas(),
+            "admission": self.admission.counters(),
         }
 
     # ------------------------------------------------------------------
@@ -326,6 +384,34 @@ class InfluenceService:
         self._reject_unknown("metrics", params)
         return self.metrics.snapshot()
 
+    def _op_metrics_text(self, session: str, params: dict):
+        """Prometheus text exposition over the NDJSON protocol.
+
+        The same text a ``GET /metrics`` scrape on ``--metrics-port``
+        returns, so protocol-only clients can still feed a scraper.
+        """
+        self._reject_unknown("metrics_text", params)
+        return {
+            "content_type": "text/plain; version=0.0.4; charset=utf-8",
+            "text": prometheus_text(self),
+        }
+
+    def _op_quota(self, session: str, params: dict):
+        """Read or set the session's byte quota over the wire."""
+        has_quota = "quota_bytes" in params
+        quota = _opt_int(params.pop("quota_bytes", None), "quota_bytes")
+        self._reject_unknown("quota", params)
+        if has_quota:
+            self.set_quota(session, quota)
+        else:
+            self.session(session)
+        return {
+            "session": session,
+            "quota_bytes": self.pools.quota_for(session),
+            "pool_bytes": self.pools.bytes_for(session),
+            "reserved_bytes": self.admission.reserved_for(session),
+        }
+
     def _op_resize(self, session: str, params: dict):
         engine = self.session(session)
         workers = _opt_int(params.pop("workers", None), "workers")
@@ -337,9 +423,31 @@ class InfluenceService:
 
     def _op_mutate(self, session: str, params: dict):
         engine = self.session(session)
-        add = _edge_list(params.pop("add", None), "add", weighted=True)
-        remove = _edge_list(params.pop("remove", None), "remove", weighted=False)
-        reweight = _edge_list(params.pop("reweight", None), "reweight", weighted=True)
+        delta = params.pop("delta", None)
+        if delta is not None:
+            # Structured wire form: GraphDelta.as_dict() verbatim.
+            if not isinstance(delta, dict):
+                raise ServiceError(
+                    "mutate delta must be a JSON object in GraphDelta.as_dict() "
+                    f"form, got {type(delta).__name__}"
+                )
+            unknown = sorted(set(delta) - {"add", "remove", "reweight"})
+            if unknown:
+                raise ServiceError(f"mutate delta got unknown key(s) {unknown}")
+            if any(params.get(k) is not None for k in ("add", "remove", "reweight")):
+                raise ServiceError(
+                    "mutate takes either a structured delta or legacy "
+                    "add/remove/reweight fields, not both"
+                )
+            for k in ("add", "remove", "reweight"):
+                params.pop(k, None)
+            add = _edge_list(delta.get("add"), "delta.add", weighted=True, allow_string=False)
+            remove = _edge_list(delta.get("remove"), "delta.remove", weighted=False, allow_string=False)
+            reweight = _edge_list(delta.get("reweight"), "delta.reweight", weighted=True, allow_string=False)
+        else:
+            add = _edge_list(params.pop("add", None), "add", weighted=True)
+            remove = _edge_list(params.pop("remove", None), "remove", weighted=False)
+            reweight = _edge_list(params.pop("reweight", None), "reweight", weighted=True)
         self._reject_unknown("mutate", params)
         if not (add or remove or reweight):
             raise ServiceError("mutate needs at least one of add/remove/reweight")

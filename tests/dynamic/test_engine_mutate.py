@@ -165,3 +165,30 @@ class TestServiceMutate:
                 service.call("mutate", add="1:2")  # adds need a weight
             with pytest.raises(ServiceError, match="unknown parameter"):
                 service.call("mutate", remove="0:1", frobnicate=3)
+
+    def test_structured_delta_wire_form(self, small_wc_graph):
+        """The v1 wire form is ``GraphDelta.as_dict()`` under ``delta``."""
+        u, v = _existing_edge(small_wc_graph)
+        delta = GraphDelta().remove_edge(u, v).add_edge(0, small_wc_graph.n - 1, 0.4)
+        with InfluenceService() as service:
+            service.open_session("default", small_wc_graph, model="IC", seed=SEED)
+            report = service.call("mutate", delta=delta.as_dict())
+            assert report["graph_version"] == 1
+            assert report["sets_total"] >= report["repaired"] >= 0
+
+    def test_structured_delta_rejects_unknown_and_mixed_fields(self, small_wc_graph):
+        u, v = _existing_edge(small_wc_graph)
+        with InfluenceService() as service:
+            service.open_session("default", small_wc_graph, model="IC", seed=SEED)
+            with pytest.raises(ServiceError, match="delta"):
+                service.call("mutate", delta={"drop": [[u, v]]})
+            with pytest.raises(ServiceError, match="legacy"):
+                service.call("mutate", delta={"remove": [[u, v]]}, add="1:2:0.5")
+
+    def test_legacy_string_edge_lists_warn_deprecation(self, small_wc_graph):
+        u, v = _existing_edge(small_wc_graph)
+        with InfluenceService() as service:
+            service.open_session("default", small_wc_graph, model="IC", seed=SEED)
+            with pytest.warns(DeprecationWarning, match="GraphDelta.as_dict"):
+                report = service.call("mutate", remove=f"{u}:{v}")
+            assert report["graph_version"] == 1

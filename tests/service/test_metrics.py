@@ -159,3 +159,77 @@ class TestOverTheWire:
         finally:
             server.shutdown()
             service.close()
+
+
+class TestPrometheusText:
+    """The text exposition (format 0.0.4) that ``GET /metrics`` serves."""
+
+    @pytest.fixture
+    def exposed(self, small_wc_graph):
+        from repro.service import prometheus_text
+
+        service = InfluenceService(pool_budget=1 << 20, max_workers=2)
+        service.open_session(
+            "default", small_wc_graph, model="LT", seed=SEED, quota_bytes=1 << 19
+        )
+        service.call("maximize", k=3, epsilon=EPS)
+        try:
+            yield service, prometheus_text(service, connections=3)
+        finally:
+            service.close()
+
+    def test_every_family_has_help_and_type(self, exposed):
+        _, text = exposed
+        families = set()
+        for line in text.splitlines():
+            if line.startswith("# HELP "):
+                families.add(("HELP", line.split(" ", 3)[2]))
+            elif line.startswith("# TYPE "):
+                families.add(("TYPE", line.split(" ", 3)[2]))
+        names = {name for _, name in families}
+        for name in names:
+            assert ("HELP", name) in families, f"{name} lacks # HELP"
+            assert ("TYPE", name) in families, f"{name} lacks # TYPE"
+
+    def test_gauges_mirror_pool_state(self, exposed):
+        service, text = exposed
+        samples = {}
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                name_labels, _, value = line.rpartition(" ")
+                samples[name_labels] = float(value)
+        assert samples["repro_pool_bytes"] == service.pools.total_bytes()
+        assert samples["repro_pool_budget_bytes"] == 1 << 20
+        assert samples['repro_session_quota_bytes{session="default"}'] == 1 << 19
+        usage = service.pools.namespace_usage()["default"]
+        assert samples['repro_session_pool_bytes{session="default"}'] == usage["bytes"]
+        assert samples['repro_session_pool_sets{session="default"}'] == usage["sets"]
+        assert samples["repro_connections_open"] == 3
+        accepted = 'repro_admission_decisions_total{session="default",outcome="accepted"}'
+        assert samples[accepted] == 1
+
+    def test_histogram_buckets_are_cumulative_to_inf(self, exposed):
+        _, text = exposed
+        buckets = []
+        count = None
+        for line in text.splitlines():
+            if line.startswith("repro_request_latency_seconds_bucket"):
+                buckets.append(float(line.rpartition(" ")[2]))
+            elif line.startswith("repro_request_latency_seconds_count"):
+                count = float(line.rpartition(" ")[2])
+        assert buckets, "histogram family missing"
+        assert buckets == sorted(buckets), "bucket counts must be cumulative"
+        assert 'le="+Inf"' in text
+        assert buckets[-1] == count, "+Inf bucket must equal _count"
+
+    def test_sample_lines_are_well_formed(self, exposed):
+        import re
+
+        _, text = exposed
+        pattern = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+            r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? [0-9.eE+-]+$'
+        )
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                assert pattern.match(line), f"malformed sample line: {line!r}"
