@@ -13,11 +13,13 @@ ways:
   the historical per-(dataset, model) throughput benchmarks, now
   parametrized over kernels, plus a smoke run of the kernel matrix;
 * **script mode** (``python benchmarks/bench_sampler_microbench.py``) —
-  the full scalar-vs-vectorized matrix over workloads × backends:
-  sets/sec per cell, speedup vs the scalar kernel on the same backend, a
-  within-kernel byte-identity check across backends, and a
-  machine-readable ``BENCH_sampler.json`` that CI's ``perf`` job gates
-  against ``benchmarks/baselines/`` (see
+  the full kernel matrix (scalar / vectorized / batched, with
+  ``lt-batched`` in the LT cells) over workloads × backends: sets/sec
+  per cell, speedup vs the scalar kernel on the same backend, a
+  within-kernel byte-identity check across backends (plus the batched
+  kernels' batch-composition invariance), and a machine-readable
+  ``BENCH_sampler.json`` that CI's ``perf`` job gates against
+  ``benchmarks/baselines/`` (see
   ``benchmarks/check_perf_regression.py``).
 
 The workload matrix deliberately spans both cascade regimes: under the
@@ -64,7 +66,14 @@ WORKLOADS = (
     ("twitter-p0.05", "twitter", 0.05, "IC", 300),
 )
 
-KERNEL_NAMES = ("scalar", "vectorized")
+KERNEL_NAMES = ("scalar", "vectorized", "batched")
+#: LT cells swap the lockstep column for the LT walk kernel (plain
+#: ``batched`` has no LT fast path — it would just re-time the walk).
+LT_KERNEL_NAMES = ("scalar", "vectorized", "lt-batched")
+
+
+def _kernels_for(model: str) -> tuple:
+    return LT_KERNEL_NAMES if model == "LT" else KERNEL_NAMES
 
 
 def _load_workload(dataset: str, weighting, scale: float):
@@ -110,7 +119,7 @@ def run_matrix(args: argparse.Namespace) -> dict:
         graph = _load_workload(dataset, weighting, args.scale)
         for backend in args.backends:
             scalar_rate = None
-            for kernel in KERNEL_NAMES:
+            for kernel in _kernels_for(model):
                 sampler = _make(graph, model, kernel, backend, args.workers, args.seed)
                 try:
                     seconds = _time_batch(sampler, sets, warmup=max(20, sets // 10))
@@ -165,7 +174,10 @@ def run_matrix(args: argparse.Namespace) -> dict:
 def _byte_identity_check(args: argparse.Namespace) -> dict:
     """Same (seed, workers) on two backends must agree byte-for-byte,
     separately under each kernel — the stream contract this benchmark's
-    numbers are only meaningful under."""
+    numbers are only meaningful under.  The batched kernels additionally
+    prove batch-composition invariance: blocks of width 1 and 64 must
+    reproduce the per-set stream exactly."""
+    from repro.sampling.base import make_sampler
     from repro.sampling.sharded import ShardedSampler
 
     graph = _load_workload("nethept", None, args.scale)
@@ -184,6 +196,22 @@ def _byte_identity_check(args: argparse.Namespace) -> dict:
             np.array_equal(a, b)
             for a, b in zip(batches["serial"], batches["thread"])
         )
+    for kernel, model in (("batched", "IC"), ("lt-batched", "LT")):
+        sampler = make_sampler(graph, model, seed=args.seed, kernel=kernel)
+        reference = [sampler.sample_at(g) for g in range(128)]
+        ok = True
+        for width in (1, 64):
+            blocked = []
+            for s in range(0, 128, width):
+                blocked.extend(
+                    sampler.sample_block(
+                        np.arange(s, min(s + width, 128), dtype=np.int64)
+                    )
+                )
+            ok &= all(
+                np.array_equal(a, b) for a, b in zip(blocked, reference)
+            )
+        verdict[f"{kernel}-batch-invariance"] = ok
     return verdict
 
 
@@ -218,8 +246,10 @@ def render_report(payload: dict) -> str:
     )
     report += (
         "\nnote: wc workloads have tiny RR sets (per-step numpy overhead bounds "
-        "the vectorized kernel near 1x); constant-p IC is the viral regime the "
-        "frontier-at-once kernel exists for."
+        "the vectorized kernel near 1x) — the batched/lt-batched kernels "
+        "amortize per-set dispatch across lockstep lanes and are the wc "
+        "headline; constant-p IC is the viral regime the frontier-at-once "
+        "kernel exists for."
     )
     return report
 

@@ -28,8 +28,9 @@ import numpy as np
 
 from benchmarks._common import write_report
 
-KERNELS = ("scalar", "vectorized")
+KERNELS = ("scalar", "vectorized", "batched")
 WORKER_COUNTS = (1, 2, 4)
+BATCH_WIDTHS = (1, 7, 64)
 
 
 def stream_hash(rr_sets) -> str:
@@ -83,6 +84,28 @@ def run(args: argparse.Namespace) -> "tuple[list[str], bool]":
             verdict = "OK" if got == reference else "MISMATCH"
             ok &= got == reference
             lines.append(f"    {backend:>7} resize 1->4 mid-stream: {got} {verdict}")
+
+    # Batch-composition cell: the batched kernels serve whole index
+    # blocks in lockstep, but batching must be byte-invisible — every
+    # block width hashes to the per-set reference (docs/INVARIANTS.md,
+    # batch-composition invariance).
+    block_kernel = "batched" if args.model == "IC" else "lt-batched"
+    lines.append(f"  batch-composition invariance ({block_kernel}):")
+    sampler = make_sampler(graph, args.model, args.seed, kernel=block_kernel)
+    reference = stream_hash(sampler.sample_at(g) for g in range(args.sets))
+    lines.append(f"    per-set reference = {reference}")
+    for width in BATCH_WIDTHS:
+        blocked = []
+        for s in range(0, args.sets, width):
+            blocked.extend(
+                sampler.sample_block(
+                    np.arange(s, min(s + width, args.sets), dtype=np.int64)
+                )
+            )
+        got = stream_hash(blocked)
+        verdict = "OK" if got == reference else "MISMATCH"
+        ok &= got == reference
+        lines.append(f"    width {width:>3}: {got} {verdict}")
 
     # Dynamic-graph cell: mutate the graph mid-stream and repair the warm
     # pool incrementally — the repaired pool must hash identically to a

@@ -51,7 +51,7 @@ from repro.sampling.backends import (
     run_worker,
     set_network_defaults,
 )
-from repro.sampling.kernels import KERNELS
+from repro.sampling.kernels import AUTO_KERNEL, KERNELS
 from repro.service import (
     InfluenceServer,
     InfluenceService,
@@ -598,10 +598,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--kernel",
             default=None,
-            choices=sorted(KERNELS),
+            choices=sorted(KERNELS) + [AUTO_KERNEL],
             help="reverse-sampling kernel: 'scalar' (historical stream, "
-            "default) or 'vectorized' (frontier-at-once numpy BFS; "
-            "different RNG draw order, same distribution)",
+            "default), 'vectorized' (frontier-at-once numpy BFS), "
+            "'batched'/'lt-batched' (whole-batch lockstep lanes; fastest "
+            "on small-set regimes like weighted cascade), or 'auto' "
+            "(resolve per workload; provenance records the resolved name)",
         )
         add_hosts(p)
 
@@ -646,7 +648,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--seed", type=int, default=7)
     p_query.add_argument("--backend", default="serial", choices=sorted(BACKENDS))
     p_query.add_argument("--workers", type=int, default=None)
-    p_query.add_argument("--kernel", default=None, choices=sorted(KERNELS))
+    p_query.add_argument("--kernel", default=None, choices=sorted(KERNELS) + [AUTO_KERNEL])
     add_hosts(p_query)
     p_query.add_argument(
         "--connect",
@@ -699,7 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=7)
     p_serve.add_argument("--backend", default="serial", choices=sorted(BACKENDS))
     p_serve.add_argument("--workers", type=int, default=None)
-    p_serve.add_argument("--kernel", default=None, choices=sorted(KERNELS))
+    p_serve.add_argument("--kernel", default=None, choices=sorted(KERNELS) + [AUTO_KERNEL])
     add_hosts(p_serve)
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument(

@@ -50,7 +50,12 @@ def repair_context(ctx, graph, graph_version: int, delta: GraphDelta) -> dict:
             graph_version=int(graph_version),
         )
         try:
-            updates = {int(g): repairer.sample_at(int(g)) for g in invalid}
+            # One block call instead of a per-set loop: batched kernels
+            # repair the whole invalidation set in lockstep, and
+            # batch-composition invariance keeps each set byte-identical
+            # to its sample_at(g) bytes.
+            repaired = repairer.sample_block(np.asarray(invalid, dtype=np.int64))
+            updates = {int(g): rr for g, rr in zip(invalid, repaired)}
         finally:
             repairer.close()
         pool.replace_many(updates)

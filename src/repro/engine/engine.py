@@ -118,10 +118,14 @@ class InfluenceEngine:
         workers=)``) or session-wide at runtime (:meth:`resize`).
     kernel:
         Reverse-sampling kernel for every context the session opens
-        (``"scalar"`` — the default, historical stream — or
-        ``"vectorized"``; see :mod:`repro.sampling.kernels`).  Pools are
-        keyed by the kernel's ``stream_id``, so sessions on different
-        kernels never share or reattach each other's pools.
+        (``"scalar"`` — the default, historical stream —
+        ``"vectorized"``, the lockstep batch kernels ``"batched"`` /
+        ``"lt-batched"``, or ``"auto"`` to pick per workload; see
+        :mod:`repro.sampling.kernels`).  ``"auto"`` resolves **once**,
+        at session construction, against the session's graph and model;
+        the concrete kernel is what provenance and pool keys record.
+        Pools are keyed by the kernel's ``stream_id``, so sessions on
+        different kernels never share or reattach each other's pools.
     pool_budget:
         Optional byte budget over the session's RR pools; exceeding it
         evicts idle pools least-recently-used first (spilling them to
@@ -161,7 +165,7 @@ class InfluenceEngine:
         session: str | None = None,
     ) -> None:
         from repro.dynamic import MutableGraphView
-        from repro.sampling.kernels import make_kernel
+        from repro.sampling.base import resolve_kernel
         from repro.service.pool import PoolManager
 
         # The session's graph lives behind a versioned mutable view:
@@ -174,7 +178,6 @@ class InfluenceEngine:
         else:
             self._graph_view = MutableGraphView(graph)
         self.model = DiffusionModel.parse(model)
-        self.kernel = make_kernel(kernel)
         if seed is None:
             seed = int(np.random.SeedSequence().entropy)
         elif not isinstance(seed, (int, np.integer)):
@@ -183,6 +186,16 @@ class InfluenceEngine:
                 "pass a Generator to the one-shot functions instead"
             )
         self.seed = int(seed)
+        # "auto" resolves here, once per session, against the session's
+        # graph/model/seed; every context, pool key, and provenance
+        # record then carries the concrete kernel.
+        self.kernel = resolve_kernel(
+            kernel,
+            graph=self._graph_view.graph,
+            model=self.model,
+            seed=self.seed,
+            roots=roots,
+        )
         self.backend = backend
         self.workers = workers
         self.roots = roots

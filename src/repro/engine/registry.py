@@ -248,8 +248,16 @@ def registry_table() -> str:
                 spec.description,
             ]
         )
-    return format_table(
+    from repro.sampling.kernels import AUTO_KERNEL, KERNELS
+
+    table = format_table(
         ["algorithm", "engine reuse", "RR sets", "backends", "horizon", "kernels", "concurrency", "description"],
         rows,
         title="Registered influence-maximization algorithms",
+    )
+    names = ", ".join(sorted(KERNELS))
+    return (
+        f"{table}\n"
+        f"kernels: {names}, or '{AUTO_KERNEL}' (resolved per workload; "
+        "provenance records the concrete kernel)"
     )

@@ -107,9 +107,15 @@ def run_algorithm(
     baselines ignore them.  Unknown names raise
     :class:`~repro.exceptions.ParameterError`.
     """
-    from repro.sampling.kernels import make_kernel
+    from repro.sampling.base import resolve_kernel
 
     spec = get_algorithm(name)
+    # Resolve "auto" once, here, against the actual workload: the run
+    # executes on the concrete kernel and provenance records its real
+    # name/stream_id — "auto" never appears in a RunRecord.
+    resolved = resolve_kernel(
+        kernel, graph=graph, model=model, seed=_provenance_seed(seed)
+    ) if spec.supports_kernel else None
     options = {
         "epsilon": epsilon,
         "delta": delta,
@@ -118,7 +124,7 @@ def run_algorithm(
         "max_samples": max_samples,
         "backend": backend,
         "workers": workers,
-        "kernel": kernel,
+        "kernel": resolved.name if resolved is not None else kernel,
         "simulations": celf_simulations,
     }
     result = spec.run_one_shot(graph, k, options)
@@ -131,8 +137,8 @@ def run_algorithm(
         seed=_provenance_seed(seed),
         backend=_provenance_backend(backend) if spec.supports_backend else None,
         workers=workers if spec.supports_backend else None,
-        kernel=make_kernel(kernel).name if spec.supports_kernel else None,
-        stream_id=make_kernel(kernel).stream_id if spec.supports_kernel else None,
+        kernel=resolved.name if resolved is not None else None,
+        stream_id=resolved.stream_id if resolved is not None else None,
         graph_version=None,  # one-shot runs sample the pristine snapshot
     )
 

@@ -255,14 +255,17 @@ def build_worker_sampler(spec: WorkerSpec, graph: CSRGraph | None = None):
 def run_worker_batch(
     sampler, indices: np.ndarray, roots: "np.ndarray | None" = None
 ) -> list[np.ndarray]:
-    """Compute one worker's shard: ``sample_at`` per global index.
+    """Compute one worker's shard of RR sets by global stream index.
 
     Shared by every backend so in-process and out-of-process paths run
-    byte-identical code.
+    byte-identical code.  Routes through
+    :meth:`~repro.sampling.base.RRSampler.sample_block` — the batched
+    kernels' lockstep fast path — which guarantees entry ``i`` equals
+    ``sample_at(indices[i])`` byte for byte (batch-composition
+    invariance).  A negative root entry means "this set draws its own
+    root" (the wire convention for unpinned sets in a pinned batch).
     """
-    if roots is None:
-        return [sampler.sample_at(int(g)) for g in indices]
-    return [sampler.sample_at(int(g), int(r)) for g, r in zip(indices, roots)]
+    return sampler.sample_block(np.asarray(indices, dtype=np.int64), roots)
 
 
 def flatten_rr_batch(rr_sets: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:

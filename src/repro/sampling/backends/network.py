@@ -748,13 +748,13 @@ class NetworkBackend(ExecutionBackend):
 # Worker-host runtime (the `repro worker` subcommand)
 # ----------------------------------------------------------------------
 def _run_indexed_batch(sampler, indices: np.ndarray, roots: "np.ndarray | None"):
-    """Per-index sampling with optional pinned roots (-1 = unpinned)."""
-    if roots is None:
-        return [sampler.sample_at(int(g)) for g in indices]
-    return [
-        sampler.sample_at(int(g)) if int(r) < 0 else sampler.sample_at(int(g), int(r))
-        for g, r in zip(indices, roots)
-    ]
+    """Batch sampling with optional pinned roots (-1 = unpinned).
+
+    Routes through ``sample_block`` so worker hosts get the batched
+    kernels' lockstep fast path; the -1 convention is the block API's
+    own, and the bytes per set equal ``sample_at``'s regardless.
+    """
+    return sampler.sample_block(np.asarray(indices, dtype=np.int64), roots)
 
 
 def run_worker(

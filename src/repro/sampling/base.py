@@ -26,9 +26,31 @@ import numpy as np
 from repro.diffusion.models import DiffusionModel
 from repro.exceptions import SamplingError
 from repro.graph.digraph import CSRGraph
-from repro.sampling.kernels import SamplingKernel, check_stream_id, make_kernel
+from repro.sampling.kernels import (
+    AUTO_KERNEL,
+    SamplingKernel,
+    check_stream_id,
+    make_kernel,
+)
 from repro.sampling.roots import UniformRoots, WeightedRoots
 from repro.sampling.seedstream import SeedStream
+
+#: scalar pilot sets "auto" draws to observe the workload's RR size.
+AUTO_PILOT_SETS = 48
+
+#: mean pilot RR size at/below which per-set dispatch overhead dominates
+#: the cost model's per-set term and the lockstep batched kernel wins;
+#: larger sets amortize dispatch inside one frontier-at-once set, where
+#: the vectorized kernel's single-set gathers are already the fast path.
+AUTO_SMALL_SET_MEAN = 32.0
+
+#: mean pilot *coin volume* (in-degree sum over the set's nodes — the
+#: coins one IC expansion of the set flips) above which the multi-lane
+#: RNG replica's per-coin cost outweighs the dispatch it amortizes.
+#: Small RR sets on hub-heavy graphs expand high in-degree nodes, so
+#: set size alone under-counts the work; both statistics come from the
+#: same pilot sets.
+AUTO_LANE_COIN_MEAN = 256.0
 
 
 class RRSampler(abc.ABC):
@@ -65,7 +87,15 @@ class RRSampler(abc.ABC):
         self.rng = np.random.default_rng(self.seed_stream.seed_sequence)
         self.roots = roots if roots is not None else UniformRoots(graph.n)
         # The reverse-sampling kernel defines the RNG draw order, hence
-        # the stream identity (see repro.sampling.kernels).
+        # the stream identity (see repro.sampling.kernels).  "auto" is a
+        # selection policy, resolved here — deterministically in (seed,
+        # graph, model, roots, max_hops) — so the stream identity and
+        # everything stamped with it carry the concrete kernel name.
+        if isinstance(kernel, str) and kernel.strip().lower() == AUTO_KERNEL:
+            kernel = resolve_kernel(
+                kernel, graph=graph, model=self.model, seed=self.seed_stream,
+                roots=self.roots, max_hops=max_hops,
+            )
         self.kernel = make_kernel(kernel)
         # Horizon for time-critical IM: an RR set only reaches nodes within
         # max_hops reverse steps, mirroring a cascade truncated after
@@ -112,6 +142,34 @@ class RRSampler(abc.ABC):
     def _reverse_sample(self, root: int) -> np.ndarray:
         """Produce the RR set anchored at ``root`` (includes the root)."""
 
+    def _reverse_sample_block(self, indices: np.ndarray, roots) -> "list[np.ndarray]":
+        """Model-specific batch dispatch; the default is the per-set
+        reference loop (subclasses route to the kernel's block hook)."""
+        if roots is None:
+            return [self.sample_at(int(g)) for g in indices]
+        return [
+            self.sample_at(int(g)) if int(r) < 0 else self.sample_at(int(g), int(r))
+            for g, r in zip(indices, roots)
+        ]
+
+    def sample_block(self, indices, roots=None) -> "list[np.ndarray]":
+        """Compute an arbitrary batch of stream sets by global index.
+
+        The batch counterpart of :meth:`sample_at` and the hook batched
+        kernels accelerate: a kernel may serve the whole batch in
+        lockstep, but set ``g``'s bytes are always exactly
+        ``sample_at(g)``'s — batch composition is unobservable
+        (batch-composition invariance, ``docs/INVARIANTS.md``).
+        ``roots`` optionally pins roots positionally; a negative entry
+        means "this set draws its own root" (the backends' wire
+        convention).  Pure in ``(seed, indices, roots)`` — cursor and
+        lifetime counters are untouched.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return []
+        return self._reverse_sample_block(indices, roots)
+
     def sample_at(self, index: int, root: int | None = None) -> np.ndarray:
         """Compute stream set ``index``: derive its generator, draw its
         root (unless given), run the reverse traversal.
@@ -148,7 +206,7 @@ class RRSampler(abc.ABC):
             return []
         base = self._cursor
         self.seed_stream.prepare(base, count)
-        batch = [self.sample_at(base + i) for i in range(count)]
+        batch = self.sample_block(np.arange(base, base + count, dtype=np.int64))
         self._cursor = base + count
         self.sets_generated += count
         self.entries_generated += int(sum(rr.size for rr in batch))
@@ -274,3 +332,73 @@ def make_sampler(
         graph, seed, roots=roots, max_hops=max_hops, kernel=kernel,
         graph_version=graph_version,
     )
+
+
+def resolve_kernel(
+    kernel: "str | SamplingKernel | None",
+    *,
+    graph: "CSRGraph | None" = None,
+    model: "str | DiffusionModel | None" = None,
+    seed=None,
+    roots: "UniformRoots | WeightedRoots | None" = None,
+    max_hops: int | None = None,
+    batch_width: int | None = None,
+) -> SamplingKernel:
+    """Resolve a kernel selection — including ``"auto"`` — to a kernel.
+
+    Anything but ``"auto"`` passes through :func:`make_kernel` (so this
+    is safe to call wherever a kernel name becomes provenance).
+    ``"auto"`` picks the fastest known kernel for the workload:
+
+    * **LT** always takes ``lt-batched`` — the walk is per-set
+      sequential, so the lockstep batch kernel strictly dominates.
+    * **IC** draws :data:`AUTO_PILOT_SETS` scalar pilot sets — a pure
+      function of ``(seed, graph, roots, max_hops)``, byte-identical on
+      every caller — and reads off two statistics: the mean RR size and
+      the mean *coin volume* (in-degree sum over the set's nodes, the
+      coins expanding the set flips).  Small sets
+      (``<=`` :data:`AUTO_SMALL_SET_MEAN`, the weighted-cascade regime)
+      with small coin volume (``<=`` :data:`AUTO_LANE_COIN_MEAN`) mean
+      per-set dispatch dominates: take ``batched``, unless the
+      lane engine cannot serve the workload (exotic root distribution,
+      ``n >= 2**32``) or the caller's ``batch_width`` is below 2 —
+      lockstep over one lane amortizes nothing — in which case plain
+      ``scalar`` wins.  Large sets — or small sets that expand
+      high-in-degree hubs, where the lane replica's per-coin cost
+      outweighs the dispatch it saves — take ``vectorized``, whose
+      frontier-at-once gathers already amortize dispatch within a set.
+
+    The resolution is deterministic, so every worker, every restart,
+    and every provenance record lands on the same concrete name —
+    ``"auto"`` itself never becomes a ``stream_id``.
+    """
+    if not (isinstance(kernel, str) and kernel.strip().lower() == AUTO_KERNEL):
+        return make_kernel(kernel)
+    if graph is None or model is None:
+        raise SamplingError(
+            "kernel='auto' resolves against a workload: a graph and a "
+            "diffusion model are required"
+        )
+    parsed = DiffusionModel.parse(model)
+    if parsed is DiffusionModel.LT:
+        return make_kernel("lt-batched")
+    from repro.sampling.kernels import _lane_roots_supported
+
+    pilot = make_sampler(
+        graph, parsed, seed, roots=roots, max_hops=max_hops, kernel="scalar"
+    )
+    in_degree = np.diff(graph.in_indptr)
+    entries = 0
+    coins = 0
+    for g in range(AUTO_PILOT_SETS):
+        rr = pilot.sample_at(g)
+        entries += int(rr.size)
+        coins += int(in_degree[rr].sum())
+    mean_size = entries / AUTO_PILOT_SETS
+    mean_coins = coins / AUTO_PILOT_SETS
+    if mean_size > AUTO_SMALL_SET_MEAN or mean_coins > AUTO_LANE_COIN_MEAN:
+        return make_kernel("vectorized")
+    lanes_usable = _lane_roots_supported(
+        roots if roots is not None else UniformRoots(graph.n)
+    ) and (batch_width is None or batch_width >= 2)
+    return make_kernel("batched" if lanes_usable else "scalar")

@@ -27,3 +27,6 @@ class ICSampler(RRSampler):
 
     def _reverse_sample(self, root: int) -> np.ndarray:
         return self.kernel.ic_sample(self, root)
+
+    def _reverse_sample_block(self, indices, roots):
+        return self.kernel.ic_sample_block(self, indices, roots)

@@ -1,10 +1,9 @@
-"""Pluggable reverse-sampling kernels: how one RR set gets computed.
+"""Pluggable reverse-sampling kernels: how RR sets get computed.
 
 The paper's cost model is ``time = number of RR sets × cost per RR set``.
 The execution backends (:mod:`repro.sampling.backends`) attack the first
 factor by sharding sets across workers; a *kernel* attacks the second —
-it is the inner loop that turns one root into one RR set.  Two kernels
-ship:
+it is the inner loop that turns roots into RR sets.  Four kernels ship:
 
 * ``scalar`` — the reference implementation: reverse BFS expanding one
   frontier node at a time, flipping one coin batch per node (the
@@ -15,18 +14,50 @@ ship:
   ``rng.random(total_edges)`` coin batch, filters live edges against the
   edge weights, and dedupes newly visited nodes against the
   generation-stamp array — no Python inner loop anywhere.
+* ``batched`` — batch-at-once expansion: a whole block of sets (up to
+  :data:`~repro.sampling.vecrng.MAX_LANES` "lanes") runs its reverse
+  BFS in lockstep.  Frontier arrays carry a set-id *lane* column; each step
+  does a single CSR gather across every live set's frontier and flips
+  all lanes' coins in one vectorized multi-lane PCG64 pass
+  (:mod:`repro.sampling.vecrng`) — per-*set* dispatch cost (generator
+  derivation, Python/numpy call overhead) amortizes to near zero, which
+  is where weighted-cascade workloads (mean RR size ~6) spend their
+  time.  Per set, the draws and bytes are exactly the ``vectorized``
+  stream.
+* ``lt-batched`` — ``batched`` plus a lockstep LT kernel: a batch of
+  reverse random walks advances one hop per step for all still-walking
+  lanes, inverting per-node in-edge CDFs with one vectorized
+  ``searchsorted`` across lanes.  Per set, the walk draws exactly the
+  shared scalar-walk stream.
 
-Both kernels sample the *same distribution* over RR sets (each in-edge
+All kernels sample the *same distribution* over RR sets (each in-edge
 of an expanded node gets exactly one coin, by the deferred-decision
-principle), but they consume the RNG in different orders, so their
-streams are **not** byte-compatible.  Every kernel therefore carries a
-``stream_id`` (name + version); samplers stamp it into their
+principle), but they may consume the RNG in different orders, so their
+streams are **not** byte-compatible in general.  Every kernel therefore
+carries a ``stream_id`` (name + version); samplers stamp it into their
 ``state_dict``, pools key on it, and the spill store refuses to reattach
 a pool onto a different stream.  Byte-identity guarantees — backend,
 batching, and worker-count invariance, warm-vs-cold equality — hold
 exactly *within* a stream_id; *across* kernels agreement is
 distributional and is verified statistically
 (``tests/sampling/test_kernels.py``).
+
+**Batch-composition invariance.**  The batched kernels serve whole
+index blocks (:meth:`SamplingKernel.ic_sample_block`), but batching is
+a *throughput* property, never a stream property: lane ``g`` draws
+every coin from its own per-set SeedSequence child in a pinned
+per-step order, so set ``g``'s bytes are a pure function of the seed
+alone — identical at batch sizes 1, 7, or 64, under any neighbours,
+on any backend (``docs/INVARIANTS.md``; pinned by
+``tests/sampling/test_kernels.py``).  The multi-lane RNG self-verifies
+against numpy at construction and the kernels fall back to per-set
+sampling — same bytes, no fast path — if it ever disagrees.
+
+``"auto"`` (:data:`AUTO_KERNEL`) is a *selection policy*, not a kernel:
+:func:`repro.sampling.base.resolve_kernel` resolves it against a graph
+and model (LT → ``lt-batched``; IC → ``batched`` or ``vectorized`` by
+observed mean RR size from a deterministic scalar pilot), and only the
+resolved name ever reaches streams, pools, or provenance.
 
 The version component covers the whole stream derivation, not just the
 kernel's inner loop.  ``*-v1`` streams derived per-set RNGs from
@@ -49,8 +80,135 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import SamplingError
+from repro.sampling.roots import UniformRoots, WeightedRoots
+from repro.sampling.vecrng import MAX_LANES, LaneEngine
 
 _EMPTY_INT32 = np.zeros(0, dtype=np.int32)
+
+
+class _LaneVisited:
+    """Visited set of a lockstep chunk: sorted ``lane * n + node`` keys.
+
+    RR sets in the batched kernels' target regime are small, so the
+    whole chunk's visited set stays tiny; a sorted key array gives
+    vectorized membership (one ``searchsorted``) and vectorized insert
+    (merge two sorted runs) with no per-lane bit budget — which is what
+    lets a chunk carry hundreds of lanes instead of 64.
+    """
+
+    __slots__ = ("keys",)
+
+    def __init__(self, keys: np.ndarray) -> None:
+        self.keys = keys  # sorted, unique
+
+    def seen(self, keys: np.ndarray) -> np.ndarray:
+        """Membership mask for (unique) candidate keys."""
+        acc = self.keys
+        pos = np.minimum(np.searchsorted(acc, keys), acc.shape[0] - 1)
+        return acc[pos] == keys
+
+    def add(self, keys: np.ndarray) -> None:
+        """Insert sorted keys known to be absent."""
+        # Two sorted runs: mergesort (timsort) detects and merges them.
+        self.keys = np.sort(np.concatenate([self.keys, keys]), kind="mergesort")
+
+
+def _sorted_unique(values: np.ndarray) -> np.ndarray:
+    """``np.unique`` minus its Python-level wrapper overhead.
+
+    The wc-regime hot path dedups a handful of candidates per BFS step;
+    profiling shows ``np.unique``'s dispatch layer (masked-array checks,
+    tuple packing) costing several times the actual sort at those sizes.
+    Same output — sorted, duplicates dropped — so streams are unchanged
+    (dedup consumes no RNG draws).
+    """
+    if values.size <= 1:
+        return values
+    values = np.sort(values)
+    keep = np.empty(values.shape, dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
+
+
+def _per_set_block(sampler, indices, roots) -> "list[np.ndarray]":
+    """Reference batch semantics: one :meth:`sample_at` per index.
+
+    A negative root entry means "this set draws its own root" (the
+    backends' wire convention for unpinned sets in a pinned batch).
+    """
+    if roots is None:
+        return [sampler.sample_at(int(g)) for g in indices]
+    out = []
+    for g, r in zip(indices, roots):
+        r = int(r)
+        out.append(
+            sampler.sample_at(int(g)) if r < 0 else sampler.sample_at(int(g), r)
+        )
+    return out
+
+
+def _lane_roots_supported(roots) -> bool:
+    """Can the lane engine replicate this root distribution's draws?
+
+    Exact-type checks: a subclass may override ``sample``, and the
+    engine replicates the base implementations bit for bit — anything
+    else falls back to per-set sampling (same bytes, no fast path).
+    The uniform cap is the engine's 32-bit Lemire range.
+    """
+    if type(roots) is UniformRoots:
+        return roots.n <= 0xFFFFFFFF
+    return type(roots) is WeightedRoots
+
+
+def _lane_roots(engine, state, roots, pinned) -> np.ndarray:
+    """Per-lane root column: pinned where given, else each lane draws
+    its own root from its own generator (replicating ``roots.sample``)."""
+    if pinned is None:
+        return _draw_lane_roots(engine, state, roots, None)
+    pinned = np.asarray(pinned, dtype=np.int64)
+    unpinned = np.flatnonzero(pinned < 0)
+    out = pinned.copy()
+    if unpinned.size:
+        out[unpinned] = _draw_lane_roots(engine, state, roots, unpinned)
+    return out
+
+
+def _draw_lane_roots(engine, state, roots, lanes) -> np.ndarray:
+    if type(roots) is UniformRoots:
+        if roots.n == 1:  # numpy's integers(1) draws nothing
+            k = len(state) if lanes is None else lanes.shape[0]
+            return np.zeros(k, dtype=np.int64)
+        return engine.draw_uniform_roots(state, roots.n, lanes)
+    return engine.draw_weighted_roots(state, roots._cumulative, roots._total, lanes)
+
+
+def _lt_walk_tables(sampler) -> tuple:
+    """Per-node LT walk tables, built once per sampler and cached.
+
+    ``views[v]`` is node ``v``'s slice of the graph-wide weight prefix
+    (``prefix[lo : hi + 1]``, a view — no copy), ``neighbours`` /
+    ``totals`` / ``starts`` are plain Python lists so the hot loop never
+    pays numpy scalar-indexing overhead.  Keyed in ``sampler._scratch``,
+    which graph rebinds invalidate along with every other graph-shaped
+    buffer.
+    """
+    tables = sampler._scratch.get("lt_walk_tables")
+    if tables is None:
+        graph = sampler.graph
+        prefix = sampler._weight_prefix
+        bounds = graph.in_indptr.tolist()
+        views = [
+            prefix[lo : hi + 1] for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
+        tables = (
+            views,
+            graph.in_indices.tolist(),
+            graph.in_weight_totals.tolist(),
+            bounds,
+        )
+        sampler._scratch["lt_walk_tables"] = tables
+    return tables
 
 
 class SamplingKernel:
@@ -81,6 +239,23 @@ class SamplingKernel:
         """Produce the IC RR set anchored at ``root`` (includes the root)."""
         raise NotImplementedError
 
+    def ic_sample_block(self, sampler, indices, roots=None) -> "list[np.ndarray]":
+        """IC RR sets for a batch of global stream indices.
+
+        The batch-level hook the backends dispatch through.  Entry ``i``
+        must be byte-identical to ``sampler.sample_at(indices[i])`` —
+        batching is a throughput property, not a stream property (batch-
+        composition invariance, ``docs/INVARIANTS.md``).  ``roots[i] >=
+        0`` pins set ``i``'s root; negative or absent means the set
+        draws its own.  The default is the per-set reference loop;
+        batched kernels override it with a lockstep fast path.
+        """
+        return _per_set_block(sampler, indices, roots)
+
+    def lt_sample_block(self, sampler, indices, roots=None) -> "list[np.ndarray]":
+        """LT counterpart of :meth:`ic_sample_block` (same contract)."""
+        return _per_set_block(sampler, indices, roots)
+
     def lt_sample(self, sampler, root: int) -> np.ndarray:
         """Produce the LT RR set anchored at ``root``: the reverse walk.
 
@@ -88,33 +263,43 @@ class SamplingKernel:
         probability, else hop to an in-neighbour by inverse-CDF over the
         prefix-summed edge weights) and stops on a revisit.  Sequential
         by nature, so every kernel shares this implementation.
+
+        The hop body works on per-node tables built once per sampler
+        (:func:`_lt_walk_tables`): CDF inversion searches the node's own
+        prefix *slice* (a view — same floats, same ``side="right"``
+        result as searching the graph-wide prefix and clipping, since
+        the prefix is non-decreasing and the target lands inside the
+        node's range), and neighbour/total lookups are plain-list reads
+        instead of per-hop numpy scalar indexing.  Draw count and draw
+        order are unchanged, so the stream is byte-identical to the
+        historical implementation.
         """
-        graph = sampler.graph
         stamp = sampler._visited_stamp
         gen = sampler._next_generation()
         rng = sampler.rng
-        indptr = graph.in_indptr
-        indices = graph.in_indices
-        prefix = sampler._weight_prefix
+        views, neighbours, totals, starts = _lt_walk_tables(sampler)
 
         current = root
         stamp[root] = gen
         result = [root]
+        random = rng.random
         hops_left = sampler.max_hops if sampler.max_hops is not None else -1
-        while True:
-            if hops_left == 0:
-                break
+        while hops_left != 0:
             hops_left -= 1
-            lo, hi = indptr[current], indptr[current + 1]
-            if lo == hi:
+            view = views[current]
+            deg = view.shape[0] - 1
+            if deg == 0:
                 break
-            draw = rng.random()
-            if draw >= graph.in_weight_totals[current]:
+            draw = random()
+            if draw >= totals[current]:
                 break  # the kept subgraph has no incoming edge here
-            # Invert the CDF of this node's in-edge weights.
-            pos = int(np.searchsorted(prefix, prefix[lo] + draw, side="right")) - 1
-            pos = min(max(pos, lo), hi - 1)
-            nxt = int(indices[pos])
+            # Invert the CDF of this node's in-edge weights on its slice.
+            j = view.searchsorted(view[0] + draw, side="right") - 1
+            if j < 0:
+                j = 0
+            elif j >= deg:
+                j = deg - 1
+            nxt = neighbours[starts[current] + j]
             if stamp[nxt] == gen:
                 break  # walk closed a cycle; nothing new reachable
             stamp[nxt] = gen
@@ -194,9 +379,11 @@ class VectorizedKernel(SamplingKernel):
     ``Generator.random`` draws doubles sequentially with no buffering,
     so per-node coin batches consume byte-for-byte the same draws as one
     step-wide batch — ``tests/sampling/test_kernels.py`` pins this
-    batch-split invariance), and batch dedup switches from ``np.unique``
-    (sort) to a reusable node-flag array once the candidate batch is
-    large enough for O(E log E) sorting to lose to O(n) flag scans.
+    batch-split invariance), and batch dedup switches from a raw
+    sort-and-mask pass (:func:`_sorted_unique` — ``np.unique`` without
+    its wrapper overhead) to a reusable node-flag array once the
+    candidate batch is large enough for O(E log E) sorting to lose to
+    O(n) flag scans.
     Either way each step's output is the same sorted fresh-node array,
     so the stream is a pure function of the seed alone.
     """
@@ -280,7 +467,7 @@ class VectorizedKernel(SamplingKernel):
                 fresh = np.flatnonzero(flags).astype(np.int32, copy=False)
                 flags[fresh] = False
             else:
-                fresh = np.unique(candidates)
+                fresh = _sorted_unique(candidates)
             fresh = fresh[stamp[fresh] != gen]
             if fresh.size == 0:
                 break
@@ -290,14 +477,234 @@ class VectorizedKernel(SamplingKernel):
         return np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
 
 
+class BatchedKernel(VectorizedKernel):
+    """Batch-at-once IC kernel: a root batch's BFS runs in lockstep.
+
+    :meth:`ic_sample_block` expands the frontiers of up to
+    :data:`~repro.sampling.vecrng.MAX_LANES` sets ("lanes") per step:
+    frontier arrays carry a lane column, one CSR gather (``np.repeat``
+    over degrees + a flat ``arange``) collects *every* lane's frontier
+    in-edges, and one multi-lane PCG64 pass flips all their coins —
+    lane ``g``'s coins come from its own per-set child generator via
+    closed-form LCG jumps (:class:`repro.sampling.vecrng.LaneEngine`),
+    in exactly the per-set ``vectorized`` draw order.  Visited marks
+    and cross-step dedup live in a sorted ``(lane, node)`` key set
+    (:class:`_LaneVisited`), and within-step dedup sorts the same keys,
+    so each lane's frontier stays the sorted fresh-node array the
+    per-set kernel produces.  Per-set sampling (:meth:`ic_sample`,
+    inherited) *is* the vectorized kernel; the block path emits the
+    same bytes, so batch composition is unobservable — only throughput
+    changes.  Distinct ``stream_id`` all the same: conservative
+    pooling, simple contract.
+    """
+
+    name = "batched"
+    version = 2
+
+    def ic_sample_block(self, sampler, indices, roots=None) -> "list[np.ndarray]":
+        engine = LaneEngine.for_sampler(sampler)
+        if not engine.ok or not _lane_roots_supported(sampler.roots):
+            return _per_set_block(sampler, indices, roots)
+        indices = np.asarray(indices, dtype=np.int64)
+        pinned = None if roots is None else np.asarray(roots, dtype=np.int64)
+        out: list[np.ndarray] = []
+        for s in range(0, indices.shape[0], MAX_LANES):
+            out.extend(
+                self._ic_lockstep(
+                    sampler,
+                    engine,
+                    indices[s : s + MAX_LANES],
+                    None if pinned is None else pinned[s : s + MAX_LANES],
+                )
+            )
+        return out
+
+    @staticmethod
+    def _assemble(lane_pieces, node_pieces, n_lanes) -> "list[np.ndarray]":
+        """Split step-ordered (lane, node) pieces into per-lane RR sets.
+
+        A stable sort by lane preserves step order within each lane —
+        root first, then each step's sorted fresh nodes — exactly the
+        per-set kernel's concatenation order.
+        """
+        all_lanes = np.concatenate(lane_pieces)
+        all_nodes = np.concatenate(node_pieces)
+        order = np.argsort(all_lanes, kind="stable")
+        sorted_nodes = all_nodes[order].astype(np.int32, copy=False)
+        counts = np.bincount(all_lanes, minlength=n_lanes)
+        return np.split(sorted_nodes, np.cumsum(counts[:-1]))
+
+    def _ic_lockstep(self, sampler, engine, idx, pinned) -> "list[np.ndarray]":
+        graph = sampler.graph
+        n = graph.n
+        indptr = graph.in_indptr
+        neighbours = graph.in_indices
+        weights = graph.in_weights
+        n_lanes = idx.shape[0]
+
+        state = engine.seed_lanes(idx)
+        root_nodes = _lane_roots(engine, state, sampler.roots, pinned)
+        lanes0 = np.arange(n_lanes, dtype=np.int64)
+        # lane * n + node keys are strictly increasing in lane here.
+        visited = _LaneVisited(lanes0 * n + root_nodes)
+
+        lane_pieces = [lanes0]
+        node_pieces = [root_nodes]
+        f_nodes, f_lanes = root_nodes, lanes0
+        hops_left = sampler.max_hops if sampler.max_hops is not None else -1
+        while f_nodes.size and hops_left != 0:
+            hops_left -= 1
+            starts = indptr[f_nodes].astype(np.int64, copy=False)
+            degs = indptr[f_nodes + 1].astype(np.int64, copy=False) - starts
+            total = int(degs.sum())
+            if total == 0:
+                break  # every lane's frontier is in-edge-free: all dead
+            # One gather across all lanes' frontiers: flat edge positions
+            # by CSR range arithmetic, lane of each edge by repeat.
+            offsets = np.cumsum(degs) - degs
+            positions = np.repeat(starts - offsets, degs)
+            positions += np.arange(total, dtype=np.int64)
+            edge_lanes = np.repeat(f_lanes, degs)
+            # Frontiers are lane-major, so each lane's edges are
+            # contiguous and in its own per-set draw order.
+            lane_counts = np.bincount(f_lanes, weights=degs, minlength=n_lanes)
+            coins = engine.fill_doubles(state, edge_lanes, lane_counts.astype(np.int64))
+            alive = coins < weights[positions]
+            cand_nodes = neighbours[positions[alive]].astype(np.int64, copy=False)
+            cand_lanes = edge_lanes[alive]
+            if cand_nodes.size == 0:
+                break
+            # Batch-internal dedup per lane: unique (lane, node) keys,
+            # sorted — lane-major, node-sorted within a lane, matching
+            # the per-set kernel's sorted fresh array — then the chunk
+            # visited-set filter.
+            uniq = _sorted_unique(cand_lanes * n + cand_nodes)
+            uniq = uniq[~visited.seen(uniq)]
+            if uniq.size == 0:
+                break
+            visited.add(uniq)
+            u_lanes = uniq // n
+            u_nodes = uniq - u_lanes * n
+            lane_pieces.append(u_lanes)
+            node_pieces.append(u_nodes)
+            f_nodes, f_lanes = u_nodes, u_lanes
+        return self._assemble(lane_pieces, node_pieces, n_lanes)
+
+
+class LTBatchedKernel(BatchedKernel):
+    """Lockstep LT kernel: a batch of reverse walks, one hop per step.
+
+    Adds :meth:`lt_sample_block` on top of the batched IC kernel: all
+    still-walking lanes advance together — one multi-lane draw, one
+    vectorized ``searchsorted`` over the graph-wide weight prefix (the
+    same floats, hence the same hop, as the per-node slice search the
+    scalar walk uses), one sorted-key revisit check.  Per lane the
+    draws and stops replicate the shared scalar walk exactly, so each
+    set's bytes equal :meth:`~SamplingKernel.lt_sample`'s — batch
+    composition stays unobservable.
+    """
+
+    name = "lt-batched"
+    version = 2
+
+    def lt_sample_block(self, sampler, indices, roots=None) -> "list[np.ndarray]":
+        engine = LaneEngine.for_sampler(sampler)
+        if not engine.ok or not _lane_roots_supported(sampler.roots):
+            return _per_set_block(sampler, indices, roots)
+        indices = np.asarray(indices, dtype=np.int64)
+        pinned = None if roots is None else np.asarray(roots, dtype=np.int64)
+        out: list[np.ndarray] = []
+        for s in range(0, indices.shape[0], MAX_LANES):
+            out.extend(
+                self._lt_lockstep(
+                    sampler,
+                    engine,
+                    indices[s : s + MAX_LANES],
+                    None if pinned is None else pinned[s : s + MAX_LANES],
+                )
+            )
+        return out
+
+    def _lt_lockstep(self, sampler, engine, idx, pinned) -> "list[np.ndarray]":
+        graph = sampler.graph
+        n = graph.n
+        indptr = graph.in_indptr
+        neighbours = graph.in_indices
+        totals = graph.in_weight_totals
+        prefix = sampler._weight_prefix
+        n_lanes = idx.shape[0]
+
+        state = engine.seed_lanes(idx)
+        root_nodes = _lane_roots(engine, state, sampler.roots, pinned)
+        lanes0 = np.arange(n_lanes, dtype=np.int64)
+        visited = _LaneVisited(lanes0 * n + root_nodes)
+
+        lane_pieces = [lanes0]
+        node_pieces = [root_nodes]
+        cursor = root_nodes.copy()  # lane -> current walk node
+        walking = lanes0
+        hops_left = sampler.max_hops if sampler.max_hops is not None else -1
+        while walking.size and hops_left != 0:
+            hops_left -= 1
+            nodes = cursor[walking]
+            lo = indptr[nodes].astype(np.int64, copy=False)
+            hi = indptr[nodes + 1].astype(np.int64, copy=False)
+            has_edges = lo < hi
+            if not has_edges.all():
+                # In-edge-free nodes end their walks *before* drawing.
+                walking = walking[has_edges]
+                lo = lo[has_edges]
+                hi = hi[has_edges]
+                if walking.size == 0:
+                    break
+            draws = engine.one_double(state, walking)
+            kept = draws < totals[cursor[walking]]
+            if not kept.all():
+                # Residual mass: those lanes' draws are consumed, walk over.
+                walking = walking[kept]
+                lo = lo[kept]
+                hi = hi[kept]
+                draws = draws[kept]
+                if walking.size == 0:
+                    break
+            # Invert each walk node's in-edge CDF — one searchsorted over
+            # the shared prefix for all lanes, clipped into each node's
+            # range (same hop as the per-node slice search).
+            pos = np.searchsorted(prefix, prefix[lo] + draws, side="right") - 1
+            np.clip(pos, lo, hi - 1, out=pos)
+            nxt = neighbours[pos].astype(np.int64, copy=False)
+            # `walking` is strictly increasing, so these keys are sorted.
+            keys = walking * n + nxt
+            revisit = visited.seen(keys)
+            if revisit.any():
+                fresh = ~revisit
+                walking = walking[fresh]
+                nxt = nxt[fresh]
+                keys = keys[fresh]
+                if walking.size == 0:
+                    break
+            visited.add(keys)
+            lane_pieces.append(walking)
+            node_pieces.append(nxt)
+            cursor[walking] = nxt
+        return self._assemble(lane_pieces, node_pieces, n_lanes)
+
+
 #: registry keyed by CLI / API name.
 KERNELS: dict[str, SamplingKernel] = {
     ScalarKernel.name: ScalarKernel(),
     VectorizedKernel.name: VectorizedKernel(),
+    BatchedKernel.name: BatchedKernel(),
+    LTBatchedKernel.name: LTBatchedKernel(),
 }
 
 #: the historical draw order — the default everywhere a kernel is not named.
 DEFAULT_KERNEL = ScalarKernel.name
+
+#: selection-policy token: not a kernel, resolved against a graph and
+#: model by :func:`repro.sampling.base.resolve_kernel` before anything
+#: stream-identity-bearing (pools, spills, provenance) sees a name.
+AUTO_KERNEL = "auto"
 
 #: stream token of the default kernel at the current derivation version.
 DEFAULT_STREAM_ID = KERNELS[DEFAULT_KERNEL].stream_id
@@ -319,6 +726,12 @@ def make_kernel(kernel: "str | SamplingKernel | None") -> SamplingKernel:
     if isinstance(kernel, SamplingKernel):
         return kernel
     key = str(kernel).strip().lower()
+    if key == AUTO_KERNEL:
+        raise SamplingError(
+            "kernel 'auto' is a selection policy, not a stream identity; "
+            "resolve it against a graph and model first "
+            "(repro.sampling.base.resolve_kernel)"
+        )
     if key not in KERNELS:
         raise SamplingError(
             f"unknown sampling kernel {kernel!r}; known: {sorted(KERNELS)}"

@@ -12,9 +12,11 @@ reached).
 With weighted-cascade weights (Σ = 1) the walk always hops until a revisit
 — matching Fig. 1's example construction.
 
-The walk is one node per step — nothing to batch — so every registered
-:mod:`~repro.sampling.kernels` kernel shares the same LT implementation;
-the sampler still dispatches through its kernel so the stream identity
+The walk is one node per step — sequential *within* a set — so every
+registered :mod:`~repro.sampling.kernels` kernel shares the same per-set
+walk; the ``lt-batched`` kernel additionally advances a whole batch of
+walks in lockstep (batch-parallel, byte-identical per set).  The sampler
+dispatches through its kernel either way so the stream identity
 (``stream_id``) is uniform across models.
 """
 
@@ -55,3 +57,6 @@ class LTSampler(RRSampler):
 
     def _reverse_sample(self, root: int) -> np.ndarray:
         return self.kernel.lt_sample(self, root)
+
+    def _reverse_sample_block(self, indices, roots):
+        return self.kernel.lt_sample_block(self, indices, roots)

@@ -167,6 +167,36 @@ class ShardedSampler(RRSampler):
         self._loads[shard] += 1
         return result[shard][0]
 
+    def sample_block(self, indices, roots=None) -> list[np.ndarray]:
+        """Compute an arbitrary index batch across the fleet.
+
+        Routes index ``g`` to worker ``g mod W`` — the same round-robin
+        convention as :meth:`sample_at`/:meth:`sample_batch` — and merges
+        the shard results back into batch order.  Workers serve their
+        shards through their own kernels' lockstep block path, so
+        batch-composition invariance holds end to end: entry ``i`` equals
+        ``sample_at(indices[i])`` byte for byte at any worker count.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return []
+        self._sync_fleet()
+        workers = self._workers
+        shards = (indices % workers).astype(np.int64)
+        index_batches = [indices[shards == w] for w in range(workers)]
+        root_batches = None
+        if roots is not None:
+            roots = np.asarray(roots, dtype=np.int64)
+            root_batches = [roots[shards == w] for w in range(workers)]
+        shard_batches = self.backend.sample_shards(index_batches, root_batches)
+        merged: list[np.ndarray | None] = [None] * int(indices.size)
+        positions = np.arange(indices.size)
+        for w, batch in enumerate(shard_batches):
+            for pos, rr in zip(positions[shards == w], batch):
+                merged[int(pos)] = rr
+            self._loads[w] += len(batch)
+        return merged
+
     def sample_batch(self, count: int) -> list[np.ndarray]:
         """Fan global indices out round-robin, merge back in index order.
 

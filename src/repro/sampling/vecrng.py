@@ -1,0 +1,407 @@
+"""Vectorized multi-lane PCG64 — many per-set generators stepped at once.
+
+The batched kernels (:mod:`repro.sampling.kernels`) expand a whole root
+batch per BFS step, which needs *per-lane* random draws: lane ``g``'s
+coins must be byte-identical to what ``numpy.random.Generator(PCG64
+(child(g)))`` would produce, in the same order, regardless of which
+other lanes share the batch — the batch-composition-invariance half of
+the seed-purity contract (``docs/INVARIANTS.md``).  numpy's Generator
+is a scalar object; stepping 64 of them in a Python loop would cost
+more than the batching saves.  This module replicates the exact PCG64
+draw pipeline as numpy array arithmetic over a *vector* of generator
+states:
+
+* **seeding** — per-lane ``(state, inc)`` from the per-set SeedSequence
+  child words (:func:`repro.sampling.seedstream._children_seed_words`),
+  folded through ``pcg_setseq_128_srandom`` exactly as ``PCG64``'s
+  constructor folds them;
+* **stepping** — the 128-bit LCG ``s' = A·s + c (mod 2^128)`` runs in
+  32-bit limbs stored in uint64 arrays (32×32 products are exact in 64
+  bits; carries propagate limb by limb), so one numpy pass advances
+  every lane;
+* **jumps** — lane ``l`` needs ``k_l`` doubles per BFS step (its own
+  frontier's edge count).  The LCG has closed-form jumps ``s_j = A^j·s
+  + D_j·c`` with ``D_j = A·D_{j-1} + 1``, so per-*edge* states come
+  from one gather of precomputed ``(A^j, D_j)`` tables by within-lane
+  ordinal — no per-lane sequential loop — and the lane's advanced state
+  is simply its last edge's state;
+* **output** — PCG64's step-then-output XSL-RR (``rotr64(hi ^ lo,
+  state >> 122)``), doubles as ``(out >> 11) · 2^-53``, and the bounded
+  ``integers`` path as numpy's 32-bit Lemire rejection sampler with
+  PCG64's low-half-first uint32 buffering (root draws).
+
+Like :class:`~repro.sampling.seedstream.SeedStream`'s fast path, the
+replication is **self-verified at construction** against real numpy
+generators; on any disagreement (an exotic platform, a changed numpy)
+:attr:`LaneEngine.ok` turns False and the batched kernels fall back to
+per-set sampling — a slower path producing the *same bytes*, never a
+different stream.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.sampling.seedstream import SeedStream, _children_seed_words
+
+#: PCG64's 128-bit LCG multiplier (matches seedstream._PCG_MULT).
+_MULT = 0x2360ED051FC65DA44385DF649FCCF645
+_M128 = (1 << 128) - 1
+_M32 = np.uint64(0xFFFFFFFF)
+_U32 = np.uint64(32)
+_U64_1 = np.uint64(1)
+_INV_2_53 = 2.0 ** -53
+
+#: lanes per lockstep chunk in the batched kernels.  Each lockstep BFS
+#: step costs a fixed number of numpy dispatches regardless of lane
+#: count, so wider chunks amortize better; the cap only bounds peak
+#: temporary memory (per-edge limb gathers).  Batch-composition
+#: invariance makes the chunking unobservable in the stream.
+MAX_LANES = 1024
+
+
+def _int_to_limbs(value: int) -> np.ndarray:
+    """One 128-bit int as a (4,) uint64 array of 32-bit limbs (LE)."""
+    return np.asarray(
+        [(value >> (32 * k)) & 0xFFFFFFFF for k in range(4)], dtype=np.uint64
+    )
+
+
+def _limbs_to_int(limbs: np.ndarray) -> int:
+    return (
+        int(limbs[0])
+        | (int(limbs[1]) << 32)
+        | (int(limbs[2]) << 64)
+        | (int(limbs[3]) << 96)
+    )
+
+
+def _mul128(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise 128-bit product mod 2^128 of two (n, 4) limb arrays.
+
+    32×32-bit limb products are exact in uint64; each column accumulates
+    at most seven 32-bit halves (< 2^35), so the sums cannot overflow
+    before the final carry propagation.
+    """
+    p00 = a[:, 0] * b[:, 0]
+    p01 = a[:, 0] * b[:, 1]
+    p10 = a[:, 1] * b[:, 0]
+    p02 = a[:, 0] * b[:, 2]
+    p11 = a[:, 1] * b[:, 1]
+    p20 = a[:, 2] * b[:, 0]
+    p03 = a[:, 0] * b[:, 3]
+    p12 = a[:, 1] * b[:, 2]
+    p21 = a[:, 2] * b[:, 1]
+    p30 = a[:, 3] * b[:, 0]
+    c1 = (p00 >> _U32) + (p01 & _M32) + (p10 & _M32)
+    c2 = (p01 >> _U32) + (p10 >> _U32) + (p02 & _M32) + (p11 & _M32) + (p20 & _M32)
+    c3 = (
+        (p02 >> _U32)
+        + (p11 >> _U32)
+        + (p20 >> _U32)
+        + (p03 & _M32)
+        + (p12 & _M32)
+        + (p21 & _M32)
+        + (p30 & _M32)
+    )
+    out = np.empty_like(a)
+    out[:, 0] = p00 & _M32
+    s = c1
+    out[:, 1] = s & _M32
+    s = c2 + (s >> _U32)
+    out[:, 2] = s & _M32
+    s = c3 + (s >> _U32)
+    out[:, 3] = s & _M32
+    return out
+
+
+def _add128(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise 128-bit sum mod 2^128 of two (n, 4) limb arrays."""
+    out = np.empty_like(a)
+    s = a[:, 0] + b[:, 0]
+    out[:, 0] = s & _M32
+    s = a[:, 1] + b[:, 1] + (s >> _U32)
+    out[:, 1] = s & _M32
+    s = a[:, 2] + b[:, 2] + (s >> _U32)
+    out[:, 2] = s & _M32
+    s = a[:, 3] + b[:, 3] + (s >> _U32)
+    out[:, 3] = s & _M32
+    return out
+
+
+def _output64(state: np.ndarray) -> np.ndarray:
+    """PCG64's XSL-RR output of each (n, 4) limb state: one uint64 per row."""
+    lo = state[:, 0] | (state[:, 1] << _U32)
+    hi = state[:, 2] | (state[:, 3] << _U32)
+    rot = hi >> np.uint64(58)
+    x = hi ^ lo
+    return (x >> rot) | (x << ((np.uint64(64) - rot) & np.uint64(63)))
+
+
+class _JumpTables:
+    """Shared, growable tables of ``(A^j, D_j)`` limb rows, ``j ≤ cap``.
+
+    The tables depend only on the PCG64 multiplier, so one copy serves
+    every engine in the process.  Growth builds *new* arrays and swaps
+    the references under a lock; readers snapshot the references first,
+    so concurrent growth can never hand a reader a half-filled row.
+    """
+
+    def __init__(self, cap: int = 512) -> None:
+        self._lock = threading.Lock()
+        self._build(cap)
+
+    def _build(self, cap: int) -> None:
+        a_rows = np.empty((cap + 1, 4), dtype=np.uint64)
+        d_rows = np.empty((cap + 1, 4), dtype=np.uint64)
+        a_val, d_val = 1, 0
+        for j in range(cap + 1):
+            a_rows[j] = _int_to_limbs(a_val)
+            d_rows[j] = _int_to_limbs(d_val)
+            a_val = (a_val * _MULT) & _M128
+            d_val = (d_val * _MULT + 1) & _M128
+        self.a_rows = a_rows
+        self.d_rows = d_rows
+        self.cap = cap
+
+    def rows(self, max_ordinal: int) -> "tuple[np.ndarray, np.ndarray]":
+        """Table references covering ordinals up to ``max_ordinal``."""
+        if max_ordinal > self.cap:
+            with self._lock:
+                if max_ordinal > self.cap:
+                    cap = self.cap
+                    while cap < max_ordinal:
+                        cap *= 2
+                    self._build(cap)
+        return self.a_rows, self.d_rows
+
+
+_TABLES = _JumpTables()
+
+
+class LaneState:
+    """Mutable per-lane generator states: ``(n, 4)`` limb arrays."""
+
+    __slots__ = ("states", "incs")
+
+    def __init__(self, states: np.ndarray, incs: np.ndarray) -> None:
+        self.states = states
+        self.incs = incs
+
+    def __len__(self) -> int:
+        return self.states.shape[0]
+
+
+class LaneEngine:
+    """Vectorized per-set PCG64 draws for one seed stream.
+
+    Stateless apart from the stream's child-seed prefix; one engine per
+    sampler (cached in ``sampler._scratch``) serves every batch.  All
+    methods are exact replications of the numpy draw pipeline, verified
+    at construction (:attr:`ok`); callers must fall back to per-set
+    sampling when :attr:`ok` is False.
+    """
+
+    def __init__(self, seed_stream: SeedStream) -> None:
+        self._prefix_words = seed_stream._prefix_words
+        self.ok = bool(getattr(seed_stream, "_fast", False)) and self._verify(
+            seed_stream
+        )
+
+    # ------------------------------------------------------------------
+    # Seeding
+    # ------------------------------------------------------------------
+    def seed_lanes(self, indices: np.ndarray) -> LaneState:
+        """Fresh generator states for the given global set indices.
+
+        Vectorized ``pcg_setseq_128_srandom``: child seed words → 128-bit
+        ``initstate``/``initseq`` → ``inc = (initseq << 1) | 1`` and one
+        folding LCG step, per lane.
+        """
+        words = _children_seed_words(
+            self._prefix_words, np.asarray(indices, dtype=np.uint64)
+        )
+        n = words.shape[0]
+        initstate = np.empty((n, 4), dtype=np.uint64)
+        initstate[:, 0] = words[:, 1] & _M32
+        initstate[:, 1] = words[:, 1] >> _U32
+        initstate[:, 2] = words[:, 0] & _M32
+        initstate[:, 3] = words[:, 0] >> _U32
+        initseq = np.empty((n, 4), dtype=np.uint64)
+        initseq[:, 0] = words[:, 3] & _M32
+        initseq[:, 1] = words[:, 3] >> _U32
+        initseq[:, 2] = words[:, 2] & _M32
+        initseq[:, 3] = words[:, 2] >> _U32
+        # inc = (initseq << 1) | 1, limb-shifted with cross-limb carries.
+        incs = np.empty((n, 4), dtype=np.uint64)
+        incs[:, 0] = ((initseq[:, 0] << _U64_1) & _M32) | _U64_1
+        incs[:, 1] = ((initseq[:, 1] << _U64_1) & _M32) | (initseq[:, 0] >> np.uint64(31))
+        incs[:, 2] = ((initseq[:, 2] << _U64_1) & _M32) | (initseq[:, 1] >> np.uint64(31))
+        incs[:, 3] = ((initseq[:, 3] << _U64_1) & _M32) | (initseq[:, 2] >> np.uint64(31))
+        mult = np.broadcast_to(_int_to_limbs(_MULT), (n, 4))
+        states = _add128(_mul128(_add128(incs, initstate), mult), incs)
+        return LaneState(states, incs)
+
+    # ------------------------------------------------------------------
+    # Doubles
+    # ------------------------------------------------------------------
+    def fill_doubles(
+        self,
+        lane_state: LaneState,
+        draw_lanes: np.ndarray,
+        lane_counts: np.ndarray,
+    ) -> np.ndarray:
+        """One double per entry of ``draw_lanes``, in array order.
+
+        ``draw_lanes`` must be lane-major (all of lane ``l``'s draws
+        contiguous, in order) and ``lane_counts[l]`` its total draws.
+        Lane states advance by their own counts — exactly as if each
+        lane's Generator had produced its ``random()`` values alone.
+        """
+        total = draw_lanes.shape[0]
+        if total == 0:
+            return np.zeros(0, dtype=np.float64)
+        lane_counts = np.asarray(lane_counts, dtype=np.int64)
+        offsets = np.cumsum(lane_counts) - lane_counts
+        ordinals = np.arange(1, total + 1, dtype=np.int64) - offsets[draw_lanes]
+        a_rows, d_rows = _TABLES.rows(int(lane_counts.max()))
+        s = lane_state.states[draw_lanes]
+        c = lane_state.incs[draw_lanes]
+        stepped = _add128(_mul128(a_rows[ordinals], s), _mul128(d_rows[ordinals], c))
+        active = np.flatnonzero(lane_counts)
+        last = offsets[active] + lane_counts[active] - 1
+        lane_state.states[active] = stepped[last]
+        return (_output64(stepped) >> np.uint64(11)) * _INV_2_53
+
+    def one_double(self, lane_state: LaneState, lanes: np.ndarray) -> np.ndarray:
+        """One double per listed lane (each advances one LCG step)."""
+        if lanes.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        s = lane_state.states[lanes]
+        c = lane_state.incs[lanes]
+        mult = np.broadcast_to(_int_to_limbs(_MULT), s.shape)
+        stepped = _add128(_mul128(s, mult), c)
+        lane_state.states[lanes] = stepped
+        return (_output64(stepped) >> np.uint64(11)) * _INV_2_53
+
+    # ------------------------------------------------------------------
+    # Root draws
+    # ------------------------------------------------------------------
+    def draw_uniform_roots(
+        self, lane_state: LaneState, n: int, lanes: "np.ndarray | None" = None
+    ) -> np.ndarray:
+        """``Generator.integers(n)`` per lane, on *freshly seeded* lanes.
+
+        Replicates numpy's 32-bit Lemire rejection path (the one
+        ``integers`` takes for ranges below 2^32): the first uint32 is
+        the low half of one ``next64``; its buffered high half is only
+        consumed by a rejection redraw, and is discarded by the doubles
+        that follow — exactly PCG64's ``has_uint32`` semantics.  Lanes
+        advance by ``ceil(half_draws / 2)`` LCG steps.  ``n`` must be in
+        ``[2, 2^32 - 1]`` (callers guard; graphs larger than that cannot
+        take this path).
+        """
+        if lanes is None:
+            lanes = np.arange(len(lane_state), dtype=np.int64)
+        if lanes.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        s = lane_state.states[lanes]
+        c = lane_state.incs[lanes]
+        mult = np.broadcast_to(_int_to_limbs(_MULT), s.shape)
+        stepped = _add128(_mul128(s, mult), c)
+        lane_state.states[lanes] = stepped
+        out = _output64(stepped)
+        low32 = out & _M32
+        m = low32 * np.uint64(n)
+        leftover = m & _M32
+        threshold = np.uint64((0x100000000 - n) % n)
+        roots = (m >> _U32).astype(np.int64)
+        rejected = np.flatnonzero(leftover < threshold)
+        for pos in rejected:  # astronomically rare; replayed exactly
+            lane = int(lanes[pos])
+            state = _limbs_to_int(lane_state.states[lane])
+            inc = _limbs_to_int(lane_state.incs[lane])
+            buffered, has32 = int(out[pos]) >> 32, True
+            while True:
+                if has32:
+                    u32, has32 = buffered, False
+                else:
+                    state = (state * _MULT + inc) & _M128
+                    word = _output_int(state)
+                    u32, buffered, has32 = word & 0xFFFFFFFF, word >> 32, True
+                m_i = u32 * n
+                if (m_i & 0xFFFFFFFF) >= int(threshold):
+                    roots[pos] = m_i >> 32
+                    break
+            lane_state.states[lane] = _int_to_limbs(state)
+        return roots
+
+    def draw_weighted_roots(
+        self,
+        lane_state: LaneState,
+        cumulative: np.ndarray,
+        total: float,
+        lanes: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """``WeightedRoots.sample`` per lane: one double, inverse CDF."""
+        if lanes is None:
+            lanes = np.arange(len(lane_state), dtype=np.int64)
+        draws = self.one_double(lane_state, lanes)
+        return np.searchsorted(cumulative, draws * total, side="right").astype(
+            np.int64
+        )
+
+    # ------------------------------------------------------------------
+    # Self-verification
+    # ------------------------------------------------------------------
+    def _verify(self, seed_stream: SeedStream) -> bool:
+        """Compare every draw path against real numpy generators once.
+
+        Covers seeding, jump-table doubles with uneven lane counts, the
+        single-step double, and the Lemire root draw (including the
+        discarded-buffer interaction between ``integers`` and
+        ``random``).  Any mismatch disables the engine — the kernels
+        then produce the same stream per set, just without the batch
+        fast path.
+        """
+        try:
+            probe = np.asarray([0, 3], dtype=np.int64)
+            n_probe = 12347
+            refs = [seed_stream.generator_at(int(i)) for i in probe]
+            want_roots = [int(r.integers(n_probe)) for r in refs]
+            want_coins = [r.random(k) for r, k in zip(refs, (3, 5))]
+            want_single = [float(r.random()) for r in refs]
+
+            state = self.seed_lanes(probe)
+            got_roots = self.draw_uniform_roots(state, n_probe)
+            lane_counts = np.asarray([3, 5], dtype=np.int64)
+            draw_lanes = np.repeat(np.arange(2), lane_counts)
+            got_coins = self.fill_doubles(state, draw_lanes, lane_counts)
+            got_single = self.one_double(state, np.arange(2))
+            return (
+                list(got_roots) == want_roots
+                and np.array_equal(got_coins[:3], want_coins[0])
+                and np.array_equal(got_coins[3:], want_coins[1])
+                and list(got_single) == want_single
+            )
+        except Exception:
+            return False
+
+    @classmethod
+    def for_sampler(cls, sampler) -> "LaneEngine":
+        """The sampler's cached engine (constructed on first use)."""
+        engine = sampler._scratch.get("lane_engine")
+        if engine is None:
+            engine = cls(sampler.seed_stream)
+            sampler._scratch["lane_engine"] = engine
+        return engine
+
+
+def _output_int(state: int) -> int:
+    """Scalar XSL-RR output (Python ints; the rare rejection path)."""
+    hi, lo = state >> 64, state & 0xFFFFFFFFFFFFFFFF
+    rot = state >> 122
+    x = hi ^ lo
+    return ((x >> rot) | (x << ((64 - rot) & 63))) & 0xFFFFFFFFFFFFFFFF

@@ -17,10 +17,13 @@ import pytest
 
 from repro.exceptions import SamplingError
 from repro.graph.weights import assign_constant_weights
-from repro.sampling.base import make_sampler
+from repro.sampling.base import make_sampler, resolve_kernel
 from repro.sampling.kernels import (
+    AUTO_KERNEL,
     DEFAULT_STREAM_ID,
     KERNELS,
+    BatchedKernel,
+    LTBatchedKernel,
     ScalarKernel,
     VectorizedKernel,
     check_stream_id,
@@ -30,7 +33,7 @@ from repro.sampling.kernels import (
 from repro.sampling.sharded import ShardedSampler
 
 SEED = 2016
-KERNEL_NAMES = ("scalar", "vectorized")
+KERNEL_NAMES = ("scalar", "vectorized", "batched")
 
 
 @pytest.fixture
@@ -59,7 +62,15 @@ class TestRegistry:
     def test_stream_ids_are_distinct_and_versioned(self):
         ids = {KERNELS[name].stream_id for name in list_kernels()}
         assert len(ids) == len(list_kernels())
-        assert ids == {"scalar-v2", "vectorized-v2"}
+        assert ids == {
+            "scalar-v2", "vectorized-v2", "batched-v2", "lt-batched-v2",
+        }
+
+    def test_auto_is_not_a_kernel(self):
+        """'auto' is a selection policy; letting it through make_kernel
+        would leak a non-identity into stream_ids and pool keys."""
+        with pytest.raises(SamplingError, match="selection policy"):
+            make_kernel(AUTO_KERNEL)
 
     def test_sampler_carries_its_kernel_stream_id(self, small_wc_graph):
         sampler = make_sampler(small_wc_graph, "IC", SEED, kernel="vectorized")
@@ -231,9 +242,10 @@ class TestDistributionalAgreement:
         sampler = make_sampler(graph, "IC", seed, kernel=kernel)
         return np.asarray([rr.size for rr in sampler.sample_batch(self._SETS)])
 
-    def test_rr_size_distributions_agree(self, viral_graph):
+    @pytest.mark.parametrize("kernel", ["vectorized", "batched"])
+    def test_rr_size_distributions_agree(self, viral_graph, kernel):
         a = self._sizes(viral_graph, "scalar", 11)
-        b = self._sizes(viral_graph, "vectorized", 12)
+        b = self._sizes(viral_graph, kernel, 12)
         hi = max(a.max(), b.max()) + 1
         cdf_a = np.cumsum(np.bincount(a, minlength=hi)) / a.size
         cdf_b = np.cumsum(np.bincount(b, minlength=hi)) / b.size
@@ -446,3 +458,267 @@ class TestVectorizedSpillReattach:
             header = json.loads(bytes(archive["header"]).decode())
         assert header["stamp"]["stream_id"] == "vectorized-v2"
         assert header["sampler_state"]["stream_id"] == "vectorized-v2"
+
+
+class TestBatchCompositionInvariance:
+    """The batched kernels' contract: set ``g``'s bytes are a pure
+    function of the seed — identical whether ``g`` is computed alone,
+    in a block of 7, or in a block of 64, pinned or not
+    (``docs/INVARIANTS.md``, batch-composition invariance)."""
+
+    _SETS = 128
+
+    @staticmethod
+    def _blocked(sampler, indices, width):
+        out = []
+        for s in range(0, len(indices), width):
+            out.extend(sampler.sample_block(indices[s : s + width]))
+        return out
+
+    @pytest.mark.parametrize("width", [1, 7, 64])
+    @pytest.mark.parametrize(
+        "model,kernel", [("IC", "batched"), ("LT", "lt-batched")]
+    )
+    def test_blocks_of_any_width_equal_per_set_bytes(
+        self, medium_wc_graph, model, kernel, width
+    ):
+        sampler = make_sampler(medium_wc_graph, model, SEED, kernel=kernel)
+        indices = np.arange(self._SETS, dtype=np.int64)
+        reference = [sampler.sample_at(int(g)) for g in indices]
+        got = self._blocked(sampler, indices, width)
+        assert all(np.array_equal(a, b) for a, b in zip(got, reference))
+
+    @pytest.mark.parametrize(
+        "model,kernel", [("IC", "batched"), ("LT", "lt-batched")]
+    )
+    def test_arbitrary_index_subsets_and_pinned_roots(
+        self, medium_wc_graph, model, kernel
+    ):
+        sampler = make_sampler(medium_wc_graph, model, SEED, kernel=kernel)
+        rng = np.random.default_rng(5)
+        indices = rng.integers(0, 10_000, 40)
+        # Half the sets pin a root, half draw their own (the backends'
+        # negative-root wire convention).
+        roots = rng.integers(0, medium_wc_graph.n, 40)
+        roots[::2] = -1
+        got = sampler.sample_block(indices, roots)
+        for g, r, rr in zip(indices, roots, got):
+            want = (
+                sampler.sample_at(int(g))
+                if r < 0
+                else sampler.sample_at(int(g), int(r))
+            )
+            assert np.array_equal(rr, want)
+
+    def test_batched_ic_block_equals_vectorized_stream(self, medium_wc_graph):
+        a = make_sampler(
+            medium_wc_graph, "IC", SEED, kernel="batched"
+        ).sample_batch(300)
+        b = make_sampler(
+            medium_wc_graph, "IC", SEED, kernel="vectorized"
+        ).sample_batch(300)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_lt_batched_block_equals_scalar_walk_stream(self, medium_wc_graph):
+        a = make_sampler(
+            medium_wc_graph, "LT", SEED, kernel="lt-batched"
+        ).sample_batch(300)
+        b = make_sampler(
+            medium_wc_graph, "LT", SEED, kernel="scalar"
+        ).sample_batch(300)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_weighted_roots_run_in_lockstep(self, medium_wc_graph):
+        from repro.sampling.roots import WeightedRoots
+
+        benefits = np.random.default_rng(9).random(medium_wc_graph.n) + 0.1
+        a = make_sampler(
+            medium_wc_graph, "IC", SEED, kernel="batched",
+            roots=WeightedRoots(benefits),
+        ).sample_batch(200)
+        b = make_sampler(
+            medium_wc_graph, "IC", SEED, kernel="vectorized",
+            roots=WeightedRoots(benefits),
+        ).sample_batch(200)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_exotic_root_distributions_fall_back_to_per_set(self, medium_wc_graph):
+        """A roots subclass may override sample(); the lane engine only
+        replicates the base implementations, so the block path must fall
+        back to per-set sampling — same bytes, no fast path."""
+        from repro.sampling.roots import UniformRoots
+
+        class Shifted(UniformRoots):
+            pass
+
+        sampler = make_sampler(
+            medium_wc_graph, "IC", SEED, kernel="batched",
+            roots=Shifted(medium_wc_graph.n),
+        )
+        got = sampler.sample_block(np.arange(50, dtype=np.int64))
+        want = [sampler.sample_at(g) for g in range(50)]
+        assert all(np.array_equal(a, b) for a, b in zip(got, want))
+
+    @pytest.mark.parametrize("max_hops", [0, 1, 3])
+    def test_hop_caps_apply_per_lane(self, medium_wc_graph, max_hops):
+        sampler = make_sampler(
+            medium_wc_graph, "IC", SEED, kernel="batched", max_hops=max_hops
+        )
+        got = sampler.sample_block(np.arange(60, dtype=np.int64))
+        want = [sampler.sample_at(g) for g in range(60)]
+        assert all(np.array_equal(a, b) for a, b in zip(got, want))
+
+    def test_sharded_block_path_is_worker_count_invariant(self, medium_wc_graph):
+        single = make_sampler(medium_wc_graph, "IC", SEED, kernel="batched")
+        want = single.sample_block(np.arange(90, dtype=np.int64))
+        for workers in (2, 5):
+            sharded = ShardedSampler(
+                medium_wc_graph, "IC", workers, seed=SEED, kernel="batched"
+            )
+            try:
+                got = sharded.sample_block(np.arange(90, dtype=np.int64))
+            finally:
+                sharded.close()
+            assert all(np.array_equal(a, b) for a, b in zip(got, want))
+
+
+class TestBatchedStreamIdentity:
+    """batched-v2 / lt-batched-v2 thread the same identity plumbing as
+    the earlier kernels: state stamps, spill round-trips, restore
+    refusals."""
+
+    def test_state_dict_carries_batched_stream_ids(self, small_wc_graph):
+        ic = make_sampler(small_wc_graph, "IC", SEED, kernel="batched")
+        lt = make_sampler(small_wc_graph, "LT", SEED, kernel="lt-batched")
+        assert ic.state_dict()["stream_id"] == "batched-v2"
+        assert lt.state_dict()["stream_id"] == "lt-batched-v2"
+
+    @pytest.mark.parametrize("other", ["scalar", "vectorized", "lt-batched"])
+    def test_cross_kernel_restore_of_batched_state_is_refused(
+        self, small_wc_graph, other
+    ):
+        state = make_sampler(
+            small_wc_graph, "IC", SEED, kernel="batched"
+        ).state_dict()
+        heir = make_sampler(small_wc_graph, "IC", SEED, kernel=other)
+        with pytest.raises(SamplingError, match="byte-compatible"):
+            heir.load_state_dict(state)
+
+    def test_batched_pool_spill_reattach_round_trip(self, medium_wc_graph, tmp_path):
+        from repro.engine import InfluenceEngine
+
+        def run():
+            with InfluenceEngine(
+                medium_wc_graph, model="IC", seed=SEED, kernel="batched",
+                spill_dir=tmp_path,
+            ) as engine:
+                result = engine.maximize(3, epsilon=0.25)
+                return (
+                    result,
+                    engine.pool_manager.reattached_for(engine.session),
+                    engine.stats.rr_sampled,
+                )
+
+        cold, reattached_cold, sampled_cold = run()
+        assert reattached_cold == 0 and sampled_cold > 0
+        warm, reattached_warm, sampled_warm = run()
+        assert sampled_warm == 0  # fully served from the reattached pool
+        assert warm.seeds == cold.seeds and warm.samples == cold.samples
+
+    def test_scalar_session_ignores_the_batched_spill(self, medium_wc_graph, tmp_path):
+        from repro.engine import InfluenceEngine
+
+        with InfluenceEngine(
+            medium_wc_graph, model="IC", seed=SEED, kernel="batched",
+            spill_dir=tmp_path,
+        ) as engine:
+            engine.maximize(3, epsilon=0.25)
+        with InfluenceEngine(
+            medium_wc_graph, model="IC", seed=SEED, kernel="scalar",
+            spill_dir=tmp_path,
+        ) as engine:
+            engine.maximize(3, epsilon=0.25)
+            assert engine.pool_manager.reattached_for(engine.session) == 0
+            assert engine.stats.rr_sampled > 0
+
+
+class TestAutoResolution:
+    """'auto' resolves deterministically to a concrete kernel before
+    anything identity-bearing sees a name."""
+
+    def test_lt_always_takes_the_lockstep_walk(self, medium_wc_graph):
+        kernel = resolve_kernel("auto", graph=medium_wc_graph, model="LT", seed=1)
+        assert isinstance(kernel, LTBatchedKernel)
+
+    def test_small_set_ic_takes_batched(self, medium_wc_graph):
+        kernel = resolve_kernel(
+            "auto", graph=medium_wc_graph, model="IC", seed=SEED
+        )
+        assert isinstance(kernel, BatchedKernel)
+        assert not isinstance(kernel, LTBatchedKernel)
+
+    def test_viral_ic_takes_vectorized(self, er_graph):
+        viral = assign_constant_weights(er_graph, 0.9)
+        kernel = resolve_kernel("auto", graph=viral, model="IC", seed=SEED)
+        assert isinstance(kernel, VectorizedKernel)
+        assert not isinstance(kernel, BatchedKernel)
+
+    def test_hub_heavy_small_sets_take_vectorized(self):
+        # Bidirectional star under weighted cascade: every RR set is
+        # tiny (the hub's in-edges almost never fire), but any set
+        # containing the hub flips one coin per leaf — mean coin volume,
+        # not mean set size, is what prices the lane replica's per-coin
+        # cost, so auto must route this off the batched kernel.
+        from repro.graph.builder import from_edges
+        from repro.graph.weights import assign_weighted_cascade
+
+        leaves = 600
+        edges = [(0, leaf) for leaf in range(1, leaves + 1)]
+        edges += [(leaf, 0) for leaf in range(1, leaves + 1)]
+        star = assign_weighted_cascade(from_edges(edges))
+        kernel = resolve_kernel("auto", graph=star, model="IC", seed=SEED)
+        assert isinstance(kernel, VectorizedKernel)
+
+    def test_batch_width_one_means_scalar(self, medium_wc_graph):
+        kernel = resolve_kernel(
+            "auto", graph=medium_wc_graph, model="IC", seed=SEED, batch_width=1
+        )
+        assert isinstance(kernel, ScalarKernel)
+
+    def test_concrete_names_pass_through_without_a_graph(self):
+        assert resolve_kernel("vectorized") is KERNELS["vectorized"]
+        assert resolve_kernel(None) is KERNELS["scalar"]
+
+    def test_auto_without_a_workload_is_rejected(self):
+        with pytest.raises(SamplingError, match="graph"):
+            resolve_kernel("auto")
+
+    def test_sampler_resolves_auto_to_a_concrete_stream(self, medium_wc_graph):
+        sampler = make_sampler(medium_wc_graph, "IC", SEED, kernel="auto")
+        assert sampler.stream_id == "batched-v2"
+        # and the stream equals the resolved kernel's, not a new one
+        direct = make_sampler(medium_wc_graph, "IC", SEED, kernel="batched")
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(sampler.sample_batch(50), direct.sample_batch(50))
+        )
+
+    def test_engine_resolves_auto_once_for_the_session(self, medium_wc_graph):
+        from repro.engine import InfluenceEngine
+
+        with InfluenceEngine(
+            medium_wc_graph, model="IC", seed=SEED, kernel="auto"
+        ) as engine:
+            assert engine.kernel.name == "batched"
+            result = engine.maximize(2, epsilon=0.25)
+            assert result.seeds
+
+    def test_run_record_provenance_carries_the_resolved_name(self, medium_wc_graph):
+        from repro.experiments.runner import run_algorithm
+
+        record = run_algorithm(
+            "D-SSA", medium_wc_graph, 2, model="IC", epsilon=0.25,
+            seed=SEED, kernel="auto",
+        )
+        assert record.kernel == "batched"
+        assert record.stream_id == "batched-v2"
